@@ -1,0 +1,63 @@
+//! Component benchmarks for the BGV scheme — the numbers the §6.4 device
+//! cost extrapolation builds on, plus the deferred-relinearization
+//! ablation (§5: devices skip relinearization; the aggregator performs it
+//! once before decryption).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mycelium_bgv::encoding::encode_monomial;
+use mycelium_bgv::{BgvParams, Ciphertext, KeySet};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn bench_bgv(c: &mut Criterion) {
+    let params = BgvParams::test_medium();
+    let mut rng = StdRng::seed_from_u64(1);
+    let keys = KeySet::generate(&params, &mut rng);
+    let pt = encode_monomial(3, params.n, params.plaintext_modulus).unwrap();
+    let ct_a = Ciphertext::encrypt(&keys.public, &pt, &mut rng).unwrap();
+    let ct_b = Ciphertext::encrypt(&keys.public, &pt, &mut rng).unwrap();
+    let product = ct_a.mul(&ct_b).unwrap();
+    let relinearized = product.relinearize(&keys.relin).unwrap();
+
+    let mut g = c.benchmark_group("bgv");
+    g.sample_size(10);
+    g.bench_function(BenchmarkId::new("encrypt", params.n), |b| {
+        b.iter(|| Ciphertext::encrypt(&keys.public, &pt, &mut rng).unwrap())
+    });
+    g.bench_function(BenchmarkId::new("add", params.n), |b| {
+        b.iter(|| ct_a.add(&ct_b).unwrap())
+    });
+    g.bench_function(BenchmarkId::new("mul_tensor", params.n), |b| {
+        b.iter(|| ct_a.mul(&ct_b).unwrap())
+    });
+    g.bench_function(BenchmarkId::new("relinearize", params.n), |b| {
+        b.iter(|| product.relinearize(&keys.relin).unwrap())
+    });
+    g.bench_function(BenchmarkId::new("mod_switch", params.n), |b| {
+        b.iter(|| relinearized.mod_switch_down().unwrap())
+    });
+    g.bench_function(BenchmarkId::new("mul_monomial_noise_free", params.n), |b| {
+        b.iter(|| ct_a.mul_monomial(17))
+    });
+    g.bench_function(BenchmarkId::new("decrypt", params.n), |b| {
+        b.iter(|| ct_a.decrypt(&keys.secret))
+    });
+    g.finish();
+
+    // Ablation: deferred relinearization (§5). A device that defers ships a
+    // degree-2 ciphertext and does only the tensor product; a device that
+    // relinearizes locally pays the key-switch. The aggregator then pays
+    // one relinearization either way per aggregate.
+    let mut g = c.benchmark_group("ablation_deferred_relin");
+    g.sample_size(10);
+    g.bench_function("device_mul_only_deferred", |b| {
+        b.iter(|| ct_a.mul(&ct_b).unwrap())
+    });
+    g.bench_function("device_mul_plus_local_relin", |b| {
+        b.iter(|| ct_a.mul(&ct_b).unwrap().relinearize(&keys.relin).unwrap())
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_bgv);
+criterion_main!(benches);

@@ -1,0 +1,58 @@
+//! Microbenchmarks of the from-scratch crypto primitives (the paper's
+//! OpenSSL layer) and the `x^a`-encoding ablation: one noise-free
+//! monomial shift versus the naive alternative of a homomorphic
+//! comparison per histogram bin.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use mycelium_bgv::encoding::encode_monomial;
+use mycelium_bgv::{BgvParams, Ciphertext, KeySet};
+use mycelium_crypto::chacha20::senc;
+use mycelium_crypto::ed25519::{x25519, x25519_public_key};
+use mycelium_crypto::penc::KeyPair;
+use mycelium_crypto::sha256::sha256;
+use mycelium_crypto::{aead, penc};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn bench_crypto(c: &mut Criterion) {
+    let mut g = c.benchmark_group("crypto");
+    let data = vec![0xabu8; 4096];
+    g.throughput(Throughput::Bytes(4096));
+    g.bench_function("sha256_4k", |b| b.iter(|| sha256(&data)));
+    let key = [7u8; 32];
+    g.bench_function("chacha20_senc_4k", |b| b.iter(|| senc(&key, 1, &data)));
+    g.bench_function("aead_seal_4k", |b| b.iter(|| aead::seal(&key, 1, &data)));
+    g.finish();
+
+    let mut g = c.benchmark_group("x25519");
+    g.sample_size(20);
+    let sk = [9u8; 32];
+    let pk = x25519_public_key(&[5u8; 32]);
+    g.bench_function("scalar_mult", |b| b.iter(|| x25519(&sk, &pk)));
+    let mut rng = StdRng::seed_from_u64(1);
+    let kp = KeyPair::generate(&mut rng);
+    g.bench_function("ecies_encrypt_256B", |b| {
+        b.iter(|| penc::encrypt(&kp.public(), &data[..256], &mut rng))
+    });
+    g.finish();
+
+    // Ablation: the §4.1 encoding. Binning via the monomial encoding costs
+    // one noise-free rotation; the naive approach ("IF 0<=S<=2 THEN 1")
+    // costs at least one ciphertext-ciphertext multiplication per bin
+    // boundary. One tensor product stands in for that lower bound.
+    let params = BgvParams::test_small();
+    let mut rng = StdRng::seed_from_u64(2);
+    let keys = KeySet::generate_with_relin_levels(&params, &[params.levels], &mut rng);
+    let pt = encode_monomial(2, params.n, params.plaintext_modulus).unwrap();
+    let ct = Ciphertext::encrypt(&keys.public, &pt, &mut rng).unwrap();
+    let mut g = c.benchmark_group("ablation_encoding");
+    g.sample_size(10);
+    g.bench_function("monomial_bin_shift", |b| b.iter(|| ct.mul_monomial(5)));
+    g.bench_function("naive_private_comparison_lower_bound", |b| {
+        b.iter(|| ct.mul(&ct).unwrap())
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_crypto);
+criterion_main!(benches);

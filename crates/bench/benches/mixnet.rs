@@ -1,0 +1,86 @@
+//! Component benchmarks for the communication layer: telescoping setup,
+//! message forwarding, and the Merkle machinery behind the verifiable
+//! maps and mailbox commitments.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mycelium_crypto::merkle::MerkleTree;
+use mycelium_mixnet::circuit::{MixnetConfig, Network};
+use mycelium_mixnet::forward::OutgoingMessage;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn bench_mixnet(c: &mut Criterion) {
+    let mut g = c.benchmark_group("mixnet");
+    g.sample_size(10);
+    for &n in &[200usize, 500] {
+        g.bench_with_input(BenchmarkId::new("network_setup", n), &n, |b, &n| {
+            b.iter(|| {
+                let mut rng = StdRng::seed_from_u64(1);
+                Network::new(n, MixnetConfig::default(), &mut rng)
+            })
+        });
+    }
+    g.bench_function("telescope_k3_r2", |b| {
+        b.iter(|| {
+            let mut rng = StdRng::seed_from_u64(2);
+            let cfg = MixnetConfig {
+                hops: 3,
+                replicas: 2,
+                forwarder_fraction: 0.3,
+                degree: 4,
+                message_len: 128,
+            };
+            let mut net = Network::new(300, cfg, &mut rng);
+            net.telescope(&[(0, vec![10, 11, 12, 13])], &mut rng)
+                .unwrap()
+        })
+    });
+    g.bench_function("forward_round_k3", |b| {
+        let mut rng = StdRng::seed_from_u64(3);
+        let cfg = MixnetConfig {
+            hops: 3,
+            replicas: 2,
+            forwarder_fraction: 0.3,
+            degree: 4,
+            message_len: 128,
+        };
+        let mut net = Network::new(300, cfg, &mut rng);
+        net.telescope(&[(0, vec![10]), (1, vec![11])], &mut rng)
+            .unwrap();
+        let msgs: Vec<OutgoingMessage> = vec![
+            OutgoingMessage {
+                src: 0,
+                target: 10,
+                id: 1,
+                payload: vec![0u8; 64],
+            },
+            OutgoingMessage {
+                src: 1,
+                target: 11,
+                id: 2,
+                payload: vec![0u8; 64],
+            },
+        ];
+        b.iter(|| net.forward_messages(&msgs, &mut rng))
+    });
+    g.finish();
+
+    let mut g = c.benchmark_group("merkle");
+    for &n in &[1_000usize, 10_000] {
+        let leaves: Vec<Vec<u8>> = (0..n).map(|i| format!("leaf{i}").into_bytes()).collect();
+        g.bench_with_input(BenchmarkId::new("build", n), &leaves, |b, leaves| {
+            b.iter(|| MerkleTree::build(leaves))
+        });
+        let tree = MerkleTree::build(&leaves);
+        g.bench_with_input(BenchmarkId::new("prove+verify", n), &tree, |b, tree| {
+            b.iter(|| {
+                let p = tree.prove(n / 2).unwrap();
+                assert!(p.verify(&tree.root(), n / 2, &leaves[n / 2]));
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_mixnet);
+criterion_main!(benches);

@@ -1,0 +1,78 @@
+//! §6.4 — costs for normal users: bandwidth and computation.
+//!
+//! Bandwidth comes from the Figure 7 model; computation is *measured* on
+//! this machine: the time to encrypt `d` contributions plus perform the
+//! `d`-multiplication local aggregation, at a reduced ring that is then
+//! scaled to the paper's `N = 32768` by the `N log N` cost of the NTT
+//! (the dominant kernel) — the same extrapolation style as the paper.
+
+use std::time::Instant;
+
+use mycelium::costs::{device_bandwidth, device_compute_paper};
+use mycelium::params::SystemParams;
+use mycelium_bench::mb;
+use mycelium_bgv::encoding::encode_monomial;
+use mycelium_bgv::{BgvParams, Ciphertext, KeySet};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() {
+    let mut params = SystemParams::paper();
+    params.bgv = BgvParams::paper_sized();
+    println!("=== §6.4 device costs per query ===\n");
+    let b = device_bandwidth(&params, params.hops, params.replicas, 1);
+    println!(
+        "bandwidth (C_q = 1): expected {} per device",
+        mb(b.expected)
+    );
+    println!("paper:               ≈430 MB (\"a four-minute video attachment\")\n");
+
+    // Measure the device's HE work at a mid-size ring, then scale.
+    let bench_params = BgvParams::test_medium();
+    let mut rng = StdRng::seed_from_u64(64);
+    println!(
+        "measuring device HE work at N={} / {} levels ...",
+        bench_params.n, bench_params.levels
+    );
+    let keys = KeySet::generate(&bench_params, &mut rng);
+    let d = params.degree_bound;
+    let t0 = Instant::now();
+    let mut acc: Option<Ciphertext> = None;
+    for i in 0..d {
+        let pt = encode_monomial(i % 4, bench_params.n, bench_params.plaintext_modulus).unwrap();
+        let ct = Ciphertext::encrypt(&keys.public, &pt, &mut rng).unwrap();
+        acc = Some(match acc {
+            None => ct,
+            Some(a) => {
+                let ct = ct.mod_switch_to(a.level()).unwrap();
+                a.mul(&ct)
+                    .unwrap()
+                    .relinearize(&keys.relin)
+                    .unwrap()
+                    .mod_switch_down()
+                    .unwrap()
+            }
+        });
+    }
+    let measured = t0.elapsed().as_secs_f64();
+    // Scale by ring size (N log N) and chain length.
+    let scale = (32768.0 * 15.0) / (bench_params.n as f64 * (bench_params.n as f64).log2());
+    let level_scale = 10.0 / bench_params.levels as f64;
+    let extrapolated = measured * scale * level_scale;
+    println!(
+        "measured: {measured:.2} s for d={d} encrypt+multiply at N={}; \
+         extrapolated to paper scale: {extrapolated:.1} s",
+        bench_params.n
+    );
+    let paper = device_compute_paper();
+    println!(
+        "\npaper: ≈{:.0} min HE (unoptimized Python) + ≈{:.0} min ZKP ≈ 15 min total",
+        paper.he_seconds / 60.0,
+        paper.zkp_seconds / 60.0
+    );
+    println!(
+        "ours:  {extrapolated:.0} s HE (native Rust, {}x faster than the paper's Python) \
+         + 60 s ZKP model",
+        (paper.he_seconds / extrapolated.max(0.001)).round()
+    );
+}

@@ -1,0 +1,48 @@
+//! Figure 7 — average bandwidth required of each participant per query,
+//! forwarder vs non-forwarder, for k ∈ {2,3,4} and r ∈ {1,2,3}.
+
+use mycelium::costs::device_bandwidth;
+use mycelium::params::SystemParams;
+use mycelium_bench::mb;
+use mycelium_bgv::BgvParams;
+
+fn main() {
+    let mut params = SystemParams::paper();
+    params.bgv = BgvParams::paper_sized();
+    println!(
+        "=== Figure 7: per-participant bandwidth per query (C_q = 1, d = {}, f = {}) ===\n",
+        params.degree_bound, params.forwarder_fraction
+    );
+    println!(
+        "ciphertext size: {}",
+        mb(params.bgv.ciphertext_bytes() as f64)
+    );
+    println!(
+        "\n{:<4} {:<4} {:>16} {:>16} {:>16}",
+        "k", "r", "non-forwarder", "forwarder", "expected"
+    );
+    for k in [2usize, 3, 4] {
+        for r in [1usize, 2, 3] {
+            let b = device_bandwidth(&params, k, r, 1);
+            println!(
+                "{:<4} {:<4} {:>16} {:>16} {:>16}",
+                k,
+                r,
+                mb(b.non_forwarder),
+                mb(b.forwarder),
+                mb(b.expected)
+            );
+        }
+    }
+    let headline = device_bandwidth(&params, 3, 2, 1);
+    println!("\npaper (k=3, r=2): 1030 MB forwarder / 170 MB non-forwarder / ≈430 MB expected");
+    println!(
+        "ours  (k=3, r=2): {} forwarder / {} non-forwarder / {} expected",
+        mb(headline.forwarder),
+        mb(headline.non_forwarder),
+        mb(headline.expected)
+    );
+    println!("\ncomplex queries multiply by C_q (Figure 6): e.g. Q3 at k=3, r=2 →");
+    let q3 = device_bandwidth(&params, 3, 2, 14);
+    println!("  expected {} per device", mb(q3.expected));
+}

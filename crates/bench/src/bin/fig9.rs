@@ -1,0 +1,72 @@
+//! Figure 9 — aggregator costs: (a) per-device bandwidth for each (k, r);
+//! (b) cores needed to finish each query's ZKP verification + global
+//! aggregation within 10 hours, for 10⁶–10⁹ participants.
+//!
+//! The per-addition cost in (b) is *measured* on this machine with the
+//! paper-sized BGV parameters, then extrapolated — the same methodology as
+//! the paper (§6.1).
+
+use std::time::Instant;
+
+use mycelium::costs::{aggregator_bytes_per_device, aggregator_cores};
+use mycelium::params::SystemParams;
+use mycelium_bench::mb;
+use mycelium_bgv::encoding::encode_monomial;
+use mycelium_bgv::{BgvParams, Ciphertext, KeySet};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() {
+    let mut params = SystemParams::paper();
+    params.bgv = BgvParams::paper_sized();
+
+    println!("=== Figure 9(a): aggregator traffic per device ===\n");
+    println!("{:<4} {:<4} {:>16}", "k", "r", "bytes/device");
+    for k in [2usize, 3, 4] {
+        for r in [1usize, 2, 3] {
+            println!(
+                "{:<4} {:<4} {:>16}",
+                k,
+                r,
+                mb(aggregator_bytes_per_device(&params, k, r, 1))
+            );
+        }
+    }
+    println!(
+        "\npaper (k=3, r=2): ≈350 MB per device; ours: {}",
+        mb(aggregator_bytes_per_device(&params, 3, 2, 1))
+    );
+
+    // Measure one paper-scale homomorphic addition.
+    println!("\nmeasuring one paper-scale ciphertext addition ...");
+    let mut rng = StdRng::seed_from_u64(9);
+    let keys = KeySet::generate_with_relin_levels(&params.bgv, &[], &mut rng);
+    let pt = encode_monomial(1, params.bgv.n, params.bgv.plaintext_modulus).unwrap();
+    let a = Ciphertext::encrypt(&keys.public, &pt, &mut rng).unwrap();
+    let b = Ciphertext::encrypt(&keys.public, &pt, &mut rng).unwrap();
+    let t0 = Instant::now();
+    let iters = 20;
+    for _ in 0..iters {
+        let _ = a.add(&b).unwrap();
+    }
+    let add_seconds = t0.elapsed().as_secs_f64() / iters as f64;
+    println!("one addition: {:.1} ms", add_seconds * 1e3);
+
+    println!("\n=== Figure 9(b): aggregator cores for a 10-hour deadline ===\n");
+    println!(
+        "{:<14} {:>16} {:>16} {:>16}",
+        "participants", "ZKP verify", "aggregation", "total"
+    );
+    for n in [1_000_000u64, 10_000_000, 100_000_000, 1_000_000_000] {
+        let c = aggregator_cores(&params, n, 10.0 * 3600.0, add_seconds);
+        println!(
+            "{:<14} {:>16.1} {:>16.3} {:>16.1}",
+            format!("{:.0e}", n as f64),
+            c.zkp,
+            c.aggregation,
+            c.total()
+        );
+    }
+    println!("\npaper: cost dominated by ZKP verification (aggregation bars \"very small\"),");
+    println!("       ~1e5–1e6 cores at 1e9 participants ✔");
+}

@@ -1,0 +1,744 @@
+//! BGV plaintexts, ciphertexts, and homomorphic operations.
+//!
+//! A ciphertext is a vector of ring elements `(c_0, …, c_k)` at some level
+//! `l` of the modulus chain; it decrypts to `[[Σ c_i s^i]_{Q_l}]_t`. Fresh
+//! ciphertexts have degree 1 (two components); multiplication produces
+//! degree 2, which [`Ciphertext::relinearize`] reduces back using the
+//! key-switching keys. [`Ciphertext::mod_switch_down`] drops one chain
+//! prime, dividing the noise by `≈ q_l` — the leveled-BGV noise-management
+//! strategy.
+//!
+//! Mycelium defers relinearization to the aggregator (§5): devices multiply
+//! and forward degree-2 ciphertexts; the aggregator performs a one-time
+//! relinearization before the committee decrypts. Both flows are supported.
+
+use mycelium_math::rns::{Representation, RnsPoly};
+use mycelium_math::sample;
+use rand::Rng;
+
+use crate::keys::{PublicKey, RelinKey, SecretKey};
+use crate::params::BgvParams;
+
+/// Errors from homomorphic operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum BgvError {
+    /// Operands are at different levels of the modulus chain.
+    LevelMismatch { left: usize, right: usize },
+    /// Relinearization was requested at a level with no key material.
+    MissingRelinKey { level: usize },
+    /// Relinearization applies to degree-2 (3-component) ciphertexts only.
+    UnexpectedDegree { parts: usize },
+    /// The ciphertext is already at the bottom of the chain.
+    BottomOfChain,
+    /// A plaintext coefficient is outside `[0, t)`.
+    PlaintextOutOfRange { value: u64, modulus: u64 },
+    /// Plaintext has the wrong number of coefficients.
+    PlaintextLength { got: usize, want: usize },
+}
+
+impl std::fmt::Display for BgvError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            BgvError::LevelMismatch { left, right } => {
+                write!(f, "ciphertext level mismatch: {left} vs {right}")
+            }
+            BgvError::MissingRelinKey { level } => {
+                write!(f, "no relinearization key for level {level}")
+            }
+            BgvError::UnexpectedDegree { parts } => {
+                write!(f, "expected a 3-component ciphertext, got {parts}")
+            }
+            BgvError::BottomOfChain => write!(f, "cannot mod-switch below level 1"),
+            BgvError::PlaintextOutOfRange { value, modulus } => {
+                write!(
+                    f,
+                    "plaintext coefficient {value} out of range [0, {modulus})"
+                )
+            }
+            BgvError::PlaintextLength { got, want } => {
+                write!(f, "plaintext has {got} coefficients, ring degree is {want}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for BgvError {}
+
+/// A plaintext polynomial with coefficients in `[0, t)`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Plaintext {
+    coeffs: Vec<u64>,
+    modulus: u64,
+}
+
+impl Plaintext {
+    /// Creates a plaintext, validating the coefficient range.
+    pub fn new(coeffs: Vec<u64>, modulus: u64) -> Result<Self, BgvError> {
+        if let Some(&bad) = coeffs.iter().find(|&&c| c >= modulus) {
+            return Err(BgvError::PlaintextOutOfRange {
+                value: bad,
+                modulus,
+            });
+        }
+        Ok(Self { coeffs, modulus })
+    }
+
+    /// The all-zero plaintext of degree `n`.
+    pub fn zero(n: usize, modulus: u64) -> Self {
+        Self {
+            coeffs: vec![0; n],
+            modulus,
+        }
+    }
+
+    /// Coefficients.
+    pub fn coeffs(&self) -> &[u64] {
+        &self.coeffs
+    }
+
+    /// Plaintext modulus.
+    pub fn modulus(&self) -> u64 {
+        self.modulus
+    }
+
+    /// Centered (signed) lift of the coefficients, minimizing the embedded
+    /// message norm.
+    pub fn centered(&self) -> Vec<i64> {
+        self.coeffs
+            .iter()
+            .map(|&c| {
+                if c > self.modulus / 2 {
+                    c as i64 - self.modulus as i64
+                } else {
+                    c as i64
+                }
+            })
+            .collect()
+    }
+}
+
+/// A BGV ciphertext.
+#[derive(Debug, Clone)]
+pub struct Ciphertext {
+    /// Components in NTT representation, all at the same level.
+    parts: Vec<RnsPoly>,
+    /// Analytic `log2` bound on `|[Σ c_i s^i]_{Q_l}|_∞` (message + noise).
+    noise_log2: f64,
+    params: BgvParams,
+}
+
+impl Ciphertext {
+    /// Encrypts a plaintext under the public key.
+    pub fn encrypt<R: Rng + ?Sized>(
+        pk: &PublicKey,
+        pt: &Plaintext,
+        rng: &mut R,
+    ) -> Result<Self, BgvError> {
+        let ctx = pk.context();
+        let n = ctx.degree();
+        if pt.coeffs().len() != n {
+            return Err(BgvError::PlaintextLength {
+                got: pt.coeffs().len(),
+                want: n,
+            });
+        }
+        let level = ctx.max_level();
+        let t = pk.params.plaintext_modulus;
+        let mut u = sample::ternary_rns(ctx, level, rng);
+        u.to_ntt();
+        let mut e0 = sample::gaussian_rns(ctx, level, pk.params.sigma, rng);
+        e0.to_ntt();
+        let mut e1 = sample::gaussian_rns(ctx, level, pk.params.sigma, rng);
+        e1.to_ntt();
+        let mut m = RnsPoly::from_signed(ctx.clone(), level, &pt.centered());
+        m.to_ntt();
+        // c0 = b·u + t·e0 + m ; c1 = a·u + t·e1.
+        let c0 = pk.b.mul(&u).add(&e0.scalar_mul(t)).add(&m);
+        let c1 = pk.a.mul(&u).add(&e1.scalar_mul(t));
+        Ok(Self {
+            parts: vec![c0, c1],
+            noise_log2: pk.params.fresh_noise_log2(),
+            params: pk.params.clone(),
+        })
+    }
+
+    /// A "transparent" encryption of zero with no randomness — the neutral
+    /// element for homomorphic addition (used as the accumulator seed and as
+    /// the default value for dropped-out devices, §4.4).
+    pub fn zero(pk: &PublicKey) -> Self {
+        let ctx = pk.context();
+        let level = ctx.max_level();
+        Self {
+            parts: vec![
+                RnsPoly::zero(ctx.clone(), level, Representation::Ntt),
+                RnsPoly::zero(ctx.clone(), level, Representation::Ntt),
+            ],
+            noise_log2: 0.0,
+            params: pk.params.clone(),
+        }
+    }
+
+    /// Builds a ciphertext from raw components (used by the threshold
+    /// decryption layer and tests).
+    pub fn from_parts(parts: Vec<RnsPoly>, noise_log2: f64, params: BgvParams) -> Self {
+        assert!(!parts.is_empty(), "a ciphertext needs at least one part");
+        Self {
+            parts,
+            noise_log2,
+            params,
+        }
+    }
+
+    /// Ciphertext components (NTT representation).
+    pub fn parts(&self) -> &[RnsPoly] {
+        &self.parts
+    }
+
+    /// Current level.
+    pub fn level(&self) -> usize {
+        self.parts[0].level()
+    }
+
+    /// Number of components (degree + 1).
+    pub fn degree(&self) -> usize {
+        self.parts.len() - 1
+    }
+
+    /// Parameters.
+    pub fn params(&self) -> &BgvParams {
+        &self.params
+    }
+
+    /// The tracked `log2` noise bound.
+    pub fn noise_log2(&self) -> f64 {
+        self.noise_log2
+    }
+
+    /// Remaining noise budget in bits: `log2(Q_l) - 1 - noise`.
+    ///
+    /// Decryption is guaranteed correct while this is positive.
+    pub fn noise_budget_bits(&self) -> f64 {
+        self.params.prime_bits as f64 * self.level() as f64 - 1.0 - self.noise_log2
+    }
+
+    /// Homomorphic addition.
+    pub fn add(&self, other: &Self) -> Result<Self, BgvError> {
+        self.check_level(other)?;
+        let max_parts = self.parts.len().max(other.parts.len());
+        let ctx = self.parts[0].context().clone();
+        let level = self.level();
+        let zero = RnsPoly::zero(ctx, level, Representation::Ntt);
+        let parts = (0..max_parts)
+            .map(|i| {
+                let a = self.parts.get(i).unwrap_or(&zero);
+                let b = other.parts.get(i).unwrap_or(&zero);
+                a.add(b)
+            })
+            .collect();
+        Ok(Self {
+            parts,
+            noise_log2: log2_sum(self.noise_log2, other.noise_log2),
+            params: self.params.clone(),
+        })
+    }
+
+    /// Homomorphic subtraction.
+    pub fn sub(&self, other: &Self) -> Result<Self, BgvError> {
+        self.check_level(other)?;
+        let max_parts = self.parts.len().max(other.parts.len());
+        let ctx = self.parts[0].context().clone();
+        let level = self.level();
+        let zero = RnsPoly::zero(ctx, level, Representation::Ntt);
+        let parts = (0..max_parts)
+            .map(|i| {
+                let a = self.parts.get(i).unwrap_or(&zero);
+                let b = other.parts.get(i).unwrap_or(&zero);
+                a.sub(b)
+            })
+            .collect();
+        Ok(Self {
+            parts,
+            noise_log2: log2_sum(self.noise_log2, other.noise_log2),
+            params: self.params.clone(),
+        })
+    }
+
+    /// Homomorphic multiplication (tensor product). Both operands must be
+    /// degree-1; the result is degree-2 until relinearized.
+    pub fn mul(&self, other: &Self) -> Result<Self, BgvError> {
+        self.check_level(other)?;
+        if self.parts.len() != 2 || other.parts.len() != 2 {
+            return Err(BgvError::UnexpectedDegree {
+                parts: self.parts.len().max(other.parts.len()),
+            });
+        }
+        let c0 = self.parts[0].mul(&other.parts[0]);
+        let c1 = self.parts[0]
+            .mul(&other.parts[1])
+            .add(&self.parts[1].mul(&other.parts[0]));
+        let c2 = self.parts[1].mul(&other.parts[1]);
+        let noise = (self.params.n as f64).log2() + self.noise_log2 + other.noise_log2;
+        Ok(Self {
+            parts: vec![c0, c1, c2],
+            noise_log2: noise,
+            params: self.params.clone(),
+        })
+    }
+
+    /// Multiplies by the monomial `x^k` (a negacyclic rotation).
+    ///
+    /// This is noise-free: the infinity norm of `c(s)` is preserved. Used by
+    /// the GROUP BY window packing (§4.5) to shift a local result into its
+    /// group's coefficient window.
+    pub fn mul_monomial(&self, k: usize) -> Self {
+        let parts = self
+            .parts
+            .iter()
+            .map(|p| {
+                let mut c = p.coeff();
+                c = rotate_negacyclic(&c, k);
+                c.to_ntt();
+                c
+            })
+            .collect();
+        Self {
+            parts,
+            noise_log2: self.noise_log2,
+            params: self.params.clone(),
+        }
+    }
+
+    /// Multiplies by a plaintext polynomial.
+    ///
+    /// Noise grows by `log2(N · |pt|_∞ · |pt|_0)` in the worst case; we use
+    /// the standard `log2(N · |pt|_∞)` bound.
+    pub fn mul_plain(&self, pt: &Plaintext) -> Result<Self, BgvError> {
+        let ctx = self.parts[0].context();
+        if pt.coeffs().len() != ctx.degree() {
+            return Err(BgvError::PlaintextLength {
+                got: pt.coeffs().len(),
+                want: ctx.degree(),
+            });
+        }
+        let centered = pt.centered();
+        let mut m = RnsPoly::from_signed(ctx.clone(), self.level(), &centered);
+        m.to_ntt();
+        let parts = self.parts.iter().map(|p| p.mul(&m)).collect();
+        let max_c = centered.iter().map(|c| c.unsigned_abs()).max().unwrap_or(0);
+        let growth = ((self.params.n as f64) * (max_c.max(1) as f64)).log2();
+        Ok(Self {
+            parts,
+            noise_log2: self.noise_log2 + growth,
+            params: self.params.clone(),
+        })
+    }
+
+    /// Adds a plaintext to the ciphertext (no key material needed: the
+    /// centered lift is added to `c_0`).
+    pub fn add_plain(&self, pt: &Plaintext) -> Result<Self, BgvError> {
+        let ctx = self.parts[0].context();
+        if pt.coeffs().len() != ctx.degree() {
+            return Err(BgvError::PlaintextLength {
+                got: pt.coeffs().len(),
+                want: ctx.degree(),
+            });
+        }
+        let mut m = RnsPoly::from_signed(ctx.clone(), self.level(), &pt.centered());
+        m.to_ntt();
+        let mut parts = self.parts.clone();
+        parts[0] = parts[0].add(&m);
+        Ok(Self {
+            parts,
+            noise_log2: log2_sum(self.noise_log2, (pt.modulus() as f64 / 2.0).log2()),
+            params: self.params.clone(),
+        })
+    }
+
+    /// Subtracts a plaintext from the ciphertext.
+    pub fn sub_plain(&self, pt: &Plaintext) -> Result<Self, BgvError> {
+        let t = pt.modulus();
+        let negated: Vec<u64> = pt.coeffs().iter().map(|&c| (t - c) % t).collect();
+        self.add_plain(&Plaintext::new(negated, t).expect("negation stays in range"))
+    }
+
+    /// Relinearizes a degree-2 ciphertext back to degree 1 using the
+    /// key-switching keys for the current level.
+    pub fn relinearize(&self, rk: &RelinKey) -> Result<Self, BgvError> {
+        if self.parts.len() == 2 {
+            return Ok(self.clone());
+        }
+        if self.parts.len() != 3 {
+            return Err(BgvError::UnexpectedDegree {
+                parts: self.parts.len(),
+            });
+        }
+        let level = self.level();
+        let keys = rk
+            .at_level(level)
+            .ok_or(BgvError::MissingRelinKey { level })?;
+        let c2 = self.parts[2].coeff();
+        let digits = c2.rns_decompose();
+        debug_assert_eq!(digits.len(), keys.len());
+        let mut c0 = self.parts[0].clone();
+        let mut c1 = self.parts[1].clone();
+        for (d, (kb, ka)) in digits.iter().zip(keys) {
+            c0 = c0.add(&d.mul(kb));
+            c1 = c1.add(&d.mul(ka));
+        }
+        // Key-switching noise: t · Σ_j |d_j·e_j| ≤ t · L · (q/2) · 6σ · N.
+        let p = &self.params;
+        let ks_noise = (p.plaintext_modulus as f64).log2()
+            + p.prime_bits as f64
+            + (level as f64).log2().max(0.0)
+            + (6.0 * p.sigma * p.n as f64).log2();
+        Ok(Self {
+            parts: vec![c0, c1],
+            noise_log2: log2_sum(self.noise_log2, ks_noise),
+            params: self.params.clone(),
+        })
+    }
+
+    /// Drops the last chain prime (BGV modulus switching), dividing the
+    /// noise by `≈ q_l`.
+    pub fn mod_switch_down(&self) -> Result<Self, BgvError> {
+        if self.level() <= 1 {
+            return Err(BgvError::BottomOfChain);
+        }
+        let t = self.params.plaintext_modulus;
+        let parts: Vec<RnsPoly> = self
+            .parts
+            .iter()
+            .map(|p| {
+                let mut c = p.coeff();
+                c = c.mod_switch_down(t);
+                c.to_ntt();
+                c
+            })
+            .collect();
+        // New noise: old/q_l plus the rounding term ≈ t·(1+N)/2 per part.
+        let p = &self.params;
+        let switched = self.noise_log2 - p.prime_bits as f64;
+        let rounding = (t as f64 * (1.0 + p.n as f64) / 2.0 * self.parts.len() as f64).log2();
+        Ok(Self {
+            parts,
+            noise_log2: log2_sum(switched, rounding),
+            params: self.params.clone(),
+        })
+    }
+
+    /// Mod-switches down to the target level.
+    pub fn mod_switch_to(&self, target: usize) -> Result<Self, BgvError> {
+        if target < 1 || target > self.level() {
+            return Err(BgvError::BottomOfChain);
+        }
+        let mut ct = self.clone();
+        while ct.level() > target {
+            ct = ct.mod_switch_down()?;
+        }
+        Ok(ct)
+    }
+
+    /// Decrypts with the secret key.
+    pub fn decrypt(&self, sk: &SecretKey) -> Plaintext {
+        let phase = self.phase(sk);
+        let t = self.params.plaintext_modulus;
+        Plaintext {
+            coeffs: phase.crt_centered_mod(t),
+            modulus: t,
+        }
+    }
+
+    /// Measures the exact noise (`log2 |c(s) - m|_∞`) using the secret key.
+    ///
+    /// Returns `(plaintext, noise_log2, budget_bits)`. Unlike the tracked
+    /// analytic bound, this is the ground truth used by the noise-budget
+    /// tests and the §6.2 generality experiment.
+    pub fn decrypt_with_noise(&self, sk: &SecretKey) -> (Plaintext, f64, f64) {
+        let phase = self.phase(sk);
+        let t = self.params.plaintext_modulus;
+        let coeffs = phase.crt_centered_mod(t);
+        let norm = phase.inf_norm_big();
+        let noise = norm.log2();
+        let budget = self.parts[0].context().log_q(self.level()) - 1.0 - noise;
+        (Plaintext { coeffs, modulus: t }, noise, budget)
+    }
+
+    /// Computes the decryption phase `[Σ c_i s^i]_{Q_l}` in coefficient
+    /// representation.
+    pub fn phase(&self, sk: &SecretKey) -> RnsPoly {
+        let s = sk.s_at_level(self.level());
+        let mut acc = self.parts[0].clone();
+        let mut s_pow = s.clone();
+        for part in &self.parts[1..] {
+            acc = acc.add(&part.mul(&s_pow));
+            s_pow = s_pow.mul(&s);
+        }
+        acc.coeff()
+    }
+
+    fn check_level(&self, other: &Self) -> Result<(), BgvError> {
+        if self.level() != other.level() {
+            return Err(BgvError::LevelMismatch {
+                left: self.level(),
+                right: other.level(),
+            });
+        }
+        Ok(())
+    }
+}
+
+/// `log2(2^a + 2^b)` without overflow.
+fn log2_sum(a: f64, b: f64) -> f64 {
+    let (hi, lo) = if a >= b { (a, b) } else { (b, a) };
+    hi + (1.0 + 2f64.powf(lo - hi)).log2()
+}
+
+/// Negacyclic rotation: multiplies a coefficient-domain polynomial by `x^k`.
+fn rotate_negacyclic(p: &RnsPoly, k: usize) -> RnsPoly {
+    let ctx = p.context().clone();
+    let n = ctx.degree();
+    let k = k % (2 * n);
+    let residues: Vec<Vec<u64>> = p
+        .residues()
+        .iter()
+        .enumerate()
+        .map(|(i, r)| {
+            let m = ctx.moduli()[i];
+            let mut out = vec![0u64; n];
+            for (j, &c) in r.iter().enumerate() {
+                let pos = j + k;
+                let (idx, negate) = if pos < n {
+                    (pos, false)
+                } else if pos < 2 * n {
+                    (pos - n, true)
+                } else {
+                    (pos - 2 * n, false)
+                };
+                out[idx] = if negate { m.neg(c) } else { c };
+            }
+            out
+        })
+        .collect();
+    RnsPoly::from_residues(ctx, Representation::Coefficient, residues)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::keys::KeySet;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn setup() -> (BgvParams, KeySet, StdRng) {
+        let params = BgvParams::test_small();
+        let mut rng = StdRng::seed_from_u64(7);
+        let ks = KeySet::generate(&params, &mut rng);
+        (params, ks, rng)
+    }
+
+    fn monomial(n: usize, t: u64, a: usize) -> Plaintext {
+        let mut c = vec![0u64; n];
+        c[a] = 1;
+        Plaintext::new(c, t).unwrap()
+    }
+
+    #[test]
+    fn encrypt_decrypt_roundtrip() {
+        let (params, ks, mut rng) = setup();
+        let coeffs: Vec<u64> = (0..params.n as u64)
+            .map(|i| i % params.plaintext_modulus)
+            .collect();
+        let pt = Plaintext::new(coeffs.clone(), params.plaintext_modulus).unwrap();
+        let ct = Ciphertext::encrypt(&ks.public, &pt, &mut rng).unwrap();
+        assert_eq!(ct.decrypt(&ks.secret).coeffs(), coeffs.as_slice());
+        let (_, noise, budget) = ct.decrypt_with_noise(&ks.secret);
+        assert!(budget > 100.0, "fresh budget {budget}");
+        assert!(
+            noise <= ct.noise_log2() + 1.0,
+            "tracked bound must dominate"
+        );
+    }
+
+    #[test]
+    fn homomorphic_addition() {
+        let (params, ks, mut rng) = setup();
+        let t = params.plaintext_modulus;
+        let a = monomial(params.n, t, 3);
+        let b = monomial(params.n, t, 3);
+        let ca = Ciphertext::encrypt(&ks.public, &a, &mut rng).unwrap();
+        let cb = Ciphertext::encrypt(&ks.public, &b, &mut rng).unwrap();
+        let sum = ca.add(&cb).unwrap().decrypt(&ks.secret);
+        // x^3 + x^3 = 2x^3: histogram bin 3 has count 2.
+        assert_eq!(sum.coeffs()[3], 2);
+        assert!(sum
+            .coeffs()
+            .iter()
+            .enumerate()
+            .all(|(i, &c)| i == 3 || c == 0));
+    }
+
+    #[test]
+    fn homomorphic_multiplication_adds_exponents() {
+        let (params, ks, mut rng) = setup();
+        let t = params.plaintext_modulus;
+        let ca = Ciphertext::encrypt(&ks.public, &monomial(params.n, t, 5), &mut rng).unwrap();
+        let cb = Ciphertext::encrypt(&ks.public, &monomial(params.n, t, 7), &mut rng).unwrap();
+        let prod = ca.mul(&cb).unwrap();
+        assert_eq!(prod.degree(), 2);
+        // Decryption works on degree-2 ciphertexts directly.
+        let pt = prod.decrypt(&ks.secret);
+        assert_eq!(pt.coeffs()[12], 1, "x^5 · x^7 = x^12");
+        assert_eq!(pt.coeffs().iter().sum::<u64>(), 1);
+    }
+
+    #[test]
+    fn relinearization_preserves_plaintext() {
+        let (params, ks, mut rng) = setup();
+        let t = params.plaintext_modulus;
+        let ca = Ciphertext::encrypt(&ks.public, &monomial(params.n, t, 2), &mut rng).unwrap();
+        let cb = Ciphertext::encrypt(&ks.public, &monomial(params.n, t, 4), &mut rng).unwrap();
+        let prod = ca.mul(&cb).unwrap().relinearize(&ks.relin).unwrap();
+        assert_eq!(prod.degree(), 1);
+        let pt = prod.decrypt(&ks.secret);
+        assert_eq!(pt.coeffs()[6], 1);
+        let (_, _, budget) = prod.decrypt_with_noise(&ks.secret);
+        assert!(budget > 0.0, "budget after relin {budget}");
+    }
+
+    #[test]
+    fn mod_switch_preserves_plaintext_and_cuts_noise() {
+        let (params, ks, mut rng) = setup();
+        let t = params.plaintext_modulus;
+        let ca = Ciphertext::encrypt(&ks.public, &monomial(params.n, t, 2), &mut rng).unwrap();
+        let cb = Ciphertext::encrypt(&ks.public, &monomial(params.n, t, 4), &mut rng).unwrap();
+        let prod = ca.mul(&cb).unwrap().relinearize(&ks.relin).unwrap();
+        let (_, noise_before, _) = prod.decrypt_with_noise(&ks.secret);
+        let switched = prod.mod_switch_down().unwrap();
+        assert_eq!(switched.level(), params.levels - 1);
+        let (pt, noise_after, _) = switched.decrypt_with_noise(&ks.secret);
+        assert_eq!(pt.coeffs()[6], 1);
+        assert!(
+            noise_after < noise_before - 20.0,
+            "noise {noise_before} -> {noise_after}"
+        );
+    }
+
+    #[test]
+    fn multiplication_chain_with_leveling() {
+        // The core Mycelium operation: multiply d monomial ciphertexts
+        // sequentially (one per neighbor), switching after each.
+        let (params, ks, mut rng) = setup();
+        let t = params.plaintext_modulus;
+        let d = 4;
+        let mut acc = Ciphertext::encrypt(&ks.public, &monomial(params.n, t, 1), &mut rng).unwrap();
+        for _ in 0..d {
+            let fresh =
+                Ciphertext::encrypt(&ks.public, &monomial(params.n, t, 1), &mut rng).unwrap();
+            let fresh = fresh.mod_switch_to(acc.level()).unwrap();
+            acc = acc
+                .mul(&fresh)
+                .unwrap()
+                .relinearize(&ks.relin)
+                .unwrap()
+                .mod_switch_down()
+                .unwrap();
+        }
+        let (pt, _, budget) = acc.decrypt_with_noise(&ks.secret);
+        assert!(budget > 0.0, "budget {budget}");
+        assert_eq!(pt.coeffs()[1 + d], 1, "x^1 · x^4 more = x^5");
+    }
+
+    #[test]
+    fn histogram_aggregation() {
+        // Sum of monomial encryptions = encrypted histogram (§4.1).
+        let (params, ks, mut rng) = setup();
+        let t = params.plaintext_modulus;
+        let values = [0usize, 1, 1, 2, 2, 2, 5];
+        let mut acc = Ciphertext::zero(&ks.public);
+        for &v in &values {
+            let ct = Ciphertext::encrypt(&ks.public, &monomial(params.n, t, v), &mut rng).unwrap();
+            acc = acc.add(&ct).unwrap();
+        }
+        let hist = acc.decrypt(&ks.secret);
+        assert_eq!(hist.coeffs()[0], 1);
+        assert_eq!(hist.coeffs()[1], 2);
+        assert_eq!(hist.coeffs()[2], 3);
+        assert_eq!(hist.coeffs()[5], 1);
+        assert_eq!(hist.coeffs()[3], 0);
+    }
+
+    #[test]
+    fn monomial_multiplication_is_noise_free() {
+        let (params, ks, mut rng) = setup();
+        let t = params.plaintext_modulus;
+        let ct = Ciphertext::encrypt(&ks.public, &monomial(params.n, t, 3), &mut rng).unwrap();
+        let (_, noise_before, _) = ct.decrypt_with_noise(&ks.secret);
+        let shifted = ct.mul_monomial(10);
+        let (pt, noise_after, _) = shifted.decrypt_with_noise(&ks.secret);
+        assert_eq!(pt.coeffs()[13], 1);
+        assert!((noise_after - noise_before).abs() < 1.0);
+        // Wrapping past N negates: x^{N-1} · x^2 = -x^1 = (t-1)·x^1 mod t.
+        let top = Ciphertext::encrypt(&ks.public, &monomial(params.n, t, params.n - 1), &mut rng)
+            .unwrap();
+        let wrapped = top.mul_monomial(2).decrypt(&ks.secret);
+        assert_eq!(wrapped.coeffs()[1], t - 1);
+    }
+
+    #[test]
+    fn mul_plain_scales() {
+        let (params, ks, mut rng) = setup();
+        let t = params.plaintext_modulus;
+        let ct = Ciphertext::encrypt(&ks.public, &monomial(params.n, t, 2), &mut rng).unwrap();
+        let mut scale = vec![0u64; params.n];
+        scale[0] = 3;
+        let scaled = ct
+            .mul_plain(&Plaintext::new(scale, t).unwrap())
+            .unwrap()
+            .decrypt(&ks.secret);
+        assert_eq!(scaled.coeffs()[2], 3);
+    }
+
+    #[test]
+    fn level_mismatch_rejected() {
+        let (_, ks, mut rng) = setup();
+        let t = ks.public.params.plaintext_modulus;
+        let n = ks.public.params.n;
+        let a = Ciphertext::encrypt(&ks.public, &monomial(n, t, 0), &mut rng).unwrap();
+        let b = a.mod_switch_down().unwrap();
+        assert!(matches!(a.add(&b), Err(BgvError::LevelMismatch { .. })));
+    }
+
+    #[test]
+    fn plaintext_validation() {
+        assert!(Plaintext::new(vec![5], 4).is_err());
+        assert!(Plaintext::new(vec![3], 4).is_ok());
+    }
+
+    #[test]
+    fn noise_estimate_dominates_reality() {
+        // The analytic tracker must always upper-bound the measured noise.
+        let (params, ks, mut rng) = setup();
+        let t = params.plaintext_modulus;
+        let a = Ciphertext::encrypt(&ks.public, &monomial(params.n, t, 1), &mut rng).unwrap();
+        let b = Ciphertext::encrypt(&ks.public, &monomial(params.n, t, 2), &mut rng).unwrap();
+        let steps: Vec<Ciphertext> = vec![
+            a.add(&b).unwrap(),
+            a.mul(&b).unwrap(),
+            a.mul(&b).unwrap().relinearize(&ks.relin).unwrap(),
+            a.mul(&b)
+                .unwrap()
+                .relinearize(&ks.relin)
+                .unwrap()
+                .mod_switch_down()
+                .unwrap(),
+        ];
+        for (i, ct) in steps.iter().enumerate() {
+            let (_, measured, _) = ct.decrypt_with_noise(&ks.secret);
+            assert!(
+                measured <= ct.noise_log2() + 1.0,
+                "step {i}: measured {measured} > tracked {}",
+                ct.noise_log2()
+            );
+        }
+    }
+}

@@ -1,0 +1,140 @@
+//! Analytic noise planning for query feasibility (§6.2).
+//!
+//! The query planner must decide *before* running a query whether the HE
+//! scheme can execute its multiplication chain — this is exactly the check
+//! that makes Q1 (a 2-hop query with `d² = 100` multiplications) infeasible
+//! in the paper while every other query runs. The model mirrors the noise
+//! bookkeeping in [`crate::ciphertext`] and is validated against measured
+//! noise in the tests there.
+
+use crate::params::BgvParams;
+
+/// Outcome of planning a multiplication chain.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ChainPlan {
+    /// Number of sequential multiplications requested.
+    pub muls: usize,
+    /// Whether the chain fits the noise budget.
+    pub feasible: bool,
+    /// Predicted noise (log2) at the end of the chain.
+    pub final_noise_log2: f64,
+    /// Predicted remaining budget in bits (negative if infeasible).
+    pub final_budget_bits: f64,
+    /// Level the chain ends at.
+    pub final_level: usize,
+}
+
+/// Plans a sequential chain of `muls` ciphertext multiplications with
+/// relinearize + mod-switch after each (the §4.4 local-aggregation shape:
+/// one multiplication per neighbor contribution).
+pub fn plan_chain(params: &BgvParams, muls: usize) -> ChainPlan {
+    let mut noise = params.fresh_noise_log2();
+    let mut level = params.levels;
+    let log_n = (params.n as f64).log2();
+    let t_log = (params.plaintext_modulus as f64).log2();
+    let mut feasible = true;
+    for _ in 0..muls {
+        // Multiply with a fresh ciphertext brought down to this level.
+        noise = log_n + noise + params.fresh_noise_log2();
+        // Relinearization adds its key-switching term.
+        let ks = t_log + params.prime_bits as f64 + (level as f64).log2() + log_n + 4.5;
+        noise = log2_sum(noise, ks);
+        // Check budget at this level before switching.
+        if noise + 1.0 >= params.prime_bits as f64 * level as f64 {
+            feasible = false;
+            break;
+        }
+        // Modulus switch (if a level remains).
+        if level > 1 {
+            level -= 1;
+            noise = log2_sum(noise - params.prime_bits as f64, t_log + log_n);
+        } else {
+            // No levels left: subsequent multiplications pile up raw noise.
+        }
+    }
+    let budget = params.prime_bits as f64 * level as f64 - 1.0 - noise;
+    ChainPlan {
+        muls,
+        feasible: feasible && budget > 0.0,
+        final_noise_log2: noise,
+        final_budget_bits: budget,
+        final_level: level,
+    }
+}
+
+/// Number of homomorphic multiplications a `k`-hop query with degree bound
+/// `d` performs along one root-to-leaf aggregation path (the paper counts
+/// `d^k`: Q1 with `d = 10`, `k = 2` needs 100).
+pub fn query_mul_count(degree_bound: usize, hops: usize) -> usize {
+    degree_bound.pow(hops as u32)
+}
+
+/// Whether a `k`-hop query with degree bound `d` is feasible under the
+/// given parameters (the §6.2 generality check).
+pub fn query_feasible(params: &BgvParams, degree_bound: usize, hops: usize) -> bool {
+    plan_chain(params, query_mul_count(degree_bound, hops)).feasible
+}
+
+fn log2_sum(a: f64, b: f64) -> f64 {
+    let (hi, lo) = if a >= b { (a, b) } else { (b, a) };
+    hi + (1.0 + 2f64.powf(lo - hi)).log2()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_muls_is_fresh() {
+        let p = BgvParams::test_small();
+        let plan = plan_chain(&p, 0);
+        assert!(plan.feasible);
+        assert_eq!(plan.final_level, p.levels);
+        assert!((plan.final_noise_log2 - p.fresh_noise_log2()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn budget_decreases_with_depth() {
+        let p = BgvParams::test_medium();
+        let mut last = f64::INFINITY;
+        for muls in 0..6 {
+            let plan = plan_chain(&p, muls);
+            assert!(plan.final_budget_bits < last);
+            last = plan.final_budget_bits;
+        }
+    }
+
+    #[test]
+    fn paper_generality_result() {
+        // §6.2: every 1-hop query (≤ d = 10 multiplications) runs; the
+        // 2-hop Q1 (100 multiplications) exceeds the noise budget.
+        let p = BgvParams::paper();
+        assert!(query_feasible(&p, 10, 1), "1-hop queries must be feasible");
+        assert!(!query_feasible(&p, 10, 2), "Q1 must be infeasible");
+    }
+
+    #[test]
+    fn mul_counts() {
+        assert_eq!(query_mul_count(10, 1), 10);
+        assert_eq!(query_mul_count(10, 2), 100);
+        assert_eq!(query_mul_count(3, 3), 27);
+    }
+
+    #[test]
+    fn infeasible_chain_reports_negative_budget() {
+        let p = BgvParams::test_small();
+        let plan = plan_chain(&p, 100);
+        assert!(!plan.feasible);
+        assert!(plan.final_budget_bits < 0.0);
+    }
+
+    #[test]
+    fn deeper_chains_need_more_levels() {
+        let mut p = BgvParams::test_medium();
+        let shallow = plan_chain(&p, 3);
+        assert!(shallow.feasible);
+        p.levels = 3;
+        let constrained = plan_chain(&p, 3);
+        assert!(!constrained.feasible || constrained.final_budget_bits < shallow.final_budget_bits);
+    }
+}

@@ -1,0 +1,185 @@
+//! ChaCha20-Poly1305 AEAD (RFC 8439) with implicit nonces.
+//!
+//! This is the paper's `AE` primitive. Mycelium deliberately does **not**
+//! transmit nonces (§3.5 cites the "nonces are noticed" privacy pitfall);
+//! instead, the monotonically increasing C-round number serves as the nonce,
+//! which both endpoints know out of band.
+
+use crate::chacha20::{chacha20_block, chacha20_xor, round_nonce, KEY_LEN, NONCE_LEN};
+use crate::poly1305::{poly1305, tags_equal, TAG_LEN};
+
+/// Authenticated-encryption failure.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AeadError {
+    /// The ciphertext is shorter than a tag.
+    TooShort,
+    /// The Poly1305 tag did not verify (tampering, wrong key, or a dummy).
+    TagMismatch,
+}
+
+impl std::fmt::Display for AeadError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            AeadError::TooShort => write!(f, "ciphertext shorter than an authentication tag"),
+            AeadError::TagMismatch => write!(f, "authentication tag mismatch"),
+        }
+    }
+}
+
+impl std::error::Error for AeadError {}
+
+fn poly_key(key: &[u8; KEY_LEN], nonce: &[u8; NONCE_LEN]) -> [u8; 32] {
+    let block = chacha20_block(key, 0, nonce);
+    let mut pk = [0u8; 32];
+    pk.copy_from_slice(&block[..32]);
+    pk
+}
+
+fn mac_data(aad: &[u8], ciphertext: &[u8]) -> Vec<u8> {
+    // RFC 8439 §2.8: aad || pad16 || ct || pad16 || len(aad) || len(ct).
+    let mut data = Vec::with_capacity(aad.len() + ciphertext.len() + 32);
+    data.extend_from_slice(aad);
+    data.extend_from_slice(&[0u8; 16][..(16 - aad.len() % 16) % 16]);
+    data.extend_from_slice(ciphertext);
+    data.extend_from_slice(&[0u8; 16][..(16 - ciphertext.len() % 16) % 16]);
+    data.extend_from_slice(&(aad.len() as u64).to_le_bytes());
+    data.extend_from_slice(&(ciphertext.len() as u64).to_le_bytes());
+    data
+}
+
+/// Encrypts and authenticates `plaintext` under `key` with the implicit
+/// round-number nonce. The output is `ciphertext || tag` (no nonce).
+pub fn seal_with_aad(key: &[u8; KEY_LEN], round: u64, aad: &[u8], plaintext: &[u8]) -> Vec<u8> {
+    let nonce = round_nonce(round);
+    let mut ct = plaintext.to_vec();
+    chacha20_xor(key, 1, &nonce, &mut ct);
+    let tag = poly1305(&poly_key(key, &nonce), &mac_data(aad, &ct));
+    ct.extend_from_slice(&tag);
+    ct
+}
+
+/// Decrypts and verifies a `ciphertext || tag` produced by
+/// [`seal_with_aad`].
+pub fn open_with_aad(
+    key: &[u8; KEY_LEN],
+    round: u64,
+    aad: &[u8],
+    sealed: &[u8],
+) -> Result<Vec<u8>, AeadError> {
+    if sealed.len() < TAG_LEN {
+        return Err(AeadError::TooShort);
+    }
+    let nonce = round_nonce(round);
+    let (ct, tag_bytes) = sealed.split_at(sealed.len() - TAG_LEN);
+    let expect = poly1305(&poly_key(key, &nonce), &mac_data(aad, ct));
+    let tag: [u8; TAG_LEN] = tag_bytes.try_into().expect("split length checked");
+    if !tags_equal(&expect, &tag) {
+        return Err(AeadError::TagMismatch);
+    }
+    let mut pt = ct.to_vec();
+    chacha20_xor(key, 1, &nonce, &mut pt);
+    Ok(pt)
+}
+
+/// [`seal_with_aad`] with empty associated data.
+pub fn seal(key: &[u8; KEY_LEN], round: u64, plaintext: &[u8]) -> Vec<u8> {
+    seal_with_aad(key, round, &[], plaintext)
+}
+
+/// [`open_with_aad`] with empty associated data.
+pub fn open(key: &[u8; KEY_LEN], round: u64, sealed: &[u8]) -> Result<Vec<u8>, AeadError> {
+    open_with_aad(key, round, &[], sealed)
+}
+
+/// Ciphertext expansion of the AEAD (tag only; the nonce is implicit).
+pub const OVERHEAD: usize = TAG_LEN;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip() {
+        let key = [5u8; 32];
+        let msg = b"are you ill?";
+        let sealed = seal(&key, 7, msg);
+        assert_eq!(sealed.len(), msg.len() + OVERHEAD);
+        assert_eq!(open(&key, 7, &sealed).unwrap(), msg);
+    }
+
+    #[test]
+    fn wrong_round_fails() {
+        let key = [5u8; 32];
+        let sealed = seal(&key, 7, b"hi");
+        assert_eq!(open(&key, 8, &sealed), Err(AeadError::TagMismatch));
+    }
+
+    #[test]
+    fn wrong_key_fails() {
+        let sealed = seal(&[1u8; 32], 7, b"hi");
+        assert_eq!(open(&[2u8; 32], 7, &sealed), Err(AeadError::TagMismatch));
+    }
+
+    #[test]
+    fn tampering_detected() {
+        let key = [5u8; 32];
+        let mut sealed = seal(&key, 7, b"important message");
+        sealed[3] ^= 0x01;
+        assert_eq!(open(&key, 7, &sealed), Err(AeadError::TagMismatch));
+    }
+
+    #[test]
+    fn aad_is_authenticated() {
+        let key = [5u8; 32];
+        let sealed = seal_with_aad(&key, 7, b"path-id-1", b"payload");
+        assert_eq!(
+            open_with_aad(&key, 7, b"path-id-1", &sealed).unwrap(),
+            b"payload"
+        );
+        assert_eq!(
+            open_with_aad(&key, 7, b"path-id-2", &sealed),
+            Err(AeadError::TagMismatch)
+        );
+    }
+
+    #[test]
+    fn too_short_ciphertext() {
+        let key = [5u8; 32];
+        assert_eq!(open(&key, 0, &[0u8; 15]), Err(AeadError::TooShort));
+    }
+
+    #[test]
+    fn rfc8439_aead_vector() {
+        // RFC 8439 §2.8.2 — adapted: the RFC nonce has a constant part, so
+        // we verify against the raw primitive composition instead of the
+        // round-based wrapper.
+        let key: [u8; 32] = (0x80u8..0xa0).collect::<Vec<_>>().try_into().unwrap();
+        let nonce: [u8; 12] = [
+            0x07, 0, 0, 0, 0x40, 0x41, 0x42, 0x43, 0x44, 0x45, 0x46, 0x47,
+        ];
+        let aad: [u8; 12] = [
+            0x50, 0x51, 0x52, 0x53, 0xc0, 0xc1, 0xc2, 0xc3, 0xc4, 0xc5, 0xc6, 0xc7,
+        ];
+        let plaintext = b"Ladies and Gentlemen of the class of '99: If I could offer you only one tip for the future, sunscreen would be it.";
+        let mut ct = plaintext.to_vec();
+        chacha20_xor(&key, 1, &nonce, &mut ct);
+        assert_eq!(&ct[..8], &[0xd3, 0x1a, 0x8d, 0x34, 0x64, 0x8e, 0x60, 0xdb]);
+        let tag = poly1305(&poly_key(&key, &nonce), &mac_data(&aad, &ct));
+        let expect_tag: [u8; 16] = [
+            0x1a, 0xe1, 0x0b, 0x59, 0x4f, 0x09, 0xe2, 0x6a, 0x7e, 0x90, 0x2e, 0xcb, 0xd0, 0x60,
+            0x06, 0x91,
+        ];
+        assert_eq!(tag, expect_tag);
+    }
+
+    #[test]
+    fn dummy_is_indistinguishable_in_length() {
+        // A forwarder masking a dropped message uses random bytes of the
+        // same length; AE layers reject them, SEnc layers pass them through.
+        let key = [5u8; 32];
+        let sealed = seal(&key, 3, &[0u8; 100]);
+        let dummy = vec![0xAAu8; sealed.len()];
+        assert_eq!(dummy.len(), sealed.len());
+        assert!(open(&key, 3, &dummy).is_err());
+    }
+}

@@ -1,0 +1,174 @@
+//! ChaCha20 stream cipher (RFC 8439).
+//!
+//! In Mycelium this plays the role of `SEnc`: the symmetric cipher used for
+//! the *middle* onion layers. Those layers deliberately carry **no MAC** —
+//! a forwarding device that must mask a dropped message substitutes a random
+//! string, and because ChaCha20 keystream output is indistinguishable from
+//! random, the next hop cannot tell the dummy from a genuine layer (§3.5).
+
+/// Key size in bytes.
+pub const KEY_LEN: usize = 32;
+/// Nonce size in bytes.
+pub const NONCE_LEN: usize = 12;
+
+/// The ChaCha20 quarter round.
+#[inline]
+fn quarter_round(state: &mut [u32; 16], a: usize, b: usize, c: usize, d: usize) {
+    state[a] = state[a].wrapping_add(state[b]);
+    state[d] = (state[d] ^ state[a]).rotate_left(16);
+    state[c] = state[c].wrapping_add(state[d]);
+    state[b] = (state[b] ^ state[c]).rotate_left(12);
+    state[a] = state[a].wrapping_add(state[b]);
+    state[d] = (state[d] ^ state[a]).rotate_left(8);
+    state[c] = state[c].wrapping_add(state[d]);
+    state[b] = (state[b] ^ state[c]).rotate_left(7);
+}
+
+/// Computes one 64-byte ChaCha20 block.
+pub fn chacha20_block(key: &[u8; KEY_LEN], counter: u32, nonce: &[u8; NONCE_LEN]) -> [u8; 64] {
+    let mut state = [0u32; 16];
+    state[0] = 0x61707865;
+    state[1] = 0x3320646e;
+    state[2] = 0x79622d32;
+    state[3] = 0x6b206574;
+    for i in 0..8 {
+        state[4 + i] =
+            u32::from_le_bytes([key[4 * i], key[4 * i + 1], key[4 * i + 2], key[4 * i + 3]]);
+    }
+    state[12] = counter;
+    for i in 0..3 {
+        state[13 + i] = u32::from_le_bytes([
+            nonce[4 * i],
+            nonce[4 * i + 1],
+            nonce[4 * i + 2],
+            nonce[4 * i + 3],
+        ]);
+    }
+    let mut working = state;
+    for _ in 0..10 {
+        quarter_round(&mut working, 0, 4, 8, 12);
+        quarter_round(&mut working, 1, 5, 9, 13);
+        quarter_round(&mut working, 2, 6, 10, 14);
+        quarter_round(&mut working, 3, 7, 11, 15);
+        quarter_round(&mut working, 0, 5, 10, 15);
+        quarter_round(&mut working, 1, 6, 11, 12);
+        quarter_round(&mut working, 2, 7, 8, 13);
+        quarter_round(&mut working, 3, 4, 9, 14);
+    }
+    let mut out = [0u8; 64];
+    for i in 0..16 {
+        let word = working[i].wrapping_add(state[i]);
+        out[4 * i..4 * i + 4].copy_from_slice(&word.to_le_bytes());
+    }
+    out
+}
+
+/// Encrypts or decrypts `data` in place (XOR with the keystream starting at
+/// block `counter`). Encryption and decryption are the same operation.
+pub fn chacha20_xor(key: &[u8; KEY_LEN], counter: u32, nonce: &[u8; NONCE_LEN], data: &mut [u8]) {
+    let mut ctr = counter;
+    for chunk in data.chunks_mut(64) {
+        let ks = chacha20_block(key, ctr, nonce);
+        for (b, k) in chunk.iter_mut().zip(ks.iter()) {
+            *b ^= k;
+        }
+        ctr = ctr.wrapping_add(1);
+    }
+}
+
+/// `SEnc`: length-preserving, MAC-less symmetric encryption with an implicit
+/// nonce derived from a round number.
+///
+/// The round number is used as the nonce and is *not* included in the
+/// ciphertext (the paper avoids transmitting nonces, citing the
+/// nonces-are-noticed pitfall). Both sides must agree on the round.
+pub fn senc(key: &[u8; KEY_LEN], round: u64, plaintext: &[u8]) -> Vec<u8> {
+    let mut out = plaintext.to_vec();
+    chacha20_xor(key, 1, &round_nonce(round), &mut out);
+    out
+}
+
+/// Inverse of [`senc`]. Always "succeeds" — there is deliberately no
+/// integrity check (a wrong key or a dummy yields random-looking bytes).
+pub fn sdec(key: &[u8; KEY_LEN], round: u64, ciphertext: &[u8]) -> Vec<u8> {
+    senc(key, round, ciphertext)
+}
+
+/// Derives the implicit 12-byte nonce from a round number.
+pub fn round_nonce(round: u64) -> [u8; NONCE_LEN] {
+    let mut nonce = [0u8; NONCE_LEN];
+    nonce[4..].copy_from_slice(&round.to_le_bytes());
+    nonce
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rfc8439_block_vector() {
+        // RFC 8439 §2.3.2.
+        let key: [u8; 32] = (0u8..32).collect::<Vec<_>>().try_into().unwrap();
+        let nonce = [0u8, 0, 0, 9, 0, 0, 0, 0x4a, 0, 0, 0, 0];
+        let block = chacha20_block(&key, 1, &nonce);
+        let expect_start = [0x10, 0xf1, 0xe7, 0xe4, 0xd1, 0x3b, 0x59, 0x15];
+        assert_eq!(&block[..8], &expect_start);
+        // Bytes 48..56 of the 64-byte keystream block.
+        assert_eq!(
+            &block[48..56],
+            &[0xb5, 0x12, 0x9c, 0xd1, 0xde, 0x16, 0x4e, 0xb9]
+        );
+    }
+
+    #[test]
+    fn rfc8439_encryption_vector() {
+        // RFC 8439 §2.4.2.
+        let key: [u8; 32] = (0u8..32).collect::<Vec<_>>().try_into().unwrap();
+        let nonce = [0u8, 0, 0, 0, 0, 0, 0, 0x4a, 0, 0, 0, 0];
+        let plaintext = b"Ladies and Gentlemen of the class of '99: If I could offer you only one tip for the future, sunscreen would be it.";
+        let mut data = plaintext.to_vec();
+        chacha20_xor(&key, 1, &nonce, &mut data);
+        assert_eq!(
+            &data[..16],
+            &[
+                0x6e, 0x2e, 0x35, 0x9a, 0x25, 0x68, 0xf9, 0x80, 0x41, 0xba, 0x07, 0x28, 0xdd, 0x0d,
+                0x69, 0x81
+            ]
+        );
+        // Decryption round-trips.
+        chacha20_xor(&key, 1, &nonce, &mut data);
+        assert_eq!(&data, plaintext);
+    }
+
+    #[test]
+    fn senc_sdec_roundtrip() {
+        let key = [7u8; 32];
+        let msg = b"an onion layer".to_vec();
+        let ct = senc(&key, 42, &msg);
+        assert_ne!(ct, msg);
+        assert_eq!(ct.len(), msg.len(), "SEnc is length-preserving");
+        assert_eq!(sdec(&key, 42, &ct), msg);
+    }
+
+    #[test]
+    fn different_rounds_give_different_ciphertexts() {
+        let key = [9u8; 32];
+        let msg = vec![0u8; 64];
+        assert_ne!(senc(&key, 1, &msg), senc(&key, 2, &msg));
+    }
+
+    #[test]
+    fn wrong_key_decrypts_to_garbage_without_error() {
+        let msg = b"secret".to_vec();
+        let ct = senc(&[1u8; 32], 5, &msg);
+        let wrong = sdec(&[2u8; 32], 5, &ct);
+        assert_ne!(wrong, msg);
+        assert_eq!(wrong.len(), msg.len());
+    }
+
+    #[test]
+    fn empty_message() {
+        let key = [3u8; 32];
+        assert_eq!(senc(&key, 0, &[]), Vec::<u8>::new());
+    }
+}

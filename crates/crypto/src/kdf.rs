@@ -1,0 +1,152 @@
+//! Key derivation (HKDF, RFC 5869) and the hop-selection PRF.
+//!
+//! Mycelium devices select mixnet hops by hashing candidate indices together
+//! with a collectively-chosen random bitstring `B` (§3.4); [`prf_ratio`]
+//! implements that `H(x ‖ B) / H_max` computation.
+
+use crate::sha256::{hmac_sha256, sha256_concat, Digest};
+
+/// HKDF-Extract: `PRK = HMAC(salt, ikm)`.
+pub fn hkdf_extract(salt: &[u8], ikm: &[u8]) -> Digest {
+    hmac_sha256(salt, ikm)
+}
+
+/// HKDF-Expand producing `len` bytes (`len ≤ 255·32`).
+///
+/// # Panics
+///
+/// Panics if `len > 8160`.
+pub fn hkdf_expand(prk: &Digest, info: &[u8], len: usize) -> Vec<u8> {
+    assert!(len <= 255 * 32, "HKDF output too long");
+    let mut out = Vec::with_capacity(len);
+    let mut t: Vec<u8> = Vec::new();
+    let mut counter = 1u8;
+    while out.len() < len {
+        let mut msg = t.clone();
+        msg.extend_from_slice(info);
+        msg.push(counter);
+        t = hmac_sha256(prk, &msg).to_vec();
+        out.extend_from_slice(&t);
+        counter = counter.wrapping_add(1);
+    }
+    out.truncate(len);
+    out
+}
+
+/// One-shot HKDF: extract then expand.
+pub fn hkdf(salt: &[u8], ikm: &[u8], info: &[u8], len: usize) -> Vec<u8> {
+    hkdf_expand(&hkdf_extract(salt, ikm), info, len)
+}
+
+/// Derives a 32-byte symmetric key.
+pub fn derive_key(salt: &[u8], ikm: &[u8], info: &[u8]) -> [u8; 32] {
+    let v = hkdf(salt, ikm, info, 32);
+    let mut k = [0u8; 32];
+    k.copy_from_slice(&v);
+    k
+}
+
+/// The hop-selection ratio `H(x ‖ B) / H_max ∈ [0, 1)` from §3.4.
+///
+/// A pseudonym with index `x` is eligible as hop `i` (of `k`) when this
+/// ratio falls in `[(i-1)·f/k, i·f/k)`, where `f` is the forwarder fraction.
+/// Because the beacon `B` is fixed *after* the map `M1` is committed, a
+/// malicious aggregator cannot bias selection toward confederates.
+pub fn prf_ratio(x: u64, beacon: &[u8]) -> f64 {
+    let d = sha256_concat(&[&x.to_le_bytes(), beacon]);
+    let hi = u64::from_be_bytes(d[..8].try_into().expect("8 bytes"));
+    hi as f64 / (u64::MAX as f64 + 1.0)
+}
+
+/// Deterministically derives a `u64` in `[0, bound)` from a seed and label.
+///
+/// # Panics
+///
+/// Panics if `bound == 0`.
+pub fn prf_range(seed: &[u8], label: &[u8], counter: u64, bound: u64) -> u64 {
+    assert!(bound > 0, "bound must be positive");
+    // Rejection-sample to avoid modulo bias.
+    let zone = u64::MAX - u64::MAX % bound;
+    let mut ctr = counter;
+    loop {
+        let d = sha256_concat(&[seed, label, &ctr.to_le_bytes()]);
+        let v = u64::from_be_bytes(d[..8].try_into().expect("8 bytes"));
+        if v < zone {
+            return v % bound;
+        }
+        ctr = ctr.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn from_hex(s: &str) -> Vec<u8> {
+        (0..s.len() / 2)
+            .map(|i| u8::from_str_radix(&s[2 * i..2 * i + 2], 16).unwrap())
+            .collect()
+    }
+
+    #[test]
+    fn rfc5869_case_1() {
+        let ikm = vec![0x0bu8; 22];
+        let salt = from_hex("000102030405060708090a0b0c");
+        let info = from_hex("f0f1f2f3f4f5f6f7f8f9");
+        let okm = hkdf(&salt, &ikm, &info, 42);
+        assert_eq!(
+            okm,
+            from_hex(
+                "3cb25f25faacd57a90434f64d0362f2a2d2d0a90cf1a5a4c5db02d56ecc4c5bf34007208d5b887185865"
+            )
+        );
+    }
+
+    #[test]
+    fn rfc5869_case_3_empty_salt_info() {
+        let ikm = vec![0x0bu8; 22];
+        let okm = hkdf(&[], &ikm, &[], 42);
+        assert_eq!(
+            okm,
+            from_hex(
+                "8da4e775a563c18f715f802a063c5a31b8a11f5c5ee1879ec3454e5f3c738d2d9d201395faa4b61a96c8"
+            )
+        );
+    }
+
+    #[test]
+    fn derive_key_is_deterministic() {
+        let a = derive_key(b"salt", b"secret", b"ctx");
+        let b = derive_key(b"salt", b"secret", b"ctx");
+        assert_eq!(a, b);
+        assert_ne!(a, derive_key(b"salt", b"secret", b"other"));
+    }
+
+    #[test]
+    fn prf_ratio_distribution() {
+        let beacon = b"collective-beacon";
+        let n = 10_000u64;
+        let mean: f64 = (0..n).map(|x| prf_ratio(x, beacon)).sum::<f64>() / n as f64;
+        assert!((mean - 0.5).abs() < 0.02, "mean {mean}");
+        // Fraction falling in [0, 0.1) should be about 10%.
+        let frac = (0..n).filter(|&x| prf_ratio(x, beacon) < 0.1).count() as f64 / n as f64;
+        assert!((frac - 0.1).abs() < 0.02, "frac {frac}");
+    }
+
+    #[test]
+    fn prf_ratio_beacon_sensitivity() {
+        assert_ne!(prf_ratio(42, b"beacon-a"), prf_ratio(42, b"beacon-b"));
+    }
+
+    #[test]
+    fn prf_range_bounds_and_uniformity() {
+        let mut counts = [0usize; 7];
+        for i in 0..7_000 {
+            let v = prf_range(b"seed", b"label", i, 7);
+            counts[v as usize] += 1;
+        }
+        for &c in &counts {
+            assert!((800..1200).contains(&c), "count {c}");
+        }
+    }
+}

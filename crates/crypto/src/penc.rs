@@ -1,0 +1,177 @@
+//! `PEnc`: public-key encryption via ECIES over X25519.
+//!
+//! The paper instantiates `PEnc` with RSA-PKCS1 (§5); this reproduction uses
+//! the integrated encryption scheme over Curve25519 — an ephemeral
+//! Diffie–Hellman exchange, HKDF key derivation, and ChaCha20-Poly1305. The
+//! protocol role is identical: during path setup, a source encrypts a fresh
+//! symmetric key under a hop's public key (§3.4).
+
+use rand::Rng;
+
+use crate::aead::{self, AeadError};
+use crate::ed25519::{x25519, x25519_public_key};
+use crate::kdf::derive_key;
+use crate::sha256::{sha256, Digest};
+
+/// An X25519 public key. `H(pk)` is the owner's pseudonym.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct PublicKey(pub [u8; 32]);
+
+impl PublicKey {
+    /// The pseudonym derived from this key (`h = H(pk)`, §3.1 assumption 3).
+    pub fn pseudonym(&self) -> Digest {
+        sha256(&self.0)
+    }
+}
+
+/// An X25519 key pair.
+#[derive(Debug, Clone)]
+pub struct KeyPair {
+    secret: [u8; 32],
+    public: PublicKey,
+}
+
+impl KeyPair {
+    /// Generates a fresh key pair.
+    pub fn generate<R: Rng + ?Sized>(rng: &mut R) -> Self {
+        let mut secret = [0u8; 32];
+        rng.fill(&mut secret);
+        Self::from_secret(secret)
+    }
+
+    /// Derives the key pair for a fixed secret (useful for tests).
+    pub fn from_secret(secret: [u8; 32]) -> Self {
+        let public = PublicKey(x25519_public_key(&secret));
+        Self { secret, public }
+    }
+
+    /// The public half.
+    pub fn public(&self) -> PublicKey {
+        self.public
+    }
+
+    /// Decrypts an ECIES ciphertext addressed to this key pair.
+    pub fn decrypt(&self, ciphertext: &[u8]) -> Result<Vec<u8>, PencError> {
+        if ciphertext.len() < 32 + aead::OVERHEAD {
+            return Err(PencError::Malformed);
+        }
+        let mut eph_pk = [0u8; 32];
+        eph_pk.copy_from_slice(&ciphertext[..32]);
+        let shared = x25519(&self.secret, &eph_pk);
+        let key = ecies_key(&shared, &eph_pk, &self.public.0);
+        aead::open(&key, 0, &ciphertext[32..]).map_err(PencError::Aead)
+    }
+}
+
+/// ECIES encryption failure.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PencError {
+    /// Ciphertext too short to contain an ephemeral key and tag.
+    Malformed,
+    /// AEAD layer rejected the ciphertext.
+    Aead(AeadError),
+}
+
+impl std::fmt::Display for PencError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PencError::Malformed => write!(f, "malformed ECIES ciphertext"),
+            PencError::Aead(e) => write!(f, "ECIES AEAD failure: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for PencError {}
+
+fn ecies_key(shared: &[u8; 32], eph_pk: &[u8; 32], recipient_pk: &[u8; 32]) -> [u8; 32] {
+    let mut info = Vec::with_capacity(64 + 12);
+    info.extend_from_slice(b"mycelium-ecies");
+    info.extend_from_slice(eph_pk);
+    info.extend_from_slice(recipient_pk);
+    derive_key(b"", shared, &info)
+}
+
+/// Encrypts `plaintext` to `recipient` (ECIES): output is
+/// `ephemeral_pk ‖ AEAD(plaintext)`.
+pub fn encrypt<R: Rng + ?Sized>(recipient: &PublicKey, plaintext: &[u8], rng: &mut R) -> Vec<u8> {
+    let mut eph_secret = [0u8; 32];
+    rng.fill(&mut eph_secret);
+    let eph_pk = x25519_public_key(&eph_secret);
+    let shared = x25519(&eph_secret, &recipient.0);
+    let key = ecies_key(&shared, &eph_pk, &recipient.0);
+    let mut out = Vec::with_capacity(32 + plaintext.len() + aead::OVERHEAD);
+    out.extend_from_slice(&eph_pk);
+    out.extend_from_slice(&aead::seal(&key, 0, plaintext));
+    out
+}
+
+/// Ciphertext expansion of [`encrypt`] (ephemeral key + AEAD tag).
+pub const OVERHEAD: usize = 32 + aead::OVERHEAD;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(99)
+    }
+
+    #[test]
+    fn roundtrip() {
+        let mut r = rng();
+        let kp = KeyPair::generate(&mut r);
+        let ct = encrypt(&kp.public(), b"session key material", &mut r);
+        assert_eq!(kp.decrypt(&ct).unwrap(), b"session key material");
+        assert_eq!(ct.len(), b"session key material".len() + OVERHEAD);
+    }
+
+    #[test]
+    fn wrong_recipient_fails() {
+        let mut r = rng();
+        let kp1 = KeyPair::generate(&mut r);
+        let kp2 = KeyPair::generate(&mut r);
+        let ct = encrypt(&kp1.public(), b"secret", &mut r);
+        assert!(kp2.decrypt(&ct).is_err());
+    }
+
+    #[test]
+    fn tampering_detected() {
+        let mut r = rng();
+        let kp = KeyPair::generate(&mut r);
+        let mut ct = encrypt(&kp.public(), b"secret", &mut r);
+        let last = ct.len() - 1;
+        ct[last] ^= 1;
+        assert!(kp.decrypt(&ct).is_err());
+    }
+
+    #[test]
+    fn ciphertexts_are_randomized() {
+        let mut r = rng();
+        let kp = KeyPair::generate(&mut r);
+        let c1 = encrypt(&kp.public(), b"same message", &mut r);
+        let c2 = encrypt(&kp.public(), b"same message", &mut r);
+        assert_ne!(c1, c2);
+    }
+
+    #[test]
+    fn malformed_rejected() {
+        let mut r = rng();
+        let kp = KeyPair::generate(&mut r);
+        assert_eq!(kp.decrypt(&[0u8; 10]), Err(PencError::Malformed));
+    }
+
+    #[test]
+    fn pseudonym_is_hash_of_pk() {
+        let kp = KeyPair::from_secret([7u8; 32]);
+        assert_eq!(kp.public().pseudonym(), sha256(&kp.public().0));
+    }
+
+    #[test]
+    fn deterministic_keypair_from_secret() {
+        let a = KeyPair::from_secret([1u8; 32]);
+        let b = KeyPair::from_secret([1u8; 32]);
+        assert_eq!(a.public(), b.public());
+    }
+}

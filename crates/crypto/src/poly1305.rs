@@ -1,0 +1,238 @@
+//! Poly1305 one-time authenticator (RFC 8439).
+//!
+//! Used by the AEAD construction in [`crate::aead`]. Arithmetic is performed
+//! modulo `2^130 - 5` with five 26-bit limbs.
+
+/// Tag size in bytes.
+pub const TAG_LEN: usize = 16;
+
+/// Computes the Poly1305 tag of `message` under the 32-byte one-time `key`.
+pub fn poly1305(key: &[u8; 32], message: &[u8]) -> [u8; TAG_LEN] {
+    // Clamp r per the spec.
+    let t0 = u32::from_le_bytes(key[0..4].try_into().unwrap());
+    let t1 = u32::from_le_bytes(key[4..8].try_into().unwrap());
+    let t2 = u32::from_le_bytes(key[8..12].try_into().unwrap());
+    let t3 = u32::from_le_bytes(key[12..16].try_into().unwrap());
+
+    let r0 = (t0 & 0x3ffffff) as u64;
+    let r1 = ((t0 >> 26 | t1 << 6) & 0x3ffff03) as u64;
+    let r2 = ((t1 >> 20 | t2 << 12) & 0x3ffc0ff) as u64;
+    let r3 = ((t2 >> 14 | t3 << 18) & 0x3f03fff) as u64;
+    let r4 = ((t3 >> 8) & 0x00fffff) as u64;
+
+    let s1 = r1 * 5;
+    let s2 = r2 * 5;
+    let s3 = r3 * 5;
+    let s4 = r4 * 5;
+
+    let mut h0 = 0u64;
+    let mut h1 = 0u64;
+    let mut h2 = 0u64;
+    let mut h3 = 0u64;
+    let mut h4 = 0u64;
+
+    let mut chunks = message.chunks(16).peekable();
+    while let Some(chunk) = chunks.next() {
+        let mut block = [0u8; 17];
+        block[..chunk.len()].copy_from_slice(chunk);
+        block[chunk.len()] = 1; // The "high bit" of the block.
+        let b0 = u32::from_le_bytes(block[0..4].try_into().unwrap()) as u64;
+        let b1 = u32::from_le_bytes(block[4..8].try_into().unwrap()) as u64;
+        let b2 = u32::from_le_bytes(block[8..12].try_into().unwrap()) as u64;
+        let b3 = u32::from_le_bytes(block[12..16].try_into().unwrap()) as u64;
+        let b4 = block[16] as u64;
+
+        h0 += b0 & 0x3ffffff;
+        h1 += (b0 >> 26 | b1 << 6) & 0x3ffffff;
+        h2 += (b1 >> 20 | b2 << 12) & 0x3ffffff;
+        h3 += (b2 >> 14 | b3 << 18) & 0x3ffffff;
+        h4 += (b3 >> 8) | (b4 << 24);
+
+        // h *= r (mod 2^130 - 5).
+        let d0 = h0 as u128 * r0 as u128
+            + h1 as u128 * s4 as u128
+            + h2 as u128 * s3 as u128
+            + h3 as u128 * s2 as u128
+            + h4 as u128 * s1 as u128;
+        let d1 = h0 as u128 * r1 as u128
+            + h1 as u128 * r0 as u128
+            + h2 as u128 * s4 as u128
+            + h3 as u128 * s3 as u128
+            + h4 as u128 * s2 as u128;
+        let d2 = h0 as u128 * r2 as u128
+            + h1 as u128 * r1 as u128
+            + h2 as u128 * r0 as u128
+            + h3 as u128 * s4 as u128
+            + h4 as u128 * s3 as u128;
+        let d3 = h0 as u128 * r3 as u128
+            + h1 as u128 * r2 as u128
+            + h2 as u128 * r1 as u128
+            + h3 as u128 * r0 as u128
+            + h4 as u128 * s4 as u128;
+        let d4 = h0 as u128 * r4 as u128
+            + h1 as u128 * r3 as u128
+            + h2 as u128 * r2 as u128
+            + h3 as u128 * r1 as u128
+            + h4 as u128 * r0 as u128;
+
+        // Carry propagation.
+        let mut c: u128;
+        c = d0 >> 26;
+        h0 = (d0 & 0x3ffffff) as u64;
+        let d1 = d1 + c;
+        c = d1 >> 26;
+        h1 = (d1 & 0x3ffffff) as u64;
+        let d2 = d2 + c;
+        c = d2 >> 26;
+        h2 = (d2 & 0x3ffffff) as u64;
+        let d3 = d3 + c;
+        c = d3 >> 26;
+        h3 = (d3 & 0x3ffffff) as u64;
+        let d4 = d4 + c;
+        c = d4 >> 26;
+        h4 = (d4 & 0x3ffffff) as u64;
+        h0 += (c as u64) * 5;
+        let c2 = h0 >> 26;
+        h0 &= 0x3ffffff;
+        h1 += c2;
+        let _ = chunks.peek();
+    }
+
+    // Final reduction: fully carry, then conditionally subtract p.
+    let mut c = h1 >> 26;
+    h1 &= 0x3ffffff;
+    h2 += c;
+    c = h2 >> 26;
+    h2 &= 0x3ffffff;
+    h3 += c;
+    c = h3 >> 26;
+    h3 &= 0x3ffffff;
+    h4 += c;
+    c = h4 >> 26;
+    h4 &= 0x3ffffff;
+    h0 += c * 5;
+    c = h0 >> 26;
+    h0 &= 0x3ffffff;
+    h1 += c;
+
+    // Compute h + -p = h - (2^130 - 5).
+    let mut g0 = h0.wrapping_add(5);
+    c = g0 >> 26;
+    g0 &= 0x3ffffff;
+    let mut g1 = h1.wrapping_add(c);
+    c = g1 >> 26;
+    g1 &= 0x3ffffff;
+    let mut g2 = h2.wrapping_add(c);
+    c = g2 >> 26;
+    g2 &= 0x3ffffff;
+    let mut g3 = h3.wrapping_add(c);
+    c = g3 >> 26;
+    g3 &= 0x3ffffff;
+    let g4 = h4.wrapping_add(c).wrapping_sub(1 << 26);
+
+    // Select h if h < p, else g.
+    let mask = (g4 >> 63).wrapping_sub(1); // All ones if g4 did not underflow.
+    g0 = (g0 & mask) | (h0 & !mask);
+    g1 = (g1 & mask) | (h1 & !mask);
+    g2 = (g2 & mask) | (h2 & !mask);
+    g3 = (g3 & mask) | (h3 & !mask);
+    let g4 = (g4 & mask) | (h4 & !mask);
+
+    // h = h % 2^128, then add s.
+    let f0 = (g0 | g1 << 26) as u128 & 0xffffffff;
+    let f1 = (g1 >> 6 | g2 << 20) as u128 & 0xffffffff;
+    let f2 = (g2 >> 12 | g3 << 14) as u128 & 0xffffffff;
+    let f3 = (g3 >> 18 | g4 << 8) as u128 & 0xffffffff;
+
+    let s0 = u32::from_le_bytes(key[16..20].try_into().unwrap()) as u128;
+    let s1k = u32::from_le_bytes(key[20..24].try_into().unwrap()) as u128;
+    let s2k = u32::from_le_bytes(key[24..28].try_into().unwrap()) as u128;
+    let s3k = u32::from_le_bytes(key[28..32].try_into().unwrap()) as u128;
+
+    let mut acc = f0 + s0;
+    let o0 = acc as u32;
+    acc = (acc >> 32) + f1 + s1k;
+    let o1 = acc as u32;
+    acc = (acc >> 32) + f2 + s2k;
+    let o2 = acc as u32;
+    acc = (acc >> 32) + f3 + s3k;
+    let o3 = acc as u32;
+
+    let mut tag = [0u8; 16];
+    tag[0..4].copy_from_slice(&o0.to_le_bytes());
+    tag[4..8].copy_from_slice(&o1.to_le_bytes());
+    tag[8..12].copy_from_slice(&o2.to_le_bytes());
+    tag[12..16].copy_from_slice(&o3.to_le_bytes());
+    tag
+}
+
+/// Constant-time tag comparison.
+pub fn tags_equal(a: &[u8; TAG_LEN], b: &[u8; TAG_LEN]) -> bool {
+    let mut diff = 0u8;
+    for (x, y) in a.iter().zip(b.iter()) {
+        diff |= x ^ y;
+    }
+    diff == 0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rfc8439_vector() {
+        // RFC 8439 §2.5.2.
+        let key: [u8; 32] = [
+            0x85, 0xd6, 0xbe, 0x78, 0x57, 0x55, 0x6d, 0x33, 0x7f, 0x44, 0x52, 0xfe, 0x42, 0xd5,
+            0x06, 0xa8, 0x01, 0x03, 0x80, 0x8a, 0xfb, 0x0d, 0xb2, 0xfd, 0x4a, 0xbf, 0xf6, 0xaf,
+            0x41, 0x49, 0xf5, 0x1b,
+        ];
+        let msg = b"Cryptographic Forum Research Group";
+        let tag = poly1305(&key, msg);
+        let expect: [u8; 16] = [
+            0xa8, 0x06, 0x1d, 0xc1, 0x30, 0x51, 0x36, 0xc6, 0xc2, 0x2b, 0x8b, 0xaf, 0x0c, 0x01,
+            0x27, 0xa9,
+        ];
+        assert_eq!(tag, expect);
+    }
+
+    #[test]
+    fn empty_message_tag_is_s() {
+        // With an empty message the accumulator is zero, so tag == s.
+        let mut key = [0u8; 32];
+        key[16..].copy_from_slice(&[0xAB; 16]);
+        assert_eq!(poly1305(&key, b""), [0xAB; 16]);
+    }
+
+    #[test]
+    fn different_messages_different_tags() {
+        let key = [0x42u8; 32];
+        assert_ne!(poly1305(&key, b"hello"), poly1305(&key, b"hellp"));
+    }
+
+    #[test]
+    fn block_boundaries() {
+        let key = [0x11u8; 32];
+        // Lengths spanning block boundaries must all be well-defined and
+        // distinct with overwhelming probability.
+        let msgs: Vec<Vec<u8>> = [15usize, 16, 17, 31, 32, 33]
+            .iter()
+            .map(|&n| vec![7u8; n])
+            .collect();
+        let tags: Vec<[u8; 16]> = msgs.iter().map(|m| poly1305(&key, m)).collect();
+        for i in 0..tags.len() {
+            for j in i + 1..tags.len() {
+                assert_ne!(tags[i], tags[j]);
+            }
+        }
+    }
+
+    #[test]
+    fn constant_time_compare() {
+        assert!(tags_equal(&[1; 16], &[1; 16]));
+        assert!(!tags_equal(&[1; 16], &[2; 16]));
+        let mut b = [1u8; 16];
+        b[15] = 0;
+        assert!(!tags_equal(&[1; 16], &b));
+    }
+}

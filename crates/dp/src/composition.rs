@@ -1,0 +1,157 @@
+//! Budget-stretching techniques (§4.4's "more sophisticated techniques").
+//!
+//! The prototype (like the paper's) charges each query its full `ε`.
+//! §4.4 points at two standard improvements, both implemented here:
+//!
+//! * **Advanced composition** (Dwork–Roth Thm 3.20): `k` queries at `ε`
+//!   each are `(ε', kδ' + δ)`-DP with
+//!   `ε' = ε·√(2k·ln(1/δ)) + k·ε·(e^ε − 1)` — for small `ε` the budget
+//!   grows as `√k` instead of `k`.
+//! * **The sparse-vector technique** (as used in Honeycrisp): answering
+//!   "is this noisy value above the threshold?" pays only when the answer
+//!   is *yes*; an arbitrary number of below-threshold probes is free.
+
+use mycelium_math::sample::sample_laplace;
+use rand::Rng;
+
+use crate::DpError;
+
+/// Total privacy cost of `k` adaptively-chosen `epsilon`-DP queries under
+/// advanced composition at slack `delta`.
+///
+/// Returns the `ε'` such that the composition is `(ε', k·δ_each + delta)`-DP.
+pub fn advanced_composition(epsilon: f64, k: usize, delta: f64) -> Result<f64, DpError> {
+    if epsilon <= 0.0 || delta <= 0.0 || delta >= 1.0 {
+        return Err(DpError::InvalidParameter);
+    }
+    let k = k as f64;
+    Ok(epsilon * (2.0 * k * (1.0 / delta).ln()).sqrt() + k * epsilon * (epsilon.exp() - 1.0))
+}
+
+/// How many `epsilon`-queries a total budget admits under basic vs
+/// advanced composition — the "budget stretch" §4.4 alludes to.
+pub fn queries_supported(total: f64, epsilon: f64, delta: f64) -> (usize, usize) {
+    let basic = (total / epsilon).floor() as usize;
+    let mut advanced = basic;
+    while advanced_composition(epsilon, advanced + 1, delta)
+        .map(|e| e <= total)
+        .unwrap_or(false)
+    {
+        advanced += 1;
+    }
+    (basic, advanced.max(basic))
+}
+
+/// The sparse-vector mechanism ("Above Threshold").
+///
+/// Initialized with a noisy threshold; each probe compares a noisy query
+/// value against it. Below-threshold answers are free; the first
+/// above-threshold answer consumes the mechanism (it must be re-armed,
+/// paying `ε` again).
+#[derive(Debug)]
+pub struct SparseVector {
+    epsilon: f64,
+    sensitivity: f64,
+    noisy_threshold: f64,
+    exhausted: bool,
+}
+
+impl SparseVector {
+    /// Arms the mechanism for a threshold query at cost `epsilon`.
+    pub fn arm<R: Rng + ?Sized>(
+        threshold: f64,
+        sensitivity: f64,
+        epsilon: f64,
+        rng: &mut R,
+    ) -> Result<Self, DpError> {
+        if epsilon <= 0.0 || sensitivity <= 0.0 {
+            return Err(DpError::InvalidParameter);
+        }
+        Ok(Self {
+            epsilon,
+            sensitivity,
+            noisy_threshold: threshold + sample_laplace(2.0 * sensitivity / epsilon, rng),
+            exhausted: false,
+        })
+    }
+
+    /// Probes one query value. Returns `Some(true)` when the (noisy) value
+    /// clears the threshold — which exhausts the mechanism — `Some(false)`
+    /// when it does not, and `None` when the mechanism is spent.
+    pub fn probe<R: Rng + ?Sized>(&mut self, value: f64, rng: &mut R) -> Option<bool> {
+        if self.exhausted {
+            return None;
+        }
+        let noisy = value + sample_laplace(4.0 * self.sensitivity / self.epsilon, rng);
+        if noisy >= self.noisy_threshold {
+            self.exhausted = true;
+            Some(true)
+        } else {
+            Some(false)
+        }
+    }
+
+    /// Whether the mechanism has fired.
+    pub fn is_exhausted(&self) -> bool {
+        self.exhausted
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn advanced_beats_basic_for_many_queries() {
+        // 100 queries at ε=0.1: basic costs 10; advanced far less.
+        let adv = advanced_composition(0.1, 100, 1e-6).unwrap();
+        assert!(adv < 10.0, "advanced {adv}");
+        assert!(adv > 0.1, "still more than one query");
+    }
+
+    #[test]
+    fn stretch_factor() {
+        let (basic, advanced) = queries_supported(1.0, 0.01, 1e-6);
+        assert_eq!(basic, 100);
+        assert!(
+            advanced > 2 * basic,
+            "advanced composition should stretch the budget: {advanced}"
+        );
+    }
+
+    #[test]
+    fn invalid_parameters() {
+        assert!(advanced_composition(0.0, 5, 1e-6).is_err());
+        assert!(advanced_composition(0.1, 5, 0.0).is_err());
+        assert!(advanced_composition(0.1, 5, 1.5).is_err());
+    }
+
+    #[test]
+    fn sparse_vector_fires_once() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut sv = SparseVector::arm(100.0, 1.0, 2.0, &mut rng).unwrap();
+        // Far-below values: free probes, all false.
+        for _ in 0..50 {
+            assert_eq!(sv.probe(0.0, &mut rng), Some(false));
+        }
+        // A far-above value fires.
+        assert_eq!(sv.probe(1000.0, &mut rng), Some(true));
+        assert!(sv.is_exhausted());
+        assert_eq!(sv.probe(1000.0, &mut rng), None);
+    }
+
+    #[test]
+    fn sparse_vector_is_actually_noisy() {
+        // Near the threshold, answers vary across randomness.
+        let mut outcomes = std::collections::HashSet::new();
+        for seed in 0..64 {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let mut sv = SparseVector::arm(10.0, 1.0, 1.0, &mut rng).unwrap();
+            outcomes.insert(sv.probe(10.0, &mut rng));
+        }
+        assert!(outcomes.contains(&Some(true)));
+        assert!(outcomes.contains(&Some(false)));
+    }
+}

@@ -1,0 +1,226 @@
+//! The §4.4 flooding protocol.
+//!
+//! A `k`-hop query starts with every origin vertex sending its query ID to
+//! its neighbors; for `k - 1` more rounds, each vertex forwards a
+//! newly-seen query ID to all neighbors except the one it came from (the
+//! **upstream neighbor**). At the end, every vertex in an origin's `k`-hop
+//! neighborhood knows (a) that it participates, (b) its upstream neighbor
+//! (its parent in the spanning tree used for aggregation), and (c) its
+//! distance from the origin.
+//!
+//! The flood also determines exactly what topology information leaks to
+//! participants (§4.7): the size of the `k`-hop neighborhood, and the
+//! edges over which a duplicate query ID arrives (multiple paths).
+
+use std::collections::HashMap;
+
+use crate::graph::{Graph, VertexId};
+
+/// What one vertex learns about one origin's query.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FloodInfo {
+    /// The neighbor the query ID first arrived from (the spanning-tree
+    /// parent to which this vertex's partial aggregate will be sent).
+    pub upstream: VertexId,
+    /// Distance from the origin (the round of first receipt).
+    pub distance: usize,
+    /// Number of *additional* adjacent edges the same query ID later
+    /// arrived over (the §4.7 multi-path leak; 0 for tree-like
+    /// neighborhoods).
+    pub duplicate_arrivals: usize,
+}
+
+/// The result of flooding all origins' query IDs for `k` rounds.
+#[derive(Debug, Clone)]
+pub struct FloodResult {
+    /// `per_vertex[v]` maps each origin whose flood reached `v` (with
+    /// `v != origin`) to what `v` learned.
+    pub per_vertex: Vec<HashMap<VertexId, FloodInfo>>,
+    /// Number of hops flooded.
+    pub hops: usize,
+}
+
+impl FloodResult {
+    /// The members of `origin`'s `k`-hop neighborhood (excluding itself).
+    pub fn neighborhood(&self, origin: VertexId) -> Vec<VertexId> {
+        (0..self.per_vertex.len() as VertexId)
+            .filter(|&v| self.per_vertex[v as usize].contains_key(&origin))
+            .collect()
+    }
+
+    /// The children of `v` in `origin`'s spanning tree: neighbors whose
+    /// upstream is `v`.
+    pub fn children(&self, graph: &Graph, origin: VertexId, v: VertexId) -> Vec<VertexId> {
+        graph
+            .neighbors(v)
+            .filter(|&(w, _)| {
+                self.per_vertex[w as usize]
+                    .get(&origin)
+                    .is_some_and(|info| info.upstream == v)
+            })
+            .map(|(w, _)| w)
+            .collect()
+    }
+
+    /// Total multi-path duplicate arrivals across all vertices for one
+    /// origin (the §4.7 leak magnitude).
+    pub fn duplicate_count(&self, origin: VertexId) -> usize {
+        self.per_vertex
+            .iter()
+            .filter_map(|m| m.get(&origin))
+            .map(|i| i.duplicate_arrivals)
+            .sum()
+    }
+}
+
+/// Floods every origin's query ID for `k` rounds.
+pub fn flood(graph: &Graph, origins: &[VertexId], k: usize) -> FloodResult {
+    let n = graph.len();
+    let mut per_vertex: Vec<HashMap<VertexId, FloodInfo>> = vec![HashMap::new(); n];
+    // frontier[v] = origins whose flood reached v in the previous round.
+    let mut frontier: Vec<Vec<VertexId>> = vec![Vec::new(); n];
+    // Round 1: origins send to their neighbors.
+    for &o in origins {
+        for (w, _) in graph.neighbors(o) {
+            record_arrival(
+                &mut per_vertex[w as usize],
+                o,
+                o,
+                1,
+                &mut frontier[w as usize],
+            );
+        }
+    }
+    for round in 2..=k {
+        let mut next: Vec<Vec<VertexId>> = vec![Vec::new(); n];
+        for v in 0..n as VertexId {
+            let started = std::mem::take(&mut frontier[v as usize]);
+            for o in started {
+                let upstream = per_vertex[v as usize][&o].upstream;
+                for (w, _) in graph.neighbors(v) {
+                    if w == upstream || w == o {
+                        continue;
+                    }
+                    record_arrival(
+                        &mut per_vertex[w as usize],
+                        o,
+                        v,
+                        round,
+                        &mut next[w as usize],
+                    );
+                }
+            }
+        }
+        frontier = next;
+    }
+    FloodResult {
+        per_vertex,
+        hops: k,
+    }
+}
+
+fn record_arrival(
+    map: &mut HashMap<VertexId, FloodInfo>,
+    origin: VertexId,
+    from: VertexId,
+    round: usize,
+    newly: &mut Vec<VertexId>,
+) {
+    match map.get_mut(&origin) {
+        None => {
+            map.insert(
+                origin,
+                FloodInfo {
+                    upstream: from,
+                    distance: round,
+                    duplicate_arrivals: 0,
+                },
+            );
+            newly.push(origin);
+        }
+        Some(info) => {
+            info.duplicate_arrivals += 1;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::data::EdgeData;
+    use crate::graph::GraphBuilder;
+
+    fn ed() -> EdgeData {
+        EdgeData::household_contact(0)
+    }
+
+    fn line(n: usize) -> Graph {
+        let mut b = GraphBuilder::new(n, 4);
+        for i in 0..n - 1 {
+            b.add_edge(i as u32, i as u32 + 1, ed());
+        }
+        b.build()
+    }
+
+    #[test]
+    fn one_hop_flood() {
+        let g = line(5);
+        let f = flood(&g, &[2], 1);
+        assert_eq!(f.neighborhood(2), vec![1, 3]);
+        assert_eq!(f.per_vertex[1][&2].distance, 1);
+        assert_eq!(f.per_vertex[1][&2].upstream, 2);
+        assert!(f.per_vertex[0].is_empty());
+    }
+
+    #[test]
+    fn two_hop_flood_with_upstream_chain() {
+        let g = line(6);
+        let f = flood(&g, &[0], 3);
+        assert_eq!(f.neighborhood(0), vec![1, 2, 3]);
+        assert_eq!(f.per_vertex[3][&0].distance, 3);
+        assert_eq!(f.per_vertex[3][&0].upstream, 2);
+        assert_eq!(f.per_vertex[2][&0].upstream, 1);
+        // Spanning-tree children.
+        assert_eq!(f.children(&g, 0, 1), vec![2]);
+        assert_eq!(f.children(&g, 0, 3), Vec::<VertexId>::new());
+    }
+
+    #[test]
+    fn multiple_origins_tracked_independently() {
+        let g = line(5);
+        let f = flood(&g, &[0, 4], 2);
+        assert_eq!(f.neighborhood(0), vec![1, 2]);
+        assert_eq!(f.neighborhood(4), vec![2, 3]);
+        // Vertex 2 participates in both queries.
+        assert_eq!(f.per_vertex[2].len(), 2);
+    }
+
+    #[test]
+    fn cycle_produces_duplicate_arrivals() {
+        // A 4-cycle: flooding 2 hops from vertex 0 reaches vertex 2 over
+        // two paths (via 1 and via 3) — the §4.7 multi-path leak.
+        let mut b = GraphBuilder::new(4, 4);
+        b.add_edge(0, 1, ed());
+        b.add_edge(1, 2, ed());
+        b.add_edge(2, 3, ed());
+        b.add_edge(3, 0, ed());
+        let g = b.build();
+        let f = flood(&g, &[0], 2);
+        assert_eq!(f.per_vertex[2][&0].distance, 2);
+        assert_eq!(f.per_vertex[2][&0].duplicate_arrivals, 1);
+        assert_eq!(f.duplicate_count(0), 1);
+        // On a tree there are no duplicates.
+        let t = line(5);
+        let ft = flood(&t, &[0], 4);
+        assert_eq!(ft.duplicate_count(0), 0);
+    }
+
+    #[test]
+    fn flood_does_not_bounce_back_to_origin() {
+        let g = line(3);
+        let f = flood(&g, &[1], 2);
+        // The origin never appears in its own neighborhood map.
+        assert!(!f.per_vertex[1].contains_key(&1));
+        assert_eq!(f.neighborhood(1), vec![0, 2]);
+    }
+}

@@ -1,0 +1,283 @@
+//! A plaintext Pregel-style vertex-program engine.
+//!
+//! Mycelium structures queries like Pregel (§2.5): discrete rounds, each
+//! with a communication step (messages to direct neighbors) and a
+//! computation step (state update from received messages). This plaintext
+//! engine serves two roles:
+//!
+//! 1. **Ground truth** — the encrypted pipeline's results are checked
+//!    against a plaintext execution of the same vertex program.
+//! 2. **The §7 baseline** — the paper compares against plaintext GraphX
+//!    running Q1 on a cleartext graph; [`q1_plaintext_histogram`] is that
+//!    baseline.
+
+use crate::data::VertexData;
+use crate::generate::Population;
+use crate::graph::{Graph, VertexId};
+
+/// A Pregel-style vertex program.
+pub trait VertexProgram {
+    /// Per-vertex state.
+    type State: Clone;
+    /// Messages exchanged along edges.
+    type Message: Clone;
+
+    /// Initial state of vertex `v`; may emit round-0 messages via `send`.
+    fn init(
+        &self,
+        v: VertexId,
+        graph: &Graph,
+        send: &mut dyn FnMut(VertexId, Self::Message),
+    ) -> Self::State;
+
+    /// One computation step: update `state` from the messages received this
+    /// round and optionally send messages for the next round.
+    fn compute(
+        &self,
+        v: VertexId,
+        graph: &Graph,
+        state: &mut Self::State,
+        round: usize,
+        inbox: &[(VertexId, Self::Message)],
+        send: &mut dyn FnMut(VertexId, Self::Message),
+    );
+}
+
+/// Runs a vertex program for `rounds` rounds and returns the final states.
+pub fn run<P: VertexProgram>(graph: &Graph, program: &P, rounds: usize) -> Vec<P::State> {
+    let n = graph.len();
+    let mut inboxes: Vec<Vec<(VertexId, P::Message)>> = vec![Vec::new(); n];
+    let mut states: Vec<P::State> = Vec::with_capacity(n);
+    {
+        let mut next: Vec<Vec<(VertexId, P::Message)>> = vec![Vec::new(); n];
+        for v in 0..n as VertexId {
+            let mut send = |to: VertexId, msg: P::Message| {
+                next[to as usize].push((v, msg));
+            };
+            states.push(program.init(v, graph, &mut send));
+        }
+        inboxes = next;
+    }
+    for round in 1..=rounds {
+        let mut next: Vec<Vec<(VertexId, P::Message)>> = vec![Vec::new(); n];
+        for v in 0..n as VertexId {
+            let inbox = std::mem::take(&mut inboxes[v as usize]);
+            let mut send = |to: VertexId, msg: P::Message| {
+                next[to as usize].push((v, msg));
+            };
+            program.compute(v, graph, &mut states[v as usize], round, &inbox, &mut send);
+        }
+        inboxes = next;
+    }
+    states
+}
+
+/// The §7 plaintext baseline: Q1 over a 1-hop (or `k`-hop) neighborhood.
+///
+/// For every *infected* origin, counts the infections in its `k`-hop
+/// neighborhood diagnosed within `window` days of the origin's diagnosis,
+/// and returns the histogram of those counts (index = count).
+pub fn q1_plaintext_histogram(
+    graph: &Graph,
+    vertices: &[VertexData],
+    k: usize,
+    window: u16,
+    max_count: usize,
+) -> Vec<u64> {
+    let mut hist = vec![0u64; max_count + 1];
+    // Stamped BFS: one shared `seen` array (stamp = current origin + 1)
+    // keeps the whole scan linear in Σ|neighborhood| instead of O(N²).
+    let mut seen = vec![0u32; graph.len()];
+    let mut frontier: Vec<VertexId> = Vec::new();
+    let mut next: Vec<VertexId> = Vec::new();
+    for v in 0..graph.len() as VertexId {
+        let vd = vertices[v as usize];
+        if !vd.infected {
+            continue;
+        }
+        let stamp = v + 1;
+        let mut count = 0usize;
+        seen[v as usize] = stamp;
+        frontier.clear();
+        frontier.push(v);
+        for _ in 0..k {
+            next.clear();
+            for &u in &frontier {
+                for (w, _) in graph.neighbors(u) {
+                    if seen[w as usize] == stamp {
+                        continue;
+                    }
+                    seen[w as usize] = stamp;
+                    next.push(w);
+                    let wd = vertices[w as usize];
+                    if wd.infected && wd.t_inf.abs_diff(vd.t_inf) <= window {
+                        count += 1;
+                    }
+                }
+            }
+            std::mem::swap(&mut frontier, &mut next);
+        }
+        hist[count.min(max_count)] += 1;
+    }
+    hist
+}
+
+/// Plaintext secondary-attack-rate computation (the Q8/Q9/Q10 shape):
+/// over all infected origins and their 1-hop contacts matching `pair_pred`,
+/// the fraction of contacts infected strictly later than the origin.
+pub fn plaintext_sar<F>(pop: &Population, pair_pred: F) -> f64
+where
+    F: Fn(&VertexData, &VertexData, &crate::data::EdgeData) -> bool,
+{
+    let mut pairs = 0u64;
+    let mut secondary = 0u64;
+    for v in 0..pop.graph.len() as VertexId {
+        let vd = pop.vertices[v as usize];
+        if !vd.infected {
+            continue;
+        }
+        for (w, e) in pop.graph.neighbors(v) {
+            let wd = pop.vertices[w as usize];
+            if !pair_pred(&vd, &wd, e) {
+                continue;
+            }
+            pairs += 1;
+            if wd.infected && wd.t_inf > vd.t_inf {
+                secondary += 1;
+            }
+        }
+    }
+    if pairs == 0 {
+        0.0
+    } else {
+        secondary as f64 / pairs as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::data::EdgeData;
+    use crate::generate::{contact_graph, run_epidemic, ContactGraphConfig, EpidemicConfig};
+    use crate::graph::GraphBuilder;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    /// A vertex program computing each vertex's distance from vertex 0.
+    struct Distance;
+
+    impl VertexProgram for Distance {
+        type State = Option<usize>;
+        type Message = usize;
+
+        fn init(
+            &self,
+            v: VertexId,
+            _graph: &Graph,
+            send: &mut dyn FnMut(VertexId, usize),
+        ) -> Option<usize> {
+            if v == 0 {
+                // Announce distance 1 to neighbors in round 1.
+                let _ = send;
+                Some(0)
+            } else {
+                None
+            }
+        }
+
+        fn compute(
+            &self,
+            _v: VertexId,
+            graph: &Graph,
+            state: &mut Option<usize>,
+            _round: usize,
+            inbox: &[(VertexId, usize)],
+            send: &mut dyn FnMut(VertexId, usize),
+        ) {
+            if let Some(d) = *state {
+                // Already settled: propagate once, in the round after
+                // settling (round d+1).
+                if inbox.is_empty() && d == 0 || !inbox.is_empty() {
+                    // Handled below.
+                }
+                if _round == d + 1 {
+                    for (w, _) in graph.neighbors(_v) {
+                        send(w, d + 1);
+                    }
+                }
+                return;
+            }
+            if let Some(&(_, d)) = inbox.first() {
+                *state = Some(d);
+                for (w, _) in graph.neighbors(_v) {
+                    send(w, d + 1);
+                }
+            }
+        }
+    }
+
+    fn line(n: usize) -> Graph {
+        let mut b = GraphBuilder::new(n, 4);
+        for i in 0..n - 1 {
+            b.add_edge(i as u32, i as u32 + 1, EdgeData::household_contact(0));
+        }
+        b.build()
+    }
+
+    #[test]
+    fn bfs_vertex_program() {
+        let g = line(6);
+        let states = run(&g, &Distance, 6);
+        for (v, s) in states.iter().enumerate() {
+            assert_eq!(*s, Some(v), "vertex {v}");
+        }
+    }
+
+    #[test]
+    fn q1_baseline_on_known_graph() {
+        // Line 0-1-2-3; 0 and 2 infected on days 0 and 3.
+        let g = line(4);
+        let mut vd = vec![VertexData::healthy(30, 0); 4];
+        vd[0] = VertexData {
+            infected: true,
+            t_inf: 0,
+            age: 30,
+            household: 0,
+        };
+        vd[2] = VertexData {
+            infected: true,
+            t_inf: 3,
+            age: 40,
+            household: 1,
+        };
+        // 1-hop: neither infected vertex sees the other → both count 0.
+        let h1 = q1_plaintext_histogram(&g, &vd, 1, 14, 8);
+        assert_eq!(h1[0], 2);
+        assert_eq!(h1.iter().sum::<u64>(), 2);
+        // 2-hop: each sees the other → both count 1.
+        let h2 = q1_plaintext_histogram(&g, &vd, 2, 14, 8);
+        assert_eq!(h2[1], 2);
+        // Window of 2 days excludes the day-3 diagnosis.
+        let h2w = q1_plaintext_histogram(&g, &vd, 2, 2, 8);
+        assert_eq!(h2w[0], 2);
+    }
+
+    #[test]
+    fn sar_on_epidemic() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut pop = contact_graph(&ContactGraphConfig::default(), &mut rng);
+        run_epidemic(&mut pop, &EpidemicConfig::default(), &mut rng);
+        let all = plaintext_sar(&pop, |_, _, _| true);
+        assert!((0.0..=1.0).contains(&all));
+        let household = plaintext_sar(&pop, |_, _, e| {
+            e.location == crate::data::Location::Household
+        });
+        let community = plaintext_sar(&pop, |_, _, e| {
+            e.location != crate::data::Location::Household
+        });
+        assert!(
+            household >= community,
+            "Q8 signal: {household} vs {community}"
+        );
+    }
+}

@@ -1,0 +1,30 @@
+//! Number-theoretic foundations for the Mycelium reproduction.
+//!
+//! This crate provides the arithmetic substrate that the BGV homomorphic
+//! encryption scheme (`mycelium-bgv`) and the secret-sharing layer
+//! (`mycelium-sharing`) are built on:
+//!
+//! * [`zq`] — arithmetic modulo word-sized primes, with Shoup-style
+//!   precomputed multiplication and NTT-friendly prime generation.
+//! * [`ntt`] — the negacyclic number-theoretic transform over
+//!   `Z_q[X]/(X^N + 1)`.
+//! * [`poly`] — dense polynomials over a single prime modulus.
+//! * [`rns`] — residue-number-system (RNS) polynomial rings: one polynomial
+//!   per prime in a modulus chain, with CRT reconstruction.
+//! * [`bigint`] — a small arbitrary-precision unsigned integer used for CRT
+//!   reconstruction and exact modulus-switching.
+//! * [`sample`] — the samplers lattice cryptography needs (uniform, ternary,
+//!   discrete Gaussian) plus the Laplace samplers used for differential
+//!   privacy.
+
+pub mod bigint;
+pub mod ntt;
+pub mod poly;
+pub mod rns;
+pub mod sample;
+pub mod zq;
+
+pub use bigint::BigUint;
+pub use poly::Poly;
+pub use rns::{RnsContext, RnsPoly};
+pub use zq::Modulus;

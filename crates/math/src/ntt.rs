@@ -1,0 +1,279 @@
+//! Negacyclic number-theoretic transform over `Z_q[X]/(X^N + 1)`.
+//!
+//! The forward transform uses the Cooley–Tukey butterfly with roots in
+//! bit-reversed order; the inverse uses Gentleman–Sande. Multiplying two
+//! polynomials therefore costs two forward transforms, a pointwise product,
+//! and one inverse transform — `O(N log N)` instead of the schoolbook
+//! `O(N^2)`.
+
+use crate::zq::Modulus;
+
+/// Precomputed twiddle tables for a fixed ring degree and modulus.
+///
+/// # Examples
+///
+/// ```
+/// use mycelium_math::{ntt::NttTable, zq::{ntt_primes, Modulus}};
+///
+/// let n = 16;
+/// let q = Modulus::new_prime(ntt_primes(30, n, 1)[0]).unwrap();
+/// let table = NttTable::new(q, n).unwrap();
+/// let mut a = vec![0u64; n];
+/// a[1] = 1; // a(X) = X
+/// let mut b = vec![0u64; n];
+/// b[n - 1] = 1; // b(X) = X^{n-1}
+/// table.forward(&mut a);
+/// table.forward(&mut b);
+/// let mut c: Vec<u64> = a.iter().zip(&b).map(|(&x, &y)| q.mul(x, y)).collect();
+/// table.inverse(&mut c);
+/// // X * X^{n-1} = X^n = -1 in the negacyclic ring.
+/// assert_eq!(c[0], q.value() - 1);
+/// ```
+#[derive(Debug, Clone)]
+pub struct NttTable {
+    modulus: Modulus,
+    n: usize,
+    /// Powers of psi (2n-th root) in bit-reversed order, for the forward CT.
+    roots_fwd: Vec<u64>,
+    /// Powers of psi^{-1} in bit-reversed order, for the inverse GS.
+    roots_inv: Vec<u64>,
+    /// n^{-1} mod q, folded into the inverse transform.
+    n_inv: u64,
+}
+
+impl NttTable {
+    /// Builds the twiddle tables for ring degree `n` (a power of two).
+    ///
+    /// Returns `None` when `q` does not support a `2n`-th root of unity
+    /// (i.e. `q ≢ 1 (mod 2n)`).
+    pub fn new(modulus: Modulus, n: usize) -> Option<Self> {
+        if !n.is_power_of_two() || n < 2 {
+            return None;
+        }
+        let psi = modulus.primitive_root_of_unity(2 * n as u64)?;
+        let psi_inv = modulus.inv(psi)?;
+        let log_n = n.trailing_zeros();
+        let mut roots_fwd = vec![0u64; n];
+        let mut roots_inv = vec![0u64; n];
+        let mut pow_f = 1u64;
+        let mut pow_i = 1u64;
+        for i in 0..n {
+            let r = (i as u64).reverse_bits() >> (64 - log_n);
+            roots_fwd[r as usize] = pow_f;
+            roots_inv[r as usize] = pow_i;
+            pow_f = modulus.mul(pow_f, psi);
+            pow_i = modulus.mul(pow_i, psi_inv);
+        }
+        let n_inv = modulus.inv(n as u64)?;
+        Some(Self {
+            modulus,
+            n,
+            roots_fwd,
+            roots_inv,
+            n_inv,
+        })
+    }
+
+    /// Returns the ring degree.
+    #[inline]
+    pub fn degree(&self) -> usize {
+        self.n
+    }
+
+    /// Returns the modulus the tables were built for.
+    #[inline]
+    pub fn modulus(&self) -> Modulus {
+        self.modulus
+    }
+
+    /// In-place forward negacyclic NTT (coefficient → evaluation domain).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `a.len()` differs from the table's ring degree.
+    pub fn forward(&self, a: &mut [u64]) {
+        assert_eq!(a.len(), self.n, "length mismatch in NTT");
+        let q = &self.modulus;
+        let mut t = self.n;
+        let mut m = 1;
+        while m < self.n {
+            t /= 2;
+            for i in 0..m {
+                let w = self.roots_fwd[m + i];
+                let j1 = 2 * i * t;
+                for j in j1..j1 + t {
+                    let u = a[j];
+                    let v = q.mul(a[j + t], w);
+                    a[j] = q.add(u, v);
+                    a[j + t] = q.sub(u, v);
+                }
+            }
+            m *= 2;
+        }
+    }
+
+    /// In-place inverse negacyclic NTT (evaluation → coefficient domain).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `a.len()` differs from the table's ring degree.
+    pub fn inverse(&self, a: &mut [u64]) {
+        assert_eq!(a.len(), self.n, "length mismatch in NTT");
+        let q = &self.modulus;
+        let mut t = 1;
+        let mut m = self.n;
+        while m > 1 {
+            let h = m / 2;
+            let mut j1 = 0;
+            for i in 0..h {
+                let w = self.roots_inv[h + i];
+                for j in j1..j1 + t {
+                    let u = a[j];
+                    let v = a[j + t];
+                    a[j] = q.add(u, v);
+                    a[j + t] = q.mul(q.sub(u, v), w);
+                }
+                j1 += 2 * t;
+            }
+            t *= 2;
+            m = h;
+        }
+        for x in a.iter_mut() {
+            *x = q.mul(*x, self.n_inv);
+        }
+    }
+
+    /// Negacyclic convolution of `a` and `b`, returning the product
+    /// polynomial's coefficients.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the operand lengths differ from the ring degree.
+    pub fn multiply(&self, a: &[u64], b: &[u64]) -> Vec<u64> {
+        let mut fa = a.to_vec();
+        let mut fb = b.to_vec();
+        self.forward(&mut fa);
+        self.forward(&mut fb);
+        for (x, y) in fa.iter_mut().zip(&fb) {
+            *x = self.modulus.mul(*x, *y);
+        }
+        self.inverse(&mut fa);
+        fa
+    }
+}
+
+/// Schoolbook negacyclic multiplication, used as a test oracle.
+///
+/// Computes `a * b mod (X^n + 1, q)` in `O(n^2)` time.
+pub fn negacyclic_mul_naive(modulus: &Modulus, a: &[u64], b: &[u64]) -> Vec<u64> {
+    let n = a.len();
+    assert_eq!(n, b.len());
+    let mut out = vec![0u64; n];
+    for i in 0..n {
+        if a[i] == 0 {
+            continue;
+        }
+        for j in 0..n {
+            let prod = modulus.mul(a[i], b[j]);
+            let k = i + j;
+            if k < n {
+                out[k] = modulus.add(out[k], prod);
+            } else {
+                out[k - n] = modulus.sub(out[k - n], prod);
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::zq::ntt_primes;
+
+    fn table(n: usize) -> NttTable {
+        let q = Modulus::new_prime(ntt_primes(40, n, 1)[0]).unwrap();
+        NttTable::new(q, n).unwrap()
+    }
+
+    fn rand_poly(n: usize, q: u64, seed: u64) -> Vec<u64> {
+        let mut s = seed.wrapping_mul(0x9E3779B97F4A7C15) | 1;
+        (0..n)
+            .map(|_| {
+                s ^= s << 13;
+                s ^= s >> 7;
+                s ^= s << 17;
+                s % q
+            })
+            .collect()
+    }
+
+    #[test]
+    fn forward_inverse_roundtrip() {
+        for log_n in [2usize, 4, 8, 10] {
+            let n = 1 << log_n;
+            let t = table(n);
+            let a = rand_poly(n, t.modulus().value(), 7 + log_n as u64);
+            let mut b = a.clone();
+            t.forward(&mut b);
+            assert_ne!(a, b, "transform should change the representation");
+            t.inverse(&mut b);
+            assert_eq!(a, b);
+        }
+    }
+
+    #[test]
+    fn multiply_matches_schoolbook() {
+        for n in [4usize, 16, 64, 256] {
+            let t = table(n);
+            let q = t.modulus();
+            let a = rand_poly(n, q.value(), 1);
+            let b = rand_poly(n, q.value(), 2);
+            assert_eq!(t.multiply(&a, &b), negacyclic_mul_naive(&q, &a, &b));
+        }
+    }
+
+    #[test]
+    fn x_times_x_pow_n_minus_one_is_minus_one() {
+        let n = 64;
+        let t = table(n);
+        let mut a = vec![0u64; n];
+        a[1] = 1;
+        let mut b = vec![0u64; n];
+        b[n - 1] = 1;
+        let c = t.multiply(&a, &b);
+        assert_eq!(c[0], t.modulus().value() - 1);
+        assert!(c[1..].iter().all(|&x| x == 0));
+    }
+
+    #[test]
+    fn multiply_by_one_is_identity() {
+        let n = 32;
+        let t = table(n);
+        let a = rand_poly(n, t.modulus().value(), 3);
+        let mut one = vec![0u64; n];
+        one[0] = 1;
+        assert_eq!(t.multiply(&a, &one), a);
+    }
+
+    #[test]
+    fn rejects_non_power_of_two() {
+        let q = Modulus::new_prime(ntt_primes(40, 16, 1)[0]).unwrap();
+        assert!(NttTable::new(q, 12).is_none());
+        assert!(NttTable::new(q, 1).is_none());
+    }
+
+    #[test]
+    fn rejects_unfriendly_modulus() {
+        let q = Modulus::new_prime(97).unwrap();
+        assert!(NttTable::new(q, 256).is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn forward_panics_on_bad_length() {
+        let t = table(16);
+        let mut a = vec![0u64; 8];
+        t.forward(&mut a);
+    }
+}

@@ -1,0 +1,812 @@
+//! Residue-number-system (RNS) polynomial rings.
+//!
+//! BGV's ciphertext modulus `Q` is a product of word-sized NTT-friendly
+//! primes `q_1 … q_L` (the *modulus chain*). Instead of computing with
+//! ≈550-bit coefficients, every ring element is stored as one polynomial per
+//! prime ("residues"), and all operations are performed independently per
+//! prime — the Chinese Remainder Theorem guarantees this is isomorphic to
+//! arithmetic modulo `Q`.
+//!
+//! A [`RnsPoly`] lives at a *level* `l ≤ L`: only the first `l` primes are
+//! active. BGV modulus switching ([`RnsPoly::mod_switch_down`]) drops the
+//! last active prime while preserving the plaintext modulo `t`, dividing the
+//! noise by roughly `q_l`.
+
+use std::sync::Arc;
+
+use crate::bigint::BigUint;
+use crate::ntt::NttTable;
+use crate::zq::{self, Modulus};
+
+/// Which domain a polynomial's residues are stored in.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Representation {
+    /// Coefficient domain: `residues[i][j]` is the `j`-th coefficient mod `q_i`.
+    Coefficient,
+    /// Evaluation (NTT) domain: pointwise products implement ring products.
+    Ntt,
+}
+
+/// Precomputed constants for one level of the modulus chain.
+#[derive(Debug, Clone)]
+pub struct LevelPrecomp {
+    /// `Q_l = q_1 · … · q_l`.
+    pub big_q: BigUint,
+    /// `Q_l / 2` (floor), for centered reduction.
+    pub half_q: BigUint,
+    /// `Q_l / q_j` for each active prime `j`.
+    pub qhat: Vec<BigUint>,
+    /// `(Q_l / q_j)^{-1} mod q_j` for each active prime `j`.
+    pub qhat_inv: Vec<u64>,
+    /// `(Q_l / q_j) mod q_i` for each pair of active primes (gadget values).
+    pub qhat_mod: Vec<Vec<u64>>,
+    /// `q_l^{-1} mod q_i` for `i < l-1` (used by modulus switching).
+    pub qlast_inv: Vec<u64>,
+}
+
+/// A chain of NTT-friendly primes with CRT and NTT precomputation.
+#[derive(Debug)]
+pub struct RnsContext {
+    n: usize,
+    moduli: Vec<Modulus>,
+    tables: Vec<NttTable>,
+    levels: Vec<LevelPrecomp>,
+}
+
+impl RnsContext {
+    /// Builds a context for ring degree `n` over the given primes.
+    ///
+    /// Returns `None` if any prime is invalid, duplicated, or not
+    /// NTT-friendly for degree `n`.
+    pub fn new(n: usize, primes: &[u64]) -> Option<Arc<Self>> {
+        if primes.is_empty() || !n.is_power_of_two() {
+            return None;
+        }
+        let mut moduli = Vec::with_capacity(primes.len());
+        let mut tables = Vec::with_capacity(primes.len());
+        for (i, &p) in primes.iter().enumerate() {
+            if primes[..i].contains(&p) {
+                return None;
+            }
+            let m = Modulus::new_prime(p)?;
+            tables.push(NttTable::new(m, n)?);
+            moduli.push(m);
+        }
+        let mut levels = Vec::with_capacity(primes.len());
+        for l in 1..=primes.len() {
+            let active = &primes[..l];
+            let big_q = BigUint::product_of(active);
+            let half_q = big_q.shr1();
+            let mut qhat = Vec::with_capacity(l);
+            let mut qhat_inv = Vec::with_capacity(l);
+            let mut qhat_mod = Vec::with_capacity(l);
+            for j in 0..l {
+                let mut h = BigUint::one();
+                for (i, &p) in active.iter().enumerate() {
+                    if i != j {
+                        h = h.mul_u64(p);
+                    }
+                }
+                let hj = h.rem_u64(active[j]);
+                qhat_inv.push(moduli[j].inv(hj).expect("distinct primes are coprime"));
+                qhat_mod.push(moduli[..l].iter().map(|m| h.rem_u64(m.value())).collect());
+                qhat.push(h);
+            }
+            let qlast = active[l - 1];
+            let qlast_inv = moduli[..l - 1]
+                .iter()
+                .map(|m| {
+                    m.inv(qlast % m.value())
+                        .expect("distinct primes are coprime")
+                })
+                .collect();
+            levels.push(LevelPrecomp {
+                big_q,
+                half_q,
+                qhat,
+                qhat_inv,
+                qhat_mod,
+                qlast_inv,
+            });
+        }
+        Some(Arc::new(Self {
+            n,
+            moduli,
+            tables,
+            levels,
+        }))
+    }
+
+    /// Convenience constructor: generates `count` NTT-friendly primes of
+    /// `bits` bits for ring degree `n`.
+    pub fn with_primes(n: usize, bits: u32, count: usize) -> Option<Arc<Self>> {
+        let primes = zq::ntt_primes(bits, n, count);
+        Self::new(n, &primes)
+    }
+
+    /// Ring degree.
+    #[inline]
+    pub fn degree(&self) -> usize {
+        self.n
+    }
+
+    /// Number of primes in the full chain (the maximum level).
+    #[inline]
+    pub fn max_level(&self) -> usize {
+        self.moduli.len()
+    }
+
+    /// The moduli of the chain.
+    #[inline]
+    pub fn moduli(&self) -> &[Modulus] {
+        &self.moduli
+    }
+
+    /// NTT tables, one per prime.
+    #[inline]
+    pub fn tables(&self) -> &[NttTable] {
+        &self.tables
+    }
+
+    /// Precomputation for the given level (`1..=max_level`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `level` is zero or exceeds the chain length.
+    #[inline]
+    pub fn level(&self, level: usize) -> &LevelPrecomp {
+        &self.levels[level - 1]
+    }
+
+    /// `log2(Q_l)` — the size of the level-`l` modulus in bits.
+    pub fn log_q(&self, level: usize) -> f64 {
+        self.level(level).big_q.log2()
+    }
+}
+
+/// A ring element stored in RNS form at some level of the chain.
+#[derive(Debug, Clone)]
+pub struct RnsPoly {
+    ctx: Arc<RnsContext>,
+    level: usize,
+    rep: Representation,
+    residues: Vec<Vec<u64>>,
+}
+
+impl PartialEq for RnsPoly {
+    fn eq(&self, other: &Self) -> bool {
+        self.level == other.level && self.rep == other.rep && self.residues == other.residues
+    }
+}
+impl Eq for RnsPoly {}
+
+impl RnsPoly {
+    /// The zero element at the given level and representation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `level` is zero or exceeds the chain length.
+    pub fn zero(ctx: Arc<RnsContext>, level: usize, rep: Representation) -> Self {
+        assert!(level >= 1 && level <= ctx.max_level(), "invalid level");
+        let n = ctx.degree();
+        Self {
+            ctx,
+            level,
+            rep,
+            residues: vec![vec![0; n]; level],
+        }
+    }
+
+    /// Builds an element from small signed coefficients (e.g. secrets or
+    /// noise), reduced per prime. The result is in coefficient representation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `coeffs.len()` differs from the ring degree or `level` is
+    /// invalid.
+    pub fn from_signed(ctx: Arc<RnsContext>, level: usize, coeffs: &[i64]) -> Self {
+        assert_eq!(coeffs.len(), ctx.degree(), "coefficient count mismatch");
+        assert!(level >= 1 && level <= ctx.max_level(), "invalid level");
+        let residues = ctx.moduli[..level]
+            .iter()
+            .map(|m| coeffs.iter().map(|&c| m.from_signed(c)).collect())
+            .collect();
+        Self {
+            ctx,
+            level,
+            rep: Representation::Coefficient,
+            residues,
+        }
+    }
+
+    /// Builds an element from unsigned coefficients, reduced per prime.
+    pub fn from_u64(ctx: Arc<RnsContext>, level: usize, coeffs: &[u64]) -> Self {
+        assert_eq!(coeffs.len(), ctx.degree(), "coefficient count mismatch");
+        assert!(level >= 1 && level <= ctx.max_level(), "invalid level");
+        let residues = ctx.moduli[..level]
+            .iter()
+            .map(|m| coeffs.iter().map(|&c| m.reduce(c)).collect())
+            .collect();
+        Self {
+            ctx,
+            level,
+            rep: Representation::Coefficient,
+            residues,
+        }
+    }
+
+    /// Builds an element directly from per-prime residues.
+    ///
+    /// # Panics
+    ///
+    /// Panics on shape mismatch.
+    pub fn from_residues(
+        ctx: Arc<RnsContext>,
+        rep: Representation,
+        residues: Vec<Vec<u64>>,
+    ) -> Self {
+        let level = residues.len();
+        assert!(level >= 1 && level <= ctx.max_level(), "invalid level");
+        for (i, r) in residues.iter().enumerate() {
+            assert_eq!(r.len(), ctx.degree(), "residue length mismatch");
+            debug_assert!(r.iter().all(|&x| x < ctx.moduli[i].value()));
+        }
+        Self {
+            ctx,
+            level,
+            rep,
+            residues,
+        }
+    }
+
+    /// The context this element belongs to.
+    #[inline]
+    pub fn context(&self) -> &Arc<RnsContext> {
+        &self.ctx
+    }
+
+    /// Current level (number of active primes).
+    #[inline]
+    pub fn level(&self) -> usize {
+        self.level
+    }
+
+    /// Current representation.
+    #[inline]
+    pub fn representation(&self) -> Representation {
+        self.rep
+    }
+
+    /// Per-prime residues.
+    #[inline]
+    pub fn residues(&self) -> &[Vec<u64>] {
+        &self.residues
+    }
+
+    /// Converts to NTT representation (no-op if already there).
+    pub fn to_ntt(&mut self) {
+        if self.rep == Representation::Ntt {
+            return;
+        }
+        for (i, r) in self.residues.iter_mut().enumerate() {
+            self.ctx.tables[i].forward(r);
+        }
+        self.rep = Representation::Ntt;
+    }
+
+    /// Converts to coefficient representation (no-op if already there).
+    pub fn to_coeff(&mut self) {
+        if self.rep == Representation::Coefficient {
+            return;
+        }
+        for (i, r) in self.residues.iter_mut().enumerate() {
+            self.ctx.tables[i].inverse(r);
+        }
+        self.rep = Representation::Coefficient;
+    }
+
+    /// Returns a copy in NTT representation.
+    pub fn ntt(&self) -> Self {
+        let mut c = self.clone();
+        c.to_ntt();
+        c
+    }
+
+    /// Returns a copy in coefficient representation.
+    pub fn coeff(&self) -> Self {
+        let mut c = self.clone();
+        c.to_coeff();
+        c
+    }
+
+    /// Element-wise addition (both operands must share level and
+    /// representation).
+    ///
+    /// # Panics
+    ///
+    /// Panics on level or representation mismatch.
+    pub fn add(&self, other: &Self) -> Self {
+        self.check_compat(other);
+        let mut out = self.clone();
+        for (i, (r, o)) in out.residues.iter_mut().zip(&other.residues).enumerate() {
+            let m = &self.ctx.moduli[i];
+            for (x, &y) in r.iter_mut().zip(o) {
+                *x = m.add(*x, y);
+            }
+        }
+        out
+    }
+
+    /// Element-wise subtraction.
+    ///
+    /// # Panics
+    ///
+    /// Panics on level or representation mismatch.
+    pub fn sub(&self, other: &Self) -> Self {
+        self.check_compat(other);
+        let mut out = self.clone();
+        for (i, (r, o)) in out.residues.iter_mut().zip(&other.residues).enumerate() {
+            let m = &self.ctx.moduli[i];
+            for (x, &y) in r.iter_mut().zip(o) {
+                *x = m.sub(*x, y);
+            }
+        }
+        out
+    }
+
+    /// Negation.
+    pub fn neg(&self) -> Self {
+        let mut out = self.clone();
+        for (i, r) in out.residues.iter_mut().enumerate() {
+            let m = &self.ctx.moduli[i];
+            for x in r.iter_mut() {
+                *x = m.neg(*x);
+            }
+        }
+        out
+    }
+
+    /// Ring multiplication; both operands must be in NTT representation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either operand is in coefficient representation, or on
+    /// level mismatch.
+    pub fn mul(&self, other: &Self) -> Self {
+        self.check_compat(other);
+        assert_eq!(
+            self.rep,
+            Representation::Ntt,
+            "ring multiplication requires NTT representation"
+        );
+        let mut out = self.clone();
+        for (i, (r, o)) in out.residues.iter_mut().zip(&other.residues).enumerate() {
+            let m = &self.ctx.moduli[i];
+            for (x, &y) in r.iter_mut().zip(o) {
+                *x = m.mul(*x, y);
+            }
+        }
+        out
+    }
+
+    /// Multiplies by an integer scalar (reduced per prime). Works in either
+    /// representation.
+    pub fn scalar_mul(&self, s: u64) -> Self {
+        let mut out = self.clone();
+        for (i, r) in out.residues.iter_mut().enumerate() {
+            let m = &self.ctx.moduli[i];
+            let sv = m.reduce(s);
+            for x in r.iter_mut() {
+                *x = m.mul(*x, sv);
+            }
+        }
+        out
+    }
+
+    /// Restricts the element to a lower level by discarding residues.
+    ///
+    /// This is a plain truncation (valid when the caller separately accounts
+    /// for the value being small, e.g. keyswitch gadget terms); for BGV
+    /// ciphertext level drops use [`RnsPoly::mod_switch_down`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `level` is zero or exceeds the current level.
+    pub fn truncate_level(&self, level: usize) -> Self {
+        assert!(
+            level >= 1 && level <= self.level,
+            "invalid truncation level"
+        );
+        Self {
+            ctx: self.ctx.clone(),
+            level,
+            rep: self.rep,
+            residues: self.residues[..level].to_vec(),
+        }
+    }
+
+    /// BGV modulus switching: drops the last active prime `q_l` while
+    /// preserving the value modulo the plaintext modulus `t`.
+    ///
+    /// Computes `c' = (c - δ) / q_l` where `δ ≡ c (mod q_l)`, `δ ≡ 0 (mod
+    /// t)`, and `|δ| ≤ q_l·(t+1)/2`. For a BGV ciphertext component this
+    /// divides the noise by ≈`q_l` while keeping decryption correct.
+    ///
+    /// The operand must be in coefficient representation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if called at level 1, in NTT representation, or with `t`
+    /// sharing a factor with `q_l` (impossible for odd primes and any `t`
+    /// that is a power of two or smaller prime).
+    pub fn mod_switch_down(&self, t: u64) -> Self {
+        assert!(self.level >= 2, "cannot drop below level 1");
+        assert_eq!(
+            self.rep,
+            Representation::Coefficient,
+            "mod_switch_down requires coefficient representation"
+        );
+        let l = self.level;
+        let pre = self.ctx.level(l);
+        let qlast = self.ctx.moduli[l - 1];
+        let qlast_inv_t = inv_mod_u64(qlast.value() % t, t)
+            .expect("q_l must be invertible modulo the plaintext modulus");
+        let n = self.ctx.degree();
+        let mut residues = Vec::with_capacity(l - 1);
+        // Precompute delta = d + q_l * w per coefficient, where d is the
+        // centered residue mod q_l and w ≡ -d·q_l^{-1} (mod t), centered.
+        let mut delta_signed = vec![(0i64, 0i64); n];
+        for (j, ds) in delta_signed.iter_mut().enumerate() {
+            let d = qlast.to_signed(self.residues[l - 1][j]);
+            // w = [-d * q_l^{-1}] mod t, centered into (-t/2, t/2].
+            let d_mod_t = (d.rem_euclid(t as i64)) as u64;
+            let w = (d_mod_t as u128 * qlast_inv_t as u128 % t as u128) as u64;
+            let w = (t - w) % t; // -d·q_l^{-1} mod t.
+            let w_c = if w > t / 2 {
+                w as i64 - t as i64
+            } else {
+                w as i64
+            };
+            *ds = (d, w_c);
+        }
+        for i in 0..l - 1 {
+            let m = &self.ctx.moduli[i];
+            let inv = pre.qlast_inv[i];
+            let ql_mod = m.reduce(qlast.value());
+            let mut r = Vec::with_capacity(n);
+            for j in 0..n {
+                let (d, w) = delta_signed[j];
+                // delta mod q_i = d + q_l * w (all small, centered).
+                let dm = m.from_signed(d);
+                let wm = m.from_signed(w);
+                let delta = m.add(dm, m.mul(ql_mod, wm));
+                let num = m.sub(self.residues[i][j], delta);
+                r.push(m.mul(num, inv));
+            }
+            residues.push(r);
+        }
+        Self {
+            ctx: self.ctx.clone(),
+            level: l - 1,
+            rep: Representation::Coefficient,
+            residues,
+        }
+    }
+
+    /// CRT-reconstructs each coefficient as a centered integer and reduces
+    /// it modulo `t`.
+    ///
+    /// This is the final step of BGV decryption: the input is
+    /// `[c0 + c1·s]_Q` and the output is the plaintext `[m]_t` (assuming the
+    /// noise is within bounds). The operand must be in coefficient
+    /// representation.
+    ///
+    /// # Panics
+    ///
+    /// Panics in NTT representation or if `t == 0`.
+    pub fn crt_centered_mod(&self, t: u64) -> Vec<u64> {
+        assert_eq!(
+            self.rep,
+            Representation::Coefficient,
+            "CRT reconstruction requires coefficient representation"
+        );
+        assert!(t > 0, "plaintext modulus must be nonzero");
+        let pre = self.ctx.level(self.level);
+        let n = self.ctx.degree();
+        let mut out = Vec::with_capacity(n);
+        for j in 0..n {
+            let big = self.crt_coeff(j, pre);
+            // Centered reduction mod t.
+            let v = if big.cmp_big(&pre.half_q) == std::cmp::Ordering::Greater {
+                let neg = pre.big_q.sub(&big); // |x| for negative x.
+                let r = neg.rem_u64(t);
+                (t - r) % t
+            } else {
+                big.rem_u64(t)
+            };
+            out.push(v);
+        }
+        out
+    }
+
+    /// Returns the infinity norm of the centered CRT reconstruction.
+    ///
+    /// Used to measure BGV noise exactly in tests. The operand must be in
+    /// coefficient representation.
+    pub fn inf_norm_big(&self) -> BigUint {
+        assert_eq!(
+            self.rep,
+            Representation::Coefficient,
+            "norm requires coefficient representation"
+        );
+        let pre = self.ctx.level(self.level);
+        let mut max = BigUint::zero();
+        for j in 0..self.ctx.degree() {
+            let big = self.crt_coeff(j, pre);
+            let mag = if big.cmp_big(&pre.half_q) == std::cmp::Ordering::Greater {
+                pre.big_q.sub(&big)
+            } else {
+                big
+            };
+            if mag.cmp_big(&max) == std::cmp::Ordering::Greater {
+                max = mag;
+            }
+        }
+        max
+    }
+
+    /// RNS ("CRT-gadget") decomposition for key switching.
+    ///
+    /// Returns one polynomial per active prime: `d_j = [c · (Q/q_j)^{-1}]_{q_j}`
+    /// lifted to every active prime, in NTT representation. The identity
+    /// `Σ_j d_j · (Q/q_j) ≡ c (mod Q)` makes `Σ_j d_j ⊙ ksk_j` a key-switched
+    /// ciphertext, with each `d_j` bounded by `q_j`.
+    ///
+    /// The operand must be in coefficient representation.
+    pub fn rns_decompose(&self) -> Vec<Self> {
+        assert_eq!(
+            self.rep,
+            Representation::Coefficient,
+            "decomposition requires coefficient representation"
+        );
+        let l = self.level;
+        let pre = self.ctx.level(l);
+        let n = self.ctx.degree();
+        let mut out = Vec::with_capacity(l);
+        for j in 0..l {
+            let mj = &self.ctx.moduli[j];
+            // d_j coefficients as integers in [0, q_j).
+            let dj: Vec<u64> = (0..n)
+                .map(|c| mj.mul(self.residues[j][c], pre.qhat_inv[j]))
+                .collect();
+            // Lift to every active prime.
+            let residues: Vec<Vec<u64>> = self.ctx.moduli[..l]
+                .iter()
+                .map(|mi| dj.iter().map(|&x| mi.reduce(x)).collect())
+                .collect();
+            let mut p = Self {
+                ctx: self.ctx.clone(),
+                level: l,
+                rep: Representation::Coefficient,
+                residues,
+            };
+            p.to_ntt();
+            out.push(p);
+        }
+        out
+    }
+
+    fn crt_coeff(&self, j: usize, pre: &LevelPrecomp) -> BigUint {
+        // x = sum_i [r_i * qhat_inv_i]_{q_i} * qhat_i, then reduce mod Q by
+        // subtraction (the sum is < level * Q).
+        let mut acc = BigUint::zero();
+        for i in 0..self.level {
+            let m = &self.ctx.moduli[i];
+            let u = m.mul(self.residues[i][j], pre.qhat_inv[i]);
+            acc = acc.add(&pre.qhat[i].mul_u64(u));
+        }
+        while acc.cmp_big(&pre.big_q) != std::cmp::Ordering::Less {
+            acc = acc.sub(&pre.big_q);
+        }
+        acc
+    }
+
+    fn check_compat(&self, other: &Self) {
+        assert_eq!(self.level, other.level, "RNS level mismatch");
+        assert_eq!(self.rep, other.rep, "representation mismatch");
+        assert!(
+            Arc::ptr_eq(&self.ctx, &other.ctx),
+            "operands belong to different contexts"
+        );
+    }
+}
+
+/// Modular inverse for word-sized (not necessarily prime) moduli via the
+/// extended Euclidean algorithm. Returns `None` when `gcd(a, m) != 1`.
+pub fn inv_mod_u64(a: u64, m: u64) -> Option<u64> {
+    if m == 0 {
+        return None;
+    }
+    if m == 1 {
+        return Some(0);
+    }
+    let (mut old_r, mut r) = (a as i128 % m as i128, m as i128);
+    let (mut old_s, mut s) = (1i128, 0i128);
+    while r != 0 {
+        let q = old_r / r;
+        let tmp_r = old_r - q * r;
+        old_r = r;
+        r = tmp_r;
+        let tmp_s = old_s - q * s;
+        old_s = s;
+        s = tmp_s;
+    }
+    if old_r != 1 {
+        return None;
+    }
+    Some(old_s.rem_euclid(m as i128) as u64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ctx(n: usize, levels: usize) -> Arc<RnsContext> {
+        RnsContext::with_primes(n, 40, levels).unwrap()
+    }
+
+    #[test]
+    fn context_construction() {
+        let c = ctx(64, 3);
+        assert_eq!(c.degree(), 64);
+        assert_eq!(c.max_level(), 3);
+        assert!((c.log_q(3) - 120.0).abs() < 2.0);
+        // Duplicate primes are rejected.
+        let p = zq::ntt_primes(40, 64, 1)[0];
+        assert!(RnsContext::new(64, &[p, p]).is_none());
+        // Non-NTT-friendly primes are rejected.
+        assert!(RnsContext::new(64, &[97]).is_none());
+    }
+
+    #[test]
+    fn from_signed_roundtrip_via_crt() {
+        let c = ctx(16, 3);
+        let coeffs: Vec<i64> = (0..16).map(|i| (i as i64 - 8) * 3).collect();
+        let p = RnsPoly::from_signed(c, 3, &coeffs);
+        let t = 1 << 20;
+        let back = p.crt_centered_mod(t);
+        for (i, &v) in back.iter().enumerate() {
+            let expect = coeffs[i].rem_euclid(t as i64) as u64;
+            assert_eq!(v, expect);
+        }
+    }
+
+    #[test]
+    fn add_mul_consistent_with_crt() {
+        let c = ctx(16, 2);
+        let a = RnsPoly::from_signed(c.clone(), 2, &[1i64; 16]);
+        let b = RnsPoly::from_signed(c.clone(), 2, &[2i64; 16]);
+        let s = a.add(&b);
+        assert_eq!(s.crt_centered_mod(97), vec![3u64; 16]);
+        // (1 + X + ... + X^15)^2 has known negacyclic coefficients.
+        let prod = a.ntt().mul(&a.ntt()).coeff();
+        let got = prod.crt_centered_mod(1 << 30);
+        // Negacyclic square of the all-ones polynomial: coefficient k equals
+        // (k+1) - (n-1-k) = 2k + 2 - n.
+        let n = 16i64;
+        for (k, &g) in got.iter().enumerate() {
+            let expect = (2 * k as i64 + 2 - n).rem_euclid(1 << 30) as u64;
+            assert_eq!(g, expect, "coefficient {k}");
+        }
+    }
+
+    #[test]
+    fn ntt_roundtrip() {
+        let c = ctx(32, 3);
+        let coeffs: Vec<i64> = (0..32).map(|i| i as i64 - 16).collect();
+        let p = RnsPoly::from_signed(c, 3, &coeffs);
+        let mut q = p.clone();
+        q.to_ntt();
+        assert_ne!(p, q);
+        q.to_coeff();
+        assert_eq!(p, q);
+    }
+
+    #[test]
+    fn inf_norm_reports_centered_magnitude() {
+        let c = ctx(8, 2);
+        let p = RnsPoly::from_signed(c, 2, &[-5, 3, 0, 0, 0, 0, 0, 7]);
+        assert_eq!(p.inf_norm_big(), BigUint::from_u64(7));
+    }
+
+    #[test]
+    fn mod_switch_preserves_plaintext_mod_t() {
+        let c = ctx(16, 3);
+        let t = 257u64;
+        // Value = m + t*e for small m, e; after mod switch the value mod t
+        // must still be m.
+        let m: Vec<i64> = (0..16).map(|i| (i % (t as usize)) as i64).collect();
+        let e: Vec<i64> = (0..16).map(|i| (i as i64 - 8) * 11).collect();
+        let v: Vec<i64> = m.iter().zip(&e).map(|(&a, &b)| a + t as i64 * b).collect();
+        let p = RnsPoly::from_signed(c, 3, &v);
+        let switched = p.mod_switch_down(t);
+        assert_eq!(switched.level(), 2);
+        let back = switched.crt_centered_mod(t);
+        // After division by q_l, the plaintext is scaled by q_l^{-1} mod t.
+        let ql = switched.context().moduli()[2].value();
+        let ql_inv = inv_mod_u64(ql % t, t).unwrap();
+        for (i, &b) in back.iter().enumerate() {
+            let expect = (m[i] as u64 * ql_inv) % t;
+            assert_eq!(b, expect, "coefficient {i}");
+        }
+    }
+
+    #[test]
+    fn mod_switch_shrinks_noise() {
+        let c = ctx(16, 3);
+        let t = 2u64;
+        let v: Vec<i64> = (0..16).map(|i| (i as i64 + 1) * 1_000_000_007).collect();
+        let p = RnsPoly::from_signed(c, 3, &v);
+        let before = p.inf_norm_big();
+        let after = p.mod_switch_down(t).inf_norm_big();
+        // Noise shrinks by roughly q_l (2^40); allow slack for the delta term.
+        assert!(after.bits() + 30 < before.bits() || after.bits() <= 8);
+    }
+
+    #[test]
+    fn rns_decomposition_recomposes() {
+        let c = ctx(16, 3);
+        let coeffs: Vec<i64> = (0..16).map(|i| i as i64 * 123_456_789 - 7).collect();
+        let p = RnsPoly::from_signed(c.clone(), 3, &coeffs);
+        let parts = p.rns_decompose();
+        assert_eq!(parts.len(), 3);
+        // sum_j d_j * qhat_j must equal p mod Q.
+        let pre = c.level(3);
+        let mut acc = RnsPoly::zero(c.clone(), 3, Representation::Ntt);
+        for (j, d) in parts.iter().enumerate() {
+            // Build the constant polynomial qhat_j in RNS.
+            let gadget_res: Vec<Vec<u64>> = (0..3)
+                .map(|i| {
+                    let mut v = vec![0u64; 16];
+                    v[0] = pre.qhat_mod[j][i];
+                    v
+                })
+                .collect();
+            let mut g = RnsPoly::from_residues(c.clone(), Representation::Coefficient, gadget_res);
+            g.to_ntt();
+            acc = acc.add(&d.mul(&g));
+        }
+        assert_eq!(acc.coeff(), p);
+    }
+
+    #[test]
+    fn truncate_level_drops_residues() {
+        let c = ctx(8, 3);
+        let p = RnsPoly::from_signed(c, 3, &[1, 2, 3, 4, 5, 6, 7, 8]);
+        let t = p.truncate_level(2);
+        assert_eq!(t.level(), 2);
+        assert_eq!(t.residues().len(), 2);
+        assert_eq!(t.residues()[0], p.residues()[0]);
+    }
+
+    #[test]
+    fn inv_mod_u64_cases() {
+        assert_eq!(inv_mod_u64(3, 7), Some(5));
+        assert_eq!(inv_mod_u64(2, 4), None); // Not coprime.
+        assert_eq!(inv_mod_u64(1, 1), Some(0));
+        let t = 1u64 << 30;
+        let q = 1_099_511_627_689u64 % t; // An odd prime mod 2^30.
+        let inv = inv_mod_u64(q, t).unwrap();
+        assert_eq!(q.wrapping_mul(inv) % t, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "different contexts")]
+    fn cross_context_ops_panic() {
+        let c1 = ctx(8, 2);
+        let c2 = ctx(8, 2);
+        let a = RnsPoly::zero(c1, 2, Representation::Coefficient);
+        let b = RnsPoly::zero(c2, 2, Representation::Coefficient);
+        let _ = a.add(&b);
+    }
+}

@@ -1,0 +1,218 @@
+//! Randomness: lattice samplers and differential-privacy noise.
+//!
+//! Lattice cryptography needs three distributions — uniform over `R_Q`,
+//! ternary secrets, and discrete Gaussian noise — and the differential
+//! privacy layer needs Laplace noise (continuous and discrete/two-sided
+//! geometric). All samplers take a caller-supplied [`rand::Rng`] so that
+//! tests can be deterministic.
+
+use std::sync::Arc;
+
+use rand::Rng;
+
+use crate::rns::{Representation, RnsContext, RnsPoly};
+
+/// Samples a uniform element of `R_{Q_l}` (independent uniform residues per
+/// prime, which is exactly uniform modulo `Q_l` by CRT). The result is in
+/// coefficient representation.
+pub fn uniform_rns<R: Rng + ?Sized>(ctx: &Arc<RnsContext>, level: usize, rng: &mut R) -> RnsPoly {
+    let n = ctx.degree();
+    let residues: Vec<Vec<u64>> = ctx.moduli()[..level]
+        .iter()
+        .map(|m| (0..n).map(|_| rng.gen_range(0..m.value())).collect())
+        .collect();
+    RnsPoly::from_residues(ctx.clone(), Representation::Coefficient, residues)
+}
+
+/// Samples ternary coefficients in `{-1, 0, 1}` (each with probability 1/3),
+/// the standard BGV secret-key distribution.
+pub fn ternary_coeffs<R: Rng + ?Sized>(n: usize, rng: &mut R) -> Vec<i64> {
+    (0..n).map(|_| rng.gen_range(-1i64..=1)).collect()
+}
+
+/// Samples discrete Gaussian coefficients by rounding a continuous Gaussian
+/// of standard deviation `sigma` (the common approach in HE libraries; tail
+/// cut at `6·sigma`).
+pub fn gaussian_coeffs<R: Rng + ?Sized>(n: usize, sigma: f64, rng: &mut R) -> Vec<i64> {
+    let cut = (6.0 * sigma).ceil() as i64;
+    (0..n)
+        .map(|_| {
+            let g = (sample_standard_normal(rng) * sigma).round() as i64;
+            g.clamp(-cut, cut)
+        })
+        .collect()
+}
+
+/// Samples a ternary secret directly as an [`RnsPoly`] in coefficient
+/// representation at the given level.
+pub fn ternary_rns<R: Rng + ?Sized>(ctx: &Arc<RnsContext>, level: usize, rng: &mut R) -> RnsPoly {
+    let coeffs = ternary_coeffs(ctx.degree(), rng);
+    RnsPoly::from_signed(ctx.clone(), level, &coeffs)
+}
+
+/// Samples Gaussian noise directly as an [`RnsPoly`] in coefficient
+/// representation at the given level.
+pub fn gaussian_rns<R: Rng + ?Sized>(
+    ctx: &Arc<RnsContext>,
+    level: usize,
+    sigma: f64,
+    rng: &mut R,
+) -> RnsPoly {
+    let coeffs = gaussian_coeffs(ctx.degree(), sigma, rng);
+    RnsPoly::from_signed(ctx.clone(), level, &coeffs)
+}
+
+/// Samples a standard normal via the Box–Muller transform.
+pub fn sample_standard_normal<R: Rng + ?Sized>(rng: &mut R) -> f64 {
+    loop {
+        let u1: f64 = rng.gen::<f64>();
+        let u2: f64 = rng.gen::<f64>();
+        if u1 > f64::MIN_POSITIVE {
+            return (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos();
+        }
+    }
+}
+
+/// Samples continuous Laplace noise with scale `b` (density
+/// `exp(-|x|/b) / 2b`), the Laplace-mechanism primitive.
+///
+/// # Panics
+///
+/// Panics if `b <= 0`.
+pub fn sample_laplace<R: Rng + ?Sized>(b: f64, rng: &mut R) -> f64 {
+    assert!(b > 0.0, "Laplace scale must be positive");
+    // Inverse-CDF sampling: u uniform in (-1/2, 1/2).
+    let u: f64 = rng.gen::<f64>() - 0.5;
+    -b * u.signum() * (1.0 - 2.0 * u.abs()).ln()
+}
+
+/// Samples discrete Laplace noise (two-sided geometric distribution) with
+/// parameter `alpha = exp(-1/b)`: `Pr[k] ∝ alpha^{|k|}`.
+///
+/// This is the integer-valued mechanism the committee uses inside the MPC,
+/// where only integer arithmetic is available.
+///
+/// # Panics
+///
+/// Panics if `b <= 0`.
+pub fn sample_discrete_laplace<R: Rng + ?Sized>(b: f64, rng: &mut R) -> i64 {
+    assert!(b > 0.0, "Laplace scale must be positive");
+    let alpha = (-1.0 / b).exp();
+    // Sample magnitude from geometric, then a sign; resample k=0 with sign
+    // fix to keep the distribution symmetric and correctly normalized.
+    loop {
+        let u: f64 = rng.gen::<f64>();
+        let k = if alpha <= f64::MIN_POSITIVE {
+            0
+        } else {
+            (u.ln() / alpha.ln()).floor() as i64
+        };
+        let sign = if rng.gen::<bool>() { 1 } else { -1 };
+        if k == 0 && sign < 0 {
+            // Reject to avoid double-counting zero.
+            continue;
+        }
+        return sign * k;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(0xC0FFEE)
+    }
+
+    #[test]
+    fn uniform_rns_is_in_range_and_varies() {
+        let ctx = RnsContext::with_primes(64, 30, 2).unwrap();
+        let mut r = rng();
+        let a = uniform_rns(&ctx, 2, &mut r);
+        let b = uniform_rns(&ctx, 2, &mut r);
+        assert_ne!(a, b);
+        for (i, res) in a.residues().iter().enumerate() {
+            let q = ctx.moduli()[i].value();
+            assert!(res.iter().all(|&x| x < q));
+        }
+    }
+
+    #[test]
+    fn ternary_values_and_balance() {
+        let mut r = rng();
+        let c = ternary_coeffs(30_000, &mut r);
+        assert!(c.iter().all(|&x| (-1..=1).contains(&x)));
+        let count_pos = c.iter().filter(|&&x| x == 1).count() as f64;
+        let count_neg = c.iter().filter(|&&x| x == -1).count() as f64;
+        let count_zero = c.iter().filter(|&&x| x == 0).count() as f64;
+        for count in [count_pos, count_neg, count_zero] {
+            assert!((count / 30_000.0 - 1.0 / 3.0).abs() < 0.02);
+        }
+    }
+
+    #[test]
+    fn gaussian_moments() {
+        let mut r = rng();
+        let sigma = 3.2;
+        let c = gaussian_coeffs(50_000, sigma, &mut r);
+        let mean = c.iter().sum::<i64>() as f64 / c.len() as f64;
+        let var = c.iter().map(|&x| (x as f64 - mean).powi(2)).sum::<f64>() / c.len() as f64;
+        assert!(mean.abs() < 0.1, "mean {mean}");
+        assert!((var.sqrt() - sigma).abs() < 0.2, "std {}", var.sqrt());
+        let cut = (6.0 * sigma).ceil() as i64;
+        assert!(c.iter().all(|&x| x.abs() <= cut));
+    }
+
+    #[test]
+    fn laplace_moments() {
+        let mut r = rng();
+        let b = 5.0;
+        let samples: Vec<f64> = (0..100_000).map(|_| sample_laplace(b, &mut r)).collect();
+        let mean = samples.iter().sum::<f64>() / samples.len() as f64;
+        let var = samples.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / samples.len() as f64;
+        assert!(mean.abs() < 0.15, "mean {mean}");
+        // Laplace variance is 2 b^2 = 50.
+        assert!((var - 2.0 * b * b).abs() < 4.0, "var {var}");
+    }
+
+    #[test]
+    fn discrete_laplace_symmetry_and_scale() {
+        let mut r = rng();
+        let b = 3.0;
+        let samples: Vec<i64> = (0..100_000)
+            .map(|_| sample_discrete_laplace(b, &mut r))
+            .collect();
+        let mean = samples.iter().sum::<i64>() as f64 / samples.len() as f64;
+        assert!(mean.abs() < 0.1, "mean {mean}");
+        // The two-sided geometric with alpha = e^{-1/b} has variance
+        // 2·alpha / (1-alpha)^2.
+        let alpha = (-1.0f64 / b).exp();
+        let expect_var = 2.0 * alpha / (1.0 - alpha).powi(2);
+        let var = samples
+            .iter()
+            .map(|&x| (x as f64 - mean).powi(2))
+            .sum::<f64>()
+            / samples.len() as f64;
+        assert!(
+            (var - expect_var).abs() / expect_var < 0.1,
+            "var {var} vs {expect_var}"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "scale must be positive")]
+    fn laplace_rejects_nonpositive_scale() {
+        let mut r = rng();
+        let _ = sample_laplace(0.0, &mut r);
+    }
+
+    #[test]
+    fn deterministic_under_seed() {
+        let ctx = RnsContext::with_primes(16, 30, 1).unwrap();
+        let a = uniform_rns(&ctx, 1, &mut StdRng::seed_from_u64(42));
+        let b = uniform_rns(&ctx, 1, &mut StdRng::seed_from_u64(42));
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,262 @@
+//! The Figure 5 privacy and reliability curves (§6.3).
+//!
+//! Closed-form models, stated in the paper's own terms, plus Monte-Carlo
+//! validation against the forwarding simulator:
+//!
+//! * **Anonymity-set size** (Fig 5a): each *honest* forwarder multiplies
+//!   the candidate-sender set by `r/f` (the uploaded message could have
+//!   been any the forwarder downloaded); a colluding forwarder multiplies
+//!   by 1. Expectation over the binomially-distributed number of honest
+//!   hops gives `(m + (1-m)·r/f)^k`, capped at the population size.
+//! * **Identification probability** (Fig 5b): the sender is exposed when
+//!   some replica's path is *entirely* malicious: `1 − (1 − m^k)^r`.
+//! * **Goodput** (Fig 5c): a replica survives when its source and all `k`
+//!   hops stay up: `(1−φ)^k`; a message is lost only when all `r` replicas
+//!   die: goodput `= 1 − (1 − (1−φ)^k)^r`.
+//! * **Duration** (Fig 5d): telescoping `k² + 2k` C-rounds, forwarding
+//!   `2k + 2` (query + response) — both *measured* by the simulator in
+//!   [`crate::circuit`]/[`crate::forward`], not just asserted.
+
+use rand::Rng;
+
+/// Parameters of the analytic model.
+#[derive(Debug, Clone, Copy)]
+pub struct AnalysisParams {
+    /// Population size `N`.
+    pub n: f64,
+    /// Replicas `r`.
+    pub r: usize,
+    /// Hops `k`.
+    pub k: usize,
+    /// Forwarder fraction `f`.
+    pub f: f64,
+    /// Fraction of malicious devices.
+    pub malice: f64,
+}
+
+/// Expected anonymity-set size (Figure 5a).
+pub fn anonymity_set_size(p: &AnalysisParams) -> f64 {
+    let per_hop = p.r as f64 / p.f;
+    let grown = (p.malice + (1.0 - p.malice) * per_hop).powi(p.k as i32);
+    grown.min(p.n)
+}
+
+/// Probability that the adversary identifies the sender of a given message
+/// (Figure 5b): at least one replica path is entirely malicious.
+pub fn identification_probability(p: &AnalysisParams) -> f64 {
+    let full_path = p.malice.powi(p.k as i32);
+    1.0 - (1.0 - full_path).powf(p.r as f64)
+}
+
+/// Probability a message reaches its destination (Figure 5c) when each
+/// device independently fails (malice + churn) with probability `fail`.
+pub fn goodput(k: usize, r: usize, fail: f64) -> f64 {
+    let path_ok = (1.0 - fail).powi(k as i32);
+    1.0 - (1.0 - path_ok).powf(r as f64)
+}
+
+/// Monte-Carlo estimate of goodput: sample `trials` messages, each with
+/// `r` independent `k`-hop paths whose hops fail i.i.d. with probability
+/// `fail`.
+pub fn goodput_monte_carlo<R: Rng + ?Sized>(
+    k: usize,
+    r: usize,
+    fail: f64,
+    trials: usize,
+    rng: &mut R,
+) -> f64 {
+    let mut ok = 0usize;
+    for _ in 0..trials {
+        let delivered = (0..r).any(|_| (0..k).all(|_| rng.gen::<f64>() >= fail));
+        ok += delivered as usize;
+    }
+    ok as f64 / trials as f64
+}
+
+/// Monte-Carlo estimate of the identification probability.
+pub fn identification_monte_carlo<R: Rng + ?Sized>(
+    k: usize,
+    r: usize,
+    malice: f64,
+    trials: usize,
+    rng: &mut R,
+) -> f64 {
+    let mut exposed = 0usize;
+    for _ in 0..trials {
+        let hit = (0..r).any(|_| (0..k).all(|_| rng.gen::<f64>() < malice));
+        exposed += hit as usize;
+    }
+    exposed as f64 / trials as f64
+}
+
+/// The full Figure 5(a) series: anonymity-set size for `k = 1..=k_max` and
+/// each `r`.
+pub fn figure5a(n: f64, f: f64, malice: f64, k_max: usize, rs: &[usize]) -> Vec<(usize, Vec<f64>)> {
+    rs.iter()
+        .map(|&r| {
+            let series = (1..=k_max)
+                .map(|k| anonymity_set_size(&AnalysisParams { n, r, k, f, malice }))
+                .collect();
+            (r, series)
+        })
+        .collect()
+}
+
+/// The full Figure 5(b) series: identification probability vs malice rate
+/// for each `k`.
+pub fn figure5b(r: usize, malices: &[f64], ks: &[usize]) -> Vec<(usize, Vec<f64>)> {
+    ks.iter()
+        .map(|&k| {
+            let series = malices
+                .iter()
+                .map(|&m| {
+                    identification_probability(&AnalysisParams {
+                        n: f64::INFINITY,
+                        r,
+                        k,
+                        f: 0.1,
+                        malice: m,
+                    })
+                })
+                .collect();
+            (k, series)
+        })
+        .collect()
+}
+
+/// The full Figure 5(c) series: goodput vs failure rate for each `r`.
+pub fn figure5c(k: usize, fails: &[f64], rs: &[usize]) -> Vec<(usize, Vec<f64>)> {
+    rs.iter()
+        .map(|&r| (r, fails.iter().map(|&f| goodput(k, r, f)).collect()))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn paper_headline_anonymity_number() {
+        // §6.3: r = 2, k = 3, f = 0.1, malice 0.02 → anonymity set > 7000.
+        let p = AnalysisParams {
+            n: 1.1e6,
+            r: 2,
+            k: 3,
+            f: 0.1,
+            malice: 0.02,
+        };
+        let s = anonymity_set_size(&p);
+        assert!(s > 7000.0, "anonymity set {s}");
+        assert!(s < 10_000.0, "anonymity set {s} (order of magnitude)");
+    }
+
+    #[test]
+    fn paper_headline_identification_number() {
+        // §6.3: k = 3, malice 0.02 → p ≈ 1e-5 per query.
+        let p = AnalysisParams {
+            n: 1.1e6,
+            r: 2,
+            k: 3,
+            f: 0.1,
+            malice: 0.02,
+        };
+        let prob = identification_probability(&p);
+        assert!(prob > 1e-6 && prob < 1e-4, "p = {prob}");
+    }
+
+    #[test]
+    fn paper_headline_goodput_number() {
+        // §6.3: r = 2, 4% failures, k = 3 → about one in 100 messages lost.
+        let g = goodput(3, 2, 0.04);
+        let lost = 1.0 - g;
+        assert!(lost > 0.005 && lost < 0.02, "loss {lost}");
+    }
+
+    #[test]
+    fn anonymity_grows_with_r_and_k() {
+        let base = AnalysisParams {
+            n: 1e9,
+            r: 1,
+            k: 2,
+            f: 0.1,
+            malice: 0.02,
+        };
+        let s1 = anonymity_set_size(&base);
+        let s2 = anonymity_set_size(&AnalysisParams { r: 2, ..base });
+        let s3 = anonymity_set_size(&AnalysisParams { k: 3, ..base });
+        assert!(s2 > s1);
+        assert!(s3 > s1);
+        // And is capped by the population.
+        let tiny = anonymity_set_size(&AnalysisParams { n: 50.0, ..base });
+        assert_eq!(tiny, 50.0);
+    }
+
+    #[test]
+    fn identification_shrinks_with_k_grows_with_r_m() {
+        let p = |k, r, m| {
+            identification_probability(&AnalysisParams {
+                n: 1e6,
+                r,
+                k,
+                f: 0.1,
+                malice: m,
+            })
+        };
+        assert!(p(4, 3, 0.02) < p(3, 3, 0.02));
+        assert!(p(3, 3, 0.04) > p(3, 3, 0.02));
+        assert!(p(3, 3, 0.02) > p(3, 2, 0.02));
+    }
+
+    #[test]
+    fn monte_carlo_matches_closed_form() {
+        let mut rng = StdRng::seed_from_u64(81);
+        for &(k, r, fail) in &[(3usize, 2usize, 0.05f64), (2, 1, 0.1), (4, 3, 0.03)] {
+            let analytic = goodput(k, r, fail);
+            let mc = goodput_monte_carlo(k, r, fail, 200_000, &mut rng);
+            assert!(
+                (analytic - mc).abs() < 0.01,
+                "k={k} r={r} fail={fail}: {analytic} vs {mc}"
+            );
+        }
+        // Identification at an exaggerated malice rate (so MC has signal).
+        let analytic = identification_probability(&AnalysisParams {
+            n: 1e6,
+            r: 2,
+            k: 2,
+            f: 0.1,
+            malice: 0.2,
+        });
+        let mc = identification_monte_carlo(2, 2, 0.2, 200_000, &mut rng);
+        assert!((analytic - mc).abs() < 0.01, "{analytic} vs {mc}");
+    }
+
+    #[test]
+    fn figure_series_shapes() {
+        let fa = figure5a(1.1e6, 0.1, 0.02, 4, &[1, 2, 3]);
+        assert_eq!(fa.len(), 3);
+        for (_, series) in &fa {
+            assert_eq!(series.len(), 4);
+            assert!(series.windows(2).all(|w| w[1] >= w[0]), "monotone in k");
+        }
+        let fb = figure5b(3, &[0.005, 0.01, 0.02, 0.04], &[2, 3, 4]);
+        for (_, series) in &fb {
+            assert!(
+                series.windows(2).all(|w| w[1] >= w[0]),
+                "monotone in malice"
+            );
+        }
+        let fc = figure5c(3, &[0.01, 0.02, 0.04, 0.08], &[1, 2, 3]);
+        for (_, series) in &fc {
+            assert!(
+                series.windows(2).all(|w| w[1] <= w[0]),
+                "drops with failures"
+            );
+        }
+        // More replicas → better goodput at every failure rate.
+        for i in 0..fc[0].1.len() {
+            assert!(fc[2].1[i] >= fc[0].1[i]);
+        }
+    }
+}

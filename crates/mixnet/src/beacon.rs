@@ -1,0 +1,183 @@
+//! The collectively-chosen random beacon (§3.4).
+//!
+//! Hop selection hashes candidate indices with a random bitstring `B`
+//! "chosen collectively as, e.g., in Honeycrisp". This module implements
+//! the standard commit-then-reveal coin flip over the bulletin board:
+//!
+//! 1. each participating device posts `H(device ‖ contribution ‖ salt)`,
+//! 2. after all commitments are on the board, devices reveal
+//!    `(contribution, salt)`,
+//! 3. the beacon is the hash of all *verified* contributions.
+//!
+//! As long as one contributor is honest, the output is unpredictable to
+//! everyone — including the aggregator — *before* the commitment phase
+//! closes, which is exactly when `M1`'s pseudonym positions are already
+//! fixed.
+
+use mycelium_crypto::sha256::{sha256_concat, Digest};
+
+/// One device's commitment.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BeaconCommitment {
+    /// Committing device.
+    pub device: u64,
+    /// `H(device ‖ contribution ‖ salt)`.
+    pub digest: Digest,
+}
+
+/// One device's reveal.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BeaconReveal {
+    /// Revealing device.
+    pub device: u64,
+    /// The random contribution.
+    pub contribution: [u8; 32],
+    /// The commitment salt.
+    pub salt: [u8; 32],
+}
+
+/// Commit-reveal beacon failures.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum BeaconError {
+    /// A reveal does not match its commitment (equivocation attempt).
+    BadReveal {
+        /// Offending device.
+        device: u64,
+    },
+    /// A reveal arrived with no matching commitment.
+    Uncommitted {
+        /// Offending device.
+        device: u64,
+    },
+    /// No valid contributions at all.
+    Empty,
+}
+
+impl std::fmt::Display for BeaconError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            BeaconError::BadReveal { device } => {
+                write!(f, "device {device}'s reveal contradicts its commitment")
+            }
+            BeaconError::Uncommitted { device } => {
+                write!(f, "device {device} revealed without committing")
+            }
+            BeaconError::Empty => write!(f, "no valid beacon contributions"),
+        }
+    }
+}
+
+impl std::error::Error for BeaconError {}
+
+/// Computes a device's commitment digest.
+pub fn commit(device: u64, contribution: &[u8; 32], salt: &[u8; 32]) -> BeaconCommitment {
+    BeaconCommitment {
+        device,
+        digest: sha256_concat(&[b"beacon-commit", &device.to_le_bytes(), contribution, salt]),
+    }
+}
+
+/// Combines verified reveals into the beacon.
+///
+/// Devices that committed but never revealed are simply *excluded* (a
+/// withholding attacker can bias at most one bit of its own choice by
+/// aborting, the standard commit-reveal caveat; Honeycrisp's full
+/// construction closes this too — noted in DESIGN.md). Reveals that
+/// contradict their commitments are an error identifying the equivocator.
+pub fn combine(
+    commitments: &[BeaconCommitment],
+    reveals: &[BeaconReveal],
+) -> Result<Vec<u8>, BeaconError> {
+    let mut contributions: Vec<(u64, [u8; 32])> = Vec::new();
+    for r in reveals {
+        let c = commitments
+            .iter()
+            .find(|c| c.device == r.device)
+            .ok_or(BeaconError::Uncommitted { device: r.device })?;
+        let expect = commit(r.device, &r.contribution, &r.salt);
+        if expect.digest != c.digest {
+            return Err(BeaconError::BadReveal { device: r.device });
+        }
+        contributions.push((r.device, r.contribution));
+    }
+    if contributions.is_empty() {
+        return Err(BeaconError::Empty);
+    }
+    contributions.sort_by_key(|(d, _)| *d);
+    let mut parts: Vec<&[u8]> = vec![b"beacon-output"];
+    for (_, c) in &contributions {
+        parts.push(c);
+    }
+    Ok(sha256_concat(&parts).to_vec())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn reveal(device: u64, byte: u8) -> (BeaconCommitment, BeaconReveal) {
+        let contribution = [byte; 32];
+        let salt = [byte ^ 0xFF; 32];
+        (
+            commit(device, &contribution, &salt),
+            BeaconReveal {
+                device,
+                contribution,
+                salt,
+            },
+        )
+    }
+
+    #[test]
+    fn honest_flow_produces_stable_beacon() {
+        let (c1, r1) = reveal(1, 0xAA);
+        let (c2, r2) = reveal(2, 0xBB);
+        let b1 = combine(&[c1.clone(), c2.clone()], &[r1.clone(), r2.clone()]).unwrap();
+        // Order of reveals does not matter (sorted by device).
+        let b2 = combine(&[c2, c1], &[r2, r1]).unwrap();
+        assert_eq!(b1, b2);
+        assert_eq!(b1.len(), 32);
+    }
+
+    #[test]
+    fn one_honest_contributor_changes_everything() {
+        let (c1, r1) = reveal(1, 0xAA);
+        let (c2, r2) = reveal(2, 0xBB);
+        let (c2b, r2b) = reveal(2, 0xBC);
+        let a = combine(&[c1.clone(), c2], &[r1.clone(), r2]).unwrap();
+        let b = combine(&[c1, c2b], &[r1, r2b]).unwrap();
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn equivocation_detected() {
+        let (c1, mut r1) = reveal(1, 0x11);
+        r1.contribution[0] ^= 1;
+        assert_eq!(
+            combine(&[c1], &[r1]),
+            Err(BeaconError::BadReveal { device: 1 })
+        );
+    }
+
+    #[test]
+    fn uncommitted_reveal_rejected() {
+        let (_, r1) = reveal(1, 0x11);
+        assert_eq!(
+            combine(&[], &[r1]),
+            Err(BeaconError::Uncommitted { device: 1 })
+        );
+    }
+
+    #[test]
+    fn withholding_devices_are_excluded() {
+        let (c1, r1) = reveal(1, 0x11);
+        let (c2, _) = reveal(2, 0x22); // Commits, never reveals.
+        let b = combine(&[c1.clone(), c2], &[r1.clone()]).unwrap();
+        assert_eq!(b, combine(&[c1], &[r1]).unwrap());
+    }
+
+    #[test]
+    fn empty_reveals_error() {
+        assert_eq!(combine(&[], &[]), Err(BeaconError::Empty));
+    }
+}

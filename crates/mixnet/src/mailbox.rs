@@ -1,0 +1,235 @@
+//! Per-pseudonym mailboxes with Merkle commitments (§3.3–§3.4).
+//!
+//! All device-to-device traffic flows through mailboxes the aggregator
+//! keeps, one per pseudonym. At the end of each C-round the aggregator
+//! computes (a) a *mailbox MHT* over each mailbox's messages and (b) a
+//! *C-round MHT* over the mailbox roots, commits the C-round root to the
+//! bulletin board, and proves to each sender that its deposits were
+//! included. A recipient fetches its whole mailbox together with the
+//! mailbox MHT and checks it against the committed root — so the
+//! aggregator cannot drop or reorder messages without detection.
+
+use mycelium_crypto::merkle::{InclusionProof, MerkleTree};
+use mycelium_crypto::sha256::Digest;
+
+/// A deposited message (opaque ciphertext bytes plus the path id header).
+pub type Message = Vec<u8>;
+
+/// The aggregator's mailbox state for one C-round.
+#[derive(Debug, Clone, Default)]
+pub struct MailboxRound {
+    /// `boxes[p]` holds the messages deposited for pseudonym number `p`.
+    boxes: Vec<Vec<Message>>,
+}
+
+/// A commitment over one C-round's mailboxes.
+#[derive(Debug, Clone)]
+pub struct RoundCommitment {
+    /// Mailbox roots in pseudonym order.
+    pub mailbox_roots: Vec<Digest>,
+    /// Tree over the mailbox roots.
+    cround_tree: MerkleTree,
+    /// Per-mailbox trees (kept by the aggregator to serve proofs).
+    mailbox_trees: Vec<MerkleTree>,
+}
+
+/// A sender's inclusion proof: the message is in mailbox `p` at `slot`,
+/// and mailbox `p`'s root is in the C-round tree.
+#[derive(Debug, Clone)]
+pub struct DepositProof {
+    /// Target pseudonym number.
+    pub pseudonym: usize,
+    /// Slot within the mailbox.
+    pub slot: usize,
+    /// Proof of the message within the mailbox MHT.
+    pub message_proof: InclusionProof,
+    /// The mailbox root.
+    pub mailbox_root: Digest,
+    /// Proof of the mailbox root within the C-round MHT.
+    pub mailbox_proof: InclusionProof,
+}
+
+impl MailboxRound {
+    /// Creates empty mailboxes for `pseudonyms` recipients.
+    pub fn new(pseudonyms: usize) -> Self {
+        Self {
+            boxes: vec![Vec::new(); pseudonyms],
+        }
+    }
+
+    /// Deposits a message; returns the slot index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the pseudonym number is out of range.
+    pub fn deposit(&mut self, pseudonym: usize, msg: Message) -> usize {
+        self.boxes[pseudonym].push(msg);
+        self.boxes[pseudonym].len() - 1
+    }
+
+    /// Number of messages currently in a mailbox.
+    pub fn len(&self, pseudonym: usize) -> usize {
+        self.boxes[pseudonym].len()
+    }
+
+    /// True if every mailbox is empty.
+    pub fn is_empty(&self) -> bool {
+        self.boxes.iter().all(|b| b.is_empty())
+    }
+
+    /// The messages in a mailbox (what the recipient downloads).
+    pub fn fetch(&self, pseudonym: usize) -> &[Message] {
+        &self.boxes[pseudonym]
+    }
+
+    /// Ends the C-round: commits all mailboxes.
+    pub fn commit(&self) -> RoundCommitment {
+        let mailbox_trees: Vec<MerkleTree> =
+            self.boxes.iter().map(|b| MerkleTree::build(b)).collect();
+        let mailbox_roots: Vec<Digest> = mailbox_trees.iter().map(|t| t.root()).collect();
+        let cround_tree =
+            MerkleTree::build(&mailbox_roots.iter().map(|r| r.to_vec()).collect::<Vec<_>>());
+        RoundCommitment {
+            mailbox_roots,
+            cround_tree,
+            mailbox_trees,
+        }
+    }
+}
+
+impl RoundCommitment {
+    /// The C-round root (posted to the bulletin board).
+    pub fn root(&self) -> Digest {
+        self.cround_tree.root()
+    }
+
+    /// Produces a sender's deposit proof.
+    pub fn prove_deposit(
+        &self,
+        round: &MailboxRound,
+        pseudonym: usize,
+        slot: usize,
+    ) -> Option<DepositProof> {
+        if pseudonym >= round.boxes.len() || slot >= round.boxes[pseudonym].len() {
+            return None;
+        }
+        Some(DepositProof {
+            pseudonym,
+            slot,
+            message_proof: self.mailbox_trees[pseudonym].prove(slot)?,
+            mailbox_root: self.mailbox_roots[pseudonym],
+            mailbox_proof: self.cround_tree.prove(pseudonym)?,
+        })
+    }
+
+    /// Sender-side verification against the committed C-round root.
+    pub fn verify_deposit(cround_root: &Digest, msg: &Message, proof: &DepositProof) -> bool {
+        proof
+            .message_proof
+            .verify(&proof.mailbox_root, proof.slot, msg)
+            && proof
+                .mailbox_proof
+                .verify(cround_root, proof.pseudonym, &proof.mailbox_root)
+    }
+
+    /// Recipient-side check: the downloaded mailbox contents match the
+    /// committed root (no dropped or injected messages).
+    pub fn verify_mailbox(
+        cround_root: &Digest,
+        pseudonym: usize,
+        messages: &[Message],
+        mailbox_proof: &InclusionProof,
+    ) -> bool {
+        let tree = MerkleTree::build(messages);
+        mailbox_proof.verify(cround_root, pseudonym, &tree.root())
+    }
+
+    /// The proof a recipient needs alongside its mailbox download.
+    pub fn mailbox_proof(&self, pseudonym: usize) -> Option<InclusionProof> {
+        self.cround_tree.prove(pseudonym)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deposit_commit_prove() {
+        let mut round = MailboxRound::new(4);
+        let m1 = b"onion layer a".to_vec();
+        let m2 = b"onion layer b".to_vec();
+        let s1 = round.deposit(2, m1.clone());
+        let s2 = round.deposit(2, m2.clone());
+        round.deposit(0, b"x".to_vec());
+        let commit = round.commit();
+        let root = commit.root();
+        let p1 = commit.prove_deposit(&round, 2, s1).unwrap();
+        let p2 = commit.prove_deposit(&round, 2, s2).unwrap();
+        assert!(RoundCommitment::verify_deposit(&root, &m1, &p1));
+        assert!(RoundCommitment::verify_deposit(&root, &m2, &p2));
+        // Cross-verification fails.
+        assert!(!RoundCommitment::verify_deposit(&root, &m2, &p1));
+    }
+
+    #[test]
+    fn recipient_detects_dropped_message() {
+        let mut round = MailboxRound::new(2);
+        round.deposit(1, b"msg-a".to_vec());
+        round.deposit(1, b"msg-b".to_vec());
+        let commit = round.commit();
+        let root = commit.root();
+        let proof = commit.mailbox_proof(1).unwrap();
+        // Full mailbox verifies.
+        assert!(RoundCommitment::verify_mailbox(
+            &root,
+            1,
+            round.fetch(1),
+            &proof
+        ));
+        // A mailbox with one message silently removed does not.
+        let tampered = vec![b"msg-a".to_vec()];
+        assert!(!RoundCommitment::verify_mailbox(
+            &root, 1, &tampered, &proof
+        ));
+    }
+
+    #[test]
+    fn empty_mailboxes_commit() {
+        let round = MailboxRound::new(3);
+        assert!(round.is_empty());
+        let commit = round.commit();
+        let proof = commit.mailbox_proof(0).unwrap();
+        assert!(RoundCommitment::verify_mailbox(
+            &commit.root(),
+            0,
+            &[],
+            &proof
+        ));
+    }
+
+    #[test]
+    fn out_of_range_proofs() {
+        let mut round = MailboxRound::new(2);
+        round.deposit(0, b"m".to_vec());
+        let commit = round.commit();
+        assert!(commit.prove_deposit(&round, 0, 1).is_none());
+        assert!(commit.prove_deposit(&round, 5, 0).is_none());
+    }
+
+    #[test]
+    fn commitment_binds_mailbox_assignment() {
+        // A message deposited only for pseudonym 0 cannot be proven for 1.
+        let mut round = MailboxRound::new(2);
+        let m = b"m".to_vec();
+        round.deposit(0, m.clone());
+        round.deposit(1, b"other".to_vec());
+        let commit = round.commit();
+        let root = commit.root();
+        let p0 = commit.prove_deposit(&round, 0, 0).unwrap();
+        assert!(RoundCommitment::verify_deposit(&root, &m, &p0));
+        let mut forged = p0.clone();
+        forged.pseudonym = 1;
+        assert!(!RoundCommitment::verify_deposit(&root, &m, &forged));
+    }
+}

@@ -1,0 +1,325 @@
+//! The verifiable maps `M1` and `M2` (§3.3).
+//!
+//! When a query epoch begins, the aggregator compiles every device's recent
+//! pseudonyms and builds two Merkle trees:
+//!
+//! * `M1` maps each *pseudonym number* `n ∈ [0, N_D·P)` to a leaf
+//!   `(h_n, pk_n, d_n)`: the pseudonym, its public key, and the owning
+//!   device's number. Devices look up hops in `M1` by index, verifying the
+//!   inclusion proof against the committed root — the proof path must match
+//!   the binary representation of `n`, so the aggregator cannot answer with
+//!   a different leaf.
+//! * `M2` maps each *device number* to the hashes of that device's
+//!   pseudonyms and public keys, and is used to audit `M1`: a device that
+//!   registers far more than `P` pseudonyms cannot fit its leaf, and a
+//!   Sybil aggregator runs out of `N_D` leaves.
+//!
+//! Devices perform two checks (§3.3): (1) their own pseudonyms appear in
+//! `M1` with valid proofs; (2) random spot-checks that `M1` entries are
+//! consistent with the owning device's `M2` leaf.
+
+use mycelium_crypto::merkle::{InclusionProof, MerkleTree};
+use mycelium_crypto::penc::PublicKey;
+use mycelium_crypto::sha256::{sha256, sha256_concat, Digest};
+
+/// A device's registration: its pseudonym public keys.
+#[derive(Debug, Clone)]
+pub struct DeviceRegistration {
+    /// Device number (index in the registration list).
+    pub device: u64,
+    /// Public keys, one per pseudonym (`h = H(pk)`).
+    pub keys: Vec<PublicKey>,
+}
+
+/// One `M1` leaf.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct M1Leaf {
+    /// The pseudonym (`H(pk)`).
+    pub pseudonym: Digest,
+    /// The public key.
+    pub key: PublicKey,
+    /// Owning device number.
+    pub device: u64,
+}
+
+impl M1Leaf {
+    fn encode(&self) -> Vec<u8> {
+        let mut v = Vec::with_capacity(32 + 32 + 8);
+        v.extend_from_slice(&self.pseudonym);
+        v.extend_from_slice(&self.key.0);
+        v.extend_from_slice(&self.device.to_le_bytes());
+        v
+    }
+}
+
+/// The pair of verifiable maps for one epoch.
+#[derive(Debug, Clone)]
+pub struct VerifiableMaps {
+    /// `M1` leaves in pseudonym-number order.
+    pub m1_leaves: Vec<M1Leaf>,
+    m1: MerkleTree,
+    /// `M2` leaves in device-number order (encoded pseudonym-hash lists).
+    pub m2_leaves: Vec<Vec<u8>>,
+    m2: MerkleTree,
+    /// The per-device pseudonym limit `P`.
+    pub pseudonym_limit: usize,
+}
+
+/// Verification failures surfaced by device audits.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MapError {
+    /// A pseudonym of the auditing device is missing from `M1`.
+    MissingPseudonym,
+    /// An inclusion proof failed.
+    BadProof,
+    /// An `M1` entry's key is inconsistent with the owner's `M2` leaf.
+    Inconsistent {
+        /// The pseudonym number whose spot-check failed.
+        index: usize,
+    },
+    /// A device registered more than `P` pseudonyms.
+    TooManyPseudonyms {
+        /// The offending device.
+        device: u64,
+    },
+}
+
+impl VerifiableMaps {
+    /// Builds the maps from device registrations (the honest aggregator's
+    /// behaviour). Pseudonym numbers are assigned in registration order.
+    ///
+    /// Returns an error if any device exceeds the pseudonym limit `p`.
+    pub fn build(registrations: &[DeviceRegistration], p: usize) -> Result<Self, MapError> {
+        let mut m1_leaves = Vec::new();
+        let mut m2_leaves = Vec::new();
+        for reg in registrations {
+            if reg.keys.len() > p {
+                return Err(MapError::TooManyPseudonyms { device: reg.device });
+            }
+            let mut leaf = Vec::new();
+            for k in &reg.keys {
+                m1_leaves.push(M1Leaf {
+                    pseudonym: k.pseudonym(),
+                    key: *k,
+                    device: reg.device,
+                });
+                leaf.extend_from_slice(&sha256(&k.pseudonym()));
+            }
+            for k in &reg.keys {
+                leaf.extend_from_slice(&sha256(&k.0));
+            }
+            m2_leaves.push(leaf);
+        }
+        let m1 = MerkleTree::build(&m1_leaves.iter().map(|l| l.encode()).collect::<Vec<_>>());
+        let m2 = MerkleTree::build(&m2_leaves);
+        Ok(Self {
+            m1_leaves,
+            m1,
+            m2_leaves,
+            m2,
+            pseudonym_limit: p,
+        })
+    }
+
+    /// Total number of pseudonyms (`M1` leaves).
+    pub fn pseudonym_count(&self) -> usize {
+        self.m1_leaves.len()
+    }
+
+    /// The `M1` root (posted to the bulletin board).
+    pub fn m1_root(&self) -> Digest {
+        self.m1.root()
+    }
+
+    /// The `M2` root (posted to the bulletin board).
+    pub fn m2_root(&self) -> Digest {
+        self.m2.root()
+    }
+
+    /// Looks up pseudonym number `n`: the leaf plus its inclusion proof.
+    pub fn lookup(&self, n: usize) -> Option<(M1Leaf, InclusionProof)> {
+        let leaf = self.m1_leaves.get(n)?.clone();
+        let proof = self.m1.prove(n)?;
+        Some((leaf, proof))
+    }
+
+    /// Device-side verification of a lookup response against the committed
+    /// root: proof validity, index binding, and `h = H(pk)`.
+    pub fn verify_lookup(
+        root: &Digest,
+        n: usize,
+        leaf: &M1Leaf,
+        proof: &InclusionProof,
+    ) -> Result<(), MapError> {
+        if leaf.key.pseudonym() != leaf.pseudonym {
+            return Err(MapError::BadProof);
+        }
+        if !proof.verify(root, n, &leaf.encode()) {
+            return Err(MapError::BadProof);
+        }
+        Ok(())
+    }
+
+    /// Check 1 (§3.3): the auditing device confirms all of its own
+    /// pseudonyms appear in `M1` under valid proofs.
+    pub fn audit_own_pseudonyms(&self, root: &Digest, keys: &[PublicKey]) -> Result<(), MapError> {
+        for k in keys {
+            let h = k.pseudonym();
+            let pos = self
+                .m1_leaves
+                .iter()
+                .position(|l| l.pseudonym == h)
+                .ok_or(MapError::MissingPseudonym)?;
+            let (leaf, proof) = self.lookup(pos).ok_or(MapError::MissingPseudonym)?;
+            Self::verify_lookup(root, pos, &leaf, &proof)?;
+        }
+        Ok(())
+    }
+
+    /// Check 2 (§3.3): spot-check that `M1` entry `n` is consistent with
+    /// the owner's `M2` leaf — one of the `H(pk)` hashes in the `d_n`-th
+    /// `M2` leaf must match the retrieved key.
+    pub fn audit_cross_reference(&self, m2_root: &Digest, n: usize) -> Result<(), MapError> {
+        let (leaf, _) = self.lookup(n).ok_or(MapError::Inconsistent { index: n })?;
+        let m2_leaf = self
+            .m2_leaves
+            .get(leaf.device as usize)
+            .ok_or(MapError::Inconsistent { index: n })?;
+        let proof = self
+            .m2
+            .prove(leaf.device as usize)
+            .ok_or(MapError::Inconsistent { index: n })?;
+        if !proof.verify(m2_root, leaf.device as usize, m2_leaf) {
+            return Err(MapError::BadProof);
+        }
+        let want = sha256(&leaf.key.0);
+        let found = m2_leaf.chunks(32).any(|chunk| chunk == want.as_slice());
+        if !found {
+            return Err(MapError::Inconsistent { index: n });
+        }
+        Ok(())
+    }
+}
+
+/// Computes the epoch commitment hash (both roots), the value devices pin.
+pub fn epoch_commitment(m1_root: &Digest, m2_root: &Digest) -> Digest {
+    sha256_concat(&[b"mycelium-epoch", m1_root, m2_root])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mycelium_crypto::penc::KeyPair;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn registrations(devices: usize, pseudonyms: usize) -> Vec<DeviceRegistration> {
+        let mut rng = StdRng::seed_from_u64(55);
+        (0..devices)
+            .map(|d| DeviceRegistration {
+                device: d as u64,
+                keys: (0..pseudonyms)
+                    .map(|_| KeyPair::generate(&mut rng).public())
+                    .collect(),
+            })
+            .collect()
+    }
+
+    #[test]
+    fn build_and_lookup() {
+        let regs = registrations(10, 3);
+        let maps = VerifiableMaps::build(&regs, 3).unwrap();
+        assert_eq!(maps.pseudonym_count(), 30);
+        let root = maps.m1_root();
+        for n in 0..30 {
+            let (leaf, proof) = maps.lookup(n).unwrap();
+            VerifiableMaps::verify_lookup(&root, n, &leaf, &proof).unwrap();
+            assert_eq!(leaf.device as usize, n / 3);
+        }
+        assert!(maps.lookup(30).is_none());
+    }
+
+    #[test]
+    fn wrong_index_lookup_detected() {
+        // A malicious aggregator answering index n with leaf m fails the
+        // §3.3 path check.
+        let regs = registrations(8, 2);
+        let maps = VerifiableMaps::build(&regs, 2).unwrap();
+        let root = maps.m1_root();
+        let (leaf, proof) = maps.lookup(5).unwrap();
+        assert!(VerifiableMaps::verify_lookup(&root, 3, &leaf, &proof).is_err());
+    }
+
+    #[test]
+    fn mismatched_key_detected() {
+        let regs = registrations(4, 2);
+        let maps = VerifiableMaps::build(&regs, 2).unwrap();
+        let root = maps.m1_root();
+        let (mut leaf, proof) = maps.lookup(1).unwrap();
+        // Swap in another leaf's key: h != H(pk).
+        leaf.key = maps.m1_leaves[2].key;
+        assert_eq!(
+            VerifiableMaps::verify_lookup(&root, 1, &leaf, &proof),
+            Err(MapError::BadProof)
+        );
+    }
+
+    #[test]
+    fn own_pseudonym_audit() {
+        let regs = registrations(6, 2);
+        let maps = VerifiableMaps::build(&regs, 2).unwrap();
+        let root = maps.m1_root();
+        maps.audit_own_pseudonyms(&root, &regs[3].keys).unwrap();
+        // An omitted device notices.
+        let mut rng = StdRng::seed_from_u64(99);
+        let outsider = KeyPair::generate(&mut rng).public();
+        assert_eq!(
+            maps.audit_own_pseudonyms(&root, &[outsider]),
+            Err(MapError::MissingPseudonym)
+        );
+    }
+
+    #[test]
+    fn cross_reference_audit() {
+        let regs = registrations(5, 3);
+        let maps = VerifiableMaps::build(&regs, 3).unwrap();
+        let m2_root = maps.m2_root();
+        for n in 0..maps.pseudonym_count() {
+            maps.audit_cross_reference(&m2_root, n).unwrap();
+        }
+    }
+
+    #[test]
+    fn cross_reference_catches_forged_owner() {
+        // The aggregator claims a pseudonym belongs to a device that never
+        // registered it.
+        let regs = registrations(5, 2);
+        let mut maps = VerifiableMaps::build(&regs, 2).unwrap();
+        maps.m1_leaves[4].device = 0; // Really belongs to device 2.
+        let m2_root = maps.m2_root();
+        assert!(matches!(
+            maps.audit_cross_reference(&m2_root, 4),
+            Err(MapError::Inconsistent { index: 4 })
+        ));
+    }
+
+    #[test]
+    fn pseudonym_limit_enforced() {
+        let regs = registrations(2, 5);
+        assert!(matches!(
+            VerifiableMaps::build(&regs, 4),
+            Err(MapError::TooManyPseudonyms { .. })
+        ));
+    }
+
+    #[test]
+    fn epoch_commitment_is_binding() {
+        let regs = registrations(3, 1);
+        let maps = VerifiableMaps::build(&regs, 1).unwrap();
+        let c1 = epoch_commitment(&maps.m1_root(), &maps.m2_root());
+        let regs2 = registrations(4, 1);
+        let maps2 = VerifiableMaps::build(&regs2, 1).unwrap();
+        let c2 = epoch_commitment(&maps2.m1_root(), &maps2.m2_root());
+        assert_ne!(c1, c2);
+    }
+}

@@ -1,0 +1,544 @@
+//! The encrypted query executor (§4.3–§4.6).
+//!
+//! Simulates every device's protocol role in-process, with real
+//! cryptography end to end:
+//!
+//! * **Neighbors** evaluate their `dest`/`edge` clauses exactly, encode
+//!   their contribution as a monomial `x^e` (with the group/ratio packing
+//!   from the analysis), encrypt under the system BGV key, and attach a
+//!   well-formedness proof.
+//! * **The aggregator** verifies each proof and replaces the contribution
+//!   of any device whose proof fails with the neutral `Enc(x^0)` (§4.6 /
+//!   §4.7: Byzantine inputs are discarded, bounding their influence).
+//! * **Origins** multiply contributions together (selecting sequence
+//!   positions for cross clauses), apply their `self` clauses (failing →
+//!   `Enc(0)`), shift into their `GROUP BY` window, and submit.
+//! * **The aggregator** aligns levels, sums every origin's ciphertext, and
+//!   relinearizes; the **committee** threshold-decrypts and adds noise.
+//!
+//! The decoded (pre-noise) result is exposed so integration tests can
+//! compare it bit-for-bit against the plaintext oracle
+//! (`mycelium_query::eval::evaluate`).
+
+use mycelium_bgv::encoding::encode_monomial;
+use mycelium_bgv::noise::plan_chain;
+use mycelium_bgv::{BgvError, Ciphertext, KeySet, Plaintext};
+use mycelium_crypto::sha256::{Digest, Sha256};
+use mycelium_dp::PrivacyBudget;
+use mycelium_graph::generate::Population;
+use mycelium_graph::graph::VertexId;
+use mycelium_math::zq::Modulus;
+use mycelium_query::analyze::{Analysis, ClauseSite, GroupKind, Schema};
+use mycelium_query::ast::Query;
+use mycelium_query::crosseval::{clause_holds_at_position, cross_group_index, discretize_dest};
+use mycelium_query::eval::{
+    eval_atom, eval_value, group_index, self_group_index, PlainResult, Row,
+};
+use mycelium_zkp::wellformed::{well_formed_circuit, well_formed_witness, WellFormedCircuit};
+use mycelium_zkp::{argument, Proof};
+use rand::Rng;
+
+use crate::committee::{run_committee, CommitteeError};
+use crate::decode::decode_aggregate;
+use crate::params::SystemParams;
+
+/// Byzantine-behaviour injection.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MaliciousBehavior {
+    /// The device submits a contribution with a coefficient of 2 (twice
+    /// its honest weight) and a forged proof.
+    OversizedContribution {
+        /// The cheating device.
+        device: VertexId,
+    },
+    /// The device drops out mid-query: its contribution defaults to
+    /// `Enc(x^0)` (§4.4 — "their value defaults to Enc(x^0)").
+    DropOut {
+        /// The vanished device.
+        device: VertexId,
+    },
+}
+
+/// Executor errors.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ExecError {
+    /// The window layout does not fit the ring degree.
+    SpanTooLarge {
+        /// Required coefficients.
+        span: usize,
+        /// Ring degree.
+        ring: usize,
+    },
+    /// The multiplication chain exceeds the HE noise budget (§6.2 — the
+    /// reason Q1 cannot run at paper scale).
+    NoiseBudgetExceeded {
+        /// Multiplications required.
+        muls: usize,
+    },
+    /// Multi-hop queries are only supported for the simple (ungrouped,
+    /// non-ratio, non-cross) shape, as in §4.4's basic protocol.
+    UnsupportedMultiHop,
+    /// An HE operation failed.
+    Bgv(BgvError),
+    /// Semantic analysis failed.
+    Analyze(String),
+    /// The committee phase failed.
+    Committee(CommitteeError),
+}
+
+impl std::fmt::Display for ExecError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ExecError::SpanTooLarge { span, ring } => {
+                write!(f, "encoding needs {span} coefficients, ring has {ring}")
+            }
+            ExecError::NoiseBudgetExceeded { muls } => {
+                write!(f, "{muls} multiplications exceed the HE noise budget")
+            }
+            ExecError::UnsupportedMultiHop => {
+                write!(f, "multi-hop queries support only the basic COUNT shape")
+            }
+            ExecError::Bgv(e) => write!(f, "HE failure: {e}"),
+            ExecError::Analyze(e) => write!(f, "analysis failure: {e}"),
+            ExecError::Committee(e) => write!(f, "committee failure: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ExecError {}
+
+impl From<BgvError> for ExecError {
+    fn from(e: BgvError) -> Self {
+        ExecError::Bgv(e)
+    }
+}
+
+/// Execution statistics.
+#[derive(Debug, Clone, Default)]
+pub struct ExecStats {
+    /// Ciphertexts produced by neighbors.
+    pub neighbor_ciphertexts: usize,
+    /// Homomorphic multiplications performed.
+    pub multiplications: usize,
+    /// Well-formedness proofs verified.
+    pub proofs_verified: usize,
+    /// Contributions rejected (invalid proofs).
+    pub rejected: usize,
+    /// Level of the final aggregate.
+    pub final_level: usize,
+    /// Measured noise budget of the aggregate before decryption (bits).
+    pub final_budget_bits: f64,
+}
+
+/// One group's released (noisy) statistics.
+#[derive(Debug, Clone)]
+pub struct NoisyGroup {
+    /// Group label.
+    pub label: String,
+    /// Noisy histogram (may contain negative values).
+    pub histogram: Vec<i64>,
+}
+
+/// The outcome of an encrypted query run.
+#[derive(Debug)]
+pub struct EncryptedOutcome {
+    /// Decoded exact (pre-noise) result — compare against the oracle.
+    pub exact: PlainResult,
+    /// The released, noised result (what the analyst sees).
+    pub released: Vec<NoisyGroup>,
+    /// Devices whose contributions were rejected.
+    pub rejected_devices: Vec<VertexId>,
+    /// Statistics.
+    pub stats: ExecStats,
+}
+
+/// Digest of a ciphertext's full RNS representation (used to bind proofs
+/// and summation-tree commitments to concrete ciphertexts).
+pub fn ciphertext_digest(ct: &Ciphertext) -> Digest {
+    let mut h = Sha256::new();
+    for part in ct.parts() {
+        for res in part.residues() {
+            for &x in res {
+                h.update(&x.to_le_bytes());
+            }
+        }
+    }
+    h.finalize()
+}
+
+/// A neighbor's contribution: exponent per sequence position (or a single
+/// `(0, exponent)` for non-sequence queries). `None` exponent = inactive
+/// (the neutral `x^0`).
+fn neighbor_exponents(
+    row: &Row,
+    query: &Query,
+    analysis: &Analysis,
+    schema: &Schema,
+) -> Vec<(usize, usize)> {
+    // Exact dest/edge clause evaluation.
+    let dest_ok = query
+        .predicate
+        .clauses
+        .iter()
+        .zip(&analysis.clause_sites)
+        .filter(|(_, site)| **site == ClauseSite::DestEdge)
+        .all(|(clause, _)| clause.iter().any(|a| eval_atom(a, row, schema)));
+    let val = match &query.inner {
+        mycelium_query::ast::Inner::Count => 1u64,
+        mycelium_query::ast::Inner::Sum(e) | mycelium_query::ast::Inner::Ratio(e) => {
+            eval_value(e, row, schema).max(0) as u64
+        }
+    };
+    let base = match analysis.group_kind {
+        GroupKind::PerEdge => {
+            let g = group_index(query.group_by.as_ref().expect("grouped"), row, schema);
+            analysis.group_window.pow(g as u32)
+        }
+        _ => 1,
+    };
+    let unit = if analysis.joint_ratio {
+        analysis.value_radix + val as usize
+    } else {
+        val as usize
+    };
+    match analysis.sequence_column.as_ref() {
+        None => {
+            let exp = if dest_ok { base * unit } else { 0 };
+            vec![(0, exp)]
+        }
+        Some(col) => {
+            let range = schema.column_range(col);
+            let dv = discretize_dest(col, row.dest, schema);
+            (0..range)
+                .map(|p| {
+                    let active = dest_ok && dv == Some(p);
+                    (p, if active { base * unit } else { 0 })
+                })
+                .collect()
+        }
+    }
+}
+
+fn multiply_into(
+    acc: &mut Option<Ciphertext>,
+    fresh: Ciphertext,
+    keys: &KeySet,
+    stats: &mut ExecStats,
+) -> Result<(), ExecError> {
+    match acc.take() {
+        None => *acc = Some(fresh),
+        Some(a) => {
+            let fresh = fresh.mod_switch_to(a.level())?;
+            let mut prod = a.mul(&fresh)?.relinearize(&keys.relin)?;
+            if prod.level() > 1 {
+                prod = prod.mod_switch_down()?;
+            }
+            stats.multiplications += 1;
+            *acc = Some(prod);
+        }
+    }
+    Ok(())
+}
+
+/// Runs a query end-to-end under encryption.
+///
+/// `with_proofs` enables the §4.6 well-formedness proofs (the aggregator
+/// verifies each contribution and discards offenders). Disabling them is
+/// faster and demonstrates — together with
+/// [`MaliciousBehavior::OversizedContribution`] — exactly the attack the
+/// proofs exist to stop.
+pub fn run_query_encrypted<R: Rng + ?Sized>(
+    query: &Query,
+    pop: &Population,
+    params: &SystemParams,
+    keys: &KeySet,
+    behaviors: &[MaliciousBehavior],
+    with_proofs: bool,
+    budget: &mut PrivacyBudget,
+    rng: &mut R,
+) -> Result<EncryptedOutcome, ExecError> {
+    let schema = &params.schema;
+    let analysis = mycelium_query::analyze::analyze(query, schema)
+        .map_err(|e| ExecError::Analyze(e.to_string()))?;
+    let n_ring = params.bgv.n;
+    if analysis.total_span > n_ring {
+        return Err(ExecError::SpanTooLarge {
+            span: analysis.total_span,
+            ring: n_ring,
+        });
+    }
+    if query.hops > 1
+        && (analysis.groups > 1 || analysis.joint_ratio || analysis.sequence_column.is_some())
+    {
+        return Err(ExecError::UnsupportedMultiHop);
+    }
+    // §6.2 feasibility: the multiplication chain must fit the noise budget.
+    let plan = plan_chain(
+        &params.bgv,
+        analysis
+            .muls
+            .min(pop.graph.max_degree().pow(query.hops as u32)),
+    );
+    if !plan.feasible {
+        return Err(ExecError::NoiseBudgetExceeded {
+            muls: analysis.muls,
+        });
+    }
+    let t_pt = params.bgv.plaintext_modulus;
+    let mut stats = ExecStats::default();
+    let mut rejected_devices = Vec::new();
+    // Well-formedness circuit: one-hot over the whole span.
+    let field = Modulus::new_prime(2_147_483_647).expect("prime");
+    let circuit: Option<WellFormedCircuit> =
+        with_proofs.then(|| well_formed_circuit(field, analysis.total_span, analysis.total_span));
+    let is_cheater = |w: VertexId| {
+        behaviors.iter().any(
+            |b| matches!(b, MaliciousBehavior::OversizedContribution { device } if *device == w),
+        )
+    };
+    let dropped_out = |w: VertexId| {
+        behaviors
+            .iter()
+            .any(|b| matches!(b, MaliciousBehavior::DropOut { device } if *device == w))
+    };
+
+    // Builds one neighbor ciphertext (+proof) for exponent `exp`.
+    let build_contribution = |w: VertexId,
+                              exp: usize,
+                              stats: &mut ExecStats,
+                              rejected: &mut Vec<VertexId>,
+                              rng: &mut R|
+     -> Result<Ciphertext, ExecError> {
+        if dropped_out(w) {
+            // §4.4: dropped devices default to the neutral Enc(x^0).
+            let pt = encode_monomial(0, n_ring, t_pt)?;
+            return Ok(Ciphertext::encrypt(&keys.public, &pt, rng)?);
+        }
+        let cheating = is_cheater(w);
+        let mut coeffs = vec![0u64; n_ring];
+        coeffs[exp] = if cheating { 2 } else { 1 };
+        let pt = Plaintext::new(coeffs.clone(), t_pt)?;
+        let ct = Ciphertext::encrypt(&keys.public, &pt, rng)?;
+        stats.neighbor_ciphertexts += 1;
+        if let Some(c) = &circuit {
+            let witness = well_formed_witness(c, &coeffs[..analysis.total_span]);
+            let statement = ciphertext_digest(&ct);
+            let proof: Proof = argument::prove_unchecked(&c.cs, &witness, &statement, 48);
+            stats.proofs_verified += 1;
+            if !argument::verify(&c.cs, &statement, &proof) {
+                // The aggregator discards this contribution (§4.7).
+                if !rejected.contains(&w) {
+                    rejected.push(w);
+                }
+                let pt = encode_monomial(0, n_ring, t_pt)?;
+                return Ok(Ciphertext::encrypt(&keys.public, &pt, rng)?);
+            }
+        }
+        Ok(ct)
+    };
+
+    let n_pop = pop.graph.len();
+    let mut origin_cts: Vec<Ciphertext> = Vec::with_capacity(n_pop);
+    for v in 0..n_pop as VertexId {
+        let self_v = &pop.vertices[v as usize];
+        let acc_count = if analysis.group_kind == GroupKind::Cross {
+            analysis.groups
+        } else {
+            1
+        };
+        let mut accs: Vec<Option<Ciphertext>> = vec![None; acc_count];
+        for (w, edge) in mycelium_query::eval::khop_rows(pop, v, query.hops) {
+            let row = Row {
+                self_v,
+                dest: &pop.vertices[w as usize],
+                edge,
+            };
+            let exponents = neighbor_exponents(&row, query, &analysis, schema);
+            match analysis.sequence_column.as_ref() {
+                None => {
+                    let (_, exp) = exponents[0];
+                    let ct = build_contribution(w, exp, &mut stats, &mut rejected_devices, rng)?;
+                    multiply_into(&mut accs[0], ct, keys, &mut stats)?;
+                }
+                Some(col) => {
+                    // §4.5: the origin selects the subsequence of positions
+                    // where its cross clauses hold (routing each position to
+                    // its group for cross grouping), ADDS the selected
+                    // ciphertexts, subtracts Enc(ℓ−1), and multiplies the
+                    // single combined ciphertext into the accumulator. The
+                    // non-matching positions carry Enc(x^0) = Enc(1), so the
+                    // combination is exactly Enc(x^e) (or Enc(1) when the
+                    // neighbor's value lies outside the subsequence).
+                    let mut selected: Vec<Vec<Ciphertext>> = vec![Vec::new(); acc_count];
+                    for (pos, exp) in exponents {
+                        let cross_ok = query
+                            .predicate
+                            .clauses
+                            .iter()
+                            .zip(&analysis.clause_sites)
+                            .filter(|(_, site)| **site == ClauseSite::Cross)
+                            .all(|(clause, _)| {
+                                clause_holds_at_position(clause, self_v, edge, col, pos, schema)
+                            });
+                        if !cross_ok {
+                            continue;
+                        }
+                        let g = if analysis.group_kind == GroupKind::Cross {
+                            cross_group_index(
+                                query.group_by.as_ref().expect("cross grouping"),
+                                self_v,
+                                col,
+                                pos,
+                                schema,
+                            )
+                        } else {
+                            0
+                        };
+                        let ct =
+                            build_contribution(w, exp, &mut stats, &mut rejected_devices, rng)?;
+                        selected[g].push(ct);
+                    }
+                    for (g, cts) in selected.into_iter().enumerate() {
+                        if cts.is_empty() {
+                            continue;
+                        }
+                        let ell = cts.len() as u64;
+                        let mut sum: Option<Ciphertext> = None;
+                        for ct in cts {
+                            sum = Some(match sum {
+                                None => ct,
+                                Some(s) => s.add(&ct)?,
+                            });
+                        }
+                        let combined = sum.expect("nonempty subsequence").sub_plain(
+                            &mycelium_bgv::encoding::encode_constant(ell - 1, n_ring, t_pt)?,
+                        )?;
+                        multiply_into(&mut accs[g], combined, keys, &mut stats)?;
+                    }
+                }
+            }
+        }
+        // Final processing (§4.4): self clauses and group shift.
+        let self_ok = query
+            .predicate
+            .clauses
+            .iter()
+            .zip(&analysis.clause_sites)
+            .filter(|(_, site)| **site == ClauseSite::SelfOnly)
+            .all(|(clause, _)| {
+                let dummy_edge = mycelium_graph::data::EdgeData::household_contact(0);
+                let row = Row {
+                    self_v,
+                    dest: self_v,
+                    edge: &dummy_edge,
+                };
+                clause.iter().any(|a| eval_atom(a, &row, schema))
+            });
+        let out = if !self_ok {
+            Ciphertext::encrypt(&keys.public, &Plaintext::zero(n_ring, t_pt), rng)?
+        } else {
+            // Materialize empty accumulators as Enc(x^0).
+            let mut cts: Vec<Ciphertext> = Vec::with_capacity(acc_count);
+            for acc in accs.into_iter() {
+                let ct = match acc {
+                    Some(c) => c,
+                    None => {
+                        let pt = encode_monomial(0, n_ring, t_pt)?;
+                        Ciphertext::encrypt(&keys.public, &pt, rng)?
+                    }
+                };
+                cts.push(ct);
+            }
+            match analysis.group_kind {
+                GroupKind::None | GroupKind::PerEdge => cts.remove(0),
+                GroupKind::SelfSide => {
+                    let g =
+                        self_group_index(query.group_by.as_ref().expect("grouped"), self_v, schema);
+                    cts.remove(0).mul_monomial(g * analysis.group_window)
+                }
+                GroupKind::Cross => {
+                    // Shift each group accumulator into its additive window
+                    // and sum.
+                    let min_level = cts.iter().map(|c| c.level()).min().expect("nonempty");
+                    let mut sum: Option<Ciphertext> = None;
+                    for (g, ct) in cts.into_iter().enumerate() {
+                        let shifted = ct
+                            .mod_switch_to(min_level)?
+                            .mul_monomial(g * analysis.group_window);
+                        sum = Some(match sum {
+                            None => shifted,
+                            Some(s) => s.add(&shifted)?,
+                        });
+                    }
+                    sum.expect("at least one group")
+                }
+            }
+        };
+        origin_cts.push(out);
+    }
+    // Global aggregation (§4.2): align levels, build the verifiable
+    // summation tree, and publish its root commitment; simulated devices
+    // audit their inclusion paths and spot-check random interior nodes.
+    let min_level = origin_cts
+        .iter()
+        .map(|c| c.level())
+        .min()
+        .expect("nonempty population");
+    let aligned: Vec<Ciphertext> = origin_cts
+        .into_iter()
+        .map(|ct| ct.mod_switch_to(min_level))
+        .collect::<Result<_, _>>()?;
+    let audit_copies: Vec<Ciphertext> = aligned.iter().take(3).cloned().collect();
+    let tree = crate::summation::SummationTree::build(aligned)?;
+    let root_commitment = tree.root().commitment;
+    for (i, own) in audit_copies.iter().enumerate() {
+        tree.verify_inclusion(i, own, &root_commitment)
+            .expect("honest aggregator's summation tree verifies");
+    }
+    tree.spot_check_random(0xA0D1, 8)
+        .expect("honest aggregator's partial sums verify");
+    let aggregate = tree.root().sum.clone();
+    stats.final_level = aggregate.level();
+    stats.final_budget_bits = aggregate.noise_budget_bits();
+    // Committee phase.
+    let released_len = if analysis.joint_ratio {
+        analysis.count_radix * analysis.value_radix
+    } else {
+        analysis.value_radix
+    };
+    let run = run_committee(
+        &aggregate,
+        &keys.secret,
+        params.devices.max(pop.graph.len() as u64),
+        params.committee_size,
+        b"query-beacon",
+        analysis.sensitivity,
+        params.epsilon,
+        budget,
+        released_len * analysis.groups,
+        rng,
+    )
+    .map_err(ExecError::Committee)?;
+    stats.rejected = rejected_devices.len();
+    let exact = decode_aggregate(&run.plaintext, query, &analysis);
+    let released = exact
+        .groups
+        .iter()
+        .enumerate()
+        .map(|(g, gr)| NoisyGroup {
+            label: gr.label.clone(),
+            histogram: gr
+                .histogram
+                .iter()
+                .enumerate()
+                .map(|(i, &c)| c as i64 + run.noise[g * released_len + i])
+                .collect(),
+        })
+        .collect();
+    Ok(EncryptedOutcome {
+        exact,
+        released,
+        rejected_devices,
+        stats,
+    })
+}

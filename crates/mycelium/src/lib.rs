@@ -1,0 +1,46 @@
+//! Mycelium: large-scale distributed graph queries with differential
+//! privacy (SOSP 2021) — the end-to-end system.
+//!
+//! This crate ties the substrates together into the full query pipeline:
+//!
+//! ```text
+//! analyst query ──► parse + analyze (mycelium-query)
+//!                   │
+//!                   ▼
+//! flooding ───────► every vertex learns upstream + distance (mycelium-graph)
+//!                   │
+//!                   ▼
+//! local phase ────► neighbors encrypt x^a contributions (mycelium-bgv),
+//!                   origins multiply them along the spanning tree,
+//!                   attach well-formedness proofs (mycelium-zkp);
+//!                   messages travel through the mix network
+//!                   (mycelium-mixnet)
+//!                   │
+//!                   ▼
+//! global phase ───► the aggregator verifies proofs, sums ciphertexts,
+//!                   relinearizes once; the committee threshold-decrypts
+//!                   (mycelium-sharing) and adds Laplace noise
+//!                   (mycelium-dp) before releasing to the analyst
+//! ```
+//!
+//! * [`params`] — the Figure 4 system parameters.
+//! * [`exec`] — the encrypted query executor (device, origin, and
+//!   aggregator logic) with Byzantine-behaviour injection.
+//! * [`decode`] — decoding the decrypted global plaintext back into
+//!   per-group histograms (the inverse of the window layout).
+//! * [`committee`] — committee orchestration: election, threshold
+//!   decryption, joint noise, release.
+//! * [`costs`] — the §6.4–§6.6 cost models (device bandwidth/compute,
+//!   committee, aggregator) behind Figures 7 and 9.
+//! * [`summation`] — the Orchard-style verifiable summation tree the
+//!   aggregator uses to prove each device's data is counted exactly once.
+
+pub mod committee;
+pub mod costs;
+pub mod decode;
+pub mod exec;
+pub mod params;
+pub mod summation;
+
+pub use exec::{run_query_encrypted, EncryptedOutcome, ExecError, MaliciousBehavior};
+pub use params::SystemParams;

@@ -1,0 +1,490 @@
+//! Semantic analysis: clause classification, ciphertext counts (Figure 6),
+//! sensitivity (§4.7), multiplication depth, and the HE window layout.
+//!
+//! The analysis answers, statically:
+//!
+//! * Which clauses are evaluated where? `self` clauses at final processing
+//!   by the origin, `dest`/`edge` clauses by each neighbor (edge attributes
+//!   are shared knowledge of both endpoints), and *cross* clauses
+//!   (`self` ↔ `dest`) via the §4.5 sequence encoding.
+//! * How many ciphertexts does each neighbor send? One, unless a cross
+//!   clause forces a sequence — then one per discrete value of the `dest`
+//!   column involved. This reproduces Figure 6 exactly.
+//! * What is the query's DP sensitivity (§4.7)? 2 for `HISTO` terms
+//!   (scaled by the number of windows one origin can influence), the
+//!   clipping-range width for `GSUM`.
+//! * How many homomorphic multiplications does the local aggregation
+//!   chain perform (`d^k`)? — the §6.2 feasibility input.
+//! * How are values packed into plaintext coefficients? Each group gets a
+//!   window; ratio queries use a radix-`W` joint (count, sum) encoding.
+
+use crate::ast::{Agg, Atom, Column, ColumnGroup, GroupBy, Inner, Query, Value};
+
+/// Static knowledge about column domains (discrete ranges and caps), used
+/// for sequence lengths and window sizing.
+#[derive(Debug, Clone)]
+pub struct Schema {
+    /// Degree bound `d` (Figure 4: 10).
+    pub degree_bound: usize,
+    /// Discrete values of `tInf` relevant to a query (the paper's 14-day
+    /// windows → 14 values).
+    pub t_inf_range: usize,
+    /// Discrete values of `age` (decade groups → 10).
+    pub age_range: usize,
+    /// Cap on a single edge's `duration` contribution (quantized units).
+    pub duration_cap: u64,
+    /// Cap on a single edge's `contacts` contribution.
+    pub contacts_cap: u64,
+    /// Minutes per quantized `duration` unit.
+    pub duration_unit: u32,
+}
+
+impl Default for Schema {
+    fn default() -> Self {
+        Self {
+            degree_bound: 10,
+            t_inf_range: 14,
+            age_range: 10,
+            duration_cap: 48,
+            contacts_cap: 50,
+            duration_unit: 30,
+        }
+    }
+}
+
+impl Schema {
+    /// The discrete range (number of distinct values) of a column, for
+    /// sequence-encoding purposes.
+    pub fn column_range(&self, col: &Column) -> usize {
+        match col.name.as_str() {
+            "tInf" => self.t_inf_range,
+            "age" => self.age_range,
+            "inf" => 2,
+            _ => self.t_inf_range,
+        }
+    }
+
+    /// The maximum value a single row can contribute to `SUM(col)`.
+    pub fn value_cap(&self, v: &Value) -> u64 {
+        match v {
+            Value::Col(c) => match c.name.as_str() {
+                "inf" => 1,
+                "duration" => self.duration_cap,
+                "contacts" => self.contacts_cap,
+                "age" => 120,
+                _ => self.t_inf_range as u64,
+            },
+            Value::Lit(l) => l.unsigned_abs(),
+            Value::Add(inner, l) => self.value_cap(inner) + l.unsigned_abs(),
+            Value::SubCols(_, _) => self.t_inf_range as u64,
+        }
+    }
+}
+
+/// Where a predicate clause is evaluated.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ClauseSite {
+    /// Only `self` columns: evaluated by the origin at final processing
+    /// (§4.4 — a failing clause replaces the result with `Enc(0)`).
+    SelfOnly,
+    /// `dest` and/or `edge` columns: evaluated by each neighbor (edge
+    /// attributes are known to both endpoints).
+    DestEdge,
+    /// Both `self` and `dest`: needs the §4.5 sequence encoding.
+    Cross,
+}
+
+/// How results are grouped.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum GroupKind {
+    /// No `GROUP BY`.
+    None,
+    /// Grouping on a `self` column: the origin shifts its single result
+    /// into its group's window (additive packing, §4.5).
+    SelfSide,
+    /// Grouping on an `edge` column or function: each neighbor contribution
+    /// lands in a per-group coordinate (multiplicative radix packing).
+    PerEdge,
+    /// Grouping on a `self` ↔ `dest` expression (Q10's `stage`): the origin
+    /// routes sequence positions into per-group coordinates.
+    Cross,
+}
+
+/// The complete static analysis of a query.
+#[derive(Debug, Clone)]
+pub struct Analysis {
+    /// Ciphertexts each neighbor sends (Figure 6's `C_q`).
+    pub ciphertexts_per_neighbor: usize,
+    /// DP sensitivity (§4.7).
+    pub sensitivity: f64,
+    /// Homomorphic multiplications along the local aggregation (`d^k`).
+    pub muls: usize,
+    /// Number of groups.
+    pub groups: usize,
+    /// Grouping strategy.
+    pub group_kind: GroupKind,
+    /// Whether the local aggregate is a (count, sum) ratio.
+    pub joint_ratio: bool,
+    /// Radix of the count coordinate (`d + 1`).
+    pub count_radix: usize,
+    /// Radix of the sum/value coordinate (`d · cap + 1`).
+    pub value_radix: usize,
+    /// Coefficients one group's window occupies.
+    pub group_window: usize,
+    /// Total coefficients the encoding occupies (must be `< N`).
+    pub total_span: usize,
+    /// Per-clause evaluation sites, parallel to `query.predicate.clauses`.
+    pub clause_sites: Vec<ClauseSite>,
+    /// The `dest` column driving the sequence encoding, if any.
+    pub sequence_column: Option<Column>,
+}
+
+/// Analysis failures.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AnalyzeError {
+    /// `GSUM` without a clipping range (required by §4).
+    MissingClip,
+    /// A clause mixes `self` and `dest` without a discrete-range column.
+    UnboundedCross,
+    /// Unknown function name.
+    UnknownFunction(String),
+    /// More than one distinct cross column (not expressible with a single
+    /// sequence).
+    MultipleCrossColumns,
+}
+
+impl std::fmt::Display for AnalyzeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            AnalyzeError::MissingClip => write!(f, "GSUM queries require a CLIP range"),
+            AnalyzeError::UnboundedCross => {
+                write!(f, "cross-group comparison lacks a discrete-range column")
+            }
+            AnalyzeError::UnknownFunction(n) => write!(f, "unknown function {n}"),
+            AnalyzeError::MultipleCrossColumns => {
+                write!(
+                    f,
+                    "queries may compare self against at most one dest column"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for AnalyzeError {}
+
+const KNOWN_FUNCS: [&str; 3] = ["onSubway", "isHousehold", "stage"];
+
+/// Analyzes a query against a schema.
+pub fn analyze(query: &Query, schema: &Schema) -> Result<Analysis, AnalyzeError> {
+    // Validate function names.
+    for clause in &query.predicate.clauses {
+        for atom in clause {
+            if let Atom::Func { name, .. } = atom {
+                if !KNOWN_FUNCS.contains(&name.as_str()) {
+                    return Err(AnalyzeError::UnknownFunction(name.clone()));
+                }
+            }
+        }
+    }
+    if let Some(GroupBy::Func { name, .. }) = &query.group_by {
+        if !KNOWN_FUNCS.contains(&name.as_str()) {
+            return Err(AnalyzeError::UnknownFunction(name.clone()));
+        }
+    }
+    if query.agg == Agg::Gsum && query.clip.is_none() {
+        return Err(AnalyzeError::MissingClip);
+    }
+    // Classify clauses and find the cross column.
+    let mut clause_sites = Vec::with_capacity(query.predicate.clauses.len());
+    let mut cross_cols: Vec<Column> = Vec::new();
+    for clause in &query.predicate.clauses {
+        let mut has_self = false;
+        let mut has_dest = false;
+        for atom in clause {
+            for g in atom.groups() {
+                match g {
+                    ColumnGroup::SelfV => has_self = true,
+                    ColumnGroup::Dest => has_dest = true,
+                    ColumnGroup::Edge => {}
+                }
+            }
+        }
+        // Edge-only clauses count as DestEdge (evaluated at the neighbor,
+        // who shares the edge).
+        let site = match (has_self, has_dest) {
+            (true, true) => ClauseSite::Cross,
+            (true, false) => ClauseSite::SelfOnly,
+            (false, _) => ClauseSite::DestEdge,
+        };
+        if site == ClauseSite::Cross {
+            for atom in clause {
+                for col in dest_columns(atom) {
+                    if !cross_cols.contains(&col) {
+                        cross_cols.push(col);
+                    }
+                }
+            }
+        }
+        clause_sites.push(site);
+    }
+    // Cross grouping expressions also need the sequence.
+    let mut group_kind = GroupKind::None;
+    let mut groups = 1usize;
+    if let Some(gb) = &query.group_by {
+        let gs = gb.groups();
+        let has_self = gs.contains(&ColumnGroup::SelfV);
+        let has_dest = gs.contains(&ColumnGroup::Dest);
+        group_kind = match (has_self, has_dest) {
+            (true, true) => {
+                if let GroupBy::Func { arg, .. } = gb {
+                    for col in value_dest_columns(arg) {
+                        if !cross_cols.contains(&col) {
+                            cross_cols.push(col);
+                        }
+                    }
+                }
+                GroupKind::Cross
+            }
+            (true, false) => GroupKind::SelfSide,
+            (false, _) => GroupKind::PerEdge,
+        };
+        groups = group_count(gb, schema);
+    }
+    if cross_cols.len() > 1 {
+        return Err(AnalyzeError::MultipleCrossColumns);
+    }
+    let sequence_column = cross_cols.into_iter().next();
+    let ciphertexts_per_neighbor = sequence_column
+        .as_ref()
+        .map(|c| schema.column_range(c))
+        .unwrap_or(1);
+    // Window layout.
+    let d = schema.degree_bound;
+    let joint_ratio = matches!(query.inner, Inner::Ratio(_));
+    let count_radix = d + 1;
+    // A k-hop COUNT can reach the whole neighborhood (≤ d^k members).
+    let value_radix = match &query.inner {
+        Inner::Count => d.pow(query.hops as u32) + 1,
+        Inner::Sum(v) | Inner::Ratio(v) => (d as u64 * schema.value_cap(v) + 1) as usize,
+    };
+    let group_window = if joint_ratio {
+        count_radix * value_radix
+    } else {
+        value_radix
+    };
+    let total_span = match group_kind {
+        GroupKind::None => group_window,
+        GroupKind::SelfSide => groups * group_window,
+        // Multiplicative packing: one coordinate block per group.
+        GroupKind::PerEdge | GroupKind::Cross => group_window.pow(groups as u32),
+    };
+    // Sensitivity (§4.7): HISTO contributes ±1 in up to `w` windows (w = 1
+    // for ungrouped/self-grouped, `groups` for per-edge windows); GSUM is
+    // the clipping-range width.
+    let sensitivity = match query.agg {
+        Agg::Histo => {
+            let windows = match group_kind {
+                GroupKind::None | GroupKind::SelfSide => 1,
+                GroupKind::PerEdge | GroupKind::Cross => groups,
+            };
+            2.0 * windows as f64
+        }
+        Agg::Gsum => {
+            let (a, b) = query.clip.expect("checked above");
+            (b - a).max(1) as f64
+        }
+    };
+    Ok(Analysis {
+        ciphertexts_per_neighbor,
+        sensitivity,
+        muls: d.pow(query.hops as u32),
+        groups,
+        group_kind,
+        joint_ratio,
+        count_radix,
+        value_radix,
+        group_window,
+        total_span,
+        clause_sites,
+        sequence_column,
+    })
+}
+
+fn dest_columns(atom: &Atom) -> Vec<Column> {
+    let collect = |v: &Value| value_dest_columns(v);
+    match atom {
+        Atom::Bool(c) if c.group == ColumnGroup::Dest => vec![c.clone()],
+        Atom::Bool(_) => vec![],
+        Atom::Cmp { lhs, rhs, .. } => {
+            let mut v = collect(lhs);
+            v.extend(collect(rhs));
+            v
+        }
+        Atom::Between { value, lo, hi } => {
+            let mut v = collect(value);
+            v.extend(collect(lo));
+            v.extend(collect(hi));
+            v
+        }
+        Atom::Func { arg, .. } if arg.group == ColumnGroup::Dest => vec![arg.clone()],
+        Atom::Func { .. } => vec![],
+    }
+}
+
+fn value_dest_columns(v: &Value) -> Vec<Column> {
+    match v {
+        Value::Col(c) if c.group == ColumnGroup::Dest => vec![c.clone()],
+        Value::Col(_) | Value::Lit(_) => vec![],
+        Value::Add(inner, _) => value_dest_columns(inner),
+        Value::SubCols(a, b) => [a, b]
+            .into_iter()
+            .filter(|c| c.group == ColumnGroup::Dest)
+            .cloned()
+            .collect(),
+    }
+}
+
+/// Number of groups a `GROUP BY` expression produces.
+pub fn group_count(gb: &GroupBy, schema: &Schema) -> usize {
+    match gb {
+        GroupBy::Col(c) => match c.name.as_str() {
+            "age" => schema.age_range,
+            "setting" => 3,
+            _ => 2,
+        },
+        GroupBy::Func { name, .. } => match name.as_str() {
+            "isHousehold" | "stage" | "onSubway" => 2,
+            _ => 2,
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builtin::paper_queries;
+
+    #[test]
+    fn figure6_ciphertext_counts() {
+        // The headline table: Q1,Q2,Q4,Q5,Q8 → 1; Q3,Q6,Q7,Q10 → 14; Q9 → 10.
+        let schema = Schema::default();
+        let expected = [
+            ("Q1", 1),
+            ("Q2", 1),
+            ("Q3", 14),
+            ("Q4", 1),
+            ("Q5", 1),
+            ("Q6", 14),
+            ("Q7", 14),
+            ("Q8", 1),
+            ("Q9", 10),
+            ("Q10", 14),
+        ];
+        for (q, (name, count)) in paper_queries().iter().zip(expected) {
+            assert_eq!(q.name, name);
+            let a = analyze(q, &schema).unwrap();
+            assert_eq!(
+                a.ciphertexts_per_neighbor, count,
+                "{name}: expected {count} ciphertexts"
+            );
+        }
+    }
+
+    #[test]
+    fn clause_sites_q3() {
+        let schema = Schema::default();
+        let q = &paper_queries()[2]; // Q3.
+        let a = analyze(q, &schema).unwrap();
+        assert_eq!(
+            a.clause_sites,
+            vec![
+                ClauseSite::SelfOnly,
+                ClauseSite::DestEdge,
+                ClauseSite::Cross
+            ]
+        );
+        assert_eq!(a.sequence_column.as_ref().unwrap().name, "tInf");
+    }
+
+    #[test]
+    fn group_kinds() {
+        let schema = Schema::default();
+        let qs = paper_queries();
+        let a5 = analyze(&qs[4], &schema).unwrap(); // Q5: GROUP BY self.age.
+        assert_eq!(a5.group_kind, GroupKind::SelfSide);
+        assert_eq!(a5.groups, 10);
+        let a7 = analyze(&qs[6], &schema).unwrap(); // Q7: GROUP BY edge.setting.
+        assert_eq!(a7.group_kind, GroupKind::PerEdge);
+        assert_eq!(a7.groups, 3);
+        let a10 = analyze(&qs[9], &schema).unwrap(); // Q10: stage(dest-self).
+        assert_eq!(a10.group_kind, GroupKind::Cross);
+        assert_eq!(a10.groups, 2);
+    }
+
+    #[test]
+    fn mul_counts_match_paper() {
+        let schema = Schema::default();
+        let qs = paper_queries();
+        assert_eq!(analyze(&qs[0], &schema).unwrap().muls, 100, "Q1 is 2-hop");
+        assert_eq!(analyze(&qs[1], &schema).unwrap().muls, 10, "Q2 is 1-hop");
+    }
+
+    #[test]
+    fn sensitivity_rules() {
+        let schema = Schema::default();
+        let qs = paper_queries();
+        // HISTO ungrouped → 2.
+        assert_eq!(analyze(&qs[0], &schema).unwrap().sensitivity, 2.0);
+        // HISTO with self-group → still one window per origin → 2.
+        assert_eq!(analyze(&qs[4], &schema).unwrap().sensitivity, 2.0);
+        // HISTO with per-edge groups → one window per group → 2·3.
+        assert_eq!(analyze(&qs[6], &schema).unwrap().sensitivity, 6.0);
+        // GSUM → clip width.
+        let a8 = analyze(&qs[7], &schema).unwrap();
+        let (lo, hi) = qs[7].clip.unwrap();
+        assert_eq!(a8.sensitivity, (hi - lo) as f64);
+    }
+
+    #[test]
+    fn window_layout_fits_paper_ring() {
+        let schema = Schema::default();
+        for q in paper_queries() {
+            let a = analyze(&q, &schema).unwrap();
+            assert!(
+                a.total_span <= 32768,
+                "{}: span {} exceeds N=32768",
+                q.name,
+                a.total_span
+            );
+        }
+    }
+
+    #[test]
+    fn gsum_requires_clip() {
+        let schema = Schema::default();
+        let q = crate::parser::parse(
+            "bad",
+            "SELECT GSUM(SUM(dest.inf)/COUNT(*)) FROM neigh(1) WHERE self.inf",
+        )
+        .unwrap();
+        assert!(matches!(
+            analyze(&q, &schema),
+            Err(AnalyzeError::MissingClip)
+        ));
+    }
+
+    #[test]
+    fn unknown_function_rejected() {
+        let schema = Schema::default();
+        let q = crate::parser::parse(
+            "bad",
+            "SELECT HISTO(COUNT(*)) FROM neigh(1) WHERE frobnicate(edge.location)",
+        )
+        .unwrap();
+        assert!(matches!(
+            analyze(&q, &schema),
+            Err(AnalyzeError::UnknownFunction(_))
+        ));
+    }
+}

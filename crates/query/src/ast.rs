@@ -1,0 +1,256 @@
+//! Abstract syntax of the Mycelium query language.
+
+/// The outer (global) aggregate — one of the two language extensions (§4).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Agg {
+    /// Aggregate the local results into a histogram.
+    Histo,
+    /// Sum the local results globally (with a clipping range).
+    Gsum,
+}
+
+/// The local (per-origin) aggregate over the `neigh(k)` rows.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Inner {
+    /// `COUNT(*)` — number of rows satisfying the predicate.
+    Count,
+    /// `SUM(value)` — sum of a value over satisfying rows.
+    Sum(Value),
+    /// `SUM(value)/COUNT(*)` — the secondary-attack-rate shape (Q8–Q10).
+    /// Compiled to a joint (count, sum) encoding; the ratio is formed after
+    /// decryption.
+    Ratio(Value),
+}
+
+/// Which column group a column belongs to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ColumnGroup {
+    /// The origin vertex's private data (`self.*`).
+    SelfV,
+    /// The neighbor's private data (`dest.*`).
+    Dest,
+    /// The first edge on the path (`edge.*`).
+    Edge,
+}
+
+/// A column reference like `dest.tInf`.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Column {
+    /// Column group.
+    pub group: ColumnGroup,
+    /// Column name (`inf`, `tInf`, `age`, `duration`, `contacts`,
+    /// `last_contact`, `setting`, `location`).
+    pub name: String,
+}
+
+impl Column {
+    /// Convenience constructor.
+    pub fn new(group: ColumnGroup, name: &str) -> Self {
+        Self {
+            group,
+            name: name.to_string(),
+        }
+    }
+}
+
+/// An arithmetic value expression.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// A column reference.
+    Col(Column),
+    /// An integer literal.
+    Lit(i64),
+    /// `value + literal` (also covers `- literal` via negative literals).
+    Add(Box<Value>, i64),
+    /// `a - b` between two columns (Q10's `dest.tInf - self.tInf`).
+    SubCols(Column, Column),
+}
+
+impl Value {
+    /// Column groups this expression reads.
+    pub fn groups(&self) -> Vec<ColumnGroup> {
+        match self {
+            Value::Col(c) => vec![c.group],
+            Value::Lit(_) => vec![],
+            Value::Add(v, _) => v.groups(),
+            Value::SubCols(a, b) => vec![a.group, b.group],
+        }
+    }
+}
+
+/// Comparison operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CmpOp {
+    /// `=`
+    Eq,
+    /// `!=`
+    Ne,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+}
+
+/// An atomic predicate.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Atom {
+    /// A bare boolean column: `self.inf`, or `dest.tInf` meaning "dest has
+    /// a diagnosis time" (Figure 2 uses this shorthand).
+    Bool(Column),
+    /// A comparison.
+    Cmp {
+        /// Left operand.
+        lhs: Value,
+        /// Operator.
+        op: CmpOp,
+        /// Right operand.
+        rhs: Value,
+    },
+    /// `value IN [lo, hi]` — an inclusive range test.
+    Between {
+        /// Tested value.
+        value: Value,
+        /// Lower bound.
+        lo: Value,
+        /// Upper bound.
+        hi: Value,
+    },
+    /// A built-in boolean function over a column: `onSubway(edge.location)`
+    /// or `isHousehold(edge.location)`.
+    Func {
+        /// Function name.
+        name: String,
+        /// Argument column.
+        arg: Column,
+    },
+}
+
+impl Atom {
+    /// Column groups this atom reads.
+    pub fn groups(&self) -> Vec<ColumnGroup> {
+        match self {
+            Atom::Bool(c) => vec![c.group],
+            Atom::Cmp { lhs, rhs, .. } => {
+                let mut g = lhs.groups();
+                g.extend(rhs.groups());
+                g
+            }
+            Atom::Between { value, lo, hi } => {
+                let mut g = value.groups();
+                g.extend(lo.groups());
+                g.extend(hi.groups());
+                g
+            }
+            Atom::Func { arg, .. } => vec![arg.group],
+        }
+    }
+}
+
+/// A predicate in (normalized) conjunctive form: a conjunction of clauses,
+/// each a disjunction of atoms. Figure 2's queries are all conjunctions of
+/// single atoms, but the grammar allows `OR`.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Pred {
+    /// Conjoined clauses; each inner vector is a disjunction.
+    pub clauses: Vec<Vec<Atom>>,
+}
+
+impl Pred {
+    /// The conjunction of single atoms.
+    pub fn all(atoms: Vec<Atom>) -> Self {
+        Self {
+            clauses: atoms.into_iter().map(|a| vec![a]).collect(),
+        }
+    }
+
+    /// True when there is no predicate.
+    pub fn is_empty(&self) -> bool {
+        self.clauses.is_empty()
+    }
+}
+
+/// The `GROUP BY` expression.
+#[derive(Debug, Clone, PartialEq)]
+pub enum GroupBy {
+    /// Group by a column (`self.age`, `edge.setting`).
+    Col(Column),
+    /// Group by a built-in function of a value
+    /// (`isHousehold(edge.location)`, `stage(dest.tInf - self.tInf)`).
+    Func {
+        /// Function name (`isHousehold`, `stage`).
+        name: String,
+        /// Argument.
+        arg: Value,
+    },
+}
+
+impl GroupBy {
+    /// Column groups the grouping expression reads.
+    pub fn groups(&self) -> Vec<ColumnGroup> {
+        match self {
+            GroupBy::Col(c) => vec![c.group],
+            GroupBy::Func { arg, .. } => arg.groups(),
+        }
+    }
+}
+
+/// A complete query.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Query {
+    /// Query name (e.g. `"Q3"`), for reporting.
+    pub name: String,
+    /// Outer aggregate.
+    pub agg: Agg,
+    /// Local aggregate.
+    pub inner: Inner,
+    /// Neighborhood radius `k` from `neigh(k)`.
+    pub hops: usize,
+    /// `WHERE` predicate (empty = always true).
+    pub predicate: Pred,
+    /// Optional `GROUP BY`.
+    pub group_by: Option<GroupBy>,
+    /// Clipping range `[a, b]` (required for `GSUM`, §4).
+    pub clip: Option<(u64, u64)>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn atom_groups() {
+        let a = Atom::Cmp {
+            lhs: Value::Col(Column::new(ColumnGroup::Dest, "tInf")),
+            op: CmpOp::Gt,
+            rhs: Value::Add(
+                Box::new(Value::Col(Column::new(ColumnGroup::SelfV, "tInf"))),
+                2,
+            ),
+        };
+        let g = a.groups();
+        assert!(g.contains(&ColumnGroup::Dest));
+        assert!(g.contains(&ColumnGroup::SelfV));
+    }
+
+    #[test]
+    fn pred_all() {
+        let p = Pred::all(vec![Atom::Bool(Column::new(ColumnGroup::SelfV, "inf"))]);
+        assert_eq!(p.clauses.len(), 1);
+        assert!(!p.is_empty());
+        assert!(Pred::default().is_empty());
+    }
+
+    #[test]
+    fn value_groups() {
+        let v = Value::SubCols(
+            Column::new(ColumnGroup::Dest, "tInf"),
+            Column::new(ColumnGroup::SelfV, "tInf"),
+        );
+        assert_eq!(v.groups().len(), 2);
+        assert!(Value::Lit(5).groups().is_empty());
+    }
+}

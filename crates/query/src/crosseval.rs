@@ -1,0 +1,225 @@
+//! Discretized evaluation of cross (`self` ↔ `dest`) clauses.
+//!
+//! The §4.5 sequence encoding quantizes the `dest` column of a cross
+//! comparison to a finite position range (the language requires that "both
+//! take a finite number of discrete values"). The *same* quantization must
+//! be used by the plaintext oracle and by the encrypted pipeline — the
+//! neighbor decides which position its value occupies, and the origin
+//! decides, per position, whether the clause holds and (for Q10-style
+//! grouping) which group the position belongs to. This module is that
+//! single shared definition.
+
+use mycelium_graph::data::VertexData;
+
+use crate::analyze::Schema;
+use crate::ast::{Atom, Column, ColumnGroup, GroupBy, Value};
+use crate::eval::{eval_atom, Row};
+
+/// Maps a destination's actual value of the sequence column to its
+/// position in `[0, range)`, or `None` when the value is undefined or out
+/// of range (such a neighbor contributes the neutral element at every
+/// position).
+pub fn discretize_dest(col: &Column, dest: &VertexData, schema: &Schema) -> Option<usize> {
+    debug_assert_eq!(col.group, ColumnGroup::Dest);
+    match col.name.as_str() {
+        "tInf" => {
+            if !dest.infected {
+                return None;
+            }
+            let p = dest.t_inf as usize;
+            (p < schema.t_inf_range).then_some(p)
+        }
+        "age" => {
+            let p = (dest.age as usize) / 10;
+            Some(p.min(schema.age_range - 1))
+        }
+        "inf" => Some(dest.infected as usize),
+        _ => None,
+    }
+}
+
+/// The representative concrete value of position `p` (what the origin
+/// substitutes for the `dest` column when evaluating the clause).
+pub fn representative(col: &Column, p: usize) -> i64 {
+    match col.name.as_str() {
+        "tInf" => p as i64,
+        "age" => p as i64 * 10 + 5, // Decade midpoint.
+        _ => p as i64,
+    }
+}
+
+/// Evaluates a cross clause (a disjunction of atoms) at position `p`:
+/// every occurrence of the sequence column is replaced by the position's
+/// representative; the dest is assumed "defined" (e.g. diagnosed) since a
+/// neighbor only claims a position when its value is.
+pub fn clause_holds_at_position(
+    clause: &[Atom],
+    self_v: &VertexData,
+    edge: &mycelium_graph::data::EdgeData,
+    col: &Column,
+    p: usize,
+    schema: &Schema,
+) -> bool {
+    let rep = representative(col, p);
+    // Build a synthetic dest whose sequence column takes the
+    // representative value and which counts as diagnosed.
+    let dest = match col.name.as_str() {
+        "tInf" => VertexData {
+            infected: true,
+            t_inf: rep.max(0) as u16,
+            age: 0,
+            household: 0,
+        },
+        "age" => VertexData {
+            infected: true,
+            t_inf: 0,
+            age: rep.clamp(0, 255) as u8,
+            household: 0,
+        },
+        _ => VertexData {
+            infected: rep != 0,
+            t_inf: 0,
+            age: 0,
+            household: 0,
+        },
+    };
+    let row = Row {
+        self_v,
+        dest: &dest,
+        edge,
+    };
+    clause.iter().any(|a| eval_atom(a, &row, schema))
+}
+
+/// Group index for a cross `GROUP BY` expression (Q10's
+/// `stage(dest.tInf - self.tInf)`) evaluated at position `p`.
+pub fn cross_group_index(
+    gb: &GroupBy,
+    self_v: &VertexData,
+    col: &Column,
+    p: usize,
+    schema: &Schema,
+) -> usize {
+    match gb {
+        GroupBy::Func { name, arg } if name == "stage" => {
+            let rep = representative(col, p);
+            let x = match arg {
+                Value::SubCols(a, b) => {
+                    let val = |c: &Column| -> i64 {
+                        if c.group == ColumnGroup::Dest && c.name == col.name {
+                            rep
+                        } else if c.group == ColumnGroup::SelfV {
+                            match c.name.as_str() {
+                                "tInf" => {
+                                    if self_v.infected {
+                                        self_v.t_inf as i64
+                                    } else {
+                                        -1
+                                    }
+                                }
+                                "age" => self_v.age as i64,
+                                _ => 0,
+                            }
+                        } else {
+                            0
+                        }
+                    };
+                    val(a) - val(b)
+                }
+                _ => 0,
+            };
+            let _ = schema;
+            usize::from(x > 5)
+        }
+        _ => 0,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ast::CmpOp;
+    use mycelium_graph::data::EdgeData;
+
+    fn schema() -> Schema {
+        Schema::default()
+    }
+
+    fn tinf_col() -> Column {
+        Column::new(ColumnGroup::Dest, "tInf")
+    }
+
+    #[test]
+    fn discretize_tinf() {
+        let s = schema();
+        let mut d = VertexData::healthy(30, 0);
+        assert_eq!(discretize_dest(&tinf_col(), &d, &s), None);
+        d.infected = true;
+        d.t_inf = 5;
+        assert_eq!(discretize_dest(&tinf_col(), &d, &s), Some(5));
+        d.t_inf = 14; // Out of the 14-value range [0, 13].
+        assert_eq!(discretize_dest(&tinf_col(), &d, &s), None);
+    }
+
+    #[test]
+    fn discretize_age_decades() {
+        let s = schema();
+        let col = Column::new(ColumnGroup::Dest, "age");
+        let mut d = VertexData::healthy(37, 0);
+        assert_eq!(discretize_dest(&col, &d, &s), Some(3));
+        d.age = 99;
+        assert_eq!(discretize_dest(&col, &d, &s), Some(9));
+        d.age = 120;
+        assert_eq!(discretize_dest(&col, &d, &s), Some(9), "clamped");
+    }
+
+    #[test]
+    fn q3_clause_at_positions() {
+        // dest.tInf > self.tInf + 2 with self.tInf = 4: holds for p >= 7.
+        let s = schema();
+        let clause = vec![Atom::Cmp {
+            lhs: Value::Col(tinf_col()),
+            op: CmpOp::Gt,
+            rhs: Value::Add(
+                Box::new(Value::Col(Column::new(ColumnGroup::SelfV, "tInf"))),
+                2,
+            ),
+        }];
+        let self_v = VertexData {
+            infected: true,
+            t_inf: 4,
+            age: 30,
+            household: 0,
+        };
+        let edge = EdgeData::household_contact(0);
+        for p in 0..14 {
+            let holds = clause_holds_at_position(&clause, &self_v, &edge, &tinf_col(), p, &s);
+            assert_eq!(holds, p > 6, "position {p}");
+        }
+    }
+
+    #[test]
+    fn q10_stage_groups_by_serial_interval() {
+        let gb = GroupBy::Func {
+            name: "stage".into(),
+            arg: Value::SubCols(tinf_col(), Column::new(ColumnGroup::SelfV, "tInf")),
+        };
+        let self_v = VertexData {
+            infected: true,
+            t_inf: 2,
+            age: 30,
+            household: 0,
+        };
+        let s = schema();
+        // Serial interval p - 2: incubation (≤5) for p ≤ 7, illness after.
+        assert_eq!(cross_group_index(&gb, &self_v, &tinf_col(), 7, &s), 0);
+        assert_eq!(cross_group_index(&gb, &self_v, &tinf_col(), 8, &s), 1);
+    }
+
+    #[test]
+    fn representatives() {
+        assert_eq!(representative(&tinf_col(), 9), 9);
+        let age = Column::new(ColumnGroup::Dest, "age");
+        assert_eq!(representative(&age, 3), 35);
+    }
+}

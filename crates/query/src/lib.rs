@@ -1,0 +1,29 @@
+//! Mycelium's SQL-subset query language (§4).
+//!
+//! Queries see the data as a table `neigh(k)` with one row per member of
+//! each origin vertex's `k`-hop neighborhood; columns come in three groups:
+//! `self.*` (the origin's private data), `dest.*` (the neighbor's), and
+//! `edge.*` (the first edge on the path). Two extensions distinguish the
+//! language from plain SQL: the outer aggregate must be `HISTO` or `GSUM`,
+//! and `GSUM` queries carry a clipping range (§4).
+//!
+//! * [`ast`] — the abstract syntax tree.
+//! * [`parser`] — a hand-rolled lexer + recursive-descent parser.
+//! * [`analyze`] — semantic analysis: clause classification
+//!   (self/dest/edge/cross), the Figure 6 ciphertext count, static
+//!   differential-privacy sensitivity (§4.7), multiplication depth, and the
+//!   coefficient-window layout used by the HE encoding.
+//! * [`builtin`] — the paper's ten example queries (Figure 2).
+//! * [`eval`] — ground-truth plaintext evaluation over a synthetic
+//!   population (the oracle the encrypted pipeline is checked against).
+
+pub mod analyze;
+pub mod ast;
+pub mod builtin;
+pub mod crosseval;
+pub mod eval;
+pub mod parser;
+
+pub use analyze::{analyze, Analysis};
+pub use ast::{Agg, Atom, Column, ColumnGroup, GroupBy, Inner, Pred, Query, Value};
+pub use parser::{parse, ParseError};

@@ -1,0 +1,578 @@
+//! Lexer and recursive-descent parser for the query language.
+//!
+//! Grammar (keywords case-insensitive):
+//!
+//! ```text
+//! query    := SELECT agg FROM neigh(INT) [WHERE pred]
+//!             [GROUP BY groupby] [CLIP [INT, INT]]
+//! agg      := (HISTO | GSUM) ( inner )
+//! inner    := COUNT(*) | SUM(value) | SUM(value) / COUNT(*)
+//! pred     := conj (OR conj)*          -- OR binds looser than AND
+//! conj     := atom (AND atom)*
+//! atom     := '(' pred ')' | func '(' column ')'
+//!           | value (cmp value | IN '[' value ',' value ']')?
+//! value    := (column | INT | func...) (('+'|'-') INT)?
+//!           | column '-' column
+//! column   := (self|dest|edge) '.' IDENT
+//! cmp      := = | != | < | <= | > | >=
+//! groupby  := column | func '(' value ')'
+//! ```
+
+use crate::ast::{Agg, Atom, CmpOp, Column, ColumnGroup, GroupBy, Inner, Pred, Query, Value};
+
+/// A parse failure with position information.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// Human-readable message.
+    pub message: String,
+    /// Token index where the failure occurred.
+    pub position: usize,
+}
+
+impl std::fmt::Display for ParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "parse error at token {}: {}",
+            self.position, self.message
+        )
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+#[derive(Debug, Clone, PartialEq)]
+enum Tok {
+    Ident(String),
+    Int(i64),
+    Sym(char),
+    Le,
+    Ge,
+    Ne,
+}
+
+fn lex(input: &str) -> Result<Vec<Tok>, ParseError> {
+    let mut toks = Vec::new();
+    let chars: Vec<char> = input.chars().collect();
+    let mut i = 0;
+    while i < chars.len() {
+        let c = chars[i];
+        if c.is_whitespace() {
+            i += 1;
+        } else if c.is_ascii_alphabetic() || c == '_' {
+            let start = i;
+            while i < chars.len() && (chars[i].is_ascii_alphanumeric() || chars[i] == '_') {
+                i += 1;
+            }
+            toks.push(Tok::Ident(chars[start..i].iter().collect()));
+        } else if c.is_ascii_digit() {
+            let start = i;
+            while i < chars.len() && chars[i].is_ascii_digit() {
+                i += 1;
+            }
+            let text: String = chars[start..i].iter().collect();
+            let v = text.parse().map_err(|_| ParseError {
+                message: format!("integer overflow: {text}"),
+                position: toks.len(),
+            })?;
+            toks.push(Tok::Int(v));
+        } else if c == '<' && chars.get(i + 1) == Some(&'=') {
+            toks.push(Tok::Le);
+            i += 2;
+        } else if c == '>' && chars.get(i + 1) == Some(&'=') {
+            toks.push(Tok::Ge);
+            i += 2;
+        } else if c == '!' && chars.get(i + 1) == Some(&'=') {
+            toks.push(Tok::Ne);
+            i += 2;
+        } else if "()[],.*/+-=<>".contains(c) {
+            toks.push(Tok::Sym(c));
+            i += 1;
+        } else {
+            return Err(ParseError {
+                message: format!("unexpected character {c:?}"),
+                position: toks.len(),
+            });
+        }
+    }
+    Ok(toks)
+}
+
+struct Parser {
+    toks: Vec<Tok>,
+    pos: usize,
+}
+
+impl Parser {
+    fn peek(&self) -> Option<&Tok> {
+        self.toks.get(self.pos)
+    }
+
+    fn next(&mut self) -> Option<Tok> {
+        let t = self.toks.get(self.pos).cloned();
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn err(&self, msg: impl Into<String>) -> ParseError {
+        ParseError {
+            message: msg.into(),
+            position: self.pos,
+        }
+    }
+
+    fn expect_sym(&mut self, c: char) -> Result<(), ParseError> {
+        match self.next() {
+            Some(Tok::Sym(s)) if s == c => Ok(()),
+            other => Err(self.err(format!("expected {c:?}, got {other:?}"))),
+        }
+    }
+
+    fn expect_kw(&mut self, kw: &str) -> Result<(), ParseError> {
+        match self.next() {
+            Some(Tok::Ident(s)) if s.eq_ignore_ascii_case(kw) => Ok(()),
+            other => Err(self.err(format!("expected keyword {kw}, got {other:?}"))),
+        }
+    }
+
+    fn peek_kw(&self, kw: &str) -> bool {
+        matches!(self.peek(), Some(Tok::Ident(s)) if s.eq_ignore_ascii_case(kw))
+    }
+
+    fn expect_int(&mut self) -> Result<i64, ParseError> {
+        match self.next() {
+            Some(Tok::Int(v)) => Ok(v),
+            other => Err(self.err(format!("expected integer, got {other:?}"))),
+        }
+    }
+
+    fn signed_int(&mut self) -> Result<i64, ParseError> {
+        if matches!(self.peek(), Some(Tok::Sym('-'))) {
+            self.next();
+            Ok(-self.expect_int()?)
+        } else {
+            self.expect_int()
+        }
+    }
+
+    fn query(&mut self, name: &str) -> Result<Query, ParseError> {
+        self.expect_kw("SELECT")?;
+        let agg = match self.next() {
+            Some(Tok::Ident(s)) if s.eq_ignore_ascii_case("HISTO") => Agg::Histo,
+            Some(Tok::Ident(s)) if s.eq_ignore_ascii_case("GSUM") => Agg::Gsum,
+            other => return Err(self.err(format!("expected HISTO or GSUM, got {other:?}"))),
+        };
+        self.expect_sym('(')?;
+        let inner = self.inner()?;
+        self.expect_sym(')')?;
+        self.expect_kw("FROM")?;
+        self.expect_kw("neigh")?;
+        self.expect_sym('(')?;
+        let hops = self.expect_int()? as usize;
+        self.expect_sym(')')?;
+        let predicate = if self.peek_kw("WHERE") {
+            self.next();
+            self.pred()?
+        } else {
+            Pred::default()
+        };
+        let group_by = if self.peek_kw("GROUP") {
+            self.next();
+            self.expect_kw("BY")?;
+            Some(self.group_by()?)
+        } else {
+            None
+        };
+        let clip = if self.peek_kw("CLIP") {
+            self.next();
+            self.expect_sym('[')?;
+            let a = self.expect_int()? as u64;
+            self.expect_sym(',')?;
+            let b = self.expect_int()? as u64;
+            self.expect_sym(']')?;
+            Some((a, b))
+        } else {
+            None
+        };
+        if self.pos != self.toks.len() {
+            return Err(self.err("trailing tokens after query"));
+        }
+        if hops == 0 {
+            return Err(self.err("neigh(k) requires k >= 1"));
+        }
+        Ok(Query {
+            name: name.to_string(),
+            agg,
+            inner,
+            hops,
+            predicate,
+            group_by,
+            clip,
+        })
+    }
+
+    fn inner(&mut self) -> Result<Inner, ParseError> {
+        if self.peek_kw("COUNT") {
+            self.next();
+            self.expect_sym('(')?;
+            self.expect_sym('*')?;
+            self.expect_sym(')')?;
+            return Ok(Inner::Count);
+        }
+        self.expect_kw("SUM")?;
+        self.expect_sym('(')?;
+        let v = self.value()?;
+        self.expect_sym(')')?;
+        if matches!(self.peek(), Some(Tok::Sym('/'))) {
+            self.next();
+            self.expect_kw("COUNT")?;
+            self.expect_sym('(')?;
+            self.expect_sym('*')?;
+            self.expect_sym(')')?;
+            return Ok(Inner::Ratio(v));
+        }
+        Ok(Inner::Sum(v))
+    }
+
+    fn pred(&mut self) -> Result<Pred, ParseError> {
+        // pred := conj (OR conj)* — normalize to CNF-ish: collect OR groups
+        // of conjunction... Figure 2 queries are pure conjunctions; we
+        // support a single level: conjunction of disjunctions.
+        let mut clauses = Vec::new();
+        loop {
+            let disj = self.disjunction_atom()?;
+            clauses.push(disj);
+            if self.peek_kw("AND") {
+                self.next();
+            } else {
+                break;
+            }
+        }
+        Ok(Pred { clauses })
+    }
+
+    /// One clause: `group (OR group)*` where a group is an atom or a
+    /// parenthesized disjunction.
+    fn disjunction_atom(&mut self) -> Result<Vec<Atom>, ParseError> {
+        let mut atoms = self.atom_group()?;
+        while self.peek_kw("OR") {
+            self.next();
+            atoms.extend(self.atom_group()?);
+        }
+        Ok(atoms)
+    }
+
+    fn atom_group(&mut self) -> Result<Vec<Atom>, ParseError> {
+        if matches!(self.peek(), Some(Tok::Sym('('))) {
+            self.next();
+            let atoms = self.disjunction_atom()?;
+            self.expect_sym(')')?;
+            return Ok(atoms);
+        }
+        Ok(vec![self.atom()?])
+    }
+
+    fn atom(&mut self) -> Result<Atom, ParseError> {
+        // Function atom: ident '(' column ')'.
+        if let Some(Tok::Ident(name)) = self.peek().cloned() {
+            if !is_column_group(&name) && matches!(self.toks.get(self.pos + 1), Some(Tok::Sym('(')))
+            {
+                self.next();
+                self.expect_sym('(')?;
+                let arg = self.column()?;
+                self.expect_sym(')')?;
+                return Ok(Atom::Func { name, arg });
+            }
+        }
+        let lhs = self.value()?;
+        match self.peek().cloned() {
+            Some(Tok::Sym('=')) => {
+                self.next();
+                let rhs = self.value()?;
+                Ok(Atom::Cmp {
+                    lhs,
+                    op: CmpOp::Eq,
+                    rhs,
+                })
+            }
+            Some(Tok::Ne) => {
+                self.next();
+                let rhs = self.value()?;
+                Ok(Atom::Cmp {
+                    lhs,
+                    op: CmpOp::Ne,
+                    rhs,
+                })
+            }
+            Some(Tok::Sym('<')) => {
+                self.next();
+                let rhs = self.value()?;
+                Ok(Atom::Cmp {
+                    lhs,
+                    op: CmpOp::Lt,
+                    rhs,
+                })
+            }
+            Some(Tok::Le) => {
+                self.next();
+                let rhs = self.value()?;
+                Ok(Atom::Cmp {
+                    lhs,
+                    op: CmpOp::Le,
+                    rhs,
+                })
+            }
+            Some(Tok::Sym('>')) => {
+                self.next();
+                let rhs = self.value()?;
+                Ok(Atom::Cmp {
+                    lhs,
+                    op: CmpOp::Gt,
+                    rhs,
+                })
+            }
+            Some(Tok::Ge) => {
+                self.next();
+                let rhs = self.value()?;
+                Ok(Atom::Cmp {
+                    lhs,
+                    op: CmpOp::Ge,
+                    rhs,
+                })
+            }
+            Some(Tok::Ident(kw)) if kw.eq_ignore_ascii_case("IN") => {
+                self.next();
+                self.expect_sym('[')?;
+                let lo = self.value()?;
+                self.expect_sym(',')?;
+                let hi = self.value()?;
+                self.expect_sym(']')?;
+                Ok(Atom::Between { value: lhs, lo, hi })
+            }
+            _ => match lhs {
+                Value::Col(c) => Ok(Atom::Bool(c)),
+                _ => Err(self.err("expected comparison operator")),
+            },
+        }
+    }
+
+    fn value(&mut self) -> Result<Value, ParseError> {
+        let base = match self.peek().cloned() {
+            Some(Tok::Int(_)) | Some(Tok::Sym('-')) => Value::Lit(self.signed_int()?),
+            Some(Tok::Ident(_)) => Value::Col(self.column()?),
+            other => return Err(self.err(format!("expected value, got {other:?}"))),
+        };
+        match self.peek().cloned() {
+            Some(Tok::Sym('+')) => {
+                self.next();
+                let lit = self.expect_int()?;
+                Ok(Value::Add(Box::new(base), lit))
+            }
+            Some(Tok::Sym('-')) => {
+                self.next();
+                // Either `col - int` or `col - col` (Q10).
+                if matches!(self.peek(), Some(Tok::Int(_))) {
+                    let lit = self.expect_int()?;
+                    Ok(Value::Add(Box::new(base), -lit))
+                } else {
+                    let rhs = self.column()?;
+                    match base {
+                        Value::Col(lhs) => Ok(Value::SubCols(lhs, rhs)),
+                        _ => Err(self.err("column subtraction requires a column on the left")),
+                    }
+                }
+            }
+            _ => Ok(base),
+        }
+    }
+
+    fn column(&mut self) -> Result<Column, ParseError> {
+        let group = match self.next() {
+            Some(Tok::Ident(s)) if s.eq_ignore_ascii_case("self") => ColumnGroup::SelfV,
+            Some(Tok::Ident(s)) if s.eq_ignore_ascii_case("dest") => ColumnGroup::Dest,
+            Some(Tok::Ident(s)) if s.eq_ignore_ascii_case("edge") => ColumnGroup::Edge,
+            other => return Err(self.err(format!("expected self/dest/edge, got {other:?}"))),
+        };
+        self.expect_sym('.')?;
+        match self.next() {
+            Some(Tok::Ident(name)) => Ok(Column { group, name }),
+            other => Err(self.err(format!("expected column name, got {other:?}"))),
+        }
+    }
+
+    fn group_by(&mut self) -> Result<GroupBy, ParseError> {
+        if let Some(Tok::Ident(name)) = self.peek().cloned() {
+            if !is_column_group(&name) && matches!(self.toks.get(self.pos + 1), Some(Tok::Sym('(')))
+            {
+                self.next();
+                self.expect_sym('(')?;
+                let arg = self.value()?;
+                self.expect_sym(')')?;
+                return Ok(GroupBy::Func { name, arg });
+            }
+        }
+        Ok(GroupBy::Col(self.column()?))
+    }
+}
+
+fn is_column_group(s: &str) -> bool {
+    s.eq_ignore_ascii_case("self")
+        || s.eq_ignore_ascii_case("dest")
+        || s.eq_ignore_ascii_case("edge")
+}
+
+/// Parses a query string.
+pub fn parse(name: &str, input: &str) -> Result<Query, ParseError> {
+    let toks = lex(input)?;
+    Parser { toks, pos: 0 }.query(name)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ast::*;
+
+    #[test]
+    fn parse_q1_style() {
+        let q = parse(
+            "Q1",
+            "SELECT HISTO(COUNT(*)) FROM neigh(2) WHERE dest.inf AND self.inf",
+        )
+        .unwrap();
+        assert_eq!(q.agg, Agg::Histo);
+        assert_eq!(q.inner, Inner::Count);
+        assert_eq!(q.hops, 2);
+        assert_eq!(q.predicate.clauses.len(), 2);
+        assert!(q.group_by.is_none());
+    }
+
+    #[test]
+    fn parse_sum_with_edge_column() {
+        let q = parse(
+            "Q2",
+            "SELECT HISTO(SUM(edge.duration)) FROM neigh(1) \
+             WHERE self.inf AND dest.tInf IN [edge.last_contact+5, edge.last_contact+10]",
+        )
+        .unwrap();
+        assert!(matches!(q.inner, Inner::Sum(Value::Col(ref c)) if c.name == "duration"));
+        let atom = &q.predicate.clauses[1][0];
+        match atom {
+            Atom::Between { value, lo, hi } => {
+                assert!(matches!(value, Value::Col(c) if c.group == ColumnGroup::Dest));
+                assert!(matches!(lo, Value::Add(_, 5)));
+                assert!(matches!(hi, Value::Add(_, 10)));
+            }
+            other => panic!("expected Between, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parse_cross_comparison() {
+        let q = parse(
+            "Q3",
+            "SELECT HISTO(SUM(edge.contacts)) FROM neigh(1) \
+             WHERE self.inf AND dest.tInf AND dest.tInf > self.tInf+2",
+        )
+        .unwrap();
+        let atom = &q.predicate.clauses[2][0];
+        assert!(matches!(
+            atom,
+            Atom::Cmp {
+                op: CmpOp::Gt,
+                rhs: Value::Add(_, 2),
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn parse_group_by_and_func() {
+        let q = parse(
+            "Q8",
+            "SELECT GSUM(SUM(dest.inf)/COUNT(*)) FROM neigh(1) WHERE self.inf \
+             GROUP BY isHousehold(edge.location) CLIP [0, 10]",
+        )
+        .unwrap();
+        assert_eq!(q.agg, Agg::Gsum);
+        assert!(matches!(q.inner, Inner::Ratio(_)));
+        assert!(
+            matches!(q.group_by, Some(GroupBy::Func { ref name, .. }) if name == "isHousehold")
+        );
+        assert_eq!(q.clip, Some((0, 10)));
+    }
+
+    #[test]
+    fn parse_func_atom() {
+        let q = parse(
+            "Q4",
+            "SELECT HISTO(SUM(dest.inf)) FROM neigh(1) WHERE onSubway(edge.location) AND self.inf",
+        )
+        .unwrap();
+        assert!(matches!(
+            &q.predicate.clauses[0][0],
+            Atom::Func { name, .. } if name == "onSubway"
+        ));
+    }
+
+    #[test]
+    fn parse_column_subtraction_groupby() {
+        let q = parse(
+            "Q10",
+            "SELECT GSUM(SUM(dest.inf)/COUNT(*)) FROM neigh(1) \
+             WHERE self.inf AND dest.tInf > self.tInf+2 \
+             GROUP BY stage(dest.tInf - self.tInf) CLIP [0, 5]",
+        )
+        .unwrap();
+        match q.group_by.unwrap() {
+            GroupBy::Func { name, arg } => {
+                assert_eq!(name, "stage");
+                assert!(matches!(arg, Value::SubCols(_, _)));
+            }
+            other => panic!("expected func group-by, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parse_or_clause() {
+        let q = parse(
+            "T",
+            "SELECT HISTO(COUNT(*)) FROM neigh(1) WHERE (self.inf OR self.age > 65) AND dest.inf",
+        )
+        .unwrap();
+        assert_eq!(q.predicate.clauses.len(), 2);
+        assert_eq!(q.predicate.clauses[0].len(), 2);
+    }
+
+    #[test]
+    fn parse_age_between_with_negative_offset() {
+        let q = parse(
+            "Q9",
+            "SELECT GSUM(SUM(dest.inf)/COUNT(*)) FROM neigh(1) \
+             WHERE dest.age IN [0, 100] AND self.age IN [dest.age-10, dest.age+10] CLIP [0, 10]",
+        )
+        .unwrap();
+        match &q.predicate.clauses[1][0] {
+            Atom::Between { lo, hi, .. } => {
+                assert!(matches!(lo, Value::Add(_, -10)));
+                assert!(matches!(hi, Value::Add(_, 10)));
+            }
+            other => panic!("expected Between, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn errors() {
+        assert!(parse("E", "SELECT HISTO(COUNT(*)) FROM neigh(0)").is_err());
+        assert!(parse("E", "SELECT MAX(COUNT(*)) FROM neigh(1)").is_err());
+        assert!(parse("E", "SELECT HISTO(COUNT(*)) FROM neigh(1) garbage").is_err());
+        assert!(parse("E", "SELECT HISTO(COUNT(*)) FROM neigh(1) WHERE bogus.col").is_err());
+        assert!(parse("E", "SELECT HISTO(COUNT(*» FROM neigh(1)").is_err());
+    }
+
+    #[test]
+    fn case_insensitive_keywords() {
+        assert!(parse("T", "select histo(count(*)) from neigh(1) where self.inf").is_ok());
+    }
+}

@@ -1,0 +1,190 @@
+//! Feldman verifiable secret sharing.
+//!
+//! A Feldman dealing is a Shamir sharing plus a public commitment vector
+//! `C_j = g^{a_j}` to the sharing polynomial's coefficients. Party `i`
+//! verifies its share `y_i` by checking
+//! `g^{y_i} == Π_j C_j^{i^j}` — a cheating dealer who hands out
+//! inconsistent shares is caught immediately. This is the building block of
+//! the extended VSR protocol ([`crate::vsr`]) that moves Mycelium's
+//! decryption key between committees (§4.2).
+
+use rand::Rng;
+
+use crate::group::SchnorrGroup;
+use crate::shamir::{eval_poly, Share};
+use mycelium_math::zq::Modulus;
+
+/// The public commitments of a Feldman dealing.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FeldmanCommitment {
+    /// `commit[j] = g^{a_j}` for the degree-`t` sharing polynomial.
+    pub commits: Vec<u64>,
+    /// The group the commitments live in.
+    pub group: SchnorrGroup,
+}
+
+/// A complete Feldman dealing: shares plus commitments.
+#[derive(Debug, Clone)]
+pub struct FeldmanDealing {
+    /// The `n` shares (evaluation points `1..=n`).
+    pub shares: Vec<Share>,
+    /// Public commitments.
+    pub commitment: FeldmanCommitment,
+}
+
+impl FeldmanCommitment {
+    /// Verifies one share against the commitments:
+    /// `g^y == Π_j C_j^{x^j}`.
+    pub fn verify(&self, share: &Share) -> bool {
+        if share.x == 0 {
+            return false;
+        }
+        let g = &self.group;
+        let q = Modulus::new(g.q).expect("group order is a valid modulus");
+        let lhs = g.exp(share.y);
+        let mut rhs = 1u64;
+        let mut x_pow = 1u64; // x^j mod q.
+        for &c in &self.commits {
+            rhs = g.mul(rhs, g.exp_base(c, x_pow));
+            x_pow = q.mul(x_pow, q.reduce(share.x));
+        }
+        lhs == rhs
+    }
+
+    /// The commitment to the secret itself (`g^{a_0} = g^{f(0)}`).
+    pub fn secret_commitment(&self) -> u64 {
+        self.commits[0]
+    }
+
+    /// Derives the commitment to `f(x)` for an arbitrary point — i.e. what
+    /// `g^{y_x}` *should* be. Used by VSR to check sub-dealings against the
+    /// previous committee's commitments.
+    pub fn share_commitment(&self, x: u64) -> u64 {
+        let g = &self.group;
+        let q = Modulus::new(g.q).expect("group order is a valid modulus");
+        let mut acc = 1u64;
+        let mut x_pow = 1u64;
+        for &c in &self.commits {
+            acc = g.mul(acc, g.exp_base(c, x_pow));
+            x_pow = q.mul(x_pow, q.reduce(x));
+        }
+        acc
+    }
+
+    /// Threshold of the committed polynomial (degree).
+    pub fn threshold(&self) -> usize {
+        self.commits.len() - 1
+    }
+}
+
+/// Deals a `(t, n)` Feldman sharing of `secret` in the given group.
+///
+/// # Panics
+///
+/// Panics on invalid threshold parameters.
+pub fn deal<R: Rng + ?Sized>(
+    secret: u64,
+    t: usize,
+    n: usize,
+    group: SchnorrGroup,
+    rng: &mut R,
+) -> FeldmanDealing {
+    assert!(n > 0 && t < n, "invalid threshold parameters");
+    assert!((n as u64) < group.q, "too many parties for the field");
+    let q = Modulus::new(group.q).expect("group order is a valid modulus");
+    let mut coeffs = Vec::with_capacity(t + 1);
+    coeffs.push(q.reduce(secret));
+    for _ in 0..t {
+        coeffs.push(rng.gen_range(0..group.q));
+    }
+    let shares: Vec<Share> = (1..=n as u64)
+        .map(|x| Share {
+            x,
+            y: eval_poly(&coeffs, x, q),
+        })
+        .collect();
+    let commits = coeffs.iter().map(|&a| group.exp(a)).collect();
+    FeldmanDealing {
+        shares,
+        commitment: FeldmanCommitment { commits, group },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::shamir::reconstruct;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn setup() -> (SchnorrGroup, StdRng) {
+        (
+            SchnorrGroup::for_order(2_147_483_647).unwrap(),
+            StdRng::seed_from_u64(21),
+        )
+    }
+
+    #[test]
+    fn all_shares_verify() {
+        let (g, mut rng) = setup();
+        let dealing = deal(0xDEADBEEF % g.q, 3, 10, g, &mut rng);
+        for s in &dealing.shares {
+            assert!(dealing.commitment.verify(s));
+        }
+    }
+
+    #[test]
+    fn tampered_share_rejected() {
+        let (g, mut rng) = setup();
+        let dealing = deal(42, 2, 6, g, &mut rng);
+        let mut bad = dealing.shares[3];
+        bad.y = (bad.y + 1) % g.q;
+        assert!(!dealing.commitment.verify(&bad));
+        let mut bad_x = dealing.shares[3];
+        bad_x.x += 1;
+        assert!(!dealing.commitment.verify(&bad_x));
+    }
+
+    #[test]
+    fn shares_reconstruct_secret() {
+        let (g, mut rng) = setup();
+        let secret = 987654321 % g.q;
+        let dealing = deal(secret, 3, 8, g, &mut rng);
+        let q = Modulus::new(g.q).unwrap();
+        assert_eq!(reconstruct(&dealing.shares[2..6], q), Some(secret));
+    }
+
+    #[test]
+    fn secret_commitment_matches() {
+        let (g, mut rng) = setup();
+        let secret = 777;
+        let dealing = deal(secret, 2, 5, g, &mut rng);
+        assert_eq!(dealing.commitment.secret_commitment(), g.exp(secret));
+    }
+
+    #[test]
+    fn share_commitment_predicts_share() {
+        let (g, mut rng) = setup();
+        let dealing = deal(1234, 2, 5, g, &mut rng);
+        for s in &dealing.shares {
+            assert_eq!(dealing.commitment.share_commitment(s.x), g.exp(s.y));
+        }
+    }
+
+    #[test]
+    fn zero_point_rejected() {
+        let (g, mut rng) = setup();
+        let dealing = deal(1, 1, 3, g, &mut rng);
+        assert!(!dealing.commitment.verify(&Share { x: 0, y: 1 }));
+    }
+
+    #[test]
+    fn inconsistent_dealer_caught() {
+        // A malicious dealer publishes commitments for one polynomial but
+        // hands party 2 a share of a different one.
+        let (g, mut rng) = setup();
+        let honest = deal(5, 2, 5, g, &mut rng);
+        let other = deal(6, 2, 5, g, &mut rng);
+        assert!(!honest.commitment.verify(&other.shares[1]));
+    }
+}

@@ -1,0 +1,154 @@
+//! Schnorr groups: prime-order subgroups of `Z_p^*`.
+//!
+//! Feldman VSS commits to sharing-polynomial coefficients as `g^{a_j}` in a
+//! group whose order equals the share field. Because Mycelium's share
+//! fields are the BGV chain primes (≈2^40–2^55), we construct for each chain
+//! prime `q` a prime `p = c·q + 1` and use the order-`q` subgroup of
+//! `Z_p^*`.
+//!
+//! **Security note (documented substitution):** word-sized groups offer no
+//! discrete-log hardness; a deployment would use a ≥2048-bit `p` or a
+//! prime-order elliptic-curve group. All protocol logic — commitment
+//! homomorphism, share verification, VSR sub-share checks — is independent
+//! of the group size, which is why the group is a value, not a hard-coded
+//! constant.
+
+use mycelium_math::zq::is_prime;
+
+/// A prime-order subgroup of `Z_p^*` with `p = c·q + 1`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SchnorrGroup {
+    /// The field prime `p` (may be up to 2^64).
+    pub p: u64,
+    /// The group order `q` (prime), equal to the share field.
+    pub q: u64,
+    /// A generator of the order-`q` subgroup.
+    pub g: u64,
+}
+
+#[inline]
+fn mul_mod(a: u64, b: u64, m: u64) -> u64 {
+    ((a as u128 * b as u128) % m as u128) as u64
+}
+
+fn pow_mod(mut base: u64, mut exp: u64, m: u64) -> u64 {
+    let mut acc = 1u64 % m;
+    base %= m;
+    while exp > 0 {
+        if exp & 1 == 1 {
+            acc = mul_mod(acc, base, m);
+        }
+        base = mul_mod(base, base, m);
+        exp >>= 1;
+    }
+    acc
+}
+
+impl SchnorrGroup {
+    /// Finds a Schnorr group of order `q` (a prime), trying cofactors
+    /// `c = 2, 4, 6, …` until `p = c·q + 1` is prime.
+    ///
+    /// Returns `None` if `q` is not prime or no suitable `p < 2^64` exists
+    /// (practically impossible for the prime sizes in this workspace).
+    pub fn for_order(q: u64) -> Option<Self> {
+        if !is_prime(q) {
+            return None;
+        }
+        let mut c = 2u64;
+        loop {
+            let p = c.checked_mul(q)?.checked_add(1)?;
+            if is_prime(p) {
+                // Find a generator: h^c has order dividing q; accept when
+                // it is not 1 (then its order is exactly q, q prime).
+                for h in 2..p {
+                    let g = pow_mod(h, c, p);
+                    if g != 1 {
+                        debug_assert_eq!(pow_mod(g, q, p), 1);
+                        return Some(Self { p, q, g });
+                    }
+                }
+            }
+            c += 2;
+        }
+    }
+
+    /// `g^e mod p` for an exponent reduced modulo the order.
+    pub fn exp(&self, e: u64) -> u64 {
+        pow_mod(self.g, e % self.q, self.p)
+    }
+
+    /// `base^e mod p` for an arbitrary group element.
+    pub fn exp_base(&self, base: u64, e: u64) -> u64 {
+        pow_mod(base, e % self.q, self.p)
+    }
+
+    /// Group multiplication.
+    pub fn mul(&self, a: u64, b: u64) -> u64 {
+        mul_mod(a, b, self.p)
+    }
+
+    /// Checks that `x` lies in the order-`q` subgroup.
+    pub fn is_member(&self, x: u64) -> bool {
+        x != 0 && x < self.p && pow_mod(x, self.q, self.p) == 1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mycelium_math::zq::ntt_primes;
+
+    #[test]
+    fn group_for_small_prime() {
+        let g = SchnorrGroup::for_order(101).unwrap();
+        assert_eq!((g.p - 1) % 101, 0);
+        assert!(is_prime(g.p));
+        assert_eq!(pow_mod(g.g, 101, g.p), 1);
+        assert_ne!(g.g, 1);
+    }
+
+    #[test]
+    fn group_for_chain_primes() {
+        // Groups must exist for realistic BGV chain primes (40- and 55-bit).
+        for bits in [40u32, 55] {
+            for q in ntt_primes(bits, 1024, 3) {
+                let g = SchnorrGroup::for_order(q).unwrap();
+                assert!(g.is_member(g.g));
+                assert!(g.is_member(g.exp(123456789)));
+            }
+        }
+    }
+
+    #[test]
+    fn exponent_homomorphism() {
+        let g = SchnorrGroup::for_order(1_000_003).unwrap();
+        let a = 123456u64;
+        let b = 987654u64;
+        assert_eq!(g.mul(g.exp(a), g.exp(b)), g.exp((a + b) % g.q));
+        assert_eq!(g.exp_base(g.exp(a), b), g.exp(mul_mod(a, b, g.q)));
+    }
+
+    #[test]
+    fn rejects_composite_order() {
+        assert!(SchnorrGroup::for_order(100).is_none());
+    }
+
+    #[test]
+    fn membership() {
+        let g = SchnorrGroup::for_order(101).unwrap();
+        assert!(!g.is_member(0));
+        assert!(g.is_member(1)); // Identity.
+                                 // A random non-member: an element of order p-1 (a primitive root)
+                                 // is not in the subgroup unless c == 1.
+        let outside = (2..g.p).find(|&x| !g.is_member(x));
+        assert!(outside.is_some());
+    }
+
+    #[test]
+    fn identity_element() {
+        let g = SchnorrGroup::for_order(101).unwrap();
+        assert_eq!(g.exp(0), 1);
+        assert_eq!(g.exp(g.q), 1);
+        assert_eq!(g.mul(g.exp(42), 1), g.exp(42));
+    }
+}

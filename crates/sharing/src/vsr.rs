@@ -1,0 +1,457 @@
+//! Extended verifiable secret redistribution (VSR).
+//!
+//! Mycelium generates its BGV decryption key **once** and then moves it from
+//! committee to committee (§4.2): the old `(t, n)` committee *redistributes*
+//! the key to a new `(t', n')` committee such that
+//!
+//! * the secret is never reconstructed anywhere,
+//! * members of the old and new committees cannot combine shares across
+//!   committees (the new sharing polynomial is fresh), and
+//! * every sub-share is verifiable: a cheating old member is identified and
+//!   excluded (following Gopinath–Gupta's extended VSR, the paper's [46]).
+//!
+//! Protocol sketch: each participating old member `i` Feldman-deals its
+//! share `y_i` to the new committee. The new members check (a) each
+//! sub-share against the sub-dealing's commitments, and (b) the sub-dealing
+//! against the *old* commitments: `C_i[0] == g^{y_i}` must equal the old
+//! committee's derived share commitment. New member `j` then combines
+//! `y'_j = Σ_{i∈I} λ_i · y_{i,j}` over a verified set `I` of `t+1` old
+//! members; the new commitments are `C'_k = Π_i C_{i,k}^{λ_i}`.
+//!
+//! For the full BGV key (an RNS ring element with thousands of shared
+//! coefficients) the same combination runs coefficient-wise, and
+//! verifiability is provided per chain prime by a Feldman dealing of a
+//! *random linear combination* of the dealer's coefficient shares (batch
+//! verification — a standard technique that catches any inconsistent
+//! coefficient with probability `1 - 1/q`).
+
+use mycelium_math::rns::{Representation, RnsPoly};
+use mycelium_math::zq::Modulus;
+use rand::Rng;
+
+use crate::feldman::{deal, FeldmanCommitment, FeldmanDealing};
+use crate::group::SchnorrGroup;
+use crate::shamir::{lagrange_at_zero, Share};
+
+/// Errors during redistribution.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum VsrError {
+    /// Not enough (verified) sub-dealings to hit the old threshold.
+    NotEnoughDealers { got: usize, need: usize },
+    /// A sub-dealing's secret does not match the old share commitment.
+    DealerInconsistent { dealer: u64 },
+    /// A sub-share failed verification against its sub-dealing commitments.
+    SubShareInvalid { dealer: u64, receiver: u64 },
+    /// Duplicate or invalid dealer indices.
+    BadDealerIndices,
+}
+
+impl std::fmt::Display for VsrError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            VsrError::NotEnoughDealers { got, need } => {
+                write!(f, "only {got} verified dealers, need {need}")
+            }
+            VsrError::DealerInconsistent { dealer } => {
+                write!(
+                    f,
+                    "dealer {dealer}'s sub-dealing contradicts the old commitments"
+                )
+            }
+            VsrError::SubShareInvalid { dealer, receiver } => {
+                write!(
+                    f,
+                    "sub-share from dealer {dealer} to receiver {receiver} is invalid"
+                )
+            }
+            VsrError::BadDealerIndices => write!(f, "duplicate or zero dealer indices"),
+        }
+    }
+}
+
+impl std::error::Error for VsrError {}
+
+/// One old member's contribution: a Feldman sub-dealing of its share.
+#[derive(Debug, Clone)]
+pub struct SubDealing {
+    /// The old member's evaluation point.
+    pub dealer_x: u64,
+    /// The `(t', n')` Feldman dealing of the old member's share value.
+    pub dealing: FeldmanDealing,
+}
+
+/// Creates old member `x`'s sub-dealing for the new committee.
+pub fn sub_deal<R: Rng + ?Sized>(
+    old_share: &Share,
+    t_new: usize,
+    n_new: usize,
+    group: SchnorrGroup,
+    rng: &mut R,
+) -> SubDealing {
+    SubDealing {
+        dealer_x: old_share.x,
+        dealing: deal(old_share.y, t_new, n_new, group, rng),
+    }
+}
+
+/// Verifies a sub-dealing against the old committee's commitments: the
+/// committed sub-secret must equal `g^{f(dealer_x)}`.
+pub fn verify_sub_dealing(old: &FeldmanCommitment, sub: &SubDealing) -> bool {
+    sub.dealing.commitment.secret_commitment() == old.share_commitment(sub.dealer_x)
+        && sub.dealing.commitment.group == old.group
+}
+
+/// The outcome of a redistribution round.
+#[derive(Debug, Clone)]
+pub struct Redistribution {
+    /// New committee shares (evaluation points `1..=n'`).
+    pub shares: Vec<Share>,
+    /// New public commitments (fresh polynomial — old shares are useless
+    /// against it).
+    pub commitment: FeldmanCommitment,
+}
+
+/// Runs a full redistribution round from the sub-dealings of a set of old
+/// members.
+///
+/// `old_threshold` is the old sharing's `t` (so `t + 1` verified dealers are
+/// required). Inconsistent dealers cause an error identifying them — in the
+/// full protocol the round is re-run without them.
+pub fn redistribute(
+    old_commitment: &FeldmanCommitment,
+    subs: &[SubDealing],
+    old_threshold: usize,
+) -> Result<Redistribution, VsrError> {
+    // Validate dealer indices.
+    let mut xs: Vec<u64> = Vec::with_capacity(subs.len());
+    for s in subs {
+        if s.dealer_x == 0 || xs.contains(&s.dealer_x) {
+            return Err(VsrError::BadDealerIndices);
+        }
+        xs.push(s.dealer_x);
+    }
+    if subs.len() < old_threshold + 1 {
+        return Err(VsrError::NotEnoughDealers {
+            got: subs.len(),
+            need: old_threshold + 1,
+        });
+    }
+    // Verify every sub-dealing against the old commitments, and every
+    // sub-share against its sub-dealing.
+    for s in subs {
+        if !verify_sub_dealing(old_commitment, s) {
+            return Err(VsrError::DealerInconsistent { dealer: s.dealer_x });
+        }
+        for sh in &s.dealing.shares {
+            if !s.dealing.commitment.verify(sh) {
+                return Err(VsrError::SubShareInvalid {
+                    dealer: s.dealer_x,
+                    receiver: sh.x,
+                });
+            }
+        }
+    }
+    let group = old_commitment.group;
+    let q = Modulus::new(group.q).expect("group order is a valid modulus");
+    let lambda = lagrange_at_zero(&xs, q).ok_or(VsrError::BadDealerIndices)?;
+    let n_new = subs[0].dealing.shares.len();
+    let t_new = subs[0].dealing.commitment.threshold();
+    // New share for receiver j: Σ_i λ_i · y_{i,j}.
+    let shares = (0..n_new)
+        .map(|j| {
+            let mut y = 0u64;
+            for (s, &l) in subs.iter().zip(&lambda) {
+                y = q.add(y, q.mul(l, q.reduce(s.dealing.shares[j].y)));
+            }
+            Share { x: j as u64 + 1, y }
+        })
+        .collect();
+    // New commitments: C'_k = Π_i C_{i,k}^{λ_i}.
+    let commits = (0..=t_new)
+        .map(|k| {
+            let mut c = 1u64;
+            for (s, &l) in subs.iter().zip(&lambda) {
+                c = group.mul(c, group.exp_base(s.dealing.commitment.commits[k], l));
+            }
+            c
+        })
+        .collect();
+    Ok(Redistribution {
+        shares,
+        commitment: FeldmanCommitment { commits, group },
+    })
+}
+
+/// Redistributes a coefficient-wise RNS sharing (the BGV secret key) from
+/// `t+1` old members to a new `(t', n')` committee.
+///
+/// `old` holds `(evaluation_point, share)` pairs. Verifiability is provided
+/// by [`batch_check`] on a random linear combination; this function performs
+/// the share arithmetic.
+///
+/// # Panics
+///
+/// Panics on empty input, duplicate points, NTT-domain shares, or invalid
+/// thresholds.
+pub fn redistribute_rns<R: Rng + ?Sized>(
+    old: &[(u64, &RnsPoly)],
+    old_threshold: usize,
+    t_new: usize,
+    n_new: usize,
+    rng: &mut R,
+) -> Vec<RnsPoly> {
+    assert!(old.len() > old_threshold, "not enough old shares");
+    assert!(t_new < n_new, "invalid new threshold");
+    for (_, s) in old {
+        assert_eq!(
+            s.representation(),
+            Representation::Coefficient,
+            "shares must be in coefficient representation"
+        );
+    }
+    let ctx = old[0].1.context().clone();
+    let level = old[0].1.level();
+    let degree = ctx.degree();
+    let xs: Vec<u64> = old.iter().map(|(x, _)| *x).collect();
+    // Sub-deal each old share coefficient-wise, then λ-combine.
+    // new_share[j][prime][coeff] = Σ_i λ_i · subshare_{i,j}[prime][coeff].
+    let mut new_res: Vec<Vec<Vec<u64>>> = vec![vec![vec![0u64; degree]; level]; n_new];
+    for prime_idx in 0..level {
+        let m = ctx.moduli()[prime_idx];
+        let lambda = lagrange_at_zero(&xs, m).expect("distinct nonzero points");
+        for c in 0..degree {
+            for ((_, old_share), &l) in old.iter().zip(&lambda) {
+                let y = old_share.residues()[prime_idx][c];
+                // Fresh random polynomial for this dealer/coefficient.
+                let mut coeffs = Vec::with_capacity(t_new + 1);
+                coeffs.push(y);
+                for _ in 0..t_new {
+                    coeffs.push(rng.gen_range(0..m.value()));
+                }
+                for (j, res) in new_res.iter_mut().enumerate() {
+                    let sub = crate::shamir::eval_poly(&coeffs, j as u64 + 1, m);
+                    res[prime_idx][c] = m.add(res[prime_idx][c], m.mul(l, sub));
+                }
+            }
+        }
+    }
+    new_res
+        .into_iter()
+        .map(|r| RnsPoly::from_residues(ctx.clone(), Representation::Coefficient, r))
+        .collect()
+}
+
+/// Batch-verifies that two coefficient-wise sharings are consistent by
+/// comparing a random linear combination of their reconstructions.
+///
+/// Used as the RNS-level analogue of the Feldman checks: after a
+/// redistribution, any `t+1` old shares and any `t'+1` new shares must
+/// reconstruct the same ring element; checking a random linear combination
+/// of all coefficients per prime catches any discrepancy with probability
+/// `1 − 1/q` per prime.
+pub fn batch_check(
+    old: &[(u64, &RnsPoly)],
+    old_threshold: usize,
+    new: &[(u64, &RnsPoly)],
+    new_threshold: usize,
+    challenge_seed: u64,
+) -> bool {
+    let rec_old = match crate::shamir::reconstruct_rns(old, old_threshold) {
+        Some(v) => v,
+        None => return false,
+    };
+    let rec_new = match crate::shamir::reconstruct_rns(new, new_threshold) {
+        Some(v) => v,
+        None => return false,
+    };
+    if rec_old.level() != rec_new.level() {
+        return false;
+    }
+    let ctx = rec_old.context();
+    for prime_idx in 0..rec_old.level() {
+        let m = ctx.moduli()[prime_idx];
+        let mut r = challenge_seed | 1;
+        let mut acc_old = 0u64;
+        let mut acc_new = 0u64;
+        for (a, b) in rec_old.residues()[prime_idx]
+            .iter()
+            .zip(&rec_new.residues()[prime_idx])
+        {
+            // Deterministic challenge stream (xorshift).
+            r ^= r << 13;
+            r ^= r >> 7;
+            r ^= r << 17;
+            let c = m.reduce(r);
+            acc_old = m.add(acc_old, m.mul(c, *a));
+            acc_new = m.add(acc_new, m.mul(c, *b));
+        }
+        if acc_old != acc_new {
+            return false;
+        }
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::shamir::{reconstruct, share_rns};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn setup() -> (SchnorrGroup, StdRng) {
+        (
+            SchnorrGroup::for_order(2_147_483_647).unwrap(),
+            StdRng::seed_from_u64(31),
+        )
+    }
+
+    #[test]
+    fn redistribution_preserves_secret() {
+        let (g, mut rng) = setup();
+        let secret = 0xC0FFEE % g.q;
+        let old = deal(secret, 2, 5, g, &mut rng);
+        // Three old members (t+1 = 3) participate.
+        let subs: Vec<SubDealing> = old.shares[..3]
+            .iter()
+            .map(|s| sub_deal(s, 3, 7, g, &mut rng))
+            .collect();
+        let redist = redistribute(&old.commitment, &subs, 2).unwrap();
+        assert_eq!(redist.shares.len(), 7);
+        let q = Modulus::new(g.q).unwrap();
+        // Any 4 new shares reconstruct.
+        assert_eq!(reconstruct(&redist.shares[1..5], q), Some(secret));
+        assert_eq!(reconstruct(&redist.shares[3..7], q), Some(secret));
+        // And all new shares verify against the new commitments.
+        for s in &redist.shares {
+            assert!(redist.commitment.verify(s));
+        }
+        assert_eq!(redist.commitment.secret_commitment(), g.exp(secret));
+    }
+
+    #[test]
+    fn new_and_old_shares_do_not_mix() {
+        // An old share is not a valid share of the new polynomial: the
+        // core security property of redistribution.
+        let (g, mut rng) = setup();
+        let old = deal(111, 1, 4, g, &mut rng);
+        let subs: Vec<SubDealing> = old.shares[..2]
+            .iter()
+            .map(|s| sub_deal(s, 1, 4, g, &mut rng))
+            .collect();
+        let redist = redistribute(&old.commitment, &subs, 1).unwrap();
+        for old_share in &old.shares {
+            assert!(!redist.commitment.verify(old_share));
+        }
+    }
+
+    #[test]
+    fn cheating_dealer_detected() {
+        let (g, mut rng) = setup();
+        let old = deal(55, 1, 4, g, &mut rng);
+        let mut subs: Vec<SubDealing> = old.shares[..2]
+            .iter()
+            .map(|s| sub_deal(s, 1, 4, g, &mut rng))
+            .collect();
+        // Dealer 2 deals a wrong value.
+        let bogus = Share {
+            x: old.shares[1].x,
+            y: (old.shares[1].y + 1) % g.q,
+        };
+        subs[1] = sub_deal(&bogus, 1, 4, g, &mut rng);
+        match redistribute(&old.commitment, &subs, 1) {
+            Err(VsrError::DealerInconsistent { dealer }) => assert_eq!(dealer, 2),
+            other => panic!("expected dealer detection, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn not_enough_dealers() {
+        let (g, mut rng) = setup();
+        let old = deal(55, 2, 5, g, &mut rng);
+        let subs: Vec<SubDealing> = old.shares[..2]
+            .iter()
+            .map(|s| sub_deal(s, 1, 4, g, &mut rng))
+            .collect();
+        assert!(matches!(
+            redistribute(&old.commitment, &subs, 2),
+            Err(VsrError::NotEnoughDealers { got: 2, need: 3 })
+        ));
+    }
+
+    #[test]
+    fn duplicate_dealers_rejected() {
+        let (g, mut rng) = setup();
+        let old = deal(55, 1, 4, g, &mut rng);
+        let s0 = sub_deal(&old.shares[0], 1, 4, g, &mut rng);
+        let s0b = sub_deal(&old.shares[0], 1, 4, g, &mut rng);
+        assert!(matches!(
+            redistribute(&old.commitment, &[s0, s0b], 1),
+            Err(VsrError::BadDealerIndices)
+        ));
+    }
+
+    #[test]
+    fn threshold_change_supported() {
+        // (2, 5) -> (4, 9): growing the committee and the threshold.
+        let (g, mut rng) = setup();
+        let secret = 31337;
+        let old = deal(secret, 2, 5, g, &mut rng);
+        let subs: Vec<SubDealing> = old.shares[1..4]
+            .iter()
+            .map(|s| sub_deal(s, 4, 9, g, &mut rng))
+            .collect();
+        let redist = redistribute(&old.commitment, &subs, 2).unwrap();
+        let q = Modulus::new(g.q).unwrap();
+        // 5 shares (t'+1) reconstruct; 4 do not.
+        assert_eq!(reconstruct(&redist.shares[..5], q), Some(secret));
+        assert_ne!(reconstruct(&redist.shares[..4], q), Some(secret));
+    }
+
+    #[test]
+    fn rns_redistribution_preserves_key() {
+        let ctx = mycelium_math::rns::RnsContext::with_primes(16, 30, 2).unwrap();
+        let mut rng = StdRng::seed_from_u64(32);
+        let key = mycelium_math::sample::uniform_rns(&ctx, 2, &mut rng);
+        let old = share_rns(&key, 1, 4, &mut rng);
+        let old_refs: Vec<(u64, &RnsPoly)> = [0usize, 2]
+            .iter()
+            .map(|&i| (i as u64 + 1, &old.shares[i]))
+            .collect();
+        let new_shares = redistribute_rns(&old_refs, 1, 2, 5, &mut rng);
+        assert_eq!(new_shares.len(), 5);
+        let new_refs: Vec<(u64, &RnsPoly)> = [0usize, 1, 3]
+            .iter()
+            .map(|&i| (i as u64 + 1, &new_shares[i]))
+            .collect();
+        let rec = crate::shamir::reconstruct_rns(&new_refs, 2).unwrap();
+        assert_eq!(rec, key);
+        // Batched consistency check passes.
+        assert!(batch_check(&old_refs, 1, &new_refs, 2, 0xFEED));
+    }
+
+    #[test]
+    fn batch_check_catches_corruption() {
+        let ctx = mycelium_math::rns::RnsContext::with_primes(16, 30, 2).unwrap();
+        let mut rng = StdRng::seed_from_u64(33);
+        let key = mycelium_math::sample::uniform_rns(&ctx, 2, &mut rng);
+        let old = share_rns(&key, 1, 4, &mut rng);
+        let old_refs: Vec<(u64, &RnsPoly)> = [0usize, 2]
+            .iter()
+            .map(|&i| (i as u64 + 1, &old.shares[i]))
+            .collect();
+        let mut new_shares = redistribute_rns(&old_refs, 1, 1, 4, &mut rng);
+        // Corrupt one coefficient of every new share (a consistent-looking
+        // but wrong redistribution).
+        for s in new_shares.iter_mut() {
+            let mut res = s.residues().to_vec();
+            res[0][3] = (res[0][3] + 1) % s.context().moduli()[0].value();
+            *s = RnsPoly::from_residues(s.context().clone(), Representation::Coefficient, res);
+        }
+        let new_refs: Vec<(u64, &RnsPoly)> = [0usize, 1]
+            .iter()
+            .map(|&i| (i as u64 + 1, &new_shares[i]))
+            .collect();
+        assert!(!batch_check(&old_refs, 1, &new_refs, 1, 0xFEED));
+    }
+}

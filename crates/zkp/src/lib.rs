@@ -1,0 +1,35 @@
+//! Proofs of ciphertext well-formedness (§4.6).
+//!
+//! Byzantine devices must not be able to inject histogram contributions
+//! with more than one nonzero coefficient or coefficients larger than 1 —
+//! otherwise a single device could shift a released statistic arbitrarily.
+//! Mycelium has every device prove, in zero knowledge, that its ciphertext
+//! is *well-formed*; the aggregator verifies and discards offenders, which
+//! bounds Byzantine influence to the same ±1-per-bin any honest device has.
+//!
+//! The paper instantiates the proofs with Groth16 (ZoKrates + bellman).
+//! Pairing-based SNARKs are out of scope for a from-scratch workspace, so
+//! this crate provides (per DESIGN.md):
+//!
+//! * [`r1cs`] — a real rank-1 constraint system over a word-sized prime
+//!   field, with the witness-generation helpers the statements need.
+//! * [`wellformed`] — the §4.6 statements as R1CS circuits: *one-hot*
+//!   (at most one nonzero coefficient, value ≤ 1, inside a window) and
+//!   *windowed* variants for GROUP BY layouts.
+//! * [`argument`] — a transparent Fiat–Shamir spot-check argument:
+//!   Merkle-commit the witness, derive random constraint indices from the
+//!   transcript, open exactly those constraints. Sound against our
+//!   simulated adversaries (cheating probability `(1-δ)^t` for unsatisfied
+//!   fraction `δ`); *succinctness and zero-knowledge* are supplied by the
+//!   Groth16 cost model below, not by this argument.
+//! * [`cost`] — the Groth16 cost model (proof size, proving time,
+//!   verification time linear in the public input) calibrated to the
+//!   paper's reported numbers; this drives the Figure 9(b) reproduction.
+
+pub mod argument;
+pub mod cost;
+pub mod r1cs;
+pub mod wellformed;
+
+pub use argument::{prove, verify, Proof};
+pub use r1cs::{ConstraintSystem, LinearCombination};

@@ -1,0 +1,243 @@
+//! A rank-1 constraint system (R1CS) over a word-sized prime field.
+//!
+//! Every constraint has the form `⟨A, w⟩ · ⟨B, w⟩ = ⟨C, w⟩` for sparse
+//! linear combinations `A, B, C` over the witness vector `w` (with `w[0]`
+//! fixed to 1). This is the same constraint shape Groth16 consumes; the
+//! circuits in [`crate::wellformed`] compile to it.
+
+use mycelium_math::zq::Modulus;
+
+/// A variable index into the witness vector (`0` is the constant one).
+pub type Var = usize;
+
+/// A sparse linear combination `Σ coeff·w[var]`.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct LinearCombination {
+    /// `(variable, coefficient)` terms.
+    pub terms: Vec<(Var, u64)>,
+}
+
+impl LinearCombination {
+    /// The zero combination.
+    pub fn zero() -> Self {
+        Self::default()
+    }
+
+    /// A single variable.
+    pub fn var(v: Var) -> Self {
+        Self {
+            terms: vec![(v, 1)],
+        }
+    }
+
+    /// A constant (coefficient on `w[0] = 1`).
+    pub fn constant(c: u64) -> Self {
+        Self {
+            terms: vec![(0, c)],
+        }
+    }
+
+    /// Adds a term.
+    pub fn plus(mut self, v: Var, coeff: u64) -> Self {
+        self.terms.push((v, coeff));
+        self
+    }
+
+    /// Evaluates against a witness.
+    pub fn eval(&self, witness: &[u64], q: &Modulus) -> u64 {
+        let mut acc = 0u64;
+        for &(v, c) in &self.terms {
+            acc = q.add(acc, q.mul(q.reduce(c), q.reduce(witness[v])));
+        }
+        acc
+    }
+
+    /// The variables this combination touches.
+    pub fn vars(&self) -> impl Iterator<Item = Var> + '_ {
+        self.terms.iter().map(|&(v, _)| v)
+    }
+}
+
+/// One constraint `⟨A,w⟩·⟨B,w⟩ = ⟨C,w⟩`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Constraint {
+    /// Left factor.
+    pub a: LinearCombination,
+    /// Right factor.
+    pub b: LinearCombination,
+    /// Product.
+    pub c: LinearCombination,
+}
+
+/// A constraint system plus witness layout.
+#[derive(Debug, Clone)]
+pub struct ConstraintSystem {
+    /// Field modulus.
+    pub field: Modulus,
+    /// Number of witness variables (including the constant 1 at index 0).
+    pub num_vars: usize,
+    /// Constraints.
+    pub constraints: Vec<Constraint>,
+    /// How many leading witness variables (after the constant) are public.
+    pub num_public: usize,
+}
+
+impl ConstraintSystem {
+    /// Creates an empty system over `field`.
+    pub fn new(field: Modulus) -> Self {
+        Self {
+            field,
+            num_vars: 1, // w[0] = 1.
+            constraints: Vec::new(),
+            num_public: 0,
+        }
+    }
+
+    /// Allocates a fresh variable.
+    pub fn alloc(&mut self) -> Var {
+        let v = self.num_vars;
+        self.num_vars += 1;
+        v
+    }
+
+    /// Adds a constraint.
+    pub fn enforce(&mut self, a: LinearCombination, b: LinearCombination, c: LinearCombination) {
+        self.constraints.push(Constraint { a, b, c });
+    }
+
+    /// Checks whether `witness` satisfies every constraint.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the witness length does not match the system.
+    pub fn is_satisfied(&self, witness: &[u64]) -> bool {
+        self.unsatisfied_indices(witness).is_empty()
+    }
+
+    /// Indices of unsatisfied constraints.
+    pub fn unsatisfied_indices(&self, witness: &[u64]) -> Vec<usize> {
+        assert_eq!(witness.len(), self.num_vars, "witness length mismatch");
+        assert_eq!(witness[0], 1, "w[0] must be the constant 1");
+        let q = &self.field;
+        self.constraints
+            .iter()
+            .enumerate()
+            .filter_map(|(i, con)| {
+                let a = con.a.eval(witness, q);
+                let b = con.b.eval(witness, q);
+                let c = con.c.eval(witness, q);
+                if q.mul(a, b) != c {
+                    Some(i)
+                } else {
+                    None
+                }
+            })
+            .collect()
+    }
+
+    /// Checks one constraint against a partial witness map (used by the
+    /// spot-check verifier, which only sees opened variables).
+    pub fn check_constraint(
+        &self,
+        index: usize,
+        opened: &std::collections::HashMap<Var, u64>,
+    ) -> Option<bool> {
+        let con = self.constraints.get(index)?;
+        let eval = |lc: &LinearCombination| -> Option<u64> {
+            let mut acc = 0u64;
+            for &(v, coeff) in &lc.terms {
+                let w = if v == 0 { 1 } else { *opened.get(&v)? };
+                acc = self.field.add(
+                    acc,
+                    self.field
+                        .mul(self.field.reduce(coeff), self.field.reduce(w)),
+                );
+            }
+            Some(acc)
+        };
+        let a = eval(&con.a)?;
+        let b = eval(&con.b)?;
+        let c = eval(&con.c)?;
+        Some(self.field.mul(a, b) == c)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn field() -> Modulus {
+        Modulus::new_prime(2_147_483_647).unwrap()
+    }
+
+    #[test]
+    fn boolean_constraint() {
+        // x·(x-1) = 0 ⟺ x ∈ {0,1}.
+        let q = field();
+        let mut cs = ConstraintSystem::new(q);
+        let x = cs.alloc();
+        let x_minus_1 = LinearCombination::var(x).plus(0, q.value() - 1);
+        cs.enforce(
+            LinearCombination::var(x),
+            x_minus_1,
+            LinearCombination::zero(),
+        );
+        assert!(cs.is_satisfied(&[1, 0]));
+        assert!(cs.is_satisfied(&[1, 1]));
+        assert!(!cs.is_satisfied(&[1, 2]));
+        assert_eq!(cs.unsatisfied_indices(&[1, 2]), vec![0]);
+    }
+
+    #[test]
+    fn multiplication_constraint() {
+        // z = x·y.
+        let q = field();
+        let mut cs = ConstraintSystem::new(q);
+        let x = cs.alloc();
+        let y = cs.alloc();
+        let z = cs.alloc();
+        cs.enforce(
+            LinearCombination::var(x),
+            LinearCombination::var(y),
+            LinearCombination::var(z),
+        );
+        assert!(cs.is_satisfied(&[1, 3, 5, 15]));
+        assert!(!cs.is_satisfied(&[1, 3, 5, 16]));
+    }
+
+    #[test]
+    fn linear_combinations_evaluate() {
+        let q = field();
+        let lc = LinearCombination::constant(7).plus(1, 2).plus(2, 3);
+        assert_eq!(lc.eval(&[1, 10, 100], &q), 7 + 20 + 300);
+    }
+
+    #[test]
+    fn partial_check_with_openings() {
+        let q = field();
+        let mut cs = ConstraintSystem::new(q);
+        let x = cs.alloc();
+        let y = cs.alloc();
+        cs.enforce(
+            LinearCombination::var(x),
+            LinearCombination::var(y),
+            LinearCombination::constant(6),
+        );
+        let mut opened = std::collections::HashMap::new();
+        opened.insert(x, 2u64);
+        opened.insert(y, 3u64);
+        assert_eq!(cs.check_constraint(0, &opened), Some(true));
+        opened.insert(y, 4u64);
+        assert_eq!(cs.check_constraint(0, &opened), Some(false));
+        let empty = std::collections::HashMap::new();
+        assert_eq!(cs.check_constraint(0, &empty), None, "missing openings");
+        assert_eq!(cs.check_constraint(5, &opened), None, "bad index");
+    }
+
+    #[test]
+    #[should_panic(expected = "witness length mismatch")]
+    fn witness_shape_enforced() {
+        let cs = ConstraintSystem::new(field());
+        let _ = cs.is_satisfied(&[1, 2]);
+    }
+}

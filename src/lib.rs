@@ -1,0 +1,21 @@
+//! Umbrella crate for the Mycelium reproduction.
+//!
+//! Re-exports the workspace crates so that examples and integration tests can
+//! use a single dependency. See the individual crates for the actual
+//! implementation:
+//!
+//! * [`mycelium`] — the end-to-end system (devices, aggregator, committees).
+//! * [`mycelium_bgv`] — BGV leveled homomorphic encryption.
+//! * [`mycelium_mixnet`] — the verifiable telescoping mix network.
+//! * [`mycelium_query`] — the SQL-subset query language and compiler.
+
+pub use mycelium;
+pub use mycelium_bgv;
+pub use mycelium_crypto;
+pub use mycelium_dp;
+pub use mycelium_graph;
+pub use mycelium_math;
+pub use mycelium_mixnet;
+pub use mycelium_query;
+pub use mycelium_sharing;
+pub use mycelium_zkp;

@@ -1,0 +1,71 @@
+//! Reproducibility: every layer of the stack is deterministic under a
+//! seeded RNG — a property the whole test suite's oracle comparisons and
+//! any auditor re-running an experiment depend on.
+
+use mycelium::params::SystemParams;
+use mycelium::run_query_encrypted;
+use mycelium_bgv::KeySet;
+use mycelium_dp::PrivacyBudget;
+use mycelium_graph::generate::{epidemic_population, ContactGraphConfig, EpidemicConfig};
+use mycelium_query::builtin::paper_query;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn run_once(seed: u64) -> (Vec<u64>, Vec<i64>) {
+    let params = SystemParams::simulation();
+    let mut rng = StdRng::seed_from_u64(seed);
+    let keys = KeySet::generate(&params.bgv, &mut rng);
+    let pop = epidemic_population(
+        &ContactGraphConfig {
+            n: 50,
+            degree_bound: 4,
+            days: 13,
+            ..ContactGraphConfig::default()
+        },
+        &EpidemicConfig {
+            days: 13,
+            seed_fraction: 0.1,
+            ..EpidemicConfig::default()
+        },
+        &mut rng,
+    );
+    let query = paper_query("Q4").unwrap();
+    let mut budget = PrivacyBudget::new(10.0);
+    let outcome = run_query_encrypted(
+        &query,
+        &pop,
+        &params,
+        &keys,
+        &[],
+        false,
+        &mut budget,
+        &mut rng,
+    )
+    .unwrap();
+    (
+        outcome.exact.groups[0].histogram.clone(),
+        outcome.released[0].histogram.clone(),
+    )
+}
+
+#[test]
+fn whole_pipeline_is_seed_deterministic() {
+    let (exact_a, noisy_a) = run_once(12345);
+    let (exact_b, noisy_b) = run_once(12345);
+    assert_eq!(exact_a, exact_b, "exact results reproduce");
+    assert_eq!(
+        noisy_a, noisy_b,
+        "even the DP noise reproduces under a seed"
+    );
+}
+
+#[test]
+fn different_seeds_give_different_randomness_but_valid_results() {
+    let (exact_a, noisy_a) = run_once(1);
+    let (_, noisy_b) = run_once(2);
+    // Different populations → different histograms is overwhelmingly likely,
+    // but the invariant we assert is weaker and exact: the released noise
+    // differs while each run's totals stay internally consistent.
+    assert_ne!(noisy_a, noisy_b);
+    assert!(exact_a.iter().sum::<u64>() > 0);
+}

@@ -1,0 +1,131 @@
+//! System-level error paths: the executor must refuse — with the right
+//! error — work it cannot do soundly.
+
+use mycelium::params::SystemParams;
+use mycelium::{run_query_encrypted, ExecError};
+use mycelium_bgv::KeySet;
+use mycelium_dp::PrivacyBudget;
+use mycelium_graph::generate::{contact_graph, ContactGraphConfig};
+use mycelium_query::parser::parse;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn tiny_setup() -> (
+    SystemParams,
+    KeySet,
+    mycelium_graph::generate::Population,
+    StdRng,
+) {
+    let params = SystemParams::simulation();
+    let mut rng = StdRng::seed_from_u64(5150);
+    let keys = KeySet::generate(&params.bgv, &mut rng);
+    let pop = contact_graph(
+        &ContactGraphConfig {
+            n: 30,
+            degree_bound: 4,
+            days: 13,
+            ..ContactGraphConfig::default()
+        },
+        &mut rng,
+    );
+    (params, keys, pop, rng)
+}
+
+#[test]
+fn span_too_large_rejected() {
+    let (mut params, keys, pop, mut rng) = tiny_setup();
+    // Blow up the window layout: huge duration cap → span > ring.
+    params.schema.duration_cap = 5000;
+    let q = parse(
+        "big",
+        "SELECT HISTO(SUM(edge.duration)) FROM neigh(1) WHERE self.inf",
+    )
+    .unwrap();
+    let mut budget = PrivacyBudget::new(10.0);
+    let r = run_query_encrypted(&q, &pop, &params, &keys, &[], false, &mut budget, &mut rng);
+    assert!(
+        matches!(r, Err(ExecError::SpanTooLarge { .. })),
+        "got {r:?}"
+    );
+}
+
+#[test]
+fn unsupported_multi_hop_shapes_rejected() {
+    let (mut params, _, pop, mut rng) = tiny_setup();
+    // Multi-hop + GROUP BY is outside the §4.4 basic protocol. Deepen the
+    // chain so the noise gate passes and the shape gate is what fires.
+    params.bgv.levels = 14;
+    let keys = KeySet::generate(&params.bgv, &mut rng);
+    let q = parse(
+        "m",
+        "SELECT HISTO(COUNT(*)) FROM neigh(2) WHERE dest.inf GROUP BY self.age",
+    )
+    .unwrap();
+    let mut budget = PrivacyBudget::new(10.0);
+    let r = run_query_encrypted(&q, &pop, &params, &keys, &[], false, &mut budget, &mut rng);
+    assert!(
+        matches!(r, Err(ExecError::UnsupportedMultiHop)),
+        "got {r:?}"
+    );
+}
+
+#[test]
+fn gsum_without_clip_rejected_at_analysis() {
+    let (params, keys, pop, mut rng) = tiny_setup();
+    let q = parse(
+        "noclip",
+        "SELECT GSUM(SUM(dest.inf)/COUNT(*)) FROM neigh(1) WHERE self.inf",
+    )
+    .unwrap();
+    let mut budget = PrivacyBudget::new(10.0);
+    let r = run_query_encrypted(&q, &pop, &params, &keys, &[], false, &mut budget, &mut rng);
+    assert!(matches!(r, Err(ExecError::Analyze(_))), "got {r:?}");
+}
+
+#[test]
+fn privacy_budget_is_enforced_across_queries() {
+    let (params, keys, pop, mut rng) = tiny_setup();
+    let q = parse("q", "SELECT HISTO(COUNT(*)) FROM neigh(1) WHERE self.inf").unwrap();
+    // ε = 1 per query; a budget of 2.5 admits exactly two runs.
+    let mut budget = PrivacyBudget::new(2.5);
+    for _ in 0..2 {
+        run_query_encrypted(&q, &pop, &params, &keys, &[], false, &mut budget, &mut rng)
+            .expect("within budget");
+    }
+    let r = run_query_encrypted(&q, &pop, &params, &keys, &[], false, &mut budget, &mut rng);
+    assert!(
+        matches!(
+            r,
+            Err(ExecError::Committee(
+                mycelium::committee::CommitteeError::Budget(_)
+            ))
+        ),
+        "got {r:?}"
+    );
+}
+
+#[test]
+fn released_noise_scales_with_sensitivity() {
+    // The same query released twice gets fresh independent noise, and the
+    // noisy histograms differ from the exact one but stay near it.
+    let (params, keys, pop, mut rng) = tiny_setup();
+    let q = parse("q", "SELECT HISTO(COUNT(*)) FROM neigh(1) WHERE self.inf").unwrap();
+    let mut budget = PrivacyBudget::new(10.0);
+    let o1 =
+        run_query_encrypted(&q, &pop, &params, &keys, &[], false, &mut budget, &mut rng).unwrap();
+    let o2 =
+        run_query_encrypted(&q, &pop, &params, &keys, &[], false, &mut budget, &mut rng).unwrap();
+    assert_eq!(o1.exact.groups[0].histogram, o2.exact.groups[0].histogram);
+    assert_ne!(
+        o1.released[0].histogram, o2.released[0].histogram,
+        "independent noise per release"
+    );
+    // Noise is Laplace(2/1): released values stay within a loose band.
+    for (noisy, &exact) in o1.released[0]
+        .histogram
+        .iter()
+        .zip(&o1.exact.groups[0].histogram)
+    {
+        assert!((noisy - exact as i64).abs() < 40, "{noisy} vs {exact}");
+    }
+}
