@@ -11,8 +11,8 @@ use std::time::Instant;
 use mycelium_graph::data::VertexData;
 use mycelium_graph::generate::random_graph;
 use mycelium_graph::pregel::q1_plaintext_histogram;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use mycelium_math::rng::StdRng;
+use mycelium_math::rng::{Rng, SeedableRng};
 
 fn main() {
     println!("=== §7 plaintext baseline: Q1 (1-hop) on a cleartext random graph ===\n");

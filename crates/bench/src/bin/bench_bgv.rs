@@ -1,0 +1,189 @@
+//! Component throughput benchmark for the parallel compute plane.
+//!
+//! Measures ops/sec for the four kernels the executor spends its time in —
+//! the RNS forward/inverse NTT, the BGV tensor-product multiply,
+//! relinearization, and a full end-to-end encrypted query — once at
+//! `MYC_THREADS=1` (serial baseline) and once at the machine's core count,
+//! then writes `BENCH_bgv.json` with the numbers and speedups. Built on
+//! `std::time::Instant` only; run with `--release`.
+
+use std::time::Instant;
+
+use mycelium::params::SystemParams;
+use mycelium::run_query_encrypted;
+use mycelium_bgv::encoding::encode_monomial;
+use mycelium_bgv::{BgvParams, Ciphertext, KeySet};
+use mycelium_dp::PrivacyBudget;
+use mycelium_graph::generate::{epidemic_population, ContactGraphConfig, EpidemicConfig};
+use mycelium_math::rng::{SeedableRng, StdRng};
+use mycelium_query::builtin::paper_query;
+
+/// One kernel's measurement.
+struct Sample {
+    name: &'static str,
+    iters: u64,
+    secs: f64,
+}
+
+impl Sample {
+    fn ops_per_sec(&self) -> f64 {
+        self.iters as f64 / self.secs
+    }
+}
+
+/// Runs `op` until `min_secs` of wall time accumulates (at least once) and
+/// returns the measurement.
+fn bench(name: &'static str, min_secs: f64, mut op: impl FnMut()) -> Sample {
+    // Warm-up: one untimed iteration to populate caches and lazy inits.
+    op();
+    let mut iters = 0u64;
+    let start = Instant::now();
+    loop {
+        op();
+        iters += 1;
+        if start.elapsed().as_secs_f64() >= min_secs {
+            break;
+        }
+    }
+    let secs = start.elapsed().as_secs_f64();
+    eprintln!(
+        "  {name:<14} {iters:>6} iters in {secs:>6.2} s  ({:>10.2} ops/s)",
+        iters as f64 / secs
+    );
+    Sample { name, iters, secs }
+}
+
+fn run_suite() -> Vec<Sample> {
+    let params = BgvParams::test_medium();
+    let mut rng = StdRng::seed_from_u64(0xBE9C);
+    let keys = KeySet::generate(&params, &mut rng);
+    let t = params.plaintext_modulus;
+    let a = Ciphertext::encrypt(
+        &keys.public,
+        &encode_monomial(3, params.n, t).unwrap(),
+        &mut rng,
+    )
+    .unwrap();
+    let b = Ciphertext::encrypt(
+        &keys.public,
+        &encode_monomial(5, params.n, t).unwrap(),
+        &mut rng,
+    )
+    .unwrap();
+    let prod = a.mul(&b).unwrap();
+    let mut poly = a.parts()[0].clone();
+
+    let mut out = Vec::new();
+    // One iteration = one full RNS transform (all residues) each way.
+    out.push(bench("ntt", 1.0, || {
+        poly.to_coeff();
+        poly.to_ntt();
+    }));
+    out.push(bench("bgv_mul", 1.0, || {
+        std::hint::black_box(a.mul(&b).unwrap());
+    }));
+    out.push(bench("relinearize", 1.0, || {
+        std::hint::black_box(prod.relinearize(&keys.relin).unwrap());
+    }));
+
+    // End-to-end: the paper's Q4 over a small epidemic population, full
+    // pipeline (encrypt, prove-free aggregate, summation tree, committee).
+    let sys = SystemParams::simulation();
+    let mut rng = StdRng::seed_from_u64(0xE2E);
+    let keys = KeySet::generate(&sys.bgv, &mut rng);
+    let pop = epidemic_population(
+        &ContactGraphConfig {
+            n: 40,
+            degree_bound: 4,
+            days: 13,
+            ..ContactGraphConfig::default()
+        },
+        &EpidemicConfig {
+            days: 13,
+            seed_fraction: 0.1,
+            ..EpidemicConfig::default()
+        },
+        &mut rng,
+    );
+    let query = paper_query("Q4").unwrap();
+    out.push(bench("e2e_query", 1.0, || {
+        let mut budget = PrivacyBudget::new(1e9);
+        let mut qrng = StdRng::seed_from_u64(0xE2E2);
+        std::hint::black_box(
+            run_query_encrypted(
+                &query,
+                &pop,
+                &sys,
+                &keys,
+                &[],
+                false,
+                &mut budget,
+                &mut qrng,
+            )
+            .unwrap(),
+        );
+    }));
+    out
+}
+
+fn json_suite(samples: &[Sample]) -> String {
+    let fields: Vec<String> = samples
+        .iter()
+        .map(|s| {
+            format!(
+                "      \"{}\": {{\"ops_per_sec\": {:.4}, \"iters\": {}, \"secs\": {:.4}}}",
+                s.name,
+                s.ops_per_sec(),
+                s.iters,
+                s.secs
+            )
+        })
+        .collect();
+    fields.join(",\n")
+}
+
+fn main() {
+    let ncores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    let mut suites: Vec<(usize, Vec<Sample>)> = Vec::new();
+    for threads in [1, ncores] {
+        if suites.iter().any(|(t, _)| *t == threads) {
+            continue;
+        }
+        eprintln!("== MYC_THREADS={threads} ==");
+        std::env::set_var("MYC_THREADS", threads.to_string());
+        suites.push((threads, run_suite()));
+    }
+    std::env::remove_var("MYC_THREADS");
+
+    let mut json = format!("{{\n  \"ncores\": {ncores},\n  \"suites\": [\n");
+    for (i, (threads, samples)) in suites.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{\"threads\": {}, \"results\": {{\n{}\n    }}}}{}\n",
+            threads,
+            json_suite(samples),
+            if i + 1 < suites.len() { "," } else { "" }
+        ));
+    }
+    json.push_str("  ],\n  \"speedup\": {\n");
+    let base = &suites[0].1;
+    let peak = &suites[suites.len() - 1].1;
+    let lines: Vec<String> = base
+        .iter()
+        .zip(peak)
+        .map(|(b, p)| {
+            format!(
+                "    \"{}\": {:.2}",
+                b.name,
+                p.ops_per_sec() / b.ops_per_sec()
+            )
+        })
+        .collect();
+    json.push_str(&lines.join(",\n"));
+    json.push_str("\n  }\n}\n");
+
+    std::fs::write("BENCH_bgv.json", &json).expect("write BENCH_bgv.json");
+    println!("{json}");
+    eprintln!("wrote BENCH_bgv.json");
+}

@@ -10,9 +10,8 @@ use std::time::Instant;
 use mycelium::costs::committee_cost;
 use mycelium_bgv::encoding::encode_monomial;
 use mycelium_bgv::{BgvParams, Ciphertext, KeySet};
+use mycelium_math::rng::{SeedableRng, StdRng};
 use mycelium_sharing::threshold::{combine, decryption_share, KeyShareSet};
-use rand::rngs::StdRng;
-use rand::SeedableRng;
 
 fn main() {
     println!("=== §6.5 committee costs per query ===\n");

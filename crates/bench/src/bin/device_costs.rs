@@ -13,8 +13,7 @@ use mycelium::params::SystemParams;
 use mycelium_bench::mb;
 use mycelium_bgv::encoding::encode_monomial;
 use mycelium_bgv::{BgvParams, Ciphertext, KeySet};
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use mycelium_math::rng::{SeedableRng, StdRng};
 
 fn main() {
     let mut params = SystemParams::paper();

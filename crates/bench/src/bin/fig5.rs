@@ -7,11 +7,10 @@
 //! (d) protocol duration in C-rounds, *measured* from the telescoping and
 //!     forwarding simulators.
 
+use mycelium_math::rng::{SeedableRng, StdRng};
 use mycelium_mixnet::analysis::{figure5a, figure5b, figure5c, goodput_monte_carlo};
 use mycelium_mixnet::circuit::{MixnetConfig, Network};
 use mycelium_mixnet::forward::OutgoingMessage;
-use rand::rngs::StdRng;
-use rand::SeedableRng;
 
 fn main() {
     let n = 1.1e6;

@@ -3,10 +3,11 @@
 //!
 //! Each `fig*` binary prints the same rows/series the paper reports plus a
 //! paper-vs-measured comparison; `EXPERIMENTS.md` records the outputs.
-//! Criterion benchmarks (`benches/`) measure the underlying component
-//! costs (BGV operations, mixnet rounds, VSR hand-offs, ZKP proofs) that
-//! the §6 cost models extrapolate from, exactly as the paper extrapolates
-//! from its component benchmarks (§6.1).
+//! The `bench_bgv` binary measures the underlying component costs (NTT,
+//! BGV multiply, relinearization, end-to-end query) with plain
+//! `std::time::Instant` at `MYC_THREADS ∈ {1, ncores}` and writes
+//! `BENCH_bgv.json` — the numbers the §6 cost models extrapolate from,
+//! exactly as the paper extrapolates from its component benchmarks (§6.1).
 
 /// Formats a byte count as MB with one decimal.
 pub fn mb(bytes: f64) -> String {

@@ -12,9 +12,11 @@
 //! and forward degree-2 ciphertexts; the aggregator performs a one-time
 //! relinearization before the committee decrypts. Both flows are supported.
 
-use mycelium_math::rns::{Representation, RnsPoly};
-use mycelium_math::sample;
-use rand::Rng;
+use std::sync::Arc;
+
+use mycelium_math::rng::Rng;
+use mycelium_math::rns::{Representation, RnsContext, RnsPoly};
+use mycelium_math::{ew, par, sample};
 
 use crate::keys::{PublicKey, RelinKey, SecretKey};
 use crate::params::BgvParams;
@@ -117,6 +119,48 @@ impl Plaintext {
     }
 }
 
+/// A plaintext pre-encoded into NTT representation at a fixed level.
+///
+/// [`Ciphertext::mul_plain`] and [`Ciphertext::add_plain`] must lift the
+/// plaintext into `R_{Q_l}` and run a forward NTT on every call. When the
+/// same plaintext multiplies many ciphertexts (e.g. the same selection mask
+/// over every device's contribution), preparing it once amortizes that
+/// encoding away.
+#[derive(Debug, Clone)]
+pub struct PreparedPlaintext {
+    /// The centered lift of the plaintext, in NTT representation.
+    ntt: RnsPoly,
+    /// `|pt|_∞` of the centered lift, for noise accounting.
+    max_centered: u64,
+    modulus: u64,
+}
+
+impl PreparedPlaintext {
+    /// Encodes `pt` for ciphertexts at `level` over `ctx`.
+    pub fn prepare(pt: &Plaintext, ctx: &Arc<RnsContext>, level: usize) -> Result<Self, BgvError> {
+        if pt.coeffs().len() != ctx.degree() {
+            return Err(BgvError::PlaintextLength {
+                got: pt.coeffs().len(),
+                want: ctx.degree(),
+            });
+        }
+        let centered = pt.centered();
+        let mut ntt = RnsPoly::from_signed(Arc::clone(ctx), level, &centered);
+        ntt.to_ntt();
+        let max_centered = centered.iter().map(|c| c.unsigned_abs()).max().unwrap_or(0);
+        Ok(Self {
+            ntt,
+            max_centered,
+            modulus: pt.modulus(),
+        })
+    }
+
+    /// The level this encoding targets.
+    pub fn level(&self) -> usize {
+        self.ntt.level()
+    }
+}
+
 /// A BGV ciphertext.
 #[derive(Debug, Clone)]
 pub struct Ciphertext {
@@ -148,13 +192,20 @@ impl Ciphertext {
         u.to_ntt();
         let mut e0 = sample::gaussian_rns(ctx, level, pk.params.sigma, rng);
         e0.to_ntt();
+        e0.scalar_mul_assign(t);
         let mut e1 = sample::gaussian_rns(ctx, level, pk.params.sigma, rng);
         e1.to_ntt();
-        let mut m = RnsPoly::from_signed(ctx.clone(), level, &pt.centered());
+        e1.scalar_mul_assign(t);
+        let mut m = RnsPoly::from_signed(Arc::clone(ctx), level, &pt.centered());
         m.to_ntt();
-        // c0 = b·u + t·e0 + m ; c1 = a·u + t·e1.
-        let c0 = pk.b.mul(&u).add(&e0.scalar_mul(t)).add(&m);
-        let c1 = pk.a.mul(&u).add(&e1.scalar_mul(t));
+        // c0 = b·u + t·e0 + m ; c1 = a·u + t·e1 — built in place: the only
+        // allocations are the two fresh output polynomials.
+        let mut c0 = pk.b.mul(&u);
+        c0.add_assign(&e0);
+        c0.add_assign(&m);
+        let mut c1 = u;
+        c1.mul_assign(&pk.a);
+        c1.add_assign(&e1);
         Ok(Self {
             parts: vec![c0, c1],
             noise_log2: pk.params.fresh_noise_log2(),
@@ -224,17 +275,17 @@ impl Ciphertext {
     /// Homomorphic addition.
     pub fn add(&self, other: &Self) -> Result<Self, BgvError> {
         self.check_level(other)?;
-        let max_parts = self.parts.len().max(other.parts.len());
-        let ctx = self.parts[0].context().clone();
-        let level = self.level();
-        let zero = RnsPoly::zero(ctx, level, Representation::Ntt);
-        let parts = (0..max_parts)
-            .map(|i| {
-                let a = self.parts.get(i).unwrap_or(&zero);
-                let b = other.parts.get(i).unwrap_or(&zero);
-                a.add(b)
-            })
-            .collect();
+        // Clone the longer ciphertext and fold the shorter one in place —
+        // no zero padding materialized.
+        let (longer, shorter) = if self.parts.len() >= other.parts.len() {
+            (self, other)
+        } else {
+            (other, self)
+        };
+        let mut parts = longer.parts.clone();
+        for (p, o) in parts.iter_mut().zip(&shorter.parts) {
+            p.add_assign(o);
+        }
         Ok(Self {
             parts,
             noise_log2: log2_sum(self.noise_log2, other.noise_log2),
@@ -248,12 +299,12 @@ impl Ciphertext {
         let max_parts = self.parts.len().max(other.parts.len());
         let ctx = self.parts[0].context().clone();
         let level = self.level();
-        let zero = RnsPoly::zero(ctx, level, Representation::Ntt);
         let parts = (0..max_parts)
-            .map(|i| {
-                let a = self.parts.get(i).unwrap_or(&zero);
-                let b = other.parts.get(i).unwrap_or(&zero);
-                a.sub(b)
+            .map(|i| match (self.parts.get(i), other.parts.get(i)) {
+                (Some(a), Some(b)) => a.sub(b),
+                (Some(a), None) => a.clone(),
+                (None, Some(b)) => b.neg(),
+                (None, None) => RnsPoly::zero(ctx.clone(), level, Representation::Ntt),
             })
             .collect();
         Ok(Self {
@@ -265,6 +316,11 @@ impl Ciphertext {
 
     /// Homomorphic multiplication (tensor product). Both operands must be
     /// degree-1; the result is degree-2 until relinearized.
+    ///
+    /// The three output components are computed in one fused pass: each
+    /// residue is one unit of work producing `(c0, c1, c2)` rows together,
+    /// so the whole tensor product is a single parallel region with no
+    /// intermediate allocations.
     pub fn mul(&self, other: &Self) -> Result<Self, BgvError> {
         self.check_level(other)?;
         if self.parts.len() != 2 || other.parts.len() != 2 {
@@ -272,14 +328,40 @@ impl Ciphertext {
                 parts: self.parts.len().max(other.parts.len()),
             });
         }
-        let c0 = self.parts[0].mul(&other.parts[0]);
-        let c1 = self.parts[0]
-            .mul(&other.parts[1])
-            .add(&self.parts[1].mul(&other.parts[0]));
-        let c2 = self.parts[1].mul(&other.parts[1]);
+        let ctx = self.parts[0].context().clone();
+        let level = self.level();
+        let (a0, a1) = (&self.parts[0], &self.parts[1]);
+        let (b0, b1) = (&other.parts[0], &other.parts[1]);
+        let rows = par::map_indices(level, |i| {
+            let m = &ctx.moduli()[i];
+            let (x0, x1) = (&a0.residues()[i], &a1.residues()[i]);
+            let (y0, y1) = (&b0.residues()[i], &b1.residues()[i]);
+            let n = x0.len();
+            let mut r0 = vec![0u64; n];
+            let mut r1 = vec![0u64; n];
+            let mut r2 = vec![0u64; n];
+            ew::mul_into(m, &mut r0, x0, y0);
+            ew::mul_into(m, &mut r1, x0, y1);
+            ew::mul_add_assign(m, &mut r1, x1, y0);
+            ew::mul_into(m, &mut r2, x1, y1);
+            (r0, r1, r2)
+        });
+        let mut c0 = Vec::with_capacity(level);
+        let mut c1 = Vec::with_capacity(level);
+        let mut c2 = Vec::with_capacity(level);
+        for (r0, r1, r2) in rows {
+            c0.push(r0);
+            c1.push(r1);
+            c2.push(r2);
+        }
+        let parts = vec![
+            RnsPoly::from_residues(ctx.clone(), Representation::Ntt, c0),
+            RnsPoly::from_residues(ctx.clone(), Representation::Ntt, c1),
+            RnsPoly::from_residues(ctx, Representation::Ntt, c2),
+        ];
         let noise = (self.params.n as f64).log2() + self.noise_log2 + other.noise_log2;
         Ok(Self {
-            parts: vec![c0, c1, c2],
+            parts,
             noise_log2: noise,
             params: self.params.clone(),
         })
@@ -290,17 +372,23 @@ impl Ciphertext {
     /// This is noise-free: the infinity norm of `c(s)` is preserved. Used by
     /// the GROUP BY window packing (§4.5) to shift a local result into its
     /// group's coefficient window.
+    ///
+    /// For NTT-domain components (the normal case) this is a pointwise
+    /// multiply by the transform of `±x^{k mod N}` — one forward NTT total,
+    /// instead of an inverse + forward round-trip per component.
     pub fn mul_monomial(&self, k: usize) -> Self {
-        let parts = self
-            .parts
-            .iter()
-            .map(|p| {
-                let mut c = p.coeff();
-                c = rotate_negacyclic(&c, k);
-                c.to_ntt();
-                c
-            })
-            .collect();
+        let ctx = self.parts[0].context().clone();
+        let n = ctx.degree();
+        let k = k % (2 * n);
+        if k == 0 {
+            return self.clone();
+        }
+        let parts = if self.parts[0].representation() == Representation::Ntt {
+            let mono = ntt_monomial(&ctx, self.level(), k);
+            self.parts.iter().map(|p| p.mul(&mono)).collect()
+        } else {
+            self.parts.iter().map(|p| rotate_negacyclic(p, k)).collect()
+        };
         Self {
             parts,
             noise_log2: self.noise_log2,
@@ -311,21 +399,29 @@ impl Ciphertext {
     /// Multiplies by a plaintext polynomial.
     ///
     /// Noise grows by `log2(N · |pt|_∞ · |pt|_0)` in the worst case; we use
-    /// the standard `log2(N · |pt|_∞)` bound.
+    /// the standard `log2(N · |pt|_∞)` bound. Repeated multiplications by
+    /// the same plaintext should go through [`PreparedPlaintext`].
     pub fn mul_plain(&self, pt: &Plaintext) -> Result<Self, BgvError> {
-        let ctx = self.parts[0].context();
-        if pt.coeffs().len() != ctx.degree() {
-            return Err(BgvError::PlaintextLength {
-                got: pt.coeffs().len(),
-                want: ctx.degree(),
-            });
+        let prepared = PreparedPlaintext::prepare(pt, self.parts[0].context(), self.level())?;
+        self.mul_plain_prepared(&prepared)
+    }
+
+    /// Multiplies by a pre-encoded plaintext (skips the NTT re-encoding).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the prepared level differs from the ciphertext level.
+    pub fn mul_plain_prepared(&self, pt: &PreparedPlaintext) -> Result<Self, BgvError> {
+        assert_eq!(
+            pt.level(),
+            self.level(),
+            "prepared plaintext level mismatch"
+        );
+        let mut parts = self.parts.clone();
+        for p in parts.iter_mut() {
+            p.mul_assign(&pt.ntt);
         }
-        let centered = pt.centered();
-        let mut m = RnsPoly::from_signed(ctx.clone(), self.level(), &centered);
-        m.to_ntt();
-        let parts = self.parts.iter().map(|p| p.mul(&m)).collect();
-        let max_c = centered.iter().map(|c| c.unsigned_abs()).max().unwrap_or(0);
-        let growth = ((self.params.n as f64) * (max_c.max(1) as f64)).log2();
+        let growth = ((self.params.n as f64) * (pt.max_centered.max(1) as f64)).log2();
         Ok(Self {
             parts,
             noise_log2: self.noise_log2 + growth,
@@ -336,20 +432,26 @@ impl Ciphertext {
     /// Adds a plaintext to the ciphertext (no key material needed: the
     /// centered lift is added to `c_0`).
     pub fn add_plain(&self, pt: &Plaintext) -> Result<Self, BgvError> {
-        let ctx = self.parts[0].context();
-        if pt.coeffs().len() != ctx.degree() {
-            return Err(BgvError::PlaintextLength {
-                got: pt.coeffs().len(),
-                want: ctx.degree(),
-            });
-        }
-        let mut m = RnsPoly::from_signed(ctx.clone(), self.level(), &pt.centered());
-        m.to_ntt();
+        let prepared = PreparedPlaintext::prepare(pt, self.parts[0].context(), self.level())?;
+        self.add_plain_prepared(&prepared)
+    }
+
+    /// Adds a pre-encoded plaintext (skips the NTT re-encoding).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the prepared level differs from the ciphertext level.
+    pub fn add_plain_prepared(&self, pt: &PreparedPlaintext) -> Result<Self, BgvError> {
+        assert_eq!(
+            pt.level(),
+            self.level(),
+            "prepared plaintext level mismatch"
+        );
         let mut parts = self.parts.clone();
-        parts[0] = parts[0].add(&m);
+        parts[0].add_assign(&pt.ntt);
         Ok(Self {
             parts,
-            noise_log2: log2_sum(self.noise_log2, (pt.modulus() as f64 / 2.0).log2()),
+            noise_log2: log2_sum(self.noise_log2, (pt.modulus as f64 / 2.0).log2()),
             params: self.params.clone(),
         })
     }
@@ -382,8 +484,8 @@ impl Ciphertext {
         let mut c0 = self.parts[0].clone();
         let mut c1 = self.parts[1].clone();
         for (d, (kb, ka)) in digits.iter().zip(keys) {
-            c0 = c0.add(&d.mul(kb));
-            c1 = c1.add(&d.mul(ka));
+            c0.mul_add_assign(d, kb);
+            c1.mul_add_assign(d, ka);
         }
         // Key-switching noise: t · Σ_j |d_j·e_j| ≤ t · L · (q/2) · 6σ · N.
         let p = &self.params;
@@ -405,16 +507,14 @@ impl Ciphertext {
             return Err(BgvError::BottomOfChain);
         }
         let t = self.params.plaintext_modulus;
-        let parts: Vec<RnsPoly> = self
-            .parts
-            .iter()
-            .map(|p| {
-                let mut c = p.coeff();
-                c = c.mod_switch_down(t);
-                c.to_ntt();
-                c
-            })
-            .collect();
+        // Each part is independent: rescale them in parallel (the inner
+        // per-residue loops then run serially under the nesting guard).
+        let parts: Vec<RnsPoly> = par::map(&self.parts, |_, p| {
+            let mut c = p.coeff();
+            c = c.mod_switch_down(t);
+            c.to_ntt();
+            c
+        });
         // New noise: old/q_l plus the rounding term ≈ t·(1+N)/2 per part.
         let p = &self.params;
         let switched = self.noise_log2 - p.prime_bits as f64;
@@ -469,9 +569,11 @@ impl Ciphertext {
         let s = sk.s_at_level(self.level());
         let mut acc = self.parts[0].clone();
         let mut s_pow = s.clone();
-        for part in &self.parts[1..] {
-            acc = acc.add(&part.mul(&s_pow));
-            s_pow = s_pow.mul(&s);
+        for (i, part) in self.parts[1..].iter().enumerate() {
+            acc.mul_add_assign(part, &s_pow);
+            if i + 2 < self.parts.len() {
+                s_pow.mul_assign(&s);
+            }
         }
         acc.coeff()
     }
@@ -491,6 +593,25 @@ impl Ciphertext {
 fn log2_sum(a: f64, b: f64) -> f64 {
     let (hi, lo) = if a >= b { (a, b) } else { (b, a) };
     hi + (1.0 + 2f64.powf(lo - hi)).log2()
+}
+
+/// The NTT transform of `x^k` in `R_{Q_l}` (with `x^{k} = -x^{k-N}` for
+/// `k ≥ N`). `k` must be in `(0, 2N)`.
+fn ntt_monomial(ctx: &Arc<RnsContext>, level: usize, k: usize) -> RnsPoly {
+    let n = ctx.degree();
+    debug_assert!(k > 0 && k < 2 * n);
+    let (idx, negate) = if k < n { (k, false) } else { (k - n, true) };
+    let residues: Vec<Vec<u64>> = ctx.moduli()[..level]
+        .iter()
+        .map(|m| {
+            let mut r = vec![0u64; n];
+            r[idx] = if negate { m.neg(1) } else { 1 };
+            r
+        })
+        .collect();
+    let mut p = RnsPoly::from_residues(ctx.clone(), Representation::Coefficient, residues);
+    p.to_ntt();
+    p
 }
 
 /// Negacyclic rotation: multiplies a coefficient-domain polynomial by `x^k`.
@@ -526,8 +647,7 @@ fn rotate_negacyclic(p: &RnsPoly, k: usize) -> RnsPoly {
 mod tests {
     use super::*;
     use crate::keys::KeySet;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use mycelium_math::rng::{SeedableRng, StdRng};
 
     fn setup() -> (BgvParams, KeySet, StdRng) {
         let params = BgvParams::test_small();
@@ -696,6 +816,59 @@ mod tests {
             .unwrap()
             .decrypt(&ks.secret);
         assert_eq!(scaled.coeffs()[2], 3);
+    }
+
+    #[test]
+    fn prepared_plaintext_matches_direct_ops() {
+        let (params, ks, mut rng) = setup();
+        let t = params.plaintext_modulus;
+        let ct = Ciphertext::encrypt(&ks.public, &monomial(params.n, t, 2), &mut rng).unwrap();
+        let mut coeffs = vec![0u64; params.n];
+        coeffs[0] = 3;
+        coeffs[1] = t - 1;
+        let pt = Plaintext::new(coeffs, t).unwrap();
+        let prepared =
+            PreparedPlaintext::prepare(&pt, ct.parts()[0].context(), ct.level()).unwrap();
+        // Prepared and direct paths must agree bit-for-bit.
+        let direct = ct.mul_plain(&pt).unwrap();
+        let via_prep = ct.mul_plain_prepared(&prepared).unwrap();
+        for (a, b) in direct.parts().iter().zip(via_prep.parts()) {
+            assert_eq!(a, b);
+        }
+        let direct = ct.add_plain(&pt).unwrap();
+        let via_prep = ct.add_plain_prepared(&prepared).unwrap();
+        for (a, b) in direct.parts().iter().zip(via_prep.parts()) {
+            assert_eq!(a, b);
+        }
+        assert_eq!(
+            ct.mul_plain(&pt).unwrap().decrypt(&ks.secret).coeffs()[2],
+            3
+        );
+    }
+
+    #[test]
+    fn prepared_plaintext_rejects_bad_length() {
+        let (params, ks, _) = setup();
+        let pt = Plaintext::new(vec![1u64; params.n / 2], params.plaintext_modulus).unwrap();
+        assert!(matches!(
+            PreparedPlaintext::prepare(&pt, ks.public.context(), params.levels),
+            Err(BgvError::PlaintextLength { .. })
+        ));
+    }
+
+    #[test]
+    fn monomial_shift_full_period_is_identity() {
+        // x^{2N} = 1: shifting by 2N (or 0) returns the same ciphertext.
+        let (params, ks, mut rng) = setup();
+        let t = params.plaintext_modulus;
+        let ct = Ciphertext::encrypt(&ks.public, &monomial(params.n, t, 4), &mut rng).unwrap();
+        let same = ct.mul_monomial(2 * params.n);
+        for (a, b) in ct.parts().iter().zip(same.parts()) {
+            assert_eq!(a, b);
+        }
+        // Shifting by N negates everything: x^4 · x^N = -x^4.
+        let negated = ct.mul_monomial(params.n).decrypt(&ks.secret);
+        assert_eq!(negated.coeffs()[4], t - 1);
     }
 
     #[test]

@@ -168,8 +168,7 @@ mod tests {
     use crate::ciphertext::Ciphertext;
     use crate::keys::KeySet;
     use crate::params::BgvParams;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use mycelium_math::rng::{SeedableRng, StdRng};
 
     #[test]
     fn monomial_bounds() {

@@ -14,9 +14,9 @@
 use std::collections::HashMap;
 use std::sync::Arc;
 
+use mycelium_math::rng::Rng;
 use mycelium_math::rns::{Representation, RnsContext, RnsPoly};
 use mycelium_math::sample;
-use rand::Rng;
 
 use crate::params::BgvParams;
 
@@ -240,8 +240,7 @@ impl KeySet {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use mycelium_math::rng::{SeedableRng, StdRng};
 
     #[test]
     fn public_key_relation() {

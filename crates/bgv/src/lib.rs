@@ -25,6 +25,6 @@ pub mod keys;
 pub mod noise;
 pub mod params;
 
-pub use ciphertext::{BgvError, Ciphertext, Plaintext};
+pub use ciphertext::{BgvError, Ciphertext, Plaintext, PreparedPlaintext};
 pub use keys::{KeySet, PublicKey, RelinKey, SecretKey};
 pub use params::BgvParams;

@@ -60,15 +60,14 @@ impl FieldElement {
     }
 
     /// Addition (lazy; limbs stay below 2^52 + slack).
+    #[allow(clippy::should_implement_trait)]
     pub fn add(self, other: Self) -> Self {
-        let mut r = [0u64; 5];
-        for i in 0..5 {
-            r[i] = self.0[i] + other.0[i];
-        }
+        let r = std::array::from_fn(|i| self.0[i] + other.0[i]);
         Self(r).carry()
     }
 
     /// Subtraction.
+    #[allow(clippy::should_implement_trait)]
     pub fn sub(self, other: Self) -> Self {
         // Add 2p = [2^52 - 38, 2^52 - 2, ...] before subtracting so no limb
         // underflows (operands are kept below 2^52 by `carry`).
@@ -87,6 +86,7 @@ impl FieldElement {
     }
 
     /// Multiplication modulo `2^255 - 19`.
+    #[allow(clippy::should_implement_trait)]
     pub fn mul(self, other: Self) -> Self {
         let [a0, a1, a2, a3, a4] = self.0.map(|x| x as u128);
         let [b0, b1, b2, b3, b4] = other.0.map(|x| x as u128);
@@ -152,9 +152,9 @@ impl FieldElement {
         let mut v = out[0] as u128 + fold;
         out[0] = (v & MASK51 as u128) as u64;
         let mut c = (v >> 51) as u64;
-        for i in 1..5 {
-            v = out[i] as u128 + c as u128;
-            out[i] = (v & MASK51 as u128) as u64;
+        for limb in out.iter_mut().skip(1) {
+            v = *limb as u128 + c as u128;
+            *limb = (v & MASK51 as u128) as u64;
             c = (v >> 51) as u64;
         }
         out[0] += c * 19;

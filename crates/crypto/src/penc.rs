@@ -6,7 +6,7 @@
 //! protocol role is identical: during path setup, a source encrypts a fresh
 //! symmetric key under a hop's public key (§3.4).
 
-use rand::Rng;
+use mycelium_math::rng::Rng;
 
 use crate::aead::{self, AeadError};
 use crate::ed25519::{x25519, x25519_public_key};
@@ -111,8 +111,7 @@ pub const OVERHEAD: usize = 32 + aead::OVERHEAD;
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use mycelium_math::rng::{SeedableRng, StdRng};
 
     fn rng() -> StdRng {
         StdRng::seed_from_u64(99)

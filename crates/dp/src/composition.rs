@@ -11,8 +11,8 @@
 //!   "is this noisy value above the threshold?" pays only when the answer
 //!   is *yes*; an arbitrary number of below-threshold probes is free.
 
+use mycelium_math::rng::Rng;
 use mycelium_math::sample::sample_laplace;
-use rand::Rng;
 
 use crate::DpError;
 
@@ -100,8 +100,7 @@ impl SparseVector {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use mycelium_math::rng::{SeedableRng, StdRng};
 
     #[test]
     fn advanced_beats_basic_for_many_queries() {

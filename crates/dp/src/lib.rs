@@ -10,8 +10,8 @@
 
 pub mod composition;
 
+use mycelium_math::rng::Rng;
 use mycelium_math::sample::{sample_discrete_laplace, sample_laplace};
-use rand::Rng;
 
 /// Budget-accounting errors.
 #[derive(Debug, Clone, PartialEq)]
@@ -144,8 +144,7 @@ pub fn apply_noise(counts: &[u64], noise: &[i64]) -> Vec<i64> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use mycelium_math::rng::{SeedableRng, StdRng};
 
     #[test]
     fn budget_accounting() {

@@ -10,7 +10,7 @@
 //! infection chains respect the `tInf > self.tInf + 2` serial-interval
 //! filters, and so on.
 
-use rand::Rng;
+use mycelium_math::rng::Rng;
 
 use crate::data::{EdgeData, Location, Setting, VertexData};
 use crate::graph::{Graph, GraphBuilder, VertexId};
@@ -293,8 +293,7 @@ pub fn epidemic_population<R: Rng + ?Sized>(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use mycelium_math::rng::{SeedableRng, StdRng};
 
     #[test]
     fn random_graph_respects_bounds() {

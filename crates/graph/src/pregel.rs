@@ -160,8 +160,7 @@ mod tests {
     use crate::data::EdgeData;
     use crate::generate::{contact_graph, run_epidemic, ContactGraphConfig, EpidemicConfig};
     use crate::graph::GraphBuilder;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use mycelium_math::rng::{SeedableRng, StdRng};
 
     /// A vertex program computing each vertex's distance from vertex 0.
     struct Distance;

@@ -80,9 +80,9 @@ impl BigUint {
         };
         let mut out = Vec::with_capacity(longer.len() + 1);
         let mut carry = 0u64;
-        for i in 0..longer.len() {
+        for (i, &limb) in longer.iter().enumerate() {
             let b = shorter.get(i).copied().unwrap_or(0);
-            let (s1, c1) = longer[i].overflowing_add(b);
+            let (s1, c1) = limb.overflowing_add(b);
             let (s2, c2) = s1.overflowing_add(carry);
             out.push(s2);
             carry = (c1 as u64) + (c2 as u64);

@@ -1,0 +1,113 @@
+//! Shared element-wise residue kernels.
+//!
+//! Every [`crate::rns::RnsPoly`] operation — and the fused BGV ciphertext
+//! paths built on top of them — reduces to one of these loops over a single
+//! residue slice modulo one chain prime. Centralizing them keeps the
+//! modular arithmetic in exactly one place and gives the parallel plane a
+//! uniform unit of work: "one kernel over one residue".
+
+use crate::zq::Modulus;
+
+/// `a[i] = (a[i] + b[i]) mod q`.
+#[inline]
+pub fn add_assign(m: &Modulus, a: &mut [u64], b: &[u64]) {
+    debug_assert_eq!(a.len(), b.len());
+    for (x, &y) in a.iter_mut().zip(b) {
+        *x = m.add(*x, y);
+    }
+}
+
+/// `a[i] = (a[i] - b[i]) mod q`.
+#[inline]
+pub fn sub_assign(m: &Modulus, a: &mut [u64], b: &[u64]) {
+    debug_assert_eq!(a.len(), b.len());
+    for (x, &y) in a.iter_mut().zip(b) {
+        *x = m.sub(*x, y);
+    }
+}
+
+/// `a[i] = -a[i] mod q`.
+#[inline]
+pub fn neg_assign(m: &Modulus, a: &mut [u64]) {
+    for x in a.iter_mut() {
+        *x = m.neg(*x);
+    }
+}
+
+/// `a[i] = (a[i] * b[i]) mod q` (pointwise; the NTT-domain ring product).
+#[inline]
+pub fn mul_assign(m: &Modulus, a: &mut [u64], b: &[u64]) {
+    debug_assert_eq!(a.len(), b.len());
+    for (x, &y) in a.iter_mut().zip(b) {
+        *x = m.mul(*x, y);
+    }
+}
+
+/// `out[i] = (a[i] * b[i]) mod q` into a separate output slice.
+#[inline]
+pub fn mul_into(m: &Modulus, out: &mut [u64], a: &[u64], b: &[u64]) {
+    debug_assert_eq!(out.len(), a.len());
+    debug_assert_eq!(a.len(), b.len());
+    for ((o, &x), &y) in out.iter_mut().zip(a).zip(b) {
+        *o = m.mul(x, y);
+    }
+}
+
+/// `acc[i] = (acc[i] + a[i] * b[i]) mod q` — the fused kernel behind
+/// relinearization and the BGV tensor product's middle term.
+#[inline]
+pub fn mul_add_assign(m: &Modulus, acc: &mut [u64], a: &[u64], b: &[u64]) {
+    debug_assert_eq!(acc.len(), a.len());
+    debug_assert_eq!(a.len(), b.len());
+    for ((o, &x), &y) in acc.iter_mut().zip(a).zip(b) {
+        *o = m.add(*o, m.mul(x, y));
+    }
+}
+
+/// `a[i] = (a[i] * s) mod q` for a scalar already reduced mod q.
+#[inline]
+pub fn scalar_mul_assign(m: &Modulus, a: &mut [u64], s: u64) {
+    for x in a.iter_mut() {
+        *x = m.mul(*x, s);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kernels_match_scalar_ops() {
+        let m = Modulus::new_prime(97).unwrap();
+        let a0 = [1u64, 50, 96, 0];
+        let b = [96u64, 50, 1, 13];
+
+        let mut a = a0;
+        add_assign(&m, &mut a, &b);
+        assert_eq!(a, [0, 3, 0, 13]);
+
+        let mut a = a0;
+        sub_assign(&m, &mut a, &b);
+        assert_eq!(a, [2, 0, 95, 84]);
+
+        let mut a = a0;
+        neg_assign(&m, &mut a);
+        assert_eq!(a, [96, 47, 1, 0]);
+
+        let mut a = a0;
+        mul_assign(&m, &mut a, &b);
+        assert_eq!(a, [96, (50 * 50) % 97, 96, 0]);
+
+        let mut out = [0u64; 4];
+        mul_into(&m, &mut out, &a0, &b);
+        assert_eq!(out, [96, (50 * 50) % 97, 96, 0]);
+
+        let mut acc = [10u64, 10, 10, 10];
+        mul_add_assign(&m, &mut acc, &a0, &b);
+        assert_eq!(acc, [(10 + 96) % 97, (10 + 2500) % 97, (10 + 96) % 97, 10]);
+
+        let mut a = a0;
+        scalar_mul_assign(&m, &mut a, 3);
+        assert_eq!(a, [3, 150 % 97, (96 * 3) % 97, 0]);
+    }
+}

@@ -16,15 +16,25 @@
 //! * [`sample`] — the samplers lattice cryptography needs (uniform, ternary,
 //!   discrete Gaussian) plus the Laplace samplers used for differential
 //!   privacy.
+//! * [`rng`] — the in-tree deterministic random number generator (ChaCha20
+//!   keystream) and the `Rng`/`SeedableRng` traits the whole workspace uses
+//!   instead of an external crate.
+//! * [`par`] — scoped-thread data parallelism with the `MYC_THREADS` knob.
+//! * [`ew`] — the shared element-wise residue kernels behind every
+//!   [`rns::RnsPoly`] operation.
 
 pub mod bigint;
+pub mod ew;
 pub mod ntt;
+pub mod par;
 pub mod poly;
+pub mod rng;
 pub mod rns;
 pub mod sample;
 pub mod zq;
 
 pub use bigint::BigUint;
 pub use poly::Poly;
+pub use rng::{Rng, SeedableRng, StdRng};
 pub use rns::{RnsContext, RnsPoly};
 pub use zq::Modulus;

@@ -169,12 +169,12 @@ pub fn negacyclic_mul_naive(modulus: &Modulus, a: &[u64], b: &[u64]) -> Vec<u64>
     let n = a.len();
     assert_eq!(n, b.len());
     let mut out = vec![0u64; n];
-    for i in 0..n {
-        if a[i] == 0 {
+    for (i, &ai) in a.iter().enumerate() {
+        if ai == 0 {
             continue;
         }
-        for j in 0..n {
-            let prod = modulus.mul(a[i], b[j]);
+        for (j, &bj) in b.iter().enumerate() {
+            let prod = modulus.mul(ai, bj);
             let k = i + j;
             if k < n {
                 out[k] = modulus.add(out[k], prod);

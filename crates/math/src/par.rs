@@ -1,0 +1,163 @@
+//! Scoped-thread data parallelism (no external runtime).
+//!
+//! The hot paths of the stack — per-prime NTTs, BGV tensor products, and
+//! the executor's per-device fan-out — are embarrassingly parallel. This
+//! module provides the one primitive they need: chunked fan-out of an
+//! indexed loop over `std::thread::scope`, with
+//!
+//! * a `MYC_THREADS` environment knob (absent → all available cores,
+//!   `1` → fully serial, no threads spawned),
+//! * a thread-local nesting guard so a parallel region launched from
+//!   inside a worker runs serially instead of oversubscribing, and
+//! * deterministic output: workers write disjoint chunks of a
+//!   pre-allocated buffer, so results are identical at any thread count.
+
+use std::cell::Cell;
+
+thread_local! {
+    /// Set inside worker threads: nested regions degrade to serial.
+    static IN_PARALLEL_REGION: Cell<bool> = const { Cell::new(false) };
+}
+
+/// The configured parallelism width.
+///
+/// Reads `MYC_THREADS` on every call (cheap next to any workload worth
+/// parallelizing, and it lets tests flip the knob at runtime). Invalid or
+/// zero values fall back to the machine's available parallelism.
+pub fn num_threads() -> usize {
+    if IN_PARALLEL_REGION.with(|f| f.get()) {
+        return 1;
+    }
+    match std::env::var("MYC_THREADS") {
+        Ok(s) => match s.trim().parse::<usize>() {
+            Ok(n) if n >= 1 => n,
+            _ => available(),
+        },
+        Err(_) => available(),
+    }
+}
+
+fn available() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+/// Runs `f(i, &mut items[i])` for every element, fanning chunks out across
+/// scoped threads. Serial when the knob is 1, the slice is short, or the
+/// caller is already inside a parallel region.
+pub fn for_each_mut<T, F>(items: &mut [T], f: F)
+where
+    T: Send,
+    F: Fn(usize, &mut T) + Sync,
+{
+    let threads = num_threads().min(items.len());
+    if threads <= 1 {
+        for (i, item) in items.iter_mut().enumerate() {
+            f(i, item);
+        }
+        return;
+    }
+    let chunk = items.len().div_ceil(threads);
+    std::thread::scope(|s| {
+        for (ci, block) in items.chunks_mut(chunk).enumerate() {
+            let f = &f;
+            s.spawn(move || {
+                IN_PARALLEL_REGION.with(|flag| flag.set(true));
+                for (j, item) in block.iter_mut().enumerate() {
+                    f(ci * chunk + j, item);
+                }
+            });
+        }
+    });
+}
+
+/// Parallel indexed map: returns `[f(0, &items[0]), f(1, &items[1]), …]`.
+pub fn map<T, U, F>(items: &[T], f: F) -> Vec<U>
+where
+    T: Sync,
+    U: Send,
+    F: Fn(usize, &T) -> U + Sync,
+{
+    map_indices(items.len(), |i| f(i, &items[i]))
+}
+
+/// Parallel map over the index range `0..n`.
+///
+/// The workhorse primitive: callers close over whatever shared state they
+/// need and produce one owned output per index.
+pub fn map_indices<U, F>(n: usize, f: F) -> Vec<U>
+where
+    U: Send,
+    F: Fn(usize) -> U + Sync,
+{
+    let threads = num_threads().min(n);
+    if threads <= 1 {
+        return (0..n).map(f).collect();
+    }
+    let mut out: Vec<Option<U>> = (0..n).map(|_| None).collect();
+    let chunk = n.div_ceil(threads);
+    std::thread::scope(|s| {
+        for (ci, block) in out.chunks_mut(chunk).enumerate() {
+            let f = &f;
+            s.spawn(move || {
+                IN_PARALLEL_REGION.with(|flag| flag.set(true));
+                for (j, slot) in block.iter_mut().enumerate() {
+                    *slot = Some(f(ci * chunk + j));
+                }
+            });
+        }
+    });
+    out.into_iter()
+        .map(|slot| slot.expect("worker filled every slot"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn for_each_mut_visits_every_index_once() {
+        let mut v: Vec<u64> = vec![0; 1000];
+        for_each_mut(&mut v, |i, x| *x = i as u64 * 3);
+        for (i, &x) in v.iter().enumerate() {
+            assert_eq!(x, i as u64 * 3);
+        }
+    }
+
+    #[test]
+    fn map_preserves_order() {
+        let items: Vec<usize> = (0..257).collect();
+        let out = map(&items, |i, &x| {
+            assert_eq!(i, x);
+            x * x
+        });
+        assert_eq!(out, items.iter().map(|&x| x * x).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn map_indices_handles_edge_sizes() {
+        assert!(map_indices(0, |i| i).is_empty());
+        assert_eq!(map_indices(1, |i| i + 7), vec![7]);
+    }
+
+    #[test]
+    fn nested_regions_run_serial() {
+        // The outer region parallelizes; inner regions must not spawn
+        // (observable via num_threads() == 1 inside workers).
+        let saw_nested_parallel = AtomicUsize::new(0);
+        let items: Vec<usize> = (0..64).collect();
+        let _ = map(&items, |_, _| {
+            if num_threads() != 1 && available() > 1 {
+                saw_nested_parallel.fetch_add(1, Ordering::Relaxed);
+            }
+            let inner: Vec<usize> = (0..4).collect();
+            map(&inner, |i, &x| i + x)
+        });
+        if available() > 1 {
+            assert_eq!(saw_nested_parallel.load(Ordering::Relaxed), 0);
+        }
+    }
+}

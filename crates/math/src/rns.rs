@@ -17,6 +17,7 @@ use std::sync::Arc;
 use crate::bigint::BigUint;
 use crate::ntt::NttTable;
 use crate::zq::{self, Modulus};
+use crate::{ew, par};
 
 /// Which domain a polynomial's residues are stored in.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -283,14 +284,14 @@ impl RnsPoly {
         &self.residues
     }
 
-    /// Converts to NTT representation (no-op if already there).
+    /// Converts to NTT representation (no-op if already there). One forward
+    /// transform per residue, fanned out across threads.
     pub fn to_ntt(&mut self) {
         if self.rep == Representation::Ntt {
             return;
         }
-        for (i, r) in self.residues.iter_mut().enumerate() {
-            self.ctx.tables[i].forward(r);
-        }
+        let ctx = self.ctx.clone();
+        par::for_each_mut(&mut self.residues, |i, r| ctx.tables[i].forward(r));
         self.rep = Representation::Ntt;
     }
 
@@ -299,9 +300,8 @@ impl RnsPoly {
         if self.rep == Representation::Coefficient {
             return;
         }
-        for (i, r) in self.residues.iter_mut().enumerate() {
-            self.ctx.tables[i].inverse(r);
-        }
+        let ctx = self.ctx.clone();
+        par::for_each_mut(&mut self.residues, |i, r| ctx.tables[i].inverse(r));
         self.rep = Representation::Coefficient;
     }
 
@@ -319,22 +319,42 @@ impl RnsPoly {
         c
     }
 
-    /// Element-wise addition (both operands must share level and
+    /// In-place element-wise addition (both operands must share level and
     /// representation).
     ///
     /// # Panics
     ///
     /// Panics on level or representation mismatch.
-    pub fn add(&self, other: &Self) -> Self {
+    pub fn add_assign(&mut self, other: &Self) {
         self.check_compat(other);
+        let ctx = self.ctx.clone();
+        par::for_each_mut(&mut self.residues, |i, r| {
+            ew::add_assign(&ctx.moduli[i], r, &other.residues[i]);
+        });
+    }
+
+    /// Element-wise addition.
+    ///
+    /// # Panics
+    ///
+    /// Panics on level or representation mismatch.
+    pub fn add(&self, other: &Self) -> Self {
         let mut out = self.clone();
-        for (i, (r, o)) in out.residues.iter_mut().zip(&other.residues).enumerate() {
-            let m = &self.ctx.moduli[i];
-            for (x, &y) in r.iter_mut().zip(o) {
-                *x = m.add(*x, y);
-            }
-        }
+        out.add_assign(other);
         out
+    }
+
+    /// In-place element-wise subtraction.
+    ///
+    /// # Panics
+    ///
+    /// Panics on level or representation mismatch.
+    pub fn sub_assign(&mut self, other: &Self) {
+        self.check_compat(other);
+        let ctx = self.ctx.clone();
+        par::for_each_mut(&mut self.residues, |i, r| {
+            ew::sub_assign(&ctx.moduli[i], r, &other.residues[i]);
+        });
     }
 
     /// Element-wise subtraction.
@@ -343,27 +363,44 @@ impl RnsPoly {
     ///
     /// Panics on level or representation mismatch.
     pub fn sub(&self, other: &Self) -> Self {
-        self.check_compat(other);
         let mut out = self.clone();
-        for (i, (r, o)) in out.residues.iter_mut().zip(&other.residues).enumerate() {
-            let m = &self.ctx.moduli[i];
-            for (x, &y) in r.iter_mut().zip(o) {
-                *x = m.sub(*x, y);
-            }
-        }
+        out.sub_assign(other);
         out
+    }
+
+    /// In-place negation.
+    pub fn neg_assign(&mut self) {
+        let ctx = self.ctx.clone();
+        par::for_each_mut(&mut self.residues, |i, r| {
+            ew::neg_assign(&ctx.moduli[i], r);
+        });
     }
 
     /// Negation.
     pub fn neg(&self) -> Self {
         let mut out = self.clone();
-        for (i, r) in out.residues.iter_mut().enumerate() {
-            let m = &self.ctx.moduli[i];
-            for x in r.iter_mut() {
-                *x = m.neg(*x);
-            }
-        }
+        out.neg_assign();
         out
+    }
+
+    /// In-place ring multiplication; both operands must be in NTT
+    /// representation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either operand is in coefficient representation, or on
+    /// level mismatch.
+    pub fn mul_assign(&mut self, other: &Self) {
+        self.check_compat(other);
+        assert_eq!(
+            self.rep,
+            Representation::Ntt,
+            "ring multiplication requires NTT representation"
+        );
+        let ctx = self.ctx.clone();
+        par::for_each_mut(&mut self.residues, |i, r| {
+            ew::mul_assign(&ctx.moduli[i], r, &other.residues[i]);
+        });
     }
 
     /// Ring multiplication; both operands must be in NTT representation.
@@ -373,33 +410,48 @@ impl RnsPoly {
     /// Panics if either operand is in coefficient representation, or on
     /// level mismatch.
     pub fn mul(&self, other: &Self) -> Self {
-        self.check_compat(other);
+        let mut out = self.clone();
+        out.mul_assign(other);
+        out
+    }
+
+    /// Fused multiply-add: `self += a ⊙ b`, all three in NTT representation.
+    ///
+    /// Saves the intermediate allocation a separate `mul` + `add` pair would
+    /// make — the inner loop of relinearization.
+    ///
+    /// # Panics
+    ///
+    /// Panics on level/representation mismatch or coefficient representation.
+    pub fn mul_add_assign(&mut self, a: &Self, b: &Self) {
+        self.check_compat(a);
+        self.check_compat(b);
         assert_eq!(
             self.rep,
             Representation::Ntt,
-            "ring multiplication requires NTT representation"
+            "fused multiply-add requires NTT representation"
         );
-        let mut out = self.clone();
-        for (i, (r, o)) in out.residues.iter_mut().zip(&other.residues).enumerate() {
-            let m = &self.ctx.moduli[i];
-            for (x, &y) in r.iter_mut().zip(o) {
-                *x = m.mul(*x, y);
-            }
-        }
-        out
+        let ctx = self.ctx.clone();
+        par::for_each_mut(&mut self.residues, |i, r| {
+            ew::mul_add_assign(&ctx.moduli[i], r, &a.residues[i], &b.residues[i]);
+        });
+    }
+
+    /// In-place multiplication by an integer scalar (reduced per prime).
+    /// Works in either representation.
+    pub fn scalar_mul_assign(&mut self, s: u64) {
+        let ctx = self.ctx.clone();
+        par::for_each_mut(&mut self.residues, |i, r| {
+            let m = &ctx.moduli[i];
+            ew::scalar_mul_assign(m, r, m.reduce(s));
+        });
     }
 
     /// Multiplies by an integer scalar (reduced per prime). Works in either
     /// representation.
     pub fn scalar_mul(&self, s: u64) -> Self {
         let mut out = self.clone();
-        for (i, r) in out.residues.iter_mut().enumerate() {
-            let m = &self.ctx.moduli[i];
-            let sv = m.reduce(s);
-            for x in r.iter_mut() {
-                *x = m.mul(*x, sv);
-            }
-        }
+        out.scalar_mul_assign(s);
         out
     }
 
@@ -452,7 +504,6 @@ impl RnsPoly {
         let qlast_inv_t = inv_mod_u64(qlast.value() % t, t)
             .expect("q_l must be invertible modulo the plaintext modulus");
         let n = self.ctx.degree();
-        let mut residues = Vec::with_capacity(l - 1);
         // Precompute delta = d + q_l * w per coefficient, where d is the
         // centered residue mod q_l and w ≡ -d·q_l^{-1} (mod t), centered.
         let mut delta_signed = vec![(0i64, 0i64); n];
@@ -469,22 +520,21 @@ impl RnsPoly {
             };
             *ds = (d, w_c);
         }
-        for i in 0..l - 1 {
+        let residues = par::map_indices(l - 1, |i| {
             let m = &self.ctx.moduli[i];
             let inv = pre.qlast_inv[i];
             let ql_mod = m.reduce(qlast.value());
             let mut r = Vec::with_capacity(n);
-            for j in 0..n {
-                let (d, w) = delta_signed[j];
+            for (&(d, w), &resid) in delta_signed.iter().zip(&self.residues[i]) {
                 // delta mod q_i = d + q_l * w (all small, centered).
                 let dm = m.from_signed(d);
                 let wm = m.from_signed(w);
                 let delta = m.add(dm, m.mul(ql_mod, wm));
-                let num = m.sub(self.residues[i][j], delta);
+                let num = m.sub(resid, delta);
                 r.push(m.mul(num, inv));
             }
-            residues.push(r);
-        }
+            r
+        });
         Self {
             ctx: self.ctx.clone(),
             level: l - 1,
@@ -572,8 +622,9 @@ impl RnsPoly {
         let l = self.level;
         let pre = self.ctx.level(l);
         let n = self.ctx.degree();
-        let mut out = Vec::with_capacity(l);
-        for j in 0..l {
+        // One independent digit polynomial per active prime: compute, lift,
+        // and forward-transform each on its own thread.
+        par::map_indices(l, |j| {
             let mj = &self.ctx.moduli[j];
             // d_j coefficients as integers in [0, q_j).
             let dj: Vec<u64> = (0..n)
@@ -591,9 +642,8 @@ impl RnsPoly {
                 residues,
             };
             p.to_ntt();
-            out.push(p);
-        }
-        out
+            p
+        })
     }
 
     fn crt_coeff(&self, j: usize, pre: &LevelPrecomp) -> BigUint {

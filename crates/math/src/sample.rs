@@ -3,12 +3,12 @@
 //! Lattice cryptography needs three distributions — uniform over `R_Q`,
 //! ternary secrets, and discrete Gaussian noise — and the differential
 //! privacy layer needs Laplace noise (continuous and discrete/two-sided
-//! geometric). All samplers take a caller-supplied [`rand::Rng`] so that
-//! tests can be deterministic.
+//! geometric). All samplers take a caller-supplied [`crate::rng::Rng`] so
+//! that tests can be deterministic.
 
 use std::sync::Arc;
 
-use rand::Rng;
+use crate::rng::Rng;
 
 use crate::rns::{Representation, RnsContext, RnsPoly};
 
@@ -119,8 +119,7 @@ pub fn sample_discrete_laplace<R: Rng + ?Sized>(b: f64, rng: &mut R) -> i64 {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use crate::rng::{SeedableRng, StdRng};
 
     fn rng() -> StdRng {
         StdRng::seed_from_u64(0xC0FFEE)

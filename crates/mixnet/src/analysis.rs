@@ -17,7 +17,7 @@
 //!   `2k + 2` (query + response) — both *measured* by the simulator in
 //!   [`crate::circuit`]/[`crate::forward`], not just asserted.
 
-use rand::Rng;
+use mycelium_math::rng::Rng;
 
 /// Parameters of the analytic model.
 #[derive(Debug, Clone, Copy)]
@@ -134,8 +134,7 @@ pub fn figure5c(k: usize, fails: &[f64], rs: &[usize]) -> Vec<(usize, Vec<f64>)>
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use mycelium_math::rng::{SeedableRng, StdRng};
 
     #[test]
     fn paper_headline_anonymity_number() {

@@ -172,7 +172,7 @@ mod tests {
     fn withholding_devices_are_excluded() {
         let (c1, r1) = reveal(1, 0x11);
         let (c2, _) = reveal(2, 0x22); // Commits, never reveals.
-        let b = combine(&[c1.clone(), c2], &[r1.clone()]).unwrap();
+        let b = combine(&[c1.clone(), c2], std::slice::from_ref(&r1)).unwrap();
         assert_eq!(b, combine(&[c1], &[r1]).unwrap());
     }
 

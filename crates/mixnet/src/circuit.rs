@@ -19,7 +19,7 @@
 use std::collections::HashMap;
 
 use mycelium_crypto::penc::{KeyPair, PublicKey};
-use rand::Rng;
+use mycelium_math::rng::Rng;
 
 use crate::bulletin::{BulletinBoard, Entry};
 use crate::maps::{DeviceRegistration, VerifiableMaps};
@@ -325,8 +325,7 @@ impl Network {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use mycelium_math::rng::{SeedableRng, StdRng};
 
     fn network(n: usize, k: usize, r: usize) -> (Network, StdRng) {
         let mut rng = StdRng::seed_from_u64(61);

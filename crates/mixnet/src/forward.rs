@@ -13,7 +13,7 @@
 
 use std::collections::HashMap;
 
-use rand::Rng;
+use mycelium_math::rng::Rng;
 
 use crate::bulletin::Entry;
 use crate::circuit::{Network, NextHop};
@@ -124,12 +124,10 @@ impl Network {
         for level in 0..k {
             let mut next: Vec<Vec<InFlight>> = vec![Vec::new(); n];
             let mut next_mailboxes = MailboxRound::new(n);
-            for dev_idx in 0..n {
+            for (dev_idx, slot) in current.iter_mut().enumerate() {
                 // Index incoming messages by path id.
-                let incoming: HashMap<PathId, Vec<u8>> = current[dev_idx]
-                    .drain(..)
-                    .map(|m| (m.path, m.blob))
-                    .collect();
+                let incoming: HashMap<PathId, Vec<u8>> =
+                    slot.drain(..).map(|m| (m.path, m.blob)).collect();
                 let device = &self.devices[dev_idx];
                 let online = device.online;
                 let drops = device.malicious_drop;
@@ -192,12 +190,12 @@ impl Network {
             delivered.insert(m.id, 0);
         }
         let mut rejected = 0usize;
-        for dst in 0..n {
-            if current[dst].is_empty() || !self.devices[dst].online {
+        for (dst, slot) in current.iter_mut().enumerate() {
+            if slot.is_empty() || !self.devices[dst].online {
                 continue;
             }
             let keypair = self.devices[dst].keypair.clone();
-            for m in current[dst].drain(..) {
+            for m in slot.drain(..) {
                 match open_inner(&keypair, &m.blob) {
                     Ok(payload) if payload.len() >= 8 => {
                         let id =
@@ -227,8 +225,7 @@ impl Network {
 mod tests {
     use super::*;
     use crate::circuit::MixnetConfig;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use mycelium_math::rng::{SeedableRng, StdRng};
 
     fn setup(n: usize, k: usize, r: usize) -> (Network, StdRng) {
         let mut rng = StdRng::seed_from_u64(71);

@@ -210,8 +210,7 @@ pub fn epoch_commitment(m1_root: &Digest, m2_root: &Digest) -> Digest {
 mod tests {
     use super::*;
     use mycelium_crypto::penc::KeyPair;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use mycelium_math::rng::{SeedableRng, StdRng};
 
     fn registrations(devices: usize, pseudonyms: usize) -> Vec<DeviceRegistration> {
         let mut rng = StdRng::seed_from_u64(55);

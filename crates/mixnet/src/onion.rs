@@ -18,7 +18,7 @@
 use mycelium_crypto::chacha20::{sdec, senc};
 use mycelium_crypto::kdf::prf_ratio;
 use mycelium_crypto::penc;
-use rand::Rng;
+use mycelium_math::rng::Rng;
 
 /// A random path identifier, regenerated per hop pair (§3.4).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -117,8 +117,7 @@ pub fn onion_len(len: usize) -> usize {
 mod tests {
     use super::*;
     use mycelium_crypto::penc::KeyPair;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use mycelium_math::rng::{SeedableRng, StdRng};
 
     #[test]
     fn forwarder_fraction_and_classes() {

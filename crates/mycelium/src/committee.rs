@@ -13,11 +13,11 @@
 
 use mycelium_bgv::{Ciphertext, Plaintext, SecretKey};
 use mycelium_dp::PrivacyBudget;
+use mycelium_math::rng::Rng;
 use mycelium_sharing::committee::elect;
 use mycelium_sharing::threshold::{
     combine, decryption_share, derive_joint_noise, DecryptionShare, KeyShareSet, ThresholdError,
 };
-use rand::Rng;
 
 /// A committee decryption run.
 #[derive(Debug)]
@@ -105,8 +105,7 @@ mod tests {
     use super::*;
     use mycelium_bgv::encoding::encode_monomial;
     use mycelium_bgv::{BgvParams, KeySet};
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use mycelium_math::rng::{SeedableRng, StdRng};
 
     #[test]
     fn committee_decrypts_correctly() {

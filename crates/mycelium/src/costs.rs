@@ -111,7 +111,7 @@ impl AggregatorCores {
 /// Computes Figure 9(b) for `n` participants.
 ///
 /// `add_seconds` is the measured time of one ciphertext addition (from the
-/// Criterion benchmarks at paper-scale parameters).
+/// component benchmarks at paper-scale parameters).
 pub fn aggregator_cores(
     params: &SystemParams,
     n: u64,

@@ -27,6 +27,8 @@ use mycelium_crypto::sha256::{Digest, Sha256};
 use mycelium_dp::PrivacyBudget;
 use mycelium_graph::generate::Population;
 use mycelium_graph::graph::VertexId;
+use mycelium_math::par;
+use mycelium_math::rng::{Rng, SeedableRng, StdRng};
 use mycelium_math::zq::Modulus;
 use mycelium_query::analyze::{Analysis, ClauseSite, GroupKind, Schema};
 use mycelium_query::ast::Query;
@@ -36,7 +38,6 @@ use mycelium_query::eval::{
 };
 use mycelium_zkp::wellformed::{well_formed_circuit, well_formed_witness, WellFormedCircuit};
 use mycelium_zkp::{argument, Proof};
-use rand::Rng;
 
 use crate::committee::{run_committee, CommitteeError};
 use crate::decode::decode_aggregate;
@@ -128,6 +129,15 @@ pub struct ExecStats {
     pub final_level: usize,
     /// Measured noise budget of the aggregate before decryption (bits).
     pub final_budget_bits: f64,
+}
+
+impl ExecStats {
+    /// Folds one origin's counters into the query-wide totals.
+    fn merge(&mut self, other: &ExecStats) {
+        self.neighbor_ciphertexts += other.neighbor_ciphertexts;
+        self.multiplications += other.multiplications;
+        self.proofs_verified += other.proofs_verified;
+    }
 }
 
 /// One group's released (noisy) statistics.
@@ -247,6 +257,7 @@ fn multiply_into(
 /// faster and demonstrates — together with
 /// [`MaliciousBehavior::OversizedContribution`] — exactly the attack the
 /// proofs exist to stop.
+#[allow(clippy::too_many_arguments)]
 pub fn run_query_encrypted<R: Rng + ?Sized>(
     query: &Query,
     pop: &Population,
@@ -286,7 +297,7 @@ pub fn run_query_encrypted<R: Rng + ?Sized>(
     }
     let t_pt = params.bgv.plaintext_modulus;
     let mut stats = ExecStats::default();
-    let mut rejected_devices = Vec::new();
+    let mut rejected_devices: Vec<VertexId> = Vec::new();
     // Well-formedness circuit: one-hot over the whole span.
     let field = Modulus::new_prime(2_147_483_647).expect("prime");
     let circuit: Option<WellFormedCircuit> =
@@ -302,12 +313,25 @@ pub fn run_query_encrypted<R: Rng + ?Sized>(
             .any(|b| matches!(b, MaliciousBehavior::DropOut { device } if *device == w))
     };
 
+    // Every origin draws from its own randomness stream, derived from a
+    // single master seed and its vertex id. Streams are independent of how
+    // origins are scheduled across threads, so the query result is
+    // bit-identical at any `MYC_THREADS` setting.
+    let mut master_seed = [0u8; 32];
+    rng.fill(&mut master_seed);
+    let origin_rng = |v: VertexId| -> StdRng {
+        let mut h = Sha256::new();
+        h.update(&master_seed);
+        h.update(&v.to_le_bytes());
+        StdRng::from_seed(h.finalize())
+    };
+
     // Builds one neighbor ciphertext (+proof) for exponent `exp`.
     let build_contribution = |w: VertexId,
                               exp: usize,
                               stats: &mut ExecStats,
                               rejected: &mut Vec<VertexId>,
-                              rng: &mut R|
+                              rng: &mut StdRng|
      -> Result<Ciphertext, ExecError> {
         if dropped_out(w) {
             // §4.4: dropped devices default to the neutral Enc(x^0).
@@ -338,143 +362,165 @@ pub fn run_query_encrypted<R: Rng + ?Sized>(
     };
 
     let n_pop = pop.graph.len();
-    let mut origin_cts: Vec<Ciphertext> = Vec::with_capacity(n_pop);
-    for v in 0..n_pop as VertexId {
-        let self_v = &pop.vertices[v as usize];
-        let acc_count = if analysis.group_kind == GroupKind::Cross {
-            analysis.groups
-        } else {
-            1
-        };
-        let mut accs: Vec<Option<Ciphertext>> = vec![None; acc_count];
-        for (w, edge) in mycelium_query::eval::khop_rows(pop, v, query.hops) {
-            let row = Row {
-                self_v,
-                dest: &pop.vertices[w as usize],
-                edge,
+    // One origin = one unit of parallel work. The closure returns the
+    // origin's submitted ciphertext plus its private counters; the merge
+    // below folds them back in origin order, so totals and the rejected
+    // list come out exactly as in a serial run.
+    let process_origin =
+        |v: VertexId| -> Result<(Ciphertext, ExecStats, Vec<VertexId>), ExecError> {
+            let mut stats = ExecStats::default();
+            let mut rejected_devices: Vec<VertexId> = Vec::new();
+            let rng = &mut origin_rng(v);
+            let self_v = &pop.vertices[v as usize];
+            let acc_count = if analysis.group_kind == GroupKind::Cross {
+                analysis.groups
+            } else {
+                1
             };
-            let exponents = neighbor_exponents(&row, query, &analysis, schema);
-            match analysis.sequence_column.as_ref() {
-                None => {
-                    let (_, exp) = exponents[0];
-                    let ct = build_contribution(w, exp, &mut stats, &mut rejected_devices, rng)?;
-                    multiply_into(&mut accs[0], ct, keys, &mut stats)?;
-                }
-                Some(col) => {
-                    // §4.5: the origin selects the subsequence of positions
-                    // where its cross clauses hold (routing each position to
-                    // its group for cross grouping), ADDS the selected
-                    // ciphertexts, subtracts Enc(ℓ−1), and multiplies the
-                    // single combined ciphertext into the accumulator. The
-                    // non-matching positions carry Enc(x^0) = Enc(1), so the
-                    // combination is exactly Enc(x^e) (or Enc(1) when the
-                    // neighbor's value lies outside the subsequence).
-                    let mut selected: Vec<Vec<Ciphertext>> = vec![Vec::new(); acc_count];
-                    for (pos, exp) in exponents {
-                        let cross_ok = query
-                            .predicate
-                            .clauses
-                            .iter()
-                            .zip(&analysis.clause_sites)
-                            .filter(|(_, site)| **site == ClauseSite::Cross)
-                            .all(|(clause, _)| {
-                                clause_holds_at_position(clause, self_v, edge, col, pos, schema)
-                            });
-                        if !cross_ok {
-                            continue;
-                        }
-                        let g = if analysis.group_kind == GroupKind::Cross {
-                            cross_group_index(
-                                query.group_by.as_ref().expect("cross grouping"),
-                                self_v,
-                                col,
-                                pos,
-                                schema,
-                            )
-                        } else {
-                            0
-                        };
-                        let ct =
-                            build_contribution(w, exp, &mut stats, &mut rejected_devices, rng)?;
-                        selected[g].push(ct);
-                    }
-                    for (g, cts) in selected.into_iter().enumerate() {
-                        if cts.is_empty() {
-                            continue;
-                        }
-                        let ell = cts.len() as u64;
-                        let mut sum: Option<Ciphertext> = None;
-                        for ct in cts {
-                            sum = Some(match sum {
-                                None => ct,
-                                Some(s) => s.add(&ct)?,
-                            });
-                        }
-                        let combined = sum.expect("nonempty subsequence").sub_plain(
-                            &mycelium_bgv::encoding::encode_constant(ell - 1, n_ring, t_pt)?,
-                        )?;
-                        multiply_into(&mut accs[g], combined, keys, &mut stats)?;
-                    }
-                }
-            }
-        }
-        // Final processing (§4.4): self clauses and group shift.
-        let self_ok = query
-            .predicate
-            .clauses
-            .iter()
-            .zip(&analysis.clause_sites)
-            .filter(|(_, site)| **site == ClauseSite::SelfOnly)
-            .all(|(clause, _)| {
-                let dummy_edge = mycelium_graph::data::EdgeData::household_contact(0);
+            let mut accs: Vec<Option<Ciphertext>> = vec![None; acc_count];
+            for (w, edge) in mycelium_query::eval::khop_rows(pop, v, query.hops) {
                 let row = Row {
                     self_v,
-                    dest: self_v,
-                    edge: &dummy_edge,
+                    dest: &pop.vertices[w as usize],
+                    edge,
                 };
-                clause.iter().any(|a| eval_atom(a, &row, schema))
-            });
-        let out = if !self_ok {
-            Ciphertext::encrypt(&keys.public, &Plaintext::zero(n_ring, t_pt), rng)?
-        } else {
-            // Materialize empty accumulators as Enc(x^0).
-            let mut cts: Vec<Ciphertext> = Vec::with_capacity(acc_count);
-            for acc in accs.into_iter() {
-                let ct = match acc {
-                    Some(c) => c,
+                let exponents = neighbor_exponents(&row, query, &analysis, schema);
+                match analysis.sequence_column.as_ref() {
                     None => {
-                        let pt = encode_monomial(0, n_ring, t_pt)?;
-                        Ciphertext::encrypt(&keys.public, &pt, rng)?
+                        let (_, exp) = exponents[0];
+                        let ct =
+                            build_contribution(w, exp, &mut stats, &mut rejected_devices, rng)?;
+                        multiply_into(&mut accs[0], ct, keys, &mut stats)?;
                     }
-                };
-                cts.push(ct);
-            }
-            match analysis.group_kind {
-                GroupKind::None | GroupKind::PerEdge => cts.remove(0),
-                GroupKind::SelfSide => {
-                    let g =
-                        self_group_index(query.group_by.as_ref().expect("grouped"), self_v, schema);
-                    cts.remove(0).mul_monomial(g * analysis.group_window)
-                }
-                GroupKind::Cross => {
-                    // Shift each group accumulator into its additive window
-                    // and sum.
-                    let min_level = cts.iter().map(|c| c.level()).min().expect("nonempty");
-                    let mut sum: Option<Ciphertext> = None;
-                    for (g, ct) in cts.into_iter().enumerate() {
-                        let shifted = ct
-                            .mod_switch_to(min_level)?
-                            .mul_monomial(g * analysis.group_window);
-                        sum = Some(match sum {
-                            None => shifted,
-                            Some(s) => s.add(&shifted)?,
-                        });
+                    Some(col) => {
+                        // §4.5: the origin selects the subsequence of positions
+                        // where its cross clauses hold (routing each position to
+                        // its group for cross grouping), ADDS the selected
+                        // ciphertexts, subtracts Enc(ℓ−1), and multiplies the
+                        // single combined ciphertext into the accumulator. The
+                        // non-matching positions carry Enc(x^0) = Enc(1), so the
+                        // combination is exactly Enc(x^e) (or Enc(1) when the
+                        // neighbor's value lies outside the subsequence).
+                        let mut selected: Vec<Vec<Ciphertext>> = vec![Vec::new(); acc_count];
+                        for (pos, exp) in exponents {
+                            let cross_ok = query
+                                .predicate
+                                .clauses
+                                .iter()
+                                .zip(&analysis.clause_sites)
+                                .filter(|(_, site)| **site == ClauseSite::Cross)
+                                .all(|(clause, _)| {
+                                    clause_holds_at_position(clause, self_v, edge, col, pos, schema)
+                                });
+                            if !cross_ok {
+                                continue;
+                            }
+                            let g = if analysis.group_kind == GroupKind::Cross {
+                                cross_group_index(
+                                    query.group_by.as_ref().expect("cross grouping"),
+                                    self_v,
+                                    col,
+                                    pos,
+                                    schema,
+                                )
+                            } else {
+                                0
+                            };
+                            let ct =
+                                build_contribution(w, exp, &mut stats, &mut rejected_devices, rng)?;
+                            selected[g].push(ct);
+                        }
+                        for (g, cts) in selected.into_iter().enumerate() {
+                            if cts.is_empty() {
+                                continue;
+                            }
+                            let ell = cts.len() as u64;
+                            let mut sum: Option<Ciphertext> = None;
+                            for ct in cts {
+                                sum = Some(match sum {
+                                    None => ct,
+                                    Some(s) => s.add(&ct)?,
+                                });
+                            }
+                            let combined = sum.expect("nonempty subsequence").sub_plain(
+                                &mycelium_bgv::encoding::encode_constant(ell - 1, n_ring, t_pt)?,
+                            )?;
+                            multiply_into(&mut accs[g], combined, keys, &mut stats)?;
+                        }
                     }
-                    sum.expect("at least one group")
                 }
             }
+            // Final processing (§4.4): self clauses and group shift.
+            let self_ok = query
+                .predicate
+                .clauses
+                .iter()
+                .zip(&analysis.clause_sites)
+                .filter(|(_, site)| **site == ClauseSite::SelfOnly)
+                .all(|(clause, _)| {
+                    let dummy_edge = mycelium_graph::data::EdgeData::household_contact(0);
+                    let row = Row {
+                        self_v,
+                        dest: self_v,
+                        edge: &dummy_edge,
+                    };
+                    clause.iter().any(|a| eval_atom(a, &row, schema))
+                });
+            let out = if !self_ok {
+                Ciphertext::encrypt(&keys.public, &Plaintext::zero(n_ring, t_pt), rng)?
+            } else {
+                // Materialize empty accumulators as Enc(x^0).
+                let mut cts: Vec<Ciphertext> = Vec::with_capacity(acc_count);
+                for acc in accs.into_iter() {
+                    let ct = match acc {
+                        Some(c) => c,
+                        None => {
+                            let pt = encode_monomial(0, n_ring, t_pt)?;
+                            Ciphertext::encrypt(&keys.public, &pt, rng)?
+                        }
+                    };
+                    cts.push(ct);
+                }
+                match analysis.group_kind {
+                    GroupKind::None | GroupKind::PerEdge => cts.remove(0),
+                    GroupKind::SelfSide => {
+                        let g = self_group_index(
+                            query.group_by.as_ref().expect("grouped"),
+                            self_v,
+                            schema,
+                        );
+                        cts.remove(0).mul_monomial(g * analysis.group_window)
+                    }
+                    GroupKind::Cross => {
+                        // Shift each group accumulator into its additive window
+                        // and sum.
+                        let min_level = cts.iter().map(|c| c.level()).min().expect("nonempty");
+                        let mut sum: Option<Ciphertext> = None;
+                        for (g, ct) in cts.into_iter().enumerate() {
+                            let shifted = ct
+                                .mod_switch_to(min_level)?
+                                .mul_monomial(g * analysis.group_window);
+                            sum = Some(match sum {
+                                None => shifted,
+                                Some(s) => s.add(&shifted)?,
+                            });
+                        }
+                        sum.expect("at least one group")
+                    }
+                }
+            };
+            Ok((out, stats, rejected_devices))
         };
-        origin_cts.push(out);
+    let mut origin_cts: Vec<Ciphertext> = Vec::with_capacity(n_pop);
+    for result in par::map_indices(n_pop, |v| process_origin(v as VertexId)) {
+        let (ct, origin_stats, origin_rejected) = result?;
+        stats.merge(&origin_stats);
+        for w in origin_rejected {
+            if !rejected_devices.contains(&w) {
+                rejected_devices.push(w);
+            }
+        }
+        origin_cts.push(ct);
     }
     // Global aggregation (§4.2): align levels, build the verifiable
     // summation tree, and publish its root commitment; simulated devices
@@ -484,10 +530,10 @@ pub fn run_query_encrypted<R: Rng + ?Sized>(
         .map(|c| c.level())
         .min()
         .expect("nonempty population");
-    let aligned: Vec<Ciphertext> = origin_cts
+    let aligned: Vec<Ciphertext> = par::map(&origin_cts, |_, ct| ct.mod_switch_to(min_level))
         .into_iter()
-        .map(|ct| ct.mod_switch_to(min_level))
         .collect::<Result<_, _>>()?;
+    drop(origin_cts);
     let audit_copies: Vec<Ciphertext> = aligned.iter().take(3).cloned().collect();
     let tree = crate::summation::SummationTree::build(aligned)?;
     let root_commitment = tree.root().commitment;

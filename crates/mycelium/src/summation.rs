@@ -14,6 +14,7 @@
 
 use mycelium_bgv::{BgvError, Ciphertext};
 use mycelium_crypto::sha256::{sha256_concat, Digest};
+use mycelium_math::par;
 
 use crate::exec::ciphertext_digest;
 
@@ -88,30 +89,45 @@ impl SummationTree {
     pub fn build(leaves: Vec<Ciphertext>) -> Result<Self, BgvError> {
         assert!(!leaves.is_empty(), "summation tree needs at least one leaf");
         let leaf_count = leaves.len();
+        let leaf_commitments = par::map(&leaves, |_, ct| leaf_commitment(ct));
         let mut nodes: Vec<SummationNode> = leaves
             .into_iter()
-            .map(|ct| SummationNode {
-                commitment: leaf_commitment(&ct),
+            .zip(leaf_commitments)
+            .map(|(ct, commitment)| SummationNode {
+                commitment,
                 sum: ct,
                 children: None,
             })
             .collect();
         let mut level: Vec<usize> = (0..nodes.len()).collect();
+        // The sums within one tree level are independent: compute each
+        // level as one parallel batch, then append in order so node
+        // indices (and therefore commitments) match the serial layout.
         while level.len() > 1 {
+            let pairs: Vec<(usize, usize)> = level
+                .chunks(2)
+                .filter(|p| p.len() == 2)
+                .map(|p| (p[0], p[1]))
+                .collect();
+            let computed = par::map(&pairs, |_, &(l, r)| {
+                nodes[l].sum.add(&nodes[r].sum).map(|sum| {
+                    let commitment =
+                        node_commitment(&sum, &nodes[l].commitment, &nodes[r].commitment);
+                    (sum, commitment)
+                })
+            });
             let mut next = Vec::with_capacity(level.len().div_ceil(2));
+            let mut computed = computed.into_iter();
             for pair in level.chunks(2) {
                 if pair.len() == 1 {
                     next.push(pair[0]);
                     continue;
                 }
-                let (l, r) = (pair[0], pair[1]);
-                let sum = nodes[l].sum.add(&nodes[r].sum)?;
-                let commitment =
-                    node_commitment(&sum, &nodes[l].commitment, &nodes[r].commitment);
+                let (sum, commitment) = computed.next().expect("one result per pair")?;
                 nodes.push(SummationNode {
                     sum,
                     commitment,
-                    children: Some((l, r)),
+                    children: Some((pair[0], pair[1])),
                 });
                 next.push(nodes.len() - 1);
             }
@@ -164,7 +180,9 @@ impl SummationTree {
         own_ct: &Ciphertext,
         root_commitment: &Digest,
     ) -> Result<(), SummationError> {
-        let path = self.inclusion_path(leaf).ok_or(SummationError::OutOfRange)?;
+        let path = self
+            .inclusion_path(leaf)
+            .ok_or(SummationError::OutOfRange)?;
         // The leaf must be the device's own ciphertext.
         if self.nodes[leaf].commitment != leaf_commitment(own_ct) {
             return Err(SummationError::BadNode { index: leaf });
@@ -233,8 +251,7 @@ mod tests {
     use super::*;
     use mycelium_bgv::encoding::encode_monomial;
     use mycelium_bgv::{BgvParams, KeySet};
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use mycelium_math::rng::{SeedableRng, StdRng};
 
     fn leaves(n: usize) -> (KeySet, Vec<Ciphertext>, StdRng) {
         let params = BgvParams::test_small();

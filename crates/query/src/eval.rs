@@ -418,8 +418,7 @@ mod tests {
     use crate::analyze::analyze;
     use crate::builtin::{paper_queries, paper_query};
     use mycelium_graph::generate::{epidemic_population, ContactGraphConfig, EpidemicConfig};
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use mycelium_math::rng::{SeedableRng, StdRng};
 
     fn population(n: usize) -> Population {
         let mut rng = StdRng::seed_from_u64(77);

@@ -8,7 +8,7 @@
 //! the extended VSR protocol ([`crate::vsr`]) that moves Mycelium's
 //! decryption key between committees (§4.2).
 
-use rand::Rng;
+use mycelium_math::rng::Rng;
 
 use crate::group::SchnorrGroup;
 use crate::shamir::{eval_poly, Share};
@@ -114,8 +114,7 @@ pub fn deal<R: Rng + ?Sized>(
 mod tests {
     use super::*;
     use crate::shamir::reconstruct;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use mycelium_math::rng::{SeedableRng, StdRng};
 
     fn setup() -> (SchnorrGroup, StdRng) {
         (

@@ -8,9 +8,9 @@
 //! §5), which is what lets committee members compute *decryption shares*
 //! without reconstructing the key (see [`crate::threshold`]).
 
+use mycelium_math::rng::Rng;
 use mycelium_math::rns::{Representation, RnsPoly};
 use mycelium_math::zq::Modulus;
-use rand::Rng;
 
 /// One party's share: the evaluation of the sharing polynomial at `x`.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -199,9 +199,8 @@ pub fn reconstruct_rns(indexed_shares: &[(u64, &RnsPoly)], threshold: usize) -> 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use mycelium_math::rng::{SeedableRng, StdRng};
     use mycelium_math::rns::RnsContext;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
 
     fn field() -> Modulus {
         Modulus::new_prime(2_147_483_647).unwrap() // 2^31 - 1.

@@ -21,8 +21,8 @@
 
 use mycelium_bgv::{Ciphertext, Plaintext, SecretKey};
 use mycelium_crypto::sha256::sha256_concat;
+use mycelium_math::rng::Rng;
 use mycelium_math::rns::{Representation, RnsPoly};
-use rand::Rng;
 
 use crate::shamir::{lagrange_at_zero, share_rns};
 
@@ -239,8 +239,7 @@ mod tests {
     use super::*;
     use mycelium_bgv::encoding::encode_monomial;
     use mycelium_bgv::{BgvParams, KeySet};
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use mycelium_math::rng::{SeedableRng, StdRng};
 
     fn setup() -> (BgvParams, KeySet, StdRng) {
         let params = BgvParams::test_small();

@@ -25,9 +25,9 @@
 //! verification — a standard technique that catches any inconsistent
 //! coefficient with probability `1 - 1/q`).
 
+use mycelium_math::rng::Rng;
 use mycelium_math::rns::{Representation, RnsPoly};
 use mycelium_math::zq::Modulus;
-use rand::Rng;
 
 use crate::feldman::{deal, FeldmanCommitment, FeldmanDealing};
 use crate::group::SchnorrGroup;
@@ -296,8 +296,7 @@ pub fn batch_check(
 mod tests {
     use super::*;
     use crate::shamir::{reconstruct, share_rns};
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use mycelium_math::rng::{SeedableRng, StdRng};
 
     fn setup() -> (SchnorrGroup, StdRng) {
         (

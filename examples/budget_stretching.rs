@@ -15,8 +15,7 @@ use mycelium_dp::composition::{advanced_composition, queries_supported, SparseVe
 use mycelium_dp::PrivacyBudget;
 use mycelium_graph::generate::{epidemic_population, ContactGraphConfig, EpidemicConfig};
 use mycelium_graph::pregel::q1_plaintext_histogram;
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use mycelium_math::rng::{SeedableRng, StdRng};
 
 fn main() {
     println!("=== Advanced composition: ε' for k queries at ε = 0.1, δ = 1e-6 ===\n");

@@ -17,11 +17,10 @@ use mycelium::run_query_encrypted;
 use mycelium_bgv::KeySet;
 use mycelium_dp::PrivacyBudget;
 use mycelium_graph::generate::{epidemic_population, ContactGraphConfig, EpidemicConfig};
+use mycelium_math::rng::{SeedableRng, StdRng};
 use mycelium_query::analyze::analyze;
 use mycelium_query::builtin::paper_query;
 use mycelium_query::eval::evaluate;
-use rand::rngs::StdRng;
-use rand::SeedableRng;
 
 fn main() {
     let mut rng = StdRng::seed_from_u64(7);

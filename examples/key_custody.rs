@@ -12,14 +12,13 @@
 
 use mycelium_bgv::encoding::encode_monomial;
 use mycelium_bgv::{BgvParams, Ciphertext, KeySet};
+use mycelium_math::rng::{SeedableRng, StdRng};
 use mycelium_math::rns::RnsPoly;
 use mycelium_sharing::feldman::deal;
 use mycelium_sharing::group::SchnorrGroup;
 use mycelium_sharing::shamir::{share_rns, Share};
 use mycelium_sharing::threshold::{combine, decryption_share, KeyShareSet};
 use mycelium_sharing::vsr::{batch_check, redistribute, redistribute_rns, sub_deal, VsrError};
-use rand::rngs::StdRng;
-use rand::SeedableRng;
 
 fn main() {
     let mut rng = StdRng::seed_from_u64(404);

@@ -9,11 +9,10 @@
 //! (including through failures, with dummy cover traffic), and prints the
 //! anonymity numbers of §6.3.
 
+use mycelium_math::rng::{SeedableRng, StdRng};
 use mycelium_mixnet::analysis::{anonymity_set_size, AnalysisParams};
 use mycelium_mixnet::circuit::{MixnetConfig, Network};
 use mycelium_mixnet::forward::OutgoingMessage;
-use rand::rngs::StdRng;
-use rand::SeedableRng;
 
 fn main() {
     let mut rng = StdRng::seed_from_u64(31337);

@@ -16,11 +16,10 @@ use mycelium::run_query_encrypted;
 use mycelium_bgv::KeySet;
 use mycelium_dp::PrivacyBudget;
 use mycelium_graph::generate::{epidemic_population, ContactGraphConfig, EpidemicConfig};
+use mycelium_math::rng::{SeedableRng, StdRng};
 use mycelium_query::analyze::analyze;
 use mycelium_query::eval::evaluate;
 use mycelium_query::parser::parse;
-use rand::rngs::StdRng;
-use rand::SeedableRng;
 
 fn main() {
     let mut rng = StdRng::seed_from_u64(2026);

@@ -1,15 +1,31 @@
 //! Reproducibility: every layer of the stack is deterministic under a
 //! seeded RNG — a property the whole test suite's oracle comparisons and
-//! any auditor re-running an experiment depend on.
+//! any auditor re-running an experiment depend on. The same must hold
+//! across thread counts: `MYC_THREADS=1` and `MYC_THREADS=8` produce
+//! bit-identical ciphertexts and results, because every parallel unit of
+//! work owns a randomness stream derived from (seed, identity), never
+//! from scheduling order.
 
 use mycelium::params::SystemParams;
 use mycelium::run_query_encrypted;
-use mycelium_bgv::KeySet;
+use mycelium_bgv::encoding::encode_monomial;
+use mycelium_bgv::{BgvParams, Ciphertext, KeySet};
 use mycelium_dp::PrivacyBudget;
 use mycelium_graph::generate::{epidemic_population, ContactGraphConfig, EpidemicConfig};
+use mycelium_math::rng::{SeedableRng, StdRng};
 use mycelium_query::builtin::paper_query;
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+
+/// Runs `f` with `MYC_THREADS` pinned to `n`.
+///
+/// The env var is process-global, so a concurrently running test may
+/// observe the override — harmless precisely because of the property this
+/// file asserts: results do not depend on the thread count.
+fn with_threads<T>(n: usize, f: impl FnOnce() -> T) -> T {
+    std::env::set_var("MYC_THREADS", n.to_string());
+    let out = f();
+    std::env::remove_var("MYC_THREADS");
+    out
+}
 
 fn run_once(seed: u64) -> (Vec<u64>, Vec<i64>) {
     let params = SystemParams::simulation();
@@ -57,6 +73,49 @@ fn whole_pipeline_is_seed_deterministic() {
         noisy_a, noisy_b,
         "even the DP noise reproduces under a seed"
     );
+}
+
+#[test]
+fn bgv_ops_bit_identical_across_thread_counts() {
+    let run = || {
+        let params = BgvParams::test_small();
+        let mut rng = StdRng::seed_from_u64(0xD15C);
+        let keys = KeySet::generate(&params, &mut rng);
+        let t = params.plaintext_modulus;
+        let a = Ciphertext::encrypt(
+            &keys.public,
+            &encode_monomial(3, params.n, t).unwrap(),
+            &mut rng,
+        )
+        .unwrap();
+        let b = Ciphertext::encrypt(
+            &keys.public,
+            &encode_monomial(5, params.n, t).unwrap(),
+            &mut rng,
+        )
+        .unwrap();
+        let prod = a
+            .mul(&b)
+            .unwrap()
+            .relinearize(&keys.relin)
+            .unwrap()
+            .mod_switch_down()
+            .unwrap();
+        (a, b, prod)
+    };
+    let (a1, b1, p1) = with_threads(1, run);
+    let (a8, b8, p8) = with_threads(8, run);
+    assert_eq!(a1.parts(), a8.parts(), "fresh ciphertexts");
+    assert_eq!(b1.parts(), b8.parts(), "fresh ciphertexts");
+    assert_eq!(p1.parts(), p8.parts(), "mul → relin → mod-switch chain");
+}
+
+#[test]
+fn encrypted_query_bit_identical_across_thread_counts() {
+    let serial = with_threads(1, || run_once(777));
+    let parallel = with_threads(8, || run_once(777));
+    assert_eq!(serial.0, parallel.0, "exact histograms");
+    assert_eq!(serial.1, parallel.1, "released (noised) histograms");
 }
 
 #[test]

@@ -14,11 +14,10 @@ use mycelium_dp::PrivacyBudget;
 use mycelium_graph::generate::{
     epidemic_population, ContactGraphConfig, EpidemicConfig, Population,
 };
+use mycelium_math::rng::{SeedableRng, StdRng};
 use mycelium_query::analyze::analyze;
 use mycelium_query::builtin::paper_query;
 use mycelium_query::eval::evaluate;
-use rand::rngs::StdRng;
-use rand::SeedableRng;
 
 fn simulation_population(n: usize, seed: u64) -> Population {
     let mut rng = StdRng::seed_from_u64(seed);

@@ -7,11 +7,10 @@
 
 use mycelium_bgv::encoding::encode_monomial;
 use mycelium_bgv::{BgvParams, Ciphertext, KeySet};
+use mycelium_math::rng::{SeedableRng, StdRng};
 use mycelium_math::rns::{Representation, RnsPoly};
 use mycelium_mixnet::circuit::{MixnetConfig, Network};
 use mycelium_mixnet::forward::OutgoingMessage;
-use rand::rngs::StdRng;
-use rand::SeedableRng;
 
 /// Serializes a ciphertext's residues (level + parts + ring layout).
 fn serialize(ct: &Ciphertext) -> Vec<u8> {

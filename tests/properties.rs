@@ -1,124 +1,172 @@
-//! Property-based tests (proptest) on the core invariants.
+//! Property-based tests on the core invariants.
+//!
+//! Formerly backed by `proptest`; now a dependency-free harness that draws
+//! many random cases from the in-tree seeded [`StdRng`]. Each failure
+//! message includes the case seed, so a counterexample reproduces exactly.
 
 use mycelium_bgv::encoding::encode_monomial;
 use mycelium_bgv::{BgvParams, Ciphertext, KeySet, Plaintext};
 use mycelium_crypto::merkle::MerkleTree;
 use mycelium_crypto::{aead, sha256::sha256};
 use mycelium_math::ntt::{negacyclic_mul_naive, NttTable};
+use mycelium_math::rng::{Rng, SeedableRng, StdRng};
 use mycelium_math::rns::RnsContext;
 use mycelium_math::zq::{ntt_primes, Modulus};
 use mycelium_sharing::shamir::{reconstruct, share};
-use proptest::prelude::*;
-use rand::rngs::StdRng;
-use rand::SeedableRng;
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(32))]
-
-    #[test]
-    fn ntt_multiply_matches_schoolbook(seed in any::<u64>()) {
-        let n = 64usize;
-        let q = Modulus::new_prime(ntt_primes(30, n, 1)[0]).unwrap();
-        let table = NttTable::new(q, n).unwrap();
+/// Runs `f` on `cases` independent seeded RNGs derived from a fixed master
+/// seed. `f` panics (with the case seed in scope) on a violated property.
+fn for_cases(cases: u64, f: impl Fn(u64, &mut StdRng)) {
+    for case in 0..cases {
+        let seed = 0x9E37_79B9 ^ (case.wrapping_mul(0x517C_C1B7_2722_0A95));
         let mut rng = StdRng::seed_from_u64(seed);
-        use rand::Rng;
+        f(seed, &mut rng);
+    }
+}
+
+#[test]
+fn ntt_multiply_matches_schoolbook() {
+    let n = 64usize;
+    let q = Modulus::new_prime(ntt_primes(30, n, 1)[0]).unwrap();
+    let table = NttTable::new(q, n).unwrap();
+    for_cases(32, |seed, rng| {
         let a: Vec<u64> = (0..n).map(|_| rng.gen_range(0..q.value())).collect();
         let b: Vec<u64> = (0..n).map(|_| rng.gen_range(0..q.value())).collect();
-        prop_assert_eq!(table.multiply(&a, &b), negacyclic_mul_naive(&q, &a, &b));
-    }
+        assert_eq!(
+            table.multiply(&a, &b),
+            negacyclic_mul_naive(&q, &a, &b),
+            "seed {seed}"
+        );
+    });
+}
 
-    #[test]
-    fn crt_roundtrip_preserves_signed_coefficients(seed in any::<u64>(), t_exp in 4u32..20) {
-        let ctx = RnsContext::with_primes(16, 30, 3).unwrap();
-        let t = 1u64 << t_exp;
-        let mut rng = StdRng::seed_from_u64(seed);
-        use rand::Rng;
-        let coeffs: Vec<i64> = (0..16).map(|_| rng.gen_range(-(t as i64)/2..(t as i64)/2)).collect();
-        let p = mycelium_math::rns::RnsPoly::from_signed(ctx, 3, &coeffs);
+#[test]
+fn crt_roundtrip_preserves_signed_coefficients() {
+    let ctx = RnsContext::with_primes(16, 30, 3).unwrap();
+    for_cases(32, |seed, rng| {
+        let t = 1u64 << rng.gen_range(4u32..20);
+        let coeffs: Vec<i64> = (0..16)
+            .map(|_| rng.gen_range(-(t as i64) / 2..(t as i64) / 2))
+            .collect();
+        let p = mycelium_math::rns::RnsPoly::from_signed(ctx.clone(), 3, &coeffs);
         let back = p.crt_centered_mod(t);
         for (c, b) in coeffs.iter().zip(back) {
-            prop_assert_eq!(c.rem_euclid(t as i64) as u64, b);
+            assert_eq!(c.rem_euclid(t as i64) as u64, b, "seed {seed}");
         }
-    }
+    });
+}
 
-    #[test]
-    fn shamir_any_quorum_reconstructs(secret in any::<u64>(), t in 1usize..4, extra in 0usize..3) {
-        let q = Modulus::new_prime(2_147_483_647).unwrap();
+#[test]
+fn shamir_any_quorum_reconstructs() {
+    let q = Modulus::new_prime(2_147_483_647).unwrap();
+    for_cases(32, |seed, rng| {
+        let secret = rng.gen::<u64>();
+        let t = rng.gen_range(1usize..4);
+        let extra = rng.gen_range(0usize..3);
         let n = t + 1 + extra + 2;
-        let mut rng = StdRng::seed_from_u64(secret ^ 0x5EED);
-        let shares = share(secret, t, n, q, &mut rng);
+        let shares = share(secret, t, n, q, rng);
         let quorum = &shares[extra..extra + t + 1];
-        prop_assert_eq!(reconstruct(quorum, q), Some(q.reduce(secret)));
-    }
+        assert_eq!(
+            reconstruct(quorum, q),
+            Some(q.reduce(secret)),
+            "seed {seed}"
+        );
+    });
+}
 
-    #[test]
-    fn merkle_inclusion_sound(count in 1usize..40, idx_seed in any::<u64>()) {
+#[test]
+fn merkle_inclusion_sound() {
+    for_cases(32, |seed, rng| {
+        let count = rng.gen_range(1usize..40);
         let leaves: Vec<Vec<u8>> = (0..count).map(|i| format!("L{i}").into_bytes()).collect();
         let tree = MerkleTree::build(&leaves);
-        let idx = (idx_seed % count as u64) as usize;
+        let idx = rng.gen_range(0..count);
         let proof = tree.prove(idx).unwrap();
-        prop_assert!(proof.verify(&tree.root(), idx, &leaves[idx]));
+        assert!(proof.verify(&tree.root(), idx, &leaves[idx]), "seed {seed}");
         // Wrong leaf data never verifies.
-        prop_assert!(!proof.verify(&tree.root(), idx, b"not-a-leaf"));
-    }
+        assert!(
+            !proof.verify(&tree.root(), idx, b"not-a-leaf"),
+            "seed {seed}"
+        );
+    });
+}
 
-    #[test]
-    fn aead_roundtrip_and_tamper(key_seed in any::<u64>(), round in any::<u64>(), msg in proptest::collection::vec(any::<u8>(), 0..200)) {
-        let key = sha256(&key_seed.to_le_bytes());
+#[test]
+fn aead_roundtrip_and_tamper() {
+    for_cases(32, |seed, rng| {
+        let key = sha256(&rng.gen::<u64>().to_le_bytes());
+        let round = rng.gen::<u64>();
+        let mut msg = vec![0u8; rng.gen_range(0usize..200)];
+        rng.fill(&mut msg);
         let sealed = aead::seal(&key, round, &msg);
-        prop_assert_eq!(aead::open(&key, round, &sealed).unwrap(), msg);
+        assert_eq!(
+            aead::open(&key, round, &sealed).unwrap(),
+            msg,
+            "seed {seed}"
+        );
         if !sealed.is_empty() {
             let mut bad = sealed.clone();
             bad[0] ^= 1;
-            prop_assert!(aead::open(&key, round, &bad).is_err());
+            assert!(aead::open(&key, round, &bad).is_err(), "seed {seed}");
         }
-    }
+    });
+}
 
-    #[test]
-    fn parser_never_panics(input in "[ -~]{0,80}") {
-        // Arbitrary printable garbage must produce Ok or Err, never a panic.
+#[test]
+fn parser_never_panics() {
+    // Arbitrary printable garbage must produce Ok or Err, never a panic.
+    for_cases(64, |_seed, rng| {
+        let len = rng.gen_range(0usize..80);
+        let input: String = (0..len)
+            .map(|_| rng.gen_range(b' '..=b'~') as char)
+            .collect();
         let _ = mycelium_query::parser::parse("fuzz", &input);
-    }
+    });
 }
 
 // BGV properties are expensive; run them with a handful of cases and a
 // shared key set.
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(8))]
 
-    #[test]
-    fn bgv_homomorphism(a in 0usize..500, b in 0usize..500) {
-        let params = BgvParams::test_small();
-        let mut rng = StdRng::seed_from_u64(0xB64);
-        let keys = KeySet::generate_with_relin_levels(&params, &[params.levels], &mut rng);
-        let t = params.plaintext_modulus;
-        let ca = Ciphertext::encrypt(&keys.public, &encode_monomial(a, params.n, t).unwrap(), &mut rng).unwrap();
-        let cb = Ciphertext::encrypt(&keys.public, &encode_monomial(b, params.n, t).unwrap(), &mut rng).unwrap();
+#[test]
+fn bgv_homomorphism() {
+    let params = BgvParams::test_small();
+    let mut key_rng = StdRng::seed_from_u64(0xB64);
+    let keys = KeySet::generate_with_relin_levels(&params, &[params.levels], &mut key_rng);
+    let t = params.plaintext_modulus;
+    for_cases(8, |seed, rng| {
+        let a = rng.gen_range(0usize..500);
+        let b = rng.gen_range(0usize..500);
+        let ca = Ciphertext::encrypt(&keys.public, &encode_monomial(a, params.n, t).unwrap(), rng)
+            .unwrap();
+        let cb = Ciphertext::encrypt(&keys.public, &encode_monomial(b, params.n, t).unwrap(), rng)
+            .unwrap();
         // Multiplication adds exponents.
         let prod = ca.mul(&cb).unwrap().relinearize(&keys.relin).unwrap();
         let pt = prod.decrypt(&keys.secret);
-        prop_assert_eq!(pt.coeffs()[a + b], 1);
-        prop_assert_eq!(pt.coeffs().iter().sum::<u64>(), 1);
+        assert_eq!(pt.coeffs()[a + b], 1, "seed {seed}");
+        assert_eq!(pt.coeffs().iter().sum::<u64>(), 1, "seed {seed}");
         // Addition accumulates histogram bins.
         let sum = ca.add(&cb).unwrap().decrypt(&keys.secret);
         if a == b {
-            prop_assert_eq!(sum.coeffs()[a], 2);
+            assert_eq!(sum.coeffs()[a], 2, "seed {seed}");
         } else {
-            prop_assert_eq!(sum.coeffs()[a], 1);
-            prop_assert_eq!(sum.coeffs()[b], 1);
+            assert_eq!(sum.coeffs()[a], 1, "seed {seed}");
+            assert_eq!(sum.coeffs()[b], 1, "seed {seed}");
         }
-    }
+    });
+}
 
-    #[test]
-    fn bgv_random_plaintext_roundtrip(seed in any::<u64>()) {
-        let params = BgvParams::test_small();
-        let mut rng = StdRng::seed_from_u64(seed);
-        let keys = KeySet::generate_with_relin_levels(&params, &[], &mut rng);
-        use rand::Rng;
-        let coeffs: Vec<u64> = (0..params.n).map(|_| rng.gen_range(0..params.plaintext_modulus)).collect();
+#[test]
+fn bgv_random_plaintext_roundtrip() {
+    let params = BgvParams::test_small();
+    for_cases(8, |seed, rng| {
+        let keys = KeySet::generate_with_relin_levels(&params, &[], rng);
+        let coeffs: Vec<u64> = (0..params.n)
+            .map(|_| rng.gen_range(0..params.plaintext_modulus))
+            .collect();
         let pt = Plaintext::new(coeffs.clone(), params.plaintext_modulus).unwrap();
-        let ct = Ciphertext::encrypt(&keys.public, &pt, &mut rng).unwrap();
+        let ct = Ciphertext::encrypt(&keys.public, &pt, rng).unwrap();
         let decrypted = ct.decrypt(&keys.secret);
-        prop_assert_eq!(decrypted.coeffs(), coeffs.as_slice());
-    }
+        assert_eq!(decrypted.coeffs(), coeffs.as_slice(), "seed {seed}");
+    });
 }

@@ -6,9 +6,8 @@ use mycelium::{run_query_encrypted, ExecError};
 use mycelium_bgv::KeySet;
 use mycelium_dp::PrivacyBudget;
 use mycelium_graph::generate::{contact_graph, ContactGraphConfig};
+use mycelium_math::rng::{SeedableRng, StdRng};
 use mycelium_query::parser::parse;
-use rand::rngs::StdRng;
-use rand::SeedableRng;
 
 fn tiny_setup() -> (
     SystemParams,
