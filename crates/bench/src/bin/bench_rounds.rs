@@ -1,0 +1,53 @@
+//! Round-convergence benchmark: the simnet-hosted query round and mixnet
+//! phases swept over drop rates {0, 1%, 5%} and crash counts.
+//!
+//! Writes `BENCH_rounds.json` (byte-identical across runs with the same
+//! seed) and exits non-zero if any sweep cell fails to converge — the
+//! property CI gates on.
+//!
+//! Usage: `bench_rounds [--smoke] [--seed N] [--out PATH]`
+
+use std::io::Write;
+
+use mycelium_bench::rounds::{run_rounds, RoundsConfig};
+
+fn main() {
+    let mut cfg = RoundsConfig {
+        seed: 1,
+        smoke: false,
+    };
+    let mut out_path = String::from("BENCH_rounds.json");
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--smoke" => cfg.smoke = true,
+            "--seed" => {
+                cfg.seed = args
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .expect("--seed needs an integer");
+            }
+            "--out" => out_path = args.next().expect("--out needs a path"),
+            other => {
+                eprintln!("unknown argument: {other}");
+                eprintln!("usage: bench_rounds [--smoke] [--seed N] [--out PATH]");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    eprintln!(
+        "bench_rounds: seed {} ({} sweep)",
+        cfg.seed,
+        if cfg.smoke { "smoke" } else { "full" }
+    );
+    let report = run_rounds(&cfg);
+    let mut f = std::fs::File::create(&out_path).expect("create output file");
+    f.write_all(report.json.as_bytes()).expect("write report");
+    eprintln!("wrote {out_path}");
+    print!("{}", report.json);
+    if !report.all_converged {
+        eprintln!("FAIL: at least one sweep cell did not converge");
+        std::process::exit(1);
+    }
+}

@@ -9,6 +9,8 @@
 //! `BENCH_bgv.json` — the numbers the §6 cost models extrapolate from,
 //! exactly as the paper extrapolates from its component benchmarks (§6.1).
 
+pub mod rounds;
+
 /// Formats a byte count as MB with one decimal.
 pub fn mb(bytes: f64) -> String {
     format!("{:.1} MB", bytes / 1e6)

@@ -22,6 +22,9 @@
 //!   C-rounds), with ACKs and bulletin-board complaints.
 //! * [`forward`] — per-round message forwarding (`k + 1` C-rounds each
 //!   way), batch mixing, and dummy substitution for dropped messages.
+//! * [`simtransport`] — circuit setup and onion forwarding re-hosted as
+//!   message-passing actors on the deterministic simnet, recovering
+//!   dropped messages by timeout + bounded-backoff retry.
 //! * [`analysis`] — the Figure 5 curves: anonymity-set size,
 //!   identification probability, goodput under failures, and protocol
 //!   duration, both closed-form and by Monte-Carlo simulation.
@@ -34,6 +37,7 @@ pub mod forward;
 pub mod mailbox;
 pub mod maps;
 pub mod onion;
+pub mod simtransport;
 
 pub use bulletin::BulletinBoard;
 pub use maps::{DeviceRegistration, VerifiableMaps};

@@ -16,32 +16,31 @@
 //! * **The aggregator** aligns levels, sums every origin's ciphertext, and
 //!   relinearizes; the **committee** threshold-decrypts and adds noise.
 //!
+//! The per-role building blocks (contribution building/verification, the
+//! origin combine, the summation tree audit) live in [`crate::plan`] and
+//! are shared with the message-passing execution in [`crate::simround`];
+//! this module wires them into the direct, in-process pipeline.
+//!
 //! The decoded (pre-noise) result is exposed so integration tests can
 //! compare it bit-for-bit against the plaintext oracle
 //! (`mycelium_query::eval::evaluate`).
 
-use mycelium_bgv::encoding::encode_monomial;
-use mycelium_bgv::noise::plan_chain;
-use mycelium_bgv::{BgvError, Ciphertext, KeySet, Plaintext};
-use mycelium_crypto::sha256::{Digest, Sha256};
+use mycelium_bgv::{BgvError, Ciphertext, KeySet};
+use mycelium_crypto::sha256::Sha256;
 use mycelium_dp::PrivacyBudget;
 use mycelium_graph::generate::Population;
 use mycelium_graph::graph::VertexId;
 use mycelium_math::par;
 use mycelium_math::rng::{Rng, SeedableRng, StdRng};
-use mycelium_math::zq::Modulus;
-use mycelium_query::analyze::{Analysis, ClauseSite, GroupKind, Schema};
 use mycelium_query::ast::Query;
-use mycelium_query::crosseval::{clause_holds_at_position, cross_group_index, discretize_dest};
-use mycelium_query::eval::{
-    eval_atom, eval_value, group_index, self_group_index, PlainResult, Row,
-};
-use mycelium_zkp::wellformed::{well_formed_circuit, well_formed_witness, WellFormedCircuit};
-use mycelium_zkp::{argument, Proof};
+use mycelium_query::eval::PlainResult;
 
 use crate::committee::{run_committee, CommitteeError};
 use crate::decode::decode_aggregate;
 use crate::params::SystemParams;
+use crate::plan::{combine_origin, origin_work, QueryPlan};
+
+pub use crate::plan::ciphertext_digest;
 
 /// Byzantine-behaviour injection.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -58,6 +57,22 @@ pub enum MaliciousBehavior {
         /// The vanished device.
         device: VertexId,
     },
+}
+
+impl MaliciousBehavior {
+    /// Whether `device` submits oversized (forged-proof) contributions.
+    pub fn is_cheater(behaviors: &[Self], device: VertexId) -> bool {
+        behaviors
+            .iter()
+            .any(|b| matches!(b, Self::OversizedContribution { device: d } if *d == device))
+    }
+
+    /// Whether `device` drops out of the query.
+    pub fn dropped_out(behaviors: &[Self], device: VertexId) -> bool {
+        behaviors
+            .iter()
+            .any(|b| matches!(b, Self::DropOut { device: d } if *d == device))
+    }
 }
 
 /// Executor errors.
@@ -133,7 +148,7 @@ pub struct ExecStats {
 
 impl ExecStats {
     /// Folds one origin's counters into the query-wide totals.
-    fn merge(&mut self, other: &ExecStats) {
+    pub(crate) fn merge(&mut self, other: &ExecStats) {
         self.neighbor_ciphertexts += other.neighbor_ciphertexts;
         self.multiplications += other.multiplications;
         self.proofs_verified += other.proofs_verified;
@@ -162,92 +177,27 @@ pub struct EncryptedOutcome {
     pub stats: ExecStats,
 }
 
-/// Digest of a ciphertext's full RNS representation (used to bind proofs
-/// and summation-tree commitments to concrete ciphertexts).
-pub fn ciphertext_digest(ct: &Ciphertext) -> Digest {
-    let mut h = Sha256::new();
-    for part in ct.parts() {
-        for res in part.residues() {
-            for &x in res {
-                h.update(&x.to_le_bytes());
-            }
-        }
-    }
-    h.finalize()
-}
-
-/// A neighbor's contribution: exponent per sequence position (or a single
-/// `(0, exponent)` for non-sequence queries). `None` exponent = inactive
-/// (the neutral `x^0`).
-fn neighbor_exponents(
-    row: &Row,
-    query: &Query,
-    analysis: &Analysis,
-    schema: &Schema,
-) -> Vec<(usize, usize)> {
-    // Exact dest/edge clause evaluation.
-    let dest_ok = query
-        .predicate
-        .clauses
+/// Assembles the released (noisy) groups from the exact decode and the
+/// committee's joint noise.
+pub(crate) fn release_noisy(
+    exact: &PlainResult,
+    noise: &[i64],
+    released_len: usize,
+) -> Vec<NoisyGroup> {
+    exact
+        .groups
         .iter()
-        .zip(&analysis.clause_sites)
-        .filter(|(_, site)| **site == ClauseSite::DestEdge)
-        .all(|(clause, _)| clause.iter().any(|a| eval_atom(a, row, schema)));
-    let val = match &query.inner {
-        mycelium_query::ast::Inner::Count => 1u64,
-        mycelium_query::ast::Inner::Sum(e) | mycelium_query::ast::Inner::Ratio(e) => {
-            eval_value(e, row, schema).max(0) as u64
-        }
-    };
-    let base = match analysis.group_kind {
-        GroupKind::PerEdge => {
-            let g = group_index(query.group_by.as_ref().expect("grouped"), row, schema);
-            analysis.group_window.pow(g as u32)
-        }
-        _ => 1,
-    };
-    let unit = if analysis.joint_ratio {
-        analysis.value_radix + val as usize
-    } else {
-        val as usize
-    };
-    match analysis.sequence_column.as_ref() {
-        None => {
-            let exp = if dest_ok { base * unit } else { 0 };
-            vec![(0, exp)]
-        }
-        Some(col) => {
-            let range = schema.column_range(col);
-            let dv = discretize_dest(col, row.dest, schema);
-            (0..range)
-                .map(|p| {
-                    let active = dest_ok && dv == Some(p);
-                    (p, if active { base * unit } else { 0 })
-                })
-                .collect()
-        }
-    }
-}
-
-fn multiply_into(
-    acc: &mut Option<Ciphertext>,
-    fresh: Ciphertext,
-    keys: &KeySet,
-    stats: &mut ExecStats,
-) -> Result<(), ExecError> {
-    match acc.take() {
-        None => *acc = Some(fresh),
-        Some(a) => {
-            let fresh = fresh.mod_switch_to(a.level())?;
-            let mut prod = a.mul(&fresh)?.relinearize(&keys.relin)?;
-            if prod.level() > 1 {
-                prod = prod.mod_switch_down()?;
-            }
-            stats.multiplications += 1;
-            *acc = Some(prod);
-        }
-    }
-    Ok(())
+        .enumerate()
+        .map(|(g, gr)| NoisyGroup {
+            label: gr.label.clone(),
+            histogram: gr
+                .histogram
+                .iter()
+                .enumerate()
+                .map(|(i, &c)| c as i64 + noise[g * released_len + i])
+                .collect(),
+        })
+        .collect()
 }
 
 /// Runs a query end-to-end under encryption.
@@ -268,50 +218,9 @@ pub fn run_query_encrypted<R: Rng + ?Sized>(
     budget: &mut PrivacyBudget,
     rng: &mut R,
 ) -> Result<EncryptedOutcome, ExecError> {
-    let schema = &params.schema;
-    let analysis = mycelium_query::analyze::analyze(query, schema)
-        .map_err(|e| ExecError::Analyze(e.to_string()))?;
-    let n_ring = params.bgv.n;
-    if analysis.total_span > n_ring {
-        return Err(ExecError::SpanTooLarge {
-            span: analysis.total_span,
-            ring: n_ring,
-        });
-    }
-    if query.hops > 1
-        && (analysis.groups > 1 || analysis.joint_ratio || analysis.sequence_column.is_some())
-    {
-        return Err(ExecError::UnsupportedMultiHop);
-    }
-    // §6.2 feasibility: the multiplication chain must fit the noise budget.
-    let plan = plan_chain(
-        &params.bgv,
-        analysis
-            .muls
-            .min(pop.graph.max_degree().pow(query.hops as u32)),
-    );
-    if !plan.feasible {
-        return Err(ExecError::NoiseBudgetExceeded {
-            muls: analysis.muls,
-        });
-    }
-    let t_pt = params.bgv.plaintext_modulus;
+    let plan = QueryPlan::new(query, pop, params, with_proofs)?;
     let mut stats = ExecStats::default();
     let mut rejected_devices: Vec<VertexId> = Vec::new();
-    // Well-formedness circuit: one-hot over the whole span.
-    let field = Modulus::new_prime(2_147_483_647).expect("prime");
-    let circuit: Option<WellFormedCircuit> =
-        with_proofs.then(|| well_formed_circuit(field, analysis.total_span, analysis.total_span));
-    let is_cheater = |w: VertexId| {
-        behaviors.iter().any(
-            |b| matches!(b, MaliciousBehavior::OversizedContribution { device } if *device == w),
-        )
-    };
-    let dropped_out = |w: VertexId| {
-        behaviors
-            .iter()
-            .any(|b| matches!(b, MaliciousBehavior::DropOut { device } if *device == w))
-    };
 
     // Every origin draws from its own randomness stream, derived from a
     // single master seed and its vertex id. Streams are independent of how
@@ -326,190 +235,44 @@ pub fn run_query_encrypted<R: Rng + ?Sized>(
         StdRng::from_seed(h.finalize())
     };
 
-    // Builds one neighbor ciphertext (+proof) for exponent `exp`.
-    let build_contribution = |w: VertexId,
-                              exp: usize,
-                              stats: &mut ExecStats,
-                              rejected: &mut Vec<VertexId>,
-                              rng: &mut StdRng|
-     -> Result<Ciphertext, ExecError> {
-        if dropped_out(w) {
-            // §4.4: dropped devices default to the neutral Enc(x^0).
-            let pt = encode_monomial(0, n_ring, t_pt)?;
-            return Ok(Ciphertext::encrypt(&keys.public, &pt, rng)?);
-        }
-        let cheating = is_cheater(w);
-        let mut coeffs = vec![0u64; n_ring];
-        coeffs[exp] = if cheating { 2 } else { 1 };
-        let pt = Plaintext::new(coeffs.clone(), t_pt)?;
-        let ct = Ciphertext::encrypt(&keys.public, &pt, rng)?;
-        stats.neighbor_ciphertexts += 1;
-        if let Some(c) = &circuit {
-            let witness = well_formed_witness(c, &coeffs[..analysis.total_span]);
-            let statement = ciphertext_digest(&ct);
-            let proof: Proof = argument::prove_unchecked(&c.cs, &witness, &statement, 48);
-            stats.proofs_verified += 1;
-            if !argument::verify(&c.cs, &statement, &proof) {
-                // The aggregator discards this contribution (§4.7).
-                if !rejected.contains(&w) {
-                    rejected.push(w);
-                }
-                let pt = encode_monomial(0, n_ring, t_pt)?;
-                return Ok(Ciphertext::encrypt(&keys.public, &pt, rng)?);
-            }
-        }
-        Ok(ct)
-    };
-
     let n_pop = pop.graph.len();
-    // One origin = one unit of parallel work. The closure returns the
-    // origin's submitted ciphertext plus its private counters; the merge
-    // below folds them back in origin order, so totals and the rejected
-    // list come out exactly as in a serial run.
+    // One origin = one unit of parallel work: compute the origin's work
+    // list, build each requested neighbor contribution (the aggregator
+    // verifying proofs and substituting Enc(x^0) for offenders), then
+    // combine. The merge below folds private counters back in origin
+    // order, so totals and the rejected list come out exactly as in a
+    // serial run.
     let process_origin =
         |v: VertexId| -> Result<(Ciphertext, ExecStats, Vec<VertexId>), ExecError> {
             let mut stats = ExecStats::default();
-            let mut rejected_devices: Vec<VertexId> = Vec::new();
+            let mut rejected: Vec<VertexId> = Vec::new();
             let rng = &mut origin_rng(v);
-            let self_v = &pop.vertices[v as usize];
-            let acc_count = if analysis.group_kind == GroupKind::Cross {
-                analysis.groups
-            } else {
-                1
-            };
-            let mut accs: Vec<Option<Ciphertext>> = vec![None; acc_count];
-            for (w, edge) in mycelium_query::eval::khop_rows(pop, v, query.hops) {
-                let row = Row {
-                    self_v,
-                    dest: &pop.vertices[w as usize],
-                    edge,
-                };
-                let exponents = neighbor_exponents(&row, query, &analysis, schema);
-                match analysis.sequence_column.as_ref() {
-                    None => {
-                        let (_, exp) = exponents[0];
-                        let ct =
-                            build_contribution(w, exp, &mut stats, &mut rejected_devices, rng)?;
-                        multiply_into(&mut accs[0], ct, keys, &mut stats)?;
-                    }
-                    Some(col) => {
-                        // §4.5: the origin selects the subsequence of positions
-                        // where its cross clauses hold (routing each position to
-                        // its group for cross grouping), ADDS the selected
-                        // ciphertexts, subtracts Enc(ℓ−1), and multiplies the
-                        // single combined ciphertext into the accumulator. The
-                        // non-matching positions carry Enc(x^0) = Enc(1), so the
-                        // combination is exactly Enc(x^e) (or Enc(1) when the
-                        // neighbor's value lies outside the subsequence).
-                        let mut selected: Vec<Vec<Ciphertext>> = vec![Vec::new(); acc_count];
-                        for (pos, exp) in exponents {
-                            let cross_ok = query
-                                .predicate
-                                .clauses
-                                .iter()
-                                .zip(&analysis.clause_sites)
-                                .filter(|(_, site)| **site == ClauseSite::Cross)
-                                .all(|(clause, _)| {
-                                    clause_holds_at_position(clause, self_v, edge, col, pos, schema)
-                                });
-                            if !cross_ok {
-                                continue;
-                            }
-                            let g = if analysis.group_kind == GroupKind::Cross {
-                                cross_group_index(
-                                    query.group_by.as_ref().expect("cross grouping"),
-                                    self_v,
-                                    col,
-                                    pos,
-                                    schema,
-                                )
-                            } else {
-                                0
-                            };
-                            let ct =
-                                build_contribution(w, exp, &mut stats, &mut rejected_devices, rng)?;
-                            selected[g].push(ct);
+            let work = origin_work(&plan, query, params, pop, v);
+            let mut cts: Vec<Ciphertext> = Vec::with_capacity(work.requests.len());
+            for &(w, exp) in &work.requests {
+                if MaliciousBehavior::dropped_out(behaviors, w) {
+                    // §4.4: dropped devices default to the neutral Enc(x^0).
+                    cts.push(plan.neutral_ct(keys, rng)?);
+                    continue;
+                }
+                let cheating = MaliciousBehavior::is_cheater(behaviors, w);
+                let sc = plan.build_contribution(keys, w, exp, cheating, rng)?;
+                stats.neighbor_ciphertexts += 1;
+                if plan.circuit.is_some() {
+                    stats.proofs_verified += 1;
+                    if !plan.verify_contribution(&sc) {
+                        // The aggregator discards this contribution (§4.7).
+                        if !rejected.contains(&w) {
+                            rejected.push(w);
                         }
-                        for (g, cts) in selected.into_iter().enumerate() {
-                            if cts.is_empty() {
-                                continue;
-                            }
-                            let ell = cts.len() as u64;
-                            let mut sum: Option<Ciphertext> = None;
-                            for ct in cts {
-                                sum = Some(match sum {
-                                    None => ct,
-                                    Some(s) => s.add(&ct)?,
-                                });
-                            }
-                            let combined = sum.expect("nonempty subsequence").sub_plain(
-                                &mycelium_bgv::encoding::encode_constant(ell - 1, n_ring, t_pt)?,
-                            )?;
-                            multiply_into(&mut accs[g], combined, keys, &mut stats)?;
-                        }
+                        cts.push(plan.neutral_ct(keys, rng)?);
+                        continue;
                     }
                 }
+                cts.push(sc.ct);
             }
-            // Final processing (§4.4): self clauses and group shift.
-            let self_ok = query
-                .predicate
-                .clauses
-                .iter()
-                .zip(&analysis.clause_sites)
-                .filter(|(_, site)| **site == ClauseSite::SelfOnly)
-                .all(|(clause, _)| {
-                    let dummy_edge = mycelium_graph::data::EdgeData::household_contact(0);
-                    let row = Row {
-                        self_v,
-                        dest: self_v,
-                        edge: &dummy_edge,
-                    };
-                    clause.iter().any(|a| eval_atom(a, &row, schema))
-                });
-            let out = if !self_ok {
-                Ciphertext::encrypt(&keys.public, &Plaintext::zero(n_ring, t_pt), rng)?
-            } else {
-                // Materialize empty accumulators as Enc(x^0).
-                let mut cts: Vec<Ciphertext> = Vec::with_capacity(acc_count);
-                for acc in accs.into_iter() {
-                    let ct = match acc {
-                        Some(c) => c,
-                        None => {
-                            let pt = encode_monomial(0, n_ring, t_pt)?;
-                            Ciphertext::encrypt(&keys.public, &pt, rng)?
-                        }
-                    };
-                    cts.push(ct);
-                }
-                match analysis.group_kind {
-                    GroupKind::None | GroupKind::PerEdge => cts.remove(0),
-                    GroupKind::SelfSide => {
-                        let g = self_group_index(
-                            query.group_by.as_ref().expect("grouped"),
-                            self_v,
-                            schema,
-                        );
-                        cts.remove(0).mul_monomial(g * analysis.group_window)
-                    }
-                    GroupKind::Cross => {
-                        // Shift each group accumulator into its additive window
-                        // and sum.
-                        let min_level = cts.iter().map(|c| c.level()).min().expect("nonempty");
-                        let mut sum: Option<Ciphertext> = None;
-                        for (g, ct) in cts.into_iter().enumerate() {
-                            let shifted = ct
-                                .mod_switch_to(min_level)?
-                                .mul_monomial(g * analysis.group_window);
-                            sum = Some(match sum {
-                                None => shifted,
-                                Some(s) => s.add(&shifted)?,
-                            });
-                        }
-                        sum.expect("at least one group")
-                    }
-                }
-            };
-            Ok((out, stats, rejected_devices))
+            let out = combine_origin(&plan, keys, &work, &cts, &mut stats, rng)?;
+            Ok((out, stats, rejected))
         };
     let mut origin_cts: Vec<Ciphertext> = Vec::with_capacity(n_pop);
     for result in par::map_indices(n_pop, |v| process_origin(v as VertexId)) {
@@ -525,62 +288,26 @@ pub fn run_query_encrypted<R: Rng + ?Sized>(
     // Global aggregation (§4.2): align levels, build the verifiable
     // summation tree, and publish its root commitment; simulated devices
     // audit their inclusion paths and spot-check random interior nodes.
-    let min_level = origin_cts
-        .iter()
-        .map(|c| c.level())
-        .min()
-        .expect("nonempty population");
-    let aligned: Vec<Ciphertext> = par::map(&origin_cts, |_, ct| ct.mod_switch_to(min_level))
-        .into_iter()
-        .collect::<Result<_, _>>()?;
-    drop(origin_cts);
-    let audit_copies: Vec<Ciphertext> = aligned.iter().take(3).cloned().collect();
-    let tree = crate::summation::SummationTree::build(aligned)?;
-    let root_commitment = tree.root().commitment;
-    for (i, own) in audit_copies.iter().enumerate() {
-        tree.verify_inclusion(i, own, &root_commitment)
-            .expect("honest aggregator's summation tree verifies");
-    }
-    tree.spot_check_random(0xA0D1, 8)
-        .expect("honest aggregator's partial sums verify");
-    let aggregate = tree.root().sum.clone();
+    let aggregate = crate::plan::aggregate_and_audit(origin_cts)?;
     stats.final_level = aggregate.level();
     stats.final_budget_bits = aggregate.noise_budget_bits();
     // Committee phase.
-    let released_len = if analysis.joint_ratio {
-        analysis.count_radix * analysis.value_radix
-    } else {
-        analysis.value_radix
-    };
     let run = run_committee(
         &aggregate,
         &keys.secret,
         params.devices.max(pop.graph.len() as u64),
         params.committee_size,
         b"query-beacon",
-        analysis.sensitivity,
+        plan.analysis.sensitivity,
         params.epsilon,
         budget,
-        released_len * analysis.groups,
+        plan.released_values(),
         rng,
     )
     .map_err(ExecError::Committee)?;
     stats.rejected = rejected_devices.len();
-    let exact = decode_aggregate(&run.plaintext, query, &analysis);
-    let released = exact
-        .groups
-        .iter()
-        .enumerate()
-        .map(|(g, gr)| NoisyGroup {
-            label: gr.label.clone(),
-            histogram: gr
-                .histogram
-                .iter()
-                .enumerate()
-                .map(|(i, &c)| c as i64 + run.noise[g * released_len + i])
-                .collect(),
-        })
-        .collect();
+    let exact = decode_aggregate(&run.plaintext, query, &plan.analysis);
+    let released = release_noisy(&exact, &run.noise, plan.released_len);
     Ok(EncryptedOutcome {
         exact,
         released,

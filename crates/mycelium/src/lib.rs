@@ -24,14 +24,20 @@
 //! ```
 //!
 //! * [`params`] — the Figure 4 system parameters.
+//! * [`plan`] — query planning and the per-role protocol building blocks
+//!   shared by the direct and simulated execution paths.
 //! * [`exec`] — the encrypted query executor (device, origin, and
 //!   aggregator logic) with Byzantine-behaviour injection.
+//! * [`simround`] — the same round re-hosted as message-passing actors on
+//!   the deterministic simnet, with fault injection and round metrics.
 //! * [`decode`] — decoding the decrypted global plaintext back into
 //!   per-group histograms (the inverse of the window layout).
 //! * [`committee`] — committee orchestration: election, threshold
 //!   decryption, joint noise, release.
 //! * [`costs`] — the §6.4–§6.6 cost models (device bandwidth/compute,
 //!   committee, aggregator) behind Figures 7 and 9.
+//! * [`simcost`] — the Figure-7 messaging pattern executed and metered on
+//!   the simnet, reconciling measurement against the analytic model.
 //! * [`summation`] — the Orchard-style verifiable summation tree the
 //!   aggregator uses to prove each device's data is counted exactly once.
 
@@ -40,7 +46,12 @@ pub mod costs;
 pub mod decode;
 pub mod exec;
 pub mod params;
+pub mod plan;
+pub mod simcost;
+pub mod simround;
 pub mod summation;
 
 pub use exec::{run_query_encrypted, EncryptedOutcome, ExecError, MaliciousBehavior};
 pub use params::SystemParams;
+pub use plan::QueryPlan;
+pub use simround::{run_query_simulated, SimNetConfig, SimRoundError, SimRoundOutcome};

@@ -1,0 +1,145 @@
+//! Fault injection: everything that can go wrong on the simulated wire.
+//!
+//! A [`FaultPlan`] is plain data; combined with the simulation seed it
+//! fully determines which transmissions fail, so a run is reproducible
+//! from `(plan, seed)` alone. The taxonomy mirrors how federated round
+//! protocols are evaluated in the literature:
+//!
+//! * **Message drops** — each transmission is lost i.i.d. with
+//!   probability `drop_prob` (link-level loss; recovered by retries).
+//! * **Crash faults** — an actor stops at a fixed tick and never sends,
+//!   receives, or fires timers again (device churn, §6.3).
+//! * **Partitions** — two actor sets cannot exchange messages during a
+//!   tick window (transient network splits).
+//! * **Byzantine substitution** — messages *sent by* listed actors pass
+//!   through a caller-supplied tamper hook that may replace the payload;
+//!   the receiving protocol layer is expected to catch this (e.g. ZKP
+//!   verification at the aggregator, §4.6).
+
+use crate::sim::{ActorId, Tick};
+
+/// Latency model for a link: every delivery takes
+/// `base + uniform(0..=jitter)` ticks (minimum 1).
+#[derive(Debug, Clone, Copy)]
+pub struct LinkModel {
+    /// Fixed propagation delay in ticks.
+    pub base: Tick,
+    /// Maximum additional uniform jitter in ticks.
+    pub jitter: Tick,
+}
+
+impl Default for LinkModel {
+    fn default() -> Self {
+        Self {
+            base: 10,
+            jitter: 3,
+        }
+    }
+}
+
+/// A network partition separating actor sets `a` and `b` during
+/// `from..until` (ticks). Messages crossing the cut in either direction
+/// are dropped.
+#[derive(Debug, Clone, Default)]
+pub struct Partition {
+    /// One side of the cut.
+    pub a: Vec<ActorId>,
+    /// The other side.
+    pub b: Vec<ActorId>,
+    /// First tick the partition is active.
+    pub from: Tick,
+    /// First tick the partition is healed again.
+    pub until: Tick,
+}
+
+impl Partition {
+    /// Whether a `src → dst` transmission at tick `now` crosses the cut.
+    pub fn severs(&self, src: ActorId, dst: ActorId, now: Tick) -> bool {
+        if now < self.from || now >= self.until {
+            return false;
+        }
+        (self.a.contains(&src) && self.b.contains(&dst))
+            || (self.b.contains(&src) && self.a.contains(&dst))
+    }
+}
+
+/// The complete fault schedule for one simulation run.
+#[derive(Debug, Clone, Default)]
+pub struct FaultPlan {
+    /// I.i.d. per-transmission drop probability in `[0, 1)`.
+    pub drop_prob: f64,
+    /// `(actor, tick)` crash schedule; the actor is dead from that tick on.
+    pub crash_at: Vec<(ActorId, Tick)>,
+    /// Transient partitions.
+    pub partitions: Vec<Partition>,
+    /// Actors whose outgoing messages are routed through the tamper hook.
+    pub byzantine: Vec<ActorId>,
+}
+
+impl FaultPlan {
+    /// A healthy network: no drops, crashes, partitions, or tampering.
+    pub fn none() -> Self {
+        Self::default()
+    }
+
+    /// Sets the drop probability (builder style).
+    pub fn with_drop_prob(mut self, p: f64) -> Self {
+        assert!((0.0..1.0).contains(&p), "drop probability must be in [0,1)");
+        self.drop_prob = p;
+        self
+    }
+
+    /// Schedules a crash (builder style).
+    pub fn with_crash(mut self, actor: ActorId, at: Tick) -> Self {
+        self.crash_at.push((actor, at));
+        self
+    }
+
+    /// Marks an actor Byzantine (builder style).
+    pub fn with_byzantine(mut self, actor: ActorId) -> Self {
+        self.byzantine.push(actor);
+        self
+    }
+
+    /// Whether any partition severs `src → dst` at `now`.
+    pub fn partitioned(&self, src: ActorId, dst: ActorId, now: Tick) -> bool {
+        self.partitions.iter().any(|p| p.severs(src, dst, now))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn partition_window_and_symmetry() {
+        let p = Partition {
+            a: vec![0, 1],
+            b: vec![2],
+            from: 10,
+            until: 20,
+        };
+        assert!(p.severs(0, 2, 10));
+        assert!(p.severs(2, 1, 19));
+        assert!(!p.severs(0, 2, 9), "before the window");
+        assert!(!p.severs(0, 2, 20), "after the window");
+        assert!(!p.severs(0, 1, 15), "same side");
+    }
+
+    #[test]
+    fn builder_accumulates() {
+        let f = FaultPlan::none()
+            .with_drop_prob(0.05)
+            .with_crash(3, 100)
+            .with_byzantine(7);
+        assert_eq!(f.drop_prob, 0.05);
+        assert_eq!(f.crash_at, vec![(3, 100)]);
+        assert_eq!(f.byzantine, vec![7]);
+    }
+
+    #[test]
+    #[should_panic(expected = "drop probability")]
+    fn drop_prob_of_one_rejected() {
+        let _ = FaultPlan::none().with_drop_prob(1.0);
+    }
+}

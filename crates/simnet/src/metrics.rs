@@ -1,0 +1,209 @@
+//! Round metrics: what the simulation measured.
+//!
+//! Counters are integral (messages, bytes, ticks) so two runs with the
+//! same seed render **byte-identical** JSON — the property the
+//! `bench_rounds` artifact and the cross-thread-count determinism tests
+//! assert. Phase series live in a `BTreeMap` so iteration order never
+//! depends on insertion or hashing.
+
+use std::collections::BTreeMap;
+
+use crate::sim::Tick;
+
+/// Per-actor traffic counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ActorCounters {
+    /// Messages handed to the network (whether or not they survive it).
+    pub sent_msgs: u64,
+    /// Bytes handed to the network.
+    pub sent_bytes: u64,
+    /// Messages delivered to this actor.
+    pub recv_msgs: u64,
+    /// Bytes delivered to this actor.
+    pub recv_bytes: u64,
+    /// Retransmissions this actor performed.
+    pub retries: u64,
+}
+
+/// Completion ticks of one named protocol phase (one entry per actor or
+/// per unit of work that finished the phase).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct PhaseSeries {
+    /// Virtual completion times, in the order they occurred.
+    pub completions: Vec<Tick>,
+}
+
+impl PhaseSeries {
+    /// Number of completions.
+    pub fn count(&self) -> usize {
+        self.completions.len()
+    }
+
+    /// Earliest completion tick.
+    pub fn min(&self) -> Tick {
+        self.completions.iter().copied().min().unwrap_or(0)
+    }
+
+    /// Latest completion tick (the phase's makespan).
+    pub fn max(&self) -> Tick {
+        self.completions.iter().copied().max().unwrap_or(0)
+    }
+
+    /// Mean completion tick (integer division is fine for reporting).
+    pub fn mean(&self) -> Tick {
+        if self.completions.is_empty() {
+            return 0;
+        }
+        self.completions.iter().sum::<Tick>() / self.completions.len() as Tick
+    }
+
+    /// Median completion tick.
+    pub fn p50(&self) -> Tick {
+        if self.completions.is_empty() {
+            return 0;
+        }
+        let mut v = self.completions.clone();
+        v.sort_unstable();
+        v[v.len() / 2]
+    }
+}
+
+/// Everything one simulation run measured.
+#[derive(Debug, Clone, Default)]
+pub struct RoundMetrics {
+    /// Per-actor counters, indexed by actor id.
+    pub actors: Vec<ActorCounters>,
+    /// Transmissions the fault plan destroyed (drops + partitions).
+    pub dropped_msgs: u64,
+    /// Bytes destroyed with them.
+    pub dropped_bytes: u64,
+    /// Deliveries discarded because the destination had crashed.
+    pub dead_letters: u64,
+    /// Messages whose payload the Byzantine tamper hook replaced.
+    pub tampered_msgs: u64,
+    /// Timer events fired.
+    pub timer_fires: u64,
+    /// Named phase-completion series (virtual-time histograms).
+    pub phases: BTreeMap<String, PhaseSeries>,
+}
+
+impl RoundMetrics {
+    /// Creates counters for `n` actors.
+    pub fn new(n: usize) -> Self {
+        Self {
+            actors: vec![ActorCounters::default(); n],
+            ..Self::default()
+        }
+    }
+
+    /// Total messages sent across all actors.
+    pub fn total_sent_msgs(&self) -> u64 {
+        self.actors.iter().map(|a| a.sent_msgs).sum()
+    }
+
+    /// Total bytes sent across all actors.
+    pub fn total_sent_bytes(&self) -> u64 {
+        self.actors.iter().map(|a| a.sent_bytes).sum()
+    }
+
+    /// Total retransmissions across all actors.
+    pub fn total_retries(&self) -> u64 {
+        self.actors.iter().map(|a| a.retries).sum()
+    }
+
+    /// Records a phase completion at `now`.
+    pub fn phase_done(&mut self, phase: &str, now: Tick) {
+        self.phases
+            .entry(phase.to_string())
+            .or_default()
+            .completions
+            .push(now);
+    }
+
+    /// Deterministic JSON rendering: totals plus per-phase virtual-time
+    /// summaries. All values are integers, phase order is lexicographic.
+    pub fn to_json(&self, indent: usize) -> String {
+        let pad = " ".repeat(indent);
+        let inner = " ".repeat(indent + 2);
+        let phase_pad = " ".repeat(indent + 4);
+        let mut s = String::new();
+        s.push_str(&format!(
+            "{pad}{{\n{inner}\"messages_sent\": {},\n{inner}\"bytes_sent\": {},\n\
+             {inner}\"retries\": {},\n{inner}\"dropped_msgs\": {},\n\
+             {inner}\"dropped_bytes\": {},\n{inner}\"dead_letters\": {},\n\
+             {inner}\"tampered_msgs\": {},\n{inner}\"timer_fires\": {},\n\
+             {inner}\"phases\": {{",
+            self.total_sent_msgs(),
+            self.total_sent_bytes(),
+            self.total_retries(),
+            self.dropped_msgs,
+            self.dropped_bytes,
+            self.dead_letters,
+            self.tampered_msgs,
+            self.timer_fires,
+        ));
+        let entries: Vec<String> = self
+            .phases
+            .iter()
+            .map(|(name, p)| {
+                format!(
+                    "\n{phase_pad}\"{name}\": {{\"count\": {}, \"min_ticks\": {}, \
+                     \"p50_ticks\": {}, \"mean_ticks\": {}, \"max_ticks\": {}}}",
+                    p.count(),
+                    p.min(),
+                    p.p50(),
+                    p.mean(),
+                    p.max()
+                )
+            })
+            .collect();
+        s.push_str(&entries.join(","));
+        if !entries.is_empty() {
+            s.push('\n');
+            s.push_str(&inner);
+        }
+        s.push_str(&format!("}}\n{pad}}}"));
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn phase_summaries() {
+        let mut m = RoundMetrics::new(2);
+        for t in [30, 10, 20] {
+            m.phase_done("setup", t);
+        }
+        let p = &m.phases["setup"];
+        assert_eq!(p.count(), 3);
+        assert_eq!(p.min(), 10);
+        assert_eq!(p.max(), 30);
+        assert_eq!(p.mean(), 20);
+        assert_eq!(p.p50(), 20);
+    }
+
+    #[test]
+    fn json_is_deterministic_and_sorted() {
+        let mut m = RoundMetrics::new(1);
+        m.actors[0].sent_msgs = 4;
+        m.actors[0].sent_bytes = 256;
+        m.phase_done("zeta", 5);
+        m.phase_done("alpha", 7);
+        let a = m.to_json(0);
+        let b = m.clone().to_json(0);
+        assert_eq!(a, b);
+        let alpha = a.find("\"alpha\"").unwrap();
+        let zeta = a.find("\"zeta\"").unwrap();
+        assert!(alpha < zeta, "phases in lexicographic order");
+        assert!(a.contains("\"messages_sent\": 4"));
+    }
+
+    #[test]
+    fn empty_series_are_zero() {
+        let p = PhaseSeries::default();
+        assert_eq!((p.min(), p.max(), p.mean(), p.p50()), (0, 0, 0, 0));
+    }
+}

@@ -1,0 +1,199 @@
+//! Timeout + bounded-exponential-backoff retransmission.
+//!
+//! Round protocols over a lossy network all need the same machinery: send
+//! a message, arm a timer, resend with doubled timeout if no ack arrives,
+//! give up after a bounded number of attempts. [`Retrier`] packages it so
+//! actors only route their timer keys through [`Retrier::on_timer`] and
+//! call [`Retrier::ack`] when the peer confirms.
+//!
+//! Message ids double as timer keys, so an actor using a `Retrier` should
+//! keep its other timer keys in a disjoint range.
+
+use std::collections::HashMap;
+
+use crate::sim::{ActorId, Ctx, Payload, Tick};
+
+struct Pending<M> {
+    dst: ActorId,
+    msg: M,
+    attempts: u32,
+}
+
+/// What a timer firing meant to the retrier.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RetryStatus {
+    /// The key does not belong to an in-flight message (either it was
+    /// never ours or the message was acked before the timer fired).
+    Settled,
+    /// The message was retransmitted with doubled timeout.
+    Resent,
+    /// The retry budget is exhausted; the message is abandoned.
+    Exhausted {
+        /// The abandoned message's id.
+        id: u64,
+    },
+}
+
+/// Reliable-send helper: at-least-once delivery over a lossy simnet link,
+/// with bounded exponential backoff.
+pub struct Retrier<M: Payload> {
+    pending: HashMap<u64, Pending<M>>,
+    base_timeout: Tick,
+    max_retries: u32,
+}
+
+impl<M: Payload> Retrier<M> {
+    /// Creates a retrier: first retransmission after `base_timeout`
+    /// ticks, each later one after double the previous wait, at most
+    /// `max_retries` retransmissions per message.
+    pub fn new(base_timeout: Tick, max_retries: u32) -> Self {
+        assert!(base_timeout > 0);
+        Self {
+            pending: HashMap::new(),
+            base_timeout,
+            max_retries,
+        }
+    }
+
+    /// Transmits `msg` to `dst` and arms the retry timer. `id` must be
+    /// unique among this actor's in-flight messages (it is also the timer
+    /// key).
+    pub fn send(&mut self, ctx: &mut Ctx<M>, id: u64, dst: ActorId, msg: M) {
+        ctx.send(dst, msg.clone());
+        ctx.set_timer(self.base_timeout, id);
+        self.pending.insert(
+            id,
+            Pending {
+                dst,
+                msg,
+                attempts: 0,
+            },
+        );
+    }
+
+    /// Marks `id` as acknowledged. Returns whether it was in flight.
+    pub fn ack(&mut self, id: u64) -> bool {
+        self.pending.remove(&id).is_some()
+    }
+
+    /// Number of unacknowledged messages.
+    pub fn in_flight(&self) -> usize {
+        self.pending.len()
+    }
+
+    /// Routes a timer key through the retrier.
+    pub fn on_timer(&mut self, ctx: &mut Ctx<M>, key: u64) -> RetryStatus {
+        let Some(p) = self.pending.get_mut(&key) else {
+            return RetryStatus::Settled;
+        };
+        if p.attempts >= self.max_retries {
+            self.pending.remove(&key);
+            return RetryStatus::Exhausted { id: key };
+        }
+        p.attempts += 1;
+        // Bounded exponential backoff: base · 2^attempts, capped so the
+        // shift cannot overflow and waits stay sane.
+        let backoff = self.base_timeout << p.attempts.min(16);
+        ctx.count_retry();
+        let (dst, msg) = (p.dst, p.msg.clone());
+        ctx.send(dst, msg);
+        ctx.set_timer(backoff, key);
+        RetryStatus::Resent
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fault::FaultPlan;
+    use crate::sim::{Process, Simulation};
+    use std::cell::RefCell;
+    use std::rc::Rc;
+
+    #[derive(Clone)]
+    enum Wire {
+        Data(u64),
+        Ack(u64),
+    }
+    impl Payload for Wire {}
+
+    struct Sender {
+        retrier: Retrier<Wire>,
+        peer: ActorId,
+        total: u64,
+        done: u64,
+        gave_up: Rc<RefCell<Vec<u64>>>,
+    }
+    impl Process<Wire> for Sender {
+        fn on_start(&mut self, ctx: &mut Ctx<Wire>) {
+            for id in 0..self.total {
+                self.retrier.send(ctx, id, self.peer, Wire::Data(id));
+            }
+        }
+        fn on_message(&mut self, ctx: &mut Ctx<Wire>, _from: ActorId, msg: Wire) {
+            if let Wire::Ack(id) = msg {
+                if self.retrier.ack(id) {
+                    self.done += 1;
+                }
+                if self.done == self.total {
+                    ctx.halt();
+                }
+            }
+        }
+        fn on_timer(&mut self, ctx: &mut Ctx<Wire>, key: u64) {
+            if let RetryStatus::Exhausted { id } = self.retrier.on_timer(ctx, key) {
+                self.gave_up.borrow_mut().push(id);
+            }
+        }
+    }
+
+    struct Acker;
+    impl Process<Wire> for Acker {
+        fn on_message(&mut self, ctx: &mut Ctx<Wire>, from: ActorId, msg: Wire) {
+            if let Wire::Data(id) = msg {
+                ctx.send(from, Wire::Ack(id));
+            }
+        }
+    }
+
+    fn scenario(drop: f64, max_retries: u32) -> (bool, u64, Vec<u64>) {
+        let gave_up = Rc::new(RefCell::new(Vec::new()));
+        let mut sim = Simulation::new(99).with_fault_plan(FaultPlan::none().with_drop_prob(drop));
+        sim.add_actor(Box::new(Sender {
+            retrier: Retrier::new(64, max_retries),
+            peer: 1,
+            total: 16,
+            done: 0,
+            gave_up: Rc::clone(&gave_up),
+        }));
+        sim.add_actor(Box::new(Acker));
+        let report = sim.run(10_000_000);
+        let retries = sim.metrics.total_retries();
+        let g = gave_up.borrow().clone();
+        (report.converged && g.is_empty(), retries, g)
+    }
+
+    #[test]
+    fn lossy_link_recovered() {
+        let (all_acked, retries, _) = scenario(0.25, 12);
+        assert!(all_acked, "25% loss recovered by backoff retries");
+        assert!(retries > 0);
+    }
+
+    #[test]
+    fn zero_loss_needs_zero_retries() {
+        let (all_acked, retries, _) = scenario(0.0, 12);
+        assert!(all_acked);
+        assert_eq!(retries, 0);
+    }
+
+    #[test]
+    fn retry_budget_is_bounded() {
+        // At 90% drop and only 2 retries, some messages must be abandoned,
+        // and no message is transmitted more than 1 + max_retries times.
+        let (all_acked, retries, gave_up) = scenario(0.9, 2);
+        assert!(!all_acked);
+        assert!(!gave_up.is_empty());
+        assert!(retries <= 16 * 2, "per-message retry bound respected");
+    }
+}
