@@ -3,8 +3,14 @@
 //! Measures ops/sec for the four kernels the executor spends its time in —
 //! the RNS forward/inverse NTT, the BGV tensor-product multiply,
 //! relinearization, and a full end-to-end encrypted query — once at
-//! `MYC_THREADS=1` (serial baseline) and once at the machine's core count,
-//! then writes `BENCH_bgv.json` with the numbers and speedups. Built on
+//! `MYC_THREADS=1` (serial baseline) and once at the machine's core count.
+//!
+//! Before overwriting `BENCH_bgv.json`, the committed copy is re-read as
+//! the *baseline*: the emitted `speedup` section is the measured
+//! new/old ops-per-sec ratio per kernel (at `MYC_THREADS=1`), and the
+//! process exits nonzero if any kernel regressed by more than 10% — which
+//! is what lets CI run this binary as a perf gate. Thread-count scaling is
+//! reported separately under `thread_scaling`. Built on
 //! `std::time::Instant` only; run with `--release`.
 
 use std::time::Instant;
@@ -142,10 +148,51 @@ fn json_suite(samples: &[Sample]) -> String {
     fields.join(",\n")
 }
 
+/// Extracts `(kernel, ops_per_sec)` pairs from the first (`MYC_THREADS=1`)
+/// suite of a previously written `BENCH_bgv.json`, without a JSON library:
+/// the file is our own output, so the exact field layout is known.
+fn baseline_ops(json: &str) -> Vec<(String, f64)> {
+    let mut out = Vec::new();
+    let Some(results) = json.find("\"results\"") else {
+        return out;
+    };
+    let tail = &json[results..];
+    // The results object ends at the first "}}" (kernel object + results
+    // object closing together).
+    let end = tail.find("}}").map(|e| e + 1).unwrap_or(tail.len());
+    let mut block = &tail[..end];
+    const MARK: &str = "{\"ops_per_sec\": ";
+    while let Some(pos) = block.find(MARK) {
+        let head = &block[..pos];
+        let name = head
+            .rfind("\": ")
+            .and_then(|e| head[..e].rfind('"').map(|s| head[s + 1..e].to_string()));
+        let vs = pos + MARK.len();
+        let ve = block[vs..]
+            .find([',', '}'])
+            .map(|i| vs + i)
+            .unwrap_or(block.len());
+        if let (Some(name), Ok(v)) = (name, block[vs..ve].trim().parse::<f64>()) {
+            out.push((name, v));
+        }
+        block = &block[ve..];
+    }
+    out
+}
+
 fn main() {
     let ncores = std::thread::available_parallelism()
         .map(|n| n.get())
         .unwrap_or(1);
+    // Read the committed numbers *before* overwriting: they are the
+    // baseline the speedup section and the regression gate compare against.
+    let baseline = std::fs::read_to_string("BENCH_bgv.json")
+        .map(|s| baseline_ops(&s))
+        .unwrap_or_default();
+    if baseline.is_empty() {
+        eprintln!("no committed BENCH_bgv.json baseline; speedups default to 1.00");
+    }
+
     let mut suites: Vec<(usize, Vec<Sample>)> = Vec::new();
     for threads in [1, ncores] {
         if suites.iter().any(|(t, _)| *t == threads) {
@@ -166,10 +213,37 @@ fn main() {
             if i + 1 < suites.len() { "," } else { "" }
         ));
     }
+
+    // Measured speedup vs the committed baseline (serial suite vs serial
+    // suite), and the >10% regression gate.
     json.push_str("  ],\n  \"speedup\": {\n");
-    let base = &suites[0].1;
+    let serial = &suites[0].1;
+    let mut lines: Vec<String> = Vec::with_capacity(serial.len());
+    let mut regressions: Vec<String> = Vec::new();
+    for s in serial {
+        let old = baseline
+            .iter()
+            .find(|(n, _)| n == s.name)
+            .map(|&(_, v)| v)
+            .filter(|&v| v > 0.0);
+        let ratio = old.map(|o| s.ops_per_sec() / o).unwrap_or(1.0);
+        if ratio < 0.9 {
+            regressions.push(format!(
+                "{}: {:.2} -> {:.2} ops/s ({:.0}%)",
+                s.name,
+                old.unwrap_or(0.0),
+                s.ops_per_sec(),
+                ratio * 100.0
+            ));
+        }
+        lines.push(format!("    \"{}\": {ratio:.2}", s.name));
+    }
+    json.push_str(&lines.join(",\n"));
+
+    // Thread-count scaling of this run (peak suite over serial suite).
+    json.push_str("\n  },\n  \"thread_scaling\": {\n");
     let peak = &suites[suites.len() - 1].1;
-    let lines: Vec<String> = base
+    let lines: Vec<String> = serial
         .iter()
         .zip(peak)
         .map(|(b, p)| {
@@ -186,4 +260,11 @@ fn main() {
     std::fs::write("BENCH_bgv.json", &json).expect("write BENCH_bgv.json");
     println!("{json}");
     eprintln!("wrote BENCH_bgv.json");
+    if !regressions.is_empty() {
+        eprintln!("PERFORMANCE REGRESSION (>10% below committed baseline):");
+        for r in &regressions {
+            eprintln!("  {r}");
+        }
+        std::process::exit(1);
+    }
 }

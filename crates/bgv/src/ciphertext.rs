@@ -15,7 +15,7 @@
 use std::sync::Arc;
 
 use mycelium_math::rng::Rng;
-use mycelium_math::rns::{Representation, RnsContext, RnsPoly};
+use mycelium_math::rns::{key_switch_assign, Representation, RnsContext, RnsPoly, ShoupPrecomp};
 use mycelium_math::{ew, par, sample};
 
 use crate::keys::{PublicKey, RelinKey, SecretKey};
@@ -128,8 +128,9 @@ impl Plaintext {
 /// encoding away.
 #[derive(Debug, Clone)]
 pub struct PreparedPlaintext {
-    /// The centered lift of the plaintext, in NTT representation.
-    ntt: RnsPoly,
+    /// The centered lift of the plaintext, in NTT representation with Shoup
+    /// constants (the mask multiplies many ciphertexts pointwise).
+    ntt: ShoupPrecomp,
     /// `|pt|_∞` of the centered lift, for noise accounting.
     max_centered: u64,
     modulus: u64,
@@ -145,8 +146,7 @@ impl PreparedPlaintext {
             });
         }
         let centered = pt.centered();
-        let mut ntt = RnsPoly::from_signed(Arc::clone(ctx), level, &centered);
-        ntt.to_ntt();
+        let ntt = ShoupPrecomp::new(RnsPoly::from_signed(Arc::clone(ctx), level, &centered));
         let max_centered = centered.iter().map(|c| c.unsigned_abs()).max().unwrap_or(0);
         Ok(Self {
             ntt,
@@ -198,13 +198,15 @@ impl Ciphertext {
         e1.scalar_mul_assign(t);
         let mut m = RnsPoly::from_signed(Arc::clone(ctx), level, &pt.centered());
         m.to_ntt();
-        // c0 = b·u + t·e0 + m ; c1 = a·u + t·e1 — built in place: the only
-        // allocations are the two fresh output polynomials.
-        let mut c0 = pk.b.mul(&u);
+        // c0 = b·u + t·e0 + m ; c1 = a·u + t·e1 — built in place against
+        // the Shoup-precomputed key components: the only allocation is the
+        // clone of u for the first output.
+        let mut c0 = u.clone();
+        c0.mul_shoup_assign(pk.b());
         c0.add_assign(&e0);
         c0.add_assign(&m);
         let mut c1 = u;
-        c1.mul_assign(&pk.a);
+        c1.mul_shoup_assign(pk.a());
         c1.add_assign(&e1);
         Ok(Self {
             parts: vec![c0, c1],
@@ -291,6 +293,23 @@ impl Ciphertext {
             noise_log2: log2_sum(self.noise_log2, other.noise_log2),
             params: self.params.clone(),
         })
+    }
+
+    /// In-place homomorphic addition: `self += other`, reusing `self`'s
+    /// component storage. The accumulator loops in the query executor fold
+    /// thousands of ciphertexts — this keeps them allocation-free.
+    pub fn add_assign(&mut self, other: &Self) -> Result<(), BgvError> {
+        self.check_level(other)?;
+        for (p, o) in self.parts.iter_mut().zip(&other.parts) {
+            p.add_assign(o);
+        }
+        if other.parts.len() > self.parts.len() {
+            for o in &other.parts[self.parts.len()..] {
+                self.parts.push(o.clone());
+            }
+        }
+        self.noise_log2 = log2_sum(self.noise_log2, other.noise_log2);
+        Ok(())
     }
 
     /// Homomorphic subtraction.
@@ -384,8 +403,15 @@ impl Ciphertext {
             return self.clone();
         }
         let parts = if self.parts[0].representation() == Representation::Ntt {
-            let mono = ntt_monomial(&ctx, self.level(), k);
-            self.parts.iter().map(|p| p.mul(&mono)).collect()
+            let mono = ShoupPrecomp::new(ntt_monomial(&ctx, self.level(), k));
+            self.parts
+                .iter()
+                .map(|p| {
+                    let mut r = p.clone();
+                    r.mul_shoup_assign(&mono);
+                    r
+                })
+                .collect()
         } else {
             self.parts.iter().map(|p| rotate_negacyclic(p, k)).collect()
         };
@@ -419,7 +445,7 @@ impl Ciphertext {
         );
         let mut parts = self.parts.clone();
         for p in parts.iter_mut() {
-            p.mul_assign(&pt.ntt);
+            p.mul_shoup_assign(&pt.ntt);
         }
         let growth = ((self.params.n as f64) * (pt.max_centered.max(1) as f64)).log2();
         Ok(Self {
@@ -448,7 +474,7 @@ impl Ciphertext {
             "prepared plaintext level mismatch"
         );
         let mut parts = self.parts.clone();
-        parts[0].add_assign(&pt.ntt);
+        parts[0].add_assign(pt.ntt.poly());
         Ok(Self {
             parts,
             noise_log2: log2_sum(self.noise_log2, (pt.modulus as f64 / 2.0).log2()),
@@ -479,14 +505,12 @@ impl Ciphertext {
             .at_level(level)
             .ok_or(BgvError::MissingRelinKey { level })?;
         let c2 = self.parts[2].coeff();
-        let digits = c2.rns_decompose();
-        debug_assert_eq!(digits.len(), keys.len());
         let mut c0 = self.parts[0].clone();
         let mut c1 = self.parts[1].clone();
-        for (d, (kb, ka)) in digits.iter().zip(keys) {
-            c0.mul_add_assign(d, kb);
-            c1.mul_add_assign(d, ka);
-        }
+        // Fused gadget key switch: decomposition digits are lifted,
+        // transformed, and multiply-accumulated limb by limb against the
+        // Shoup-precomputed keys without materializing digit polynomials.
+        key_switch_assign(&mut c0, &mut c1, &c2, keys);
         // Key-switching noise: t · Σ_j |d_j·e_j| ≤ t · L · (q/2) · 6σ · N.
         let p = &self.params;
         let ks_noise = (p.plaintext_modulus as f64).log2()
@@ -511,7 +535,7 @@ impl Ciphertext {
         // per-residue loops then run serially under the nesting guard).
         let parts: Vec<RnsPoly> = par::map(&self.parts, |_, p| {
             let mut c = p.coeff();
-            c = c.mod_switch_down(t);
+            c.mod_switch_down_in_place(t);
             c.to_ntt();
             c
         });
@@ -695,6 +719,30 @@ mod tests {
             .iter()
             .enumerate()
             .all(|(i, &c)| i == 3 || c == 0));
+    }
+
+    #[test]
+    fn add_assign_matches_add() {
+        let (params, ks, mut rng) = setup();
+        let t = params.plaintext_modulus;
+        let ca = Ciphertext::encrypt(&ks.public, &monomial(params.n, t, 1), &mut rng).unwrap();
+        let cb = Ciphertext::encrypt(&ks.public, &monomial(params.n, t, 2), &mut rng).unwrap();
+        let want = ca.add(&cb).unwrap();
+        let mut got = ca.clone();
+        got.add_assign(&cb).unwrap();
+        for (a, b) in want.parts().iter().zip(got.parts()) {
+            assert_eq!(a, b);
+        }
+        assert_eq!(want.noise_log2(), got.noise_log2());
+        // Degree-2 into degree-1 accumulator extends the parts vector.
+        let prod = ca.mul(&cb).unwrap();
+        let want = ca.add(&prod).unwrap();
+        let mut got = ca.clone();
+        got.add_assign(&prod).unwrap();
+        assert_eq!(got.parts().len(), 3);
+        for (a, b) in want.parts().iter().zip(got.parts()) {
+            assert_eq!(a, b);
+        }
     }
 
     #[test]

@@ -16,7 +16,11 @@
 //! * `GSUM` clipping (§4.4): after decryption the committee computes
 //!   `Σ_{i=a+1}^{b-1} i·p_i + a·Σ_{i≤a} p_i + b·Σ_{i≥b} p_i`.
 
-use crate::ciphertext::{BgvError, Plaintext};
+use std::sync::Arc;
+
+use mycelium_math::rns::RnsContext;
+
+use crate::ciphertext::{BgvError, Plaintext, PreparedPlaintext};
 
 /// Encodes the value `a` as the monomial plaintext `x^a`.
 ///
@@ -29,6 +33,21 @@ pub fn encode_monomial(a: usize, n: usize, t: u64) -> Result<Plaintext, BgvError
     let mut coeffs = vec![0u64; n];
     coeffs[a] = 1;
     Plaintext::new(coeffs, t)
+}
+
+/// Encodes `x^a` pre-lifted into NTT representation at `level`.
+///
+/// Selection masks and per-group shifts multiply the *same* monomial
+/// against many ciphertexts; preparing once amortizes the lift and forward
+/// transform (and the Shoup precomputation) across all of them.
+pub fn encode_monomial_prepared(
+    a: usize,
+    ctx: &Arc<RnsContext>,
+    level: usize,
+    t: u64,
+) -> Result<PreparedPlaintext, BgvError> {
+    let pt = encode_monomial(a, ctx.degree(), t)?;
+    PreparedPlaintext::prepare(&pt, ctx, level)
 }
 
 /// Encodes the multiplicative identity `x^0 = 1` (a contribution of zero,
@@ -263,6 +282,30 @@ mod tests {
         let result = sum.sub_plain(&correction).unwrap().decrypt(&ks.secret);
         assert_eq!(result.coeffs()[m], 1);
         assert_eq!(result.coeffs().iter().sum::<u64>(), 1);
+    }
+
+    #[test]
+    fn prepared_monomial_matches_direct_multiply() {
+        let params = BgvParams::test_small();
+        let mut rng = StdRng::seed_from_u64(13);
+        let ks = KeySet::generate_with_relin_levels(&params, &[], &mut rng);
+        let t = params.plaintext_modulus;
+        let ct = Ciphertext::encrypt(
+            &ks.public,
+            &encode_monomial(2, params.n, t).unwrap(),
+            &mut rng,
+        )
+        .unwrap();
+        let prepared = encode_monomial_prepared(5, ks.public.context(), ct.level(), t).unwrap();
+        let direct = ct
+            .mul_plain(&encode_monomial(5, params.n, t).unwrap())
+            .unwrap();
+        let via_prep = ct.mul_plain_prepared(&prepared).unwrap();
+        for (a, b) in direct.parts().iter().zip(via_prep.parts()) {
+            assert_eq!(a, b);
+        }
+        assert_eq!(via_prep.decrypt(&ks.secret).coeffs()[7], 1);
+        assert!(encode_monomial_prepared(params.n, ks.public.context(), 1, t).is_err());
     }
 
     #[test]

@@ -15,7 +15,7 @@ use std::collections::HashMap;
 use std::sync::Arc;
 
 use mycelium_math::rng::Rng;
-use mycelium_math::rns::{Representation, RnsContext, RnsPoly};
+use mycelium_math::rns::{Representation, RnsContext, RnsPoly, ShoupPrecomp};
 use mycelium_math::sample;
 
 use crate::params::BgvParams;
@@ -32,12 +32,17 @@ pub struct SecretKey {
 }
 
 /// The BGV public (encryption) key `(b, a)`.
+///
+/// Both components carry Shoup constants ([`ShoupPrecomp`]): every
+/// encryption multiplies them pointwise against the ephemeral secret, so
+/// the one-time precomputation at keygen pays for itself on the first
+/// encryption.
 #[derive(Debug, Clone)]
 pub struct PublicKey {
     /// `b = -(a·s) + t·e`, NTT representation, top level.
-    pub b: RnsPoly,
+    b: ShoupPrecomp,
     /// Uniform `a`, NTT representation, top level.
-    pub a: RnsPoly,
+    a: ShoupPrecomp,
     /// Parameters (carried so ciphertexts can be built from the key alone).
     pub params: BgvParams,
     ctx: Arc<RnsContext>,
@@ -46,9 +51,11 @@ pub struct PublicKey {
 /// Relinearization (key-switching) keys, indexed by level.
 #[derive(Debug, Clone, Default)]
 pub struct RelinKey {
-    /// `keys[&l][j] = (b_{l,j}, a_{l,j})` at level `l`, NTT representation,
-    /// with `b_{l,j} = -(a·s) + t·e + ĝ_{l,j}·s²`.
-    keys: HashMap<usize, Vec<(RnsPoly, RnsPoly)>>,
+    /// `keys[&l][j] = (b_{l,j}, a_{l,j})` at level `l`, NTT representation
+    /// with Shoup constants (key switching multiply-accumulates decomposed
+    /// digits against these on every relinearization), where
+    /// `b_{l,j} = -(a·s) + t·e + ĝ_{l,j}·s²`.
+    keys: HashMap<usize, Vec<(ShoupPrecomp, ShoupPrecomp)>>,
 }
 
 /// A complete BGV key set.
@@ -120,8 +127,8 @@ impl SecretKey {
             .neg()
             .add(&e.scalar_mul(self.params.plaintext_modulus));
         PublicKey {
-            b,
-            a,
+            b: ShoupPrecomp::new(b),
+            a: ShoupPrecomp::new(a),
             params: self.params.clone(),
             ctx: self.ctx.clone(),
         }
@@ -162,7 +169,7 @@ impl SecretKey {
                     .neg()
                     .add(&e.scalar_mul(self.params.plaintext_modulus))
                     .add(&s2.mul(&g));
-                level_keys.push((b, a));
+                level_keys.push((ShoupPrecomp::new(b), ShoupPrecomp::new(a)));
             }
             keys.insert(l, level_keys);
         }
@@ -181,11 +188,21 @@ impl PublicKey {
     pub fn context(&self) -> &Arc<RnsContext> {
         &self.ctx
     }
+
+    /// The `b = -(a·s) + t·e` component with its Shoup constants.
+    pub fn b(&self) -> &ShoupPrecomp {
+        &self.b
+    }
+
+    /// The uniform `a` component with its Shoup constants.
+    pub fn a(&self) -> &ShoupPrecomp {
+        &self.a
+    }
 }
 
 impl RelinKey {
     /// The key-switching key pairs for `level`, if generated.
-    pub fn at_level(&self, level: usize) -> Option<&[(RnsPoly, RnsPoly)]> {
+    pub fn at_level(&self, level: usize) -> Option<&[(ShoupPrecomp, ShoupPrecomp)]> {
         self.keys.get(&level).map(|v| v.as_slice())
     }
 
@@ -249,7 +266,12 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(1);
         let ks = KeySet::generate_with_relin_levels(&params, &[], &mut rng);
         let s = ks.secret.s_at_level(params.levels);
-        let te = ks.public.b.add(&ks.public.a.mul(&s)).coeff();
+        let te = ks
+            .public
+            .b()
+            .poly()
+            .add(&ks.public.a().poly().mul(&s))
+            .coeff();
         let norm = te.inf_norm_big();
         // |t·e| ≤ t · 6σ.
         let bound = params.plaintext_modulus as f64 * 6.0 * params.sigma;
@@ -305,7 +327,7 @@ mod tests {
                 .collect();
             let g =
                 RnsPoly::from_residues(ctx.clone(), Representation::Coefficient, gadget_res).ntt();
-            let te = b.add(&a.mul(&s)).sub(&s2.mul(&g)).coeff();
+            let te = b.poly().add(&a.poly().mul(&s)).sub(&s2.mul(&g)).coeff();
             let mod_t = te.crt_centered_mod(params.plaintext_modulus);
             assert!(mod_t.iter().all(|&x| x == 0), "key {j} is not well formed");
         }

@@ -64,6 +64,43 @@ pub fn mul_add_assign(m: &Modulus, acc: &mut [u64], a: &[u64], b: &[u64]) {
     }
 }
 
+/// `a[i] = (a[i] * b[i]) mod q` where `b` carries Shoup constants
+/// `bs[i] = floor(b[i]·2^64/q)`, replacing the Barrett reduction with one
+/// high-half product per element. Used when `b` is a precomputed repeated
+/// operand (public key, relinearization key, prepared plaintext).
+#[inline]
+pub fn mul_shoup_assign(m: &Modulus, a: &mut [u64], b: &[u64], bs: &[u64]) {
+    debug_assert_eq!(a.len(), b.len());
+    debug_assert_eq!(b.len(), bs.len());
+    for (x, (&y, &ys)) in a.iter_mut().zip(b.iter().zip(bs)) {
+        *x = m.mul_shoup(*x, y, ys);
+    }
+}
+
+/// `out[i] = (a[i] * b[i]) mod q` with Shoup constants for `b`, into a
+/// separate output slice.
+#[inline]
+pub fn mul_shoup_into(m: &Modulus, out: &mut [u64], a: &[u64], b: &[u64], bs: &[u64]) {
+    debug_assert_eq!(out.len(), a.len());
+    debug_assert_eq!(a.len(), b.len());
+    debug_assert_eq!(b.len(), bs.len());
+    for ((o, &x), (&y, &ys)) in out.iter_mut().zip(a).zip(b.iter().zip(bs)) {
+        *o = m.mul_shoup(x, y, ys);
+    }
+}
+
+/// `acc[i] = (acc[i] + a[i] * b[i]) mod q` with Shoup constants for `b` —
+/// the fused relinearization kernel.
+#[inline]
+pub fn mul_shoup_add_assign(m: &Modulus, acc: &mut [u64], a: &[u64], b: &[u64], bs: &[u64]) {
+    debug_assert_eq!(acc.len(), a.len());
+    debug_assert_eq!(a.len(), b.len());
+    debug_assert_eq!(b.len(), bs.len());
+    for ((o, &x), (&y, &ys)) in acc.iter_mut().zip(a).zip(b.iter().zip(bs)) {
+        *o = m.add(*o, m.mul_shoup(x, y, ys));
+    }
+}
+
 /// `a[i] = (a[i] * s) mod q` for a scalar already reduced mod q.
 #[inline]
 pub fn scalar_mul_assign(m: &Modulus, a: &mut [u64], s: u64) {
@@ -109,5 +146,30 @@ mod tests {
         let mut a = a0;
         scalar_mul_assign(&m, &mut a, 3);
         assert_eq!(a, [3, 150 % 97, (96 * 3) % 97, 0]);
+    }
+
+    #[test]
+    fn shoup_kernels_match_barrett_kernels() {
+        let m = Modulus::new_prime((1 << 45) - 229).unwrap();
+        let q = m.value();
+        let a0: Vec<u64> = (0..32u64).map(|i| (i * 0x1234_5678_9ABC) % q).collect();
+        let b: Vec<u64> = (0..32u64).map(|i| q - 1 - (i * 0xBEEF_CAFE) % q).collect();
+        let bs: Vec<u64> = b.iter().map(|&y| m.shoup(y)).collect();
+
+        let mut want = a0.clone();
+        mul_assign(&m, &mut want, &b);
+        let mut got = a0.clone();
+        mul_shoup_assign(&m, &mut got, &b, &bs);
+        assert_eq!(got, want);
+
+        let mut got_into = vec![0u64; 32];
+        mul_shoup_into(&m, &mut got_into, &a0, &b, &bs);
+        assert_eq!(got_into, want);
+
+        let mut want_acc = a0.clone();
+        mul_add_assign(&m, &mut want_acc, &a0, &b);
+        let mut got_acc = a0.clone();
+        mul_shoup_add_assign(&m, &mut got_acc, &a0, &b, &bs);
+        assert_eq!(got_acc, want_acc);
     }
 }

@@ -22,6 +22,8 @@
 //! * [`par`] — scoped-thread data parallelism with the `MYC_THREADS` knob.
 //! * [`ew`] — the shared element-wise residue kernels behind every
 //!   [`rns::RnsPoly`] operation.
+//! * [`scratch`] — a process-wide pool of reusable coefficient buffers that
+//!   keeps the RNS/BGV hot path allocation-free.
 
 pub mod bigint;
 pub mod ew;
@@ -31,10 +33,11 @@ pub mod poly;
 pub mod rng;
 pub mod rns;
 pub mod sample;
+pub mod scratch;
 pub mod zq;
 
 pub use bigint::BigUint;
 pub use poly::Poly;
 pub use rng::{Rng, SeedableRng, StdRng};
-pub use rns::{RnsContext, RnsPoly};
+pub use rns::{RnsContext, RnsPoly, ShoupPrecomp};
 pub use zq::Modulus;

@@ -5,6 +5,24 @@
 //! polynomials therefore costs two forward transforms, a pointwise product,
 //! and one inverse transform — `O(N log N)` instead of the schoolbook
 //! `O(N^2)`.
+//!
+//! # Lazy-reduction kernel
+//!
+//! Both transforms use Harvey's lazy butterflies: every twiddle `w` is
+//! stored with its Shoup constant `floor(w·2^64/q)`, so a butterfly costs
+//! one high-half product and one wrapping multiply instead of a 128-bit
+//! Barrett reduction, and intermediate values are *not* canonicalized —
+//! the forward CT pass keeps them in `[0, 4q)`, the inverse GS pass in
+//! `[0, 2q)`, and a single canonicalization pass at the end restores the
+//! `[0, q)` invariant the rest of the stack expects. This is exact: lazy
+//! values are congruent mod `q` to their strict counterparts at every
+//! step, so the canonical outputs are bit-identical to the strict-Barrett
+//! reference kernels kept below as test oracles
+//! ([`NttTable::forward_reference`], [`NttTable::inverse_reference`]).
+//! Soundness needs `4q < 2^64`, which [`crate::zq::Modulus`]'s `q < 2^62`
+//! bound guarantees. Debug builds assert the `< 4q` / `< 2q` stage ranges
+//! so an overflow surfaces in `cargo test` rather than as silent
+//! wraparound in release.
 
 use crate::zq::Modulus;
 
@@ -35,10 +53,16 @@ pub struct NttTable {
     n: usize,
     /// Powers of psi (2n-th root) in bit-reversed order, for the forward CT.
     roots_fwd: Vec<u64>,
+    /// Shoup constants for `roots_fwd`.
+    roots_fwd_shoup: Vec<u64>,
     /// Powers of psi^{-1} in bit-reversed order, for the inverse GS.
     roots_inv: Vec<u64>,
+    /// Shoup constants for `roots_inv`.
+    roots_inv_shoup: Vec<u64>,
     /// n^{-1} mod q, folded into the inverse transform.
     n_inv: u64,
+    /// Shoup constant for `n_inv`.
+    n_inv_shoup: u64,
 }
 
 impl NttTable {
@@ -64,13 +88,19 @@ impl NttTable {
             pow_f = modulus.mul(pow_f, psi);
             pow_i = modulus.mul(pow_i, psi_inv);
         }
+        let roots_fwd_shoup = roots_fwd.iter().map(|&w| modulus.shoup(w)).collect();
+        let roots_inv_shoup = roots_inv.iter().map(|&w| modulus.shoup(w)).collect();
         let n_inv = modulus.inv(n as u64)?;
+        let n_inv_shoup = modulus.shoup(n_inv);
         Some(Self {
             modulus,
             n,
             roots_fwd,
+            roots_fwd_shoup,
             roots_inv,
+            roots_inv_shoup,
             n_inv,
+            n_inv_shoup,
         })
     }
 
@@ -88,10 +118,142 @@ impl NttTable {
 
     /// In-place forward negacyclic NTT (coefficient → evaluation domain).
     ///
+    /// Input coefficients must be canonical (`< q`); the output is
+    /// canonical. Internally the Harvey CT butterflies keep values lazy in
+    /// `[0, 4q)` and canonicalize once at the end.
+    ///
     /// # Panics
     ///
     /// Panics if `a.len()` differs from the table's ring degree.
     pub fn forward(&self, a: &mut [u64]) {
+        assert_eq!(a.len(), self.n, "length mismatch in NTT");
+        let q = self.modulus.value();
+        let two_q = q << 1;
+        let mut t = self.n;
+        let mut m = 1;
+        while m < self.n {
+            t /= 2;
+            for (i, chunk) in a.chunks_exact_mut(2 * t).enumerate() {
+                let w = self.roots_fwd[m + i];
+                let ws = self.roots_fwd_shoup[m + i];
+                let (lo, hi) = chunk.split_at_mut(t);
+                for (x, y) in lo.iter_mut().zip(hi.iter_mut()) {
+                    // Harvey butterfly: x enters in [0, 4q), leaves both
+                    // outputs in [0, 4q).
+                    let mut u = *x;
+                    if u >= two_q {
+                        u -= two_q;
+                    }
+                    let v = self.modulus.mul_shoup_lazy(*y, w, ws); // < 2q
+                    *x = u + v;
+                    *y = u + two_q - v;
+                }
+            }
+            #[cfg(debug_assertions)]
+            debug_check_range(a, 4 * q, "forward stage");
+            m *= 2;
+        }
+        // Single canonicalization pass: [0, 4q) → [0, q).
+        for x in a.iter_mut() {
+            let mut v = *x;
+            if v >= two_q {
+                v -= two_q;
+            }
+            if v >= q {
+                v -= q;
+            }
+            *x = v;
+        }
+    }
+
+    /// In-place inverse negacyclic NTT (evaluation → coefficient domain).
+    ///
+    /// Input values must be canonical (`< q`); the output is canonical.
+    /// Internally the Gentleman–Sande butterflies keep values lazy in
+    /// `[0, 2q)`; the final `n^{-1}` scaling pass canonicalizes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `a.len()` differs from the table's ring degree.
+    pub fn inverse(&self, a: &mut [u64]) {
+        assert_eq!(a.len(), self.n, "length mismatch in NTT");
+        let q = self.modulus.value();
+        let two_q = q << 1;
+        let mut t = 1;
+        let mut m = self.n;
+        while m > 1 {
+            let h = m / 2;
+            for (i, chunk) in a.chunks_exact_mut(2 * t).enumerate() {
+                let w = self.roots_inv[h + i];
+                let ws = self.roots_inv_shoup[h + i];
+                let (lo, hi) = chunk.split_at_mut(t);
+                for (x, y) in lo.iter_mut().zip(hi.iter_mut()) {
+                    // GS butterfly: inputs in [0, 2q), outputs in [0, 2q).
+                    let u = *x;
+                    let v = *y;
+                    let s = u + v; // < 4q
+                    *x = if s >= two_q { s - two_q } else { s };
+                    // u - v + 2q stays positive and < 4q; Shoup brings the
+                    // product back under 2q.
+                    *y = self.modulus.mul_shoup_lazy(u + two_q - v, w, ws);
+                }
+            }
+            #[cfg(debug_assertions)]
+            debug_check_range(a, 2 * q, "inverse stage");
+            t *= 2;
+            m = h;
+        }
+        // Fold in n^{-1} and canonicalize: [0, 2q) → [0, q).
+        for x in a.iter_mut() {
+            *x = self.modulus.reduce_lazy(self.modulus.mul_shoup_lazy(
+                *x,
+                self.n_inv,
+                self.n_inv_shoup,
+            ));
+        }
+    }
+
+    /// In-place negacyclic convolution: `a ← a * b`.
+    ///
+    /// Both operands are transformed in place (`b` is left in the
+    /// evaluation domain afterwards — its contents are clobbered), so the
+    /// product costs zero allocations. This is the kernel behind
+    /// [`NttTable::multiply`] and [`crate::poly::Poly::mul`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if either operand's length differs from the ring degree.
+    pub fn multiply_into(&self, a: &mut [u64], b: &mut [u64]) {
+        self.forward(a);
+        self.forward(b);
+        for (x, &y) in a.iter_mut().zip(b.iter()) {
+            *x = self.modulus.mul(*x, y);
+        }
+        self.inverse(a);
+    }
+
+    /// Negacyclic convolution of `a` and `b`, returning the product
+    /// polynomial's coefficients.
+    ///
+    /// Allocates copies of both operands; callers that can spare their
+    /// buffers should use [`NttTable::multiply_into`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if the operand lengths differ from the ring degree.
+    pub fn multiply(&self, a: &[u64], b: &[u64]) -> Vec<u64> {
+        let mut fa = a.to_vec();
+        let mut scratch = crate::scratch::take(b.len());
+        scratch.copy_from_slice(b);
+        self.multiply_into(&mut fa, &mut scratch);
+        fa
+    }
+
+    /// Strict-Barrett forward transform — the pre-lazy reference kernel,
+    /// kept as the oracle the property tests compare the Harvey kernel
+    /// against. Canonical in, canonical out, one full reduction per
+    /// butterfly.
+    pub fn forward_reference(&self, a: &mut [u64]) {
         assert_eq!(a.len(), self.n, "length mismatch in NTT");
         let q = &self.modulus;
         let mut t = self.n;
@@ -112,12 +274,9 @@ impl NttTable {
         }
     }
 
-    /// In-place inverse negacyclic NTT (evaluation → coefficient domain).
-    ///
-    /// # Panics
-    ///
-    /// Panics if `a.len()` differs from the table's ring degree.
-    pub fn inverse(&self, a: &mut [u64]) {
+    /// Strict-Barrett inverse transform (reference oracle; see
+    /// [`NttTable::forward_reference`]).
+    pub fn inverse_reference(&self, a: &mut [u64]) {
         assert_eq!(a.len(), self.n, "length mismatch in NTT");
         let q = &self.modulus;
         let mut t = 1;
@@ -142,23 +301,16 @@ impl NttTable {
             *x = q.mul(*x, self.n_inv);
         }
     }
+}
 
-    /// Negacyclic convolution of `a` and `b`, returning the product
-    /// polynomial's coefficients.
-    ///
-    /// # Panics
-    ///
-    /// Panics if the operand lengths differ from the ring degree.
-    pub fn multiply(&self, a: &[u64], b: &[u64]) -> Vec<u64> {
-        let mut fa = a.to_vec();
-        let mut fb = b.to_vec();
-        self.forward(&mut fa);
-        self.forward(&mut fb);
-        for (x, y) in fa.iter_mut().zip(&fb) {
-            *x = self.modulus.mul(*x, *y);
-        }
-        self.inverse(&mut fa);
-        fa
+/// Debug-only range check for the lazy stage invariants.
+#[cfg(debug_assertions)]
+fn debug_check_range(a: &[u64], bound: u64, stage: &str) {
+    for (j, &x) in a.iter().enumerate() {
+        debug_assert!(
+            x < bound,
+            "lazy NTT overflow at {stage}: a[{j}] = {x} >= {bound}"
+        );
     }
 }
 
@@ -223,6 +375,32 @@ mod tests {
     }
 
     #[test]
+    fn lazy_matches_reference_kernels() {
+        for log_n in [2usize, 5, 9] {
+            let n = 1 << log_n;
+            let t = table(n);
+            let q = t.modulus().value();
+            for seed in 0..4u64 {
+                let a = rand_poly(n, q, 100 + seed);
+                let (mut lazy, mut strict) = (a.clone(), a.clone());
+                t.forward(&mut lazy);
+                t.forward_reference(&mut strict);
+                assert_eq!(lazy, strict, "forward n={n} seed={seed}");
+                t.inverse(&mut lazy);
+                t.inverse_reference(&mut strict);
+                assert_eq!(lazy, strict, "inverse n={n} seed={seed}");
+                assert_eq!(lazy, a, "roundtrip n={n} seed={seed}");
+            }
+            // Worst case: every coefficient at q-1.
+            let worst = vec![q - 1; n];
+            let (mut lazy, mut strict) = (worst.clone(), worst.clone());
+            t.forward(&mut lazy);
+            t.forward_reference(&mut strict);
+            assert_eq!(lazy, strict, "worst-case forward n={n}");
+        }
+    }
+
+    #[test]
     fn multiply_matches_schoolbook() {
         for n in [4usize, 16, 64, 256] {
             let t = table(n);
@@ -231,6 +409,18 @@ mod tests {
             let b = rand_poly(n, q.value(), 2);
             assert_eq!(t.multiply(&a, &b), negacyclic_mul_naive(&q, &a, &b));
         }
+    }
+
+    #[test]
+    fn multiply_into_matches_multiply() {
+        let n = 64;
+        let t = table(n);
+        let a = rand_poly(n, t.modulus().value(), 5);
+        let b = rand_poly(n, t.modulus().value(), 6);
+        let mut ia = a.clone();
+        let mut ib = b.clone();
+        t.multiply_into(&mut ia, &mut ib);
+        assert_eq!(ia, t.multiply(&a, &b));
     }
 
     #[test]

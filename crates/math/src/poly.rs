@@ -151,8 +151,14 @@ impl Poly {
             self.modulus.value(),
             "NTT table modulus mismatch"
         );
+        // One owned buffer for the result, one pooled buffer for the second
+        // operand's transform — no other allocations.
+        let mut coeffs = self.coeffs.clone();
+        let mut tmp = crate::scratch::take(other.coeffs.len());
+        tmp.copy_from_slice(&other.coeffs);
+        table.multiply_into(&mut coeffs, &mut tmp);
         Self {
-            coeffs: table.multiply(&self.coeffs, &other.coeffs),
+            coeffs,
             modulus: self.modulus,
         }
     }

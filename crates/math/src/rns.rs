@@ -17,7 +17,7 @@ use std::sync::Arc;
 use crate::bigint::BigUint;
 use crate::ntt::NttTable;
 use crate::zq::{self, Modulus};
-use crate::{ew, par};
+use crate::{ew, par, scratch};
 
 /// Which domain a polynomial's residues are stored in.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -39,6 +39,9 @@ pub struct LevelPrecomp {
     pub qhat: Vec<BigUint>,
     /// `(Q_l / q_j)^{-1} mod q_j` for each active prime `j`.
     pub qhat_inv: Vec<u64>,
+    /// Shoup constants for `qhat_inv` (mod `q_j`), so the gadget
+    /// decomposition's scalar multiply skips the Barrett reduction.
+    pub qhat_inv_shoup: Vec<u64>,
     /// `(Q_l / q_j) mod q_i` for each pair of active primes (gadget values).
     pub qhat_mod: Vec<Vec<u64>>,
     /// `q_l^{-1} mod q_i` for `i < l-1` (used by modulus switching).
@@ -80,6 +83,7 @@ impl RnsContext {
             let half_q = big_q.shr1();
             let mut qhat = Vec::with_capacity(l);
             let mut qhat_inv = Vec::with_capacity(l);
+            let mut qhat_inv_shoup = Vec::with_capacity(l);
             let mut qhat_mod = Vec::with_capacity(l);
             for j in 0..l {
                 let mut h = BigUint::one();
@@ -89,7 +93,9 @@ impl RnsContext {
                     }
                 }
                 let hj = h.rem_u64(active[j]);
-                qhat_inv.push(moduli[j].inv(hj).expect("distinct primes are coprime"));
+                let inv = moduli[j].inv(hj).expect("distinct primes are coprime");
+                qhat_inv.push(inv);
+                qhat_inv_shoup.push(moduli[j].shoup(inv));
                 qhat_mod.push(moduli[..l].iter().map(|m| h.rem_u64(m.value())).collect());
                 qhat.push(h);
             }
@@ -106,6 +112,7 @@ impl RnsContext {
                 half_q,
                 qhat,
                 qhat_inv,
+                qhat_inv_shoup,
                 qhat_mod,
                 qlast_inv,
             });
@@ -492,6 +499,20 @@ impl RnsPoly {
     /// sharing a factor with `q_l` (impossible for odd primes and any `t`
     /// that is a power of two or smaller prime).
     pub fn mod_switch_down(&self, t: u64) -> Self {
+        let mut out = self.clone();
+        out.mod_switch_down_in_place(t);
+        out
+    }
+
+    /// In-place variant of [`RnsPoly::mod_switch_down`]: rescales the first
+    /// `l-1` residues in their existing storage and drops the last one, so
+    /// the only transient memory is two pooled scratch buffers for the
+    /// per-coefficient `(d, w)` correction terms.
+    ///
+    /// # Panics
+    ///
+    /// Same conditions as [`RnsPoly::mod_switch_down`].
+    pub fn mod_switch_down_in_place(&mut self, t: u64) {
         assert!(self.level >= 2, "cannot drop below level 1");
         assert_eq!(
             self.rep,
@@ -499,16 +520,23 @@ impl RnsPoly {
             "mod_switch_down requires coefficient representation"
         );
         let l = self.level;
-        let pre = self.ctx.level(l);
-        let qlast = self.ctx.moduli[l - 1];
+        let ctx = self.ctx.clone();
+        let pre = ctx.level(l);
+        let qlast = ctx.moduli[l - 1];
         let qlast_inv_t = inv_mod_u64(qlast.value() % t, t)
             .expect("q_l must be invertible modulo the plaintext modulus");
-        let n = self.ctx.degree();
+        let n = ctx.degree();
         // Precompute delta = d + q_l * w per coefficient, where d is the
         // centered residue mod q_l and w ≡ -d·q_l^{-1} (mod t), centered.
-        let mut delta_signed = vec![(0i64, 0i64); n];
-        for (j, ds) in delta_signed.iter_mut().enumerate() {
-            let d = qlast.to_signed(self.residues[l - 1][j]);
+        // The signed values ride in pooled u64 buffers via bit-cast.
+        let mut dbuf = scratch::take(n);
+        let mut wbuf = scratch::take(n);
+        for ((db, wb), &r) in dbuf
+            .iter_mut()
+            .zip(wbuf.iter_mut())
+            .zip(&self.residues[l - 1])
+        {
+            let d = qlast.to_signed(r);
             // w = [-d * q_l^{-1}] mod t, centered into (-t/2, t/2].
             let d_mod_t = (d.rem_euclid(t as i64)) as u64;
             let w = (d_mod_t as u128 * qlast_inv_t as u128 % t as u128) as u64;
@@ -518,29 +546,25 @@ impl RnsPoly {
             } else {
                 w as i64
             };
-            *ds = (d, w_c);
+            *db = d as u64;
+            *wb = w_c as u64;
         }
-        let residues = par::map_indices(l - 1, |i| {
-            let m = &self.ctx.moduli[i];
+        let (head, _last) = self.residues.split_at_mut(l - 1);
+        par::for_each_mut(head, |i, r| {
+            let m = &ctx.moduli[i];
             let inv = pre.qlast_inv[i];
             let ql_mod = m.reduce(qlast.value());
-            let mut r = Vec::with_capacity(n);
-            for (&(d, w), &resid) in delta_signed.iter().zip(&self.residues[i]) {
+            for (x, (&db, &wb)) in r.iter_mut().zip(dbuf.iter().zip(wbuf.iter())) {
                 // delta mod q_i = d + q_l * w (all small, centered).
-                let dm = m.from_signed(d);
-                let wm = m.from_signed(w);
+                let dm = m.from_signed(db as i64);
+                let wm = m.from_signed(wb as i64);
                 let delta = m.add(dm, m.mul(ql_mod, wm));
-                let num = m.sub(resid, delta);
-                r.push(m.mul(num, inv));
+                let num = m.sub(*x, delta);
+                *x = m.mul(num, inv);
             }
-            r
         });
-        Self {
-            ctx: self.ctx.clone(),
-            level: l - 1,
-            rep: Representation::Coefficient,
-            residues,
-        }
+        self.residues.pop();
+        self.level = l - 1;
     }
 
     /// CRT-reconstructs each coefficient as a centered integer and reduces
@@ -620,20 +644,24 @@ impl RnsPoly {
             "decomposition requires coefficient representation"
         );
         let l = self.level;
-        let pre = self.ctx.level(l);
         let n = self.ctx.degree();
         // One independent digit polynomial per active prime: compute, lift,
         // and forward-transform each on its own thread.
         par::map_indices(l, |j| {
-            let mj = &self.ctx.moduli[j];
             // d_j coefficients as integers in [0, q_j).
-            let dj: Vec<u64> = (0..n)
-                .map(|c| mj.mul(self.residues[j][c], pre.qhat_inv[j]))
-                .collect();
-            // Lift to every active prime.
+            let mut dj = scratch::take(n);
+            self.rns_digit_into(j, &mut dj);
+            // Lift to every active prime (a copy where q_i = q_j).
             let residues: Vec<Vec<u64>> = self.ctx.moduli[..l]
                 .iter()
-                .map(|mi| dj.iter().map(|&x| mi.reduce(x)).collect())
+                .enumerate()
+                .map(|(i, mi)| {
+                    if i == j {
+                        dj.to_vec()
+                    } else {
+                        dj.iter().map(|&x| mi.reduce(x)).collect()
+                    }
+                })
                 .collect();
             let mut p = Self {
                 ctx: self.ctx.clone(),
@@ -644,6 +672,32 @@ impl RnsPoly {
             p.to_ntt();
             p
         })
+    }
+
+    /// Writes the `j`-th RNS gadget digit `d_j = [c · (Q/q_j)^{-1}]_{q_j}`
+    /// (values in `[0, q_j)`, coefficient domain) into `out` without
+    /// allocating. The building block behind [`RnsPoly::rns_decompose`] and
+    /// the fused [`key_switch_assign`].
+    ///
+    /// # Panics
+    ///
+    /// Panics in NTT representation, if `j` is not an active prime index,
+    /// or if `out.len()` differs from the ring degree.
+    pub fn rns_digit_into(&self, j: usize, out: &mut [u64]) {
+        assert_eq!(
+            self.rep,
+            Representation::Coefficient,
+            "decomposition requires coefficient representation"
+        );
+        assert!(j < self.level, "digit index out of range");
+        assert_eq!(out.len(), self.ctx.degree(), "digit buffer length mismatch");
+        let pre = self.ctx.level(self.level);
+        let mj = &self.ctx.moduli[j];
+        let w = pre.qhat_inv[j];
+        let ws = pre.qhat_inv_shoup[j];
+        for (o, &x) in out.iter_mut().zip(&self.residues[j]) {
+            *o = mj.mul_shoup(x, w, ws);
+        }
     }
 
     fn crt_coeff(&self, j: usize, pre: &LevelPrecomp) -> BigUint {
@@ -661,6 +715,55 @@ impl RnsPoly {
         acc
     }
 
+    /// In-place ring multiplication by a Shoup-precomputed operand; `self`
+    /// must be in NTT representation.
+    ///
+    /// Bit-identical to `mul_assign(precomp.poly())` but each pointwise
+    /// product costs one high-half multiply instead of a Barrett reduction.
+    ///
+    /// # Panics
+    ///
+    /// Panics on level/representation/context mismatch or coefficient
+    /// representation.
+    pub fn mul_shoup_assign(&mut self, other: &ShoupPrecomp) {
+        self.check_compat(&other.poly);
+        assert_eq!(
+            self.rep,
+            Representation::Ntt,
+            "ring multiplication requires NTT representation"
+        );
+        let ctx = self.ctx.clone();
+        par::for_each_mut(&mut self.residues, |i, r| {
+            ew::mul_shoup_assign(&ctx.moduli[i], r, other.residue(i), other.shoup_residue(i));
+        });
+    }
+
+    /// Fused multiply-add against a Shoup-precomputed operand:
+    /// `self += a ⊙ b`, all in NTT representation.
+    ///
+    /// # Panics
+    ///
+    /// Panics on level/representation mismatch or coefficient representation.
+    pub fn mul_shoup_add_assign(&mut self, a: &Self, b: &ShoupPrecomp) {
+        self.check_compat(a);
+        self.check_compat(&b.poly);
+        assert_eq!(
+            self.rep,
+            Representation::Ntt,
+            "fused multiply-add requires NTT representation"
+        );
+        let ctx = self.ctx.clone();
+        par::for_each_mut(&mut self.residues, |i, r| {
+            ew::mul_shoup_add_assign(
+                &ctx.moduli[i],
+                r,
+                &a.residues[i],
+                b.residue(i),
+                b.shoup_residue(i),
+            );
+        });
+    }
+
     fn check_compat(&self, other: &Self) {
         assert_eq!(self.level, other.level, "RNS level mismatch");
         assert_eq!(self.rep, other.rep, "representation mismatch");
@@ -668,6 +771,143 @@ impl RnsPoly {
             Arc::ptr_eq(&self.ctx, &other.ctx),
             "operands belong to different contexts"
         );
+    }
+}
+
+/// An NTT-domain ring element packaged with per-residue Shoup constants.
+///
+/// For a *repeated* pointwise operand — a public-key component, a
+/// key-switching key, a prepared plaintext mask — precomputing
+/// `floor(x·2^64/q)` for every evaluation once lets each later product use
+/// [`Modulus::mul_shoup`] (one high-half multiply) instead of the 128-bit
+/// Barrett path, roughly halving the pointwise cost. Results are canonical
+/// and bit-identical to the Barrett route.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ShoupPrecomp {
+    poly: RnsPoly,
+    shoup: Vec<Vec<u64>>,
+}
+
+impl ShoupPrecomp {
+    /// Converts `poly` to NTT representation (if needed) and precomputes
+    /// the Shoup constant of every residue value.
+    pub fn new(mut poly: RnsPoly) -> Self {
+        poly.to_ntt();
+        let shoup = poly
+            .residues
+            .iter()
+            .enumerate()
+            .map(|(i, r)| {
+                let m = &poly.ctx.moduli[i];
+                r.iter().map(|&x| m.shoup(x)).collect()
+            })
+            .collect();
+        Self { poly, shoup }
+    }
+
+    /// The underlying NTT-domain polynomial.
+    #[inline]
+    pub fn poly(&self) -> &RnsPoly {
+        &self.poly
+    }
+
+    /// Level of the underlying polynomial.
+    #[inline]
+    pub fn level(&self) -> usize {
+        self.poly.level
+    }
+
+    /// The `i`-th residue values (NTT domain, canonical).
+    #[inline]
+    pub fn residue(&self, i: usize) -> &[u64] {
+        &self.poly.residues[i]
+    }
+
+    /// The Shoup constants for the `i`-th residue.
+    #[inline]
+    pub fn shoup_residue(&self, i: usize) -> &[u64] {
+        &self.shoup[i]
+    }
+}
+
+/// Fused RNS-gadget key switch: `(c0, c1) += Σ_j NTT(d_j) ⊙ keys[j]` where
+/// `d_j` is the `j`-th gadget digit of the coefficient-domain `c2`.
+///
+/// This is relinearization's inner loop, restructured so that each RNS limb
+/// is one unit of parallel work: for limb `i`, every digit is lifted to
+/// `q_i` and forward-transformed in a single pooled scratch buffer, then
+/// multiply-accumulated against both key components with their Shoup
+/// constants. Compared to `rns_decompose` + per-digit `mul_add_assign`,
+/// this materializes no digit polynomials (`l` base-digit buffers and one
+/// transform buffer per limb, all pooled) and runs the `l` limbs — not the
+/// `l` digits — in parallel, with digits accumulated in ascending order per
+/// limb so results are bit-identical at any thread count.
+///
+/// # Panics
+///
+/// Panics if `c0`/`c1` are not NTT-domain polynomials at the same level
+/// and context, if `c2` is not coefficient-domain at that level, or if
+/// `keys.len()` differs from the level.
+pub fn key_switch_assign(
+    c0: &mut RnsPoly,
+    c1: &mut RnsPoly,
+    c2: &RnsPoly,
+    keys: &[(ShoupPrecomp, ShoupPrecomp)],
+) {
+    c0.check_compat(c1);
+    assert_eq!(
+        c0.rep,
+        Representation::Ntt,
+        "key switch accumulates in NTT representation"
+    );
+    assert_eq!(
+        c2.rep,
+        Representation::Coefficient,
+        "key switch decomposes a coefficient-domain polynomial"
+    );
+    assert_eq!(c2.level, c0.level, "RNS level mismatch");
+    assert!(Arc::ptr_eq(&c0.ctx, &c2.ctx), "context mismatch");
+    let l = c0.level;
+    assert_eq!(keys.len(), l, "one key pair per active prime");
+    let ctx = c0.ctx.clone();
+    let n = ctx.degree();
+    // Base digits d_j in [0, q_j), one pooled buffer per active prime.
+    let digits: Vec<scratch::ScratchBuf> = (0..l)
+        .map(|j| {
+            let mut b = scratch::take(n);
+            c2.rns_digit_into(j, &mut b);
+            b
+        })
+        .collect();
+    // Pair the limb rows of both accumulators so one parallel region covers
+    // them; rows are moved out and back to satisfy the borrow checker.
+    let mut rows: Vec<(Vec<u64>, Vec<u64>)> = c0
+        .residues
+        .iter_mut()
+        .zip(c1.residues.iter_mut())
+        .map(|(r0, r1)| (std::mem::take(r0), std::mem::take(r1)))
+        .collect();
+    par::for_each_mut(&mut rows, |i, (r0, r1)| {
+        let mi = &ctx.moduli[i];
+        let mut tmp = scratch::take(n);
+        for (j, dj) in digits.iter().enumerate() {
+            // Lift d_j to Z_{q_i} (a plain copy where q_i = q_j).
+            if i == j {
+                tmp.copy_from_slice(dj);
+            } else {
+                for (o, &x) in tmp.iter_mut().zip(dj.iter()) {
+                    *o = mi.reduce(x);
+                }
+            }
+            ctx.tables[i].forward(&mut tmp);
+            let (kb, ka) = &keys[j];
+            ew::mul_shoup_add_assign(mi, r0, &tmp, kb.residue(i), kb.shoup_residue(i));
+            ew::mul_shoup_add_assign(mi, r1, &tmp, ka.residue(i), ka.shoup_residue(i));
+        }
+    });
+    for (i, (s0, s1)) in rows.into_iter().enumerate() {
+        c0.residues[i] = s0;
+        c1.residues[i] = s1;
     }
 }
 
@@ -848,6 +1088,92 @@ mod tests {
         let q = 1_099_511_627_689u64 % t; // An odd prime mod 2^30.
         let inv = inv_mod_u64(q, t).unwrap();
         assert_eq!(q.wrapping_mul(inv) % t, 1);
+    }
+
+    fn pseudo_poly(c: &Arc<RnsContext>, level: usize, seed: u64) -> RnsPoly {
+        let mut s = seed.wrapping_mul(0x9E3779B97F4A7C15) | 1;
+        let coeffs: Vec<i64> = (0..c.degree())
+            .map(|_| {
+                s ^= s << 13;
+                s ^= s >> 7;
+                s ^= s << 17;
+                (s % 2_000_003) as i64 - 1_000_001
+            })
+            .collect();
+        RnsPoly::from_signed(c.clone(), level, &coeffs)
+    }
+
+    #[test]
+    fn shoup_precomp_mul_matches_plain() {
+        let c = ctx(32, 3);
+        let a = pseudo_poly(&c, 3, 1).ntt();
+        let b = pseudo_poly(&c, 3, 2);
+        let bp = ShoupPrecomp::new(b.clone());
+        assert_eq!(bp.poly(), &b.ntt());
+        assert_eq!(bp.level(), 3);
+
+        let want = a.mul(&b.ntt());
+        let mut got = a.clone();
+        got.mul_shoup_assign(&bp);
+        assert_eq!(got, want);
+
+        let acc0 = pseudo_poly(&c, 3, 3).ntt();
+        let mut want_acc = acc0.clone();
+        want_acc.mul_add_assign(&a, &b.ntt());
+        let mut got_acc = acc0;
+        got_acc.mul_shoup_add_assign(&a, &bp);
+        assert_eq!(got_acc, want_acc);
+    }
+
+    #[test]
+    fn key_switch_matches_decompose_path() {
+        let c = ctx(16, 3);
+        let c2 = pseudo_poly(&c, 3, 10);
+        let keys: Vec<(ShoupPrecomp, ShoupPrecomp)> = (0..3)
+            .map(|j| {
+                (
+                    ShoupPrecomp::new(pseudo_poly(&c, 3, 20 + j)),
+                    ShoupPrecomp::new(pseudo_poly(&c, 3, 40 + j)),
+                )
+            })
+            .collect();
+        // Reference: decompose into digit polynomials, then mul-add.
+        let mut want0 = pseudo_poly(&c, 3, 60).ntt();
+        let mut want1 = pseudo_poly(&c, 3, 61).ntt();
+        let mut got0 = want0.clone();
+        let mut got1 = want1.clone();
+        for (d, (kb, ka)) in c2.rns_decompose().iter().zip(&keys) {
+            want0.mul_add_assign(d, kb.poly());
+            want1.mul_add_assign(d, ka.poly());
+        }
+        key_switch_assign(&mut got0, &mut got1, &c2, &keys);
+        assert_eq!(got0, want0);
+        assert_eq!(got1, want1);
+    }
+
+    #[test]
+    fn mod_switch_in_place_matches_cloning_variant() {
+        let c = ctx(16, 3);
+        let t = 257u64;
+        let p = pseudo_poly(&c, 3, 77);
+        let want = p.mod_switch_down(t);
+        let mut got = p;
+        got.mod_switch_down_in_place(t);
+        assert_eq!(got, want);
+        assert_eq!(got.level(), 2);
+    }
+
+    #[test]
+    fn rns_digit_into_matches_decompose_base_digit() {
+        let c = ctx(16, 2);
+        let p = pseudo_poly(&c, 2, 5);
+        let digits = p.rns_decompose();
+        for (j, digit) in digits.iter().enumerate() {
+            let mut out = vec![0u64; 16];
+            p.rns_digit_into(j, &mut out);
+            // The j-th digit polynomial's j-th residue is d_j itself.
+            assert_eq!(digit.coeff().residues()[j], out);
+        }
     }
 
     #[test]

@@ -151,6 +151,66 @@ impl Modulus {
         self.reduce_u128(a as u128 * b as u128)
     }
 
+    /// Shoup precomputation for a fixed multiplicand: `floor(w · 2^64 / q)`.
+    ///
+    /// Pairing `w` with this constant lets [`Modulus::mul_shoup`] replace the
+    /// 128-bit Barrett reduction with one high-half product and one wrapping
+    /// multiply (Harvey, "Faster arithmetic for number-theoretic transforms").
+    #[inline]
+    pub fn shoup(&self, w: u64) -> u64 {
+        debug_assert!(w < self.q);
+        (((w as u128) << 64) / self.q as u128) as u64
+    }
+
+    /// Shoup multiplication with a *lazy* result in `[0, 2q)`.
+    ///
+    /// `w` must be reduced and `w_shoup` must be [`Modulus::shoup`]`(w)`;
+    /// `a` may be any `u64` (in particular a lazy `[0, 4q)` NTT value).
+    #[inline(always)]
+    pub fn mul_shoup_lazy(&self, a: u64, w: u64, w_shoup: u64) -> u64 {
+        let hi = ((a as u128 * w_shoup as u128) >> 64) as u64;
+        a.wrapping_mul(w).wrapping_sub(hi.wrapping_mul(self.q))
+    }
+
+    /// Shoup multiplication with a canonical result in `[0, q)`.
+    #[inline(always)]
+    pub fn mul_shoup(&self, a: u64, w: u64, w_shoup: u64) -> u64 {
+        let r = self.mul_shoup_lazy(a, w, w_shoup);
+        if r >= self.q {
+            r - self.q
+        } else {
+            r
+        }
+    }
+
+    /// Lazy addition: operands and result live in `[0, 2q)`.
+    ///
+    /// Costs one conditional subtraction instead of the strict `[0, q)`
+    /// canonicalization; chains of lazy adds defer the final reduction to a
+    /// single [`Modulus::reduce_lazy`] at the end.
+    #[inline(always)]
+    pub fn add_lazy(&self, a: u64, b: u64) -> u64 {
+        debug_assert!(a < 2 * self.q && b < 2 * self.q);
+        let two_q = self.q << 1;
+        let s = a.wrapping_add(b);
+        if s >= two_q {
+            s - two_q
+        } else {
+            s
+        }
+    }
+
+    /// Canonicalizes a lazy `[0, 2q)` value into `[0, q)`.
+    #[inline(always)]
+    pub fn reduce_lazy(&self, a: u64) -> u64 {
+        debug_assert!(a < 2 * self.q);
+        if a >= self.q {
+            a - self.q
+        } else {
+            a
+        }
+    }
+
     /// Fused multiply-add: `a * b + c (mod q)`.
     #[inline]
     pub fn mul_add(&self, a: u64, b: u64, c: u64) -> u64 {
@@ -381,6 +441,42 @@ mod tests {
             q.reduce_u128(u128::MAX),
             (u128::MAX % q.value() as u128) as u64
         );
+    }
+
+    #[test]
+    fn shoup_mul_matches_barrett() {
+        // Shoup multiplication must agree with Barrett on every operand
+        // range it accepts, including lazy inputs up to 4q and the largest
+        // supported modulus.
+        for &qv in &[97u64, 1_000_003, (1 << 61) + 33, (1 << 62) - 59] {
+            let q = Modulus::new(qv).unwrap();
+            let mut x = 1u64;
+            for i in 1..200u64 {
+                x = x.wrapping_mul(6364136223846793005).wrapping_add(i);
+                let w = x % qv;
+                let ws = q.shoup(w);
+                // `a` sweeps the full lazy range [0, 4q).
+                let a = x.wrapping_mul(0x9E3779B97F4A7C15) % (4 * qv).max(1);
+                let expect = ((a as u128 * w as u128) % qv as u128) as u64;
+                assert_eq!(q.mul_shoup(a, w, ws), expect, "q={qv} a={a} w={w}");
+                let lazy = q.mul_shoup_lazy(a, w, ws);
+                assert!(lazy < 2 * qv, "lazy result out of range");
+                assert_eq!(lazy % qv, expect);
+            }
+        }
+    }
+
+    #[test]
+    fn lazy_add_and_reduce() {
+        let q = Modulus::new(101).unwrap();
+        for a in 0..202u64 {
+            for b in 0..202u64 {
+                let s = q.add_lazy(a, b);
+                assert!(s < 202);
+                assert_eq!(s % 101, (a + b) % 101);
+            }
+            assert_eq!(q.reduce_lazy(a), a % 101);
+        }
     }
 
     #[test]

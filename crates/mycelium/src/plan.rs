@@ -39,11 +39,19 @@ use crate::params::SystemParams;
 /// Digest of a ciphertext's full RNS representation (used to bind proofs
 /// and summation-tree commitments to concrete ciphertexts).
 pub fn ciphertext_digest(ct: &Ciphertext) -> Digest {
+    // Serialize residues in kilobyte-scale chunks instead of one 8-byte
+    // hasher update per coefficient; the stream (and thus the digest) is
+    // unchanged, but the SHA-256 block pipeline stays full.
+    const CHUNK: usize = 1024;
     let mut h = Sha256::new();
+    let mut buf = [0u8; CHUNK * 8];
     for part in ct.parts() {
         for res in part.residues() {
-            for &x in res {
-                h.update(&x.to_le_bytes());
+            for chunk in res.chunks(CHUNK) {
+                for (dst, &x) in buf.chunks_exact_mut(8).zip(chunk) {
+                    dst.copy_from_slice(&x.to_le_bytes());
+                }
+                h.update(&buf[..chunk.len() * 8]);
             }
         }
     }
@@ -435,11 +443,10 @@ pub fn combine_origin<R: Rng + ?Sized>(
                     let ell = slots.len() as u64;
                     let mut sum: Option<Ciphertext> = None;
                     for &slot in slots {
-                        let ct = cts[slot].clone();
-                        sum = Some(match sum {
-                            None => ct,
-                            Some(s) => s.add(&ct)?,
-                        });
+                        match &mut sum {
+                            None => sum = Some(cts[slot].clone()),
+                            Some(s) => s.add_assign(&cts[slot])?,
+                        }
                     }
                     let combined = sum
                         .expect("nonempty subsequence")
@@ -473,10 +480,10 @@ pub fn combine_origin<R: Rng + ?Sized>(
                 let shifted = ct
                     .mod_switch_to(min_level)?
                     .mul_monomial(g * plan.analysis.group_window);
-                sum = Some(match sum {
-                    None => shifted,
-                    Some(s) => s.add(&shifted)?,
-                });
+                match &mut sum {
+                    None => sum = Some(shifted),
+                    Some(s) => s.add_assign(&shifted)?,
+                }
             }
             sum.expect("at least one group")
         }

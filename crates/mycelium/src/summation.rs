@@ -109,12 +109,13 @@ impl SummationTree {
                 .filter(|p| p.len() == 2)
                 .map(|p| (p[0], p[1]))
                 .collect();
-            let computed = par::map(&pairs, |_, &(l, r)| {
-                nodes[l].sum.add(&nodes[r].sum).map(|sum| {
-                    let commitment =
-                        node_commitment(&sum, &nodes[l].commitment, &nodes[r].commitment);
-                    (sum, commitment)
-                })
+            let computed = par::map(&pairs, |_, &(l, r)| -> Result<_, BgvError> {
+                // Fold the right child into a copy of the left in place —
+                // one allocation per interior node instead of two.
+                let mut sum = nodes[l].sum.clone();
+                sum.add_assign(&nodes[r].sum)?;
+                let commitment = node_commitment(&sum, &nodes[l].commitment, &nodes[r].commitment);
+                Ok((sum, commitment))
             });
             let mut next = Vec::with_capacity(level.len().div_ceil(2));
             let mut computed = computed.into_iter();

@@ -41,6 +41,39 @@ fn ntt_multiply_matches_schoolbook() {
 }
 
 #[test]
+fn lazy_ntt_matches_strict_barrett_reference() {
+    // The Harvey lazy-reduction kernels must be value-identical to the
+    // strict-Barrett reference transforms for every degree and modulus
+    // bit-width the parameter sets use — including the worst-case input
+    // of all coefficients at q-1, which maximizes the lazy ranges.
+    for n in [16usize, 256, 1024, 4096] {
+        for bits in [30u32, 40, 45, 55] {
+            let q = Modulus::new_prime(ntt_primes(bits, n, 1)[0]).unwrap();
+            let table = NttTable::new(q, n).unwrap();
+
+            let check = |input: &[u64], seed: u64| {
+                let mut fwd = input.to_vec();
+                table.forward(&mut fwd);
+                let mut fwd_ref = input.to_vec();
+                table.forward_reference(&mut fwd_ref);
+                assert_eq!(fwd, fwd_ref, "forward n={n} bits={bits} seed {seed}");
+                let mut inv = input.to_vec();
+                table.inverse(&mut inv);
+                let mut inv_ref = input.to_vec();
+                table.inverse_reference(&mut inv_ref);
+                assert_eq!(inv, inv_ref, "inverse n={n} bits={bits} seed {seed}");
+            };
+
+            check(&vec![q.value() - 1; n], u64::MAX);
+            for_cases(4, |seed, rng| {
+                let a: Vec<u64> = (0..n).map(|_| rng.gen_range(0..q.value())).collect();
+                check(&a, seed);
+            });
+        }
+    }
+}
+
+#[test]
 fn crt_roundtrip_preserves_signed_coefficients() {
     let ctx = RnsContext::with_primes(16, 30, 3).unwrap();
     for_cases(32, |seed, rng| {
