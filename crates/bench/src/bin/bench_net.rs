@@ -1,0 +1,13 @@
+//! Transport-plane benchmark: loopback throughput, per-exchange
+//! latency, and handshake cost over the authenticated-encryption TCP
+//! channel. Writes `BENCH_net.json` (fixed field order). `--smoke`
+//! shrinks the time budget for CI.
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    eprintln!("bench_net: payload sweep over loopback (smoke={smoke})");
+    let bench = mycelium_bench::net::run(smoke);
+    let json = mycelium_bench::net::to_json(&bench);
+    std::fs::write("BENCH_net.json", &json).expect("write BENCH_net.json");
+    print!("{json}");
+}

@@ -9,6 +9,7 @@
 //! `BENCH_bgv.json` — the numbers the §6 cost models extrapolate from,
 //! exactly as the paper extrapolates from its component benchmarks (§6.1).
 
+pub mod net;
 pub mod rounds;
 
 /// Formats a byte count as MB with one decimal.

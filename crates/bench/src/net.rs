@@ -1,0 +1,181 @@
+//! Loopback throughput/latency benchmark for the TCP transport plane.
+//!
+//! Sweeps request/response payload sizes over a real
+//! [`mycelium_net::Server`] echo endpoint on loopback — every byte goes
+//! through framing, AEAD sealing, the kernel socket path, and back —
+//! and measures per-exchange latency plus the cost of a full
+//! authenticated handshake. The emitted `BENCH_net.json` has a fixed
+//! field order and precision so diffs stay readable.
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use mycelium_math::rng::{SeedableRng, StdRng};
+use mycelium_net::client::{Client, ClientConfig};
+use mycelium_net::error::NetError;
+use mycelium_net::server::{Handler, Server, ServerConfig};
+use mycelium_net::Identity;
+use mycelium_simnet::PhaseSeries;
+
+/// The swept payload sizes (bytes).
+pub const PAYLOAD_SIZES: [usize; 3] = [1 << 10, 64 << 10, 1 << 20];
+
+/// One payload size's measurements.
+pub struct NetSample {
+    /// Payload bytes per direction.
+    pub payload: usize,
+    /// Completed request/response exchanges.
+    pub exchanges: u64,
+    /// Wall seconds for the whole loop.
+    pub secs: f64,
+    /// Per-exchange latency (microseconds).
+    pub latency_micros: PhaseSeries,
+}
+
+impl NetSample {
+    /// Application-payload throughput, counting both directions.
+    pub fn mbytes_per_sec(&self) -> f64 {
+        (2 * self.payload as u64 * self.exchanges) as f64 / self.secs / 1e6
+    }
+}
+
+/// The full benchmark result.
+pub struct NetBench {
+    /// One sample per swept payload size.
+    pub samples: Vec<NetSample>,
+    /// Fresh connect + authenticated handshake cost (microseconds).
+    pub handshake_micros: PhaseSeries,
+}
+
+fn echo_server() -> (Server, [u8; 32]) {
+    let identity = Identity::derive(0xbe, 0);
+    let public = identity.public;
+    let handler: Arc<dyn Handler> =
+        Arc::new(|_peer: [u8; 32], req: &[u8]| -> Result<Vec<u8>, NetError> { Ok(req.to_vec()) });
+    let server = Server::spawn(
+        "127.0.0.1:0",
+        identity,
+        ServerConfig::default(),
+        handler,
+        0xbe,
+    )
+    .expect("bench server spawns");
+    (server, public)
+}
+
+/// Runs the sweep. `smoke` shrinks the iteration budget for CI.
+pub fn run(smoke: bool) -> NetBench {
+    let (server, server_pub) = echo_server();
+    let addr = server.local_addr();
+    let client_cfg = || ClientConfig::new(Identity::derive(0xbe, 100), Some(server_pub));
+
+    // Handshake cost: fresh TCP connect + key agreement + confirm, each
+    // proven live with a 1-byte exchange.
+    let handshake_iters = if smoke { 10 } else { 50 };
+    let mut handshake_micros = PhaseSeries::default();
+    for i in 0..handshake_iters {
+        let mut client = Client::new(addr, client_cfg(), StdRng::seed_from_u64(1000 + i));
+        let start = Instant::now();
+        client.request("hs", b"x").expect("handshake exchange");
+        handshake_micros.record(start.elapsed().as_micros() as u64);
+    }
+
+    let mut samples = Vec::new();
+    let mut client = Client::new(addr, client_cfg(), StdRng::seed_from_u64(7));
+    for &payload in &PAYLOAD_SIZES {
+        let body = vec![0x5au8; payload];
+        // Warm-up exchange (also establishes the channel).
+        client.request("warm", &body).expect("warm-up");
+        let budget_secs = if smoke { 0.2 } else { 1.0 };
+        let mut latency = PhaseSeries::default();
+        let mut exchanges = 0u64;
+        let start = Instant::now();
+        loop {
+            let t = Instant::now();
+            let reply = client.request("bench", &body).expect("echo exchange");
+            latency.record(t.elapsed().as_micros() as u64);
+            assert_eq!(reply.len(), payload);
+            exchanges += 1;
+            if start.elapsed().as_secs_f64() >= budget_secs {
+                break;
+            }
+        }
+        let secs = start.elapsed().as_secs_f64();
+        eprintln!(
+            "  {:>8} B  {exchanges:>6} exchanges in {secs:>5.2} s  ({:>8.2} MB/s, p50 {} us)",
+            payload,
+            (2 * payload as u64 * exchanges) as f64 / secs / 1e6,
+            latency.p50(),
+        );
+        samples.push(NetSample {
+            payload,
+            exchanges,
+            secs,
+            latency_micros: latency,
+        });
+    }
+    server.shutdown();
+    NetBench {
+        samples,
+        handshake_micros,
+    }
+}
+
+/// Renders the fixed-order JSON document.
+pub fn to_json(bench: &NetBench) -> String {
+    let mut out = String::from("{\n");
+    out.push_str("  \"handshake\": {");
+    out.push_str(&format!(
+        "\"iters\": {}, \"p50_micros\": {}, \"p99_micros\": {}",
+        bench.handshake_micros.count(),
+        bench.handshake_micros.p50(),
+        bench.handshake_micros.p99(),
+    ));
+    out.push_str("},\n  \"payloads\": [\n");
+    for (i, s) in bench.samples.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"bytes\": {}, \"exchanges\": {}, \"mbytes_per_sec\": {:.2}, \
+             \"p50_micros\": {}, \"p99_micros\": {}}}{}\n",
+            s.payload,
+            s.exchanges,
+            s.mbytes_per_sec(),
+            s.latency_micros.p50(),
+            s.latency_micros.p99(),
+            if i + 1 == bench.samples.len() {
+                ""
+            } else {
+                ","
+            },
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_shape_is_stable() {
+        let mut latency = PhaseSeries::default();
+        latency.record(10);
+        latency.record(30);
+        let mut handshake_micros = PhaseSeries::default();
+        handshake_micros.record(100);
+        let bench = NetBench {
+            samples: vec![NetSample {
+                payload: 1024,
+                exchanges: 2,
+                secs: 0.5,
+                latency_micros: latency,
+            }],
+            handshake_micros,
+        };
+        let json = to_json(&bench);
+        assert!(json.contains("\"bytes\": 1024"));
+        assert!(json.contains("\"mbytes_per_sec\": 0.01"));
+        assert!(json.contains("\"p99_micros\": 30"));
+        assert!(json.ends_with("]\n}\n"));
+    }
+}

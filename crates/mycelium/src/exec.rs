@@ -178,12 +178,9 @@ pub struct EncryptedOutcome {
 }
 
 /// Assembles the released (noisy) groups from the exact decode and the
-/// committee's joint noise.
-pub(crate) fn release_noisy(
-    exact: &PlainResult,
-    noise: &[i64],
-    released_len: usize,
-) -> Vec<NoisyGroup> {
+/// committee's joint noise (shared by the direct, simulated, and TCP
+/// transport executors).
+pub fn release_noisy(exact: &PlainResult, noise: &[i64], released_len: usize) -> Vec<NoisyGroup> {
     exact
         .groups
         .iter()

@@ -1,0 +1,53 @@
+//! `mycelium-net`: the real-network transport plane.
+//!
+//! Everything the repository runs elsewhere as function calls
+//! ([`mycelium::run_query_encrypted`]) or as simulated actors
+//! ([`mycelium::run_query_simulated`]) runs here across real OS
+//! processes over loopback TCP — same planning, same cryptography, same
+//! bit-exact decoded histogram. Hermetic like the rest of the
+//! workspace: built on `std::net` and the in-repo crypto, no external
+//! dependencies.
+//!
+//! Layers, bottom up:
+//!
+//! * [`frame`] — length-prefixed frames with a versioned 20-byte header.
+//! * [`channel`] — mutually authenticated key agreement (x25519 +
+//!   HKDF from `mycelium-crypto`) and AEAD-sealed [`SecureChannel`]s
+//!   with strictly sequential per-direction nonces (replay/reorder
+//!   rejection for free).
+//! * [`server`] / [`client`] — a thread-per-connection request/response
+//!   server with a bounded worker pool, and a reconnecting client that
+//!   reuses the simulated transport's [`BackoffPolicy`] schedule.
+//! * [`codec`] / [`proto`] — validated wire codecs for ciphertexts,
+//!   proofs, and decryption shares, and the query-round message set.
+//! * [`round`] — the multi-process round itself: aggregator server,
+//!   device/origin/committee client roles, and the driver that spawns
+//!   and supervises them.
+//! * [`metrics`] — per-kind wire counters and latency series, merged
+//!   across processes and reconciled against the analytical cost model
+//!   in `mycelium::costs`.
+//! * [`tamper`] — a frame-aware byte-flipping relay used by adversarial
+//!   tests to prove tampering yields typed AEAD errors, not panics.
+
+pub mod channel;
+pub mod client;
+pub mod codec;
+pub mod error;
+pub mod frame;
+pub mod metrics;
+pub mod proto;
+pub mod round;
+pub mod server;
+pub mod tamper;
+pub mod wire;
+
+pub use channel::{Identity, SecureChannel, HANDSHAKE_WIRE_BYTES};
+pub use client::{Client, ClientConfig, FRAME_OVERHEAD};
+pub use error::NetError;
+pub use metrics::NetMetrics;
+pub use round::{RoundSetup, RoundSpec};
+pub use server::{Handler, Server, ServerConfig};
+pub use tamper::TamperProxy;
+
+// Re-exported so doc links and downstream users name one source of truth.
+pub use mycelium_simnet::BackoffPolicy;

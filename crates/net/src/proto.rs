@@ -1,0 +1,291 @@
+//! The query-round application protocol.
+//!
+//! The aggregator is the only server; devices, origins, and committee
+//! members are polling clients (a hub topology — contributions and
+//! origin submissions live at the aggregator, which is what lets a
+//! crashed-and-respawned origin resume from nothing but its role
+//! arguments). Every request is *idempotent*: pushing the same
+//! contribution, submission, or share twice is indistinguishable from
+//! pushing it once, so the client's at-least-once retry is safe.
+
+use mycelium::plan::SignedContribution;
+use mycelium_bgv::Ciphertext;
+use mycelium_sharing::DecryptionShare;
+
+use crate::codec::{
+    decode_ciphertext, decode_contribution, decode_opt_ciphertext, decode_share, encode_ciphertext,
+    encode_contribution, encode_opt_ciphertext, encode_share, CodecCtx,
+};
+use crate::error::NetError;
+use crate::wire::{Reader, Writer};
+
+/// One protocol message (request or reply).
+pub enum NetMsg {
+    /// Device → aggregator: a contribution for one slot of one origin's
+    /// neighbourhood row.
+    PushContrib {
+        /// Destination origin index.
+        origin: u32,
+        /// Slot in that origin's request list.
+        slot: u32,
+        /// The ciphertext (and optional well-formedness proof).
+        sc: Box<SignedContribution>,
+    },
+    /// Origin → aggregator: are my contribution slots filled yet?
+    PullOrigin {
+        /// The asking origin's index.
+        origin: u32,
+    },
+    /// Origin → aggregator: my combined row ciphertext.
+    SubmitOrigin {
+        /// The submitting origin's index.
+        origin: u32,
+        /// The homomorphically combined result.
+        ct: Box<Ciphertext>,
+    },
+    /// Committee member → aggregator: alive, with my noise seed.
+    CommitteeCheckIn {
+        /// Member id.
+        member: u64,
+        /// This member's contribution to the joint DP noise seed.
+        seed: [u8; 32],
+    },
+    /// Committee member → aggregator: my threshold decryption share.
+    PushShare {
+        /// Member id.
+        member: u64,
+        /// Participant-set attempt this share belongs to.
+        round: u32,
+        /// The partial decryption.
+        share: Box<DecryptionShare>,
+    },
+    /// Driver → aggregator: is the round finished?
+    PullStatus,
+
+    /// Generic acknowledgement.
+    Ack,
+    /// Reply to `PullOrigin`: not all slots verified yet.
+    OriginPending {
+        /// Slots filled and verified so far.
+        have: u32,
+        /// Slots required.
+        need: u32,
+    },
+    /// Reply to `PullOrigin`: all slots resolved; `None` marks a slot
+    /// whose device never delivered (the origin substitutes a neutral
+    /// ciphertext).
+    OriginJob {
+        /// Per-slot contribution ciphertexts.
+        cts: Vec<Option<Ciphertext>>,
+    },
+    /// Reply to committee polls: nothing to do yet.
+    CommitteeWait,
+    /// Reply to a check-in once the aggregate is ready and this member
+    /// is in the participant set.
+    CommitteeShareTask {
+        /// Participant-set attempt number.
+        round: u32,
+        /// The chosen participant set (determines Lagrange coefficients).
+        participants: Vec<u64>,
+        /// The aggregate ciphertext to partially decrypt.
+        ct: Box<Ciphertext>,
+    },
+    /// Reply to `PullStatus` / committee polls once the result is out.
+    Finished,
+}
+
+const MAX_SLOTS: usize = 1 << 16;
+
+impl NetMsg {
+    /// Stable label for metrics attribution.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            NetMsg::PushContrib { .. } => "PushContrib",
+            NetMsg::PullOrigin { .. } => "PullOrigin",
+            NetMsg::SubmitOrigin { .. } => "SubmitOrigin",
+            NetMsg::CommitteeCheckIn { .. } => "CommitteeCheckIn",
+            NetMsg::PushShare { .. } => "PushShare",
+            NetMsg::PullStatus => "PullStatus",
+            NetMsg::Ack => "Ack",
+            NetMsg::OriginPending { .. } => "OriginPending",
+            NetMsg::OriginJob { .. } => "OriginJob",
+            NetMsg::CommitteeWait => "CommitteeWait",
+            NetMsg::CommitteeShareTask { .. } => "CommitteeShareTask",
+            NetMsg::Finished => "Finished",
+        }
+    }
+
+    /// Serializes the message.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut w = Writer::new();
+        match self {
+            NetMsg::PushContrib { origin, slot, sc } => {
+                w.put_u8(1);
+                w.put_u32(*origin);
+                w.put_u32(*slot);
+                encode_contribution(&mut w, sc);
+            }
+            NetMsg::PullOrigin { origin } => {
+                w.put_u8(2);
+                w.put_u32(*origin);
+            }
+            NetMsg::SubmitOrigin { origin, ct } => {
+                w.put_u8(3);
+                w.put_u32(*origin);
+                encode_ciphertext(&mut w, ct);
+            }
+            NetMsg::CommitteeCheckIn { member, seed } => {
+                w.put_u8(4);
+                w.put_u64(*member);
+                w.put_bytes(seed);
+            }
+            NetMsg::PushShare {
+                member,
+                round,
+                share,
+            } => {
+                w.put_u8(5);
+                w.put_u64(*member);
+                w.put_u32(*round);
+                encode_share(&mut w, share);
+            }
+            NetMsg::PullStatus => w.put_u8(6),
+            NetMsg::Ack => w.put_u8(16),
+            NetMsg::OriginPending { have, need } => {
+                w.put_u8(17);
+                w.put_u32(*have);
+                w.put_u32(*need);
+            }
+            NetMsg::OriginJob { cts } => {
+                w.put_u8(18);
+                w.put_u32(cts.len() as u32);
+                for ct in cts {
+                    encode_opt_ciphertext(&mut w, ct);
+                }
+            }
+            NetMsg::CommitteeWait => w.put_u8(19),
+            NetMsg::CommitteeShareTask {
+                round,
+                participants,
+                ct,
+            } => {
+                w.put_u8(20);
+                w.put_u32(*round);
+                w.put_u64_slice(participants);
+                encode_ciphertext(&mut w, ct);
+            }
+            NetMsg::Finished => w.put_u8(21),
+        }
+        w.finish()
+    }
+
+    /// Deserializes a message, validating every field.
+    pub fn decode(bytes: &[u8], cc: &CodecCtx) -> Result<NetMsg, NetError> {
+        let mut r = Reader::new(bytes);
+        let msg = match r.get_u8()? {
+            1 => NetMsg::PushContrib {
+                origin: r.get_u32()?,
+                slot: r.get_u32()?,
+                sc: Box::new(decode_contribution(&mut r, cc)?),
+            },
+            2 => NetMsg::PullOrigin {
+                origin: r.get_u32()?,
+            },
+            3 => NetMsg::SubmitOrigin {
+                origin: r.get_u32()?,
+                ct: Box::new(decode_ciphertext(&mut r, cc)?),
+            },
+            4 => NetMsg::CommitteeCheckIn {
+                member: r.get_u64()?,
+                seed: r.get_array32()?,
+            },
+            5 => NetMsg::PushShare {
+                member: r.get_u64()?,
+                round: r.get_u32()?,
+                share: Box::new(decode_share(&mut r, cc)?),
+            },
+            6 => NetMsg::PullStatus,
+            16 => NetMsg::Ack,
+            17 => NetMsg::OriginPending {
+                have: r.get_u32()?,
+                need: r.get_u32()?,
+            },
+            18 => {
+                let n = r.get_u32()? as usize;
+                if n > MAX_SLOTS {
+                    return Err(NetError::Decode(format!("origin job with {n} slots")));
+                }
+                let mut cts = Vec::with_capacity(n);
+                for _ in 0..n {
+                    cts.push(decode_opt_ciphertext(&mut r, cc)?);
+                }
+                NetMsg::OriginJob { cts }
+            }
+            19 => NetMsg::CommitteeWait,
+            20 => {
+                let round = r.get_u32()?;
+                let participants = r.get_u64_vec()?;
+                if participants.len() > MAX_SLOTS {
+                    return Err(NetError::Decode("oversized participant set".into()));
+                }
+                let ct = Box::new(decode_ciphertext(&mut r, cc)?);
+                NetMsg::CommitteeShareTask {
+                    round,
+                    participants,
+                    ct,
+                }
+            }
+            21 => NetMsg::Finished,
+            tag => return Err(NetError::Decode(format!("unknown message tag {tag}"))),
+        };
+        r.expect_end()?;
+        Ok(msg)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mycelium_bgv::BgvParams;
+
+    #[test]
+    fn plain_messages_roundtrip() {
+        let cc = CodecCtx::new(&BgvParams::test_small());
+        for msg in [
+            NetMsg::PullOrigin { origin: 3 },
+            NetMsg::CommitteeCheckIn {
+                member: 2,
+                seed: [7u8; 32],
+            },
+            NetMsg::PullStatus,
+            NetMsg::Ack,
+            NetMsg::OriginPending { have: 2, need: 5 },
+            NetMsg::CommitteeWait,
+            NetMsg::Finished,
+        ] {
+            let kind = msg.kind();
+            let back = NetMsg::decode(&msg.encode(), &cc).unwrap();
+            assert_eq!(back.kind(), kind);
+        }
+    }
+
+    #[test]
+    fn trailing_garbage_rejected() {
+        let cc = CodecCtx::new(&BgvParams::test_small());
+        let mut bytes = NetMsg::Ack.encode();
+        bytes.push(0);
+        assert!(matches!(
+            NetMsg::decode(&bytes, &cc),
+            Err(NetError::Decode(_))
+        ));
+    }
+
+    #[test]
+    fn unknown_tag_rejected() {
+        let cc = CodecCtx::new(&BgvParams::test_small());
+        assert!(matches!(
+            NetMsg::decode(&[200], &cc),
+            Err(NetError::Decode(_))
+        ));
+    }
+}

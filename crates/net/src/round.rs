@@ -1,0 +1,1154 @@
+//! The encrypted query round across real OS processes.
+//!
+//! [`mycelium::run_query_encrypted`] executes the round as function
+//! calls and [`mycelium::run_query_simulated`] as actors on a virtual
+//! clock; this module executes the *same* round (same planning and
+//! cryptographic building blocks from `mycelium::plan`) as separate
+//! processes exchanging BGV ciphertexts, ZKP transcripts, and threshold
+//! decryption shares over encrypted loopback TCP channels.
+//!
+//! ## Topology
+//!
+//! The **aggregator** is the only server (a hub). Devices, origins,
+//! committee members, and the driver are polling clients:
+//!
+//! * **Device processes** shard the per-vertex contribution duties:
+//!   each encrypts its vertices' `x^e` monomials and pushes them
+//!   (`PushContrib`) until acked, then exits.
+//! * **Origin processes** shard the per-vertex origin work: each polls
+//!   `PullOrigin` until the aggregator hands over the verified slot
+//!   ciphertexts (or the contribution deadline passes and missing slots
+//!   come back empty — the origin substitutes the neutral `Enc(x^0)`,
+//!   §4.4), combines them, and submits.
+//! * **Committee processes** poll `CommitteeCheckIn` (carrying their
+//!   joint-noise seed); once the aggregate exists and the participant
+//!   set is agreed, members receive a `CommitteeShareTask` and push
+//!   their threshold decryption share.
+//! * **The driver** spawns everyone, watches child exits (respawning a
+//!   crashed origin once — all protocol state lives at the aggregator,
+//!   so a respawned origin recovers by re-pulling), polls `PullStatus`,
+//!   and merges every process's wire metrics into one JSON artifact.
+//!
+//! ## Determinism
+//!
+//! Every process rebuilds the population, keys, key shares, query plan,
+//! and all transport identities from the shared `(seed, n, query)`
+//! arguments — no key material ever crosses the wire. Decryption is
+//! exact, so the decoded pre-noise histogram depends only on the
+//! population and query, never on encryption randomness: the
+//! multi-process round is bit-identical to the in-process executor.
+//! All requests are idempotent (first write wins at the aggregator), so
+//! the client layer's at-least-once retry is safe.
+
+use std::collections::BTreeSet;
+use std::io::BufRead;
+use std::net::SocketAddr;
+use std::path::{Path, PathBuf};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+use mycelium::decode::decode_aggregate;
+use mycelium::exec::{release_noisy, ExecStats, NoisyGroup};
+use mycelium::params::SystemParams;
+use mycelium::plan::{aggregate_and_audit, combine_origin, origin_work, OriginWork, QueryPlan};
+use mycelium_bgv::{Ciphertext, KeySet, Plaintext};
+use mycelium_graph::generate::{
+    epidemic_population, ContactGraphConfig, EpidemicConfig, Population,
+};
+use mycelium_graph::graph::VertexId;
+use mycelium_math::rng::{Rng, SeedableRng, StdRng};
+use mycelium_query::ast::Query;
+use mycelium_query::builtin::paper_query;
+use mycelium_query::eval::PlainResult;
+use mycelium_sharing::threshold::{
+    combine, decryption_share, derive_joint_noise, DecryptionShare, KeyShareSet,
+};
+
+use crate::channel::Identity;
+use crate::client::{Client, ClientConfig};
+use crate::codec::{decode_plain_result, encode_plain_result, CodecCtx};
+use crate::error::NetError;
+use crate::metrics::NetMetrics;
+use crate::proto::NetMsg;
+use crate::server::{Server, ServerConfig};
+use crate::wire::{Reader, Writer};
+
+/// Transport role ids (feed [`Identity::derive`]).
+pub mod role {
+    /// The aggregator (the only server).
+    pub const AGGREGATOR: u32 = 0;
+    /// Device shard `i` is `DEVICE_BASE + i`.
+    pub const DEVICE_BASE: u32 = 100;
+    /// Origin shard `j` is `ORIGIN_BASE + j`.
+    pub const ORIGIN_BASE: u32 = 200;
+    /// Committee member `m` (1-based) is `COMMITTEE_BASE + m`.
+    pub const COMMITTEE_BASE: u32 = 300;
+    /// The driver.
+    pub const DRIVER: u32 = 400;
+}
+
+/// Rng stream bases (`StdRng::seed_from_u64(seed).with_stream(...)`).
+mod stream {
+    /// System key generation.
+    pub const KEYS: u64 = 1;
+    /// Per-vertex contribution encryption: `CONTRIB + v`.
+    pub const CONTRIB: u64 = 0x10000;
+    /// Per-vertex origin combine randomness: `ORIGIN + v`.
+    pub const ORIGIN: u64 = 0x20000;
+    /// Per-member committee randomness: `COMMITTEE + m`.
+    pub const COMMITTEE: u64 = 0x30000;
+    /// Aggregator-local substitutions.
+    pub const AGGREGATOR: u64 = 0x40000;
+}
+
+/// Everything that defines one multi-process round; every process
+/// derives identical state from it.
+#[derive(Debug, Clone)]
+pub struct RoundSpec {
+    /// Master seed for population, keys, identities, and noise.
+    pub seed: u64,
+    /// Population size (every vertex is a device and an origin).
+    pub n: usize,
+    /// Paper query name (e.g. `Q4`).
+    pub query: String,
+    /// Number of device processes the contribution duties shard over.
+    pub device_shards: usize,
+    /// Number of origin processes the origin work shards over.
+    pub origin_shards: usize,
+    /// Whether contributions carry well-formedness proofs.
+    pub with_proofs: bool,
+    /// How long origins may wait for missing contributions.
+    pub contrib_deadline: Duration,
+    /// Client poll interval.
+    pub poll_interval: Duration,
+    /// Hard wall-clock cap on the whole round.
+    pub round_timeout: Duration,
+}
+
+impl Default for RoundSpec {
+    fn default() -> Self {
+        RoundSpec {
+            seed: 7,
+            n: 24,
+            query: "Q4".into(),
+            device_shards: 8,
+            origin_shards: 2,
+            with_proofs: false,
+            contrib_deadline: Duration::from_secs(30),
+            poll_interval: Duration::from_millis(25),
+            round_timeout: Duration::from_secs(600),
+        }
+    }
+}
+
+impl RoundSpec {
+    /// Renders the spec as CLI arguments (the driver → child interface).
+    pub fn to_args(&self) -> Vec<String> {
+        vec![
+            "--seed".into(),
+            self.seed.to_string(),
+            "--n".into(),
+            self.n.to_string(),
+            "--query".into(),
+            self.query.clone(),
+            "--devices".into(),
+            self.device_shards.to_string(),
+            "--origins".into(),
+            self.origin_shards.to_string(),
+            "--proofs".into(),
+            (self.with_proofs as u8).to_string(),
+            "--contrib-ms".into(),
+            self.contrib_deadline.as_millis().to_string(),
+            "--poll-ms".into(),
+            self.poll_interval.as_millis().to_string(),
+            "--timeout-ms".into(),
+            self.round_timeout.as_millis().to_string(),
+        ]
+    }
+}
+
+/// One outgoing contribution duty of a device vertex.
+#[derive(Debug, Clone)]
+pub struct Duty {
+    /// The origin the contribution is addressed to.
+    pub origin: VertexId,
+    /// Slot in that origin's request list.
+    pub slot: u32,
+    /// The monomial exponent to encrypt.
+    pub exp: usize,
+}
+
+/// Deterministically derived shared state.
+pub struct RoundSetup {
+    /// The spec everything is derived from.
+    pub spec: RoundSpec,
+    /// Figure-4 system parameters (committee size, BGV params, ε).
+    pub params: SystemParams,
+    /// The population under query.
+    pub pop: Population,
+    /// The parsed query.
+    pub query: Query,
+    /// BGV keys (every process derives the same set).
+    pub keys: KeySet,
+    /// Shamir shares of the secret key.
+    pub key_shares: KeyShareSet,
+    /// The query plan.
+    pub plan: QueryPlan,
+    /// Per-vertex origin work.
+    pub works: Vec<OriginWork>,
+    /// Per-vertex contribution duties (inverse of `works`).
+    pub duties: Vec<Vec<Duty>>,
+    /// Codec context for the plan's parameters.
+    pub cc: CodecCtx,
+    /// Committee size `c`.
+    pub committee_size: usize,
+    /// Shamir threshold `t` (`t + 1` participants decrypt).
+    pub threshold: usize,
+}
+
+impl RoundSetup {
+    /// The aggregator's transport identity.
+    pub fn aggregator_identity(&self) -> Identity {
+        Identity::derive(self.spec.seed, role::AGGREGATOR)
+    }
+
+    /// The full client roster (device, origin, committee, driver keys).
+    pub fn roster(&self) -> std::collections::HashSet<[u8; 32]> {
+        let mut r = std::collections::HashSet::new();
+        for i in 0..self.spec.device_shards {
+            r.insert(Identity::derive(self.spec.seed, role::DEVICE_BASE + i as u32).public);
+        }
+        for j in 0..self.spec.origin_shards {
+            r.insert(Identity::derive(self.spec.seed, role::ORIGIN_BASE + j as u32).public);
+        }
+        for m in 1..=self.committee_size as u32 {
+            r.insert(Identity::derive(self.spec.seed, role::COMMITTEE_BASE + m).public);
+        }
+        r.insert(Identity::derive(self.spec.seed, role::DRIVER).public);
+        r
+    }
+}
+
+/// Builds the population exactly as the repository's round tests do, so
+/// oracle comparisons line up.
+pub fn build_population(spec: &RoundSpec) -> Population {
+    let cfg = ContactGraphConfig {
+        n: spec.n,
+        degree_bound: 4,
+        mean_household: 3,
+        community_edges: 2,
+        subway_fraction: 0.2,
+        days: 13,
+    };
+    let epi = EpidemicConfig {
+        seed_fraction: 0.08,
+        household_rate: 0.10,
+        community_rate: 0.02,
+        days: 13,
+    };
+    epidemic_population(&cfg, &epi, &mut StdRng::seed_from_u64(spec.seed))
+}
+
+/// Derives the full shared setup from a spec. Failures here are
+/// configuration errors (unknown query, query too large for the ring),
+/// not wire input, so they surface as [`NetError::Decode`].
+pub fn build_setup(spec: &RoundSpec) -> Result<RoundSetup, NetError> {
+    let params = SystemParams::simulation();
+    let pop = build_population(spec);
+    let query = paper_query(&spec.query)
+        .ok_or_else(|| NetError::Decode(format!("unknown paper query {}", spec.query)))?;
+    let mut keys_rng = StdRng::seed_from_u64(spec.seed).with_stream(stream::KEYS);
+    let keys = KeySet::generate(&params.bgv, &mut keys_rng);
+    let c = params.committee_size;
+    let t = c / 2;
+    let mut deal_rng = StdRng::seed_from_u64(spec.seed).with_stream(u64::MAX);
+    let key_shares = KeyShareSet::deal(&keys.secret, t, c, &mut deal_rng);
+    let plan = QueryPlan::new(&query, &pop, &params, spec.with_proofs)
+        .map_err(|e| NetError::Decode(format!("query planning failed: {e}")))?;
+    let n = pop.graph.len();
+    let works: Vec<OriginWork> = (0..n)
+        .map(|v| origin_work(&plan, &query, &params, &pop, v as VertexId))
+        .collect();
+    let mut duties: Vec<Vec<Duty>> = vec![Vec::new(); n];
+    for work in &works {
+        for (slot, &(w, exp)) in work.requests.iter().enumerate() {
+            duties[w as usize].push(Duty {
+                origin: work.origin,
+                slot: slot as u32,
+                exp,
+            });
+        }
+    }
+    // The codec must decode into the *same* RNS context the keys carry:
+    // `RnsPoly` arithmetic requires pointer-identical contexts.
+    let cc = CodecCtx::with_context(Arc::clone(keys.public.context()), &params.bgv);
+    Ok(RoundSetup {
+        spec: spec.clone(),
+        params,
+        pop,
+        query,
+        keys,
+        key_shares,
+        plan,
+        works,
+        duties,
+        cc,
+        committee_size: c,
+        threshold: t,
+    })
+}
+
+/// What the aggregator releases at the end of the round.
+pub struct RoundOutcome {
+    /// Decoded exact (pre-noise) result.
+    pub exact: PlainResult,
+    /// The released, noised result.
+    pub released: Vec<NoisyGroup>,
+    /// Devices whose contributions failed proof verification.
+    pub rejected: Vec<VertexId>,
+}
+
+/// Serializes an outcome (the aggregator → driver/test file format).
+pub fn encode_outcome(out: &Result<RoundOutcome, String>) -> Vec<u8> {
+    let mut w = Writer::new();
+    match out {
+        Err(e) => {
+            w.put_u8(0);
+            w.put_str(e);
+        }
+        Ok(out) => {
+            w.put_u8(1);
+            encode_plain_result(&mut w, &out.exact);
+            w.put_u32(out.released.len() as u32);
+            for g in &out.released {
+                w.put_str(&g.label);
+                w.put_u32(g.histogram.len() as u32);
+                for &v in &g.histogram {
+                    w.put_i64(v);
+                }
+            }
+            w.put_u32(out.rejected.len() as u32);
+            for &v in &out.rejected {
+                w.put_u32(v);
+            }
+        }
+    }
+    w.finish()
+}
+
+/// Deserializes an outcome file.
+pub fn decode_outcome(bytes: &[u8]) -> Result<Result<RoundOutcome, String>, NetError> {
+    let mut r = Reader::new(bytes);
+    match r.get_u8()? {
+        0 => Ok(Err(r.get_str()?)),
+        1 => {
+            let exact = decode_plain_result(&mut r)?;
+            let ng = r.get_u32()? as usize;
+            let mut released = Vec::with_capacity(ng);
+            for _ in 0..ng {
+                let label = r.get_str()?;
+                let nh = r.get_u32()? as usize;
+                let mut histogram = Vec::with_capacity(nh);
+                for _ in 0..nh {
+                    histogram.push(r.get_i64()?);
+                }
+                released.push(NoisyGroup { label, histogram });
+            }
+            let nr = r.get_u32()? as usize;
+            let mut rejected = Vec::with_capacity(nr);
+            for _ in 0..nr {
+                rejected.push(r.get_u32()?);
+            }
+            Ok(Ok(RoundOutcome {
+                exact,
+                released,
+                rejected,
+            }))
+        }
+        v => Err(NetError::Decode(format!("bad outcome tag {v}"))),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Aggregator
+// ---------------------------------------------------------------------------
+
+struct AggState {
+    setup: Arc<RoundSetup>,
+    started: Instant,
+    // Contribution phase: verified per-(origin, slot) ciphertexts.
+    contribs: Vec<Vec<Option<Ciphertext>>>,
+    seen: BTreeSet<(u32, u32)>,
+    rejected: Vec<VertexId>,
+    // Submission phase.
+    submissions: Vec<Option<Ciphertext>>,
+    got_submissions: usize,
+    aggregate: Option<Ciphertext>,
+    // Committee phase.
+    pongs: Vec<Option<[u8; 32]>>,
+    share_round: u32,
+    participants: Vec<u64>,
+    reselected: bool,
+    shares: Vec<Option<DecryptionShare>>,
+    share_deadline: Option<Instant>,
+    // Result.
+    outcome: Option<Result<RoundOutcome, String>>,
+    finished_seen: BTreeSet<u64>,
+    driver_seen: bool,
+    rng: StdRng,
+}
+
+impl AggState {
+    fn new(setup: Arc<RoundSetup>) -> Self {
+        let n = setup.pop.graph.len();
+        let c = setup.committee_size;
+        let slot_counts: Vec<usize> = setup.works.iter().map(|w| w.requests.len()).collect();
+        AggState {
+            started: Instant::now(),
+            contribs: slot_counts.iter().map(|&s| vec![None; s]).collect(),
+            seen: BTreeSet::new(),
+            rejected: Vec::new(),
+            submissions: vec![None; n],
+            got_submissions: 0,
+            aggregate: None,
+            pongs: vec![None; c],
+            share_round: 0,
+            participants: Vec::new(),
+            reselected: false,
+            shares: vec![None; c + 1],
+            share_deadline: None,
+            outcome: None,
+            finished_seen: BTreeSet::new(),
+            driver_seen: false,
+            rng: StdRng::seed_from_u64(setup.spec.seed).with_stream(stream::AGGREGATOR),
+            setup,
+        }
+    }
+
+    fn contrib_deadline_passed(&self) -> bool {
+        self.started.elapsed() >= self.setup.spec.contrib_deadline
+    }
+
+    fn fail(&mut self, msg: String) {
+        if self.outcome.is_none() {
+            self.outcome = Some(Err(msg));
+        }
+    }
+
+    /// Lazy phase transitions, run at the top of every request.
+    fn tick(&mut self) {
+        if self.outcome.is_some() {
+            return;
+        }
+        let n = self.setup.pop.graph.len();
+        // Aggregate once every origin submitted (or the extended
+        // deadline expires — missing origins contribute Enc(0)).
+        let submit_deadline = self.setup.spec.contrib_deadline * 2;
+        if self.aggregate.is_none()
+            && (self.got_submissions == n || self.started.elapsed() >= submit_deadline)
+        {
+            let (n_ring, t_pt) = (self.setup.plan.n_ring, self.setup.plan.t_pt);
+            let cts: Result<Vec<Ciphertext>, _> = self
+                .submissions
+                .iter()
+                .map(|s| match s {
+                    Some(ct) => Ok(ct.clone()),
+                    None => Ciphertext::encrypt(
+                        &self.setup.keys.public,
+                        &Plaintext::zero(n_ring, t_pt),
+                        &mut self.rng,
+                    ),
+                })
+                .collect();
+            match cts
+                .map_err(|e| format!("substitute encryption failed: {e}"))
+                .and_then(|cts| {
+                    aggregate_and_audit(cts).map_err(|e| format!("aggregation failed: {e}"))
+                }) {
+                Ok(agg) => self.aggregate = Some(agg),
+                Err(e) => return self.fail(e),
+            }
+        }
+        // Select participants once the aggregate exists and the whole
+        // committee checked in (or the grace period expires).
+        if self.aggregate.is_some() && self.participants.is_empty() {
+            let alive = self.alive_members();
+            let all_in = alive.len() == self.setup.committee_size;
+            let grace_over = self.started.elapsed() >= submit_deadline + Duration::from_secs(5);
+            if all_in || grace_over {
+                self.select_participants();
+            }
+        }
+        // Reselect once if a chosen member never delivered its share.
+        if let Some(deadline) = self.share_deadline {
+            if self.outcome.is_none() && Instant::now() >= deadline {
+                let missing: Vec<u64> = self
+                    .participants
+                    .iter()
+                    .copied()
+                    .filter(|&m| self.shares[m as usize].is_none())
+                    .collect();
+                if !missing.is_empty() {
+                    if self.reselected {
+                        let alive = self.alive_members().len();
+                        return self.fail(format!(
+                            "committee unavailable: {alive} alive, {} needed",
+                            self.setup.threshold + 1
+                        ));
+                    }
+                    self.reselected = true;
+                    for m in missing {
+                        self.pongs[m as usize - 1] = None;
+                    }
+                    self.select_participants();
+                }
+            }
+        }
+    }
+
+    fn alive_members(&self) -> Vec<u64> {
+        (1..=self.setup.committee_size as u64)
+            .filter(|&m| self.pongs[m as usize - 1].is_some())
+            .collect()
+    }
+
+    fn select_participants(&mut self) {
+        let alive = self.alive_members();
+        let need = self.setup.threshold + 1;
+        if alive.len() < need {
+            return self.fail(format!(
+                "committee unavailable: {} alive, {need} needed",
+                alive.len()
+            ));
+        }
+        self.share_round += 1;
+        self.participants = alive[..need].to_vec();
+        self.shares = vec![None; self.setup.committee_size + 1];
+        self.share_deadline = Some(
+            Instant::now()
+                + self
+                    .setup
+                    .spec
+                    .contrib_deadline
+                    .max(Duration::from_secs(10)),
+        );
+    }
+
+    fn finish_committee(&mut self) {
+        let aggregate = self.aggregate.as_ref().expect("aggregated");
+        let shares: Vec<DecryptionShare> = self
+            .participants
+            .iter()
+            .map(|&m| self.shares[m as usize].clone().expect("share collected"))
+            .collect();
+        let plaintext = match combine(aggregate, &shares, self.setup.threshold) {
+            Ok(pt) => pt,
+            Err(e) => return self.fail(format!("threshold combine failed: {e}")),
+        };
+        let exact = decode_aggregate(&plaintext, &self.setup.query, &self.setup.plan.analysis);
+        let seeds: Vec<[u8; 32]> = self.pongs.iter().filter_map(|p| *p).collect();
+        let noise_scale = self.setup.plan.analysis.sensitivity / self.setup.params.epsilon;
+        let noise = derive_joint_noise(&seeds, noise_scale, self.setup.plan.released_values());
+        let released = release_noisy(&exact, &noise, self.setup.plan.released_len);
+        let mut rejected = self.rejected.clone();
+        rejected.sort_unstable();
+        self.outcome = Some(Ok(RoundOutcome {
+            exact,
+            released,
+            rejected,
+        }));
+    }
+
+    fn handle(&mut self, msg: NetMsg) -> Result<NetMsg, NetError> {
+        self.tick();
+        let n = self.setup.pop.graph.len() as u32;
+        let c = self.setup.committee_size as u64;
+        Ok(match msg {
+            NetMsg::PushContrib { origin, slot, sc } => {
+                if origin >= n || slot as usize >= self.contribs[origin as usize].len() {
+                    return Err(NetError::Decode(format!(
+                        "contribution for origin {origin} slot {slot} out of range"
+                    )));
+                }
+                if self.seen.insert((origin, slot)) {
+                    // §4.6–§4.7: verify the proof; substitute the neutral
+                    // Enc(x^0) for offenders and remember them.
+                    let ct = if self.setup.plan.verify_contribution(&sc) {
+                        sc.ct
+                    } else {
+                        if !self.rejected.contains(&sc.device) {
+                            self.rejected.push(sc.device);
+                        }
+                        self.setup
+                            .plan
+                            .neutral_ct(&self.setup.keys, &mut self.rng)
+                            .map_err(|e| {
+                                NetError::Decode(format!("neutral encryption failed: {e}"))
+                            })?
+                    };
+                    self.contribs[origin as usize][slot as usize] = Some(ct);
+                }
+                NetMsg::Ack
+            }
+            NetMsg::PullOrigin { origin } => {
+                if origin >= n {
+                    return Err(NetError::Decode(format!("origin {origin} out of range")));
+                }
+                let slots = &self.contribs[origin as usize];
+                let have = slots.iter().filter(|s| s.is_some()).count();
+                if have == slots.len() || self.contrib_deadline_passed() {
+                    NetMsg::OriginJob { cts: slots.clone() }
+                } else {
+                    NetMsg::OriginPending {
+                        have: have as u32,
+                        need: slots.len() as u32,
+                    }
+                }
+            }
+            NetMsg::SubmitOrigin { origin, ct } => {
+                if origin >= n {
+                    return Err(NetError::Decode(format!("origin {origin} out of range")));
+                }
+                if self.submissions[origin as usize].is_none() {
+                    self.submissions[origin as usize] = Some(*ct);
+                    self.got_submissions += 1;
+                    self.tick();
+                }
+                NetMsg::Ack
+            }
+            NetMsg::CommitteeCheckIn { member, seed } => {
+                if member < 1 || member > c {
+                    return Err(NetError::Decode(format!("member {member} out of range")));
+                }
+                if self.pongs[member as usize - 1].is_none() {
+                    self.pongs[member as usize - 1] = Some(seed);
+                    self.tick();
+                }
+                if self.outcome.is_some() {
+                    self.finished_seen.insert(member);
+                    NetMsg::Finished
+                } else if self.participants.contains(&member)
+                    && self.shares[member as usize].is_none()
+                {
+                    NetMsg::CommitteeShareTask {
+                        round: self.share_round,
+                        participants: self.participants.clone(),
+                        ct: Box::new(self.aggregate.clone().expect("selection implies aggregate")),
+                    }
+                } else {
+                    NetMsg::CommitteeWait
+                }
+            }
+            NetMsg::PushShare {
+                member,
+                round,
+                share,
+            } => {
+                if member < 1 || member > c {
+                    return Err(NetError::Decode(format!("member {member} out of range")));
+                }
+                if self.outcome.is_none()
+                    && round == self.share_round
+                    && self.participants.contains(&member)
+                    && self.shares[member as usize].is_none()
+                {
+                    self.shares[member as usize] = Some(*share);
+                    let done = self
+                        .participants
+                        .iter()
+                        .all(|&m| self.shares[m as usize].is_some());
+                    if done {
+                        self.finish_committee();
+                    }
+                }
+                NetMsg::Ack
+            }
+            NetMsg::PullStatus => {
+                if self.outcome.is_some() {
+                    self.driver_seen = true;
+                    NetMsg::Finished
+                } else {
+                    NetMsg::CommitteeWait
+                }
+            }
+            _ => return Err(NetError::Decode("request expected, got a reply".into())),
+        })
+    }
+}
+
+/// File names the roles and driver agree on inside the `--out` directory.
+pub mod files {
+    /// The aggregator's outcome (see [`super::decode_outcome`]).
+    pub const OUTCOME: &str = "outcome.bin";
+    /// Merged metrics, binary (see `NetMetrics::decode`).
+    pub const METRICS_MERGED: &str = "metrics-merged.bin";
+    /// Merged metrics, JSON artifact.
+    pub const METRICS_JSON: &str = "NET_round.json";
+
+    /// Per-role metrics file name.
+    pub fn role_metrics(name: &str) -> String {
+        format!("metrics-{name}.bin")
+    }
+}
+
+fn write_metrics(out_dir: &Path, name: &str, metrics: &NetMetrics) -> Result<(), NetError> {
+    std::fs::write(out_dir.join(files::role_metrics(name)), metrics.encode())?;
+    Ok(())
+}
+
+/// Runs the aggregator: binds a loopback port, prints `LISTENING <addr>`
+/// on stdout for the driver, serves the round, writes the outcome and
+/// its metrics into `out_dir`, and exits once every committee member has
+/// observed `Finished`.
+pub fn run_aggregator(spec: &RoundSpec, out_dir: &Path) -> Result<(), NetError> {
+    let setup = Arc::new(build_setup(spec)?);
+    let state = Arc::new(Mutex::new(AggState::new(Arc::clone(&setup))));
+    let handler_state = Arc::clone(&state);
+    let handler_setup = Arc::clone(&setup);
+    let handler = Arc::new(
+        move |_peer: [u8; 32], request: &[u8]| -> Result<Vec<u8>, NetError> {
+            let msg = NetMsg::decode(request, &handler_setup.cc)?;
+            let reply = handler_state.lock().unwrap().handle(msg)?;
+            Ok(reply.encode())
+        },
+    );
+    let config = ServerConfig {
+        workers: spec.device_shards + spec.origin_shards + setup.committee_size + 3,
+        roster: Some(setup.roster()),
+        ..ServerConfig::default()
+    };
+    let server = Server::spawn(
+        "127.0.0.1:0",
+        setup.aggregator_identity(),
+        config,
+        handler,
+        spec.seed,
+    )?;
+    println!("LISTENING {}", server.local_addr());
+    use std::io::Write as _;
+    std::io::stdout().flush()?;
+
+    let started = Instant::now();
+    let result = loop {
+        std::thread::sleep(Duration::from_millis(20));
+        let mut s = state.lock().unwrap();
+        s.tick();
+        if s.outcome.is_some() && s.finished_seen.len() == setup.committee_size && s.driver_seen {
+            break s.outcome.take().expect("checked");
+        }
+        if started.elapsed() >= spec.round_timeout {
+            break s.outcome.take().unwrap_or_else(|| {
+                Err(format!(
+                    "round did not converge within {:?}",
+                    spec.round_timeout
+                ))
+            });
+        }
+    };
+    std::fs::write(out_dir.join(files::OUTCOME), encode_outcome(&result))?;
+    let metrics = server.metrics().lock().unwrap().clone();
+    write_metrics(out_dir, "aggregator", &metrics)?;
+    server.shutdown();
+    match result {
+        Ok(_) => Ok(()),
+        Err(e) => Err(NetError::Decode(format!("round failed: {e}"))),
+    }
+}
+
+fn round_client(setup: &RoundSetup, role_id: u32, addr: SocketAddr) -> Client {
+    let identity = Identity::derive(setup.spec.seed, role_id);
+    let mut config = ClientConfig::new(identity, Some(setup.aggregator_identity().public));
+    config.read_timeout = Duration::from_secs(20);
+    Client::new(
+        addr,
+        config,
+        StdRng::seed_from_u64(setup.spec.seed ^ 0xd1a1).with_stream(role_id as u64),
+    )
+}
+
+fn expect_ack(reply: &NetMsg) -> Result<(), NetError> {
+    match reply {
+        NetMsg::Ack => Ok(()),
+        other => Err(NetError::Decode(format!(
+            "expected Ack, got {}",
+            other.kind()
+        ))),
+    }
+}
+
+fn request_msg(client: &mut Client, cc: &CodecCtx, msg: &NetMsg) -> Result<NetMsg, NetError> {
+    let reply = client.request(msg.kind(), &msg.encode())?;
+    NetMsg::decode(&reply, cc)
+}
+
+/// Runs one device process: encrypts and pushes the contribution duties
+/// of every vertex in its shard, then exits.
+pub fn run_device(
+    spec: &RoundSpec,
+    shard: usize,
+    addr: SocketAddr,
+    out_dir: &Path,
+) -> Result<(), NetError> {
+    let setup = build_setup(spec)?;
+    let mut client = round_client(&setup, role::DEVICE_BASE + shard as u32, addr);
+    for v in 0..setup.pop.graph.len() {
+        if v % spec.device_shards != shard {
+            continue;
+        }
+        // Per-vertex randomness streams make the ciphertexts independent
+        // of how vertices shard across processes.
+        let mut rng = StdRng::seed_from_u64(spec.seed).with_stream(stream::CONTRIB + v as u64);
+        for duty in &setup.duties[v] {
+            let sc = setup
+                .plan
+                .build_contribution(&setup.keys, v as VertexId, duty.exp, false, &mut rng)
+                .map_err(|e| NetError::Decode(format!("contribution encryption: {e}")))?;
+            let msg = NetMsg::PushContrib {
+                origin: duty.origin,
+                slot: duty.slot,
+                sc: Box::new(sc),
+            };
+            expect_ack(&request_msg(&mut client, &setup.cc, &msg)?)?;
+        }
+    }
+    let metrics = client.metrics().lock().unwrap().clone();
+    write_metrics(out_dir, &format!("device-{shard}"), &metrics)?;
+    Ok(())
+}
+
+/// Runs one origin process: for each vertex in its shard, polls the
+/// aggregator for the verified slot ciphertexts, substitutes the neutral
+/// `Enc(x^0)` for slots that never arrived, combines, and submits.
+///
+/// `crash_after`: exit with code 17 after that many vertices have been
+/// submitted — the driver's watchdog respawns the shard, which recovers
+/// by re-pulling (all protocol state lives at the aggregator).
+pub fn run_origin(
+    spec: &RoundSpec,
+    shard: usize,
+    addr: SocketAddr,
+    out_dir: &Path,
+    crash_after: Option<usize>,
+) -> Result<(), NetError> {
+    let setup = build_setup(spec)?;
+    let mut client = round_client(&setup, role::ORIGIN_BASE + shard as u32, addr);
+    let mut submitted = 0usize;
+    for v in 0..setup.pop.graph.len() {
+        if v % spec.origin_shards != shard {
+            continue;
+        }
+        if crash_after == Some(submitted) {
+            std::process::exit(17);
+        }
+        let slots = loop {
+            match request_msg(
+                &mut client,
+                &setup.cc,
+                &NetMsg::PullOrigin { origin: v as u32 },
+            )? {
+                NetMsg::OriginJob { cts } => break cts,
+                NetMsg::OriginPending { .. } => std::thread::sleep(spec.poll_interval),
+                other => {
+                    return Err(NetError::Decode(format!(
+                        "unexpected PullOrigin reply {}",
+                        other.kind()
+                    )))
+                }
+            }
+        };
+        let work = &setup.works[v];
+        if slots.len() != work.requests.len() {
+            return Err(NetError::Decode("origin job slot count mismatch".into()));
+        }
+        let mut rng = StdRng::seed_from_u64(spec.seed).with_stream(stream::ORIGIN + v as u64);
+        let cts: Vec<Ciphertext> = slots
+            .into_iter()
+            .map(|slot| match slot {
+                Some(ct) => Ok(ct),
+                None => setup.plan.neutral_ct(&setup.keys, &mut rng),
+            })
+            .collect::<Result<_, _>>()
+            .map_err(|e| NetError::Decode(format!("neutral encryption: {e}")))?;
+        let mut stats = ExecStats::default();
+        let out = combine_origin(&setup.plan, &setup.keys, work, &cts, &mut stats, &mut rng)
+            .map_err(|e| NetError::Decode(format!("origin combine: {e}")))?;
+        let msg = NetMsg::SubmitOrigin {
+            origin: v as u32,
+            ct: Box::new(out),
+        };
+        expect_ack(&request_msg(&mut client, &setup.cc, &msg)?)?;
+        submitted += 1;
+    }
+    let metrics = client.metrics().lock().unwrap().clone();
+    write_metrics(out_dir, &format!("origin-{shard}"), &metrics)?;
+    Ok(())
+}
+
+/// Runs one committee member: polls check-ins (carrying its joint-noise
+/// seed), answers share tasks, and exits once the aggregator reports the
+/// round finished.
+pub fn run_committee(
+    spec: &RoundSpec,
+    member: u64,
+    addr: SocketAddr,
+    out_dir: &Path,
+) -> Result<(), NetError> {
+    let setup = build_setup(spec)?;
+    let mut client = round_client(&setup, role::COMMITTEE_BASE + member as u32, addr);
+    let mut rng = StdRng::seed_from_u64(spec.seed).with_stream(stream::COMMITTEE + member);
+    let mut seed = [0u8; 32];
+    rng.fill(&mut seed);
+    let mut computed: std::collections::HashMap<u32, DecryptionShare> =
+        std::collections::HashMap::new();
+    loop {
+        let reply = request_msg(
+            &mut client,
+            &setup.cc,
+            &NetMsg::CommitteeCheckIn { member, seed },
+        )?;
+        match reply {
+            NetMsg::Finished => break,
+            NetMsg::CommitteeWait => std::thread::sleep(spec.poll_interval),
+            NetMsg::CommitteeShareTask {
+                round,
+                participants,
+                ct,
+            } => {
+                if !participants.contains(&member) {
+                    return Err(NetError::Decode(
+                        "share task for a set excluding this member".into(),
+                    ));
+                }
+                if let std::collections::hash_map::Entry::Vacant(slot) = computed.entry(round) {
+                    let share = decryption_share(
+                        &ct,
+                        &setup.key_shares,
+                        member,
+                        &participants,
+                        setup.plan.t_pt as i64,
+                        &mut rng,
+                    )
+                    .map_err(|e| NetError::Decode(format!("share computation: {e}")))?;
+                    slot.insert(share);
+                }
+                let msg = NetMsg::PushShare {
+                    member,
+                    round,
+                    share: Box::new(computed[&round].clone()),
+                };
+                expect_ack(&request_msg(&mut client, &setup.cc, &msg)?)?;
+            }
+            other => {
+                return Err(NetError::Decode(format!(
+                    "unexpected check-in reply {}",
+                    other.kind()
+                )))
+            }
+        }
+    }
+    let metrics = client.metrics().lock().unwrap().clone();
+    write_metrics(out_dir, &format!("committee-{member}"), &metrics)?;
+    Ok(())
+}
+
+// ---------------------------------------------------------------------------
+// Driver
+// ---------------------------------------------------------------------------
+
+/// Driver options.
+#[derive(Debug, Clone, Default)]
+pub struct DriverOpts {
+    /// Kill origin shard `.0` after `.1` submitted vertices (exit 17);
+    /// the watchdog respawns it once.
+    pub crash_origin: Option<(usize, usize)>,
+}
+
+struct ChildProc {
+    name: String,
+    child: std::process::Child,
+    /// Respawn command (origins only).
+    respawn: Option<Vec<String>>,
+    respawned: bool,
+}
+
+fn spawn_role(
+    exe: &Path,
+    args: &[String],
+    piped_stdout: bool,
+) -> Result<std::process::Child, NetError> {
+    let mut cmd = std::process::Command::new(exe);
+    cmd.args(args).env("MYC_THREADS", "1");
+    if piped_stdout {
+        cmd.stdout(std::process::Stdio::piped());
+    }
+    Ok(cmd.spawn()?)
+}
+
+/// Orchestrates the whole multi-process round: spawns the aggregator,
+/// device/origin shards, and committee members as child processes of
+/// `exe` (normally `current_exe()`), watches for crashed origins and
+/// respawns each once, waits for completion, and merges all metrics
+/// files into `NET_round.json`.
+pub fn run_driver(
+    exe: &Path,
+    spec: &RoundSpec,
+    out_dir: &Path,
+    opts: &DriverOpts,
+) -> Result<(), NetError> {
+    std::fs::create_dir_all(out_dir)?;
+    let setup = build_setup(spec)?;
+    let out_arg = out_dir.display().to_string();
+    let base = spec.to_args();
+    let with_base = |mut v: Vec<String>| -> Vec<String> {
+        v.extend(base.iter().cloned());
+        v.extend(["--out".to_string(), out_arg.clone()]);
+        v
+    };
+
+    // Aggregator first; its stdout announces the bound port.
+    let mut agg = spawn_role(exe, &with_base(vec!["aggregator".into()]), true)?;
+    let agg_stdout = agg.stdout.take().expect("piped stdout");
+    let mut reader = std::io::BufReader::new(agg_stdout);
+    let mut line = String::new();
+    reader.read_line(&mut line)?;
+    let addr: SocketAddr = line
+        .trim()
+        .strip_prefix("LISTENING ")
+        .ok_or_else(|| NetError::Decode(format!("bad aggregator banner: {line:?}")))?
+        .parse()
+        .map_err(|e| NetError::Decode(format!("bad aggregator address: {e}")))?;
+    // Keep draining the pipe so the aggregator can never block on stdout.
+    std::thread::spawn(move || {
+        let mut sink = String::new();
+        while matches!(reader.read_line(&mut sink), Ok(n) if n > 0) {
+            sink.clear();
+        }
+    });
+
+    let addr_arg = addr.to_string();
+    let mut children: Vec<ChildProc> = Vec::new();
+    for i in 0..spec.device_shards {
+        let args = with_base(vec![
+            "device".into(),
+            "--shard".into(),
+            i.to_string(),
+            "--addr".into(),
+            addr_arg.clone(),
+        ]);
+        children.push(ChildProc {
+            name: format!("device-{i}"),
+            child: spawn_role(exe, &args, false)?,
+            respawn: None,
+            respawned: false,
+        });
+    }
+    for j in 0..spec.origin_shards {
+        let mut args = with_base(vec![
+            "origin".into(),
+            "--shard".into(),
+            j.to_string(),
+            "--addr".into(),
+            addr_arg.clone(),
+        ]);
+        let respawn = Some(args.clone());
+        if let Some((shard, after)) = opts.crash_origin {
+            if shard == j {
+                args.extend(["--crash-after".into(), after.to_string()]);
+            }
+        }
+        children.push(ChildProc {
+            name: format!("origin-{j}"),
+            child: spawn_role(exe, &args, false)?,
+            respawn,
+            respawned: false,
+        });
+    }
+    for m in 1..=setup.committee_size as u64 {
+        let args = with_base(vec![
+            "committee".into(),
+            "--member".into(),
+            m.to_string(),
+            "--addr".into(),
+            addr_arg.clone(),
+        ]);
+        children.push(ChildProc {
+            name: format!("committee-{m}"),
+            child: spawn_role(exe, &args, false)?,
+            respawn: None,
+            respawned: false,
+        });
+    }
+
+    // Watchdog + status poll until the aggregator reports Finished.
+    let mut driver = round_client(&setup, role::DRIVER, addr);
+    let started = Instant::now();
+    let finished = loop {
+        if started.elapsed() >= spec.round_timeout {
+            break false;
+        }
+        // Respawn crashed origins (nonzero exit before completion).
+        for cp in children.iter_mut() {
+            if cp.respawned {
+                continue;
+            }
+            if let (Some(respawn), Ok(Some(status))) = (cp.respawn.clone(), cp.child.try_wait()) {
+                if !status.success() {
+                    eprintln!("driver: {} exited with {status}, respawning once", cp.name);
+                    cp.child = spawn_role(exe, &respawn, false)?;
+                    cp.respawned = true;
+                }
+            }
+        }
+        match request_msg(&mut driver, &setup.cc, &NetMsg::PullStatus) {
+            Ok(NetMsg::Finished) => break true,
+            Ok(_) => {}
+            // The aggregator may be briefly unreachable while saturated;
+            // the client already retried, so just keep polling.
+            Err(_) => {}
+        }
+        std::thread::sleep(spec.poll_interval.max(Duration::from_millis(50)));
+    };
+
+    // Drain every child, then the aggregator itself.
+    let mut failures: Vec<String> = Vec::new();
+    for cp in children.iter_mut() {
+        let status = cp.child.wait()?;
+        if !status.success() {
+            failures.push(format!("{} exited with {status}", cp.name));
+        }
+    }
+    let agg_status = agg.wait()?;
+    if !agg_status.success() {
+        failures.push(format!("aggregator exited with {agg_status}"));
+    }
+    if !finished {
+        failures.push("driver status poll never saw Finished".into());
+    }
+
+    // Merge all metrics files (the driver's own included).
+    let driver_metrics = driver.metrics().lock().unwrap().clone();
+    write_metrics(out_dir, "driver", &driver_metrics)?;
+    let mut merged = NetMetrics::default();
+    let mut entries: Vec<PathBuf> = std::fs::read_dir(out_dir)?
+        .filter_map(|e| e.ok())
+        .map(|e| e.path())
+        .filter(|p| {
+            p.file_name()
+                .and_then(|n| n.to_str())
+                .is_some_and(|n| n.starts_with("metrics-") && n.ends_with(".bin"))
+        })
+        .collect();
+    entries.sort();
+    for path in entries {
+        let bytes = std::fs::read(&path)?;
+        merged.merge(&NetMetrics::decode(&bytes)?);
+    }
+    std::fs::write(out_dir.join(files::METRICS_MERGED), merged.encode())?;
+    std::fs::write(out_dir.join(files::METRICS_JSON), merged.to_json(0) + "\n")?;
+
+    if failures.is_empty() {
+        Ok(())
+    } else {
+        Err(NetError::Decode(failures.join("; ")))
+    }
+}

@@ -1,0 +1,271 @@
+//! Thread-per-connection request/response server with a bounded worker
+//! pool.
+//!
+//! One accept thread hands sockets to a fixed pool of workers over a
+//! bounded queue (backpressure: when every worker is busy and the queue
+//! is full, `accept` simply stops draining and the kernel's listen
+//! backlog absorbs the burst). Each worker runs the server handshake and
+//! then a request/response loop: read one sealed frame, call the
+//! handler, write one sealed reply. Handlers must therefore be
+//! *idempotent* — a client that times out re-sends the same request over
+//! a fresh connection, so the server may see a request twice.
+
+use std::collections::HashSet;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::mpsc::{sync_channel, Receiver};
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
+
+use mycelium_math::rng::{SeedableRng, StdRng};
+
+use crate::channel::{server_handshake, Identity};
+use crate::error::NetError;
+use crate::metrics::NetMetrics;
+
+/// A request handler: sealed request payload in, sealed reply payload out.
+///
+/// The handler sees only authenticated plaintext; `peer` is the client's
+/// verified static public key, usable for authorization decisions.
+pub trait Handler: Send + Sync + 'static {
+    /// Handles one request.
+    fn handle(&self, peer: [u8; 32], request: &[u8]) -> Result<Vec<u8>, NetError>;
+}
+
+impl<F> Handler for F
+where
+    F: Fn([u8; 32], &[u8]) -> Result<Vec<u8>, NetError> + Send + Sync + 'static,
+{
+    fn handle(&self, peer: [u8; 32], request: &[u8]) -> Result<Vec<u8>, NetError> {
+        self(peer, request)
+    }
+}
+
+/// Server tuning knobs.
+#[derive(Clone)]
+pub struct ServerConfig {
+    /// Worker threads (and the bound on concurrent connections served).
+    pub workers: usize,
+    /// Largest accepted application payload.
+    pub max_payload: usize,
+    /// How long a worker blocks on an idle connection before polling the
+    /// shutdown flag.
+    pub idle_timeout: Duration,
+    /// Client static keys allowed to connect (`None` accepts any peer
+    /// that completes key confirmation).
+    pub roster: Option<HashSet<[u8; 32]>>,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            workers: 4,
+            max_payload: crate::frame::DEFAULT_MAX_PAYLOAD,
+            idle_timeout: Duration::from_millis(200),
+            roster: None,
+        }
+    }
+}
+
+/// A running server; dropping it without [`shutdown`](Server::shutdown)
+/// leaks the threads until process exit.
+pub struct Server {
+    addr: SocketAddr,
+    shutdown: Arc<AtomicBool>,
+    threads: Vec<std::thread::JoinHandle<()>>,
+    metrics: Arc<Mutex<NetMetrics>>,
+}
+
+impl Server {
+    /// Binds `bind_addr` (e.g. `127.0.0.1:0`) and starts the accept
+    /// thread plus the worker pool. `seed` keys the per-connection
+    /// handshake ephemerals.
+    pub fn spawn(
+        bind_addr: &str,
+        identity: Identity,
+        config: ServerConfig,
+        handler: Arc<dyn Handler>,
+        seed: u64,
+    ) -> Result<Server, NetError> {
+        let listener = TcpListener::bind(bind_addr)?;
+        let addr = listener.local_addr()?;
+        let shutdown = Arc::new(AtomicBool::new(false));
+        let metrics = NetMetrics::shared();
+        let conn_counter = Arc::new(AtomicU64::new(0));
+        let (tx, rx) = sync_channel::<TcpStream>(config.workers * 2);
+        let rx = Arc::new(Mutex::new(rx));
+
+        let mut threads = Vec::with_capacity(config.workers + 1);
+        for _ in 0..config.workers {
+            let rx = Arc::clone(&rx);
+            let identity = identity.clone();
+            let config = config.clone();
+            let handler = Arc::clone(&handler);
+            let shutdown = Arc::clone(&shutdown);
+            let metrics = Arc::clone(&metrics);
+            let conn_counter = Arc::clone(&conn_counter);
+            threads.push(std::thread::spawn(move || {
+                worker_loop(
+                    &rx,
+                    &identity,
+                    &config,
+                    handler.as_ref(),
+                    &shutdown,
+                    &metrics,
+                    &conn_counter,
+                    seed,
+                );
+            }));
+        }
+        {
+            let shutdown = Arc::clone(&shutdown);
+            threads.push(std::thread::spawn(move || {
+                for stream in listener.incoming() {
+                    if shutdown.load(Ordering::SeqCst) {
+                        break;
+                    }
+                    match stream {
+                        // A send fails only after shutdown dropped the
+                        // receiver; stop accepting then.
+                        Ok(s) => {
+                            if tx.send(s).is_err() {
+                                break;
+                            }
+                        }
+                        Err(_) => break,
+                    }
+                }
+            }));
+        }
+        Ok(Server {
+            addr,
+            shutdown,
+            threads,
+            metrics,
+        })
+    }
+
+    /// The bound address (with the kernel-chosen port).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// The server's accumulated wire metrics.
+    pub fn metrics(&self) -> Arc<Mutex<NetMetrics>> {
+        Arc::clone(&self.metrics)
+    }
+
+    /// Stops accepting, drains the workers, and joins every thread.
+    pub fn shutdown(mut self) {
+        self.shutdown.store(true, Ordering::SeqCst);
+        // Wake the blocking accept with a throwaway connection.
+        let _ = TcpStream::connect(self.addr);
+        for t in self.threads.drain(..) {
+            let _ = t.join();
+        }
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn worker_loop(
+    rx: &Mutex<Receiver<TcpStream>>,
+    identity: &Identity,
+    config: &ServerConfig,
+    handler: &dyn Handler,
+    shutdown: &AtomicBool,
+    metrics: &Arc<Mutex<NetMetrics>>,
+    conn_counter: &AtomicU64,
+    seed: u64,
+) {
+    loop {
+        let stream = {
+            let guard = rx.lock().unwrap();
+            match guard.recv_timeout(Duration::from_millis(100)) {
+                Ok(s) => Some(s),
+                Err(std::sync::mpsc::RecvTimeoutError::Timeout) => None,
+                Err(std::sync::mpsc::RecvTimeoutError::Disconnected) => return,
+            }
+        };
+        if shutdown.load(Ordering::SeqCst) {
+            return;
+        }
+        let Some(stream) = stream else { continue };
+        let conn = conn_counter.fetch_add(1, Ordering::SeqCst);
+        let mut rng = StdRng::seed_from_u64(seed ^ 0x5e7e_c0de).with_stream(conn);
+        let channel = server_handshake(
+            stream,
+            identity,
+            config.roster.as_ref(),
+            &mut rng,
+            config.max_payload,
+            Arc::clone(metrics),
+        );
+        let Ok(mut channel) = channel else {
+            // A failed handshake (unknown peer, dummy wake-up socket,
+            // port scan) costs this worker nothing further.
+            continue;
+        };
+        let _ = channel.set_read_timeout(Some(config.idle_timeout));
+        loop {
+            match channel.recv() {
+                Ok(request) => {
+                    let reply = match handler.handle(channel.peer(), &request) {
+                        Ok(r) => r,
+                        Err(_) => break,
+                    };
+                    if channel.send(&reply).is_err() {
+                        break;
+                    }
+                }
+                Err(NetError::Timeout) => {
+                    if shutdown.load(Ordering::SeqCst) {
+                        break;
+                    }
+                }
+                // Anything else — peer gone, tampered frame, replay —
+                // ends this connection; the client reconnects if it
+                // still cares.
+                Err(_) => break,
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::channel::client_handshake;
+
+    #[test]
+    fn echo_round_trip_and_shutdown() {
+        let identity = Identity::derive(3, 0);
+        let server_pub = identity.public;
+        let handler = Arc::new(|_peer: [u8; 32], req: &[u8]| -> Result<Vec<u8>, NetError> {
+            let mut out = req.to_vec();
+            out.reverse();
+            Ok(out)
+        });
+        let server =
+            Server::spawn("127.0.0.1:0", identity, ServerConfig::default(), handler, 3).unwrap();
+        let addr = server.local_addr();
+
+        let mut rng = StdRng::seed_from_u64(99);
+        let client_id = Identity::derive(3, 100);
+        let stream = TcpStream::connect(addr).unwrap();
+        let mut channel = client_handshake(
+            stream,
+            &client_id,
+            Some(server_pub),
+            &mut rng,
+            1 << 20,
+            NetMetrics::shared(),
+        )
+        .unwrap();
+        channel.send(b"abc").unwrap();
+        assert_eq!(channel.recv().unwrap(), b"cba");
+        channel.send(b"xyz").unwrap();
+        assert_eq!(channel.recv().unwrap(), b"zyx");
+        drop(channel);
+        server.shutdown();
+    }
+}

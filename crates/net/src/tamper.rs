@@ -1,0 +1,139 @@
+//! A frame-aware tampering TCP relay for adversarial tests.
+//!
+//! [`TamperProxy`] sits between a client and a server, parses the
+//! transport's length-prefixed frames off the client→server byte stream,
+//! and flips one bit inside the payload of the first sufficiently large
+//! `Data` frame it sees. Everything else — handshake frames, the
+//! server→client direction — is relayed untouched.
+//!
+//! The point: the AEAD channel must convert the flip into a typed
+//! [`crate::error::NetError::Aead`] rejection on the receiving side
+//! (never a panic, never silently corrupted plaintext), and the client's
+//! retry loop must recover over a fresh connection.
+
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+
+use crate::frame::HEADER_LEN;
+
+/// A byte-flipping relay in front of `upstream`.
+pub struct TamperProxy {
+    addr: SocketAddr,
+    /// How many frames were tampered so far.
+    tampered: Arc<AtomicU64>,
+    shutdown: Arc<AtomicBool>,
+    thread: Option<std::thread::JoinHandle<()>>,
+}
+
+impl TamperProxy {
+    /// Starts a proxy on an ephemeral loopback port. Frames from client
+    /// to server whose payload is at least `min_len` bytes are tampered
+    /// (one bit flipped mid-payload) — at most one frame per proxy, so a
+    /// retried request passes through clean.
+    pub fn spawn(upstream: SocketAddr, min_len: usize) -> std::io::Result<TamperProxy> {
+        let listener = TcpListener::bind("127.0.0.1:0")?;
+        let addr = listener.local_addr()?;
+        let tampered = Arc::new(AtomicU64::new(0));
+        let shutdown = Arc::new(AtomicBool::new(false));
+        let t2 = Arc::clone(&tampered);
+        let s2 = Arc::clone(&shutdown);
+        let thread = std::thread::spawn(move || {
+            for stream in listener.incoming() {
+                if s2.load(Ordering::SeqCst) {
+                    break;
+                }
+                let Ok(client) = stream else { break };
+                let Ok(server) = TcpStream::connect(upstream) else {
+                    break;
+                };
+                let t3 = Arc::clone(&t2);
+                // Server → client: plain byte relay.
+                let (cr, sr) = (client.try_clone(), server.try_clone());
+                if let (Ok(client_w), Ok(server_r)) = (cr, sr) {
+                    std::thread::spawn(move || relay_plain(server_r, client_w));
+                }
+                // Client → server: frame-parsing relay, detached so the
+                // accept loop can take the client's next (post-retry)
+                // connection immediately.
+                std::thread::spawn(move || relay_tampering(client, server, min_len, &t3));
+            }
+        });
+        Ok(TamperProxy {
+            addr,
+            tampered,
+            shutdown,
+            thread: Some(thread),
+        })
+    }
+
+    /// The proxy's listen address (point the client here).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// How many frames have been tampered.
+    pub fn tampered(&self) -> u64 {
+        self.tampered.load(Ordering::SeqCst)
+    }
+
+    /// Stops accepting new connections (live relays drain on their own).
+    pub fn shutdown(mut self) {
+        self.shutdown.store(true, Ordering::SeqCst);
+        let _ = TcpStream::connect(self.addr);
+        if let Some(t) = self.thread.take() {
+            let _ = t.join();
+        }
+    }
+}
+
+fn relay_plain(mut from: TcpStream, mut to: TcpStream) {
+    let mut buf = [0u8; 4096];
+    loop {
+        match from.read(&mut buf) {
+            Ok(0) | Err(_) => break,
+            Ok(n) => {
+                if to.write_all(&buf[..n]).is_err() {
+                    break;
+                }
+            }
+        }
+    }
+    let _ = to.shutdown(std::net::Shutdown::Write);
+}
+
+fn read_exact_opt(stream: &mut TcpStream, buf: &mut [u8]) -> bool {
+    stream.read_exact(buf).is_ok()
+}
+
+fn relay_tampering(mut from: TcpStream, mut to: TcpStream, min_len: usize, tampered: &AtomicU64) {
+    loop {
+        let mut header = [0u8; HEADER_LEN];
+        if !read_exact_opt(&mut from, &mut header) {
+            break;
+        }
+        let len = u32::from_le_bytes(header[16..20].try_into().expect("4 bytes")) as usize;
+        let mut payload = vec![0u8; len];
+        if !read_exact_opt(&mut from, &mut payload) {
+            break;
+        }
+        // Only Data frames (type 4) are candidates; corrupting the
+        // handshake would just fail key confirmation, which is a
+        // different (also required) property.
+        let is_data = header[6] == 4;
+        if is_data
+            && len >= min_len
+            && tampered
+                .compare_exchange(0, 1, Ordering::SeqCst, Ordering::SeqCst)
+                .is_ok()
+        {
+            let mid = len / 2;
+            payload[mid] ^= 0x01;
+        }
+        if to.write_all(&header).is_err() || to.write_all(&payload).is_err() {
+            break;
+        }
+    }
+    let _ = to.shutdown(std::net::Shutdown::Write);
+}

@@ -20,6 +20,9 @@
 //!   deterministic JSON rendering for benchmark artifacts.
 //! * [`retry`] — [`Retrier`], the timeout + bounded-exponential-backoff
 //!   retransmission helper protocol actors share.
+//! * [`backoff`] — the [`BackoffPolicy`] behind [`Retrier`], also consumed
+//!   by `mycelium-net` for wall-clock reconnection so the simulated and
+//!   the real transport plane share one retry schedule.
 //!
 //! ## Determinism contract
 //!
@@ -38,12 +41,14 @@
 //! `MYC_THREADS` worker threads (e.g. BGV ops), which is safe because that
 //! compute plane is itself bit-deterministic at any thread count.
 
+pub mod backoff;
 pub mod fault;
 pub mod metrics;
 pub mod retry;
 pub mod sim;
 
+pub use backoff::BackoffPolicy;
 pub use fault::{FaultPlan, LinkModel, Partition};
-pub use metrics::{ActorCounters, RoundMetrics};
+pub use metrics::{ActorCounters, PhaseSeries, RoundMetrics};
 pub use retry::{Retrier, RetryStatus};
 pub use sim::{ActorId, Ctx, Payload, Process, RunReport, Simulation, Tick};

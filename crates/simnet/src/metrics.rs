@@ -59,12 +59,28 @@ impl PhaseSeries {
 
     /// Median completion tick.
     pub fn p50(&self) -> Tick {
+        self.quantile(0.50)
+    }
+
+    /// 99th-percentile completion tick.
+    pub fn p99(&self) -> Tick {
+        self.quantile(0.99)
+    }
+
+    /// The `q`-quantile (nearest-rank on the sorted series; `q ∈ [0, 1]`).
+    pub fn quantile(&self, q: f64) -> Tick {
         if self.completions.is_empty() {
             return 0;
         }
         let mut v = self.completions.clone();
         v.sort_unstable();
-        v[v.len() / 2]
+        let idx = ((v.len() as f64 * q) as usize).min(v.len() - 1);
+        v[idx]
+    }
+
+    /// Records one completion.
+    pub fn record(&mut self, at: Tick) {
+        self.completions.push(at);
     }
 }
 

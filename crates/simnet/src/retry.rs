@@ -11,6 +11,7 @@
 
 use std::collections::HashMap;
 
+use crate::backoff::BackoffPolicy;
 use crate::sim::{ActorId, Ctx, Payload, Tick};
 
 struct Pending<M> {
@@ -38,8 +39,7 @@ pub enum RetryStatus {
 /// with bounded exponential backoff.
 pub struct Retrier<M: Payload> {
     pending: HashMap<u64, Pending<M>>,
-    base_timeout: Tick,
-    max_retries: u32,
+    policy: BackoffPolicy,
 }
 
 impl<M: Payload> Retrier<M> {
@@ -47,11 +47,15 @@ impl<M: Payload> Retrier<M> {
     /// ticks, each later one after double the previous wait, at most
     /// `max_retries` retransmissions per message.
     pub fn new(base_timeout: Tick, max_retries: u32) -> Self {
-        assert!(base_timeout > 0);
+        Self::with_policy(BackoffPolicy::new(base_timeout, max_retries))
+    }
+
+    /// Creates a retrier from a shared [`BackoffPolicy`] (the same type
+    /// `mycelium-net` uses for wall-clock reconnection).
+    pub fn with_policy(policy: BackoffPolicy) -> Self {
         Self {
             pending: HashMap::new(),
-            base_timeout,
-            max_retries,
+            policy,
         }
     }
 
@@ -60,7 +64,7 @@ impl<M: Payload> Retrier<M> {
     /// key).
     pub fn send(&mut self, ctx: &mut Ctx<M>, id: u64, dst: ActorId, msg: M) {
         ctx.send(dst, msg.clone());
-        ctx.set_timer(self.base_timeout, id);
+        ctx.set_timer(self.policy.wait(0), id);
         self.pending.insert(
             id,
             Pending {
@@ -86,14 +90,12 @@ impl<M: Payload> Retrier<M> {
         let Some(p) = self.pending.get_mut(&key) else {
             return RetryStatus::Settled;
         };
-        if p.attempts >= self.max_retries {
+        if self.policy.exhausted(p.attempts) {
             self.pending.remove(&key);
             return RetryStatus::Exhausted { id: key };
         }
         p.attempts += 1;
-        // Bounded exponential backoff: base · 2^attempts, capped so the
-        // shift cannot overflow and waits stay sane.
-        let backoff = self.base_timeout << p.attempts.min(16);
+        let backoff = self.policy.wait(p.attempts);
         ctx.count_retry();
         let (dst, msg) = (p.dst, p.msg.clone());
         ctx.send(dst, msg);

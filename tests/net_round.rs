@@ -1,0 +1,189 @@
+//! The multi-process encrypted query round, end to end over loopback.
+//!
+//! Spawns the `net_round` driver, which in turn spawns an aggregator
+//! server plus device / origin / committee client processes — real OS
+//! processes exchanging BGV ciphertexts and decryption shares over
+//! authenticated-encryption TCP channels — and checks the decoded
+//! histogram bit-for-bit against the in-process executor and the
+//! plaintext oracle.
+
+use std::path::{Path, PathBuf};
+use std::process::Command;
+
+use mycelium::params::SystemParams;
+use mycelium::run_query_encrypted;
+use mycelium_bgv::KeySet;
+use mycelium_dp::PrivacyBudget;
+use mycelium_math::rng::{SeedableRng, StdRng};
+use mycelium_net::client::FRAME_OVERHEAD;
+use mycelium_net::codec::ciphertext_encoded_bytes;
+use mycelium_net::metrics::NetMetrics;
+use mycelium_net::round::{build_population, build_setup, decode_outcome, files, RoundSpec};
+use mycelium_query::analyze::analyze;
+use mycelium_query::builtin::paper_query;
+use mycelium_query::eval::evaluate;
+
+fn test_spec() -> RoundSpec {
+    RoundSpec {
+        seed: 7,
+        n: 24,
+        query: "Q4".into(),
+        device_shards: 8,
+        origin_shards: 2,
+        ..RoundSpec::default()
+    }
+}
+
+fn out_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("mycelium-net-{}-{tag}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn run_driver(spec: &RoundSpec, dir: &Path, extra: &[&str]) -> std::process::Output {
+    let mut cmd = Command::new(env!("CARGO_BIN_EXE_net_round"));
+    cmd.arg("driver")
+        .args(spec.to_args())
+        .args(["--out", dir.to_str().unwrap()])
+        .args(extra)
+        .env("MYC_THREADS", "1");
+    cmd.output().expect("driver spawns")
+}
+
+#[test]
+fn full_round_matches_in_process_executor_and_wire_costs_reconcile() {
+    let spec = test_spec();
+    let dir = out_dir("full");
+    let out = run_driver(&spec, &dir, &[]);
+    assert!(
+        out.status.success(),
+        "driver failed:\n{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+
+    let outcome = decode_outcome(&std::fs::read(dir.join(files::OUTCOME)).unwrap())
+        .unwrap()
+        .unwrap_or_else(|e| panic!("round failed: {e}"));
+
+    // Oracle 1: the in-process encrypted executor on the identical
+    // population — the decoded (pre-noise) histogram must be
+    // bit-identical (exact decryption: the result depends only on the
+    // query and population, never on encryption randomness).
+    let params = SystemParams::simulation();
+    let pop = build_population(&spec);
+    let query = paper_query(&spec.query).unwrap();
+    let mut rng = StdRng::seed_from_u64(999);
+    let keys = KeySet::generate(&params.bgv, &mut rng);
+    let mut budget = PrivacyBudget::new(100.0);
+    let in_process = run_query_encrypted(
+        &query,
+        &pop,
+        &params,
+        &keys,
+        &[],
+        spec.with_proofs,
+        &mut budget,
+        &mut rng,
+    )
+    .expect("in-process run");
+    assert_eq!(outcome.exact.groups.len(), in_process.exact.groups.len());
+    for (a, b) in outcome.exact.groups.iter().zip(&in_process.exact.groups) {
+        assert_eq!(a.label, b.label);
+        assert_eq!(a.histogram, b.histogram, "group {} diverged", a.label);
+        assert_eq!(a.total_pairs, b.total_pairs);
+        assert_eq!(a.total_clipped_sum, b.total_clipped_sum);
+    }
+
+    // Oracle 2: the plaintext evaluator.
+    let analysis = analyze(&query, &params.schema).unwrap();
+    let oracle = evaluate(&query, &analysis, &params.schema, &pop);
+    for (a, b) in outcome.exact.groups.iter().zip(&oracle.groups) {
+        assert_eq!(a.histogram, b.histogram);
+    }
+
+    assert!(outcome.rejected.is_empty());
+    assert_eq!(outcome.released.len(), outcome.exact.groups.len());
+
+    // --- Wire-cost reconciliation against the analytical model. ---
+    let merged =
+        NetMetrics::decode(&std::fs::read(dir.join(files::METRICS_MERGED)).unwrap()).unwrap();
+    let setup = build_setup(&spec).unwrap();
+    let n = setup.pop.graph.len() as u64;
+    let total_duties: u64 = setup.duties.iter().map(|d| d.len() as u64).sum();
+
+    // Every frame costs exactly header + AEAD tag on top of its payload
+    // — the framing delta is fully explained, byte for byte.
+    for (kind, c) in merged.sent.iter().chain(merged.recv.iter()) {
+        assert_eq!(
+            c.wire_bytes,
+            c.payload_bytes + c.frames * FRAME_OVERHEAD as u64,
+            "framing overhead for {kind}"
+        );
+    }
+
+    // PushContrib: one fresh ciphertext per duty. The analytical model
+    // (`costs.rs` / `simcost.rs`) charges `params.bgv.ciphertext_bytes()`
+    // per contribution; on the wire each costs exactly that plus the
+    // codec envelope (message tag 1 + origin 4 + slot 4 + device 4 +
+    // proof flag 1 = 14, and the ciphertext's own part-count/noise/
+    // rep/level tags = 13).
+    let pc = &merged.sent["PushContrib"];
+    assert_eq!(pc.frames, total_duties);
+    let ct_encoded = ciphertext_encoded_bytes(2, params.bgv.levels, params.bgv.n) as u64;
+    assert_eq!(ct_encoded, params.bgv.ciphertext_bytes() as u64 + 13);
+    assert_eq!(pc.payload_bytes, total_duties * (ct_encoded + 14));
+    let analytical = total_duties * params.bgv.ciphertext_bytes() as u64;
+    assert_eq!(
+        pc.wire_bytes - analytical,
+        total_duties * (13 + 14 + FRAME_OVERHEAD as u64),
+        "PushContrib delta over the analytical model must be exactly envelope + framing"
+    );
+
+    // Every origin submitted exactly once (idempotent handlers).
+    assert_eq!(merged.sent["SubmitOrigin"].frames, n);
+    // 16 clients handshake at least once, and both ends count each
+    // handshake, so the merged total is at least 2 × 16.
+    let clients = (spec.device_shards + spec.origin_shards + setup.committee_size + 1) as u64;
+    assert!(merged.handshakes >= 2 * clients);
+    assert_eq!(merged.aead_rejects, 0);
+
+    // The JSON artifact exists and carries the same counters.
+    let json = std::fs::read_to_string(dir.join(files::METRICS_JSON)).unwrap();
+    assert!(json.contains(&format!("\"frames\": {total_duties}")));
+    // Left on disk deliberately: CI archives NET_round.json as an artifact.
+}
+
+#[test]
+fn crashed_origin_is_respawned_and_round_still_exact() {
+    let spec = test_spec();
+    let dir = out_dir("crash");
+    // Origin shard 1 kills itself (exit 17) after one submitted vertex;
+    // the driver's watchdog must detect the death and respawn it, and
+    // the respawned process recovers purely by re-pulling from the
+    // aggregator — the round must converge to the identical histogram.
+    let out = run_driver(&spec, &dir, &["--crash-origin", "1", "--crash-after", "1"]);
+    assert!(
+        out.status.success(),
+        "driver failed:\n{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        stderr.contains("respawning"),
+        "watchdog never reported the crash: {stderr}"
+    );
+
+    let outcome = decode_outcome(&std::fs::read(dir.join(files::OUTCOME)).unwrap())
+        .unwrap()
+        .unwrap_or_else(|e| panic!("round failed: {e}"));
+    let params = SystemParams::simulation();
+    let pop = build_population(&spec);
+    let query = paper_query(&spec.query).unwrap();
+    let analysis = analyze(&query, &params.schema).unwrap();
+    let oracle = evaluate(&query, &analysis, &params.schema, &pop);
+    assert_eq!(outcome.exact.groups.len(), oracle.groups.len());
+    for (a, b) in outcome.exact.groups.iter().zip(&oracle.groups) {
+        assert_eq!(a.histogram, b.histogram, "group {} diverged", a.label);
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}
