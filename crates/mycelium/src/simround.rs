@@ -686,6 +686,25 @@ impl Process<RoundMsg> for AggregatorActor {
         }
     }
 
+    fn on_restart(&mut self, ctx: &mut Ctx<RoundMsg>) {
+        // Crash-durable restart (the simnet model of the journaled
+        // aggregator): state survived intact, but every armed timer and
+        // in-flight send died with the process. Re-send everything
+        // unacknowledged and re-arm the deadline of the phase the
+        // journal replay landed us in.
+        if self.finished {
+            return;
+        }
+        self.retrier.resend_all(ctx);
+        if !self.aggregated {
+            ctx.set_timer(self.deadline * 2, SUBMIT_DEADLINE_KEY);
+        } else if !self.share_phase {
+            ctx.set_timer(self.deadline, PING_DEADLINE_KEY);
+        } else {
+            ctx.set_timer(self.deadline, SHARE_DEADLINE_BASE + self.round as u64);
+        }
+    }
+
     fn on_timer(&mut self, ctx: &mut Ctx<RoundMsg>, key: u64) {
         if self.finished {
             return;

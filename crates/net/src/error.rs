@@ -5,6 +5,7 @@
 //! variant, never as a panic: a byte flipped on the wire must produce a
 //! typed rejection the caller can retry around.
 
+use crate::journal::JournalError;
 use mycelium_crypto::AeadError;
 
 /// Transport-plane failure.
@@ -69,6 +70,14 @@ pub enum NetError {
         /// The final error, rendered.
         last: String,
     },
+    /// The write-ahead journal failed (I/O, corruption, or a replay
+    /// that did not reproduce the pre-crash state).
+    Journal(JournalError),
+    /// A handler thread panicked while holding the hub state lock; the
+    /// guard was recovered ([`PoisonError::into_inner`]
+    /// (std::sync::PoisonError::into_inner)) but the triggering request
+    /// is refused so the client retries against repaired state.
+    Poisoned,
 }
 
 impl std::fmt::Display for NetError {
@@ -100,6 +109,8 @@ impl std::fmt::Display for NetError {
             NetError::RetriesExhausted { attempts, last } => {
                 write!(f, "gave up after {attempts} attempts: {last}")
             }
+            NetError::Journal(e) => write!(f, "journal failure: {e}"),
+            NetError::Poisoned => write!(f, "hub state lock was poisoned by a panic"),
         }
     }
 }
@@ -119,6 +130,12 @@ impl From<std::io::Error> for NetError {
 impl From<AeadError> for NetError {
     fn from(e: AeadError) -> Self {
         NetError::Aead(e)
+    }
+}
+
+impl From<JournalError> for NetError {
+    fn from(e: JournalError) -> Self {
+        NetError::Journal(e)
     }
 }
 

@@ -1,0 +1,494 @@
+//! Append-only write-ahead journal for the aggregator's round state.
+//!
+//! The paper's threat model lets the aggregator be *untrusted* but the
+//! round still needs it *available* for hours; this module makes its
+//! in-memory [`AggState`](crate::round::AggState) crash-durable so a
+//! `kill -9` at any protocol step loses nothing. The aggregator logs
+//! every **accepted, state-mutating** event here before replying to the
+//! client; a respawned process replays the journal and resumes the
+//! round mid-phase.
+//!
+//! On-disk format (all integers little-endian):
+//!
+//! ```text
+//! ┌──────────────────────── header (44 bytes) ────────────────────────┐
+//! │ magic "MYCWALv1" (8) │ format version u32 (4) │ binding (32)      │
+//! └───────────────────────────────────────────────────────────────────┘
+//! ┌──────────────────────── record (40 + len) ────────────────────────┐
+//! │ len u32 (4) │ payload (len) │ sha256(seq_le ‖ payload) (32) │ ... │
+//! └───────────────────────────────────────────────────────────────────┘
+//! ```
+//!
+//! * The **binding digest** ties a journal to one round configuration
+//!   (we use a digest of the `RoundSpec` wire encoding), so a restart
+//!   with different parameters cannot silently replay a stale journal.
+//! * The record checksum covers the record's **sequence number** (its
+//!   0-based index) as well as its payload, so records cannot be
+//!   reordered, duplicated, or transplanted between offsets without
+//!   detection.
+//! * [`Journal::open`] truncates a **torn tail** — a record whose
+//!   length prefix, payload, or checksum is incomplete because the
+//!   process died mid-write — recovering the longest valid prefix.
+//!   A *complete but corrupt* record (bit flip) is a typed
+//!   [`JournalError::Corrupt`], never a panic or silent divergence.
+//! * [`Journal::commit`] flushes and `fsync`s; the aggregator calls it
+//!   after appending each accepted request and before replying, so an
+//!   acknowledged mutation is always on disk.
+
+use std::fs::{File, OpenOptions};
+use std::io::{Read, Seek, SeekFrom, Write};
+use std::path::Path;
+
+use mycelium_crypto::sha256::{sha256_concat, Digest};
+
+/// File magic: identifies a Mycelium write-ahead log, version 1.
+pub const MAGIC: &[u8; 8] = b"MYCWALv1";
+/// Format version inside the header (bumped on incompatible changes).
+pub const FORMAT_VERSION: u32 = 1;
+/// Header length: magic + version + binding digest.
+pub const HEADER_BYTES: usize = 8 + 4 + 32;
+/// Fixed per-record overhead: length prefix + checksum.
+pub const RECORD_OVERHEAD: usize = 4 + 32;
+/// Sanity bound on a single record (a full ciphertext push is ~1 MiB at
+/// simulation parameters; 64 MiB leaves headroom for paper-scale ones).
+pub const MAX_RECORD_BYTES: usize = 64 << 20;
+
+/// Typed journal failure — corruption is always *detected*, never
+/// silently replayed.
+#[derive(Debug)]
+pub enum JournalError {
+    /// An OS-level file failure.
+    Io(std::io::Error),
+    /// The file does not start with [`MAGIC`] / [`FORMAT_VERSION`].
+    BadHeader {
+        /// Human-readable description of what was wrong.
+        why: String,
+    },
+    /// The journal was written for a different round configuration.
+    BindingMismatch {
+        /// Binding digest found in the header.
+        got: Digest,
+        /// Binding digest of the round being recovered.
+        want: Digest,
+    },
+    /// A complete record failed its checksum — a bit flip or an
+    /// out-of-place record, not a torn write.
+    Corrupt {
+        /// 0-based index of the bad record.
+        seq: u64,
+    },
+    /// A record declares a length beyond [`MAX_RECORD_BYTES`].
+    RecordTooLarge {
+        /// 0-based index of the offending record.
+        seq: u64,
+        /// Declared payload length.
+        len: usize,
+    },
+    /// Replayed state diverged from a digest checkpoint logged before
+    /// the crash — the replay did not reproduce the pre-crash state.
+    StateDiverged {
+        /// Record count at which the checkpoint was taken.
+        at_records: u64,
+        /// Digest the pre-crash process logged.
+        want: Digest,
+        /// Digest the replayed state produced.
+        got: Digest,
+    },
+    /// A replayed record is semantically invalid for the current state
+    /// (journal written by a buggy or incompatible aggregator).
+    Replay {
+        /// 0-based index of the record that failed to apply.
+        seq: u64,
+        /// The rejection, rendered.
+        why: String,
+    },
+}
+
+impl std::fmt::Display for JournalError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            JournalError::Io(e) => write!(f, "journal I/O error: {e}"),
+            JournalError::BadHeader { why } => write!(f, "bad journal header: {why}"),
+            JournalError::BindingMismatch { got, want } => write!(
+                f,
+                "journal bound to a different round: {:02x}{:02x}… vs {:02x}{:02x}…",
+                got[0], got[1], want[0], want[1]
+            ),
+            JournalError::Corrupt { seq } => {
+                write!(f, "journal record {seq} failed its checksum")
+            }
+            JournalError::RecordTooLarge { seq, len } => {
+                write!(f, "journal record {seq} declares {len} bytes")
+            }
+            JournalError::StateDiverged { at_records, .. } => {
+                write!(f, "replayed state diverged at record {at_records}")
+            }
+            JournalError::Replay { seq, why } => {
+                write!(f, "journal record {seq} failed to apply: {why}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for JournalError {}
+
+impl From<std::io::Error> for JournalError {
+    fn from(e: std::io::Error) -> Self {
+        JournalError::Io(e)
+    }
+}
+
+fn record_checksum(seq: u64, payload: &[u8]) -> Digest {
+    sha256_concat(&[&seq.to_le_bytes(), payload])
+}
+
+/// An append-only, checksummed, fsync'd write-ahead journal.
+#[derive(Debug)]
+pub struct Journal {
+    file: File,
+    records: u64,
+    /// When `Some(n)`, the next append writes only the first `n` bytes
+    /// of the encoded record and then reports success — a deterministic
+    /// stand-in for a crash mid-`write(2)`, used by the chaos drill to
+    /// exercise torn-tail truncation on the *real* recovery path.
+    torn_write: Option<usize>,
+}
+
+impl Journal {
+    /// Creates a fresh journal at `path` (truncating any existing file)
+    /// bound to `binding`.
+    pub fn create(path: &Path, binding: &Digest) -> Result<Self, JournalError> {
+        let mut file = OpenOptions::new()
+            .read(true)
+            .write(true)
+            .create(true)
+            .truncate(true)
+            .open(path)?;
+        let mut header = Vec::with_capacity(HEADER_BYTES);
+        header.extend_from_slice(MAGIC);
+        header.extend_from_slice(&FORMAT_VERSION.to_le_bytes());
+        header.extend_from_slice(binding);
+        file.write_all(&header)?;
+        file.sync_all()?;
+        Ok(Self {
+            file,
+            records: 0,
+            torn_write: None,
+        })
+    }
+
+    /// Opens an existing journal, verifies the header against `binding`,
+    /// and returns the journal positioned for appending plus every valid
+    /// record payload in order.
+    ///
+    /// A torn tail (incomplete final record) is truncated away; a
+    /// complete record with a bad checksum is [`JournalError::Corrupt`].
+    pub fn open(path: &Path, binding: &Digest) -> Result<(Self, Vec<Vec<u8>>), JournalError> {
+        let mut file = OpenOptions::new().read(true).write(true).open(path)?;
+        let mut bytes = Vec::new();
+        file.read_to_end(&mut bytes)?;
+        if bytes.len() < HEADER_BYTES {
+            return Err(JournalError::BadHeader {
+                why: format!("{} bytes, header needs {HEADER_BYTES}", bytes.len()),
+            });
+        }
+        if &bytes[..8] != MAGIC {
+            return Err(JournalError::BadHeader {
+                why: format!("magic {:02x?}", &bytes[..8]),
+            });
+        }
+        let version = u32::from_le_bytes(bytes[8..12].try_into().unwrap());
+        if version != FORMAT_VERSION {
+            return Err(JournalError::BadHeader {
+                why: format!("format version {version}, expected {FORMAT_VERSION}"),
+            });
+        }
+        let got: Digest = bytes[12..HEADER_BYTES].try_into().unwrap();
+        if &got != binding {
+            return Err(JournalError::BindingMismatch {
+                got,
+                want: *binding,
+            });
+        }
+
+        let mut records = Vec::new();
+        let mut pos = HEADER_BYTES;
+        let mut valid_end = pos;
+        loop {
+            // Torn length prefix → truncate.
+            if bytes.len() - pos < 4 {
+                break;
+            }
+            let len = u32::from_le_bytes(bytes[pos..pos + 4].try_into().unwrap()) as usize;
+            let seq = records.len() as u64;
+            if len > MAX_RECORD_BYTES {
+                // A length this absurd is corruption of the prefix
+                // itself, not a torn write: typed error, no truncation.
+                return Err(JournalError::RecordTooLarge { seq, len });
+            }
+            // Torn payload or checksum → truncate.
+            if bytes.len() - pos < 4 + len + 32 {
+                break;
+            }
+            let payload = &bytes[pos + 4..pos + 4 + len];
+            let sum: Digest = bytes[pos + 4 + len..pos + 4 + len + 32].try_into().unwrap();
+            if record_checksum(seq, payload) != sum {
+                return Err(JournalError::Corrupt { seq });
+            }
+            records.push(payload.to_vec());
+            pos += 4 + len + 32;
+            valid_end = pos;
+        }
+        if valid_end < bytes.len() {
+            // Drop the torn tail so the next append starts on a clean
+            // record boundary.
+            file.set_len(valid_end as u64)?;
+            file.sync_all()?;
+        }
+        file.seek(SeekFrom::Start(valid_end as u64))?;
+        Ok((
+            Self {
+                file,
+                records: records.len() as u64,
+                torn_write: None,
+            },
+            records,
+        ))
+    }
+
+    /// Opens `path` if it exists, otherwise creates it. Returns the
+    /// journal plus any replayable records (empty for a fresh file).
+    pub fn open_or_create(
+        path: &Path,
+        binding: &Digest,
+    ) -> Result<(Self, Vec<Vec<u8>>), JournalError> {
+        if path.exists() {
+            Self::open(path, binding)
+        } else {
+            Ok((Self::create(path, binding)?, Vec::new()))
+        }
+    }
+
+    /// Number of records written (or recovered) so far.
+    pub fn record_count(&self) -> u64 {
+        self.records
+    }
+
+    /// Appends one record. Not durable until [`Journal::commit`].
+    pub fn append(&mut self, payload: &[u8]) -> Result<(), JournalError> {
+        assert!(payload.len() <= MAX_RECORD_BYTES, "record too large");
+        let seq = self.records;
+        let mut rec = Vec::with_capacity(RECORD_OVERHEAD + payload.len());
+        rec.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+        rec.extend_from_slice(payload);
+        rec.extend_from_slice(&record_checksum(seq, payload));
+        if let Some(n) = self.torn_write.take() {
+            // Simulated mid-write crash: persist a prefix of the record
+            // and stop there. The caller aborts right after.
+            let n = n.min(rec.len().saturating_sub(1)).max(1);
+            self.file.write_all(&rec[..n])?;
+            let _ = self.file.sync_all();
+            return Ok(());
+        }
+        self.file.write_all(&rec)?;
+        self.records += 1;
+        Ok(())
+    }
+
+    /// Makes everything appended so far durable (`fsync`).
+    pub fn commit(&mut self) -> Result<(), JournalError> {
+        self.file.sync_all()?;
+        Ok(())
+    }
+
+    /// Arms a simulated torn write: the **next** [`Journal::append`]
+    /// persists only the first `bytes` bytes of the encoded record.
+    /// Used by the chaos drill (`--die-mid-journal`).
+    pub fn arm_torn_write(&mut self, bytes: usize) {
+        self.torn_write = Some(bytes);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::path::PathBuf;
+
+    fn tmp(tag: &str) -> PathBuf {
+        std::env::temp_dir().join(format!("myc-journal-{}-{tag}.bin", std::process::id()))
+    }
+
+    fn binding() -> Digest {
+        [7u8; 32]
+    }
+
+    #[test]
+    fn round_trips_records_across_reopen() {
+        let path = tmp("roundtrip");
+        let payloads: Vec<Vec<u8>> = vec![vec![1, 2, 3], vec![], vec![0xAB; 1000]];
+        {
+            let mut j = Journal::create(&path, &binding()).unwrap();
+            for p in &payloads {
+                j.append(p).unwrap();
+            }
+            j.commit().unwrap();
+            assert_eq!(j.record_count(), 3);
+        }
+        let (j, recovered) = Journal::open(&path, &binding()).unwrap();
+        assert_eq!(recovered, payloads);
+        assert_eq!(j.record_count(), 3);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn append_after_reopen_continues_the_sequence() {
+        let path = tmp("continue");
+        {
+            let mut j = Journal::create(&path, &binding()).unwrap();
+            j.append(b"first").unwrap();
+            j.commit().unwrap();
+        }
+        {
+            let (mut j, rec) = Journal::open(&path, &binding()).unwrap();
+            assert_eq!(rec.len(), 1);
+            j.append(b"second").unwrap();
+            j.commit().unwrap();
+        }
+        let (_, rec) = Journal::open(&path, &binding()).unwrap();
+        assert_eq!(rec, vec![b"first".to_vec(), b"second".to_vec()]);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn binding_mismatch_is_typed() {
+        let path = tmp("binding");
+        Journal::create(&path, &binding()).unwrap();
+        let other = [9u8; 32];
+        match Journal::open(&path, &other) {
+            Err(JournalError::BindingMismatch { got, want }) => {
+                assert_eq!(got, binding());
+                assert_eq!(want, other);
+            }
+            other => panic!("expected BindingMismatch, got {other:?}"),
+        }
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn bit_flip_is_detected_not_replayed() {
+        let path = tmp("bitflip");
+        {
+            let mut j = Journal::create(&path, &binding()).unwrap();
+            j.append(b"good record one").unwrap();
+            j.append(b"good record two").unwrap();
+            j.commit().unwrap();
+        }
+        // Flip one payload bit of record 1.
+        let mut bytes = std::fs::read(&path).unwrap();
+        let rec1_payload = HEADER_BYTES + 4 + 15 + 32 + 4;
+        bytes[rec1_payload + 3] ^= 0x10;
+        std::fs::write(&path, &bytes).unwrap();
+        match Journal::open(&path, &binding()) {
+            Err(JournalError::Corrupt { seq }) => assert_eq!(seq, 1),
+            other => panic!("expected Corrupt, got {other:?}"),
+        }
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn records_cannot_be_swapped() {
+        // The checksum binds each record to its sequence index, so two
+        // individually valid records swapped in place fail to verify.
+        let path = tmp("swap");
+        {
+            let mut j = Journal::create(&path, &binding()).unwrap();
+            j.append(b"AAAA").unwrap();
+            j.append(b"BBBB").unwrap();
+            j.commit().unwrap();
+        }
+        let mut bytes = std::fs::read(&path).unwrap();
+        let rec_len = 4 + 4 + 32;
+        let (a, b) = (HEADER_BYTES, HEADER_BYTES + rec_len);
+        let rec_a = bytes[a..a + rec_len].to_vec();
+        let rec_b = bytes[b..b + rec_len].to_vec();
+        bytes[a..a + rec_len].copy_from_slice(&rec_b);
+        bytes[b..b + rec_len].copy_from_slice(&rec_a);
+        std::fs::write(&path, &bytes).unwrap();
+        match Journal::open(&path, &binding()) {
+            Err(JournalError::Corrupt { seq }) => assert_eq!(seq, 0),
+            other => panic!("expected Corrupt, got {other:?}"),
+        }
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn torn_tail_is_truncated_to_valid_prefix() {
+        let path = tmp("torn");
+        {
+            let mut j = Journal::create(&path, &binding()).unwrap();
+            j.append(b"complete one").unwrap();
+            j.append(b"complete two").unwrap();
+            j.commit().unwrap();
+        }
+        let full = std::fs::read(&path).unwrap();
+        // Chop the file at every byte offset inside the second record:
+        // recovery must always yield exactly the first record and leave
+        // the file appendable.
+        let rec2_start = HEADER_BYTES + 4 + 12 + 32;
+        for cut in rec2_start + 1..full.len() {
+            std::fs::write(&path, &full[..cut]).unwrap();
+            let (mut j, rec) = Journal::open(&path, &binding()).unwrap();
+            assert_eq!(rec, vec![b"complete one".to_vec()], "cut at {cut}");
+            j.append(b"complete two").unwrap();
+            j.commit().unwrap();
+            let (_, rec) = Journal::open(&path, &binding()).unwrap();
+            assert_eq!(rec.len(), 2, "re-append after cut at {cut}");
+            std::fs::write(&path, &full).unwrap();
+        }
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn armed_torn_write_reproduces_a_mid_write_crash() {
+        let path = tmp("armed");
+        {
+            let mut j = Journal::create(&path, &binding()).unwrap();
+            j.append(b"durable").unwrap();
+            j.commit().unwrap();
+            j.arm_torn_write(10);
+            j.append(b"this record is torn").unwrap();
+            // Process "dies" here: no commit, partial bytes on disk.
+        }
+        let (_, rec) = Journal::open(&path, &binding()).unwrap();
+        assert_eq!(rec, vec![b"durable".to_vec()], "torn record truncated");
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn truncated_header_is_typed() {
+        let path = tmp("header");
+        Journal::create(&path, &binding()).unwrap();
+        let bytes = std::fs::read(&path).unwrap();
+        std::fs::write(&path, &bytes[..10]).unwrap();
+        assert!(matches!(
+            Journal::open(&path, &binding()),
+            Err(JournalError::BadHeader { .. })
+        ));
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn absurd_length_prefix_is_typed() {
+        let path = tmp("length");
+        Journal::create(&path, &binding()).unwrap();
+        let mut bytes = std::fs::read(&path).unwrap();
+        bytes.extend_from_slice(&(u32::MAX).to_le_bytes());
+        bytes.extend_from_slice(&[0u8; 64]);
+        std::fs::write(&path, &bytes).unwrap();
+        assert!(matches!(
+            Journal::open(&path, &binding()),
+            Err(JournalError::RecordTooLarge { seq: 0, .. })
+        ));
+        let _ = std::fs::remove_file(&path);
+    }
+}

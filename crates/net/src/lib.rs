@@ -20,9 +20,19 @@
 //!   reuses the simulated transport's [`BackoffPolicy`] schedule.
 //! * [`codec`] / [`proto`] — validated wire codecs for ciphertexts,
 //!   proofs, and decryption shares, and the query-round message set.
+//! * [`journal`] — the aggregator's append-only, checksummed,
+//!   fsync'd write-ahead journal: every accepted mutation is durable
+//!   before the reply, and a respawned aggregator replays it back to
+//!   the exact pre-crash state.
 //! * [`round`] — the multi-process round itself: aggregator server,
 //!   device/origin/committee client roles, and the driver that spawns
 //!   and supervises them.
+//! * [`chaos`] — the seeded kill/respawn supervisor ([`Supervised`],
+//!   [`ChaosPlan`]) behind the `chaos_round` binary: murders roles at
+//!   derived protocol steps and verifies the round still ends in a
+//!   bit-identical histogram or a typed failure.
+//! * [`cli`] — flag parsing and role dispatch shared by the
+//!   `net_round` and `chaos_round` binaries.
 //! * [`metrics`] — per-kind wire counters and latency series, merged
 //!   across processes and reconciled against the analytical cost model
 //!   in `mycelium::costs`.
@@ -30,10 +40,13 @@
 //!   tests to prove tampering yields typed AEAD errors, not panics.
 
 pub mod channel;
+pub mod chaos;
+pub mod cli;
 pub mod client;
 pub mod codec;
 pub mod error;
 pub mod frame;
+pub mod journal;
 pub mod metrics;
 pub mod proto;
 pub mod round;
@@ -42,8 +55,10 @@ pub mod tamper;
 pub mod wire;
 
 pub use channel::{Identity, SecureChannel, HANDSHAKE_WIRE_BYTES};
+pub use chaos::{ChaosOutcome, ChaosPlan, Supervised};
 pub use client::{Client, ClientConfig, FRAME_OVERHEAD};
 pub use error::NetError;
+pub use journal::{Journal, JournalError};
 pub use metrics::NetMetrics;
 pub use round::{RoundSetup, RoundSpec};
 pub use server::{Handler, Server, ServerConfig};
@@ -51,3 +66,14 @@ pub use tamper::TamperProxy;
 
 // Re-exported so doc links and downstream users name one source of truth.
 pub use mycelium_simnet::BackoffPolicy;
+
+/// Locks a mutex, recovering the guard if a previous holder panicked.
+///
+/// Hub state is designed idempotent/first-write-wins, so a half-applied
+/// mutation from a panicked handler thread cannot corrupt it — whereas
+/// std's default poisoning policy (every later `lock().unwrap()` panics
+/// too) would wedge the whole server on one bad request. Every lock in
+/// the transport plane goes through here.
+pub fn lock_recover<T: ?Sized>(m: &std::sync::Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+}

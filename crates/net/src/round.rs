@@ -29,6 +29,18 @@
 //!   so a respawned origin recovers by re-pulling), polls `PullStatus`,
 //!   and merges every process's wire metrics into one JSON artifact.
 //!
+//! ## Durability
+//!
+//! The aggregator's [`AggState`] is crash-durable: every accepted,
+//! state-mutating request and every wall-clock phase transition is
+//! logged to a write-ahead [`Journal`] (fsync'd before the reply goes
+//! out), so a `kill -9` at any protocol step loses nothing. A respawned
+//! aggregator replays the journal, rebuilds bit-identical state
+//! (verified against embedded state-digest checkpoints), rebinds a
+//! fresh port, and publishes it via the `agg.addr` file; clients
+//! re-resolve the address whenever their retries exhaust. The chaos
+//! supervisor in [`crate::chaos`] exercises exactly this path.
+//!
 //! ## Determinism
 //!
 //! Every process rebuilds the population, keys, key shares, query plan,
@@ -38,7 +50,8 @@
 //! population and query, never on encryption randomness: the
 //! multi-process round is bit-identical to the in-process executor.
 //! All requests are idempotent (first write wins at the aggregator), so
-//! the client layer's at-least-once retry is safe.
+//! the client layer's at-least-once retry is safe — including across
+//! aggregator respawns.
 
 use std::collections::BTreeSet;
 use std::io::BufRead;
@@ -50,8 +63,11 @@ use std::time::{Duration, Instant};
 use mycelium::decode::decode_aggregate;
 use mycelium::exec::{release_noisy, ExecStats, NoisyGroup};
 use mycelium::params::SystemParams;
-use mycelium::plan::{aggregate_and_audit, combine_origin, origin_work, OriginWork, QueryPlan};
+use mycelium::plan::{
+    aggregate_and_audit, ciphertext_digest, combine_origin, origin_work, OriginWork, QueryPlan,
+};
 use mycelium_bgv::{Ciphertext, KeySet, Plaintext};
+use mycelium_crypto::sha256::{sha256, Digest};
 use mycelium_graph::generate::{
     epidemic_population, ContactGraphConfig, EpidemicConfig, Population,
 };
@@ -65,9 +81,12 @@ use mycelium_sharing::threshold::{
 };
 
 use crate::channel::Identity;
+use crate::chaos::Supervised;
 use crate::client::{Client, ClientConfig};
-use crate::codec::{decode_plain_result, encode_plain_result, CodecCtx};
+use crate::codec::{decode_plain_result, encode_plain_result, encode_share, CodecCtx};
 use crate::error::NetError;
+use crate::journal::{Journal, JournalError};
+use crate::lock_recover;
 use crate::metrics::NetMetrics;
 use crate::proto::NetMsg;
 use crate::server::{Server, ServerConfig};
@@ -88,7 +107,7 @@ pub mod role {
 }
 
 /// Rng stream bases (`StdRng::seed_from_u64(seed).with_stream(...)`).
-mod stream {
+pub(crate) mod stream {
     /// System key generation.
     pub const KEYS: u64 = 1;
     /// Per-vertex contribution encryption: `CONTRIB + v`.
@@ -164,6 +183,21 @@ impl RoundSpec {
             "--timeout-ms".into(),
             self.round_timeout.as_millis().to_string(),
         ]
+    }
+
+    /// Digest binding a write-ahead journal to this round's *state*
+    /// configuration. Timing knobs (deadlines, poll interval) are
+    /// deliberately excluded: a respawn may retune them without
+    /// invalidating the journaled protocol state.
+    pub fn binding_digest(&self) -> Digest {
+        let mut w = Writer::new();
+        w.put_u64(self.seed);
+        w.put_u64(self.n as u64);
+        w.put_str(&self.query);
+        w.put_u64(self.device_shards as u64);
+        w.put_u64(self.origin_shards as u64);
+        w.put_u8(self.with_proofs as u8);
+        sha256(&w.finish())
     }
 }
 
@@ -373,7 +407,45 @@ pub fn decode_outcome(bytes: &[u8]) -> Result<Result<RoundOutcome, String>, NetE
 // Aggregator
 // ---------------------------------------------------------------------------
 
-struct AggState {
+/// Journal record tags (first payload byte of every record).
+mod rec {
+    /// An accepted state-mutating request (body = `NetMsg` encoding).
+    pub const REQ: u8 = 1;
+    /// Wall-clock transition: form the aggregate (missing → `Enc(0)`).
+    pub const AGGREGATE: u8 = 2;
+    /// Wall-clock transition: select the decryption participants.
+    pub const SELECT: u8 = 3;
+    /// Wall-clock transition: reselect after share stragglers.
+    pub const RESELECT: u8 = 4;
+    /// Terminal typed failure (body = UTF-8 message).
+    pub const FAIL: u8 = 5;
+    /// State-digest checkpoint (body = 32-byte [`AggState::digest`]).
+    pub const DIGEST: u8 = 6;
+}
+
+/// Append a digest checkpoint after this many undigested records.
+const DIGEST_EVERY: u32 = 8;
+/// How long a finished aggregator waits for committee members to observe
+/// `Finished` before giving up on stragglers and exiting anyway.
+const FINISH_GRACE: Duration = Duration::from_secs(10);
+
+/// Deterministic fault injection knobs for [`run_aggregator`] — the
+/// chaos drill's way of dying at an exact protocol step.
+#[derive(Debug, Clone, Default)]
+pub struct AggFaults {
+    /// Abort (a `kill -9` stand-in: no cleanup, no flush) right after
+    /// the `N`th successfully handled — journaled, applied, fsync'd,
+    /// but **not yet answered** — message of the given kind.
+    pub die_after: Option<(String, u32)>,
+    /// Abort mid-`write(2)` of the `N`th journaled record, leaving a
+    /// torn tail for the next incarnation to truncate.
+    pub die_mid_journal: Option<u32>,
+}
+
+/// The aggregator's entire protocol state. Crash-durable: every
+/// mutation is journaled before the reply, and [`AggState::recover`]
+/// rebuilds an identical state from the journal.
+pub struct AggState {
     setup: Arc<RoundSetup>,
     started: Instant,
     // Contribution phase: verified per-(origin, slot) ciphertexts.
@@ -396,10 +468,19 @@ struct AggState {
     finished_seen: BTreeSet<u64>,
     driver_seen: bool,
     rng: StdRng,
+    // Durability.
+    journal: Option<Journal>,
+    replaying: bool,
+    dirty: bool,
+    undigested: u32,
+    digest_due: bool,
+    mutating_appends: u32,
+    die_mid_journal: Option<u32>,
 }
 
 impl AggState {
-    fn new(setup: Arc<RoundSetup>) -> Self {
+    /// Fresh (empty) state for a round.
+    pub fn new(setup: Arc<RoundSetup>) -> Self {
         let n = setup.pop.graph.len();
         let c = setup.committee_size;
         let slot_counts: Vec<usize> = setup.works.iter().map(|w| w.requests.len()).collect();
@@ -421,8 +502,122 @@ impl AggState {
             finished_seen: BTreeSet::new(),
             driver_seen: false,
             rng: StdRng::seed_from_u64(setup.spec.seed).with_stream(stream::AGGREGATOR),
+            journal: None,
+            replaying: false,
+            dirty: false,
+            undigested: 0,
+            digest_due: false,
+            mutating_appends: 0,
+            die_mid_journal: None,
             setup,
         }
+    }
+
+    /// Opens (or creates) the journal at `path` and replays every
+    /// recorded event, rebuilding the exact pre-crash state. Embedded
+    /// digest checkpoints are verified along the way — a divergent
+    /// replay is a typed [`JournalError::StateDiverged`], never a
+    /// silently wrong round.
+    pub fn recover(setup: Arc<RoundSetup>, path: &Path) -> Result<Self, NetError> {
+        let binding = setup.spec.binding_digest();
+        let (journal, records) = Journal::open_or_create(path, &binding)?;
+        let mut st = AggState::new(setup);
+        st.replaying = true;
+        for (seq, record) in records.iter().enumerate() {
+            st.apply_record(record, seq as u64)?;
+        }
+        st.replaying = false;
+        st.journal = Some(journal);
+        // Wall-clock deadlines do not survive a crash: restart them so
+        // straggler detection (and the one reselect) still fires.
+        st.started = Instant::now();
+        if !st.participants.is_empty() && st.outcome.is_none() {
+            st.share_deadline = Some(Instant::now() + st.share_wait());
+        }
+        if !records.is_empty() {
+            eprintln!("aggregator: replayed {} journal records", records.len());
+        }
+        Ok(st)
+    }
+
+    /// Installs the chaos fault knobs (see [`AggFaults`]).
+    pub fn set_faults(&mut self, faults: &AggFaults) {
+        self.die_mid_journal = faults.die_mid_journal;
+    }
+
+    /// Digest of the protocol state: everything replay must reproduce.
+    ///
+    /// Wall-clock fields (`started`, `share_deadline`) and liveness
+    /// bookkeeping (`finished_seen`, `driver_seen`) are excluded — they
+    /// are legitimately different after a restart.
+    pub fn digest(&self) -> Digest {
+        let mut w = Writer::new();
+        let put_opt_ct = |w: &mut Writer, ct: &Option<Ciphertext>| match ct {
+            None => w.put_u8(0),
+            Some(ct) => {
+                w.put_u8(1);
+                w.put_bytes(&ciphertext_digest(ct));
+            }
+        };
+        for slots in &self.contribs {
+            for s in slots {
+                put_opt_ct(&mut w, s);
+            }
+        }
+        w.put_u32(self.seen.len() as u32);
+        for &(o, s) in &self.seen {
+            w.put_u32(o);
+            w.put_u32(s);
+        }
+        w.put_u32(self.rejected.len() as u32);
+        for &v in &self.rejected {
+            w.put_u32(v);
+        }
+        for s in &self.submissions {
+            put_opt_ct(&mut w, s);
+        }
+        w.put_u64(self.got_submissions as u64);
+        put_opt_ct(&mut w, &self.aggregate);
+        for p in &self.pongs {
+            match p {
+                None => w.put_u8(0),
+                Some(seed) => {
+                    w.put_u8(1);
+                    w.put_bytes(seed);
+                }
+            }
+        }
+        w.put_u32(self.share_round);
+        w.put_u32(self.participants.len() as u32);
+        for &m in &self.participants {
+            w.put_u64(m);
+        }
+        w.put_u8(self.reselected as u8);
+        for s in &self.shares {
+            match s {
+                None => w.put_u8(0),
+                Some(share) => {
+                    w.put_u8(1);
+                    encode_share(&mut w, share);
+                }
+            }
+        }
+        match &self.outcome {
+            None => w.put_u8(0),
+            Some(out) => {
+                w.put_u8(1);
+                let bytes = encode_outcome(out);
+                w.put_bytes(&bytes);
+            }
+        }
+        sha256(&w.finish())
+    }
+
+    fn share_wait(&self) -> Duration {
+        self.setup
+            .spec
+            .contrib_deadline
+            .max(Duration::from_secs(10))
     }
 
     fn contrib_deadline_passed(&self) -> bool {
@@ -435,84 +630,160 @@ impl AggState {
         }
     }
 
-    /// Lazy phase transitions, run at the top of every request.
-    fn tick(&mut self) {
-        if self.outcome.is_some() {
-            return;
+    // --- journaling ------------------------------------------------------
+
+    /// Appends one record (not yet durable; see [`AggState::flush`]).
+    fn append_record(&mut self, record: &[u8]) -> Result<(), NetError> {
+        if self.replaying {
+            return Ok(());
         }
-        let n = self.setup.pop.graph.len();
-        // Aggregate once every origin submitted (or the extended
-        // deadline expires — missing origins contribute Enc(0)).
-        let submit_deadline = self.setup.spec.contrib_deadline * 2;
-        if self.aggregate.is_none()
-            && (self.got_submissions == n || self.started.elapsed() >= submit_deadline)
-        {
-            let (n_ring, t_pt) = (self.setup.plan.n_ring, self.setup.plan.t_pt);
-            let cts: Result<Vec<Ciphertext>, _> = self
-                .submissions
-                .iter()
-                .map(|s| match s {
-                    Some(ct) => Ok(ct.clone()),
-                    None => Ciphertext::encrypt(
-                        &self.setup.keys.public,
-                        &Plaintext::zero(n_ring, t_pt),
-                        &mut self.rng,
-                    ),
-                })
-                .collect();
-            match cts
-                .map_err(|e| format!("substitute encryption failed: {e}"))
-                .and_then(|cts| {
-                    aggregate_and_audit(cts).map_err(|e| format!("aggregation failed: {e}"))
-                }) {
-                Ok(agg) => self.aggregate = Some(agg),
-                Err(e) => return self.fail(e),
+        let Some(j) = self.journal.as_mut() else {
+            return Ok(());
+        };
+        self.mutating_appends += 1;
+        if self.die_mid_journal == Some(self.mutating_appends) {
+            // Chaos: die mid-write(2). Persist a record prefix, then
+            // abort without flushing anything else — the next
+            // incarnation must truncate the torn tail.
+            j.arm_torn_write(record.len() / 2 + 2);
+            let _ = j.append(record);
+            eprintln!(
+                "aggregator: chaos kill mid-journal-write (record {})",
+                self.mutating_appends
+            );
+            std::process::abort();
+        }
+        j.append(record)?;
+        self.dirty = true;
+        self.undigested += 1;
+        Ok(())
+    }
+
+    fn append_req(&mut self, raw: &[u8]) -> Result<(), NetError> {
+        let mut record = Vec::with_capacity(1 + raw.len());
+        record.push(rec::REQ);
+        record.extend_from_slice(raw);
+        self.append_record(&record)
+    }
+
+    fn append_mark(&mut self, tag: u8) -> Result<(), NetError> {
+        self.digest_due = true;
+        self.append_record(&[tag])
+    }
+
+    fn append_fail(&mut self, msg: &str) -> Result<(), NetError> {
+        let mut record = Vec::with_capacity(1 + msg.len());
+        record.push(rec::FAIL);
+        record.extend_from_slice(msg.as_bytes());
+        self.digest_due = true;
+        self.append_record(&record)
+    }
+
+    /// Makes every appended record durable, inserting a state-digest
+    /// checkpoint at phase transitions and every [`DIGEST_EVERY`]
+    /// records. Called once per handled request — one fsync covers the
+    /// request plus any transitions it unlocked.
+    fn flush(&mut self) -> Result<(), NetError> {
+        if self.replaying || !self.dirty {
+            return Ok(());
+        }
+        if self.digest_due || self.undigested >= DIGEST_EVERY {
+            let mut record = Vec::with_capacity(33);
+            record.push(rec::DIGEST);
+            record.extend_from_slice(&self.digest());
+            self.append_record(&record)?;
+            self.undigested = 0;
+            self.digest_due = false;
+        }
+        if let Some(j) = self.journal.as_mut() {
+            j.commit()?;
+        }
+        self.dirty = false;
+        Ok(())
+    }
+
+    /// Replays one journal record during [`AggState::recover`].
+    fn apply_record(&mut self, record: &[u8], seq: u64) -> Result<(), NetError> {
+        let Some((&tag, body)) = record.split_first() else {
+            return Err(JournalError::Replay {
+                seq,
+                why: "empty record".into(),
             }
-        }
-        // Select participants once the aggregate exists and the whole
-        // committee checked in (or the grace period expires).
-        if self.aggregate.is_some() && self.participants.is_empty() {
-            let alive = self.alive_members();
-            let all_in = alive.len() == self.setup.committee_size;
-            let grace_over = self.started.elapsed() >= submit_deadline + Duration::from_secs(5);
-            if all_in || grace_over {
-                self.select_participants();
+            .into());
+        };
+        match tag {
+            rec::REQ => {
+                let msg = NetMsg::decode(body, &self.setup.cc)?;
+                self.apply(msg).map_err(|e| JournalError::Replay {
+                    seq,
+                    why: e.to_string(),
+                })?;
             }
-        }
-        // Reselect once if a chosen member never delivered its share.
-        if let Some(deadline) = self.share_deadline {
-            if self.outcome.is_none() && Instant::now() >= deadline {
-                let missing: Vec<u64> = self
-                    .participants
-                    .iter()
-                    .copied()
-                    .filter(|&m| self.shares[m as usize].is_none())
-                    .collect();
-                if !missing.is_empty() {
-                    if self.reselected {
-                        let alive = self.alive_members().len();
-                        return self.fail(format!(
-                            "committee unavailable: {alive} alive, {} needed",
-                            self.setup.threshold + 1
-                        ));
+            rec::AGGREGATE => self.do_aggregate(),
+            rec::SELECT => self.do_select(),
+            rec::RESELECT => self.do_reselect(),
+            rec::FAIL => {
+                let msg = String::from_utf8_lossy(body).into_owned();
+                self.fail(msg);
+            }
+            rec::DIGEST => {
+                let want: Digest = body.try_into().map_err(|_| JournalError::Replay {
+                    seq,
+                    why: format!("digest checkpoint of {} bytes", body.len()),
+                })?;
+                let got = self.digest();
+                if got != want {
+                    return Err(JournalError::StateDiverged {
+                        at_records: seq,
+                        want,
+                        got,
                     }
-                    self.reselected = true;
-                    for m in missing {
-                        self.pongs[m as usize - 1] = None;
-                    }
-                    self.select_participants();
+                    .into());
                 }
             }
+            other => {
+                return Err(JournalError::Replay {
+                    seq,
+                    why: format!("unknown record tag {other}"),
+                }
+                .into())
+            }
+        }
+        Ok(())
+    }
+
+    // --- phase transitions ----------------------------------------------
+
+    /// Forms the aggregate: missing origins contribute `Enc(0)`.
+    fn do_aggregate(&mut self) {
+        if self.aggregate.is_some() {
+            return;
+        }
+        let (n_ring, t_pt) = (self.setup.plan.n_ring, self.setup.plan.t_pt);
+        let cts: Result<Vec<Ciphertext>, _> = self
+            .submissions
+            .iter()
+            .map(|s| match s {
+                Some(ct) => Ok(ct.clone()),
+                None => Ciphertext::encrypt(
+                    &self.setup.keys.public,
+                    &Plaintext::zero(n_ring, t_pt),
+                    &mut self.rng,
+                ),
+            })
+            .collect();
+        match cts
+            .map_err(|e| format!("substitute encryption failed: {e}"))
+            .and_then(|cts| {
+                aggregate_and_audit(cts).map_err(|e| format!("aggregation failed: {e}"))
+            }) {
+            Ok(agg) => self.aggregate = Some(agg),
+            Err(e) => self.fail(e),
         }
     }
 
-    fn alive_members(&self) -> Vec<u64> {
-        (1..=self.setup.committee_size as u64)
-            .filter(|&m| self.pongs[m as usize - 1].is_some())
-            .collect()
-    }
-
-    fn select_participants(&mut self) {
+    /// Picks the first `t + 1` alive members as decryption participants.
+    fn do_select(&mut self) {
         let alive = self.alive_members();
         let need = self.setup.threshold + 1;
         if alive.len() < need {
@@ -524,14 +795,28 @@ impl AggState {
         self.share_round += 1;
         self.participants = alive[..need].to_vec();
         self.shares = vec![None; self.setup.committee_size + 1];
-        self.share_deadline = Some(
-            Instant::now()
-                + self
-                    .setup
-                    .spec
-                    .contrib_deadline
-                    .max(Duration::from_secs(10)),
-        );
+        self.share_deadline = Some(Instant::now() + self.share_wait());
+    }
+
+    /// Drops the straggling participants' pongs and selects again.
+    fn do_reselect(&mut self) {
+        self.reselected = true;
+        let missing: Vec<u64> = self
+            .participants
+            .iter()
+            .copied()
+            .filter(|&m| self.shares[m as usize].is_none())
+            .collect();
+        for m in missing {
+            self.pongs[m as usize - 1] = None;
+        }
+        self.do_select();
+    }
+
+    fn alive_members(&self) -> Vec<u64> {
+        (1..=self.setup.committee_size as u64)
+            .filter(|&m| self.pongs[m as usize - 1].is_some())
+            .collect()
     }
 
     fn finish_committee(&mut self) {
@@ -559,8 +844,97 @@ impl AggState {
         }));
     }
 
-    fn handle(&mut self, msg: NetMsg) -> Result<NetMsg, NetError> {
-        self.tick();
+    /// Lazy wall-clock phase transitions, run around every request and
+    /// by the server's idle loop. Each transition is journaled as a
+    /// mark record *before* it is applied, so replay re-applies it at
+    /// the same point in the event order instead of re-evaluating
+    /// wall-clock conditions.
+    fn tick(&mut self) -> Result<(), NetError> {
+        if self.replaying || self.outcome.is_some() {
+            return Ok(());
+        }
+        let n = self.setup.pop.graph.len();
+        // Aggregate once every origin submitted (or the extended
+        // deadline expires — missing origins contribute Enc(0)).
+        let submit_deadline = self.setup.spec.contrib_deadline * 2;
+        if self.aggregate.is_none()
+            && (self.got_submissions == n || self.started.elapsed() >= submit_deadline)
+        {
+            self.append_mark(rec::AGGREGATE)?;
+            self.do_aggregate();
+        }
+        // Select participants once the aggregate exists and the whole
+        // committee checked in (or the grace period expires).
+        if self.outcome.is_none() && self.aggregate.is_some() && self.participants.is_empty() {
+            let alive = self.alive_members();
+            let all_in = alive.len() == self.setup.committee_size;
+            let grace_over = self.started.elapsed() >= submit_deadline + Duration::from_secs(5);
+            if all_in || grace_over {
+                self.append_mark(rec::SELECT)?;
+                self.do_select();
+            }
+        }
+        // Reselect once if a chosen member never delivered its share.
+        if let Some(deadline) = self.share_deadline {
+            if self.outcome.is_none() && Instant::now() >= deadline {
+                let missing = self
+                    .participants
+                    .iter()
+                    .any(|&m| self.shares[m as usize].is_none());
+                if missing {
+                    if self.reselected {
+                        let msg = format!(
+                            "committee unavailable: {} alive, {} needed",
+                            self.alive_members().len(),
+                            self.setup.threshold + 1
+                        );
+                        self.append_fail(&msg)?;
+                        self.fail(msg);
+                    } else {
+                        self.append_mark(rec::RESELECT)?;
+                        self.do_reselect();
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Whether `msg` would mutate protocol state right now — the
+    /// journal-before-reply predicate. Liveness bookkeeping
+    /// (`finished_seen`, `driver_seen`) does not count: it is not
+    /// replayed state.
+    fn mutates(&self, msg: &NetMsg) -> bool {
+        let n = self.setup.pop.graph.len() as u32;
+        let c = self.setup.committee_size as u64;
+        match msg {
+            NetMsg::PushContrib { origin, slot, .. } => {
+                *origin < n
+                    && (*slot as usize) < self.contribs[*origin as usize].len()
+                    && !self.seen.contains(&(*origin, *slot))
+            }
+            NetMsg::SubmitOrigin { origin, .. } => {
+                *origin < n && self.submissions[*origin as usize].is_none()
+            }
+            NetMsg::CommitteeCheckIn { member, .. } => {
+                *member >= 1 && *member <= c && self.pongs[*member as usize - 1].is_none()
+            }
+            NetMsg::PushShare { member, round, .. } => {
+                *member >= 1
+                    && *member <= c
+                    && self.outcome.is_none()
+                    && *round == self.share_round
+                    && self.participants.contains(member)
+                    && self.shares[*member as usize].is_none()
+            }
+            _ => false,
+        }
+    }
+
+    /// Applies one request to the state and computes the reply. Pure
+    /// protocol logic: no journaling, no wall-clock reads — this is the
+    /// function journal replay re-runs.
+    fn apply(&mut self, msg: NetMsg) -> Result<NetMsg, NetError> {
         let n = self.setup.pop.graph.len() as u32;
         let c = self.setup.committee_size as u64;
         Ok(match msg {
@@ -596,7 +970,7 @@ impl AggState {
                 }
                 let slots = &self.contribs[origin as usize];
                 let have = slots.iter().filter(|s| s.is_some()).count();
-                if have == slots.len() || self.contrib_deadline_passed() {
+                if have == slots.len() || (!self.replaying && self.contrib_deadline_passed()) {
                     NetMsg::OriginJob { cts: slots.clone() }
                 } else {
                     NetMsg::OriginPending {
@@ -612,7 +986,6 @@ impl AggState {
                 if self.submissions[origin as usize].is_none() {
                     self.submissions[origin as usize] = Some(*ct);
                     self.got_submissions += 1;
-                    self.tick();
                 }
                 NetMsg::Ack
             }
@@ -622,10 +995,11 @@ impl AggState {
                 }
                 if self.pongs[member as usize - 1].is_none() {
                     self.pongs[member as usize - 1] = Some(seed);
-                    self.tick();
                 }
                 if self.outcome.is_some() {
-                    self.finished_seen.insert(member);
+                    if !self.replaying {
+                        self.finished_seen.insert(member);
+                    }
                     NetMsg::Finished
                 } else if self.participants.contains(&member)
                     && self.shares[member as usize].is_none()
@@ -665,7 +1039,9 @@ impl AggState {
             }
             NetMsg::PullStatus => {
                 if self.outcome.is_some() {
-                    self.driver_seen = true;
+                    if !self.replaying {
+                        self.driver_seen = true;
+                    }
                     NetMsg::Finished
                 } else {
                     NetMsg::CommitteeWait
@@ -673,6 +1049,33 @@ impl AggState {
             }
             _ => return Err(NetError::Decode("request expected, got a reply".into())),
         })
+    }
+
+    /// Handles one live request: runs due transitions, journals the
+    /// request if it mutates state, applies it, journals any transition
+    /// it unlocked, and fsyncs everything **before** the reply goes
+    /// out — an acknowledged mutation is always on disk. `raw` is the
+    /// request's wire encoding (what the journal stores).
+    pub fn handle(&mut self, msg: NetMsg, raw: &[u8]) -> Result<NetMsg, NetError> {
+        self.tick()?;
+        if self.mutates(&msg) {
+            self.append_req(raw)?;
+        }
+        let reply = self.apply(msg)?;
+        self.tick()?;
+        self.flush()?;
+        Ok(reply)
+    }
+
+    /// Whether the round has produced an outcome (success or typed
+    /// failure).
+    pub fn is_finished(&self) -> bool {
+        self.outcome.is_some()
+    }
+
+    /// How many records the journal currently holds (tests).
+    pub fn journal_records(&self) -> u64 {
+        self.journal.as_ref().map_or(0, Journal::record_count)
     }
 }
 
@@ -684,6 +1087,13 @@ pub mod files {
     pub const METRICS_MERGED: &str = "metrics-merged.bin";
     /// Merged metrics, JSON artifact.
     pub const METRICS_JSON: &str = "NET_round.json";
+    /// The aggregator's write-ahead journal.
+    pub const JOURNAL: &str = "journal.bin";
+    /// The aggregator's current address (rewritten on every respawn;
+    /// clients re-read it when their retries exhaust).
+    pub const AGG_ADDR: &str = "agg.addr";
+    /// The chaos supervisor's per-seed report artifact.
+    pub const CHAOS_JSON: &str = "CHAOS_report.json";
 
     /// Per-role metrics file name.
     pub fn role_metrics(name: &str) -> String {
@@ -696,19 +1106,58 @@ fn write_metrics(out_dir: &Path, name: &str, metrics: &NetMetrics) -> Result<(),
     Ok(())
 }
 
-/// Runs the aggregator: binds a loopback port, prints `LISTENING <addr>`
-/// on stdout for the driver, serves the round, writes the outcome and
-/// its metrics into `out_dir`, and exits once every committee member has
-/// observed `Finished`.
-pub fn run_aggregator(spec: &RoundSpec, out_dir: &Path) -> Result<(), NetError> {
+/// Atomically publishes the aggregator's current address (temp file +
+/// rename, so a concurrent reader never sees a partial write).
+fn write_addr_file(out_dir: &Path, addr: SocketAddr) -> Result<(), NetError> {
+    let tmp = out_dir.join(format!("{}.tmp", files::AGG_ADDR));
+    std::fs::write(&tmp, addr.to_string())?;
+    std::fs::rename(&tmp, out_dir.join(files::AGG_ADDR))?;
+    Ok(())
+}
+
+/// Reads the aggregator's published address, if any.
+pub fn read_addr_file(out_dir: &Path) -> Option<SocketAddr> {
+    let s = std::fs::read_to_string(out_dir.join(files::AGG_ADDR)).ok()?;
+    s.trim().parse().ok()
+}
+
+/// Runs the aggregator: recovers state from the journal (fresh on the
+/// first incarnation), binds a loopback port, publishes it via the
+/// `agg.addr` file and a `LISTENING <addr>` banner on stdout, serves
+/// the round, writes the outcome and its metrics into `out_dir`, and
+/// exits once the round is over and observed.
+pub fn run_aggregator(
+    spec: &RoundSpec,
+    out_dir: &Path,
+    faults: &AggFaults,
+) -> Result<(), NetError> {
+    std::fs::create_dir_all(out_dir)?;
     let setup = Arc::new(build_setup(spec)?);
-    let state = Arc::new(Mutex::new(AggState::new(Arc::clone(&setup))));
+    let mut st = AggState::recover(Arc::clone(&setup), &out_dir.join(files::JOURNAL))?;
+    st.set_faults(faults);
+    let state = Arc::new(Mutex::new(st));
     let handler_state = Arc::clone(&state);
     let handler_setup = Arc::clone(&setup);
+    let die_after = faults.die_after.clone();
+    let die_count = Arc::new(Mutex::new(0u32));
     let handler = Arc::new(
         move |_peer: [u8; 32], request: &[u8]| -> Result<Vec<u8>, NetError> {
             let msg = NetMsg::decode(request, &handler_setup.cc)?;
-            let reply = handler_state.lock().unwrap().handle(msg)?;
+            let kind = msg.kind();
+            let reply = lock_recover(&handler_state).handle(msg, request)?;
+            if let Some((k, n)) = &die_after {
+                if kind == k.as_str() {
+                    let mut count = lock_recover(&die_count);
+                    *count += 1;
+                    if *count == *n {
+                        // Chaos: the mutation is journaled and fsync'd but
+                        // the client never sees the reply — it must retry
+                        // into the respawned aggregator's idempotent path.
+                        eprintln!("aggregator: chaos kill after {n} {k}");
+                        std::process::abort();
+                    }
+                }
+            }
             Ok(reply.encode())
         },
     );
@@ -724,17 +1173,28 @@ pub fn run_aggregator(spec: &RoundSpec, out_dir: &Path) -> Result<(), NetError> 
         handler,
         spec.seed,
     )?;
+    write_addr_file(out_dir, server.local_addr())?;
     println!("LISTENING {}", server.local_addr());
     use std::io::Write as _;
     std::io::stdout().flush()?;
 
     let started = Instant::now();
+    let mut outcome_since: Option<Instant> = None;
     let result = loop {
         std::thread::sleep(Duration::from_millis(20));
-        let mut s = state.lock().unwrap();
-        s.tick();
-        if s.outcome.is_some() && s.finished_seen.len() == setup.committee_size && s.driver_seen {
-            break s.outcome.take().expect("checked");
+        let mut s = lock_recover(&state);
+        if let Err(e) = s.tick().and_then(|_| s.flush()) {
+            s.fail(format!("journal failure: {e}"));
+        }
+        if s.outcome.is_some() {
+            let since = *outcome_since.get_or_insert_with(Instant::now);
+            // Committee members that died after the outcome formed can
+            // never poll `Finished`; a grace period keeps their absence
+            // from wedging the exit.
+            let all_observed = s.finished_seen.len() == setup.committee_size;
+            if s.driver_seen && (all_observed || since.elapsed() >= FINISH_GRACE) {
+                break s.outcome.take().expect("checked");
+            }
         }
         if started.elapsed() >= spec.round_timeout {
             break s.outcome.take().unwrap_or_else(|| {
@@ -746,7 +1206,7 @@ pub fn run_aggregator(spec: &RoundSpec, out_dir: &Path) -> Result<(), NetError> 
         }
     };
     std::fs::write(out_dir.join(files::OUTCOME), encode_outcome(&result))?;
-    let metrics = server.metrics().lock().unwrap().clone();
+    let metrics = lock_recover(&server.metrics()).clone();
     write_metrics(out_dir, "aggregator", &metrics)?;
     server.shutdown();
     match result {
@@ -759,6 +1219,10 @@ fn round_client(setup: &RoundSetup, role_id: u32, addr: SocketAddr) -> Client {
     let identity = Identity::derive(setup.spec.seed, role_id);
     let mut config = ClientConfig::new(identity, Some(setup.aggregator_identity().public));
     config.read_timeout = Duration::from_secs(20);
+    // Short inner budget (~0.75 s of backoff): after an aggregator
+    // crash the address changes, so burning the full schedule against
+    // the dead port only delays the HubClient's re-resolution.
+    config.backoff = crate::BackoffPolicy::new(50, 4);
     Client::new(
         addr,
         config,
@@ -781,6 +1245,93 @@ fn request_msg(client: &mut Client, cc: &CodecCtx, msg: &NetMsg) -> Result<NetMs
     NetMsg::decode(&reply, cc)
 }
 
+/// A client of the aggregator hub that survives aggregator respawns:
+/// when the inner [`Client`]'s retries exhaust, it re-reads the
+/// `agg.addr` file — a respawned aggregator binds a fresh port and
+/// republishes it there — and redials, bounded by the round timeout so
+/// a dead hub is a typed [`NetError`], never a hang.
+pub(crate) struct HubClient {
+    client: Client,
+    role_id: u32,
+    out_dir: PathBuf,
+    addr: SocketAddr,
+    deadline: Instant,
+    poll: Duration,
+}
+
+impl HubClient {
+    pub(crate) fn new(setup: &RoundSetup, role_id: u32, addr: SocketAddr, out_dir: &Path) -> Self {
+        // Prefer the published address: this process may have been
+        // (re)spawned after the aggregator already moved ports.
+        let addr = read_addr_file(out_dir).unwrap_or(addr);
+        HubClient {
+            client: round_client(setup, role_id, addr),
+            role_id,
+            out_dir: out_dir.to_path_buf(),
+            addr,
+            deadline: Instant::now() + setup.spec.round_timeout,
+            poll: setup.spec.poll_interval.max(Duration::from_millis(50)),
+        }
+    }
+
+    /// One request attempt (the inner client's short retry schedule
+    /// only). On failure, re-resolves the published address for the
+    /// *next* attempt and returns the error — never blocks the caller's
+    /// loop. The chaos supervisor polls through this so it can keep
+    /// respawning the aggregator it is waiting on.
+    pub(crate) fn poll_once(
+        &mut self,
+        setup: &RoundSetup,
+        msg: &NetMsg,
+    ) -> Result<NetMsg, NetError> {
+        match request_msg(&mut self.client, &setup.cc, msg) {
+            Ok(reply) => Ok(reply),
+            Err(e) => {
+                match read_addr_file(&self.out_dir) {
+                    Some(new_addr) if new_addr != self.addr => {
+                        self.addr = new_addr;
+                        self.client = round_client(setup, self.role_id, new_addr);
+                    }
+                    _ => self.client.disconnect(),
+                }
+                Err(e)
+            }
+        }
+    }
+
+    fn request_msg(&mut self, setup: &RoundSetup, msg: &NetMsg) -> Result<NetMsg, NetError> {
+        loop {
+            match request_msg(&mut self.client, &setup.cc, msg) {
+                Ok(reply) => return Ok(reply),
+                Err(e) if e.is_retryable() || matches!(e, NetError::RetriesExhausted { .. }) => {
+                    if Instant::now() >= self.deadline {
+                        return Err(e);
+                    }
+                    if let Some(new_addr) = read_addr_file(&self.out_dir) {
+                        if new_addr != self.addr {
+                            self.addr = new_addr;
+                            self.client = round_client(setup, self.role_id, new_addr);
+                            continue;
+                        }
+                    }
+                    self.client.disconnect();
+                    std::thread::sleep(self.poll);
+                }
+                Err(e) => return Err(e),
+            }
+        }
+    }
+
+    pub(crate) fn metrics(&self) -> NetMetrics {
+        lock_recover(&self.client.metrics()).clone()
+    }
+
+    /// Closes the underlying connection (the next request redials).
+    pub(crate) fn hangup(&mut self) {
+        self.client.disconnect();
+    }
+}
+
 /// Runs one device process: encrypts and pushes the contribution duties
 /// of every vertex in its shard, then exits.
 pub fn run_device(
@@ -790,7 +1341,7 @@ pub fn run_device(
     out_dir: &Path,
 ) -> Result<(), NetError> {
     let setup = build_setup(spec)?;
-    let mut client = round_client(&setup, role::DEVICE_BASE + shard as u32, addr);
+    let mut hub = HubClient::new(&setup, role::DEVICE_BASE + shard as u32, addr, out_dir);
     for v in 0..setup.pop.graph.len() {
         if v % spec.device_shards != shard {
             continue;
@@ -808,11 +1359,10 @@ pub fn run_device(
                 slot: duty.slot,
                 sc: Box::new(sc),
             };
-            expect_ack(&request_msg(&mut client, &setup.cc, &msg)?)?;
+            expect_ack(&hub.request_msg(&setup, &msg)?)?;
         }
     }
-    let metrics = client.metrics().lock().unwrap().clone();
-    write_metrics(out_dir, &format!("device-{shard}"), &metrics)?;
+    write_metrics(out_dir, &format!("device-{shard}"), &hub.metrics())?;
     Ok(())
 }
 
@@ -831,7 +1381,7 @@ pub fn run_origin(
     crash_after: Option<usize>,
 ) -> Result<(), NetError> {
     let setup = build_setup(spec)?;
-    let mut client = round_client(&setup, role::ORIGIN_BASE + shard as u32, addr);
+    let mut hub = HubClient::new(&setup, role::ORIGIN_BASE + shard as u32, addr, out_dir);
     let mut submitted = 0usize;
     for v in 0..setup.pop.graph.len() {
         if v % spec.origin_shards != shard {
@@ -841,11 +1391,7 @@ pub fn run_origin(
             std::process::exit(17);
         }
         let slots = loop {
-            match request_msg(
-                &mut client,
-                &setup.cc,
-                &NetMsg::PullOrigin { origin: v as u32 },
-            )? {
+            match hub.request_msg(&setup, &NetMsg::PullOrigin { origin: v as u32 })? {
                 NetMsg::OriginJob { cts } => break cts,
                 NetMsg::OriginPending { .. } => std::thread::sleep(spec.poll_interval),
                 other => {
@@ -876,11 +1422,10 @@ pub fn run_origin(
             origin: v as u32,
             ct: Box::new(out),
         };
-        expect_ack(&request_msg(&mut client, &setup.cc, &msg)?)?;
+        expect_ack(&hub.request_msg(&setup, &msg)?)?;
         submitted += 1;
     }
-    let metrics = client.metrics().lock().unwrap().clone();
-    write_metrics(out_dir, &format!("origin-{shard}"), &metrics)?;
+    write_metrics(out_dir, &format!("origin-{shard}"), &hub.metrics())?;
     Ok(())
 }
 
@@ -894,18 +1439,14 @@ pub fn run_committee(
     out_dir: &Path,
 ) -> Result<(), NetError> {
     let setup = build_setup(spec)?;
-    let mut client = round_client(&setup, role::COMMITTEE_BASE + member as u32, addr);
+    let mut hub = HubClient::new(&setup, role::COMMITTEE_BASE + member as u32, addr, out_dir);
     let mut rng = StdRng::seed_from_u64(spec.seed).with_stream(stream::COMMITTEE + member);
     let mut seed = [0u8; 32];
     rng.fill(&mut seed);
     let mut computed: std::collections::HashMap<u32, DecryptionShare> =
         std::collections::HashMap::new();
     loop {
-        let reply = request_msg(
-            &mut client,
-            &setup.cc,
-            &NetMsg::CommitteeCheckIn { member, seed },
-        )?;
+        let reply = hub.request_msg(&setup, &NetMsg::CommitteeCheckIn { member, seed })?;
         match reply {
             NetMsg::Finished => break,
             NetMsg::CommitteeWait => std::thread::sleep(spec.poll_interval),
@@ -936,7 +1477,7 @@ pub fn run_committee(
                     round,
                     share: Box::new(computed[&round].clone()),
                 };
-                expect_ack(&request_msg(&mut client, &setup.cc, &msg)?)?;
+                expect_ack(&hub.request_msg(&setup, &msg)?)?;
             }
             other => {
                 return Err(NetError::Decode(format!(
@@ -946,8 +1487,7 @@ pub fn run_committee(
             }
         }
     }
-    let metrics = client.metrics().lock().unwrap().clone();
-    write_metrics(out_dir, &format!("committee-{member}"), &metrics)?;
+    write_metrics(out_dir, &format!("committee-{member}"), &hub.metrics())?;
     Ok(())
 }
 
@@ -963,32 +1503,36 @@ pub struct DriverOpts {
     pub crash_origin: Option<(usize, usize)>,
 }
 
-struct ChildProc {
-    name: String,
-    child: std::process::Child,
-    /// Respawn command (origins only).
-    respawn: Option<Vec<String>>,
-    respawned: bool,
-}
-
-fn spawn_role(
-    exe: &Path,
-    args: &[String],
-    piped_stdout: bool,
-) -> Result<std::process::Child, NetError> {
-    let mut cmd = std::process::Command::new(exe);
-    cmd.args(args).env("MYC_THREADS", "1");
-    if piped_stdout {
-        cmd.stdout(std::process::Stdio::piped());
-    }
-    Ok(cmd.spawn()?)
+/// Reads the `LISTENING <addr>` banner from a piped aggregator child
+/// and keeps draining the pipe so the child can never block on stdout.
+pub(crate) fn read_agg_banner(agg: &mut Supervised) -> Result<SocketAddr, NetError> {
+    let stdout = agg
+        .take_stdout()
+        .ok_or_else(|| NetError::Decode("aggregator stdout was not piped".into()))?;
+    let mut reader = std::io::BufReader::new(stdout);
+    let mut line = String::new();
+    reader.read_line(&mut line)?;
+    let addr: SocketAddr = line
+        .trim()
+        .strip_prefix("LISTENING ")
+        .ok_or_else(|| NetError::Decode(format!("bad aggregator banner: {line:?}")))?
+        .parse()
+        .map_err(|e| NetError::Decode(format!("bad aggregator address: {e}")))?;
+    std::thread::spawn(move || {
+        let mut sink = String::new();
+        while matches!(reader.read_line(&mut sink), Ok(n) if n > 0) {
+            sink.clear();
+        }
+    });
+    Ok(addr)
 }
 
 /// Orchestrates the whole multi-process round: spawns the aggregator,
 /// device/origin shards, and committee members as child processes of
 /// `exe` (normally `current_exe()`), watches for crashed origins and
-/// respawns each once, waits for completion, and merges all metrics
-/// files into `NET_round.json`.
+/// respawns each once (through the shared [`Supervised`] restart
+/// mechanism the chaos supervisor also uses), waits for completion, and
+/// merges all metrics files into `NET_round.json`.
 pub fn run_driver(
     exe: &Path,
     spec: &RoundSpec,
@@ -1006,27 +1550,16 @@ pub fn run_driver(
     };
 
     // Aggregator first; its stdout announces the bound port.
-    let mut agg = spawn_role(exe, &with_base(vec!["aggregator".into()]), true)?;
-    let agg_stdout = agg.stdout.take().expect("piped stdout");
-    let mut reader = std::io::BufReader::new(agg_stdout);
-    let mut line = String::new();
-    reader.read_line(&mut line)?;
-    let addr: SocketAddr = line
-        .trim()
-        .strip_prefix("LISTENING ")
-        .ok_or_else(|| NetError::Decode(format!("bad aggregator banner: {line:?}")))?
-        .parse()
-        .map_err(|e| NetError::Decode(format!("bad aggregator address: {e}")))?;
-    // Keep draining the pipe so the aggregator can never block on stdout.
-    std::thread::spawn(move || {
-        let mut sink = String::new();
-        while matches!(reader.read_line(&mut sink), Ok(n) if n > 0) {
-            sink.clear();
-        }
-    });
+    let mut agg = Supervised::spawn(
+        exe,
+        "aggregator",
+        with_base(vec!["aggregator".into()]),
+        true,
+    )?;
+    let addr = read_agg_banner(&mut agg)?;
 
     let addr_arg = addr.to_string();
-    let mut children: Vec<ChildProc> = Vec::new();
+    let mut children: Vec<Supervised> = Vec::new();
     for i in 0..spec.device_shards {
         let args = with_base(vec![
             "device".into(),
@@ -1035,12 +1568,7 @@ pub fn run_driver(
             "--addr".into(),
             addr_arg.clone(),
         ]);
-        children.push(ChildProc {
-            name: format!("device-{i}"),
-            child: spawn_role(exe, &args, false)?,
-            respawn: None,
-            respawned: false,
-        });
+        children.push(Supervised::spawn(exe, &format!("device-{i}"), args, false)?);
     }
     for j in 0..spec.origin_shards {
         let mut args = with_base(vec![
@@ -1050,18 +1578,15 @@ pub fn run_driver(
             "--addr".into(),
             addr_arg.clone(),
         ]);
-        let respawn = Some(args.clone());
+        let respawn = args.clone();
         if let Some((shard, after)) = opts.crash_origin {
             if shard == j {
                 args.extend(["--crash-after".into(), after.to_string()]);
             }
         }
-        children.push(ChildProc {
-            name: format!("origin-{j}"),
-            child: spawn_role(exe, &args, false)?,
-            respawn,
-            respawned: false,
-        });
+        children.push(
+            Supervised::spawn(exe, &format!("origin-{j}"), args, false)?.with_respawn(respawn, 1),
+        );
     }
     for m in 1..=setup.committee_size as u64 {
         let args = with_base(vec![
@@ -1071,16 +1596,16 @@ pub fn run_driver(
             "--addr".into(),
             addr_arg.clone(),
         ]);
-        children.push(ChildProc {
-            name: format!("committee-{m}"),
-            child: spawn_role(exe, &args, false)?,
-            respawn: None,
-            respawned: false,
-        });
+        children.push(Supervised::spawn(
+            exe,
+            &format!("committee-{m}"),
+            args,
+            false,
+        )?);
     }
 
     // Watchdog + status poll until the aggregator reports Finished.
-    let mut driver = round_client(&setup, role::DRIVER, addr);
+    let mut driver = HubClient::new(&setup, role::DRIVER, addr, out_dir);
     let started = Instant::now();
     let finished = loop {
         if started.elapsed() >= spec.round_timeout {
@@ -1088,18 +1613,9 @@ pub fn run_driver(
         }
         // Respawn crashed origins (nonzero exit before completion).
         for cp in children.iter_mut() {
-            if cp.respawned {
-                continue;
-            }
-            if let (Some(respawn), Ok(Some(status))) = (cp.respawn.clone(), cp.child.try_wait()) {
-                if !status.success() {
-                    eprintln!("driver: {} exited with {status}, respawning once", cp.name);
-                    cp.child = spawn_role(exe, &respawn, false)?;
-                    cp.respawned = true;
-                }
-            }
+            cp.watch()?;
         }
-        match request_msg(&mut driver, &setup.cc, &NetMsg::PullStatus) {
+        match driver.request_msg(&setup, &NetMsg::PullStatus) {
             Ok(NetMsg::Finished) => break true,
             Ok(_) => {}
             // The aggregator may be briefly unreachable while saturated;
@@ -1112,7 +1628,7 @@ pub fn run_driver(
     // Drain every child, then the aggregator itself.
     let mut failures: Vec<String> = Vec::new();
     for cp in children.iter_mut() {
-        let status = cp.child.wait()?;
+        let status = cp.wait()?;
         if !status.success() {
             failures.push(format!("{} exited with {status}", cp.name));
         }
@@ -1126,8 +1642,7 @@ pub fn run_driver(
     }
 
     // Merge all metrics files (the driver's own included).
-    let driver_metrics = driver.metrics().lock().unwrap().clone();
-    write_metrics(out_dir, "driver", &driver_metrics)?;
+    write_metrics(out_dir, "driver", &driver.metrics())?;
     let mut merged = NetMetrics::default();
     let mut entries: Vec<PathBuf> = std::fs::read_dir(out_dir)?
         .filter_map(|e| e.ok())

@@ -68,8 +68,17 @@ impl Partition {
 pub struct FaultPlan {
     /// I.i.d. per-transmission drop probability in `[0, 1)`.
     pub drop_prob: f64,
-    /// `(actor, tick)` crash schedule; the actor is dead from that tick on.
+    /// `(actor, tick)` crash schedule; the actor is dead from that tick on
+    /// (until a matching [`FaultPlan::recover_at`] entry, if any).
     pub crash_at: Vec<(ActorId, Tick)>,
+    /// `(actor, tick)` restart schedule: a previously crashed actor comes
+    /// back at that tick with its state intact — modeling crash-durable
+    /// state such as the aggregator's write-ahead journal — and its
+    /// [`Process::on_restart`](crate::sim::Process::on_restart) hook
+    /// fires so it can re-arm timers and re-drive in-flight traffic.
+    /// Messages addressed to the actor during the blackout are dead
+    /// letters; senders recover via their retry machinery.
+    pub recover_at: Vec<(ActorId, Tick)>,
     /// Transient partitions.
     pub partitions: Vec<Partition>,
     /// Actors whose outgoing messages are routed through the tamper hook.
@@ -93,6 +102,19 @@ impl FaultPlan {
     pub fn with_crash(mut self, actor: ActorId, at: Tick) -> Self {
         self.crash_at.push((actor, at));
         self
+    }
+
+    /// Schedules a restart of a crashed actor (builder style).
+    pub fn with_recovery(mut self, actor: ActorId, at: Tick) -> Self {
+        self.recover_at.push((actor, at));
+        self
+    }
+
+    /// Schedules a crash-and-restart blackout: the actor is dead during
+    /// `[from, until)` and resumes — state intact — at `until`.
+    pub fn with_crash_window(self, actor: ActorId, from: Tick, until: Tick) -> Self {
+        assert!(from < until, "crash window must be non-empty");
+        self.with_crash(actor, from).with_recovery(actor, until)
     }
 
     /// Marks an actor Byzantine (builder style).
@@ -131,10 +153,25 @@ mod tests {
         let f = FaultPlan::none()
             .with_drop_prob(0.05)
             .with_crash(3, 100)
+            .with_recovery(3, 500)
             .with_byzantine(7);
         assert_eq!(f.drop_prob, 0.05);
         assert_eq!(f.crash_at, vec![(3, 100)]);
+        assert_eq!(f.recover_at, vec![(3, 500)]);
         assert_eq!(f.byzantine, vec![7]);
+    }
+
+    #[test]
+    fn crash_window_expands_to_crash_plus_recovery() {
+        let f = FaultPlan::none().with_crash_window(4, 10, 200);
+        assert_eq!(f.crash_at, vec![(4, 10)]);
+        assert_eq!(f.recover_at, vec![(4, 200)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-empty")]
+    fn empty_crash_window_rejected() {
+        let _ = FaultPlan::none().with_crash_window(4, 10, 10);
     }
 
     #[test]

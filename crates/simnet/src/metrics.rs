@@ -99,6 +99,8 @@ pub struct RoundMetrics {
     pub tampered_msgs: u64,
     /// Timer events fired.
     pub timer_fires: u64,
+    /// Crashed actors revived by the fault plan's recovery schedule.
+    pub restarts: u64,
     /// Named phase-completion series (virtual-time histograms).
     pub phases: BTreeMap<String, PhaseSeries>,
 }
@@ -148,7 +150,7 @@ impl RoundMetrics {
              {inner}\"retries\": {},\n{inner}\"dropped_msgs\": {},\n\
              {inner}\"dropped_bytes\": {},\n{inner}\"dead_letters\": {},\n\
              {inner}\"tampered_msgs\": {},\n{inner}\"timer_fires\": {},\n\
-             {inner}\"phases\": {{",
+             {inner}\"restarts\": {},\n{inner}\"phases\": {{",
             self.total_sent_msgs(),
             self.total_sent_bytes(),
             self.total_retries(),
@@ -157,6 +159,7 @@ impl RoundMetrics {
             self.dead_letters,
             self.tampered_msgs,
             self.timer_fires,
+            self.restarts,
         ));
         let entries: Vec<String> = self
             .phases

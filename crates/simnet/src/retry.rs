@@ -85,6 +85,27 @@ impl<M: Payload> Retrier<M> {
         self.pending.len()
     }
 
+    /// Retransmits every unacknowledged message and re-arms its timer.
+    ///
+    /// For restart recovery ([`Process::on_restart`]
+    /// (crate::sim::Process::on_restart)): timers armed before a crash
+    /// window are lost with the blackout, so a revived actor calls this
+    /// to put all in-flight traffic back on the wire. Attempt counters
+    /// are preserved — the retry budget spans the crash. Returns how
+    /// many messages were resent.
+    pub fn resend_all(&mut self, ctx: &mut Ctx<M>) -> usize {
+        // Deterministic order: HashMap iteration varies, so sort keys.
+        let mut keys: Vec<u64> = self.pending.keys().copied().collect();
+        keys.sort_unstable();
+        for key in &keys {
+            let p = &self.pending[key];
+            let (dst, msg, wait) = (p.dst, p.msg.clone(), self.policy.wait(p.attempts));
+            ctx.send(dst, msg);
+            ctx.set_timer(wait, *key);
+        }
+        keys.len()
+    }
+
     /// Routes a timer key through the retrier.
     pub fn on_timer(&mut self, ctx: &mut Ctx<M>, key: u64) -> RetryStatus {
         let Some(p) = self.pending.get_mut(&key) else {
@@ -147,6 +168,9 @@ mod tests {
                 self.gave_up.borrow_mut().push(id);
             }
         }
+        fn on_restart(&mut self, ctx: &mut Ctx<Wire>) {
+            self.retrier.resend_all(ctx);
+        }
     }
 
     struct Acker;
@@ -187,6 +211,30 @@ mod tests {
         let (all_acked, retries, _) = scenario(0.0, 12);
         assert!(all_acked);
         assert_eq!(retries, 0);
+    }
+
+    #[test]
+    fn crash_window_recovered_by_resend_all() {
+        // The sender blacks out right after its initial burst: every ack
+        // is dead-lettered and all retry timers are lost. On restart,
+        // `resend_all` puts the full in-flight set back on the wire and
+        // the run still converges with zero abandoned messages.
+        let gave_up = Rc::new(RefCell::new(Vec::new()));
+        let mut sim =
+            Simulation::new(99).with_fault_plan(FaultPlan::none().with_crash_window(0, 5, 500));
+        sim.add_actor(Box::new(Sender {
+            retrier: Retrier::new(64, 12),
+            peer: 1,
+            total: 16,
+            done: 0,
+            gave_up: Rc::clone(&gave_up),
+        }));
+        sim.add_actor(Box::new(Acker));
+        let report = sim.run(10_000_000);
+        assert!(report.converged, "resend_all recovers the blackout");
+        assert!(gave_up.borrow().is_empty());
+        assert_eq!(sim.metrics.restarts, 1);
+        assert!(sim.metrics.dead_letters >= 16, "acks died in the blackout");
     }
 
     #[test]

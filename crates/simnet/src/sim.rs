@@ -50,6 +50,14 @@ pub trait Process<M: Payload> {
 
     /// Called when a timer this actor set fires.
     fn on_timer(&mut self, _ctx: &mut Ctx<M>, _key: u64) {}
+
+    /// Called when a [`FaultPlan::recover_at`](crate::FaultPlan) entry
+    /// revives this actor after a crash. State is intact (the model for
+    /// crash-durable actors, e.g. a journaled aggregator), but every
+    /// timer that popped during the blackout was lost and in-flight
+    /// deliveries were dead-lettered — implementations should re-arm
+    /// deadlines and re-send unacknowledged traffic here.
+    fn on_restart(&mut self, _ctx: &mut Ctx<M>) {}
 }
 
 /// A queued outgoing message (the unit of sending).
@@ -123,6 +131,7 @@ enum EventKind<M> {
     Deliver { src: ActorId, dst: ActorId, msg: M },
     Timer { actor: ActorId, key: u64 },
     Crash { actor: ActorId },
+    Recover { actor: ActorId },
 }
 
 struct Event<M> {
@@ -164,6 +173,7 @@ enum Call<M> {
     Start,
     Message(ActorId, M),
     Timer(u64),
+    Restart,
 }
 
 /// The deterministic discrete-event simulator.
@@ -275,6 +285,7 @@ impl<M: Payload> Simulation<M> {
                 Call::Start => actor.on_start(&mut ctx),
                 Call::Message(from, msg) => actor.on_message(&mut ctx, from, msg),
                 Call::Timer(key) => actor.on_timer(&mut ctx, key),
+                Call::Restart => actor.on_restart(&mut ctx),
             }
         }
         self.actors[id] = Some(actor);
@@ -341,6 +352,11 @@ impl<M: Payload> Simulation<M> {
                     self.push_event(at, EventKind::Crash { actor });
                 }
             }
+            // Recoveries are scheduled strictly after tick 0 — a tick-0
+            // restart of a tick-0 crash would be a no-op crash anyway.
+            for (actor, at) in self.fault.recover_at.clone() {
+                self.push_event(at.max(1), EventKind::Recover { actor });
+            }
             for id in 0..self.actors.len() {
                 if !self.crashed[id] && !self.halted {
                     self.dispatch(id, Call::Start);
@@ -379,6 +395,13 @@ impl<M: Payload> Simulation<M> {
                 }
                 EventKind::Crash { actor } => {
                     self.crashed[actor] = true;
+                }
+                EventKind::Recover { actor } => {
+                    if self.crashed[actor] {
+                        self.crashed[actor] = false;
+                        self.metrics.restarts += 1;
+                        self.dispatch(actor, Call::Restart);
+                    }
                 }
             }
         }
@@ -435,6 +458,11 @@ mod tests {
                 }
             }
             ctx.set_timer(100, 0);
+        }
+        fn on_restart(&mut self, ctx: &mut Ctx<u64>) {
+            // Timers armed before the blackout are gone; re-arm the retry
+            // timer so unacked pings go back on the wire.
+            ctx.set_timer(1, 0);
         }
     }
 
@@ -504,6 +532,36 @@ mod tests {
         let report = sim.run(5_000);
         assert!(!report.converged, "echo never answers after crashing");
         assert!(sim.metrics.dead_letters > 0);
+    }
+
+    #[test]
+    fn crash_window_recovers_via_on_restart() {
+        // The pinger blacks out at tick 5 — every echo in flight is a
+        // dead letter and its retry timer is lost with it — then revives
+        // at tick 2_000 with state intact (the journal model). Its
+        // `on_restart` re-arms the timer, the unacked pings are resent,
+        // and the run converges to the same final state as a clean run.
+        let (mut sim, log) = ping_sim(3, FaultPlan::none().with_crash_window(0, 5, 2_000));
+        let report = sim.run(1_000_000);
+        assert!(report.converged, "recovered run converges");
+        assert_eq!(sim.metrics.restarts, 1);
+        assert!(
+            sim.metrics.dead_letters > 0,
+            "blackout dead-lettered echoes"
+        );
+        assert!(
+            log.borrow().iter().all(|&t| t >= 2_000),
+            "no delivery lands during the blackout"
+        );
+        assert_eq!(sim.metrics.phases["ping"].count(), 1);
+    }
+
+    #[test]
+    fn recovery_without_matching_crash_is_a_no_op() {
+        let (mut sim, _) = ping_sim(3, FaultPlan::none().with_recovery(0, 50));
+        let report = sim.run(1_000_000);
+        assert!(report.converged);
+        assert_eq!(sim.metrics.restarts, 0, "never crashed, never restarted");
     }
 
     #[test]

@@ -1,0 +1,107 @@
+//! Chaos supervisor for the multi-process query round.
+//!
+//! ```text
+//! chaos_round chaos [round args] --out DIR --seeds 1,2,3,...
+//! chaos_round drill [round args] --out DIR
+//! ```
+//!
+//! `chaos` runs one chaos round per seed — each with a seed-derived
+//! kill schedule that murders aggregator incarnations at randomized
+//! protocol steps (and `SIGKILL`s other roles) — and writes the
+//! aggregate `CHAOS_report.json` artifact. The process exits nonzero if
+//! any run violates the invariant (a hang or a wrong answer; typed
+//! failures are acceptable, silent divergence never is).
+//!
+//! `drill` runs the fixed three-phase acceptance drill: the aggregator
+//! dies once during contribution intake, once during origin summation,
+//! and once during committee decryption, and the round must still
+//! produce the bit-identical released histogram.
+//!
+//! Any other role word (`aggregator`, `device`, …) dispatches through
+//! the shared CLI layer — the supervisor re-execs this same binary for
+//! every child process.
+
+use std::path::Path;
+
+use mycelium_net::chaos::{report_json, run_chaos, ChaosOutcome, ChaosPlan, ChaosVerdict};
+use mycelium_net::cli::{self, Args};
+use mycelium_net::round::files;
+
+fn run_matrix(args: &Args, drill: bool) -> Result<(), String> {
+    let exe = std::env::current_exe().map_err(|e| e.to_string())?;
+    std::fs::create_dir_all(&args.out).map_err(|e| e.to_string())?;
+    let seeds: Vec<u64> = if drill {
+        vec![args.spec.seed]
+    } else if args.seeds.is_empty() {
+        (1..=8).collect()
+    } else {
+        args.seeds.clone()
+    };
+    let mut outcomes: Vec<ChaosOutcome> = Vec::new();
+    for &seed in &seeds {
+        let mut spec = args.spec.clone();
+        spec.seed = seed;
+        let plan = if drill {
+            let mut p = ChaosPlan::drill();
+            p.seed = seed;
+            p
+        } else {
+            ChaosPlan::derive(seed, &spec)
+        };
+        let dir = args.out.join(format!("seed-{seed}"));
+        eprintln!(
+            "chaos_round: seed {seed}: {} aggregator kill(s), {} role kill(s)",
+            plan.agg_kills.len(),
+            plan.role_kills.len()
+        );
+        let outcome = run_chaos(&exe, &spec, &dir, &plan).map_err(|e| e.to_string())?;
+        eprintln!(
+            "chaos_round: seed {seed}: verdict {} after {} aggregator incarnation(s) in {} ms",
+            outcome.verdict, outcome.agg_incarnations, outcome.elapsed_ms
+        );
+        outcomes.push(outcome);
+    }
+    let report = report_json(&outcomes);
+    let report_path = args.out.join(files::CHAOS_JSON);
+    std::fs::write(&report_path, &report).map_err(|e| e.to_string())?;
+    println!("{report}");
+    let bad: Vec<String> = outcomes
+        .iter()
+        .filter(|o| {
+            if drill {
+                o.verdict != ChaosVerdict::Exact
+            } else {
+                !o.verdict.ok()
+            }
+        })
+        .map(|o| format!("seed {}: {}", o.seed, o.verdict))
+        .collect();
+    if bad.is_empty() {
+        Ok(())
+    } else {
+        Err(format!(
+            "chaos invariant violated ({}); see {}",
+            bad.join(", "),
+            Path::new(&report_path).display()
+        ))
+    }
+}
+
+fn main() {
+    let argv: Vec<String> = std::env::args().collect();
+    let role = argv.get(1).cloned().unwrap_or_default();
+    let result = cli::parse_args(&argv[2..]).and_then(|args| match role.as_str() {
+        "chaos" => run_matrix(&args, false),
+        "drill" => run_matrix(&args, true),
+        other => cli::dispatch(other, &args).unwrap_or_else(|| {
+            Err(format!(
+                "usage: chaos_round <chaos|drill|aggregator|device|origin|committee> [args] \
+                 (got {role:?})"
+            ))
+        }),
+    });
+    if let Err(e) = result {
+        eprintln!("chaos_round {role}: {e}");
+        std::process::exit(1);
+    }
+}

@@ -4,124 +4,27 @@
 //!
 //! ```text
 //! net_round driver     [round args] --out DIR [--crash-origin J --crash-after K]
-//! net_round aggregator [round args] --out DIR
+//! net_round aggregator [round args] --out DIR [--die-after KIND:N --die-mid-journal N]
 //! net_round device     [round args] --out DIR --shard I --addr HOST:PORT
 //! net_round origin     [round args] --out DIR --shard J --addr HOST:PORT [--crash-after K]
 //! net_round committee  [round args] --out DIR --member M --addr HOST:PORT
 //! ```
 //!
-//! Round args (all optional, shared by every role so each process
-//! derives identical state): `--seed N --n N --query NAME --devices D
-//! --origins O --proofs 0|1 --contrib-ms MS --poll-ms MS --timeout-ms MS`.
+//! Flag parsing and role dispatch live in `mycelium_net::cli`, shared
+//! with the `chaos_round` supervisor binary.
 
-use std::net::SocketAddr;
-use std::path::PathBuf;
-use std::time::Duration;
-
-use mycelium_net::round::{
-    run_aggregator, run_committee, run_device, run_driver, run_origin, DriverOpts, RoundSpec,
-};
-
-struct Args {
-    spec: RoundSpec,
-    out: PathBuf,
-    shard: usize,
-    member: u64,
-    addr: Option<SocketAddr>,
-    crash_after: Option<usize>,
-    crash_origin: Option<usize>,
-}
-
-fn parse_args(rest: &[String]) -> Result<Args, String> {
-    let mut args = Args {
-        spec: RoundSpec::default(),
-        out: PathBuf::from("target/net_round"),
-        shard: 0,
-        member: 1,
-        addr: None,
-        crash_after: None,
-        crash_origin: None,
-    };
-    let mut it = rest.iter();
-    while let Some(flag) = it.next() {
-        let mut value = |name: &str| -> Result<&String, String> {
-            it.next().ok_or_else(|| format!("{name} needs a value"))
-        };
-        match flag.as_str() {
-            "--seed" => args.spec.seed = parse(value("--seed")?)?,
-            "--n" => args.spec.n = parse(value("--n")?)?,
-            "--query" => args.spec.query = value("--query")?.clone(),
-            "--devices" => args.spec.device_shards = parse(value("--devices")?)?,
-            "--origins" => args.spec.origin_shards = parse(value("--origins")?)?,
-            "--proofs" => args.spec.with_proofs = value("--proofs")? == "1",
-            "--contrib-ms" => {
-                args.spec.contrib_deadline = Duration::from_millis(parse(value("--contrib-ms")?)?)
-            }
-            "--poll-ms" => {
-                args.spec.poll_interval = Duration::from_millis(parse(value("--poll-ms")?)?)
-            }
-            "--timeout-ms" => {
-                args.spec.round_timeout = Duration::from_millis(parse(value("--timeout-ms")?)?)
-            }
-            "--out" => args.out = PathBuf::from(value("--out")?),
-            "--shard" => args.shard = parse(value("--shard")?)?,
-            "--member" => args.member = parse(value("--member")?)?,
-            "--addr" => {
-                args.addr = Some(
-                    value("--addr")?
-                        .parse()
-                        .map_err(|e| format!("bad --addr: {e}"))?,
-                )
-            }
-            "--crash-after" => args.crash_after = Some(parse(value("--crash-after")?)?),
-            "--crash-origin" => args.crash_origin = Some(parse(value("--crash-origin")?)?),
-            other => return Err(format!("unknown flag {other}")),
-        }
-    }
-    Ok(args)
-}
-
-fn parse<T: std::str::FromStr>(s: &str) -> Result<T, String>
-where
-    T::Err: std::fmt::Display,
-{
-    s.parse().map_err(|e| format!("bad value {s:?}: {e}"))
-}
-
-fn addr_of(args: &Args) -> Result<SocketAddr, String> {
-    args.addr.ok_or_else(|| "--addr is required".into())
-}
+use mycelium_net::cli;
 
 fn main() {
     let argv: Vec<String> = std::env::args().collect();
     let role = argv.get(1).cloned().unwrap_or_default();
-    let result = parse_args(&argv[2..]).and_then(|args| {
-        match role.as_str() {
-            "driver" => {
-                let exe = std::env::current_exe().map_err(|e| e.to_string())?;
-                let opts = DriverOpts {
-                    crash_origin: args.crash_origin.zip(args.crash_after.or(Some(0))),
-                };
-                run_driver(&exe, &args.spec, &args.out, &opts)
-            }
-            "aggregator" => run_aggregator(&args.spec, &args.out),
-            "device" => run_device(&args.spec, args.shard, addr_of(&args)?, &args.out),
-            "origin" => run_origin(
-                &args.spec,
-                args.shard,
-                addr_of(&args)?,
-                &args.out,
-                args.crash_after,
-            ),
-            "committee" => run_committee(&args.spec, args.member, addr_of(&args)?, &args.out),
-            _ => {
-                return Err(format!(
-                    "usage: net_round <driver|aggregator|device|origin|committee> [args] \
-                     (got {role:?})"
-                ))
-            }
-        }
-        .map_err(|e| e.to_string())
+    let result = cli::parse_args(&argv[2..]).and_then(|args| {
+        cli::dispatch(&role, &args).unwrap_or_else(|| {
+            Err(format!(
+                "usage: net_round <driver|aggregator|device|origin|committee> [args] \
+                 (got {role:?})"
+            ))
+        })
     });
     if let Err(e) = result {
         eprintln!("net_round {role}: {e}");

@@ -1,0 +1,77 @@
+//! The chaos drill: the fixed three-phase aggregator-murder schedule
+//! over the real multi-process round.
+//!
+//! Spawns the `chaos_round` supervisor in `drill` mode, which kills the
+//! aggregator once in each protocol phase — contribution intake, origin
+//! summation, committee decryption — respawning it each time. The round
+//! must still end in the **bit-identical** released histogram (verdict
+//! `exact`), proving journal replay reconstructs the pre-crash state at
+//! every phase.
+
+use std::path::PathBuf;
+use std::process::Command;
+
+use mycelium_net::round::{files, RoundSpec};
+
+fn out_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("mycelium-chaos-{}-{tag}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+#[test]
+fn drill_survives_aggregator_kills_in_all_three_phases() {
+    let spec = RoundSpec {
+        seed: 7,
+        n: 24,
+        query: "Q4".into(),
+        device_shards: 8,
+        origin_shards: 2,
+        ..RoundSpec::default()
+    };
+    let dir = out_dir("drill");
+    let out = Command::new(env!("CARGO_BIN_EXE_chaos_round"))
+        .arg("drill")
+        .args(spec.to_args())
+        .args(["--out", dir.to_str().unwrap()])
+        .env("MYC_THREADS", "1")
+        .output()
+        .expect("chaos_round spawns");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        out.status.success(),
+        "drill must end exact, not {}:\n{stderr}",
+        out.status
+    );
+
+    // Each scheduled kill actually fired, in its phase...
+    for kill in [
+        "chaos kill after 4 PushContrib",  // contribution intake
+        "chaos kill after 3 SubmitOrigin", // origin summation
+        "chaos kill after 2 PushShare",    // committee decryption
+    ] {
+        assert!(stderr.contains(kill), "missing {kill:?} in:\n{stderr}");
+    }
+    // ...and every successor incarnation recovered by journal replay.
+    assert!(
+        stderr.contains("replayed") && stderr.contains("journal records"),
+        "no journal replay reported:\n{stderr}"
+    );
+
+    // The report artifact records the invariant: exact verdict, one
+    // aggregator incarnation per kill plus the survivor.
+    let report = std::fs::read_to_string(dir.join(files::CHAOS_JSON)).expect("report written");
+    assert!(report.contains("\"verdict\": \"exact\""), "{report}");
+    assert!(report.contains("\"invariant_violations\": 0"), "{report}");
+    let incarnations: u32 = report
+        .split("\"agg_incarnations\": ")
+        .nth(1)
+        .and_then(|s| s.split(|c: char| !c.is_ascii_digit()).next())
+        .and_then(|s| s.parse().ok())
+        .expect("agg_incarnations in report");
+    assert!(
+        incarnations >= 4,
+        "3 kills need at least 4 incarnations, got {incarnations}"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -1,0 +1,251 @@
+//! Crash-durability of the aggregator's write-ahead journal, at the
+//! `AggState` level (no processes, no sockets).
+//!
+//! The invariant under test is the one the chaos drill exercises end to
+//! end: an aggregator that dies after acknowledging any prefix of the
+//! round and is recovered from its journal has **bit-identical**
+//! protocol state (witnessed by [`AggState::digest`]) to the pre-crash
+//! instance — and keeps behaving identically afterwards. Corruption is
+//! always a typed [`JournalError`], never a silently divergent round.
+
+use std::path::PathBuf;
+use std::sync::Arc;
+
+use mycelium_net::proto::NetMsg;
+use mycelium_net::round::{build_setup, files, AggState, RoundSetup, RoundSpec};
+use mycelium_net::{JournalError, NetError};
+
+use mycelium_math::rng::{SeedableRng, StdRng};
+
+fn test_spec() -> RoundSpec {
+    RoundSpec {
+        seed: 7,
+        n: 24,
+        query: "Q4".into(),
+        device_shards: 8,
+        origin_shards: 2,
+        ..RoundSpec::default()
+    }
+}
+
+fn journal_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("mycelium-journal-{}-{tag}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+/// Encodes a stream of state-mutating requests: `contribs` contribution
+/// pushes (each for a distinct `(origin, slot)` duty) followed by
+/// `checkins` committee check-ins. Returned as raw wire bytes — exactly
+/// what the server hands to [`AggState::handle`] and what the journal
+/// stores.
+fn mutating_requests(setup: &RoundSetup, contribs: usize, checkins: usize) -> Vec<Vec<u8>> {
+    let mut raws = Vec::new();
+    'outer: for (v, duties) in setup.duties.iter().enumerate() {
+        for duty in duties {
+            if raws.len() == contribs {
+                break 'outer;
+            }
+            let mut rng = StdRng::seed_from_u64(1000 + v as u64);
+            let sc = setup
+                .plan
+                .build_contribution(&setup.keys, v as u32, duty.exp, false, &mut rng)
+                .unwrap();
+            let msg = NetMsg::PushContrib {
+                origin: duty.origin,
+                slot: duty.slot,
+                sc: Box::new(sc),
+            };
+            raws.push(msg.encode());
+        }
+    }
+    assert_eq!(raws.len(), contribs, "population has enough duties");
+    for m in 1..=checkins as u64 {
+        let msg = NetMsg::CommitteeCheckIn {
+            member: m,
+            seed: [m as u8; 32],
+        };
+        raws.push(msg.encode());
+    }
+    raws
+}
+
+/// Feeds one raw request through the full live path (decode → journal →
+/// apply → fsync), as the server does.
+fn feed(st: &mut AggState, setup: &RoundSetup, raw: &[u8]) {
+    let msg = NetMsg::decode(raw, &setup.cc).unwrap();
+    st.handle(msg, raw).unwrap();
+}
+
+#[test]
+fn replayed_state_is_bit_identical_and_continues_identically() {
+    let setup = Arc::new(build_setup(&test_spec()).unwrap());
+    let dir = journal_dir("replay");
+    let path = dir.join(files::JOURNAL);
+    // 10 contributions + 2 check-ins: crosses the every-8-records digest
+    // checkpoint, so recovery also verifies a mid-stream checkpoint.
+    let raws = mutating_requests(&setup, 10, 2);
+
+    let mut st = AggState::recover(Arc::clone(&setup), &path).unwrap();
+    assert_eq!(st.journal_records(), 0, "fresh journal");
+    for raw in &raws[..11] {
+        feed(&mut st, &setup, raw);
+    }
+    let pre_crash = st.digest();
+    let pre_records = st.journal_records();
+    // 11 REQ records plus the digest checkpoint flushed after the 8th.
+    assert_eq!(pre_records, 12);
+    drop(st); // crash: no shutdown hook, the journal is all that survives
+
+    let mut recovered = AggState::recover(Arc::clone(&setup), &path).unwrap();
+    assert_eq!(
+        recovered.digest(),
+        pre_crash,
+        "replay must rebuild the exact pre-crash state"
+    );
+    assert_eq!(recovered.journal_records(), pre_records);
+
+    // The recovered instance must also *continue* identically: feed the
+    // 12th request to it and the full sequence to a parallel fresh
+    // instance, and compare digests again.
+    feed(&mut recovered, &setup, &raws[11]);
+    let twin_path = dir.join("twin.bin");
+    let mut twin = AggState::recover(Arc::clone(&setup), &twin_path).unwrap();
+    for raw in &raws {
+        feed(&mut twin, &setup, raw);
+    }
+    assert_eq!(
+        recovered.digest(),
+        twin.digest(),
+        "recovered state must evolve exactly like an uncrashed one"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn duplicate_requests_after_recovery_are_idempotent() {
+    // A client whose ack was lost in the crash retries into the
+    // recovered aggregator: the replayed request must be absorbed
+    // without journaling a second copy or perturbing state.
+    let setup = Arc::new(build_setup(&test_spec()).unwrap());
+    let dir = journal_dir("idem");
+    let path = dir.join(files::JOURNAL);
+    let raws = mutating_requests(&setup, 3, 1);
+
+    let mut st = AggState::recover(Arc::clone(&setup), &path).unwrap();
+    for raw in &raws {
+        feed(&mut st, &setup, raw);
+    }
+    drop(st);
+
+    let mut recovered = AggState::recover(Arc::clone(&setup), &path).unwrap();
+    let digest = recovered.digest();
+    let records = recovered.journal_records();
+    for raw in &raws {
+        feed(&mut recovered, &setup, raw); // every client retries
+    }
+    assert_eq!(recovered.digest(), digest, "duplicates must not mutate");
+    assert_eq!(
+        recovered.journal_records(),
+        records,
+        "duplicates must not be re-journaled"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn torn_tail_is_truncated_and_the_valid_prefix_recovers() {
+    let setup = Arc::new(build_setup(&test_spec()).unwrap());
+    let dir = journal_dir("torn");
+    let path = dir.join(files::JOURNAL);
+    let raws = mutating_requests(&setup, 3, 0);
+
+    let mut st = AggState::recover(Arc::clone(&setup), &path).unwrap();
+    let mut digests = Vec::new();
+    for raw in &raws {
+        feed(&mut st, &setup, raw);
+        digests.push(st.digest());
+    }
+    drop(st);
+
+    // Tear the tail: the last record loses 3 checksum bytes, exactly as
+    // if the process died mid-write(2).
+    let len = std::fs::metadata(&path).unwrap().len();
+    let file = std::fs::OpenOptions::new().write(true).open(&path).unwrap();
+    file.set_len(len - 3).unwrap();
+    drop(file);
+
+    let mut recovered = AggState::recover(Arc::clone(&setup), &path).unwrap();
+    assert_eq!(recovered.journal_records(), 2, "torn record dropped");
+    assert_eq!(
+        recovered.digest(),
+        digests[1],
+        "recovery lands on the longest durable prefix"
+    );
+    // The unacknowledged third request is retried by its client and the
+    // round proceeds as if the torn write never happened.
+    feed(&mut recovered, &setup, &raws[2]);
+    assert_eq!(recovered.digest(), digests[2]);
+    assert_eq!(recovered.journal_records(), 3);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn bit_flip_in_a_journal_record_is_a_typed_corruption_error() {
+    let setup = Arc::new(build_setup(&test_spec()).unwrap());
+    let dir = journal_dir("bitflip");
+    let path = dir.join(files::JOURNAL);
+    let raws = mutating_requests(&setup, 2, 0);
+
+    let mut st = AggState::recover(Arc::clone(&setup), &path).unwrap();
+    for raw in &raws {
+        feed(&mut st, &setup, raw);
+    }
+    drop(st);
+
+    // Flip one bit inside record 0's payload (header + length prefix +
+    // 2 bytes in).
+    let mut bytes = std::fs::read(&path).unwrap();
+    bytes[mycelium_net::journal::HEADER_BYTES + 4 + 2] ^= 0x04;
+    std::fs::write(&path, &bytes).unwrap();
+
+    let err = AggState::recover(Arc::clone(&setup), &path)
+        .map(|_| ())
+        .unwrap_err();
+    assert!(
+        matches!(err, NetError::Journal(JournalError::Corrupt { seq: 0 })),
+        "expected Corrupt {{ seq: 0 }}, got {err}"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn journal_bound_to_a_different_round_is_rejected() {
+    let spec = test_spec();
+    let setup = Arc::new(build_setup(&spec).unwrap());
+    let dir = journal_dir("binding");
+    let path = dir.join(files::JOURNAL);
+    let raws = mutating_requests(&setup, 1, 0);
+
+    let mut st = AggState::recover(Arc::clone(&setup), &path).unwrap();
+    feed(&mut st, &setup, &raws[0]);
+    drop(st);
+
+    // Restart with a different round configuration pointed at the stale
+    // journal: replaying it would silently poison the new round, so
+    // recovery must refuse with a typed mismatch.
+    let other = Arc::new(
+        build_setup(&RoundSpec {
+            seed: spec.seed + 1,
+            ..spec
+        })
+        .unwrap(),
+    );
+    let err = AggState::recover(other, &path).map(|_| ()).unwrap_err();
+    assert!(
+        matches!(err, NetError::Journal(JournalError::BindingMismatch { .. })),
+        "expected BindingMismatch, got {err}"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -239,6 +239,123 @@ fn bench_smoke_sweep_json_is_thread_count_invariant() {
 }
 
 #[test]
+fn aggregator_blackouts_in_each_phase_recover_to_exact_oracle_result() {
+    // The simnet model of the journaled aggregator (see DESIGN.md
+    // "Durability & chaos"): a crash-and-restart blackout keeps state
+    // intact but loses every armed timer and in-flight delivery;
+    // `on_restart` re-arms deadlines and the senders' retriers re-drive
+    // the traffic. One blackout per protocol phase — contribution
+    // intake, origin summation, committee decryption — must each yield
+    // the bit-identical oracle histogram, exactly like the chaos drill
+    // does over real processes.
+    let (params, keys, pop) = setup(50);
+    let want = oracle(&params, &pop, "Q4");
+    let query = paper_query("Q4").unwrap();
+    let n = pop.graph.len();
+
+    // Calibrate the phase boundaries from a fault-free run at the same
+    // seed: virtual time is deterministic, so the phase series tell us
+    // exactly when submissions, the aggregate, and the committee finish.
+    let mut budget = PrivacyBudget::new(100.0);
+    let cfg = SimNetConfig {
+        seed: 20,
+        ..SimNetConfig::default()
+    };
+    let clean = run_query_simulated(&query, &pop, &params, &keys, &[], false, &mut budget, &cfg)
+        .expect("calibration run");
+    let first_submit = clean.metrics.phases["submit"].min();
+    let aggregate_at = clean.metrics.phases["aggregate"].min();
+    let committee_at = clean.metrics.phases["committee"].min();
+    assert!(
+        first_submit < aggregate_at && aggregate_at < committee_at,
+        "phases must be ordered: submit {first_submit} < aggregate {aggregate_at} \
+         < committee {committee_at}"
+    );
+    let mid_decrypt = aggregate_at + (committee_at - aggregate_at) / 2;
+
+    let windows = [
+        ("contribution intake", 5, first_submit + 2_000),
+        ("origin summation", first_submit + 1, first_submit + 3_000),
+        ("committee decryption", mid_decrypt, mid_decrypt + 2_500),
+    ];
+    for (phase, from, until) in windows {
+        let mut budget = PrivacyBudget::new(100.0);
+        let cfg = SimNetConfig {
+            seed: 20,
+            fault: FaultPlan::none().with_crash_window(n, from, until),
+            ..SimNetConfig::default()
+        };
+        let out = run_query_simulated(&query, &pop, &params, &keys, &[], false, &mut budget, &cfg)
+            .unwrap_or_else(|e| {
+                panic!("{phase} blackout [{from}, {until}) must recover, got {e:?}")
+            });
+        assert_eq!(out.metrics.restarts, 1, "{phase}: one restart");
+        assert!(
+            out.metrics.dead_letters > 0,
+            "{phase}: a blackout mid-round must dead-letter something"
+        );
+        assert_eq!(out.exact.groups.len(), want.groups.len());
+        for (got, want) in out.exact.groups.iter().zip(&want.groups) {
+            assert_eq!(
+                got.histogram, want.histogram,
+                "{phase} blackout changed the answer"
+            );
+        }
+    }
+}
+
+#[test]
+fn aggregator_blackout_recovery_is_thread_count_invariant() {
+    // The recovery path (timer re-arm, retrier re-drive, dead-letter
+    // accounting) lives entirely in the serial event loop; only the BGV
+    // compute plane fans out. Same seed + same blackout ⇒ bit-identical
+    // result, virtual-time trajectory, and metrics at any thread count.
+    let run = || {
+        let (params, keys, pop) = setup(50);
+        let query = paper_query("Q4").unwrap();
+        let n = pop.graph.len();
+        let mut budget = PrivacyBudget::new(100.0);
+        let calibrate = SimNetConfig {
+            seed: 21,
+            ..SimNetConfig::default()
+        };
+        let clean = run_query_simulated(
+            &query,
+            &pop,
+            &params,
+            &keys,
+            &[],
+            false,
+            &mut budget,
+            &calibrate,
+        )
+        .unwrap();
+        let first_submit = clean.metrics.phases["submit"].min();
+        let mut budget = PrivacyBudget::new(100.0);
+        let cfg = SimNetConfig {
+            seed: 21,
+            fault: FaultPlan::none().with_crash_window(n, 5, first_submit + 2_000),
+            ..SimNetConfig::default()
+        };
+        let out = run_query_simulated(&query, &pop, &params, &keys, &[], false, &mut budget, &cfg)
+            .unwrap();
+        assert_eq!(out.metrics.restarts, 1);
+        (
+            out.exact.groups[0].histogram.clone(),
+            out.released[0].histogram.clone(),
+            out.elapsed,
+            out.metrics.to_json(0),
+        )
+    };
+    let serial = with_threads(1, run);
+    let parallel = with_threads(8, run);
+    assert_eq!(serial.0, parallel.0, "exact histograms");
+    assert_eq!(serial.1, parallel.1, "released (noised) histograms");
+    assert_eq!(serial.2, parallel.2, "virtual-time trajectory");
+    assert_eq!(serial.3, parallel.3, "full metrics JSON");
+}
+
+#[test]
 fn dropped_out_device_matches_direct_executor_semantics() {
     // DropOut over the network: the device sends nothing, origins fill
     // Enc(x^0) at their deadline — the same §4.4 semantics as the direct
