@@ -1,15 +1,36 @@
 //! Round-convergence benchmark: the simnet-hosted query round and mixnet
-//! phases swept over drop rates {0, 1%, 5%} and crash counts.
+//! phases swept over drop rates {0, 1%, 5%} and crash counts, plus the
+//! device-count × shard-count sweep of the sharded aggregation plane.
 //!
 //! Writes `BENCH_rounds.json` (byte-identical across runs with the same
-//! seed) and exits non-zero if any sweep cell fails to converge — the
-//! property CI gates on.
+//! seed) and exits non-zero if any sweep cell fails to converge or
+//! drifts from the analytic byte model — the properties CI gates on.
+//! Host-dependent measurements (wall-clock, peak RSS) are deliberately
+//! kept out of that artifact: they go to `<out>.host.json` and stderr.
 //!
 //! Usage: `bench_rounds [--smoke] [--seed N] [--out PATH]`
 
 use std::io::Write;
+use std::time::Instant;
 
 use mycelium_bench::rounds::{run_rounds, RoundsConfig};
+
+/// Peak resident set size in kB from `/proc/self/status` (`VmHWM`), or
+/// 0 where the procfs field is unavailable.
+fn peak_rss_kb() -> u64 {
+    std::fs::read_to_string("/proc/self/status")
+        .ok()
+        .and_then(|s| {
+            s.lines().find_map(|l| {
+                l.strip_prefix("VmHWM:")?
+                    .trim()
+                    .trim_end_matches(" kB")
+                    .parse()
+                    .ok()
+            })
+        })
+        .unwrap_or(0)
+}
 
 fn main() {
     let mut cfg = RoundsConfig {
@@ -41,13 +62,23 @@ fn main() {
         cfg.seed,
         if cfg.smoke { "smoke" } else { "full" }
     );
+    let started = Instant::now();
     let report = run_rounds(&cfg);
+    let wall_ms = started.elapsed().as_millis() as u64;
+    let rss_kb = peak_rss_kb();
+
     let mut f = std::fs::File::create(&out_path).expect("create output file");
     f.write_all(report.json.as_bytes()).expect("write report");
-    eprintln!("wrote {out_path}");
+    let host_path = format!("{out_path}.host.json");
+    std::fs::write(
+        &host_path,
+        format!("{{\n  \"wall_ms\": {wall_ms},\n  \"peak_rss_kb\": {rss_kb}\n}}\n"),
+    )
+    .expect("write host report");
+    eprintln!("wrote {out_path} and {host_path} (wall {wall_ms} ms, peak RSS {rss_kb} kB)");
     print!("{}", report.json);
     if !report.all_converged {
-        eprintln!("FAIL: at least one sweep cell did not converge");
+        eprintln!("FAIL: at least one sweep cell did not converge or drifted from the byte model");
         std::process::exit(1);
     }
 }

@@ -185,19 +185,159 @@ pub fn run_rounds(cfg: &RoundsConfig) -> RoundsReport {
         }
     }
 
+    let shard_cells = shard_sweep_cells(cfg, &mut all_converged);
+
     let json = format!(
         "{{\n  \"seed\": {},\n  \"smoke\": {},\n  \"population\": {},\n  \
          \"all_converged\": {},\n  \"query_round\": [\n    {}\n  ],\n  \
+         \"shard_sweep\": [\n    {}\n  ],\n  \
          \"mixnet\": [\n    {}\n  ]\n}}\n",
         cfg.seed,
         cfg.smoke,
         n_pop,
         all_converged,
         query_cells.join(",\n    "),
+        shard_cells.join(",\n    "),
         mix_cells.join(",\n    "),
     );
     RoundsReport {
         json,
         all_converged,
     }
+}
+
+/// The device-count × shard-count sweep of the sharded aggregation
+/// plane (DESIGN.md "Sharded aggregation").
+///
+/// Every cell runs the fault-free encrypted round at `agg_shards ∈
+/// {1, 2, 4, 8}` and reports (a) whether the decoded and released
+/// histograms are bit-identical to the single-hub cell at the same
+/// device count — the associativity invariant — and (b) the metered
+/// device-plane bytes against the `mycelium::costs` analytic intake
+/// model. The model excludes message headers and acks, so the gate
+/// allows 5%; a drift beyond that flips `all_converged` and fails CI.
+///
+/// Everything reported here is a pure function of the seed (wall-clock
+/// and peak-RSS measurements live in the `bench_rounds` binary, outside
+/// this deterministic artifact).
+fn shard_sweep_cells(cfg: &RoundsConfig, all_converged: &mut bool) -> Vec<String> {
+    use mycelium::costs::{intake_bytes_per_device, submission_level};
+    use mycelium::plan::{origin_work, QueryPlan};
+
+    const SHARD_COUNTS: [usize; 4] = [1, 2, 4, 8];
+    let device_counts: &[usize] = if cfg.smoke { &[24] } else { &[24, 40] };
+    let mut cells = Vec::new();
+    for &n_pop in device_counts {
+        let params = SystemParams::simulation();
+        let mut rng = StdRng::seed_from_u64(cfg.seed);
+        let keys = KeySet::generate(&params.bgv, &mut rng);
+        let pop = epidemic_population(
+            &ContactGraphConfig {
+                n: n_pop,
+                degree_bound: 4,
+                days: 13,
+                ..ContactGraphConfig::default()
+            },
+            &EpidemicConfig {
+                days: 13,
+                seed_fraction: 0.1,
+                ..EpidemicConfig::default()
+            },
+            &mut rng,
+        );
+        let query = paper_query("Q4").expect("builtin query");
+        let n = pop.graph.len();
+
+        // Analytic prediction: each origin's request list is some
+        // device's contribution duty, so summing per-origin work covers
+        // the whole device plane exactly once.
+        let plan = QueryPlan::new(&query, &pop, &params, false).expect("plan");
+        let fresh = params.bgv.levels;
+        let predicted_total: u64 = (0..n as u32)
+            .map(|v| {
+                let work = origin_work(&plan, &query, &params, &pop, v);
+                intake_bytes_per_device(
+                    work.requests.len(),
+                    params.bgv.n,
+                    fresh,
+                    submission_level(&plan, &work, fresh),
+                )
+            })
+            .sum();
+
+        let mut hub_baseline: Option<mycelium::SimRoundOutcome> = None;
+        for shards in SHARD_COUNTS {
+            let sim_cfg = SimNetConfig {
+                seed: cfg.seed,
+                agg_shards: shards,
+                ..SimNetConfig::default()
+            };
+            let mut budget = PrivacyBudget::new(1000.0);
+            let result = run_query_simulated(
+                &query,
+                &pop,
+                &params,
+                &keys,
+                &[],
+                false,
+                &mut budget,
+                &sim_cfg,
+            );
+            let cell = match result {
+                Ok(out) => {
+                    let device_bytes: u64 = (0..n).map(|v| out.metrics.actors[v].sent_bytes).sum();
+                    let delta = (device_bytes as f64 - predicted_total as f64).abs()
+                        / predicted_total as f64;
+                    let within_gate = delta <= 0.05;
+                    let matches_hub = match &hub_baseline {
+                        None => true,
+                        Some(hub) => {
+                            hub.exact
+                                .groups
+                                .iter()
+                                .zip(&out.exact.groups)
+                                .all(|(a, b)| a.histogram == b.histogram)
+                                && hub
+                                    .released
+                                    .iter()
+                                    .zip(&out.released)
+                                    .all(|(a, b)| a.histogram == b.histogram)
+                        }
+                    };
+                    *all_converged &= within_gate && matches_hub;
+                    let cell = format!(
+                        "{{\"n\": {}, \"shards\": {}, \"converged\": true, \
+                         \"elapsed_ticks\": {}, \"sent_bytes\": {}, \
+                         \"device_bytes\": {}, \"bytes_per_device\": {}, \
+                         \"predicted_bytes_per_device\": {}, \
+                         \"model_delta_pct\": {:.2}, \"model_within_5pct\": {}, \
+                         \"matches_hub\": {}}}",
+                        n,
+                        shards,
+                        out.elapsed,
+                        out.metrics.total_sent_bytes(),
+                        device_bytes,
+                        device_bytes / n as u64,
+                        predicted_total / n as u64,
+                        delta * 100.0,
+                        within_gate,
+                        matches_hub,
+                    );
+                    if shards == 1 {
+                        hub_baseline = Some(out);
+                    }
+                    cell
+                }
+                Err(e) => {
+                    *all_converged = false;
+                    format!(
+                        "{{\"n\": {n}, \"shards\": {shards}, \"converged\": false, \
+                         \"error\": \"{e}\"}}"
+                    )
+                }
+            };
+            cells.push(cell);
+        }
+    }
+    cells
 }

@@ -8,9 +8,11 @@
 //! ≈430 MB expected per device, ≈350 MB aggregator traffic per device,
 //! 10⁵–10⁶ aggregator cores at 10⁹ users).
 
+use mycelium_query::analyze::GroupKind;
 use mycelium_zkp::cost::Groth16Model;
 
 use crate::params::SystemParams;
+use crate::plan::{OriginWork, QueryPlan, RowCombine};
 
 /// Per-device bandwidth for one query (Figure 7).
 #[derive(Debug, Clone, Copy)]
@@ -124,6 +126,137 @@ pub fn aggregator_cores(
     AggregatorCores { zkp, aggregation }
 }
 
+/// Predicted BGV level of an origin's submitted ciphertext — the exact
+/// mirror of [`crate::plan::combine_origin`]'s level arithmetic, with no
+/// cryptography: an accumulator fed `f` times sits at
+/// `max(1, fresh − (f − 1))` (the first feed moves the fresh ciphertext
+/// in; every further feed multiplies, relinearizes, and drops one
+/// level), an unfed or self-failed accumulator stays fresh, and `Cross`
+/// grouping aligns every accumulator to the minimum before summing.
+pub fn submission_level(plan: &QueryPlan, work: &OriginWork, fresh_level: usize) -> usize {
+    if !work.self_ok {
+        return fresh_level;
+    }
+    let mut feeds = vec![0usize; work.acc_count];
+    for row in &work.rows {
+        match row {
+            RowCombine::Simple(_) => feeds[0] += 1,
+            RowCombine::Selected(groups) => {
+                for (g, _) in groups {
+                    feeds[*g] += 1;
+                }
+            }
+        }
+    }
+    let level_of = |f: usize| {
+        if f == 0 {
+            fresh_level
+        } else {
+            fresh_level.saturating_sub(f - 1).max(1)
+        }
+    };
+    match plan.analysis.group_kind {
+        GroupKind::Cross => feeds
+            .iter()
+            .map(|&f| level_of(f))
+            .min()
+            .unwrap_or(fresh_level),
+        _ => level_of(feeds[0]),
+    }
+}
+
+/// Predicted aggregation-plane intake bytes one device *sends* per
+/// round: `duties` fresh contribution ciphertexts plus its origin
+/// submission at the noise plan's output level. Message headers and acks
+/// are deliberately excluded — they are tens of bytes against
+/// multi-kilobyte ciphertexts; the bench gate allows 5% for them.
+///
+/// A ciphertext with 2 parts at `level` residue rows carries
+/// `2 · level · n · 8` bytes.
+pub fn intake_bytes_per_device(
+    duties: usize,
+    ring_degree: usize,
+    fresh_level: usize,
+    submission_level: usize,
+) -> u64 {
+    let ct = |level: usize| (2 * level * ring_degree * 8) as u64;
+    duties as u64 * ct(fresh_level) + ct(submission_level)
+}
+
+/// Exact encoded payload of one shard's `ShardRoot` handoff on the
+/// encrypted transport (DESIGN.md "Sharded aggregation").
+///
+/// Mirrors the `crates/net` proto encoding byte for byte: message tag
+/// (1) + shard id (4) + rejected-device list (4-byte count + 4 per id) +
+/// the ciphertext codec output (`ct_encoded`, including its own tags).
+/// Measured wire bytes differ from this only by the sealed-frame
+/// envelope (header + AEAD tag per frame); `tests/net_round.rs` pins
+/// that reconciliation exactly.
+pub fn shard_root_payload_bytes(ct_encoded: usize, rejected: usize) -> usize {
+    1 + 4 + 4 + 4 * rejected + ct_encoded
+}
+
+/// Total shard → coordinator handoff payload for one round: every shard
+/// seals exactly one root, and each rejected device id rides in exactly
+/// one shard's message. Zero at `shards ≤ 1` — the hub topology has no
+/// handoff.
+pub fn shard_plane_payload_bytes(shards: usize, ct_encoded: usize, rejected_total: usize) -> usize {
+    if shards <= 1 {
+        return 0;
+    }
+    shards * shard_root_payload_bytes(ct_encoded, 0) + 4 * rejected_total
+}
+
+/// Figure 9(b) with the shard dimension: aggregation work split over
+/// `shards` equal partitions plus the coordinator's fold of the sealed
+/// roots.
+#[derive(Debug, Clone, Copy)]
+pub struct ShardedAggregatorCores {
+    /// Cores one shard needs for its `n / shards` devices.
+    pub per_shard: AggregatorCores,
+    /// Number of shards.
+    pub shards: usize,
+    /// Coordinator seconds to fold `shards` roots (`shards − 1`
+    /// ciphertext additions — serial, and negligible next to the fan-in).
+    pub coordinator_seconds: f64,
+}
+
+impl ShardedAggregatorCores {
+    /// Total cores across the plane (coordinator's fold is a single
+    /// core for `coordinator_seconds`, counted only when it matters).
+    pub fn total(&self) -> f64 {
+        self.shards as f64 * self.per_shard.total()
+    }
+}
+
+/// Computes Figure 9(b) for `n` participants spread over `shards`
+/// WAL-partitioned shards.
+///
+/// ZKP verification and partial summation are embarrassingly parallel
+/// over the device partition, so a shard carries exactly `1/shards` of
+/// the hub's load; the coordinator adds a serial `(shards − 1)`-addition
+/// fold. At `shards = 1` this degenerates to [`aggregator_cores`].
+pub fn sharded_aggregator_cores(
+    params: &SystemParams,
+    n: u64,
+    shards: usize,
+    deadline_seconds: f64,
+    add_seconds: f64,
+) -> ShardedAggregatorCores {
+    let shards = shards.max(1);
+    let per_shard = aggregator_cores(
+        params,
+        n.div_ceil(shards as u64),
+        deadline_seconds,
+        add_seconds,
+    );
+    ShardedAggregatorCores {
+        per_shard,
+        shards,
+        coordinator_seconds: (shards - 1) as f64 * add_seconds,
+    }
+}
+
 /// Committee costs (§6.5), calibrated to the paper's EC2 measurements at
 /// `c = 10`: ≈3 minutes of MPC and ≈4.5 GB per member, scaling with the
 /// number of pairwise channels (`c - 1`) per member.
@@ -225,6 +358,50 @@ mod tests {
             "cores at 1e9: {}",
             big.total()
         );
+    }
+
+    #[test]
+    fn shard_plane_payload_degenerates_at_one_shard() {
+        // The hub topology has no shard → coordinator handoff.
+        assert_eq!(shard_plane_payload_bytes(1, 4_300_000, 5), 0);
+        assert_eq!(shard_plane_payload_bytes(0, 4_300_000, 5), 0);
+        // Four shards: four sealed roots plus the rejected ids, each
+        // counted exactly once wherever it landed.
+        let ct = 10_000;
+        assert_eq!(
+            shard_plane_payload_bytes(4, ct, 3),
+            4 * (1 + 4 + 4 + ct) + 4 * 3
+        );
+        // Per-message form: the ids ride inside the shard's own message.
+        assert_eq!(
+            shard_root_payload_bytes(ct, 3) + 3 * shard_root_payload_bytes(ct, 0),
+            shard_plane_payload_bytes(4, ct, 3)
+        );
+    }
+
+    #[test]
+    fn sharded_cores_split_the_hub_load() {
+        let p = paper_sized();
+        let (n, deadline, add) = (1_000_000_000u64, 10.0 * 3600.0, 0.05);
+        let hub = aggregator_cores(&p, n, deadline, add);
+        let s1 = sharded_aggregator_cores(&p, n, 1, deadline, add);
+        assert_eq!(s1.per_shard.total(), hub.total());
+        assert_eq!(s1.coordinator_seconds, 0.0);
+        // The partition is work-conserving: per-shard load is 1/shards
+        // of the hub's, so plane totals match to rounding.
+        for shards in [2usize, 8, 64] {
+            let s = sharded_aggregator_cores(&p, n, shards, deadline, add);
+            let rel = (s.total() - hub.total()).abs() / hub.total();
+            assert!(
+                rel < 1e-6,
+                "shards {shards}: {} vs {}",
+                s.total(),
+                hub.total()
+            );
+            assert!(s.per_shard.total() < hub.total());
+            // The coordinator's serial fold stays negligible.
+            assert!(s.coordinator_seconds < 10.0);
+        }
     }
 
     #[test]

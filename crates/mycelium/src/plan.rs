@@ -515,3 +515,52 @@ pub fn aggregate_and_audit(origin_cts: Vec<Ciphertext>) -> Result<Ciphertext, Ex
         .expect("honest aggregator's partial sums verify");
     Ok(tree.root().sum.clone())
 }
+
+/// Shard side of the sharded aggregation plane: aligns the shard's owned
+/// origin ciphertexts, builds its partial summation tree, audits it, and
+/// seals the root for shipment to the coordinator.
+pub fn seal_shard_root(
+    origin_cts: Vec<Ciphertext>,
+) -> Result<crate::summation::PartialRoot, ExecError> {
+    let min_level = origin_cts
+        .iter()
+        .map(|c| c.level())
+        .min()
+        .expect("shard owns at least one origin");
+    let aligned: Vec<Ciphertext> = par::map(&origin_cts, |_, ct| ct.mod_switch_to(min_level))
+        .into_iter()
+        .collect::<Result<_, _>>()?;
+    drop(origin_cts);
+    let tree = crate::summation::SummationTree::build(aligned)?;
+    tree.spot_check_random(0xA0D2, 8)
+        .expect("honest shard's partial sums verify");
+    Ok(tree.seal_root())
+}
+
+/// Coordinator side of the sharded aggregation plane: aligns sealed
+/// shard roots to a common level, grafts them into the top summation
+/// tree ([`SummationTree::combine_partials`](crate::summation::SummationTree::combine_partials)),
+/// audits it, and returns the global root sum. Homomorphic addition is
+/// exact coefficient-wise addition mod q, so for any shard count the
+/// returned ciphertext is bit-identical to [`aggregate_and_audit`] over
+/// the concatenated origin ciphertexts.
+pub fn combine_shard_roots(
+    parts: Vec<crate::summation::PartialRoot>,
+) -> Result<Ciphertext, ExecError> {
+    let min_level = parts
+        .iter()
+        .map(|p| p.sum.level())
+        .min()
+        .expect("at least one shard root");
+    let aligned: Vec<crate::summation::PartialRoot> = parts
+        .into_iter()
+        .map(|mut p| {
+            p.sum = p.sum.mod_switch_to(min_level)?;
+            Ok::<_, mycelium_bgv::BgvError>(p)
+        })
+        .collect::<Result<_, _>>()?;
+    let tree = crate::summation::SummationTree::combine_partials(&aligned)?;
+    tree.spot_check_random(0xC0DE, 8)
+        .expect("honest coordinator's top tree verifies");
+    Ok(tree.root().sum.clone())
+}

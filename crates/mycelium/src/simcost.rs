@@ -92,6 +92,20 @@ pub struct CostSimReport {
     pub metrics: RoundMetrics,
 }
 
+/// Exact simnet wire size of one shard → coordinator `ShardRootMsg` as
+/// the simround meter declares it: header (16) + shard id (4) +
+/// rejected ids (4 each) + root commitment (32) + leaf count (4) + the
+/// ciphertext's full RNS representation (`ct_bytes`).
+///
+/// `tests/sim_costs.rs` pins this mirror against the actual
+/// [`crate::simround::RoundMsg`] payload accounting, and the sharded
+/// round tests reconcile metered shard traffic against it; the analytic
+/// counterpart for the encrypted transport is
+/// [`crate::costs::shard_root_payload_bytes`].
+pub fn shard_root_sim_bytes(ct_bytes: usize, rejected: usize) -> usize {
+    16 + 4 + 4 * rejected + 32 + 4 + ct_bytes
+}
+
 /// A ciphertext in transit: a declared size and the hops still ahead.
 #[derive(Clone)]
 struct CostMsg {

@@ -57,8 +57,10 @@ use crate::decode::decode_aggregate;
 use crate::exec::{release_noisy, ExecError, ExecStats, MaliciousBehavior, NoisyGroup};
 use crate::params::SystemParams;
 use crate::plan::{
-    aggregate_and_audit, combine_origin, origin_work, OriginWork, QueryPlan, SignedContribution,
+    aggregate_and_audit, combine_origin, combine_shard_roots, origin_work, seal_shard_root,
+    OriginWork, QueryPlan, SignedContribution,
 };
+use crate::summation::{shard_of, PartialRoot};
 
 /// Timer-key layout (per actor, so ranges only need to be disjoint within
 /// one actor): retrier message ids live below `1 << 40`; control keys
@@ -90,6 +92,12 @@ pub struct SimNetConfig {
     pub deadline: Tick,
     /// Virtual-time budget for the whole round.
     pub max_ticks: Tick,
+    /// Aggregation shards. `1` is the classic single-hub topology; `N > 1`
+    /// splits intake across `N` shard actors (devices hash-routed by
+    /// [`shard_of`]) that each seal a partial summation-tree root and ship
+    /// it to the coordinator — mirroring the real transport plane's
+    /// sharded layout.
+    pub agg_shards: usize,
 }
 
 impl Default for SimNetConfig {
@@ -102,6 +110,7 @@ impl Default for SimNetConfig {
             max_retries: 8,
             deadline: 100_000,
             max_ticks: 10_000_000,
+            agg_shards: 1,
         }
     }
 }
@@ -251,6 +260,29 @@ pub enum RoundMsg {
         /// The share.
         share: DecryptionShare,
     },
+    /// Shard → coordinator: the shard's sealed partial summation-tree
+    /// root over its owned origins, plus the devices it rejected.
+    ShardRootMsg {
+        /// Sender-scoped retrier id.
+        msg_id: u64,
+        /// The sending shard's index.
+        shard: u32,
+        /// Devices whose contributions failed proof verification.
+        rejected: Vec<VertexId>,
+        /// The shard tree's root commitment (grafted into the
+        /// coordinator's top tree, so the published global root
+        /// transitively commits every origin ciphertext).
+        commitment: [u8; 32],
+        /// How many origins the shard summed.
+        leaves: u32,
+        /// The shard's homomorphic partial aggregate.
+        ct: Ciphertext,
+    },
+    /// Coordinator → shard: root received.
+    ShardRootAck {
+        /// Echoed retrier id.
+        msg_id: u64,
+    },
 }
 
 /// Declared wire size of a ciphertext: its full RNS representation.
@@ -288,10 +320,14 @@ impl Payload for RoundMsg {
                         .map(|r| r.len() * 8)
                         .sum::<usize>()
             }
+            RoundMsg::ShardRootMsg { rejected, ct, .. } => {
+                HDR + 4 + rejected.len() * 4 + 32 + 4 + ct_wire_bytes(ct)
+            }
             RoundMsg::Pong { .. } => HDR + 40,
             RoundMsg::ContribAck { .. }
             | RoundMsg::OriginAck { .. }
             | RoundMsg::SubmissionAck { .. }
+            | RoundMsg::ShardRootAck { .. }
             | RoundMsg::Ping { .. } => HDR,
         }
     }
@@ -308,6 +344,8 @@ struct Duty {
 struct DeviceActor {
     vertex: VertexId,
     agg: ActorId,
+    agg_shards: usize,
+    shard_base: ActorId,
     plan: Rc<QueryPlan>,
     keys: Rc<KeySet>,
     duties: Vec<Duty>,
@@ -322,6 +360,16 @@ struct DeviceActor {
 }
 
 impl DeviceActor {
+    /// Where traffic concerning origin `o` goes: the hub in the classic
+    /// topology, the owning shard actor in the sharded one.
+    fn intake_actor(&self, origin: VertexId) -> ActorId {
+        if self.agg_shards > 1 {
+            self.shard_base + shard_of(origin, self.agg_shards)
+        } else {
+            self.agg
+        }
+    }
+
     fn combine_and_submit(&mut self, ctx: &mut Ctx<RoundMsg>) {
         if self.combined {
             return;
@@ -355,8 +403,8 @@ impl DeviceActor {
             origin: self.vertex,
             ct: out,
         };
-        let agg = self.agg;
-        self.retrier.send(ctx, SUBMIT_MSG_ID, agg, msg);
+        let dst = self.intake_actor(self.vertex);
+        self.retrier.send(ctx, SUBMIT_MSG_ID, dst, msg);
     }
 }
 
@@ -376,8 +424,8 @@ impl Process<RoundMsg> for DeviceActor {
                     slot: duty.slot,
                     sc,
                 };
-                let agg = self.agg;
-                self.retrier.send(ctx, i as u64, agg, msg);
+                let dst = self.intake_actor(duty.origin);
+                self.retrier.send(ctx, i as u64, dst, msg);
             }
         }
         if self.work.requests.is_empty() {
@@ -437,9 +485,13 @@ struct AggregatorActor {
     seen_contribs: BTreeSet<(VertexId, u32)>,
     next_fwd_id: u64,
     retrier: Retrier<RoundMsg>,
-    // Submissions.
+    // Submissions (hub topology).
     submissions: Vec<Option<Ciphertext>>,
     got_submissions: usize,
+    // Sealed shard roots (sharded topology; empty at `agg_shards <= 1`).
+    agg_shards: usize,
+    shard_roots: Vec<Option<PartialRoot>>,
+    got_roots: usize,
     aggregated: bool,
     aggregate: Option<Ciphertext>,
     // Committee phase.
@@ -469,24 +521,39 @@ impl AggregatorActor {
             return;
         }
         self.aggregated = true;
-        // Origins that never submitted (crashed devices) contribute the
-        // additive-neutral Enc(0).
-        let (n_ring, t_pt) = (self.plan.n_ring, self.plan.t_pt);
-        let cts: Result<Vec<Ciphertext>, ExecError> = self
-            .submissions
-            .iter()
-            .map(|s| match s {
-                Some(ct) => Ok(ct.clone()),
-                None => Ok(Ciphertext::encrypt(
-                    &self.keys.public,
-                    &Plaintext::zero(n_ring, t_pt),
-                    ctx.rng(),
-                )?),
-            })
-            .collect();
-        let aggregate = match cts.and_then(aggregate_and_audit) {
-            Ok(ct) => ct,
-            Err(e) => return self.fail(ctx, e.into()),
+        let aggregate = if self.agg_shards > 1 {
+            // Coordinator: every shard root is present (the coordinator
+            // never deadlines out of intake — it waits, bounded by the
+            // round's virtual-time budget). Graft them into the top tree.
+            let parts: Vec<PartialRoot> = self
+                .shard_roots
+                .iter()
+                .map(|r| r.clone().expect("all shard roots collected"))
+                .collect();
+            match combine_shard_roots(parts) {
+                Ok(ct) => ct,
+                Err(e) => return self.fail(ctx, e.into()),
+            }
+        } else {
+            // Origins that never submitted (crashed devices) contribute
+            // the additive-neutral Enc(0).
+            let (n_ring, t_pt) = (self.plan.n_ring, self.plan.t_pt);
+            let cts: Result<Vec<Ciphertext>, ExecError> = self
+                .submissions
+                .iter()
+                .map(|s| match s {
+                    Some(ct) => Ok(ct.clone()),
+                    None => Ok(Ciphertext::encrypt(
+                        &self.keys.public,
+                        &Plaintext::zero(n_ring, t_pt),
+                        ctx.rng(),
+                    )?),
+                })
+                .collect();
+            match cts.and_then(aggregate_and_audit) {
+                Ok(ct) => ct,
+                Err(e) => return self.fail(ctx, e.into()),
+            }
         };
         self.aggregate = Some(aggregate);
         ctx.phase_done("aggregate");
@@ -634,13 +701,47 @@ impl Process<RoundMsg> for AggregatorActor {
             RoundMsg::Submission { msg_id, origin, ct } => {
                 ctx.send(from, RoundMsg::SubmissionAck { msg_id });
                 let slot = origin as usize;
-                if self.submissions[slot].is_none() {
+                // A coordinator holds no per-origin slots (devices route
+                // submissions to their owning shard), so a stray
+                // submission is acked and dropped.
+                if slot < self.submissions.len() && self.submissions[slot].is_none() {
                     self.submissions[slot] = Some(ct);
                     self.got_submissions += 1;
                     ctx.phase_done("submit");
                     if self.got_submissions == self.n_devices {
                         self.start_aggregate(ctx);
                     }
+                }
+            }
+            RoundMsg::ShardRootMsg {
+                msg_id,
+                shard,
+                rejected,
+                commitment,
+                leaves,
+                ct,
+            } => {
+                ctx.send(from, RoundMsg::ShardRootAck { msg_id });
+                let s = shard as usize;
+                if s >= self.shard_roots.len() || self.shard_roots[s].is_some() {
+                    return;
+                }
+                {
+                    let mut out = self.outcome.borrow_mut();
+                    for w in rejected {
+                        if !out.rejected.contains(&w) {
+                            out.rejected.push(w);
+                        }
+                    }
+                }
+                self.shard_roots[s] = Some(PartialRoot {
+                    sum: ct,
+                    commitment,
+                    leaf_count: leaves as usize,
+                });
+                self.got_roots += 1;
+                if self.got_roots == self.agg_shards {
+                    self.start_aggregate(ctx);
                 }
             }
             RoundMsg::Pong {
@@ -710,7 +811,12 @@ impl Process<RoundMsg> for AggregatorActor {
             return;
         }
         if key == SUBMIT_DEADLINE_KEY {
-            self.start_aggregate(ctx);
+            // A coordinator never substitutes for a missing shard — it
+            // keeps waiting (a crashed shard replays and retries), bounded
+            // by the round's virtual-time budget.
+            if self.agg_shards <= 1 {
+                self.start_aggregate(ctx);
+            }
             return;
         }
         if key == PING_DEADLINE_KEY {
@@ -746,6 +852,170 @@ impl Process<RoundMsg> for AggregatorActor {
                 self.pongs[m as usize - 1] = None;
             }
             self.select_participants(ctx);
+            return;
+        }
+        let _ = self.retrier.on_timer(ctx, key);
+    }
+}
+
+/// One aggregation shard of the sharded topology: plays the hub's intake
+/// role (verify proofs, forward to origins, collect submissions) for the
+/// origins it owns, then seals its partial summation-tree root and ships
+/// it to the coordinator.
+struct ShardActor {
+    shard: u32,
+    coord: ActorId,
+    plan: Rc<QueryPlan>,
+    keys: Rc<KeySet>,
+    /// `owned[v]`: whether this shard owns origin `v`.
+    owned: Vec<bool>,
+    owned_count: usize,
+    deadline: Tick,
+    seen_contribs: BTreeSet<(VertexId, u32)>,
+    next_fwd_id: u64,
+    retrier: Retrier<RoundMsg>,
+    submissions: Vec<Option<Ciphertext>>,
+    got_submissions: usize,
+    sealed: bool,
+    rejected: Vec<VertexId>,
+    outcome: Rc<RefCell<AggOutcome>>,
+}
+
+impl ShardActor {
+    fn seal(&mut self, ctx: &mut Ctx<RoundMsg>) {
+        if self.sealed {
+            return;
+        }
+        self.sealed = true;
+        // Owned origins that never submitted contribute the
+        // additive-neutral Enc(0), exactly like the hub; a shard that
+        // owns no origins at all seals a single Enc(0) so the
+        // coordinator's tree stays total over shards.
+        let (n_ring, t_pt) = (self.plan.n_ring, self.plan.t_pt);
+        let mut cts: Result<Vec<Ciphertext>, ExecError> = self
+            .submissions
+            .iter()
+            .zip(&self.owned)
+            .filter(|(_, &o)| o)
+            .map(|(s, _)| match s {
+                Some(ct) => Ok(ct.clone()),
+                None => Ok(Ciphertext::encrypt(
+                    &self.keys.public,
+                    &Plaintext::zero(n_ring, t_pt),
+                    ctx.rng(),
+                )?),
+            })
+            .collect();
+        if let Ok(v) = &cts {
+            if v.is_empty() {
+                cts = Ciphertext::encrypt(&self.keys.public, &Plaintext::zero(n_ring, t_pt), {
+                    ctx.rng()
+                })
+                .map(|ct| vec![ct])
+                .map_err(Into::into);
+            }
+        }
+        let part = match cts.and_then(seal_shard_root) {
+            Ok(p) => p,
+            Err(e) => {
+                self.outcome.borrow_mut().error = Some(e.into());
+                ctx.halt();
+                return;
+            }
+        };
+        ctx.phase_done("seal");
+        let msg = RoundMsg::ShardRootMsg {
+            msg_id: SUBMIT_MSG_ID,
+            shard: self.shard,
+            rejected: std::mem::take(&mut self.rejected),
+            commitment: part.commitment,
+            leaves: part.leaf_count as u32,
+            ct: part.sum,
+        };
+        let coord = self.coord;
+        self.retrier.send(ctx, SUBMIT_MSG_ID, coord, msg);
+    }
+}
+
+impl Process<RoundMsg> for ShardActor {
+    fn on_start(&mut self, ctx: &mut Ctx<RoundMsg>) {
+        ctx.set_timer(self.deadline * 2, SUBMIT_DEADLINE_KEY);
+        if self.owned_count == 0 {
+            self.seal(ctx);
+        }
+    }
+
+    fn on_message(&mut self, ctx: &mut Ctx<RoundMsg>, from: ActorId, msg: RoundMsg) {
+        match msg {
+            RoundMsg::Contrib {
+                msg_id,
+                origin,
+                slot,
+                sc,
+            } => {
+                ctx.send(from, RoundMsg::ContribAck { msg_id });
+                if !self.seen_contribs.insert((origin, slot)) {
+                    return;
+                }
+                // §4.6–§4.7, per shard: verify the well-formedness proof;
+                // discard offenders, substituting the neutral Enc(x^0).
+                let ct = if self.plan.verify_contribution(&sc) {
+                    sc.ct
+                } else {
+                    if !self.rejected.contains(&sc.device) {
+                        self.rejected.push(sc.device);
+                    }
+                    self.plan
+                        .neutral_ct(&self.keys, ctx.rng())
+                        .expect("neutral encryption")
+                };
+                let fwd_id = self.next_fwd_id;
+                self.next_fwd_id += 1;
+                self.retrier.send(
+                    ctx,
+                    fwd_id,
+                    origin as ActorId,
+                    RoundMsg::OriginDeliver {
+                        msg_id: fwd_id,
+                        slot,
+                        ct,
+                    },
+                );
+            }
+            RoundMsg::OriginAck { msg_id } | RoundMsg::ShardRootAck { msg_id } => {
+                self.retrier.ack(msg_id);
+            }
+            RoundMsg::Submission { msg_id, origin, ct } => {
+                ctx.send(from, RoundMsg::SubmissionAck { msg_id });
+                let slot = origin as usize;
+                if !self.owned.get(slot).copied().unwrap_or(false) {
+                    return;
+                }
+                if self.submissions[slot].is_none() {
+                    self.submissions[slot] = Some(ct);
+                    self.got_submissions += 1;
+                    ctx.phase_done("submit");
+                    if self.got_submissions == self.owned_count {
+                        self.seal(ctx);
+                    }
+                }
+            }
+            _ => {}
+        }
+    }
+
+    fn on_restart(&mut self, ctx: &mut Ctx<RoundMsg>) {
+        // The simnet model of the WAL-journaled shard: state survives,
+        // timers and in-flight sends do not.
+        self.retrier.resend_all(ctx);
+        if !self.sealed {
+            ctx.set_timer(self.deadline * 2, SUBMIT_DEADLINE_KEY);
+        }
+    }
+
+    fn on_timer(&mut self, ctx: &mut Ctx<RoundMsg>, key: u64) {
+        if key == SUBMIT_DEADLINE_KEY {
+            self.seal(ctx);
             return;
         }
         let _ = self.retrier.on_timer(ctx, key);
@@ -888,11 +1158,19 @@ pub fn run_query_simulated(
             }
         });
     }
+    let shards = cfg.agg_shards.max(1);
+    // Actor id layout: devices `0..n`, aggregator/coordinator `n`,
+    // committee `n+1..=n+c`, shard actors appended after (`n+c+1 + s`) so
+    // every classic actor keeps its id — and therefore its rng stream —
+    // at any shard count.
+    let shard_base = n + c + 1;
     for (v, work) in works.into_iter().enumerate() {
         let slots = work.requests.len();
         sim.add_actor(Box::new(DeviceActor {
             vertex: v as VertexId,
             agg: n,
+            agg_shards: shards,
+            shard_base,
             plan: Rc::clone(&plan),
             keys: Rc::clone(&keys),
             duties: std::mem::take(&mut duties[v]),
@@ -917,8 +1195,11 @@ pub fn run_query_simulated(
         seen_contribs: BTreeSet::new(),
         next_fwd_id: 0,
         retrier: Retrier::new(cfg.base_timeout, cfg.max_retries),
-        submissions: vec![None; n],
+        submissions: vec![None; if shards > 1 { 0 } else { n }],
         got_submissions: 0,
+        agg_shards: shards,
+        shard_roots: vec![None; if shards > 1 { shards } else { 0 }],
+        got_roots: 0,
         aggregated: false,
         aggregate: None,
         pongs: vec![None; c],
@@ -936,6 +1217,31 @@ pub fn run_query_simulated(
             key_shares: Rc::clone(&key_shares),
             seed: [0u8; 32],
         }));
+    }
+    if shards > 1 {
+        for s in 0..shards {
+            let owned: Vec<bool> = (0..n)
+                .map(|v| shard_of(v as VertexId, shards) == s)
+                .collect();
+            let owned_count = owned.iter().filter(|&&o| o).count();
+            sim.add_actor(Box::new(ShardActor {
+                shard: s as u32,
+                coord: n,
+                plan: Rc::clone(&plan),
+                keys: Rc::clone(&keys),
+                owned,
+                owned_count,
+                deadline: cfg.deadline,
+                seen_contribs: BTreeSet::new(),
+                next_fwd_id: 0,
+                retrier: Retrier::new(cfg.base_timeout, cfg.max_retries),
+                submissions: vec![None; n],
+                got_submissions: 0,
+                sealed: false,
+                rejected: Vec::new(),
+                outcome: Rc::clone(&outcome),
+            }));
+        }
     }
 
     let report = sim.run(cfg.max_ticks);

@@ -14,9 +14,31 @@
 
 use mycelium_bgv::{BgvError, Ciphertext};
 use mycelium_crypto::sha256::{sha256_concat, Digest};
+use mycelium_graph::graph::VertexId;
 use mycelium_math::par;
 
 use crate::exec::ciphertext_digest;
+
+/// Which aggregation shard owns vertex `v` (as origin *and* as the
+/// destination of every contribution addressed to it).
+///
+/// A splitmix64 finalizer rather than `v % shards`: the assignment is a
+/// *hash*, stable under any renumbering-adjacent reasoning and
+/// insensitive to stride patterns in vertex ids, and — being pure
+/// integer arithmetic on `(v, shards)` — identical across processes,
+/// platforms, and `MYC_THREADS` settings. Both aggregation planes (the
+/// simulated round and the real TCP round) route through this one
+/// function, so their shard topologies mirror each other exactly.
+pub fn shard_of(v: VertexId, shards: usize) -> usize {
+    if shards <= 1 {
+        return 0;
+    }
+    let mut x = (v as u64).wrapping_add(0x9E37_79B9_7F4A_7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^= x >> 31;
+    (x % shards as u64) as usize
+}
 
 /// One node of the summation tree.
 #[derive(Debug, Clone)]
@@ -78,6 +100,25 @@ fn node_commitment(ct: &Ciphertext, left: &Digest, right: &Digest) -> Digest {
     sha256_concat(&[b"sum-node", &ciphertext_digest(ct), left, right])
 }
 
+fn graft_commitment(ct: &Ciphertext, partial: &Digest) -> Digest {
+    sha256_concat(&[b"sum-graft", &ciphertext_digest(ct), partial])
+}
+
+/// A shard's sealed partial summation-tree root: what travels from an
+/// aggregation shard to the coordinator. The commitment transitively
+/// binds every leaf the shard summed, so the coordinator's published
+/// global root commits every origin ciphertext without any shard's
+/// interior nodes crossing the wire.
+#[derive(Debug, Clone)]
+pub struct PartialRoot {
+    /// The shard's homomorphic partial sum.
+    pub sum: Ciphertext,
+    /// The shard tree's root commitment.
+    pub commitment: Digest,
+    /// How many leaves the shard summed.
+    pub leaf_count: usize,
+}
+
 impl SummationTree {
     /// Builds the tree over the origins' ciphertexts (all at one level).
     ///
@@ -88,9 +129,8 @@ impl SummationTree {
     /// Panics on an empty input.
     pub fn build(leaves: Vec<Ciphertext>) -> Result<Self, BgvError> {
         assert!(!leaves.is_empty(), "summation tree needs at least one leaf");
-        let leaf_count = leaves.len();
         let leaf_commitments = par::map(&leaves, |_, ct| leaf_commitment(ct));
-        let mut nodes: Vec<SummationNode> = leaves
+        let nodes: Vec<SummationNode> = leaves
             .into_iter()
             .zip(leaf_commitments)
             .map(|(ct, commitment)| SummationNode {
@@ -99,6 +139,45 @@ impl SummationTree {
                 children: None,
             })
             .collect();
+        Self::build_levels(nodes)
+    }
+
+    /// Builds the coordinator's top tree over sealed shard roots. Each
+    /// top-level leaf commitment binds the shard's partial-root
+    /// commitment, so the published global root transitively commits
+    /// every origin ciphertext in every shard. Because homomorphic
+    /// addition is exact coefficient-wise addition mod q — associative
+    /// and commutative — the combined root's ciphertext is bit-identical
+    /// to the root of one tree built over the concatenated leaves, for
+    /// any partition of the leaves into shards.
+    pub fn combine_partials(parts: &[PartialRoot]) -> Result<Self, BgvError> {
+        assert!(!parts.is_empty(), "combine needs at least one partial root");
+        let nodes: Vec<SummationNode> = parts
+            .iter()
+            .map(|p| SummationNode {
+                commitment: graft_commitment(&p.sum, &p.commitment),
+                sum: p.sum.clone(),
+                children: None,
+            })
+            .collect();
+        Self::build_levels(nodes)
+    }
+
+    /// Seals this tree's root for shipment to a coordinator.
+    pub fn seal_root(&self) -> PartialRoot {
+        let root = self.root();
+        PartialRoot {
+            sum: root.sum.clone(),
+            commitment: root.commitment,
+            leaf_count: self.leaf_count,
+        }
+    }
+
+    /// The shared level-building loop: `nodes` are the leaves (with
+    /// their commitments already assigned); interior levels are summed
+    /// and appended until one root remains.
+    fn build_levels(mut nodes: Vec<SummationNode>) -> Result<Self, BgvError> {
+        let leaf_count = nodes.len();
         let mut level: Vec<usize> = (0..nodes.len()).collect();
         // The sums within one tree level are independent: compute each
         // level as one parallel batch, then append in order so node
@@ -341,6 +420,53 @@ mod tests {
             tree.spot_check(interior),
             Err(SummationError::BadCommitment { .. })
         ));
+    }
+
+    #[test]
+    fn combined_partials_root_bit_identical_to_flat_tree() {
+        // Homomorphic addition is exact mod-q addition of RNS residues,
+        // so the root sum must be bit-identical for *any* partition of
+        // the leaves into shards — the invariant the sharded
+        // aggregation plane rests on.
+        let (_, cts, _) = leaves(9);
+        let flat = SummationTree::build(cts.clone()).unwrap();
+        for shards in [1usize, 2, 4, 8] {
+            let mut buckets: Vec<Vec<Ciphertext>> = vec![Vec::new(); shards];
+            for (i, ct) in cts.iter().enumerate() {
+                buckets[i % shards].push(ct.clone());
+            }
+            let parts: Vec<PartialRoot> = buckets
+                .into_iter()
+                .filter(|b| !b.is_empty())
+                .map(|b| SummationTree::build(b).unwrap().seal_root())
+                .collect();
+            let total_leaves: usize = parts.iter().map(|p| p.leaf_count).sum();
+            assert_eq!(total_leaves, 9);
+            let top = SummationTree::combine_partials(&parts).unwrap();
+            assert_eq!(
+                top.root().sum.parts(),
+                flat.root().sum.parts(),
+                "shards={shards}"
+            );
+            // The top tree's interior nodes audit like any other tree.
+            top.spot_check_random(17, 16).unwrap();
+        }
+    }
+
+    #[test]
+    fn tampered_partial_root_breaks_top_commitment() {
+        let (_, cts, _) = leaves(6);
+        let mut parts: Vec<PartialRoot> = cts
+            .chunks(3)
+            .map(|c| SummationTree::build(c.to_vec()).unwrap().seal_root())
+            .collect();
+        let honest = SummationTree::combine_partials(&parts).unwrap();
+        // A shard lies about its partial sum: the grafted leaf
+        // commitment changes, so the global root commitment changes —
+        // devices comparing against the published root catch it.
+        parts[0].sum = parts[1].sum.clone();
+        let forged = SummationTree::combine_partials(&parts).unwrap();
+        assert_ne!(honest.root().commitment, forged.root().commitment);
     }
 
     #[test]

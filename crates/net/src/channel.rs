@@ -45,6 +45,7 @@ use mycelium_math::rng::{Rng, StdRng};
 
 use crate::error::NetError;
 use crate::frame::{header_bytes, read_frame, write_frame, FrameType, HEADER_LEN};
+use crate::lock_recover;
 use crate::metrics::NetMetrics;
 
 /// An endpoint's long-term X25519 identity.
@@ -155,7 +156,7 @@ impl SecureChannel {
         let wire = sealed_frame(&self.send_key, FrameType::Data, seq, payload);
         self.stream.write_frame_bytes(&wire)?;
         self.send_seq += 1;
-        let mut m = self.metrics.lock().unwrap();
+        let mut m = lock_recover(&self.metrics);
         m.frames_sent += 1;
         m.bytes_sent += wire.len() as u64;
         Ok(())
@@ -179,12 +180,12 @@ impl SecureChannel {
         let plain = match open_with_aad(&self.recv_key, header.seq, &aad, &sealed) {
             Ok(p) => p,
             Err(e) => {
-                self.metrics.lock().unwrap().aead_rejects += 1;
+                lock_recover(&self.metrics).aead_rejects += 1;
                 return Err(e.into());
             }
         };
         self.recv_seq += 1;
-        let mut m = self.metrics.lock().unwrap();
+        let mut m = lock_recover(&self.metrics);
         m.frames_recv += 1;
         m.bytes_recv += (HEADER_LEN + sealed.len()) as u64;
         Ok(plain)
@@ -263,7 +264,7 @@ fn finish_channel(
     started: std::time::Instant,
 ) -> SecureChannel {
     {
-        let mut m = metrics.lock().unwrap();
+        let mut m = lock_recover(&metrics);
         m.handshakes += 1;
         m.handshake_micros
             .record(started.elapsed().as_micros() as u64);

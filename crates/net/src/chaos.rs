@@ -239,10 +239,14 @@ pub struct RoleKill {
 pub struct ChaosPlan {
     /// The seed the schedule was derived from (reported, for replay).
     pub seed: u64,
-    /// Aggregator deaths, one armed per incarnation in order.
+    /// Aggregator (hub or coordinator) deaths, one armed per
+    /// incarnation in order.
     pub agg_kills: Vec<AggKill>,
     /// Role `SIGKILL`s at wall-clock offsets.
     pub role_kills: Vec<RoleKill>,
+    /// Aggregation-shard deaths (`(shard, kill)`), armed per shard in
+    /// listed order, one per incarnation. Sharded layout only.
+    pub shard_kills: Vec<(usize, AggKill)>,
 }
 
 impl ChaosPlan {
@@ -268,6 +272,37 @@ impl ChaosPlan {
                 },
             ],
             role_kills: Vec::new(),
+            shard_kills: Vec::new(),
+        }
+    }
+
+    /// The sharded-layout drill from the acceptance criteria: one
+    /// intake shard dies mid-intake (journal replay of its WAL
+    /// partition), and the coordinator dies twice — right after a shard
+    /// root lands (the mid-combine window: the root is journaled, the
+    /// combine may have fired, the shard never saw the ack) and again
+    /// during committee decryption. The round must still end `exact`.
+    pub fn drill_sharded() -> Self {
+        ChaosPlan {
+            seed: 0,
+            agg_kills: vec![
+                AggKill::After {
+                    kind: "ShardRoot".into(),
+                    count: 1,
+                },
+                AggKill::After {
+                    kind: "PushShare".into(),
+                    count: 2,
+                },
+            ],
+            role_kills: Vec::new(),
+            shard_kills: vec![(
+                0,
+                AggKill::After {
+                    kind: "PushContrib".into(),
+                    count: 2,
+                },
+            )],
         }
     }
 
@@ -276,12 +311,19 @@ impl ChaosPlan {
     /// write — plus up to two role `SIGKILL`s.
     pub fn derive(seed: u64, spec: &RoundSpec) -> Self {
         let mut rng = StdRng::seed_from_u64(seed ^ 0xC4A0_55ED);
-        let kinds = [
-            "PushContrib",
-            "SubmitOrigin",
-            "CommitteeCheckIn",
-            "PushShare",
-        ];
+        // The hub handles intake; a coordinator only ever sees shard
+        // roots and committee traffic, so its kill kinds differ (a kill
+        // armed on a kind that never arrives simply never fires).
+        let kinds: &[&str] = if spec.agg_shards > 1 {
+            &["ShardRoot", "CommitteeCheckIn", "PushShare"]
+        } else {
+            &[
+                "PushContrib",
+                "SubmitOrigin",
+                "CommitteeCheckIn",
+                "PushShare",
+            ]
+        };
         let n_agg = rng.gen_range(1..=3u64);
         let mut agg_kills = Vec::new();
         for _ in 0..n_agg {
@@ -315,10 +357,38 @@ impl ChaosPlan {
                 at: Duration::from_millis(rng.gen_range(200..=2000u64)),
             });
         }
+        // Intake-shard kills (sharded layout only; the extra rng draws
+        // happen after everything else, so single-hub schedules are
+        // unchanged for any given seed).
+        let mut shard_kills = Vec::new();
+        if spec.agg_shards > 1 {
+            let intake = ["PushContrib", "SubmitOrigin"];
+            for _ in 0..rng.gen_range(1..=2u64) {
+                let s = rng.gen_range(0..spec.agg_shards as u64) as usize;
+                if rng.gen_bool(0.25) {
+                    shard_kills.push((
+                        s,
+                        AggKill::MidJournal {
+                            count: rng.gen_range(1..=8u64) as u32,
+                        },
+                    ));
+                } else {
+                    let kind = intake[rng.gen_range(0..intake.len() as u64) as usize];
+                    shard_kills.push((
+                        s,
+                        AggKill::After {
+                            kind: kind.into(),
+                            count: rng.gen_range(1..=4u64) as u32,
+                        },
+                    ));
+                }
+            }
+        }
         ChaosPlan {
             seed,
             agg_kills,
             role_kills,
+            shard_kills,
         }
     }
 }
@@ -520,6 +590,56 @@ pub fn run_chaos(
     let addr = read_agg_banner(&mut agg)?;
 
     let addr_arg = addr.to_string();
+
+    // Aggregation shards (sharded layout only): supervised like the
+    // coordinator — each crashed incarnation is respawned with its next
+    // scheduled kill armed, and recovers by replaying its own WAL
+    // partition.
+    struct ShardSup {
+        sup: Supervised,
+        shard: usize,
+        incarnations: u32,
+        planned: Vec<AggKill>,
+    }
+    let shard_args = |shard: usize, kill: Option<&AggKill>| -> Vec<String> {
+        let mut a = with_base(vec![
+            "shard".into(),
+            "--shard".into(),
+            shard.to_string(),
+            "--addr".into(),
+            addr_arg.clone(),
+        ]);
+        if let Some(kill) = kill {
+            a.extend(kill.to_args());
+        }
+        a
+    };
+    let mut shard_sups: Vec<ShardSup> = Vec::new();
+    if spec.agg_shards > 1 {
+        for s in 0..spec.agg_shards {
+            let planned: Vec<AggKill> = plan
+                .shard_kills
+                .iter()
+                .filter(|(sh, _)| *sh == s)
+                .map(|(_, k)| k.clone())
+                .collect();
+            if let Some(kill) = planned.first() {
+                kills.push(format!("shard {s} incarnation 1 armed: {kill}"));
+            }
+            shard_sups.push(ShardSup {
+                sup: Supervised::spawn(
+                    exe,
+                    &format!("shard-{s}"),
+                    shard_args(s, planned.first()),
+                    false,
+                )?,
+                shard: s,
+                incarnations: 1,
+                planned,
+            });
+        }
+    }
+
     let mut children: Vec<Supervised> = Vec::new();
     let mut spawn_child = |name: String, mut head: Vec<String>| -> Result<(), NetError> {
         head.extend(["--addr".to_string(), addr_arg.clone()]);
@@ -549,6 +669,7 @@ pub fn run_chaos(
     enum Exit {
         AggDone,
         AggGaveUp,
+        ShardGaveUp,
         Timeout,
     }
 
@@ -604,6 +725,46 @@ pub fn run_chaos(
             // exit.
             finished = false;
         }
+        // Shard supervision mirrors the coordinator's: a crashed shard
+        // incarnation is respawned with its next scheduled kill armed
+        // and recovers by replaying its own WAL partition. A shard that
+        // exits cleanly stays down — the coordinator already holds its
+        // sealed root.
+        let mut shard_gave_up = false;
+        for ss in shard_sups.iter_mut() {
+            let Some(status) = ss.sup.try_exit()? else {
+                continue;
+            };
+            if status.success() {
+                continue;
+            }
+            let max = ss.planned.len() as u32 + 4;
+            if ss.incarnations >= max {
+                kills.push(format!(
+                    "giving up: shard {} incarnation {} died with {status}",
+                    ss.shard, ss.incarnations
+                ));
+                shard_gave_up = true;
+                break;
+            }
+            let next = ss.planned.get(ss.incarnations as usize);
+            ss.incarnations += 1;
+            kills.push(match next {
+                Some(kill) => format!(
+                    "shard {} incarnation {} respawned after {status}, armed: {kill}",
+                    ss.shard, ss.incarnations
+                ),
+                None => format!(
+                    "shard {} incarnation {} respawned after {status}, clean",
+                    ss.shard, ss.incarnations
+                ),
+            });
+            ss.sup
+                .respawn_with_args(shard_args(ss.shard, next), false)?;
+        }
+        if shard_gave_up {
+            break Exit::ShardGaveUp;
+        }
         // Every other crashed role is respawned through the same
         // mechanism the ordinary driver uses.
         for cp in children.iter_mut() {
@@ -626,12 +787,16 @@ pub fn run_chaos(
     // Drain: give children a grace window to exit on their own, then
     // reap whatever is left so the run never leaks processes.
     let grace = Instant::now() + Duration::from_secs(15);
+    let abandon = matches!(exit, Exit::Timeout | Exit::AggGaveUp | Exit::ShardGaveUp);
     loop {
         let mut alive = false;
         for cp in children.iter_mut() {
             alive |= cp.try_exit()?.is_none();
         }
-        if !alive || Instant::now() >= grace || matches!(exit, Exit::Timeout | Exit::AggGaveUp) {
+        for ss in shard_sups.iter_mut() {
+            alive |= ss.sup.try_exit()?.is_none();
+        }
+        if !alive || Instant::now() >= grace || abandon {
             break;
         }
         std::thread::sleep(Duration::from_millis(50));
@@ -639,11 +804,14 @@ pub fn run_chaos(
     for cp in children.iter_mut() {
         let _ = cp.kill();
     }
+    for ss in shard_sups.iter_mut() {
+        let _ = ss.sup.kill();
+    }
     let _ = agg.kill();
 
     let verdict = match exit {
         Exit::Timeout => ChaosVerdict::Hang,
-        Exit::AggGaveUp => ChaosVerdict::TypedFailure,
+        Exit::AggGaveUp | Exit::ShardGaveUp => ChaosVerdict::TypedFailure,
         Exit::AggDone => judge_outcome(out_dir, &want_exact, &want_released),
     };
     Ok(ChaosOutcome {

@@ -6,13 +6,13 @@
 //!
 //! Round flags (shared by every role so each process derives identical
 //! state): `--seed N --n N --query NAME --devices D --origins O
-//! --proofs 0|1 --contrib-ms MS --poll-ms MS --timeout-ms MS`.
+//! --shards S --proofs 0|1 --contrib-ms MS --poll-ms MS --timeout-ms MS`.
 //!
 //! Role flags: `--out DIR --shard I --member M --addr HOST:PORT`.
 //!
 //! Fault-injection flags: `--crash-after K --crash-origin J` (origin
 //! self-crash, driver watchdog respawn), `--die-after KIND:N` and
-//! `--die-mid-journal N` (aggregator chaos kills), `--seeds a,b,c`
+//! `--die-mid-journal N` (aggregator/shard chaos kills), `--seeds a,b,c`
 //! (chaos seed matrix).
 
 use std::net::SocketAddr;
@@ -20,8 +20,8 @@ use std::path::PathBuf;
 use std::time::Duration;
 
 use crate::round::{
-    run_aggregator, run_committee, run_device, run_driver, run_origin, AggFaults, DriverOpts,
-    RoundSpec,
+    run_aggregator, run_committee, run_device, run_driver, run_origin, run_shard, AggFaults,
+    DriverOpts, RoundSpec,
 };
 
 /// Everything the round binaries parse from the command line.
@@ -30,7 +30,7 @@ pub struct Args {
     pub spec: RoundSpec,
     /// Output directory for artifacts.
     pub out: PathBuf,
-    /// Device/origin shard index.
+    /// Device/origin/aggregation shard index.
     pub shard: usize,
     /// Committee member id (1-based).
     pub member: u64,
@@ -74,6 +74,7 @@ pub fn parse_args(rest: &[String]) -> Result<Args, String> {
             "--query" => args.spec.query = value("--query")?.clone(),
             "--devices" => args.spec.device_shards = parse(value("--devices")?)?,
             "--origins" => args.spec.origin_shards = parse(value("--origins")?)?,
+            "--shards" => args.spec.agg_shards = parse(value("--shards")?)?,
             "--proofs" => args.spec.with_proofs = value("--proofs")? == "1",
             "--contrib-ms" => {
                 args.spec.contrib_deadline = Duration::from_millis(parse(value("--contrib-ms")?)?)
@@ -127,7 +128,7 @@ fn addr_of(args: &Args) -> Result<SocketAddr, String> {
     args.addr.ok_or_else(|| "--addr is required".into())
 }
 
-/// Runs one of the five standard roles. Returns `None` for an unknown
+/// Runs one of the standard roles. Returns `None` for an unknown
 /// role word so the calling binary can layer its own modes on top.
 pub fn dispatch(role: &str, args: &Args) -> Option<Result<(), String>> {
     let result = match role {
@@ -147,6 +148,16 @@ pub fn dispatch(role: &str, args: &Args) -> Option<Result<(), String>> {
                 die_mid_journal: args.die_mid_journal,
             };
             run_aggregator(&args.spec, &args.out, &faults)
+        }
+        "shard" => {
+            let faults = AggFaults {
+                die_after: args.die_after.clone(),
+                die_mid_journal: args.die_mid_journal,
+            };
+            match addr_of(args) {
+                Ok(addr) => run_shard(&args.spec, args.shard, addr, &args.out, &faults),
+                Err(e) => return Some(Err(e)),
+            }
         }
         "device" => match addr_of(args) {
             Ok(addr) => run_device(&args.spec, args.shard, addr, &args.out),

@@ -19,6 +19,7 @@ use mycelium_simnet::BackoffPolicy;
 use crate::channel::{client_handshake, Identity, SecureChannel};
 use crate::error::NetError;
 use crate::frame::HEADER_LEN;
+use crate::lock_recover;
 use crate::metrics::NetMetrics;
 
 /// Client tuning knobs.
@@ -111,7 +112,7 @@ impl Client {
             let result = self.try_once(payload);
             match result {
                 Ok(reply) => {
-                    let mut m = self.metrics.lock().unwrap();
+                    let mut m = lock_recover(&self.metrics);
                     let sealed = SecureChannel::wire_cost(payload.len());
                     m.note_sent(kind, payload.len() as u64, sealed as u64);
                     m.note_recv(
@@ -132,7 +133,7 @@ impl Client {
                     }
                     let wait = self.config.backoff.wait(attempts);
                     attempts += 1;
-                    self.metrics.lock().unwrap().reconnects += 1;
+                    lock_recover(&self.metrics).reconnects += 1;
                     std::thread::sleep(Duration::from_millis(wait));
                 }
                 Err(e) => return Err(e),

@@ -61,6 +61,24 @@ pub enum NetMsg {
     },
     /// Driver → aggregator: is the round finished?
     PullStatus,
+    /// Shard → coordinator: the shard's sealed partial summation-tree
+    /// root over its owned origins, plus the devices it rejected.
+    /// Idempotent: the coordinator keeps the first root per shard.
+    ShardRoot {
+        /// The sending shard's index.
+        shard: u32,
+        /// Devices whose contributions failed proof verification at
+        /// this shard (the coordinator unions them into the outcome).
+        rejected: Vec<u32>,
+        /// The shard's homomorphically combined partial aggregate.
+        root: Box<Ciphertext>,
+    },
+    /// Shard → coordinator: is the round finished? (Cheap poll so a
+    /// shard can linger for late retries and exit when the round ends.)
+    PullShardStatus {
+        /// The asking shard's index.
+        shard: u32,
+    },
 
     /// Generic acknowledgement.
     Ack,
@@ -106,6 +124,8 @@ impl NetMsg {
             NetMsg::CommitteeCheckIn { .. } => "CommitteeCheckIn",
             NetMsg::PushShare { .. } => "PushShare",
             NetMsg::PullStatus => "PullStatus",
+            NetMsg::ShardRoot { .. } => "ShardRoot",
+            NetMsg::PullShardStatus { .. } => "PullShardStatus",
             NetMsg::Ack => "Ack",
             NetMsg::OriginPending { .. } => "OriginPending",
             NetMsg::OriginJob { .. } => "OriginJob",
@@ -150,6 +170,20 @@ impl NetMsg {
                 encode_share(&mut w, share);
             }
             NetMsg::PullStatus => w.put_u8(6),
+            NetMsg::ShardRoot {
+                shard,
+                rejected,
+                root,
+            } => {
+                w.put_u8(7);
+                w.put_u32(*shard);
+                w.put_u32_slice(rejected);
+                encode_ciphertext(&mut w, root);
+            }
+            NetMsg::PullShardStatus { shard } => {
+                w.put_u8(8);
+                w.put_u32(*shard);
+            }
             NetMsg::Ack => w.put_u8(16),
             NetMsg::OriginPending { have, need } => {
                 w.put_u8(17);
@@ -205,6 +239,22 @@ impl NetMsg {
                 share: Box::new(decode_share(&mut r, cc)?),
             },
             6 => NetMsg::PullStatus,
+            7 => {
+                let shard = r.get_u32()?;
+                let rejected = r.get_u32_vec()?;
+                if rejected.len() > MAX_SLOTS {
+                    return Err(NetError::Decode("oversized rejected set".into()));
+                }
+                let root = Box::new(decode_ciphertext(&mut r, cc)?);
+                NetMsg::ShardRoot {
+                    shard,
+                    rejected,
+                    root,
+                }
+            }
+            8 => NetMsg::PullShardStatus {
+                shard: r.get_u32()?,
+            },
             16 => NetMsg::Ack,
             17 => NetMsg::OriginPending {
                 have: r.get_u32()?,
@@ -258,6 +308,7 @@ mod tests {
                 seed: [7u8; 32],
             },
             NetMsg::PullStatus,
+            NetMsg::PullShardStatus { shard: 2 },
             NetMsg::Ack,
             NetMsg::OriginPending { have: 2, need: 5 },
             NetMsg::CommitteeWait,

@@ -104,6 +104,9 @@ pub mod role {
     pub const COMMITTEE_BASE: u32 = 300;
     /// The driver.
     pub const DRIVER: u32 = 400;
+    /// Aggregation shard `s` is `SHARD_BASE + s` (server towards
+    /// devices/origins, client towards the coordinator).
+    pub const SHARD_BASE: u32 = 500;
 }
 
 /// Rng stream bases (`StdRng::seed_from_u64(seed).with_stream(...)`).
@@ -134,6 +137,10 @@ pub struct RoundSpec {
     pub device_shards: usize,
     /// Number of origin processes the origin work shards over.
     pub origin_shards: usize,
+    /// Number of aggregation-plane intake shards. `1` runs the classic
+    /// single-hub aggregator; `>= 2` runs that many `AggShard` servers
+    /// plus a thin coordinator that combines their sealed roots.
+    pub agg_shards: usize,
     /// Whether contributions carry well-formedness proofs.
     pub with_proofs: bool,
     /// How long origins may wait for missing contributions.
@@ -152,6 +159,7 @@ impl Default for RoundSpec {
             query: "Q4".into(),
             device_shards: 8,
             origin_shards: 2,
+            agg_shards: 1,
             with_proofs: false,
             contrib_deadline: Duration::from_secs(30),
             poll_interval: Duration::from_millis(25),
@@ -174,6 +182,8 @@ impl RoundSpec {
             self.device_shards.to_string(),
             "--origins".into(),
             self.origin_shards.to_string(),
+            "--shards".into(),
+            self.agg_shards.to_string(),
             "--proofs".into(),
             (self.with_proofs as u8).to_string(),
             "--contrib-ms".into(),
@@ -199,7 +209,38 @@ impl RoundSpec {
         w.put_u8(self.with_proofs as u8);
         sha256(&w.finish())
     }
+
+    /// Journal binding for aggregation shard `shard`: the round binding
+    /// with the shard id *and* the shard count mixed in, so a journal
+    /// partition can never be replayed into the wrong shard or into a
+    /// run with a different shard layout.
+    pub fn shard_binding_digest(&self, shard: u32) -> Digest {
+        let mut w = Writer::new();
+        w.put_bytes(&self.binding_digest());
+        w.put_str("agg-shard");
+        w.put_u32(shard);
+        w.put_u64(self.agg_shards as u64);
+        sha256(&w.finish())
+    }
+
+    /// Journal binding for the aggregation plane's hub process. At one
+    /// shard this is the classic [`RoundSpec::binding_digest`] (the
+    /// pre-refactor single-hub journal stays byte-compatible); above it
+    /// the coordinator binds the shard count so a single-hub journal
+    /// can never masquerade as a sharded-run coordinator journal.
+    pub fn coordinator_binding_digest(&self) -> Digest {
+        if self.agg_shards <= 1 {
+            return self.binding_digest();
+        }
+        let mut w = Writer::new();
+        w.put_bytes(&self.binding_digest());
+        w.put_str("coordinator");
+        w.put_u64(self.agg_shards as u64);
+        sha256(&w.finish())
+    }
 }
+
+pub use mycelium::summation::shard_of;
 
 /// One outgoing contribution duty of a device vertex.
 #[derive(Debug, Clone)]
@@ -258,8 +299,19 @@ impl RoundSetup {
         for m in 1..=self.committee_size as u32 {
             r.insert(Identity::derive(self.spec.seed, role::COMMITTEE_BASE + m).public);
         }
+        if self.spec.agg_shards > 1 {
+            // Shards are clients of the coordinator.
+            for s in 0..self.spec.agg_shards {
+                r.insert(Identity::derive(self.spec.seed, role::SHARD_BASE + s as u32).public);
+            }
+        }
         r.insert(Identity::derive(self.spec.seed, role::DRIVER).public);
         r
+    }
+
+    /// Aggregation shard `s`'s transport identity.
+    pub fn shard_identity(&self, shard: usize) -> Identity {
+        Identity::derive(self.spec.seed, role::SHARD_BASE + shard as u32)
     }
 }
 
@@ -442,11 +494,45 @@ pub struct AggFaults {
     pub die_mid_journal: Option<u32>,
 }
 
+/// Which role in the aggregation plane an [`AggState`] is playing.
+///
+/// The refactor's pivot: the old single-hub aggregator state is the
+/// *union* of per-origin intake state and committee protocol state, so
+/// instead of two divergent copies, one state machine runs in three
+/// modes that each enable a subset of the message set. `Hub` (the
+/// one-shard layout) enables everything and is bit-identical — digest,
+/// journal, and stderr included — to the pre-refactor aggregator.
+pub enum AggMode {
+    /// Classic single hub: intake + committee protocol in one process.
+    Hub,
+    /// One of `agg_shards` intake shards: verifies ZKPs and builds a
+    /// partial summation tree over the origins it owns
+    /// (`shard_of(v) == shard`); no committee state.
+    Shard {
+        /// This shard's index.
+        shard: u32,
+        /// `owned[v]`: whether origin `v` hashes to this shard.
+        owned: Vec<bool>,
+        /// Number of owned origins (the intake-complete target).
+        owned_count: usize,
+    },
+    /// The thin coordinator: collects sealed shard roots (its
+    /// "submissions" are per-shard partial aggregates, not per-origin
+    /// rows), homomorphically combines them, and drives committee
+    /// selection / threshold decryption exactly like the hub.
+    Coordinator {
+        /// Total shard count (the intake-complete target).
+        shards: u32,
+    },
+}
+
 /// The aggregator's entire protocol state. Crash-durable: every
 /// mutation is journaled before the reply, and [`AggState::recover`]
 /// rebuilds an identical state from the journal.
 pub struct AggState {
     setup: Arc<RoundSetup>,
+    mode: AggMode,
+    who: String,
     started: Instant,
     // Contribution phase: verified per-(origin, slot) ciphertexts.
     contribs: Vec<Vec<Option<Ciphertext>>>,
@@ -466,6 +552,7 @@ pub struct AggState {
     // Result.
     outcome: Option<Result<RoundOutcome, String>>,
     finished_seen: BTreeSet<u64>,
+    finished_shards: BTreeSet<u32>,
     driver_seen: bool,
     rng: StdRng,
     // Durability.
@@ -479,17 +566,70 @@ pub struct AggState {
 }
 
 impl AggState {
-    /// Fresh (empty) state for a round.
+    /// Fresh (empty) state for this round's aggregation-plane hub
+    /// process: the classic single hub at one shard, the coordinator
+    /// above that.
     pub fn new(setup: Arc<RoundSetup>) -> Self {
+        let mode = if setup.spec.agg_shards > 1 {
+            AggMode::Coordinator {
+                shards: setup.spec.agg_shards as u32,
+            }
+        } else {
+            AggMode::Hub
+        };
+        Self::with_mode(setup, mode)
+    }
+
+    /// Fresh (empty) state for aggregation shard `shard`.
+    pub fn new_shard(setup: Arc<RoundSetup>, shard: u32) -> Self {
+        let n = setup.pop.graph.len();
+        let shards = setup.spec.agg_shards;
+        let owned: Vec<bool> = (0..n)
+            .map(|v| shard_of(v as VertexId, shards) == shard as usize)
+            .collect();
+        let owned_count = owned.iter().filter(|&&b| b).count();
+        Self::with_mode(
+            setup,
+            AggMode::Shard {
+                shard,
+                owned,
+                owned_count,
+            },
+        )
+    }
+
+    fn with_mode(setup: Arc<RoundSetup>, mode: AggMode) -> Self {
         let n = setup.pop.graph.len();
         let c = setup.committee_size;
-        let slot_counts: Vec<usize> = setup.works.iter().map(|w| w.requests.len()).collect();
+        // The coordinator's "submissions" are one sealed root per
+        // shard; everyone else collects one row per origin.
+        let (contribs, submissions): (Vec<Vec<Option<Ciphertext>>>, Vec<Option<Ciphertext>>) =
+            match &mode {
+                AggMode::Coordinator { shards } => (Vec::new(), vec![None; *shards as usize]),
+                _ => (
+                    setup
+                        .works
+                        .iter()
+                        .map(|w| vec![None; w.requests.len()])
+                        .collect(),
+                    vec![None; n],
+                ),
+            };
+        let (who, rng_stream) = match &mode {
+            AggMode::Shard { shard, .. } => (
+                format!("agg-shard-{shard}"),
+                stream::AGGREGATOR + 1 + *shard as u64,
+            ),
+            _ => ("aggregator".to_string(), stream::AGGREGATOR),
+        };
         AggState {
+            mode,
+            who,
             started: Instant::now(),
-            contribs: slot_counts.iter().map(|&s| vec![None; s]).collect(),
+            contribs,
             seen: BTreeSet::new(),
             rejected: Vec::new(),
-            submissions: vec![None; n],
+            submissions,
             got_submissions: 0,
             aggregate: None,
             pongs: vec![None; c],
@@ -500,8 +640,9 @@ impl AggState {
             share_deadline: None,
             outcome: None,
             finished_seen: BTreeSet::new(),
+            finished_shards: BTreeSet::new(),
             driver_seen: false,
-            rng: StdRng::seed_from_u64(setup.spec.seed).with_stream(stream::AGGREGATOR),
+            rng: StdRng::seed_from_u64(setup.spec.seed).with_stream(rng_stream),
             journal: None,
             replaying: false,
             dirty: false,
@@ -519,9 +660,24 @@ impl AggState {
     /// replay is a typed [`JournalError::StateDiverged`], never a
     /// silently wrong round.
     pub fn recover(setup: Arc<RoundSetup>, path: &Path) -> Result<Self, NetError> {
-        let binding = setup.spec.binding_digest();
-        let (journal, records) = Journal::open_or_create(path, &binding)?;
-        let mut st = AggState::new(setup);
+        let binding = setup.spec.coordinator_binding_digest();
+        Self::recover_as(AggState::new(setup), &binding, path)
+    }
+
+    /// [`AggState::recover`] for aggregation shard `shard`: same replay
+    /// machinery against the shard's own WAL partition, whose binding
+    /// digest carries the shard id and shard count.
+    pub fn recover_shard(
+        setup: Arc<RoundSetup>,
+        shard: u32,
+        path: &Path,
+    ) -> Result<Self, NetError> {
+        let binding = setup.spec.shard_binding_digest(shard);
+        Self::recover_as(AggState::new_shard(setup, shard), &binding, path)
+    }
+
+    fn recover_as(mut st: AggState, binding: &Digest, path: &Path) -> Result<Self, NetError> {
+        let (journal, records) = Journal::open_or_create(path, binding)?;
         st.replaying = true;
         for (seq, record) in records.iter().enumerate() {
             st.apply_record(record, seq as u64)?;
@@ -535,9 +691,14 @@ impl AggState {
             st.share_deadline = Some(Instant::now() + st.share_wait());
         }
         if !records.is_empty() {
-            eprintln!("aggregator: replayed {} journal records", records.len());
+            eprintln!("{}: replayed {} journal records", st.who, records.len());
         }
         Ok(st)
+    }
+
+    /// This process's log label (`aggregator` or `agg-shard-N`).
+    pub fn who(&self) -> &str {
+        &self.who
     }
 
     /// Installs the chaos fault knobs (see [`AggFaults`]).
@@ -648,8 +809,8 @@ impl AggState {
             j.arm_torn_write(record.len() / 2 + 2);
             let _ = j.append(record);
             eprintln!(
-                "aggregator: chaos kill mid-journal-write (record {})",
-                self.mutating_appends
+                "{}: chaos kill mid-journal-write (record {})",
+                self.who, self.mutating_appends
             );
             std::process::abort();
         }
@@ -754,29 +915,59 @@ impl AggState {
 
     // --- phase transitions ----------------------------------------------
 
-    /// Forms the aggregate: missing origins contribute `Enc(0)`.
+    /// Forms this process's aggregate.
+    ///
+    /// * Hub: sum over every origin row, missing origins contribute
+    ///   `Enc(0)`.
+    /// * Shard: partial summation tree over the *owned* origins only
+    ///   (same `Enc(0)` substitution — homomorphic addition is
+    ///   associative, so the per-shard grouping cannot change the sum).
+    /// * Coordinator: sum of the sealed shard roots; `tick` only fires
+    ///   this once every root arrived, so a missing shard delays the
+    ///   combine rather than silently contributing zero.
     fn do_aggregate(&mut self) {
         if self.aggregate.is_some() {
             return;
         }
         let (n_ring, t_pt) = (self.setup.plan.n_ring, self.setup.plan.t_pt);
-        let cts: Result<Vec<Ciphertext>, _> = self
-            .submissions
-            .iter()
-            .map(|s| match s {
-                Some(ct) => Ok(ct.clone()),
-                None => Ciphertext::encrypt(
-                    &self.setup.keys.public,
-                    &Plaintext::zero(n_ring, t_pt),
-                    &mut self.rng,
-                ),
-            })
-            .collect();
-        match cts
-            .map_err(|e| format!("substitute encryption failed: {e}"))
-            .and_then(|cts| {
-                aggregate_and_audit(cts).map_err(|e| format!("aggregation failed: {e}"))
-            }) {
+        let keys = &self.setup.keys;
+        let rng = &mut self.rng;
+        let mut enc_zero = |s: &Option<Ciphertext>| match s {
+            Some(ct) => Ok(ct.clone()),
+            None => Ciphertext::encrypt(&keys.public, &Plaintext::zero(n_ring, t_pt), rng),
+        };
+        let cts: Result<Vec<Ciphertext>, String> = match &self.mode {
+            AggMode::Hub => self
+                .submissions
+                .iter()
+                .map(&mut enc_zero)
+                .collect::<Result<_, _>>()
+                .map_err(|e| format!("substitute encryption failed: {e}")),
+            AggMode::Shard { owned, .. } => {
+                let mut cts = self
+                    .submissions
+                    .iter()
+                    .zip(owned.iter())
+                    .filter(|(_, &own)| own)
+                    .map(|(s, _)| enc_zero(s))
+                    .collect::<Result<Vec<_>, _>>();
+                // A shard that owns no origins still seals one neutral
+                // Enc(0) so the coordinator's tree stays total over shards.
+                if matches!(&cts, Ok(v) if v.is_empty()) {
+                    cts = enc_zero(&None).map(|ct| vec![ct]);
+                }
+                cts.map_err(|e| format!("substitute encryption failed: {e}"))
+            }
+            AggMode::Coordinator { .. } => self
+                .submissions
+                .iter()
+                .enumerate()
+                .map(|(s, ct)| ct.clone().ok_or(format!("shard {s} root missing")))
+                .collect(),
+        };
+        match cts.and_then(|cts| {
+            aggregate_and_audit(cts).map_err(|e| format!("aggregation failed: {e}"))
+        }) {
             Ok(agg) => self.aggregate = Some(agg),
             Err(e) => self.fail(e),
         }
@@ -853,15 +1044,30 @@ impl AggState {
         if self.replaying || self.outcome.is_some() {
             return Ok(());
         }
-        let n = self.setup.pop.graph.len();
-        // Aggregate once every origin submitted (or the extended
-        // deadline expires — missing origins contribute Enc(0)).
+        // Aggregate once every expected input arrived — origin rows for
+        // the hub / a shard, sealed roots for the coordinator. Hub and
+        // shard also fire on the extended deadline (missing origins
+        // contribute Enc(0)); the coordinator never does: a shard root
+        // is a whole subpopulation, so it waits (bounded by the round
+        // timeout) for the chaos supervisor to respawn the shard.
         let submit_deadline = self.setup.spec.contrib_deadline * 2;
-        if self.aggregate.is_none()
-            && (self.got_submissions == n || self.started.elapsed() >= submit_deadline)
-        {
+        let intake_done = match &self.mode {
+            AggMode::Hub => {
+                self.got_submissions == self.setup.pop.graph.len()
+                    || self.started.elapsed() >= submit_deadline
+            }
+            AggMode::Shard { owned_count, .. } => {
+                self.got_submissions == *owned_count || self.started.elapsed() >= submit_deadline
+            }
+            AggMode::Coordinator { shards } => self.got_submissions == *shards as usize,
+        };
+        if self.aggregate.is_none() && intake_done {
             self.append_mark(rec::AGGREGATE)?;
             self.do_aggregate();
+        }
+        // A shard's round ends at its sealed root: no committee phases.
+        if matches!(self.mode, AggMode::Shard { .. }) {
+            return Ok(());
         }
         // Select participants once the aggregate exists and the whole
         // committee checked in (or the grace period expires).
@@ -900,27 +1106,52 @@ impl AggState {
         Ok(())
     }
 
+    /// Whether this process accepts intake traffic for origin `v`.
+    fn owns_origin(&self, origin: u32) -> bool {
+        match &self.mode {
+            AggMode::Hub => true,
+            AggMode::Shard { owned, .. } => owned.get(origin as usize).copied().unwrap_or(false),
+            AggMode::Coordinator { .. } => false,
+        }
+    }
+
+    /// Whether this process runs the committee protocol (shards don't).
+    fn committee_enabled(&self) -> bool {
+        !matches!(self.mode, AggMode::Shard { .. })
+    }
+
     /// Whether `msg` would mutate protocol state right now — the
     /// journal-before-reply predicate. Liveness bookkeeping
-    /// (`finished_seen`, `driver_seen`) does not count: it is not
-    /// replayed state.
+    /// (`finished_seen`, `finished_shards`, `driver_seen`) does not
+    /// count: it is not replayed state.
     fn mutates(&self, msg: &NetMsg) -> bool {
         let n = self.setup.pop.graph.len() as u32;
         let c = self.setup.committee_size as u64;
         match msg {
             NetMsg::PushContrib { origin, slot, .. } => {
                 *origin < n
+                    && self.owns_origin(*origin)
                     && (*slot as usize) < self.contribs[*origin as usize].len()
                     && !self.seen.contains(&(*origin, *slot))
             }
             NetMsg::SubmitOrigin { origin, .. } => {
-                *origin < n && self.submissions[*origin as usize].is_none()
+                *origin < n
+                    && self.owns_origin(*origin)
+                    && self.submissions[*origin as usize].is_none()
+            }
+            NetMsg::ShardRoot { shard, .. } => {
+                matches!(&self.mode, AggMode::Coordinator { shards } if *shard < *shards)
+                    && self.submissions[*shard as usize].is_none()
             }
             NetMsg::CommitteeCheckIn { member, .. } => {
-                *member >= 1 && *member <= c && self.pongs[*member as usize - 1].is_none()
+                self.committee_enabled()
+                    && *member >= 1
+                    && *member <= c
+                    && self.pongs[*member as usize - 1].is_none()
             }
             NetMsg::PushShare { member, round, .. } => {
-                *member >= 1
+                self.committee_enabled()
+                    && *member >= 1
                     && *member <= c
                     && self.outcome.is_none()
                     && *round == self.share_round
@@ -939,7 +1170,10 @@ impl AggState {
         let c = self.setup.committee_size as u64;
         Ok(match msg {
             NetMsg::PushContrib { origin, slot, sc } => {
-                if origin >= n || slot as usize >= self.contribs[origin as usize].len() {
+                if origin >= n
+                    || !self.owns_origin(origin)
+                    || slot as usize >= self.contribs[origin as usize].len()
+                {
                     return Err(NetError::Decode(format!(
                         "contribution for origin {origin} slot {slot} out of range"
                     )));
@@ -965,7 +1199,7 @@ impl AggState {
                 NetMsg::Ack
             }
             NetMsg::PullOrigin { origin } => {
-                if origin >= n {
+                if origin >= n || !self.owns_origin(origin) {
                     return Err(NetError::Decode(format!("origin {origin} out of range")));
                 }
                 let slots = &self.contribs[origin as usize];
@@ -980,7 +1214,7 @@ impl AggState {
                 }
             }
             NetMsg::SubmitOrigin { origin, ct } => {
-                if origin >= n {
+                if origin >= n || !self.owns_origin(origin) {
                     return Err(NetError::Decode(format!("origin {origin} out of range")));
                 }
                 if self.submissions[origin as usize].is_none() {
@@ -990,7 +1224,7 @@ impl AggState {
                 NetMsg::Ack
             }
             NetMsg::CommitteeCheckIn { member, seed } => {
-                if member < 1 || member > c {
+                if !self.committee_enabled() || member < 1 || member > c {
                     return Err(NetError::Decode(format!("member {member} out of range")));
                 }
                 if self.pongs[member as usize - 1].is_none() {
@@ -1018,7 +1252,7 @@ impl AggState {
                 round,
                 share,
             } => {
-                if member < 1 || member > c {
+                if !self.committee_enabled() || member < 1 || member > c {
                     return Err(NetError::Decode(format!("member {member} out of range")));
                 }
                 if self.outcome.is_none()
@@ -1041,6 +1275,53 @@ impl AggState {
                 if self.outcome.is_some() {
                     if !self.replaying {
                         self.driver_seen = true;
+                    }
+                    NetMsg::Finished
+                } else {
+                    NetMsg::CommitteeWait
+                }
+            }
+            NetMsg::ShardRoot {
+                shard,
+                rejected,
+                root,
+            } => {
+                let AggMode::Coordinator { shards } = &self.mode else {
+                    return Err(NetError::Decode(
+                        "shard root pushed at a non-coordinator".into(),
+                    ));
+                };
+                let shards = *shards;
+                if shard >= shards {
+                    return Err(NetError::Decode(format!("shard {shard} out of range")));
+                }
+                if rejected.iter().any(|&v| v >= n) {
+                    return Err(NetError::Decode(format!(
+                        "shard {shard} rejected a device outside the population"
+                    )));
+                }
+                if self.submissions[shard as usize].is_none() {
+                    self.submissions[shard as usize] = Some(*root);
+                    self.got_submissions += 1;
+                    for v in rejected {
+                        if !self.rejected.contains(&v) {
+                            self.rejected.push(v);
+                        }
+                    }
+                }
+                if self.outcome.is_some() {
+                    if !self.replaying {
+                        self.finished_shards.insert(shard);
+                    }
+                    NetMsg::Finished
+                } else {
+                    NetMsg::Ack
+                }
+            }
+            NetMsg::PullShardStatus { shard } => {
+                if self.outcome.is_some() {
+                    if !self.replaying {
+                        self.finished_shards.insert(shard);
                     }
                     NetMsg::Finished
                 } else {
@@ -1077,6 +1358,31 @@ impl AggState {
     pub fn journal_records(&self) -> u64 {
         self.journal.as_ref().map_or(0, Journal::record_count)
     }
+
+    /// The shard's sealed `ShardRoot` message once the partial tree is
+    /// formed (`None` before that, and always in the other modes).
+    pub fn shard_root_msg(&self) -> Option<NetMsg> {
+        let AggMode::Shard { shard, .. } = &self.mode else {
+            return None;
+        };
+        self.aggregate.as_ref().map(|root| {
+            let mut rejected = self.rejected.clone();
+            rejected.sort_unstable();
+            NetMsg::ShardRoot {
+                shard: *shard,
+                rejected,
+                root: Box::new(root.clone()),
+            }
+        })
+    }
+
+    /// A typed terminal failure, if the round recorded one.
+    pub fn failure(&self) -> Option<String> {
+        match &self.outcome {
+            Some(Err(e)) => Some(e.clone()),
+            _ => None,
+        }
+    }
 }
 
 /// File names the roles and driver agree on inside the `--out` directory.
@@ -1099,6 +1405,17 @@ pub mod files {
     pub fn role_metrics(name: &str) -> String {
         format!("metrics-{name}.bin")
     }
+
+    /// Aggregation shard `s`'s WAL partition.
+    pub fn shard_journal(shard: usize) -> String {
+        format!("journal-shard-{shard}.bin")
+    }
+
+    /// Aggregation shard `s`'s published address (same atomic
+    /// rewrite-on-respawn protocol as [`AGG_ADDR`]).
+    pub fn shard_addr(shard: usize) -> String {
+        format!("shard-{shard}.addr")
+    }
 }
 
 fn write_metrics(out_dir: &Path, name: &str, metrics: &NetMetrics) -> Result<(), NetError> {
@@ -1106,19 +1423,28 @@ fn write_metrics(out_dir: &Path, name: &str, metrics: &NetMetrics) -> Result<(),
     Ok(())
 }
 
-/// Atomically publishes the aggregator's current address (temp file +
-/// rename, so a concurrent reader never sees a partial write).
-fn write_addr_file(out_dir: &Path, addr: SocketAddr) -> Result<(), NetError> {
-    let tmp = out_dir.join(format!("{}.tmp", files::AGG_ADDR));
+/// Atomically publishes a server's current address (temp file + rename,
+/// so a concurrent reader never sees a partial write).
+fn write_named_addr_file(out_dir: &Path, name: &str, addr: SocketAddr) -> Result<(), NetError> {
+    let tmp = out_dir.join(format!("{name}.tmp"));
     std::fs::write(&tmp, addr.to_string())?;
-    std::fs::rename(&tmp, out_dir.join(files::AGG_ADDR))?;
+    std::fs::rename(&tmp, out_dir.join(name))?;
     Ok(())
+}
+
+fn write_addr_file(out_dir: &Path, addr: SocketAddr) -> Result<(), NetError> {
+    write_named_addr_file(out_dir, files::AGG_ADDR, addr)
+}
+
+/// Reads a published server address by file name, if any.
+pub fn read_named_addr_file(out_dir: &Path, name: &str) -> Option<SocketAddr> {
+    let s = std::fs::read_to_string(out_dir.join(name)).ok()?;
+    s.trim().parse().ok()
 }
 
 /// Reads the aggregator's published address, if any.
 pub fn read_addr_file(out_dir: &Path) -> Option<SocketAddr> {
-    let s = std::fs::read_to_string(out_dir.join(files::AGG_ADDR)).ok()?;
-    s.trim().parse().ok()
+    read_named_addr_file(out_dir, files::AGG_ADDR)
 }
 
 /// Runs the aggregator: recovers state from the journal (fresh on the
@@ -1162,7 +1488,11 @@ pub fn run_aggregator(
         },
     );
     let config = ServerConfig {
-        workers: spec.device_shards + spec.origin_shards + setup.committee_size + 3,
+        workers: spec.device_shards
+            + spec.origin_shards
+            + setup.committee_size
+            + spec.agg_shards
+            + 3,
         roster: Some(setup.roster()),
         ..ServerConfig::default()
     };
@@ -1188,10 +1518,16 @@ pub fn run_aggregator(
         }
         if s.outcome.is_some() {
             let since = *outcome_since.get_or_insert_with(Instant::now);
-            // Committee members that died after the outcome formed can
-            // never poll `Finished`; a grace period keeps their absence
-            // from wedging the exit.
-            let all_observed = s.finished_seen.len() == setup.committee_size;
+            // Committee members (and shards) that died after the
+            // outcome formed can never poll `Finished`; a grace period
+            // keeps their absence from wedging the exit.
+            let shards_expected = if spec.agg_shards > 1 {
+                spec.agg_shards
+            } else {
+                0
+            };
+            let all_observed = s.finished_seen.len() == setup.committee_size
+                && s.finished_shards.len() == shards_expected;
             if s.driver_seen && (all_observed || since.elapsed() >= FINISH_GRACE) {
                 break s.outcome.take().expect("checked");
             }
@@ -1215,9 +1551,135 @@ pub fn run_aggregator(
     }
 }
 
-fn round_client(setup: &RoundSetup, role_id: u32, addr: SocketAddr) -> Client {
+/// Runs aggregation shard `shard`: recovers its own WAL partition,
+/// binds a loopback port published via `shard-N.addr` (plus a
+/// `LISTENING` banner for the piped supervisor), serves intake for the
+/// origins it owns, pushes its sealed root to the coordinator at
+/// `addr`, and lingers — acking late client retries — until the
+/// coordinator reports the round finished (or the outcome file appears,
+/// covering a coordinator that exited before this shard's poll).
+pub fn run_shard(
+    spec: &RoundSpec,
+    shard: usize,
+    addr: SocketAddr,
+    out_dir: &Path,
+    faults: &AggFaults,
+) -> Result<(), NetError> {
+    std::fs::create_dir_all(out_dir)?;
+    let setup = Arc::new(build_setup(spec)?);
+    let mut st = AggState::recover_shard(
+        Arc::clone(&setup),
+        shard as u32,
+        &out_dir.join(files::shard_journal(shard)),
+    )?;
+    st.set_faults(faults);
+    let who = st.who().to_string();
+    let state = Arc::new(Mutex::new(st));
+    let handler_state = Arc::clone(&state);
+    let handler_setup = Arc::clone(&setup);
+    let die_after = faults.die_after.clone();
+    let die_count = Arc::new(Mutex::new(0u32));
+    let handler = Arc::new(
+        move |_peer: [u8; 32], request: &[u8]| -> Result<Vec<u8>, NetError> {
+            let msg = NetMsg::decode(request, &handler_setup.cc)?;
+            let kind = msg.kind();
+            let reply = lock_recover(&handler_state).handle(msg, request)?;
+            if let Some((k, n)) = &die_after {
+                if kind == k.as_str() {
+                    let mut count = lock_recover(&die_count);
+                    *count += 1;
+                    if *count == *n {
+                        eprintln!("{who}: chaos kill after {n} {k}");
+                        std::process::abort();
+                    }
+                }
+            }
+            Ok(reply.encode())
+        },
+    );
+    let config = ServerConfig {
+        workers: spec.device_shards + spec.origin_shards + 3,
+        roster: Some(setup.roster()),
+        ..ServerConfig::default()
+    };
+    let server = Server::spawn(
+        "127.0.0.1:0",
+        setup.shard_identity(shard),
+        config,
+        handler,
+        spec.seed ^ (0x5a5a + shard as u64),
+    )?;
+    write_named_addr_file(out_dir, &files::shard_addr(shard), server.local_addr())?;
+    println!("LISTENING {}", server.local_addr());
+    use std::io::Write as _;
+    std::io::stdout().flush()?;
+
+    // Client half towards the coordinator.
+    let mut coord = HubClient::new(&setup, role::SHARD_BASE + shard as u32, addr, out_dir);
+    let started = Instant::now();
+    let mut root_msg: Option<NetMsg> = None;
+    let mut root_acked = false;
+    let result = loop {
+        std::thread::sleep(Duration::from_millis(20));
+        {
+            let mut s = lock_recover(&state);
+            if let Err(e) = s.tick().and_then(|_| s.flush()) {
+                s.fail(format!("journal failure: {e}"));
+            }
+            if let Some(e) = s.failure() {
+                break Err(NetError::Decode(format!("shard {shard} failed: {e}")));
+            }
+            if root_msg.is_none() && !root_acked {
+                root_msg = s.shard_root_msg();
+            }
+        }
+        if let Some(msg) = &root_msg {
+            match coord.poll_once(&setup, msg) {
+                Ok(NetMsg::Ack) => {
+                    root_acked = true;
+                    root_msg = None;
+                }
+                Ok(NetMsg::Finished) => break Ok(()),
+                _ => {}
+            }
+        } else if root_acked {
+            if let Ok(NetMsg::Finished) = coord.poll_once(
+                &setup,
+                &NetMsg::PullShardStatus {
+                    shard: shard as u32,
+                },
+            ) {
+                break Ok(());
+            }
+            // The coordinator may have exited (finish grace elapsed)
+            // before this shard's poll saw Finished; the outcome file
+            // is the durable end-of-round signal.
+            if out_dir.join(files::OUTCOME).exists() {
+                break Ok(());
+            }
+        }
+        if started.elapsed() >= spec.round_timeout {
+            break Err(NetError::Decode(format!(
+                "shard {shard} round did not converge within {:?}",
+                spec.round_timeout
+            )));
+        }
+    };
+    let mut metrics = lock_recover(&server.metrics()).clone();
+    metrics.merge(&coord.metrics());
+    write_metrics(out_dir, &format!("shard-{shard}"), &metrics)?;
+    server.shutdown();
+    result
+}
+
+fn round_client(
+    setup: &RoundSetup,
+    role_id: u32,
+    addr: SocketAddr,
+    server_pub: [u8; 32],
+) -> Client {
     let identity = Identity::derive(setup.spec.seed, role_id);
-    let mut config = ClientConfig::new(identity, Some(setup.aggregator_identity().public));
+    let mut config = ClientConfig::new(identity, Some(server_pub));
     config.read_timeout = Duration::from_secs(20);
     // Short inner budget (~0.75 s of backoff): after an aggregator
     // crash the address changes, so burning the full schedule against
@@ -1254,6 +1716,8 @@ pub(crate) struct HubClient {
     client: Client,
     role_id: u32,
     out_dir: PathBuf,
+    addr_file: String,
+    server_pub: [u8; 32],
     addr: SocketAddr,
     deadline: Instant,
     poll: Duration,
@@ -1264,14 +1728,53 @@ impl HubClient {
         // Prefer the published address: this process may have been
         // (re)spawned after the aggregator already moved ports.
         let addr = read_addr_file(out_dir).unwrap_or(addr);
+        let server_pub = setup.aggregator_identity().public;
         HubClient {
-            client: round_client(setup, role_id, addr),
+            client: round_client(setup, role_id, addr, server_pub),
             role_id,
             out_dir: out_dir.to_path_buf(),
+            addr_file: files::AGG_ADDR.to_string(),
+            server_pub,
             addr,
             deadline: Instant::now() + setup.spec.round_timeout,
             poll: setup.spec.poll_interval.max(Duration::from_millis(50)),
         }
+    }
+
+    /// A client of aggregation shard `shard`. Shards publish their
+    /// address only through the `shard-N.addr` file (they have no
+    /// spawning parent reading a banner), so this waits — bounded by
+    /// the round timeout — for the file to appear.
+    pub(crate) fn new_to_shard(
+        setup: &RoundSetup,
+        role_id: u32,
+        shard: usize,
+        out_dir: &Path,
+    ) -> Result<Self, NetError> {
+        let addr_file = files::shard_addr(shard);
+        let deadline = Instant::now() + setup.spec.round_timeout;
+        let addr = loop {
+            if let Some(addr) = read_named_addr_file(out_dir, &addr_file) {
+                break addr;
+            }
+            if Instant::now() >= deadline {
+                return Err(NetError::Decode(format!(
+                    "shard {shard} never published {addr_file}"
+                )));
+            }
+            std::thread::sleep(Duration::from_millis(20));
+        };
+        let server_pub = setup.shard_identity(shard).public;
+        Ok(HubClient {
+            client: round_client(setup, role_id, addr, server_pub),
+            role_id,
+            out_dir: out_dir.to_path_buf(),
+            addr_file,
+            server_pub,
+            addr,
+            deadline,
+            poll: setup.spec.poll_interval.max(Duration::from_millis(50)),
+        })
     }
 
     /// One request attempt (the inner client's short retry schedule
@@ -1287,10 +1790,10 @@ impl HubClient {
         match request_msg(&mut self.client, &setup.cc, msg) {
             Ok(reply) => Ok(reply),
             Err(e) => {
-                match read_addr_file(&self.out_dir) {
+                match read_named_addr_file(&self.out_dir, &self.addr_file) {
                     Some(new_addr) if new_addr != self.addr => {
                         self.addr = new_addr;
-                        self.client = round_client(setup, self.role_id, new_addr);
+                        self.client = round_client(setup, self.role_id, new_addr, self.server_pub);
                     }
                     _ => self.client.disconnect(),
                 }
@@ -1307,10 +1810,11 @@ impl HubClient {
                     if Instant::now() >= self.deadline {
                         return Err(e);
                     }
-                    if let Some(new_addr) = read_addr_file(&self.out_dir) {
+                    if let Some(new_addr) = read_named_addr_file(&self.out_dir, &self.addr_file) {
                         if new_addr != self.addr {
                             self.addr = new_addr;
-                            self.client = round_client(setup, self.role_id, new_addr);
+                            self.client =
+                                round_client(setup, self.role_id, new_addr, self.server_pub);
                             continue;
                         }
                     }
@@ -1332,8 +1836,51 @@ impl HubClient {
     }
 }
 
+/// Lazily-built per-aggregation-shard clients for one worker process.
+/// At one shard every target resolves to the classic hub client; above
+/// that, entry `s` dials shard `s` via its published address file.
+struct ShardedHub {
+    hubs: std::collections::BTreeMap<usize, HubClient>,
+    role_id: u32,
+    addr: SocketAddr,
+    out_dir: PathBuf,
+}
+
+impl ShardedHub {
+    fn new(role_id: u32, addr: SocketAddr, out_dir: &Path) -> Self {
+        ShardedHub {
+            hubs: std::collections::BTreeMap::new(),
+            role_id,
+            addr,
+            out_dir: out_dir.to_path_buf(),
+        }
+    }
+
+    /// The client for the aggregation shard owning origin `v`.
+    fn for_origin(&mut self, setup: &RoundSetup, v: VertexId) -> Result<&mut HubClient, NetError> {
+        let target = shard_of(v, setup.spec.agg_shards);
+        if let std::collections::btree_map::Entry::Vacant(e) = self.hubs.entry(target) {
+            e.insert(if setup.spec.agg_shards > 1 {
+                HubClient::new_to_shard(setup, self.role_id, target, &self.out_dir)?
+            } else {
+                HubClient::new(setup, self.role_id, self.addr, &self.out_dir)
+            });
+        }
+        Ok(self.hubs.get_mut(&target).expect("just inserted"))
+    }
+
+    fn metrics(&self) -> NetMetrics {
+        let mut merged = NetMetrics::default();
+        for hub in self.hubs.values() {
+            merged.merge(&hub.metrics());
+        }
+        merged
+    }
+}
+
 /// Runs one device process: encrypts and pushes the contribution duties
-/// of every vertex in its shard, then exits.
+/// of every vertex in its shard (each duty to the aggregation shard
+/// owning its destination origin), then exits.
 pub fn run_device(
     spec: &RoundSpec,
     shard: usize,
@@ -1341,7 +1888,7 @@ pub fn run_device(
     out_dir: &Path,
 ) -> Result<(), NetError> {
     let setup = build_setup(spec)?;
-    let mut hub = HubClient::new(&setup, role::DEVICE_BASE + shard as u32, addr, out_dir);
+    let mut hubs = ShardedHub::new(role::DEVICE_BASE + shard as u32, addr, out_dir);
     for v in 0..setup.pop.graph.len() {
         if v % spec.device_shards != shard {
             continue;
@@ -1359,10 +1906,11 @@ pub fn run_device(
                 slot: duty.slot,
                 sc: Box::new(sc),
             };
+            let hub = hubs.for_origin(&setup, duty.origin)?;
             expect_ack(&hub.request_msg(&setup, &msg)?)?;
         }
     }
-    write_metrics(out_dir, &format!("device-{shard}"), &hub.metrics())?;
+    write_metrics(out_dir, &format!("device-{shard}"), &hubs.metrics())?;
     Ok(())
 }
 
@@ -1381,7 +1929,7 @@ pub fn run_origin(
     crash_after: Option<usize>,
 ) -> Result<(), NetError> {
     let setup = build_setup(spec)?;
-    let mut hub = HubClient::new(&setup, role::ORIGIN_BASE + shard as u32, addr, out_dir);
+    let mut hubs = ShardedHub::new(role::ORIGIN_BASE + shard as u32, addr, out_dir);
     let mut submitted = 0usize;
     for v in 0..setup.pop.graph.len() {
         if v % spec.origin_shards != shard {
@@ -1390,6 +1938,7 @@ pub fn run_origin(
         if crash_after == Some(submitted) {
             std::process::exit(17);
         }
+        let hub = hubs.for_origin(&setup, v as VertexId)?;
         let slots = loop {
             match hub.request_msg(&setup, &NetMsg::PullOrigin { origin: v as u32 })? {
                 NetMsg::OriginJob { cts } => break cts,
@@ -1425,7 +1974,7 @@ pub fn run_origin(
         expect_ack(&hub.request_msg(&setup, &msg)?)?;
         submitted += 1;
     }
-    write_metrics(out_dir, &format!("origin-{shard}"), &hub.metrics())?;
+    write_metrics(out_dir, &format!("origin-{shard}"), &hubs.metrics())?;
     Ok(())
 }
 
@@ -1560,6 +2109,21 @@ pub fn run_driver(
 
     let addr_arg = addr.to_string();
     let mut children: Vec<Supervised> = Vec::new();
+    // Aggregation shards next (sharded layout only): they publish their
+    // own addresses via `shard-N.addr` files, which device and origin
+    // clients wait on, so everyone can start concurrently.
+    if spec.agg_shards > 1 {
+        for s in 0..spec.agg_shards {
+            let args = with_base(vec![
+                "shard".into(),
+                "--shard".into(),
+                s.to_string(),
+                "--addr".into(),
+                addr_arg.clone(),
+            ]);
+            children.push(Supervised::spawn(exe, &format!("shard-{s}"), args, false)?);
+        }
+    }
     for i in 0..spec.device_shards {
         let args = with_base(vec![
             "device".into(),

@@ -21,6 +21,7 @@ use mycelium_math::rng::{SeedableRng, StdRng};
 
 use crate::channel::{server_handshake, Identity};
 use crate::error::NetError;
+use crate::lock_recover;
 use crate::metrics::NetMetrics;
 
 /// A request handler: sealed request payload in, sealed reply payload out.
@@ -179,7 +180,7 @@ fn worker_loop(
 ) {
     loop {
         let stream = {
-            let guard = rx.lock().unwrap();
+            let guard = lock_recover(rx);
             match guard.recv_timeout(Duration::from_millis(100)) {
                 Ok(s) => Some(s),
                 Err(std::sync::mpsc::RecvTimeoutError::Timeout) => None,

@@ -93,6 +93,14 @@ impl Writer {
         }
     }
 
+    /// Appends a `u32` count followed by the raw little-endian words.
+    pub fn put_u32_slice(&mut self, v: &[u32]) {
+        self.put_u32(v.len() as u32);
+        for &x in v {
+            self.put_u32(x);
+        }
+    }
+
     /// Appends a UTF-8 string with a `u32` length prefix.
     pub fn put_str(&mut self, s: &str) {
         self.put_vec(s.as_bytes());
@@ -198,6 +206,19 @@ impl<'a> Reader<'a> {
         let mut out = Vec::with_capacity(n);
         for _ in 0..n {
             out.push(self.get_u64()?);
+        }
+        Ok(out)
+    }
+
+    /// Reads a `u32`-count-prefixed `u32` slice.
+    pub fn get_u32_vec(&mut self) -> Result<Vec<u32>, NetError> {
+        let n = self.get_u32()? as usize;
+        if n.checked_mul(4).is_none_or(|b| b > self.remaining()) {
+            return Err(short("u32 slice"));
+        }
+        let mut out = Vec::with_capacity(n);
+        for _ in 0..n {
+            out.push(self.get_u32()?);
         }
         Ok(out)
     }

@@ -15,7 +15,10 @@
 //! `drill` runs the fixed three-phase acceptance drill: the aggregator
 //! dies once during contribution intake, once during origin summation,
 //! and once during committee decryption, and the round must still
-//! produce the bit-identical released histogram.
+//! produce the bit-identical released histogram. With `--shards N`
+//! (N > 1) the drill switches to the sharded layout: one intake shard
+//! dies mid-intake and the coordinator dies mid-combine and again
+//! during decryption.
 //!
 //! Any other role word (`aggregator`, `device`, …) dispatches through
 //! the shared CLI layer — the supervisor re-execs this same binary for
@@ -42,7 +45,11 @@ fn run_matrix(args: &Args, drill: bool) -> Result<(), String> {
         let mut spec = args.spec.clone();
         spec.seed = seed;
         let plan = if drill {
-            let mut p = ChaosPlan::drill();
+            let mut p = if spec.agg_shards > 1 {
+                ChaosPlan::drill_sharded()
+            } else {
+                ChaosPlan::drill()
+            };
             p.seed = seed;
             p
         } else {
@@ -50,9 +57,10 @@ fn run_matrix(args: &Args, drill: bool) -> Result<(), String> {
         };
         let dir = args.out.join(format!("seed-{seed}"));
         eprintln!(
-            "chaos_round: seed {seed}: {} aggregator kill(s), {} role kill(s)",
+            "chaos_round: seed {seed}: {} aggregator kill(s), {} role kill(s), {} shard kill(s)",
             plan.agg_kills.len(),
-            plan.role_kills.len()
+            plan.role_kills.len(),
+            plan.shard_kills.len()
         );
         let outcome = run_chaos(&exe, &spec, &dir, &plan).map_err(|e| e.to_string())?;
         eprintln!(

@@ -20,6 +20,84 @@ fn out_dir(tag: &str) -> PathBuf {
 }
 
 #[test]
+fn sharded_drill_survives_shard_and_coordinator_kills() {
+    // The sharded-layout acceptance drill (DESIGN.md "Sharded
+    // aggregation"): intake shard 0 dies mid-intake and must recover by
+    // replaying its own WAL partition; the coordinator dies right after
+    // the first sealed shard root lands (the mid-combine window) and
+    // again during committee decryption. The verdict must still be
+    // `exact` — never a hang, never a different histogram.
+    let spec = RoundSpec {
+        seed: 7,
+        n: 24,
+        query: "Q4".into(),
+        device_shards: 8,
+        origin_shards: 2,
+        agg_shards: 4,
+        ..RoundSpec::default()
+    };
+    let dir = out_dir("sharded-drill");
+    let out = Command::new(env!("CARGO_BIN_EXE_chaos_round"))
+        .arg("drill")
+        .args(spec.to_args())
+        .args(["--out", dir.to_str().unwrap()])
+        .env("MYC_THREADS", "1")
+        .output()
+        .expect("chaos_round spawns");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        out.status.success(),
+        "sharded drill must end exact, not {}:\n{stderr}",
+        out.status
+    );
+
+    // The supervisor armed the sharded schedule...
+    assert!(
+        stderr.contains("2 aggregator kill(s), 0 role kill(s), 1 shard kill(s)"),
+        "sharded kill schedule not selected:\n{stderr}"
+    );
+    // ...and each scheduled kill actually fired in its process.
+    for kill in [
+        "chaos kill after 2 PushContrib", // intake shard 0, mid-intake
+        "chaos kill after 1 ShardRoot",   // coordinator, mid-combine
+        "chaos kill after 2 PushShare",   // coordinator, decryption
+    ] {
+        assert!(stderr.contains(kill), "missing {kill:?} in:\n{stderr}");
+    }
+    // Every successor incarnation recovered by journal replay (the shard
+    // from its own WAL partition, the coordinator from its root log).
+    assert!(
+        stderr.contains("replayed") && stderr.contains("journal records"),
+        "no journal replay reported:\n{stderr}"
+    );
+
+    let report = std::fs::read_to_string(dir.join(files::CHAOS_JSON)).expect("report written");
+    assert!(report.contains("\"verdict\": \"exact\""), "{report}");
+    assert!(report.contains("\"invariant_violations\": 0"), "{report}");
+    // The kill log names both planes.
+    assert!(
+        report.contains("incarnation 1 armed: abort after 1 ShardRoot"),
+        "{report}"
+    );
+    assert!(
+        report.contains("shard 0 incarnation 1 armed: abort after 2 PushContrib"),
+        "{report}"
+    );
+    // Two coordinator kills need at least three incarnations.
+    let incarnations: u32 = report
+        .split("\"agg_incarnations\": ")
+        .nth(1)
+        .and_then(|s| s.split(|c: char| !c.is_ascii_digit()).next())
+        .and_then(|s| s.parse().ok())
+        .expect("agg_incarnations in report");
+    assert!(
+        incarnations >= 3,
+        "2 coordinator kills need at least 3 incarnations, got {incarnations}"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
 fn drill_survives_aggregator_kills_in_all_three_phases() {
     let spec = RoundSpec {
         seed: 7,

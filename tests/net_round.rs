@@ -154,6 +154,97 @@ fn full_round_matches_in_process_executor_and_wire_costs_reconcile() {
 }
 
 #[test]
+fn sharded_round_matches_oracle_and_root_handoff_reconciles_to_the_byte() {
+    // Four WAL-partitioned intake shards + thin coordinator (DESIGN.md
+    // "Sharded aggregation"): the decoded histogram must be bit-identical
+    // to the plaintext oracle, and the ShardRoot handoff must reconcile
+    // against `costs::shard_root_payload_bytes` exactly — the measured
+    // delta is the sealed-frame envelope alone.
+    use mycelium::costs::{shard_root_payload_bytes, submission_level};
+
+    let spec = RoundSpec {
+        agg_shards: 4,
+        ..test_spec()
+    };
+    let dir = out_dir("sharded");
+    let out = run_driver(&spec, &dir, &[]);
+    assert!(
+        out.status.success(),
+        "driver failed:\n{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stderr = String::from_utf8_lossy(&out.stderr);
+
+    let outcome = decode_outcome(&std::fs::read(dir.join(files::OUTCOME)).unwrap())
+        .unwrap()
+        .unwrap_or_else(|e| panic!("round failed: {e}"));
+    let params = SystemParams::simulation();
+    let pop = build_population(&spec);
+    let query = paper_query(&spec.query).unwrap();
+    let analysis = analyze(&query, &params.schema).unwrap();
+    let oracle = evaluate(&query, &analysis, &params.schema, &pop);
+    assert_eq!(outcome.exact.groups.len(), oracle.groups.len());
+    for (a, b) in outcome.exact.groups.iter().zip(&oracle.groups) {
+        assert_eq!(
+            a.histogram, b.histogram,
+            "sharded round diverged from the plaintext oracle in group {}",
+            a.label
+        );
+    }
+    assert!(outcome.rejected.is_empty());
+
+    // --- ShardRoot wire reconciliation, byte for byte. ---
+    let merged =
+        NetMetrics::decode(&std::fs::read(dir.join(files::METRICS_MERGED)).unwrap()).unwrap();
+    let setup = build_setup(&spec).unwrap();
+    let shards = spec.agg_shards as u64;
+
+    // Each shard seals its owned origins' submissions at their minimum
+    // level — predicted analytically per shard from the combine recipe.
+    let fresh = params.bgv.levels;
+    let root_level = |shard: usize| -> usize {
+        (0..setup.pop.graph.len() as u32)
+            .filter(|&v| mycelium_net::round::shard_of(v, spec.agg_shards) == shard)
+            .map(|v| submission_level(&setup.plan, &setup.works[v as usize], fresh))
+            .min()
+            .expect("every shard owns at least one origin at n = 24")
+    };
+    let predicted: u64 = (0..spec.agg_shards)
+        .map(|s| {
+            let ct_encoded = ciphertext_encoded_bytes(2, root_level(s), params.bgv.n);
+            shard_root_payload_bytes(ct_encoded, 0) as u64
+        })
+        .sum();
+
+    let sr = &merged.sent["ShardRoot"];
+    assert_eq!(sr.frames, shards, "one sealed root per shard");
+    assert_eq!(
+        sr.payload_bytes, predicted,
+        "ShardRoot payload must match costs::shard_root_payload_bytes exactly"
+    );
+    assert_eq!(
+        sr.wire_bytes,
+        predicted + shards * FRAME_OVERHEAD as u64,
+        "measured wire delta over the model is the frame envelope alone"
+    );
+
+    // Every shard process journaled its own WAL partition, and its
+    // published address file proves it bound an ephemeral port.
+    for s in 0..spec.agg_shards {
+        assert!(
+            dir.join(files::shard_journal(s)).exists(),
+            "shard {s} left no journal partition"
+        );
+        assert!(
+            dir.join(files::shard_addr(s)).exists(),
+            "shard {s} never published its address"
+        );
+    }
+    drop(stderr);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
 fn crashed_origin_is_respawned_and_round_still_exact() {
     let spec = test_spec();
     let dir = out_dir("crash");

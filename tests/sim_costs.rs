@@ -78,6 +78,48 @@ fn figure7_model_matches_metered_simulation() {
 }
 
 #[test]
+fn shard_root_sim_mirror_matches_the_actual_meter() {
+    // simcost::shard_root_sim_bytes is the analytic mirror of the
+    // simround meter; the two must agree byte-for-byte so the sharded
+    // round tests can reconcile metered shard traffic against it.
+    use mycelium::simcost::shard_root_sim_bytes;
+    use mycelium::simround::RoundMsg;
+    use mycelium_bgv::{Ciphertext, KeySet, Plaintext};
+    use mycelium_math::rng::{SeedableRng, StdRng};
+    use mycelium_simnet::Payload;
+
+    let params = SystemParams::simulation();
+    let mut rng = StdRng::seed_from_u64(7);
+    let keys = KeySet::generate(&params.bgv, &mut rng);
+    let pt = Plaintext::zero(params.bgv.n, params.bgv.plaintext_modulus);
+    let ct = Ciphertext::encrypt(&keys.public, &pt, &mut rng).unwrap();
+    let ct_bytes: usize = ct
+        .parts()
+        .iter()
+        .map(|p| p.residues().iter().map(|r| r.len() * 8).sum::<usize>())
+        .sum();
+
+    for rejected in [vec![], vec![3u32], vec![1, 2, 9]] {
+        let msg = RoundMsg::ShardRootMsg {
+            msg_id: 1,
+            shard: 2,
+            rejected: rejected.clone(),
+            commitment: [0u8; 32],
+            leaves: 5,
+            ct: ct.clone(),
+        };
+        assert_eq!(
+            msg.wire_bytes(),
+            shard_root_sim_bytes(ct_bytes, rejected.len()),
+            "mirror drifted at {} rejected ids",
+            rejected.len()
+        );
+        let ack = RoundMsg::ShardRootAck { msg_id: 1 };
+        assert_eq!(ack.wire_bytes(), 16, "acks are header-only");
+    }
+}
+
+#[test]
 fn headline_bytes_at_paper_parameters() {
     // The metered run reproduces §6.4's headline numbers: ≈170 MB for a
     // non-forwarder, ≈1030 MB for a forwarder (1030 counts the batch
