@@ -1,0 +1,447 @@
+//! The serializable `RoundCertificate` and its binding digests.
+
+use mycelium_crypto::sha256::{sha256_concat, Digest};
+use mycelium_crypto::{eddsa, sha256};
+
+use crate::commit::SegmentSummary;
+use crate::wire::{CertError, Reader, Writer};
+
+/// Leading magic of a serialized certificate.
+pub const CERT_MAGIC: &[u8; 8] = b"MYCCERT1";
+/// Current format version.
+pub const CERT_VERSION: u32 = 1;
+
+const SPEC_TAG: &[u8] = b"myc-cert-spec";
+const TRANSCRIPT_TAG: &[u8] = b"myc-cert-transcript";
+const KEY_TAG: &[u8] = b"myc-cert-key";
+const NOISE_TAG: &[u8] = b"myc-noise-commit";
+
+const MAX_QUERY: u64 = 1 << 16;
+const MAX_COMMITTEE: u64 = 1 << 16;
+const MAX_ORIGINS: u64 = 1 << 24;
+const MAX_SEGMENTS: u64 = 64;
+const MAX_GROUPS: u64 = 1 << 12;
+const MAX_HIST: u64 = 1 << 20;
+
+/// The round parameters a certificate is bound to.
+///
+/// Deliberately excludes the physical shard count: the commitment plane is
+/// canonical, so rounds that differ only in intake partitioning produce the
+/// same certificate.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CertSpec {
+    /// Round seed; everything deterministic hangs off it.
+    pub seed: u64,
+    /// Number of devices (= origins) in the round.
+    pub devices: u32,
+    /// Query name, e.g. `Q4`.
+    pub query: String,
+    /// Whether contributions carried ZK proofs.
+    pub with_proofs: bool,
+}
+
+impl CertSpec {
+    /// The spec binding digest.
+    pub fn digest(&self) -> Digest {
+        sha256_concat(&[
+            SPEC_TAG,
+            &self.seed.to_le_bytes(),
+            &self.devices.to_le_bytes(),
+            &(self.query.len() as u32).to_le_bytes(),
+            self.query.as_bytes(),
+            &[self.with_proofs as u8],
+        ])
+    }
+}
+
+/// One decoded-and-released histogram group.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ReleasedGroup {
+    /// Group label from the query plan.
+    pub label: String,
+    /// Noised counts.
+    pub histogram: Vec<i64>,
+}
+
+/// A committee signature over the transcript digest.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CommitteeSig {
+    /// Committee member index (1-based).
+    pub member: u64,
+    /// Ed25519 signature over the transcript digest.
+    pub sig: [u8; 64],
+}
+
+/// A self-contained, offline-checkable record of one query round.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RoundCertificate {
+    /// Round parameters.
+    pub spec: CertSpec,
+    /// `spec.digest()`, stored explicitly so tampering either field is
+    /// detectable independently.
+    pub spec_digest: Digest,
+    /// Committee size `c`.
+    pub committee: u32,
+    /// Decryption threshold `t`; validity needs at least `t + 1` signatures.
+    pub threshold: u32,
+    /// Committee (re)selection round that produced the decryption.
+    pub share_round: u32,
+    /// The `t + 1` members whose shares decrypted the aggregate.
+    pub participants: Vec<u32>,
+    /// Per-origin commitment leaves, in origin order.
+    pub leaves: Vec<Digest>,
+    /// Canonical segment summaries (see [`crate::commit`]).
+    pub segments: Vec<SegmentSummary>,
+    /// Merkle root over the segment roots.
+    pub contrib_root: Digest,
+    /// Devices whose contributions failed the ZKP audit, ascending.
+    pub rejected: Vec<u32>,
+    /// Digest of the sealed encrypted aggregate.
+    pub aggregate_digest: Digest,
+    /// Commitment to the joint DP-noise seed (opaque; see module docs).
+    pub noise_commitment: Digest,
+    /// The released noisy histograms.
+    pub released: Vec<ReleasedGroup>,
+    /// The transcript digest the committee signed.
+    pub transcript: Digest,
+    /// Committee signatures, ascending by member.
+    pub signatures: Vec<CommitteeSig>,
+}
+
+/// Byte spans of each certificate section, for tamper-matrix tests.
+#[derive(Debug, Clone)]
+pub struct CertLayout {
+    /// `(section name, byte range)` pairs in encoding order.
+    pub sections: Vec<(&'static str, std::ops::Range<usize>)>,
+}
+
+impl RoundCertificate {
+    /// Encodes the certificate body up to (excluding) the transcript field.
+    ///
+    /// This is the exact byte string the transcript digest commits to, so
+    /// any flipped body byte that still decodes will fail the binding check.
+    fn encode_core(&self) -> Vec<u8> {
+        let (bytes, layout) = self.encode_with_layout();
+        let end = layout
+            .sections
+            .iter()
+            .find(|(name, _)| *name == "transcript")
+            .expect("layout has a transcript section")
+            .1
+            .start;
+        bytes[..end].to_vec()
+    }
+
+    /// The transcript digest over the certificate body.
+    pub fn compute_transcript(&self) -> Digest {
+        sha256_concat(&[TRANSCRIPT_TAG, &self.encode_core()])
+    }
+
+    /// Serializes the certificate.
+    pub fn encode(&self) -> Vec<u8> {
+        self.encode_with_layout().0
+    }
+
+    /// Serializes the certificate and reports each section's byte span.
+    pub fn encode_with_layout(&self) -> (Vec<u8>, CertLayout) {
+        let mut w = Writer::new();
+        let mut sections = Vec::new();
+        let mut mark = 0usize;
+        let section = |w: &Writer, name: &'static str, sections: &mut Vec<_>, mark: &mut usize| {
+            sections.push((name, *mark..w.len()));
+            *mark = w.len();
+        };
+
+        w.bytes(CERT_MAGIC);
+        section(&w, "magic", &mut sections, &mut mark);
+        w.u32(CERT_VERSION);
+        section(&w, "version", &mut sections, &mut mark);
+
+        w.u64(self.spec.seed);
+        w.u32(self.spec.devices);
+        w.str(&self.spec.query);
+        w.u8(self.spec.with_proofs as u8);
+        section(&w, "spec", &mut sections, &mut mark);
+
+        w.bytes(&self.spec_digest);
+        section(&w, "spec_digest", &mut sections, &mut mark);
+
+        w.u32(self.committee);
+        w.u32(self.threshold);
+        w.u32(self.share_round);
+        w.u32(self.participants.len() as u32);
+        for &p in &self.participants {
+            w.u32(p);
+        }
+        section(&w, "committee_meta", &mut sections, &mut mark);
+
+        w.u32(self.leaves.len() as u32);
+        for leaf in &self.leaves {
+            w.bytes(leaf);
+        }
+        section(&w, "leaves", &mut sections, &mut mark);
+
+        w.u32(self.segments.len() as u32);
+        for s in &self.segments {
+            w.bytes(&s.root);
+            w.u32(s.origins);
+            w.u32(s.accepted);
+            w.u32(s.rejected);
+        }
+        section(&w, "segments", &mut sections, &mut mark);
+
+        w.bytes(&self.contrib_root);
+        section(&w, "contrib_root", &mut sections, &mut mark);
+
+        w.u32(self.rejected.len() as u32);
+        for &d in &self.rejected {
+            w.u32(d);
+        }
+        section(&w, "rejected", &mut sections, &mut mark);
+
+        w.bytes(&self.aggregate_digest);
+        section(&w, "aggregate_digest", &mut sections, &mut mark);
+        w.bytes(&self.noise_commitment);
+        section(&w, "noise_commitment", &mut sections, &mut mark);
+
+        w.u32(self.released.len() as u32);
+        for g in &self.released {
+            w.str(&g.label);
+            w.u32(g.histogram.len() as u32);
+            for &v in &g.histogram {
+                w.i64(v);
+            }
+        }
+        section(&w, "released", &mut sections, &mut mark);
+
+        w.bytes(&self.transcript);
+        section(&w, "transcript", &mut sections, &mut mark);
+
+        w.u32(self.signatures.len() as u32);
+        for s in &self.signatures {
+            w.u64(s.member);
+            w.bytes(&s.sig);
+        }
+        section(&w, "signatures", &mut sections, &mut mark);
+
+        (w.finish(), CertLayout { sections })
+    }
+
+    /// Deserializes a certificate; every failure is a typed [`CertError`].
+    pub fn decode(bytes: &[u8]) -> Result<Self, CertError> {
+        let mut r = Reader::new(bytes);
+        let magic = r.u64("magic")?;
+        if magic.to_le_bytes() != *CERT_MAGIC {
+            return Err(CertError::BadMagic);
+        }
+        let version = r.u32("version")?;
+        if version != CERT_VERSION {
+            return Err(CertError::BadVersion(version));
+        }
+
+        let seed = r.u64("seed")?;
+        let devices = r.u32("devices")?;
+        let query = r.str("query", MAX_QUERY)?;
+        let with_proofs = match r.u8("with_proofs")? {
+            0 => false,
+            1 => true,
+            // Any other byte would re-encode as 0/1 and sail past the
+            // transcript binding — reject it at the decode layer.
+            _ => {
+                return Err(CertError::NonCanonical {
+                    field: "with_proofs",
+                })
+            }
+        };
+        let spec = CertSpec {
+            seed,
+            devices,
+            query,
+            with_proofs,
+        };
+        let spec_digest = r.digest("spec_digest")?;
+
+        let committee = r.u32("committee")?;
+        let threshold = r.u32("threshold")?;
+        let share_round = r.u32("share_round")?;
+        let n_part = r.count("participants", MAX_COMMITTEE)?;
+        let mut participants = Vec::with_capacity(n_part);
+        for _ in 0..n_part {
+            participants.push(r.u32("participant")?);
+        }
+
+        let n_leaves = r.count("leaves", MAX_ORIGINS)?;
+        let mut leaves = Vec::with_capacity(n_leaves);
+        for _ in 0..n_leaves {
+            leaves.push(r.digest("leaf")?);
+        }
+
+        let n_segs = r.count("segments", MAX_SEGMENTS)?;
+        let mut segments = Vec::with_capacity(n_segs);
+        for _ in 0..n_segs {
+            let root = r.digest("segment root")?;
+            let origins = r.u32("segment origins")?;
+            let accepted = r.u32("segment accepted")?;
+            let rejected = r.u32("segment rejected")?;
+            segments.push(SegmentSummary {
+                root,
+                origins,
+                accepted,
+                rejected,
+            });
+        }
+
+        let contrib_root = r.digest("contrib_root")?;
+
+        let n_rej = r.count("rejected", MAX_ORIGINS)?;
+        let mut rejected = Vec::with_capacity(n_rej);
+        for _ in 0..n_rej {
+            rejected.push(r.u32("rejected device")?);
+        }
+
+        let aggregate_digest = r.digest("aggregate_digest")?;
+        let noise_commitment = r.digest("noise_commitment")?;
+
+        let n_groups = r.count("released", MAX_GROUPS)?;
+        let mut released = Vec::with_capacity(n_groups);
+        for _ in 0..n_groups {
+            let label = r.str("group label", MAX_QUERY)?;
+            let n_hist = r.count("histogram", MAX_HIST)?;
+            let mut histogram = Vec::with_capacity(n_hist);
+            for _ in 0..n_hist {
+                histogram.push(r.i64("histogram value")?);
+            }
+            released.push(ReleasedGroup { label, histogram });
+        }
+
+        let transcript = r.digest("transcript")?;
+
+        let n_sigs = r.count("signatures", MAX_COMMITTEE)?;
+        let mut signatures = Vec::with_capacity(n_sigs);
+        for _ in 0..n_sigs {
+            let member = r.u64("signature member")?;
+            let sig = r.sig("signature bytes")?;
+            signatures.push(CommitteeSig { member, sig });
+        }
+
+        r.expect_end()?;
+        Ok(Self {
+            spec,
+            spec_digest,
+            committee,
+            threshold,
+            share_round,
+            participants,
+            leaves,
+            segments,
+            contrib_root,
+            rejected,
+            aggregate_digest,
+            noise_commitment,
+            released,
+            transcript,
+            signatures,
+        })
+    }
+}
+
+/// Commitment to the joint DP-noise seed: `H(tag ‖ XOR of member seeds)`.
+///
+/// The verifier treats this as an opaque binding — it proves the committee
+/// signed over *some* fixed noise randomness, not that the noise was
+/// sampled honestly. Opening it would reveal the seeds and with them the
+/// exact (un-noised) histogram, so the certificate never carries them.
+pub fn noise_commitment(seeds: &[[u8; 32]]) -> Digest {
+    let mut joint = [0u8; 32];
+    for s in seeds {
+        for (j, b) in s.iter().enumerate() {
+            joint[j] ^= b;
+        }
+    }
+    sha256_concat(&[NOISE_TAG, &joint])
+}
+
+/// A committee member's certificate-signing secret.
+///
+/// Hermetic setting: every key in the reproduction derives from the round
+/// seed, so the verifier re-derives public keys from the certificate's own
+/// spec. A deployment would anchor these in a PKI instead; the verifier
+/// logic (threshold counting, transcript binding) is unchanged either way.
+pub fn committee_signing_secret(seed: u64, member: u64) -> [u8; 32] {
+    sha256_concat(&[KEY_TAG, &seed.to_le_bytes(), &member.to_le_bytes()])
+}
+
+/// The matching public key.
+pub fn committee_public_key(seed: u64, member: u64) -> [u8; 32] {
+    eddsa::public_key(&committee_signing_secret(seed, member))
+}
+
+/// Signs a transcript digest as committee member `member`.
+pub fn sign_transcript(seed: u64, member: u64, transcript: &Digest) -> [u8; 64] {
+    eddsa::sign(&committee_signing_secret(seed, member), transcript)
+}
+
+/// Verifies one member's transcript signature.
+pub fn verify_transcript_sig(seed: u64, member: u64, transcript: &Digest, sig: &[u8; 64]) -> bool {
+    eddsa::verify(&committee_public_key(seed, member), transcript, sig)
+}
+
+/// Convenience digest of an entire encoded certificate (for logs/tests).
+pub fn cert_fingerprint(bytes: &[u8]) -> Digest {
+    sha256::sha256(bytes)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::commit::CERT_SEGMENTS;
+    use crate::test_support::sample_certificate as sample;
+
+    #[test]
+    fn encode_decode_roundtrip() {
+        let cert = sample();
+        let bytes = cert.encode();
+        let back = RoundCertificate::decode(&bytes).unwrap();
+        assert_eq!(back, cert);
+        assert_eq!(back.encode(), bytes, "canonical re-encode");
+    }
+
+    #[test]
+    fn layout_sections_tile_the_encoding() {
+        let cert = sample();
+        let (bytes, layout) = cert.encode_with_layout();
+        let mut pos = 0usize;
+        for (name, range) in &layout.sections {
+            assert_eq!(range.start, pos, "section {name} is contiguous");
+            assert!(range.end >= range.start);
+            pos = range.end;
+        }
+        assert_eq!(pos, bytes.len(), "sections cover every byte");
+        assert_eq!(cert.segments.len(), CERT_SEGMENTS);
+    }
+
+    #[test]
+    fn transcript_covers_the_body() {
+        let mut cert = sample();
+        let t = cert.compute_transcript();
+        cert.released[0].histogram[1] += 1;
+        assert_ne!(cert.compute_transcript(), t);
+    }
+
+    #[test]
+    fn signing_keys_are_member_and_seed_specific() {
+        let t = [5u8; 32];
+        let sig = sign_transcript(1, 2, &t);
+        assert!(verify_transcript_sig(1, 2, &t, &sig));
+        assert!(!verify_transcript_sig(1, 3, &t, &sig));
+        assert!(!verify_transcript_sig(2, 2, &t, &sig));
+    }
+
+    #[test]
+    fn noise_commitment_is_order_invariant_but_seed_sensitive() {
+        let a = [1u8; 32];
+        let b = [9u8; 32];
+        assert_eq!(noise_commitment(&[a, b]), noise_commitment(&[b, a]));
+        assert_ne!(noise_commitment(&[a, b]), noise_commitment(&[a]));
+    }
+}

@@ -1,0 +1,244 @@
+//! The canonical contribution-commitment plane.
+//!
+//! Every executor — the multi-process net round at any shard count and the
+//! single-process simulated round — commits to the *same* canonical
+//! structure, so certificates for the same round are byte-identical no
+//! matter how the intake plane was physically partitioned:
+//!
+//! ```text
+//!   contribution root
+//!     └── Merkle over CERT_SEGMENTS segment roots
+//!           └── segment s: Merkle over the per-origin leaves with
+//!               origin ∈ [floor(s·n/S), floor((s+1)·n/S))
+//!                 └── leaf(origin) = H(tag ‖ origin ‖ slots ‖
+//!                                      per-slot device ‖ status ‖ digest?)
+//! ```
+//!
+//! A leaf records, per expected contribution slot, whether the slot's
+//! ciphertext was accepted (with its digest), rejected by ZKP audit, or
+//! never arrived. Rejected and missing slots carry **no** ciphertext
+//! digest: deadline substitution replaces them with fresh `Enc(0)`
+//! ciphertexts whose bytes are executor-local, and committing to those
+//! would break cross-executor identity without adding integrity (the
+//! aggregate digest already binds the sealed sum).
+
+use mycelium_crypto::merkle::MerkleTree;
+use mycelium_crypto::sha256::{sha256_concat, Digest};
+
+/// Number of canonical commitment segments, independent of the physical
+/// shard count.
+pub const CERT_SEGMENTS: usize = 8;
+
+const LEAF_TAG: &[u8] = b"myc-cert-leaf";
+
+/// Outcome of one expected contribution slot at intake.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SlotStatus {
+    /// ZKP-verified and folded into the sum; carries the ciphertext digest
+    /// recorded at accept time.
+    Accepted(Digest),
+    /// Arrived but failed the ZKP audit; the device is in the reject set.
+    Rejected,
+    /// Never arrived before the deadline; substituted with `Enc(0)`.
+    Missing,
+}
+
+impl SlotStatus {
+    fn code(&self) -> u8 {
+        match self {
+            Self::Accepted(_) => 0,
+            Self::Rejected => 1,
+            Self::Missing => 2,
+        }
+    }
+}
+
+/// The canonical commitment leaf for one origin.
+///
+/// `slots` lists `(device, status)` in duty order — the same order both
+/// executors assign contribution slots in.
+pub fn origin_leaf(origin: u32, slots: &[(u32, SlotStatus)]) -> Digest {
+    let mut buf = Vec::with_capacity(8 + slots.len() * 38);
+    buf.extend_from_slice(&origin.to_le_bytes());
+    buf.extend_from_slice(&(slots.len() as u32).to_le_bytes());
+    for (device, status) in slots {
+        buf.extend_from_slice(&device.to_le_bytes());
+        buf.push(status.code());
+        if let SlotStatus::Accepted(d) = status {
+            buf.extend_from_slice(d);
+        }
+    }
+    sha256_concat(&[LEAF_TAG, &buf])
+}
+
+/// One origin's frozen commitment: the leaf plus its slot-outcome counts.
+///
+/// This is what an intake shard ships to the coordinator at sealing time;
+/// the coordinator assembles the canonical tree from the full set.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct OriginCommit {
+    /// The origin vertex.
+    pub origin: u32,
+    /// The canonical [`origin_leaf`] over the frozen slot statuses.
+    pub leaf: Digest,
+    /// Slots accepted (ZKP-verified) for this origin.
+    pub accepted: u32,
+    /// Slots rejected by ZKP audit for this origin.
+    pub rejected: u32,
+}
+
+/// Freezes one origin's slot statuses into its [`OriginCommit`].
+pub fn commit_origin(origin: u32, slots: &[(u32, SlotStatus)]) -> OriginCommit {
+    let accepted = slots
+        .iter()
+        .filter(|(_, s)| matches!(s, SlotStatus::Accepted(_)))
+        .count() as u32;
+    let rejected = slots
+        .iter()
+        .filter(|(_, s)| matches!(s, SlotStatus::Rejected))
+        .count() as u32;
+    OriginCommit {
+        origin,
+        leaf: origin_leaf(origin, slots),
+        accepted,
+        rejected,
+    }
+}
+
+/// Per-segment commitment summary carried in the certificate.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SegmentSummary {
+    /// Merkle root over this segment's origin leaves.
+    pub root: Digest,
+    /// Number of origins in the segment.
+    pub origins: u32,
+    /// Accepted contributions across the segment.
+    pub accepted: u32,
+    /// Rejected contributions across the segment.
+    pub rejected: u32,
+}
+
+/// The origin range `[floor(s·n/S), floor((s+1)·n/S))` of segment `s`.
+pub fn segment_range(segment: usize, origins: usize) -> std::ops::Range<usize> {
+    let lo = segment * origins / CERT_SEGMENTS;
+    let hi = (segment + 1) * origins / CERT_SEGMENTS;
+    lo..hi
+}
+
+/// The canonical segment of an origin.
+pub fn segment_of(origin: usize, origins: usize) -> usize {
+    (0..CERT_SEGMENTS)
+        .find(|&s| segment_range(s, origins).contains(&origin))
+        .expect("every origin falls in a segment")
+}
+
+/// Merkle root over one contiguous slice of origin leaves.
+///
+/// An empty segment commits to the canonical empty tree, so segment roots
+/// are always well defined.
+pub fn segment_root(leaves: &[Digest]) -> Digest {
+    MerkleTree::from_leaf_hashes(leaves.to_vec()).root()
+}
+
+/// Folds per-origin leaves and counts into the canonical segment summaries
+/// plus the round-level contribution root.
+///
+/// `counts[origin] = (accepted, rejected)` for that origin's slots.
+pub fn build_segments(leaves: &[Digest], counts: &[(u32, u32)]) -> (Vec<SegmentSummary>, Digest) {
+    assert_eq!(leaves.len(), counts.len(), "one count pair per origin leaf");
+    let mut segments = Vec::with_capacity(CERT_SEGMENTS);
+    for s in 0..CERT_SEGMENTS {
+        let range = segment_range(s, leaves.len());
+        let (mut accepted, mut rejected) = (0u32, 0u32);
+        for &(a, r) in &counts[range.clone()] {
+            accepted += a;
+            rejected += r;
+        }
+        segments.push(SegmentSummary {
+            root: segment_root(&leaves[range.clone()]),
+            origins: range.len() as u32,
+            accepted,
+            rejected,
+        });
+    }
+    let root = MerkleTree::from_leaf_hashes(segments.iter().map(|s| s.root).collect()).root();
+    (segments, root)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn segment_ranges_partition_the_origins() {
+        for n in [0usize, 1, 7, 8, 9, 24, 100, 257] {
+            let mut covered = 0;
+            for s in 0..CERT_SEGMENTS {
+                let r = segment_range(s, n);
+                assert_eq!(r.start, covered, "n={n} s={s}");
+                covered = r.end;
+            }
+            assert_eq!(covered, n, "n={n}");
+            for v in 0..n {
+                let s = segment_of(v, n);
+                assert!(segment_range(s, n).contains(&v));
+            }
+        }
+    }
+
+    #[test]
+    fn leaves_bind_every_slot_field() {
+        let d = [9u8; 32];
+        let base = origin_leaf(3, &[(1, SlotStatus::Accepted(d)), (2, SlotStatus::Missing)]);
+        assert_ne!(
+            base,
+            origin_leaf(4, &[(1, SlotStatus::Accepted(d)), (2, SlotStatus::Missing)])
+        );
+        assert_ne!(
+            base,
+            origin_leaf(3, &[(5, SlotStatus::Accepted(d)), (2, SlotStatus::Missing)])
+        );
+        assert_ne!(
+            base,
+            origin_leaf(3, &[(1, SlotStatus::Rejected), (2, SlotStatus::Missing)])
+        );
+        assert_ne!(
+            base,
+            origin_leaf(
+                3,
+                &[
+                    (1, SlotStatus::Accepted([8u8; 32])),
+                    (2, SlotStatus::Missing)
+                ]
+            )
+        );
+        // Order matters: slots are committed in duty order.
+        assert_ne!(
+            base,
+            origin_leaf(3, &[(2, SlotStatus::Missing), (1, SlotStatus::Accepted(d))])
+        );
+    }
+
+    #[test]
+    fn build_segments_is_deterministic_and_complete() {
+        let leaves: Vec<Digest> = (0..24u32)
+            .map(|i| origin_leaf(i, &[(i, SlotStatus::Rejected)]))
+            .collect();
+        let counts = vec![(1u32, 1u32); 24];
+        let (segs, root) = build_segments(&leaves, &counts);
+        assert_eq!(segs.len(), CERT_SEGMENTS);
+        assert_eq!(segs.iter().map(|s| s.origins).sum::<u32>(), 24);
+        let (segs2, root2) = build_segments(&leaves, &counts);
+        assert_eq!(root, root2);
+        assert_eq!(segs, segs2);
+        // Any leaf change moves exactly its segment root and the top root.
+        let mut tampered = leaves.clone();
+        tampered[13][0] ^= 1;
+        let (segs3, root3) = build_segments(&tampered, &counts);
+        assert_ne!(root, root3);
+        let moved: Vec<usize> = (0..CERT_SEGMENTS)
+            .filter(|&s| segs[s].root != segs3[s].root)
+            .collect();
+        assert_eq!(moved, vec![segment_of(13, 24)]);
+    }
+}

@@ -1,0 +1,142 @@
+//! The `ROUND_cert.json` artifact format.
+//!
+//! The binary encoding is authoritative — it is what the transcript digest
+//! and the tamper tests are defined over. The JSON artifact wraps it as a
+//! hex string (`cert_hex`) next to a human-readable summary, so CI logs
+//! and people can skim a round's outcome while `myc_verify` re-extracts
+//! the exact bytes. Extraction is a plain string scan: the verifier must
+//! not depend on a JSON parser (or anything else) trusting the artifact.
+
+use crate::certificate::{cert_fingerprint, RoundCertificate};
+
+/// Lowercase hex encoding.
+pub fn to_hex(bytes: &[u8]) -> String {
+    bytes.iter().map(|b| format!("{b:02x}")).collect()
+}
+
+/// Strict lowercase/uppercase hex decoding; `None` on any malformed input.
+pub fn from_hex(s: &str) -> Option<Vec<u8>> {
+    if !s.len().is_multiple_of(2) {
+        return None;
+    }
+    (0..s.len())
+        .step_by(2)
+        .map(|i| u8::from_str_radix(s.get(i..i + 2)?, 16).ok())
+        .collect()
+}
+
+fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Renders the artifact: summary fields plus the authoritative `cert_hex`.
+pub fn render_json(cert: &RoundCertificate, bytes: &[u8]) -> String {
+    let mut out = String::new();
+    out.push_str("{\n");
+    out.push_str(&format!("  \"seed\": {},\n", cert.spec.seed));
+    out.push_str(&format!("  \"devices\": {},\n", cert.spec.devices));
+    out.push_str(&format!("  \"query\": \"{}\",\n", escape(&cert.spec.query)));
+    out.push_str(&format!("  \"with_proofs\": {},\n", cert.spec.with_proofs));
+    out.push_str(&format!("  \"committee\": {},\n", cert.committee));
+    out.push_str(&format!("  \"threshold\": {},\n", cert.threshold));
+    out.push_str(&format!("  \"share_round\": {},\n", cert.share_round));
+    out.push_str(&format!("  \"signatures\": {},\n", cert.signatures.len()));
+    out.push_str(&format!(
+        "  \"rejected\": [{}],\n",
+        cert.rejected
+            .iter()
+            .map(|d| d.to_string())
+            .collect::<Vec<_>>()
+            .join(", ")
+    ));
+    out.push_str(&format!(
+        "  \"contrib_root\": \"{}\",\n",
+        to_hex(&cert.contrib_root)
+    ));
+    out.push_str(&format!(
+        "  \"aggregate_digest\": \"{}\",\n",
+        to_hex(&cert.aggregate_digest)
+    ));
+    out.push_str(&format!(
+        "  \"noise_commitment\": \"{}\",\n",
+        to_hex(&cert.noise_commitment)
+    ));
+    out.push_str(&format!(
+        "  \"transcript\": \"{}\",\n",
+        to_hex(&cert.transcript)
+    ));
+    out.push_str("  \"released\": {\n");
+    for (i, g) in cert.released.iter().enumerate() {
+        let comma = if i + 1 == cert.released.len() {
+            ""
+        } else {
+            ","
+        };
+        out.push_str(&format!(
+            "    \"{}\": [{}]{}\n",
+            escape(&g.label),
+            g.histogram
+                .iter()
+                .map(|v| v.to_string())
+                .collect::<Vec<_>>()
+                .join(", "),
+            comma
+        ));
+    }
+    out.push_str("  },\n");
+    out.push_str(&format!(
+        "  \"cert_sha256\": \"{}\",\n",
+        to_hex(&cert_fingerprint(bytes))
+    ));
+    out.push_str(&format!("  \"cert_hex\": \"{}\"\n", to_hex(bytes)));
+    out.push_str("}\n");
+    out
+}
+
+/// Pulls the certificate bytes back out of an artifact by string scan.
+pub fn extract_cert_hex(text: &str) -> Option<Vec<u8>> {
+    let key = "\"cert_hex\"";
+    let at = text.find(key)? + key.len();
+    let rest = &text[at..];
+    let open = rest.find('"')? + 1;
+    let rest = &rest[open..];
+    let close = rest.find('"')?;
+    from_hex(&rest[..close])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_support::sample_certificate;
+
+    #[test]
+    fn hex_roundtrip() {
+        let data = [0u8, 1, 0x7f, 0x80, 0xff];
+        assert_eq!(from_hex(&to_hex(&data)).unwrap(), data);
+        assert!(from_hex("0").is_none());
+        assert!(from_hex("zz").is_none());
+    }
+
+    #[test]
+    fn artifact_roundtrips_the_exact_bytes() {
+        let cert = sample_certificate();
+        let bytes = cert.encode();
+        let json = render_json(&cert, &bytes);
+        assert_eq!(extract_cert_hex(&json).unwrap(), bytes);
+    }
+
+    #[test]
+    fn extraction_survives_missing_or_mangled_keys() {
+        assert!(extract_cert_hex("{}").is_none());
+        assert!(extract_cert_hex("\"cert_hex\": \"zz\"").is_none());
+    }
+}

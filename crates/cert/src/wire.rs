@@ -1,0 +1,266 @@
+//! Minimal canonical byte codec for certificates.
+//!
+//! Certificates must decode to exactly one value and re-encode to exactly
+//! the same bytes (the verifier recomputes binding digests by re-encoding),
+//! so the codec is fixed little-endian with length-prefixed sequences, hard
+//! count limits, and a mandatory end-of-input check. Every failure is a
+//! typed [`CertError`]; nothing here panics on untrusted input.
+
+use std::fmt;
+
+/// Typed decode failure for certificate bytes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CertError {
+    /// Input ended before a field was complete.
+    Truncated {
+        /// The field being read.
+        field: &'static str,
+    },
+    /// The leading magic was not `MYCCERT1`.
+    BadMagic,
+    /// Unknown format version.
+    BadVersion(u32),
+    /// A count prefix exceeded its hard limit.
+    CountTooLarge {
+        /// The field being read.
+        field: &'static str,
+        /// The decoded count.
+        count: u64,
+        /// The maximum allowed.
+        max: u64,
+    },
+    /// A string field was not valid UTF-8.
+    BadUtf8 {
+        /// The field being read.
+        field: &'static str,
+    },
+    /// Bytes remained after the last field.
+    TrailingBytes {
+        /// How many bytes were left over.
+        extra: usize,
+    },
+    /// A field admitted more than one byte representation and was not in
+    /// canonical form (e.g. a bool encoded as anything but 0 or 1). The
+    /// encoding must be bijective or tampered bytes could re-encode
+    /// cleanly and slip past the transcript binding.
+    NonCanonical {
+        /// The field being read.
+        field: &'static str,
+    },
+}
+
+impl fmt::Display for CertError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::Truncated { field } => write!(f, "certificate truncated in {field}"),
+            Self::BadMagic => write!(f, "not a round certificate (bad magic)"),
+            Self::BadVersion(v) => write!(f, "unsupported certificate version {v}"),
+            Self::CountTooLarge { field, count, max } => {
+                write!(f, "{field} count {count} exceeds limit {max}")
+            }
+            Self::BadUtf8 { field } => write!(f, "{field} is not valid UTF-8"),
+            Self::TrailingBytes { extra } => {
+                write!(f, "{extra} trailing bytes after certificate")
+            }
+            Self::NonCanonical { field } => {
+                write!(f, "{field} is not canonically encoded")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CertError {}
+
+/// Append-only canonical writer.
+#[derive(Default)]
+pub struct Writer {
+    buf: Vec<u8>,
+}
+
+impl Writer {
+    /// A fresh writer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Current length (used to record section layouts).
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// True when nothing has been written.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Appends a single byte.
+    pub fn u8(&mut self, v: u8) {
+        self.buf.push(v);
+    }
+
+    /// Appends a little-endian `u32`.
+    pub fn u32(&mut self, v: u32) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Appends a little-endian `u64`.
+    pub fn u64(&mut self, v: u64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Appends a little-endian `i64`.
+    pub fn i64(&mut self, v: i64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Appends raw bytes with no length prefix.
+    pub fn bytes(&mut self, v: &[u8]) {
+        self.buf.extend_from_slice(v);
+    }
+
+    /// Appends a `u32` length prefix followed by the string bytes.
+    pub fn str(&mut self, v: &str) {
+        self.u32(v.len() as u32);
+        self.bytes(v.as_bytes());
+    }
+
+    /// Consumes the writer.
+    pub fn finish(self) -> Vec<u8> {
+        self.buf
+    }
+}
+
+/// Bounds-checked canonical reader.
+pub struct Reader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    /// Reads from `buf` starting at offset 0.
+    pub fn new(buf: &'a [u8]) -> Self {
+        Self { buf, pos: 0 }
+    }
+
+    fn take(&mut self, n: usize, field: &'static str) -> Result<&'a [u8], CertError> {
+        if self.buf.len() - self.pos < n {
+            return Err(CertError::Truncated { field });
+        }
+        let out = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(out)
+    }
+
+    /// Reads one byte.
+    pub fn u8(&mut self, field: &'static str) -> Result<u8, CertError> {
+        Ok(self.take(1, field)?[0])
+    }
+
+    /// Reads a little-endian `u32`.
+    pub fn u32(&mut self, field: &'static str) -> Result<u32, CertError> {
+        Ok(u32::from_le_bytes(
+            self.take(4, field)?.try_into().expect("4 bytes"),
+        ))
+    }
+
+    /// Reads a little-endian `u64`.
+    pub fn u64(&mut self, field: &'static str) -> Result<u64, CertError> {
+        Ok(u64::from_le_bytes(
+            self.take(8, field)?.try_into().expect("8 bytes"),
+        ))
+    }
+
+    /// Reads a little-endian `i64`.
+    pub fn i64(&mut self, field: &'static str) -> Result<i64, CertError> {
+        Ok(i64::from_le_bytes(
+            self.take(8, field)?.try_into().expect("8 bytes"),
+        ))
+    }
+
+    /// Reads a fixed 32-byte digest.
+    pub fn digest(&mut self, field: &'static str) -> Result<[u8; 32], CertError> {
+        Ok(self.take(32, field)?.try_into().expect("32 bytes"))
+    }
+
+    /// Reads a fixed 64-byte signature.
+    pub fn sig(&mut self, field: &'static str) -> Result<[u8; 64], CertError> {
+        Ok(self.take(64, field)?.try_into().expect("64 bytes"))
+    }
+
+    /// Reads a `u32` count and enforces `count <= max`.
+    pub fn count(&mut self, field: &'static str, max: u64) -> Result<usize, CertError> {
+        let c = self.u32(field)? as u64;
+        if c > max {
+            return Err(CertError::CountTooLarge {
+                field,
+                count: c,
+                max,
+            });
+        }
+        Ok(c as usize)
+    }
+
+    /// Reads a length-prefixed UTF-8 string of at most `max` bytes.
+    pub fn str(&mut self, field: &'static str, max: u64) -> Result<String, CertError> {
+        let len = self.count(field, max)?;
+        let raw = self.take(len, field)?;
+        String::from_utf8(raw.to_vec()).map_err(|_| CertError::BadUtf8 { field })
+    }
+
+    /// Fails unless every byte has been consumed.
+    pub fn expect_end(&self) -> Result<(), CertError> {
+        let extra = self.buf.len() - self.pos;
+        if extra != 0 {
+            return Err(CertError::TrailingBytes { extra });
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_and_limits() {
+        let mut w = Writer::new();
+        w.u8(7);
+        w.u32(0xAABBCCDD);
+        w.u64(u64::MAX);
+        w.i64(-5);
+        w.str("hi");
+        let bytes = w.finish();
+        let mut r = Reader::new(&bytes);
+        assert_eq!(r.u8("a").unwrap(), 7);
+        assert_eq!(r.u32("b").unwrap(), 0xAABBCCDD);
+        assert_eq!(r.u64("c").unwrap(), u64::MAX);
+        assert_eq!(r.i64("d").unwrap(), -5);
+        assert_eq!(r.str("e", 16).unwrap(), "hi");
+        r.expect_end().unwrap();
+    }
+
+    #[test]
+    fn typed_failures() {
+        let mut r = Reader::new(&[1, 2]);
+        assert!(matches!(r.u32("x"), Err(CertError::Truncated { .. })));
+        let mut w = Writer::new();
+        w.u32(100);
+        let bytes = w.finish();
+        let mut r = Reader::new(&bytes);
+        assert!(matches!(
+            r.count("n", 10),
+            Err(CertError::CountTooLarge { .. })
+        ));
+        let mut w = Writer::new();
+        w.u32(2);
+        w.bytes(&[0xff, 0xfe]);
+        let bytes = w.finish();
+        let mut r = Reader::new(&bytes);
+        assert!(matches!(r.str("s", 16), Err(CertError::BadUtf8 { .. })));
+        let r = Reader::new(&[0]);
+        assert!(matches!(
+            r.expect_end(),
+            Err(CertError::TrailingBytes { extra: 1 })
+        ));
+    }
+}

@@ -20,15 +20,20 @@
 //! * [`kdf`] — HKDF-style key derivation and a PRF for hop selection.
 //! * [`merkle`] — Merkle hash trees with inclusion proofs, the building
 //!   block of the verifiable maps `M1`/`M2` and the mailbox commitments.
+//! * [`sha512`] — FIPS 180-4 SHA-512, the hash Ed25519 is defined over.
+//! * [`eddsa`] — Ed25519 signatures (RFC 8032), used by round
+//!   certificates for committee attestations.
 
 pub mod aead;
 pub mod chacha20;
 pub mod ed25519;
+pub mod eddsa;
 pub mod kdf;
 pub mod merkle;
 pub mod penc;
 pub mod poly1305;
 pub mod sha256;
+pub mod sha512;
 
 pub use aead::{open, seal, AeadError};
 pub use merkle::{InclusionProof, MerkleTree};

@@ -1,0 +1,275 @@
+//! FIPS 180-4 SHA-512, the hash Ed25519 (RFC 8032) is defined over.
+//!
+//! Mirrors [`crate::sha256`] with 64-bit words and 128-byte blocks. The
+//! round constants and initial hash values are the first 64 fractional
+//! bits of the cube/square roots of the first primes; rather than
+//! transcribing 88 magic numbers, they are derived once at first use by
+//! exact integer root extraction and pinned by the FIPS "abc" test
+//! vector below.
+
+use std::sync::OnceLock;
+
+/// A SHA-512 digest.
+pub type Digest512 = [u8; 64];
+
+/// The first `n` primes.
+fn primes(n: usize) -> Vec<u64> {
+    let mut out = Vec::with_capacity(n);
+    let mut cand = 2u64;
+    while out.len() < n {
+        if out.iter().all(|&p| !cand.is_multiple_of(p)) {
+            out.push(cand);
+        }
+        cand += 1;
+    }
+    out
+}
+
+/// Little-endian limb product `a · b`.
+fn limb_mul(a: &[u64], b: &[u64]) -> Vec<u64> {
+    let mut out = vec![0u64; a.len() + b.len()];
+    for (i, &x) in a.iter().enumerate() {
+        let mut carry = 0u128;
+        for (j, &y) in b.iter().enumerate() {
+            let t = out[i + j] as u128 + x as u128 * y as u128 + carry;
+            out[i + j] = t as u64;
+            carry = t >> 64;
+        }
+        out[i + b.len()] = carry as u64;
+    }
+    out
+}
+
+/// `a <= b` over little-endian limbs (unequal lengths allowed).
+fn limb_le(a: &[u64], b: &[u64]) -> bool {
+    let len = a.len().max(b.len());
+    for i in (0..len).rev() {
+        let (x, y) = (
+            a.get(i).copied().unwrap_or(0),
+            b.get(i).copied().unwrap_or(0),
+        );
+        if x != y {
+            return x < y;
+        }
+    }
+    true
+}
+
+/// `floor(frac(p^(1/e)) · 2^64)`: the low 64 bits of the largest `r` with
+/// `r^e <= p · 2^(64e)`, found by binary search with exact limb arithmetic.
+fn root_frac(p: u64, e: u32) -> u64 {
+    let mut target = vec![0u64; e as usize];
+    target.push(p);
+    let (mut lo, mut hi) = (0u128, 1u128 << 68);
+    while lo < hi {
+        let mid = lo + (hi - lo).div_ceil(2);
+        let m = [mid as u64, (mid >> 64) as u64];
+        let mut pow = vec![1u64];
+        for _ in 0..e {
+            pow = limb_mul(&pow, &m);
+        }
+        if limb_le(&pow, &target) {
+            lo = mid;
+        } else {
+            hi = mid - 1;
+        }
+    }
+    lo as u64
+}
+
+fn k_table() -> &'static [u64; 80] {
+    static K: OnceLock<[u64; 80]> = OnceLock::new();
+    K.get_or_init(|| {
+        let mut k = [0u64; 80];
+        for (i, p) in primes(80).into_iter().enumerate() {
+            k[i] = root_frac(p, 3);
+        }
+        k
+    })
+}
+
+fn h_init() -> &'static [u64; 8] {
+    static H: OnceLock<[u64; 8]> = OnceLock::new();
+    H.get_or_init(|| {
+        let mut h = [0u64; 8];
+        for (i, p) in primes(8).into_iter().enumerate() {
+            h[i] = root_frac(p, 2);
+        }
+        h
+    })
+}
+
+/// Incremental SHA-512.
+pub struct Sha512 {
+    state: [u64; 8],
+    buffer: [u8; 128],
+    buffered: usize,
+    total_len: u128,
+}
+
+impl Default for Sha512 {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Sha512 {
+    /// A fresh hasher.
+    pub fn new() -> Self {
+        Self {
+            state: *h_init(),
+            buffer: [0u8; 128],
+            buffered: 0,
+            total_len: 0,
+        }
+    }
+
+    /// Absorbs `data`.
+    pub fn update(&mut self, data: &[u8]) {
+        self.total_len += data.len() as u128;
+        let mut rest = data;
+        if self.buffered > 0 {
+            let take = rest.len().min(128 - self.buffered);
+            self.buffer[self.buffered..self.buffered + take].copy_from_slice(&rest[..take]);
+            self.buffered += take;
+            rest = &rest[take..];
+            if self.buffered == 128 {
+                let block = self.buffer;
+                self.compress(&block);
+                self.buffered = 0;
+            }
+        }
+        while rest.len() >= 128 {
+            let block: [u8; 128] = rest[..128].try_into().expect("128 bytes");
+            self.compress(&block);
+            rest = &rest[128..];
+        }
+        if !rest.is_empty() {
+            self.buffer[..rest.len()].copy_from_slice(rest);
+            self.buffered = rest.len();
+        }
+    }
+
+    /// Pads and returns the digest.
+    pub fn finalize(mut self) -> Digest512 {
+        let bit_len = self.total_len * 8;
+        self.update(&[0x80]);
+        while self.buffered != 112 {
+            self.update(&[0]);
+        }
+        self.total_len = 0; // Padding below no longer counts.
+        let mut len_block = [0u8; 16];
+        len_block.copy_from_slice(&bit_len.to_be_bytes());
+        self.update(&len_block);
+        debug_assert_eq!(self.buffered, 0);
+        let mut out = [0u8; 64];
+        for (chunk, word) in out.chunks_exact_mut(8).zip(self.state) {
+            chunk.copy_from_slice(&word.to_be_bytes());
+        }
+        out
+    }
+
+    fn compress(&mut self, block: &[u8; 128]) {
+        let k = k_table();
+        let mut w = [0u64; 80];
+        for (i, chunk) in block.chunks_exact(8).enumerate() {
+            w[i] = u64::from_be_bytes(chunk.try_into().expect("8 bytes"));
+        }
+        for i in 16..80 {
+            let s0 = w[i - 15].rotate_right(1) ^ w[i - 15].rotate_right(8) ^ (w[i - 15] >> 7);
+            let s1 = w[i - 2].rotate_right(19) ^ w[i - 2].rotate_right(61) ^ (w[i - 2] >> 6);
+            w[i] = w[i - 16]
+                .wrapping_add(s0)
+                .wrapping_add(w[i - 7])
+                .wrapping_add(s1);
+        }
+        let [mut a, mut b, mut c, mut d, mut e, mut f, mut g, mut h] = self.state;
+        for i in 0..80 {
+            let s1 = e.rotate_right(14) ^ e.rotate_right(18) ^ e.rotate_right(41);
+            let ch = (e & f) ^ (!e & g);
+            let t1 = h
+                .wrapping_add(s1)
+                .wrapping_add(ch)
+                .wrapping_add(k[i])
+                .wrapping_add(w[i]);
+            let s0 = a.rotate_right(28) ^ a.rotate_right(34) ^ a.rotate_right(39);
+            let maj = (a & b) ^ (a & c) ^ (b & c);
+            let t2 = s0.wrapping_add(maj);
+            h = g;
+            g = f;
+            f = e;
+            e = d.wrapping_add(t1);
+            d = c;
+            c = b;
+            b = a;
+            a = t1.wrapping_add(t2);
+        }
+        for (s, v) in self.state.iter_mut().zip([a, b, c, d, e, f, g, h]) {
+            *s = s.wrapping_add(v);
+        }
+    }
+}
+
+/// One-shot SHA-512.
+pub fn sha512(data: &[u8]) -> Digest512 {
+    let mut h = Sha512::new();
+    h.update(data);
+    h.finalize()
+}
+
+/// One-shot SHA-512 over a concatenation, without materializing it.
+pub fn sha512_concat(parts: &[&[u8]]) -> Digest512 {
+    let mut h = Sha512::new();
+    for p in parts {
+        h.update(p);
+    }
+    h.finalize()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn hex(d: &[u8]) -> String {
+        d.iter().map(|b| format!("{b:02x}")).collect()
+    }
+
+    #[test]
+    fn fips_abc_vector() {
+        assert_eq!(
+            hex(&sha512(b"abc")),
+            "ddaf35a193617abacc417349ae20413112e6fa4e89a97ea20a9eeee64b55d39a\
+             2192992a274fc1a836ba3c23a3feebbd454d4423643ce80e2a9ac94fa54ca49f"
+        );
+    }
+
+    #[test]
+    fn derived_constants_match_known_heads() {
+        // The first round constant and IV word are universally quoted;
+        // they pin the root-extraction derivation independently of the
+        // full "abc" vector.
+        assert_eq!(k_table()[0], 0x428a2f98d728ae22);
+        assert_eq!(h_init()[0], 0x6a09e667f3bcc908);
+    }
+
+    #[test]
+    fn incremental_matches_oneshot() {
+        let data: Vec<u8> = (0..1000u32).map(|i| (i % 251) as u8).collect();
+        for split in [0usize, 1, 63, 64, 127, 128, 129, 500, 999, 1000] {
+            let mut h = Sha512::new();
+            h.update(&data[..split]);
+            h.update(&data[split..]);
+            assert_eq!(h.finalize(), sha512(&data), "split {split}");
+        }
+    }
+
+    #[test]
+    fn multiblock_and_empty_inputs_differ() {
+        let a = sha512(b"");
+        let b = sha512(&[0u8; 129]);
+        let c = sha512(&[0u8; 128]);
+        assert_ne!(a, b);
+        assert_ne!(b, c);
+        assert_eq!(sha512_concat(&[b"ab", b"c"]), sha512(b"abc"));
+    }
+}

@@ -1,0 +1,142 @@
+//! Property tests for `crypto::merkle`: proof round-trips across size
+//! boundaries, single-bit tamper rejection on leaves and authentication
+//! paths, and the duplicate-leaf / empty-tree edge cases.
+
+use mycelium_crypto::merkle::{leaf_hash, MerkleTree};
+use mycelium_crypto::sha256::sha256_concat;
+
+/// Sizes that straddle the power-of-two boundaries where padding kicks in.
+const SIZES: [usize; 6] = [1, 2, 3, 255, 256, 257];
+
+/// Deterministic pseudo-random leaf material.
+fn leaves(n: usize, salt: u64) -> Vec<Vec<u8>> {
+    (0..n)
+        .map(|i| sha256_concat(&[&salt.to_le_bytes(), &(i as u64).to_le_bytes()]).to_vec())
+        .collect()
+}
+
+#[test]
+fn proof_roundtrip_at_boundary_sizes() {
+    for &n in &SIZES {
+        let ls = leaves(n, 0xA11CE);
+        let tree = MerkleTree::build(&ls);
+        assert_eq!(tree.len(), n);
+        for (i, l) in ls.iter().enumerate() {
+            let proof = tree
+                .prove(i)
+                .unwrap_or_else(|| panic!("prove({i}) at n={n}"));
+            assert!(proof.verify(&tree.root(), i, l), "n={n} i={i}");
+            // The same proof must not verify at any other index; spot-check
+            // the neighbours and both ends, which cover every path shape.
+            for wrong in [0, i.saturating_sub(1), i + 1, n - 1] {
+                if wrong != i {
+                    assert!(
+                        !proof.verify(&tree.root(), wrong, l),
+                        "n={n} i={i} wrong={wrong}"
+                    );
+                }
+            }
+        }
+        assert!(tree.prove(n).is_none(), "phantom index at n={n}");
+    }
+}
+
+#[test]
+fn single_bit_leaf_tamper_rejected() {
+    for &n in &SIZES {
+        let ls = leaves(n, 0xBEEF);
+        let tree = MerkleTree::build(&ls);
+        let i = n / 2;
+        let proof = tree.prove(i).unwrap();
+        // Flip every bit of the first byte and one bit of every other byte.
+        for bit in 0..8 {
+            let mut bad = ls[i].clone();
+            bad[0] ^= 1 << bit;
+            assert!(!proof.verify(&tree.root(), i, &bad), "n={n} bit={bit}");
+        }
+        for byte in 1..ls[i].len() {
+            let mut bad = ls[i].clone();
+            bad[byte] ^= 1;
+            assert!(!proof.verify(&tree.root(), i, &bad), "n={n} byte={byte}");
+        }
+    }
+}
+
+#[test]
+fn single_bit_path_tamper_rejected() {
+    for &n in &SIZES {
+        let ls = leaves(n, 0xD00D);
+        let tree = MerkleTree::build(&ls);
+        let i = n.saturating_sub(1);
+        let good = tree.prove(i).unwrap();
+        assert!(good.verify(&tree.root(), i, &ls[i]));
+        for level in 0..good.siblings.len() {
+            for byte in [0usize, 15, 31] {
+                for bit in [0u8, 7] {
+                    let mut bad = good.clone();
+                    bad.siblings[level][byte] ^= 1 << bit;
+                    assert!(
+                        !bad.verify(&tree.root(), i, &ls[i]),
+                        "n={n} level={level} byte={byte} bit={bit}"
+                    );
+                }
+            }
+        }
+        // A truncated or extended path must also fail.
+        if !good.siblings.is_empty() {
+            let mut short = good.clone();
+            short.siblings.pop();
+            assert!(!short.verify(&tree.root(), i, &ls[i]), "truncated n={n}");
+        }
+        let mut long = good.clone();
+        long.siblings.push([0u8; 32]);
+        assert!(!long.verify(&tree.root(), i, &ls[i]), "extended n={n}");
+    }
+}
+
+#[test]
+fn duplicate_leaves_are_position_bound() {
+    // All-identical leaves: every proof still only verifies at its own index.
+    for &n in &[2usize, 3, 255, 256, 257] {
+        let ls = vec![b"same".to_vec(); n];
+        let tree = MerkleTree::build(&ls);
+        for i in [0, n / 2, n - 1] {
+            let proof = tree.prove(i).unwrap();
+            assert!(proof.verify(&tree.root(), i, b"same"), "n={n} i={i}");
+            // Duplicate content at the proven position is fine, but the
+            // proof still must not vouch for *different* content anywhere.
+            assert!(!proof.verify(&tree.root(), i, b"Same"), "n={n} i={i}");
+        }
+        // The ragged-edge phantom slot after the last leaf never verifies,
+        // even though its hash equals a real leaf's at padded levels.
+        let last = tree.prove(n - 1).unwrap();
+        assert!(!last.verify(&tree.root(), n, b"same"), "phantom n={n}");
+    }
+}
+
+#[test]
+fn empty_tree_edge_cases() {
+    let empty = MerkleTree::build(&[]);
+    assert!(empty.is_empty());
+    // The empty tree is the single-leaf tree over the empty string...
+    assert_eq!(empty.root(), MerkleTree::build(&[Vec::new()]).root());
+    assert_eq!(empty.root(), leaf_hash(b""));
+    // ...and differs from any nonempty-content tree.
+    assert_ne!(empty.root(), MerkleTree::build(&[b"x".to_vec()]).root());
+    let from_hashes = MerkleTree::from_leaf_hashes(Vec::new());
+    assert_eq!(from_hashes.root(), empty.root());
+}
+
+#[test]
+fn roots_at_boundary_sizes_are_distinct() {
+    // Appending one more leaf always changes the root, including across the
+    // 255/256/257 padding boundary.
+    let mut prev = None;
+    for n in 254..=258 {
+        let root = MerkleTree::build(&leaves(n, 0xF00)).root();
+        if let Some(p) = prev {
+            assert_ne!(p, root, "n={n}");
+        }
+        prev = Some(root);
+    }
+}

@@ -183,28 +183,56 @@ pub fn intake_bytes_per_device(
     duties as u64 * ct(fresh_level) + ct(submission_level)
 }
 
+/// Wire bytes of one frozen per-origin commitment inside a `ShardRoot`
+/// message: origin id (4) + leaf digest (32) + accepted (4) +
+/// rejected (4).
+pub const ORIGIN_COMMIT_BYTES: usize = 4 + 32 + 4 + 4;
+
 /// Exact encoded payload of one shard's `ShardRoot` handoff on the
-/// encrypted transport (DESIGN.md "Sharded aggregation").
+/// encrypted transport (DESIGN.md "Sharded aggregation" and "Round
+/// certificates").
 ///
 /// Mirrors the `crates/net` proto encoding byte for byte: message tag
 /// (1) + shard id (4) + rejected-device list (4-byte count + 4 per id) +
-/// the ciphertext codec output (`ct_encoded`, including its own tags).
-/// Measured wire bytes differ from this only by the sealed-frame
-/// envelope (header + AEAD tag per frame); `tests/net_round.rs` pins
-/// that reconciliation exactly.
-pub fn shard_root_payload_bytes(ct_encoded: usize, rejected: usize) -> usize {
-    1 + 4 + 4 + 4 * rejected + ct_encoded
+/// frozen origin-commitment list (4-byte count +
+/// [`ORIGIN_COMMIT_BYTES`] per owned origin) + the ciphertext codec
+/// output (`ct_encoded`, including its own tags). Measured wire bytes
+/// differ from this only by the sealed-frame envelope (header + AEAD
+/// tag per frame); `tests/net_round.rs` pins that reconciliation
+/// exactly.
+pub fn shard_root_payload_bytes(ct_encoded: usize, rejected: usize, commits: usize) -> usize {
+    1 + 4 + 4 + 4 * rejected + 4 + ORIGIN_COMMIT_BYTES * commits + ct_encoded
 }
 
 /// Total shard → coordinator handoff payload for one round: every shard
-/// seals exactly one root, and each rejected device id rides in exactly
-/// one shard's message. Zero at `shards ≤ 1` — the hub topology has no
-/// handoff.
-pub fn shard_plane_payload_bytes(shards: usize, ct_encoded: usize, rejected_total: usize) -> usize {
+/// seals exactly one root, each rejected device id rides in exactly one
+/// shard's message, and every origin's frozen commitment rides in
+/// exactly one shard's message (`commits_total` is the population
+/// size). Zero at `shards ≤ 1` — the hub topology has no handoff.
+pub fn shard_plane_payload_bytes(
+    shards: usize,
+    ct_encoded: usize,
+    rejected_total: usize,
+    commits_total: usize,
+) -> usize {
     if shards <= 1 {
         return 0;
     }
-    shards * shard_root_payload_bytes(ct_encoded, 0) + 4 * rejected_total
+    shards * shard_root_payload_bytes(ct_encoded, 0, 0)
+        + 4 * rejected_total
+        + ORIGIN_COMMIT_BYTES * commits_total
+}
+
+/// Exact encoded payload of a `CertSignTask` reply: message tag (1) +
+/// the 32-byte certificate transcript digest.
+pub fn cert_sign_task_payload_bytes() -> usize {
+    1 + 32
+}
+
+/// Exact encoded payload of a `PushCertSig` request: message tag (1) +
+/// member id (8) + detached ed25519 signature (64).
+pub fn push_cert_sig_payload_bytes() -> usize {
+    1 + 8 + 64
 }
 
 /// Figure 9(b) with the shard dimension: aggregation work split over
@@ -363,20 +391,30 @@ mod tests {
     #[test]
     fn shard_plane_payload_degenerates_at_one_shard() {
         // The hub topology has no shard → coordinator handoff.
-        assert_eq!(shard_plane_payload_bytes(1, 4_300_000, 5), 0);
-        assert_eq!(shard_plane_payload_bytes(0, 4_300_000, 5), 0);
-        // Four shards: four sealed roots plus the rejected ids, each
-        // counted exactly once wherever it landed.
+        assert_eq!(shard_plane_payload_bytes(1, 4_300_000, 5, 24), 0);
+        assert_eq!(shard_plane_payload_bytes(0, 4_300_000, 5, 24), 0);
+        // Four shards: four sealed roots plus the rejected ids and the
+        // frozen origin commitments, each counted exactly once wherever
+        // it landed.
         let ct = 10_000;
         assert_eq!(
-            shard_plane_payload_bytes(4, ct, 3),
-            4 * (1 + 4 + 4 + ct) + 4 * 3
+            shard_plane_payload_bytes(4, ct, 3, 24),
+            4 * (1 + 4 + 4 + 4 + ct) + 4 * 3 + ORIGIN_COMMIT_BYTES * 24
         );
-        // Per-message form: the ids ride inside the shard's own message.
+        // Per-message form: the ids and commitments ride inside the
+        // shard's own message (here 3 rejects and 24 origins split 6+6+6+6).
         assert_eq!(
-            shard_root_payload_bytes(ct, 3) + 3 * shard_root_payload_bytes(ct, 0),
-            shard_plane_payload_bytes(4, ct, 3)
+            shard_root_payload_bytes(ct, 3, 6) + 3 * shard_root_payload_bytes(ct, 0, 6),
+            shard_plane_payload_bytes(4, ct, 3, 24)
         );
+    }
+
+    #[test]
+    fn cert_payloads_match_the_proto_encoding() {
+        // CertSignTask: tag + transcript digest.
+        assert_eq!(cert_sign_task_payload_bytes(), 33);
+        // PushCertSig: tag + member + 64-byte ed25519 signature.
+        assert_eq!(push_cert_sig_payload_bytes(), 73);
     }
 
     #[test]

@@ -40,6 +40,9 @@
 //!   the simnet, reconciling measurement against the analytic model.
 //! * [`summation`] — the Orchard-style verifiable summation tree the
 //!   aggregator uses to prove each device's data is counted exactly once.
+//! * [`streams`] — the canonical rng stream bases both executors share, so
+//!   the same round spec yields bit-identical ciphertexts (and
+//!   byte-identical round certificates) everywhere.
 
 pub mod committee;
 pub mod costs;
@@ -49,6 +52,7 @@ pub mod params;
 pub mod plan;
 pub mod simcost;
 pub mod simround;
+pub mod streams;
 pub mod summation;
 
 pub use exec::{run_query_encrypted, EncryptedOutcome, ExecError, MaliciousBehavior};

@@ -491,18 +491,29 @@ pub fn combine_origin<R: Rng + ?Sized>(
     Ok(out)
 }
 
-/// Aggregator side (§4.2): aligns levels, builds the verifiable summation
-/// tree, audits inclusion paths and random interior nodes, and returns
-/// the root sum.
+/// The canonical aggregation level: every origin ciphertext is
+/// mod-switched to the bottom of the chain *before* any summation.
+///
+/// An origin's output level is data-dependent (one switch-down per
+/// homomorphic multiplication), so aligning to the *local* minimum would
+/// make the aggregate's bytes depend on which ciphertexts happen to share
+/// a summation tree. Mod-switching does not commute with addition at the
+/// byte level (the rounding differs), so a shard that sums at its local
+/// minimum and lets the coordinator switch the *sum* down would produce a
+/// different — equally decryptable — ciphertext than the hub. Pinning
+/// every leaf to level 1 makes the sealed aggregate a pure mod-q sum of
+/// partition-independent leaves: bit-identical for any shard layout, which
+/// is what lets the round certificate commit a canonical aggregate digest.
+pub const AGGREGATION_LEVEL: usize = 1;
+
+/// Aggregator side (§4.2): aligns levels to [`AGGREGATION_LEVEL`], builds
+/// the verifiable summation tree, audits inclusion paths and random
+/// interior nodes, and returns the root sum.
 pub fn aggregate_and_audit(origin_cts: Vec<Ciphertext>) -> Result<Ciphertext, ExecError> {
-    let min_level = origin_cts
-        .iter()
-        .map(|c| c.level())
-        .min()
-        .expect("nonempty population");
-    let aligned: Vec<Ciphertext> = par::map(&origin_cts, |_, ct| ct.mod_switch_to(min_level))
-        .into_iter()
-        .collect::<Result<_, _>>()?;
+    let aligned: Vec<Ciphertext> =
+        par::map(&origin_cts, |_, ct| ct.mod_switch_to(AGGREGATION_LEVEL))
+            .into_iter()
+            .collect::<Result<_, _>>()?;
     drop(origin_cts);
     let audit_copies: Vec<Ciphertext> = aligned.iter().take(3).cloned().collect();
     let tree = crate::summation::SummationTree::build(aligned)?;
@@ -517,19 +528,17 @@ pub fn aggregate_and_audit(origin_cts: Vec<Ciphertext>) -> Result<Ciphertext, Ex
 }
 
 /// Shard side of the sharded aggregation plane: aligns the shard's owned
-/// origin ciphertexts, builds its partial summation tree, audits it, and
-/// seals the root for shipment to the coordinator.
+/// origin ciphertexts to [`AGGREGATION_LEVEL`] (the same canonical level
+/// the hub uses, so the partition never shows in the bytes), builds its
+/// partial summation tree, audits it, and seals the root for shipment to
+/// the coordinator.
 pub fn seal_shard_root(
     origin_cts: Vec<Ciphertext>,
 ) -> Result<crate::summation::PartialRoot, ExecError> {
-    let min_level = origin_cts
-        .iter()
-        .map(|c| c.level())
-        .min()
-        .expect("shard owns at least one origin");
-    let aligned: Vec<Ciphertext> = par::map(&origin_cts, |_, ct| ct.mod_switch_to(min_level))
-        .into_iter()
-        .collect::<Result<_, _>>()?;
+    let aligned: Vec<Ciphertext> =
+        par::map(&origin_cts, |_, ct| ct.mod_switch_to(AGGREGATION_LEVEL))
+            .into_iter()
+            .collect::<Result<_, _>>()?;
     drop(origin_cts);
     let tree = crate::summation::SummationTree::build(aligned)?;
     tree.spot_check_random(0xA0D2, 8)
@@ -537,25 +546,21 @@ pub fn seal_shard_root(
     Ok(tree.seal_root())
 }
 
-/// Coordinator side of the sharded aggregation plane: aligns sealed
-/// shard roots to a common level, grafts them into the top summation
-/// tree ([`SummationTree::combine_partials`](crate::summation::SummationTree::combine_partials)),
+/// Coordinator side of the sharded aggregation plane: grafts the sealed
+/// shard roots (all already at [`AGGREGATION_LEVEL`]) into the top
+/// summation tree ([`SummationTree::combine_partials`](crate::summation::SummationTree::combine_partials)),
 /// audits it, and returns the global root sum. Homomorphic addition is
-/// exact coefficient-wise addition mod q, so for any shard count the
+/// exact coefficient-wise addition mod q and every leaf was switched to
+/// the canonical level *before* any summation, so for any shard count the
 /// returned ciphertext is bit-identical to [`aggregate_and_audit`] over
 /// the concatenated origin ciphertexts.
 pub fn combine_shard_roots(
     parts: Vec<crate::summation::PartialRoot>,
 ) -> Result<Ciphertext, ExecError> {
-    let min_level = parts
-        .iter()
-        .map(|p| p.sum.level())
-        .min()
-        .expect("at least one shard root");
     let aligned: Vec<crate::summation::PartialRoot> = parts
         .into_iter()
         .map(|mut p| {
-            p.sum = p.sum.mod_switch_to(min_level)?;
+            p.sum = p.sum.mod_switch_to(AGGREGATION_LEVEL)?;
             Ok::<_, mycelium_bgv::BgvError>(p)
         })
         .collect::<Result<_, _>>()?;

@@ -33,10 +33,14 @@
 //! any `MYC_THREADS` setting.
 
 use std::cell::RefCell;
-use std::collections::BTreeSet;
+use std::collections::{BTreeMap, BTreeSet};
 use std::rc::Rc;
 
 use mycelium_bgv::{Ciphertext, KeySet, Plaintext};
+use mycelium_cert::{
+    build_segments, commit_origin, noise_commitment, sign_transcript, verify_transcript_sig,
+    CertSpec, CommitteeSig, OriginCommit, ReleasedGroup, RoundCertificate, SlotStatus,
+};
 use mycelium_dp::PrivacyBudget;
 use mycelium_graph::generate::Population;
 use mycelium_graph::graph::VertexId;
@@ -57,9 +61,10 @@ use crate::decode::decode_aggregate;
 use crate::exec::{release_noisy, ExecError, ExecStats, MaliciousBehavior, NoisyGroup};
 use crate::params::SystemParams;
 use crate::plan::{
-    aggregate_and_audit, combine_origin, combine_shard_roots, origin_work, seal_shard_root,
-    OriginWork, QueryPlan, SignedContribution,
+    aggregate_and_audit, ciphertext_digest, combine_origin, combine_shard_roots, origin_work,
+    seal_shard_root, OriginWork, QueryPlan, SignedContribution,
 };
+use crate::streams;
 use crate::summation::{shard_of, PartialRoot};
 
 /// Timer-key layout (per actor, so ranges only need to be disjoint within
@@ -68,9 +73,11 @@ use crate::summation::{shard_of, PartialRoot};
 const SUBMIT_MSG_ID: u64 = 1 << 40;
 const PING_BASE: u64 = 1 << 40;
 const SHARE_BASE: u64 = 1 << 41;
+const CERT_BASE: u64 = 1 << 42;
 const ORIGIN_DEADLINE_KEY: u64 = 1 << 50;
 const SUBMIT_DEADLINE_KEY: u64 = 1 << 50;
 const PING_DEADLINE_KEY: u64 = (1 << 50) + 1;
+const CERT_DEADLINE_KEY: u64 = (1 << 50) + 2;
 const SHARE_DEADLINE_BASE: u64 = (1 << 50) + 0x100;
 
 /// Simulated-round configuration.
@@ -173,6 +180,9 @@ pub struct SimRoundOutcome {
     pub metrics: RoundMetrics,
     /// Virtual time the round took.
     pub elapsed: Tick,
+    /// Encoded [`RoundCertificate`] for the round, present when at least
+    /// `t + 1` committee members signed the transcript in time.
+    pub certificate: Option<Vec<u8>>,
 }
 
 /// Wire messages of the round.
@@ -275,6 +285,9 @@ pub enum RoundMsg {
         commitment: [u8; 32],
         /// How many origins the shard summed.
         leaves: u32,
+        /// Frozen per-origin certificate commitments for the shard's
+        /// owned origins (leaf plus accepted/rejected slot counts).
+        commits: Vec<OriginCommit>,
         /// The shard's homomorphic partial aggregate.
         ct: Ciphertext,
     },
@@ -282,6 +295,24 @@ pub enum RoundMsg {
     ShardRootAck {
         /// Echoed retrier id.
         msg_id: u64,
+    },
+    /// Aggregator → committee member: sign the round-certificate
+    /// transcript.
+    CertSignReq {
+        /// Aggregator-scoped retrier id.
+        msg_id: u64,
+        /// The certificate transcript digest to sign.
+        transcript: [u8; 32],
+    },
+    /// Committee member → aggregator: Ed25519 signature over the
+    /// transcript.
+    CertSig {
+        /// Echoed retrier id.
+        msg_id: u64,
+        /// 1-based Shamir member index.
+        member: u64,
+        /// The signature.
+        sig: [u8; 64],
     },
 }
 
@@ -320,10 +351,18 @@ impl Payload for RoundMsg {
                         .map(|r| r.len() * 8)
                         .sum::<usize>()
             }
-            RoundMsg::ShardRootMsg { rejected, ct, .. } => {
-                HDR + 4 + rejected.len() * 4 + 32 + 4 + ct_wire_bytes(ct)
+            RoundMsg::ShardRootMsg {
+                rejected,
+                commits,
+                ct,
+                ..
+            } => {
+                // origin + leaf + accepted + rejected per commit.
+                HDR + 4 + rejected.len() * 4 + 32 + 4 + 4 + commits.len() * 44 + ct_wire_bytes(ct)
             }
             RoundMsg::Pong { .. } => HDR + 40,
+            RoundMsg::CertSignReq { .. } => HDR + 32,
+            RoundMsg::CertSig { .. } => HDR + 72,
             RoundMsg::ContribAck { .. }
             | RoundMsg::OriginAck { .. }
             | RoundMsg::SubmissionAck { .. }
@@ -343,6 +382,10 @@ struct Duty {
 
 struct DeviceActor {
     vertex: VertexId,
+    /// The round spec seed; all protocol randomness derives from it via
+    /// the canonical [`streams`] bases, matching the net executor
+    /// bit-for-bit.
+    spec_seed: u64,
     agg: ActorId,
     agg_shards: usize,
     shard_base: ActorId,
@@ -375,6 +418,11 @@ impl DeviceActor {
             return;
         }
         self.combined = true;
+        // Origin randomness comes from the canonical per-vertex stream —
+        // neutral substitutions in slot order, then the combine, off the
+        // same rng — exactly the net executor's consumption pattern.
+        let mut rng =
+            StdRng::seed_from_u64(self.spec_seed).with_stream(streams::ORIGIN + self.vertex as u64);
         // Missing contributions default to the neutral Enc(x^0) (§4.4).
         let cts: Vec<Ciphertext> = self
             .received
@@ -383,18 +431,13 @@ impl DeviceActor {
                 Some(ct) => ct.clone(),
                 None => self
                     .plan
-                    .neutral_ct(&self.keys, ctx.rng())
+                    .neutral_ct(&self.keys, &mut rng)
                     .expect("neutral encryption"),
             })
             .collect();
         let mut stats = ExecStats::default();
         let out = combine_origin(
-            &self.plan,
-            &self.keys,
-            &self.work,
-            &cts,
-            &mut stats,
-            ctx.rng(),
+            &self.plan, &self.keys, &self.work, &cts, &mut stats, &mut rng,
         )
         .expect("origin combine");
         ctx.phase_done("contrib");
@@ -412,11 +455,16 @@ impl Process<RoundMsg> for DeviceActor {
     fn on_start(&mut self, ctx: &mut Ctx<RoundMsg>) {
         ctx.set_timer(self.deadline, ORIGIN_DEADLINE_KEY);
         if !self.dropped_out {
+            // Contribution randomness from the canonical per-vertex
+            // stream, consumed in duty order — the net device does the
+            // same, so honest ciphertexts are bit-identical.
+            let mut rng = StdRng::seed_from_u64(self.spec_seed)
+                .with_stream(streams::CONTRIB + self.vertex as u64);
             for i in 0..self.duties.len() {
                 let duty = self.duties[i].clone();
                 let sc = self
                     .plan
-                    .build_contribution(&self.keys, self.vertex, duty.exp, self.cheating, ctx.rng())
+                    .build_contribution(&self.keys, self.vertex, duty.exp, self.cheating, &mut rng)
                     .expect("contribution encryption");
                 let msg = RoundMsg::Contrib {
                     msg_id: i as u64,
@@ -470,12 +518,16 @@ struct AggOutcome {
     plaintext: Option<Plaintext>,
     noise: Vec<i64>,
     rejected: Vec<VertexId>,
+    certificate: Option<Vec<u8>>,
     error: Option<SimRoundError>,
 }
 
 struct AggregatorActor {
     plan: Rc<QueryPlan>,
     keys: Rc<KeySet>,
+    query: Rc<Query>,
+    spec_seed: u64,
+    with_proofs: bool,
     n_devices: usize,
     committee_size: usize,
     threshold: usize,
@@ -502,6 +554,14 @@ struct AggregatorActor {
     participants: Vec<u64>,
     shares: Vec<Option<DecryptionShare>>,
     finished: bool,
+    // Certificate plane: per-slot intake outcomes (hub topology), frozen
+    // per-origin commitments (all topologies), and the signing phase.
+    slot_map: Rc<Vec<Vec<VertexId>>>,
+    statuses: BTreeMap<(VertexId, u32), SlotStatus>,
+    commits: Vec<Option<OriginCommit>>,
+    cert_rejected: Vec<VertexId>,
+    cert: Option<RoundCertificate>,
+    cert_sigs: Vec<Option<[u8; 64]>>,
     outcome: Rc<RefCell<AggOutcome>>,
 }
 
@@ -516,11 +576,39 @@ impl AggregatorActor {
         ctx.halt();
     }
 
+    /// Freezes the hub's per-origin certificate commitments from the slot
+    /// statuses recorded at intake. Runs *before* the aggregate is sealed
+    /// — the commitment-then-seal ordering the WAL journals in the net
+    /// executor — so late contributions can no longer move the tree.
+    fn freeze_commits(&mut self) {
+        for v in 0..self.n_devices {
+            let slots: Vec<(u32, SlotStatus)> = self.slot_map[v]
+                .iter()
+                .enumerate()
+                .map(|(s, &d)| {
+                    let status = self
+                        .statuses
+                        .get(&(v as VertexId, s as u32))
+                        .copied()
+                        .unwrap_or(SlotStatus::Missing);
+                    if matches!(status, SlotStatus::Rejected) && !self.cert_rejected.contains(&d) {
+                        self.cert_rejected.push(d);
+                    }
+                    (d, status)
+                })
+                .collect();
+            self.commits[v] = Some(commit_origin(v as u32, &slots));
+        }
+    }
+
     fn start_aggregate(&mut self, ctx: &mut Ctx<RoundMsg>) {
         if self.aggregated {
             return;
         }
         self.aggregated = true;
+        if self.agg_shards <= 1 {
+            self.freeze_commits();
+        }
         let aggregate = if self.agg_shards > 1 {
             // Coordinator: every shard root is present (the coordinator
             // never deadlines out of intake — it waits, bounded by the
@@ -639,12 +727,97 @@ impl AggregatorActor {
         // path).
         let seeds: Vec<[u8; 32]> = self.pongs.iter().filter_map(|p| *p).collect();
         let noise = derive_joint_noise(&seeds, self.noise_scale, self.plan.released_values());
+        let exact = decode_aggregate(&plaintext, &self.query, &self.plan.analysis);
+        let released = release_noisy(&exact, &noise, self.plan.released_len);
         {
             let mut out = self.outcome.borrow_mut();
             out.plaintext = Some(plaintext);
             out.noise = noise;
         }
         ctx.phase_done("committee");
+        // The round result is durable; what remains is collecting
+        // committee signatures over the certificate transcript, so the
+        // halt is deferred to `seal_cert`.
+        self.start_cert(ctx, &released, &seeds);
+    }
+
+    /// Assembles the round certificate and asks every committee member to
+    /// sign its transcript.
+    fn start_cert(&mut self, ctx: &mut Ctx<RoundMsg>, released: &[NoisyGroup], seeds: &[[u8; 32]]) {
+        let commits: Vec<OriginCommit> = self
+            .commits
+            .iter()
+            .map(|c| {
+                c.clone()
+                    .expect("every origin commitment frozen before sealing")
+            })
+            .collect();
+        let leaves: Vec<[u8; 32]> = commits.iter().map(|c| c.leaf).collect();
+        let counts: Vec<(u32, u32)> = commits.iter().map(|c| (c.accepted, c.rejected)).collect();
+        let (segments, contrib_root) = build_segments(&leaves, &counts);
+        let mut rejected: Vec<u32> = self.cert_rejected.to_vec();
+        rejected.sort_unstable();
+        rejected.dedup();
+        let spec = CertSpec {
+            seed: self.spec_seed,
+            devices: self.n_devices as u32,
+            query: self.query.name.clone(),
+            with_proofs: self.with_proofs,
+        };
+        let mut cert = RoundCertificate {
+            spec_digest: spec.digest(),
+            spec,
+            committee: self.committee_size as u32,
+            threshold: self.threshold as u32,
+            share_round: self.round,
+            participants: self.participants.iter().map(|&m| m as u32).collect(),
+            leaves,
+            segments,
+            contrib_root,
+            rejected,
+            aggregate_digest: ciphertext_digest(self.aggregate.as_ref().expect("aggregated")),
+            noise_commitment: noise_commitment(seeds),
+            released: released
+                .iter()
+                .map(|g| ReleasedGroup {
+                    label: g.label.clone(),
+                    histogram: g.histogram.clone(),
+                })
+                .collect(),
+            transcript: [0u8; 32],
+            signatures: Vec::new(),
+        };
+        cert.transcript = cert.compute_transcript();
+        for m in 1..=self.committee_size as u64 {
+            let dst = self.member_actor(m);
+            self.retrier.send(
+                ctx,
+                CERT_BASE + m,
+                dst,
+                RoundMsg::CertSignReq {
+                    msg_id: CERT_BASE + m,
+                    transcript: cert.transcript,
+                },
+            );
+        }
+        ctx.set_timer(self.deadline, CERT_DEADLINE_KEY);
+        self.cert = Some(cert);
+    }
+
+    /// Attaches whatever valid signatures arrived and halts the round.
+    /// Fewer than `t + 1` signatures means no certificate — the round
+    /// result stands, but it is not independently checkable.
+    fn seal_cert(&mut self, ctx: &mut Ctx<RoundMsg>) {
+        let Some(mut cert) = self.cert.take() else {
+            return;
+        };
+        cert.signatures = (1..=self.committee_size as u64)
+            .filter_map(|m| self.cert_sigs[m as usize].map(|sig| CommitteeSig { member: m, sig }))
+            .collect();
+        if cert.signatures.len() > self.threshold {
+            self.outcome.borrow_mut().certificate = Some(cert.encode());
+        }
+        ctx.phase_done("certify");
         ctx.halt();
     }
 }
@@ -669,10 +842,18 @@ impl Process<RoundMsg> for AggregatorActor {
                     return;
                 }
                 // §4.6–§4.7: verify the well-formedness proof; discard
-                // offenders, substituting the neutral Enc(x^0).
+                // offenders, substituting the neutral Enc(x^0). The slot
+                // outcome is recorded for the certificate commitment —
+                // accepted slots with the digest of the ciphertext *as
+                // verified*, before any substitution.
                 let ct = if self.plan.verify_contribution(&sc) {
+                    self.statuses.insert(
+                        (origin, slot),
+                        SlotStatus::Accepted(ciphertext_digest(&sc.ct)),
+                    );
                     sc.ct
                 } else {
+                    self.statuses.insert((origin, slot), SlotStatus::Rejected);
                     let mut out = self.outcome.borrow_mut();
                     if !out.rejected.contains(&sc.device) {
                         out.rejected.push(sc.device);
@@ -719,6 +900,7 @@ impl Process<RoundMsg> for AggregatorActor {
                 rejected,
                 commitment,
                 leaves,
+                commits,
                 ct,
             } => {
                 ctx.send(from, RoundMsg::ShardRootAck { msg_id });
@@ -732,6 +914,15 @@ impl Process<RoundMsg> for AggregatorActor {
                         if !out.rejected.contains(&w) {
                             out.rejected.push(w);
                         }
+                        if !self.cert_rejected.contains(&w) {
+                            self.cert_rejected.push(w);
+                        }
+                    }
+                }
+                for cmt in commits {
+                    let o = cmt.origin as usize;
+                    if o < self.commits.len() && self.commits[o].is_none() {
+                        self.commits[o] = Some(cmt);
                     }
                 }
                 self.shard_roots[s] = Some(PartialRoot {
@@ -783,6 +974,27 @@ impl Process<RoundMsg> for AggregatorActor {
                     }
                 }
             }
+            RoundMsg::CertSig {
+                msg_id,
+                member,
+                sig,
+            } => {
+                self.retrier.ack(msg_id);
+                let Some(cert) = &self.cert else { return };
+                let idx = member as usize;
+                if idx == 0 || idx > self.committee_size || self.cert_sigs[idx].is_some() {
+                    return;
+                }
+                // A forged or corrupted signature is simply not counted;
+                // the deadline decides whether the quorum was reached.
+                if !verify_transcript_sig(self.spec_seed, member, &cert.transcript, &sig) {
+                    return;
+                }
+                self.cert_sigs[idx] = Some(sig);
+                if (1..=self.committee_size).all(|m| self.cert_sigs[m].is_some()) {
+                    self.seal_cert(ctx);
+                }
+            }
             _ => {}
         }
     }
@@ -794,6 +1006,10 @@ impl Process<RoundMsg> for AggregatorActor {
         // unacknowledged and re-arm the deadline of the phase the
         // journal replay landed us in.
         if self.finished {
+            if self.cert.is_some() {
+                self.retrier.resend_all(ctx);
+                ctx.set_timer(self.deadline, CERT_DEADLINE_KEY);
+            }
             return;
         }
         self.retrier.resend_all(ctx);
@@ -807,7 +1023,16 @@ impl Process<RoundMsg> for AggregatorActor {
     }
 
     fn on_timer(&mut self, ctx: &mut Ctx<RoundMsg>, key: u64) {
+        if key == CERT_DEADLINE_KEY {
+            self.seal_cert(ctx);
+            return;
+        }
         if self.finished {
+            // Only certificate-sign retries stay live after the result is
+            // durable; everything else died with the round.
+            if self.cert.is_some() {
+                let _ = self.retrier.on_timer(ctx, key);
+            }
             return;
         }
         if key == SUBMIT_DEADLINE_KEY {
@@ -878,6 +1103,11 @@ struct ShardActor {
     got_submissions: usize,
     sealed: bool,
     rejected: Vec<VertexId>,
+    /// `slot_map[o][s]`: the device expected to fill origin `o`'s slot
+    /// `s` — the shape of the certificate commitment leaves.
+    slot_map: Rc<Vec<Vec<VertexId>>>,
+    /// Per-slot intake outcomes, frozen into commitment leaves at seal.
+    statuses: BTreeMap<(VertexId, u32), SlotStatus>,
     outcome: Rc<RefCell<AggOutcome>>,
 }
 
@@ -924,12 +1154,37 @@ impl ShardActor {
             }
         };
         ctx.phase_done("seal");
+        // Freeze the per-origin certificate commitments for the owned
+        // origins — before the root ships, mirroring the net shard's
+        // journal ordering.
+        let commits: Vec<OriginCommit> = self
+            .owned
+            .iter()
+            .enumerate()
+            .filter(|&(_, &o)| o)
+            .map(|(v, _)| {
+                let slots: Vec<(u32, SlotStatus)> = self.slot_map[v]
+                    .iter()
+                    .enumerate()
+                    .map(|(s, &d)| {
+                        let status = self
+                            .statuses
+                            .get(&(v as VertexId, s as u32))
+                            .copied()
+                            .unwrap_or(SlotStatus::Missing);
+                        (d, status)
+                    })
+                    .collect();
+                commit_origin(v as u32, &slots)
+            })
+            .collect();
         let msg = RoundMsg::ShardRootMsg {
             msg_id: SUBMIT_MSG_ID,
             shard: self.shard,
             rejected: std::mem::take(&mut self.rejected),
             commitment: part.commitment,
             leaves: part.leaf_count as u32,
+            commits,
             ct: part.sum,
         };
         let coord = self.coord;
@@ -959,9 +1214,16 @@ impl Process<RoundMsg> for ShardActor {
                 }
                 // §4.6–§4.7, per shard: verify the well-formedness proof;
                 // discard offenders, substituting the neutral Enc(x^0).
+                // Slot outcomes are recorded for the certificate
+                // commitment, with accepted digests taken pre-substitution.
                 let ct = if self.plan.verify_contribution(&sc) {
+                    self.statuses.insert(
+                        (origin, slot),
+                        SlotStatus::Accepted(ciphertext_digest(&sc.ct)),
+                    );
                     sc.ct
                 } else {
+                    self.statuses.insert((origin, slot), SlotStatus::Rejected);
                     if !self.rejected.contains(&sc.device) {
                         self.rejected.push(sc.device);
                     }
@@ -1024,13 +1286,20 @@ impl Process<RoundMsg> for ShardActor {
 
 struct CommitteeActor {
     member: u64,
+    /// The round spec seed, under which this member's certificate signing
+    /// key is derived (hermetic stand-in for deployed PKI).
+    spec_seed: u64,
     key_shares: Rc<KeyShareSet>,
     seed: [u8; 32],
+    /// Canonical per-member randomness stream (`COMMITTEE + m`): fills the
+    /// joint-noise seed, then feeds share smudging — the same consumption
+    /// order as the net committee member.
+    rng: StdRng,
 }
 
 impl Process<RoundMsg> for CommitteeActor {
-    fn on_start(&mut self, ctx: &mut Ctx<RoundMsg>) {
-        ctx.rng().fill(&mut self.seed);
+    fn on_start(&mut self, _ctx: &mut Ctx<RoundMsg>) {
+        self.rng.fill(&mut self.seed);
     }
 
     fn on_message(&mut self, ctx: &mut Ctx<RoundMsg>, from: ActorId, msg: RoundMsg) {
@@ -1060,7 +1329,7 @@ impl Process<RoundMsg> for CommitteeActor {
                     self.member,
                     &participants,
                     1 << 10,
-                    ctx.rng(),
+                    &mut self.rng,
                 )
                 .expect("share computation on relinearized aggregate");
                 ctx.send(
@@ -1070,6 +1339,17 @@ impl Process<RoundMsg> for CommitteeActor {
                         round,
                         member: self.member,
                         share,
+                    },
+                );
+            }
+            RoundMsg::CertSignReq { msg_id, transcript } => {
+                let sig = sign_transcript(self.spec_seed, self.member, &transcript);
+                ctx.send(
+                    from,
+                    RoundMsg::CertSig {
+                        msg_id,
+                        member: self.member,
+                        sig,
                     },
                 );
             }
@@ -1112,7 +1392,7 @@ pub fn run_query_simulated(
     let c = params.committee_size;
     let t = c / 2;
     let members = elect(params.devices.max(n as u64), c, b"query-beacon");
-    let mut setup_rng = StdRng::seed_from_u64(cfg.seed).with_stream(u64::MAX);
+    let mut setup_rng = StdRng::seed_from_u64(cfg.seed).with_stream(streams::DEAL);
     let key_shares = Rc::new(KeyShareSet::deal(&keys.secret, t, c, &mut setup_rng));
     let keys = Rc::new(keys.clone());
 
@@ -1131,6 +1411,15 @@ pub fn run_query_simulated(
             });
         }
     }
+    // The certificate commitment's leaf shape: which device fills each of
+    // an origin's contribution slots.
+    let slot_map: Rc<Vec<Vec<VertexId>>> = Rc::new(
+        works
+            .iter()
+            .map(|w| w.requests.iter().map(|&(d, _)| d).collect())
+            .collect(),
+    );
+    let query_rc = Rc::new(query.clone());
 
     let outcome = Rc::new(RefCell::new(AggOutcome::default()));
     let mut sim: Simulation<RoundMsg> = Simulation::new(cfg.seed)
@@ -1168,6 +1457,7 @@ pub fn run_query_simulated(
         let slots = work.requests.len();
         sim.add_actor(Box::new(DeviceActor {
             vertex: v as VertexId,
+            spec_seed: cfg.seed,
             agg: n,
             agg_shards: shards,
             shard_base,
@@ -1187,6 +1477,9 @@ pub fn run_query_simulated(
     sim.add_actor(Box::new(AggregatorActor {
         plan: Rc::clone(&plan),
         keys: Rc::clone(&keys),
+        query: Rc::clone(&query_rc),
+        spec_seed: cfg.seed,
+        with_proofs,
         n_devices: n,
         committee_size: c,
         threshold: t,
@@ -1209,13 +1502,21 @@ pub fn run_query_simulated(
         participants: Vec::new(),
         shares: vec![None; c + 1],
         finished: false,
+        slot_map: Rc::clone(&slot_map),
+        statuses: BTreeMap::new(),
+        commits: vec![None; n],
+        cert_rejected: Vec::new(),
+        cert: None,
+        cert_sigs: vec![None; c + 1],
         outcome: Rc::clone(&outcome),
     }));
     for m in 1..=c as u64 {
         sim.add_actor(Box::new(CommitteeActor {
             member: m,
+            spec_seed: cfg.seed,
             key_shares: Rc::clone(&key_shares),
             seed: [0u8; 32],
+            rng: StdRng::seed_from_u64(cfg.seed).with_stream(streams::COMMITTEE + m),
         }));
     }
     if shards > 1 {
@@ -1239,6 +1540,8 @@ pub fn run_query_simulated(
                 got_submissions: 0,
                 sealed: false,
                 rejected: Vec::new(),
+                slot_map: Rc::clone(&slot_map),
+                statuses: BTreeMap::new(),
                 outcome: Rc::clone(&outcome),
             }));
         }
@@ -1265,5 +1568,6 @@ pub fn run_query_simulated(
         members,
         metrics: sim.metrics.clone(),
         elapsed: report.elapsed,
+        certificate: agg_out.certificate.take(),
     })
 }

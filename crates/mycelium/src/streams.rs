@@ -1,0 +1,21 @@
+//! Canonical rng stream bases shared by every round executor.
+//!
+//! Both the multi-process net round and the single-process simulated round
+//! derive all protocol randomness as
+//! `StdRng::seed_from_u64(seed).with_stream(base + index)`. Keeping the
+//! bases in one place is what makes the two executors produce bit-identical
+//! ciphertexts — and therefore byte-identical round certificates — for the
+//! same round spec.
+
+/// System key generation.
+pub const KEYS: u64 = 1;
+/// Per-vertex contribution encryption: `CONTRIB + v`.
+pub const CONTRIB: u64 = 0x10000;
+/// Per-vertex origin combine randomness: `ORIGIN + v`.
+pub const ORIGIN: u64 = 0x20000;
+/// Per-member committee randomness: `COMMITTEE + m`.
+pub const COMMITTEE: u64 = 0x30000;
+/// Aggregator-local substitutions.
+pub const AGGREGATOR: u64 = 0x40000;
+/// Committee key-share dealing.
+pub const DEAL: u64 = u64::MAX;

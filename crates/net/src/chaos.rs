@@ -410,6 +410,10 @@ pub enum ChaosVerdict {
     /// INVARIANT VIOLATION: the round neither finished nor failed
     /// within the round timeout.
     Hang,
+    /// INVARIANT VIOLATION: the histogram was right but the round's
+    /// certificate is missing or fails offline verification — crash
+    /// recovery is not allowed to cost the round its proof object.
+    BadCertificate,
 }
 
 impl ChaosVerdict {
@@ -424,6 +428,7 @@ impl ChaosVerdict {
             ChaosVerdict::TypedFailure => "typed_failure",
             ChaosVerdict::WrongAnswer => "wrong_answer",
             ChaosVerdict::Hang => "hang",
+            ChaosVerdict::BadCertificate => "bad_certificate",
         }
     }
 }
@@ -539,11 +544,22 @@ fn judge_outcome(
             .iter()
             .zip(want_released)
             .all(|(a, b)| a.label == b.label && a.histogram == b.histogram);
-    if exact_ok && released_ok {
-        ChaosVerdict::Exact
-    } else {
-        ChaosVerdict::WrongAnswer
+    if !(exact_ok && released_ok) {
+        return ChaosVerdict::WrongAnswer;
     }
+    // A successful round must also carry its proof: the certificate
+    // artifact exists and verifies offline, however many incarnations
+    // the aggregator burned through.
+    let Ok(text) = std::fs::read_to_string(out_dir.join(files::CERT_JSON)) else {
+        return ChaosVerdict::BadCertificate;
+    };
+    let Some(cert) = mycelium_cert::extract_cert_hex(&text) else {
+        return ChaosVerdict::BadCertificate;
+    };
+    if !mycelium_cert::verify_bytes(&cert).is_valid() {
+        return ChaosVerdict::BadCertificate;
+    }
+    ChaosVerdict::Exact
 }
 
 /// Runs one chaos round: executes the full multi-process round under

@@ -10,6 +10,7 @@
 
 use mycelium::plan::SignedContribution;
 use mycelium_bgv::Ciphertext;
+use mycelium_cert::OriginCommit;
 use mycelium_sharing::DecryptionShare;
 
 use crate::codec::{
@@ -70,6 +71,10 @@ pub enum NetMsg {
         /// Devices whose contributions failed proof verification at
         /// this shard (the coordinator unions them into the outcome).
         rejected: Vec<u32>,
+        /// Frozen per-origin contribution commitments for the origins
+        /// this shard owns; the coordinator folds them into the round
+        /// certificate's commitment tree.
+        commits: Vec<OriginCommit>,
         /// The shard's homomorphically combined partial aggregate.
         root: Box<Ciphertext>,
     },
@@ -78,6 +83,14 @@ pub enum NetMsg {
     PullShardStatus {
         /// The asking shard's index.
         shard: u32,
+    },
+    /// Committee member → aggregator: an ed25519 signature over the
+    /// round certificate's transcript digest. Idempotent (first wins).
+    PushCertSig {
+        /// Member id.
+        member: u64,
+        /// Detached signature over the transcript.
+        sig: [u8; 64],
     },
 
     /// Generic acknowledgement.
@@ -108,6 +121,12 @@ pub enum NetMsg {
         /// The aggregate ciphertext to partially decrypt.
         ct: Box<Ciphertext>,
     },
+    /// Reply to a committee check-in once the round certificate's
+    /// transcript is fixed and this member's signature is still missing.
+    CertSignTask {
+        /// The certificate transcript digest to sign.
+        transcript: [u8; 32],
+    },
     /// Reply to `PullStatus` / committee polls once the result is out.
     Finished,
 }
@@ -126,11 +145,13 @@ impl NetMsg {
             NetMsg::PullStatus => "PullStatus",
             NetMsg::ShardRoot { .. } => "ShardRoot",
             NetMsg::PullShardStatus { .. } => "PullShardStatus",
+            NetMsg::PushCertSig { .. } => "PushCertSig",
             NetMsg::Ack => "Ack",
             NetMsg::OriginPending { .. } => "OriginPending",
             NetMsg::OriginJob { .. } => "OriginJob",
             NetMsg::CommitteeWait => "CommitteeWait",
             NetMsg::CommitteeShareTask { .. } => "CommitteeShareTask",
+            NetMsg::CertSignTask { .. } => "CertSignTask",
             NetMsg::Finished => "Finished",
         }
     }
@@ -173,16 +194,29 @@ impl NetMsg {
             NetMsg::ShardRoot {
                 shard,
                 rejected,
+                commits,
                 root,
             } => {
                 w.put_u8(7);
                 w.put_u32(*shard);
                 w.put_u32_slice(rejected);
+                w.put_u32(commits.len() as u32);
+                for c in commits {
+                    w.put_u32(c.origin);
+                    w.put_bytes(&c.leaf);
+                    w.put_u32(c.accepted);
+                    w.put_u32(c.rejected);
+                }
                 encode_ciphertext(&mut w, root);
             }
             NetMsg::PullShardStatus { shard } => {
                 w.put_u8(8);
                 w.put_u32(*shard);
+            }
+            NetMsg::PushCertSig { member, sig } => {
+                w.put_u8(9);
+                w.put_u64(*member);
+                w.put_bytes(sig);
             }
             NetMsg::Ack => w.put_u8(16),
             NetMsg::OriginPending { have, need } => {
@@ -207,6 +241,10 @@ impl NetMsg {
                 w.put_u32(*round);
                 w.put_u64_slice(participants);
                 encode_ciphertext(&mut w, ct);
+            }
+            NetMsg::CertSignTask { transcript } => {
+                w.put_u8(22);
+                w.put_bytes(transcript);
             }
             NetMsg::Finished => w.put_u8(21),
         }
@@ -245,15 +283,35 @@ impl NetMsg {
                 if rejected.len() > MAX_SLOTS {
                     return Err(NetError::Decode("oversized rejected set".into()));
                 }
+                let n_commits = r.get_u32()? as usize;
+                if n_commits > MAX_SLOTS {
+                    return Err(NetError::Decode(format!(
+                        "shard root with {n_commits} origin commits"
+                    )));
+                }
+                let mut commits = Vec::with_capacity(n_commits);
+                for _ in 0..n_commits {
+                    commits.push(OriginCommit {
+                        origin: r.get_u32()?,
+                        leaf: r.get_array32()?,
+                        accepted: r.get_u32()?,
+                        rejected: r.get_u32()?,
+                    });
+                }
                 let root = Box::new(decode_ciphertext(&mut r, cc)?);
                 NetMsg::ShardRoot {
                     shard,
                     rejected,
+                    commits,
                     root,
                 }
             }
             8 => NetMsg::PullShardStatus {
                 shard: r.get_u32()?,
+            },
+            9 => NetMsg::PushCertSig {
+                member: r.get_u64()?,
+                sig: r.get_bytes(64)?.try_into().expect("64 bytes"),
             },
             16 => NetMsg::Ack,
             17 => NetMsg::OriginPending {
@@ -286,6 +344,9 @@ impl NetMsg {
                 }
             }
             21 => NetMsg::Finished,
+            22 => NetMsg::CertSignTask {
+                transcript: r.get_array32()?,
+            },
             tag => return Err(NetError::Decode(format!("unknown message tag {tag}"))),
         };
         r.expect_end()?;
@@ -309,14 +370,70 @@ mod tests {
             },
             NetMsg::PullStatus,
             NetMsg::PullShardStatus { shard: 2 },
+            NetMsg::PushCertSig {
+                member: 3,
+                sig: [0xA5u8; 64],
+            },
             NetMsg::Ack,
             NetMsg::OriginPending { have: 2, need: 5 },
             NetMsg::CommitteeWait,
+            NetMsg::CertSignTask {
+                transcript: [0x42u8; 32],
+            },
             NetMsg::Finished,
         ] {
             let kind = msg.kind();
             let back = NetMsg::decode(&msg.encode(), &cc).unwrap();
             assert_eq!(back.kind(), kind);
+        }
+    }
+
+    #[test]
+    fn cert_messages_roundtrip_field_exact() {
+        let cc = CodecCtx::new(&BgvParams::test_small());
+        let sig_msg = NetMsg::PushCertSig {
+            member: 9,
+            sig: core::array::from_fn(|i| i as u8),
+        };
+        match NetMsg::decode(&sig_msg.encode(), &cc).unwrap() {
+            NetMsg::PushCertSig { member, sig } => {
+                assert_eq!(member, 9);
+                assert_eq!(sig, core::array::from_fn(|i| i as u8));
+            }
+            other => panic!("wrong decode: {}", other.kind()),
+        }
+        let task = NetMsg::CertSignTask {
+            transcript: core::array::from_fn(|i| 31 - i as u8),
+        };
+        match NetMsg::decode(&task.encode(), &cc).unwrap() {
+            NetMsg::CertSignTask { transcript } => {
+                assert_eq!(transcript, core::array::from_fn(|i| 31 - i as u8));
+            }
+            other => panic!("wrong decode: {}", other.kind()),
+        }
+    }
+
+    /// Satellite: fuzz-style decoding — random byte strings through the
+    /// full message decoder must never panic; they either decode cleanly
+    /// or fail with a typed [`NetError::Decode`].
+    #[test]
+    fn random_bytes_never_panic_the_decoder() {
+        use mycelium_math::rng::{Rng, RngCore, SeedableRng, StdRng};
+        let cc = CodecCtx::new(&BgvParams::test_small());
+        let mut rng = StdRng::seed_from_u64(0xF02);
+        for round in 0..2048 {
+            let len = (rng.next_u64() % 512) as usize;
+            let mut buf = vec![0u8; len];
+            rng.fill(&mut buf[..]);
+            if round % 4 == 0 && !buf.is_empty() {
+                // Bias toward real tags so deep field decoders get hit.
+                buf[0] = [1, 3, 4, 5, 7, 9, 18, 20, 22][round % 9];
+            }
+            match NetMsg::decode(&buf, &cc) {
+                Ok(_) => {}
+                Err(NetError::Decode(_)) => {}
+                Err(e) => panic!("fuzz round {round}: untyped failure {e:?}"),
+            }
         }
     }
 

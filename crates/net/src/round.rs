@@ -53,7 +53,7 @@
 //! the client layer's at-least-once retry is safe — including across
 //! aggregator respawns.
 
-use std::collections::BTreeSet;
+use std::collections::{BTreeMap, BTreeSet};
 use std::io::BufRead;
 use std::net::SocketAddr;
 use std::path::{Path, PathBuf};
@@ -67,6 +67,11 @@ use mycelium::plan::{
     aggregate_and_audit, ciphertext_digest, combine_origin, origin_work, OriginWork, QueryPlan,
 };
 use mycelium_bgv::{Ciphertext, KeySet, Plaintext};
+use mycelium_cert::{
+    build_segments, commit_origin, noise_commitment, render_json, sign_transcript,
+    verify_transcript_sig, CertSpec, CommitteeSig, OriginCommit, ReleasedGroup, RoundCertificate,
+    SlotStatus,
+};
 use mycelium_crypto::sha256::{sha256, Digest};
 use mycelium_graph::generate::{
     epidemic_population, ContactGraphConfig, EpidemicConfig, Population,
@@ -110,18 +115,12 @@ pub mod role {
 }
 
 /// Rng stream bases (`StdRng::seed_from_u64(seed).with_stream(...)`).
-pub(crate) mod stream {
-    /// System key generation.
-    pub const KEYS: u64 = 1;
-    /// Per-vertex contribution encryption: `CONTRIB + v`.
-    pub const CONTRIB: u64 = 0x10000;
-    /// Per-vertex origin combine randomness: `ORIGIN + v`.
-    pub const ORIGIN: u64 = 0x20000;
-    /// Per-member committee randomness: `COMMITTEE + m`.
-    pub const COMMITTEE: u64 = 0x30000;
-    /// Aggregator-local substitutions.
-    pub const AGGREGATOR: u64 = 0x40000;
-}
+///
+/// Re-exported from [`mycelium::streams`]: the canonical stream layout is
+/// shared with the simulated executor so both derive bit-identical
+/// contributions, origin combines, and committee randomness — which is
+/// what makes their round certificates byte-identical.
+pub(crate) use mycelium::streams as stream;
 
 /// Everything that defines one multi-process round; every process
 /// derives identical state from it.
@@ -473,6 +472,15 @@ mod rec {
     pub const FAIL: u8 = 5;
     /// State-digest checkpoint (body = 32-byte [`AggState::digest`]).
     pub const DIGEST: u8 = 6;
+    /// Wall-clock transition: freeze the per-origin certificate
+    /// commitments (body = 32-byte commitment-plane digest, so a replay
+    /// that re-derives a different tree is a typed divergence). Always
+    /// journaled *before* [`AGGREGATE`]: commitment-then-seal is the
+    /// ordering that makes late contributions unable to move the tree.
+    pub const COMMIT: u8 = 7;
+    /// Wall-clock transition: seal the round certificate with whatever
+    /// committee signatures arrived.
+    pub const SEAL: u8 = 8;
 }
 
 /// Append a digest checkpoint after this many undigested records.
@@ -549,6 +557,16 @@ pub struct AggState {
     reselected: bool,
     shares: Vec<Option<DecryptionShare>>,
     share_deadline: Option<Instant>,
+    // Certificate plane: per-slot intake outcomes, frozen per-origin
+    // commitments, and the signed round certificate.
+    statuses: BTreeMap<(u32, u32), SlotStatus>,
+    commits: Vec<Option<OriginCommit>>,
+    commits_frozen: bool,
+    cert: Option<RoundCertificate>,
+    cert_sigs: Vec<Option<[u8; 64]>>,
+    cert_sealed: bool,
+    cert_bytes: Option<Vec<u8>>,
+    cert_since: Option<Instant>,
     // Result.
     outcome: Option<Result<RoundOutcome, String>>,
     finished_seen: BTreeSet<u64>,
@@ -638,6 +656,14 @@ impl AggState {
             reselected: false,
             shares: vec![None; c + 1],
             share_deadline: None,
+            statuses: BTreeMap::new(),
+            commits: vec![None; n],
+            commits_frozen: false,
+            cert: None,
+            cert_sigs: vec![None; c + 1],
+            cert_sealed: false,
+            cert_bytes: None,
+            cert_since: None,
             outcome: None,
             finished_seen: BTreeSet::new(),
             finished_shards: BTreeSet::new(),
@@ -771,6 +797,66 @@ impl AggState {
                 w.put_bytes(&bytes);
             }
         }
+        w.put_u32(self.statuses.len() as u32);
+        for (&(o, s), status) in &self.statuses {
+            w.put_u32(o);
+            w.put_u32(s);
+            match status {
+                SlotStatus::Missing => w.put_u8(0),
+                SlotStatus::Rejected => w.put_u8(1),
+                SlotStatus::Accepted(d) => {
+                    w.put_u8(2);
+                    w.put_bytes(d);
+                }
+            }
+        }
+        w.put_u8(self.commits_frozen as u8);
+        w.put_bytes(&self.commit_digest());
+        match &self.cert {
+            None => w.put_u8(0),
+            Some(cert) => {
+                w.put_u8(1);
+                w.put_bytes(&cert.transcript);
+            }
+        }
+        for s in &self.cert_sigs {
+            match s {
+                None => w.put_u8(0),
+                Some(sig) => {
+                    w.put_u8(1);
+                    w.put_bytes(sig);
+                }
+            }
+        }
+        w.put_u8(self.cert_sealed as u8);
+        match &self.cert_bytes {
+            None => w.put_u8(0),
+            Some(bytes) => {
+                w.put_u8(1);
+                w.put_bytes(&sha256(bytes));
+            }
+        }
+        sha256(&w.finish())
+    }
+
+    /// Digest of the frozen commitment plane (the [`rec::COMMIT`] record
+    /// body): replay re-derives the commitments from the journaled
+    /// intake and must land on the same tree.
+    fn commit_digest(&self) -> Digest {
+        let mut w = Writer::new();
+        w.put_u32(self.commits.len() as u32);
+        for cmt in &self.commits {
+            match cmt {
+                None => w.put_u8(0),
+                Some(cm) => {
+                    w.put_u8(1);
+                    w.put_u32(cm.origin);
+                    w.put_bytes(&cm.leaf);
+                    w.put_u32(cm.accepted);
+                    w.put_u32(cm.rejected);
+                }
+            }
+        }
         sha256(&w.finish())
     }
 
@@ -883,6 +969,23 @@ impl AggState {
             rec::AGGREGATE => self.do_aggregate(),
             rec::SELECT => self.do_select(),
             rec::RESELECT => self.do_reselect(),
+            rec::COMMIT => {
+                let want: Digest = body.try_into().map_err(|_| JournalError::Replay {
+                    seq,
+                    why: format!("commitment freeze of {} bytes", body.len()),
+                })?;
+                self.do_commit();
+                let got = self.commit_digest();
+                if got != want {
+                    return Err(JournalError::StateDiverged {
+                        at_records: seq,
+                        want,
+                        got,
+                    }
+                    .into());
+                }
+            }
+            rec::SEAL => self.do_seal(),
             rec::FAIL => {
                 let msg = String::from_utf8_lossy(body).into_owned();
                 self.fail(msg);
@@ -914,6 +1017,141 @@ impl AggState {
     }
 
     // --- phase transitions ----------------------------------------------
+
+    /// Freezes the per-origin certificate commitments from the slot
+    /// statuses recorded at intake. Runs right before the aggregate is
+    /// sealed (and is journaled before it), so late contributions can no
+    /// longer move the tree. The coordinator's commitments arrive inside
+    /// `ShardRoot` requests instead; its freeze just pins whatever the
+    /// shards delivered by intake-done.
+    fn do_commit(&mut self) {
+        if self.commits_frozen {
+            return;
+        }
+        self.commits_frozen = true;
+        let setup = Arc::clone(&self.setup);
+        let mine: Vec<usize> = match &self.mode {
+            AggMode::Hub => (0..setup.pop.graph.len()).collect(),
+            AggMode::Shard { owned, .. } => owned
+                .iter()
+                .enumerate()
+                .filter(|&(_, &own)| own)
+                .map(|(v, _)| v)
+                .collect(),
+            AggMode::Coordinator { .. } => Vec::new(),
+        };
+        for v in mine {
+            let slots: Vec<(u32, SlotStatus)> = setup.works[v]
+                .requests
+                .iter()
+                .enumerate()
+                .map(|(s, &(d, _))| {
+                    let status = self
+                        .statuses
+                        .get(&(v as u32, s as u32))
+                        .copied()
+                        .unwrap_or(SlotStatus::Missing);
+                    (d, status)
+                })
+                .collect();
+            self.commits[v] = Some(commit_origin(v as u32, &slots));
+        }
+    }
+
+    /// Assembles the round certificate once the outcome is decided.
+    /// Mirrors the simulated executor's construction field for field —
+    /// the two executors must emit byte-identical certificates for the
+    /// same round spec.
+    fn build_certificate(&mut self) {
+        let Some(Ok(out)) = &self.outcome else { return };
+        if !self.commits_frozen || self.commits.iter().any(|c| c.is_none()) {
+            if !self.replaying {
+                eprintln!(
+                    "{}: certificate skipped: incomplete commitment plane",
+                    self.who
+                );
+            }
+            return;
+        }
+        let leaves: Vec<Digest> = self
+            .commits
+            .iter()
+            .map(|c| c.as_ref().expect("checked").leaf)
+            .collect();
+        let counts: Vec<(u32, u32)> = self
+            .commits
+            .iter()
+            .map(|c| {
+                let c = c.as_ref().expect("checked");
+                (c.accepted, c.rejected)
+            })
+            .collect();
+        let (segments, contrib_root) = build_segments(&leaves, &counts);
+        let mut rejected: Vec<u32> = out.rejected.clone();
+        rejected.sort_unstable();
+        rejected.dedup();
+        let spec = CertSpec {
+            seed: self.setup.spec.seed,
+            devices: self.setup.pop.graph.len() as u32,
+            query: self.setup.spec.query.clone(),
+            with_proofs: self.setup.spec.with_proofs,
+        };
+        let seeds: Vec<[u8; 32]> = self.pongs.iter().filter_map(|p| *p).collect();
+        let mut cert = RoundCertificate {
+            spec_digest: spec.digest(),
+            spec,
+            committee: self.setup.committee_size as u32,
+            threshold: self.setup.threshold as u32,
+            share_round: self.share_round,
+            participants: self.participants.iter().map(|&m| m as u32).collect(),
+            leaves,
+            segments,
+            contrib_root,
+            rejected,
+            aggregate_digest: ciphertext_digest(self.aggregate.as_ref().expect("aggregated")),
+            noise_commitment: noise_commitment(&seeds),
+            released: out
+                .released
+                .iter()
+                .map(|g| ReleasedGroup {
+                    label: g.label.clone(),
+                    histogram: g.histogram.clone(),
+                })
+                .collect(),
+            transcript: [0u8; 32],
+            signatures: Vec::new(),
+        };
+        cert.transcript = cert.compute_transcript();
+        self.cert = Some(cert);
+    }
+
+    /// Attaches whatever valid committee signatures arrived and seals
+    /// the certificate. Fewer than `t + 1` signatures means no
+    /// certificate bytes — the round result stands, but it is not
+    /// independently checkable.
+    fn do_seal(&mut self) {
+        if self.cert_sealed {
+            return;
+        }
+        self.cert_sealed = true;
+        let threshold = self.setup.threshold;
+        let Some(cert) = self.cert.as_mut() else {
+            return;
+        };
+        cert.signatures = (1..=self.setup.committee_size as u64)
+            .filter_map(|m| self.cert_sigs[m as usize].map(|sig| CommitteeSig { member: m, sig }))
+            .collect();
+        if cert.signatures.len() > threshold {
+            self.cert_bytes = Some(cert.encode());
+        } else if !self.replaying {
+            eprintln!(
+                "{}: certificate unsigned: {} of {} needed signatures",
+                self.who,
+                cert.signatures.len(),
+                threshold + 1
+            );
+        }
+    }
 
     /// Forms this process's aggregate.
     ///
@@ -1033,6 +1271,11 @@ impl AggState {
             released,
             rejected,
         }));
+        // The result is decided; what remains is collecting committee
+        // signatures over the certificate transcript. Building the
+        // certificate here — inside the journaled request that delivered
+        // the last share — makes replay re-derive it bit-identically.
+        self.build_certificate();
     }
 
     /// Lazy wall-clock phase transitions, run around every request and
@@ -1041,9 +1284,18 @@ impl AggState {
     /// the same point in the event order instead of re-evaluating
     /// wall-clock conditions.
     fn tick(&mut self) -> Result<(), NetError> {
-        if self.replaying || self.outcome.is_some() {
+        if self.replaying {
             return Ok(());
         }
+        if self.outcome.is_none() {
+            self.tick_round()?;
+        }
+        self.tick_cert()
+    }
+
+    /// The pre-outcome transitions: commitment freeze, aggregate,
+    /// participant selection, reselect-or-fail.
+    fn tick_round(&mut self) -> Result<(), NetError> {
         // Aggregate once every expected input arrived — origin rows for
         // the hub / a shard, sealed roots for the coordinator. Hub and
         // shard also fire on the extended deadline (missing origins
@@ -1062,6 +1314,17 @@ impl AggState {
             AggMode::Coordinator { shards } => self.got_submissions == *shards as usize,
         };
         if self.aggregate.is_none() && intake_done {
+            // Commitment-then-seal: freeze (and journal) the per-origin
+            // certificate commitments before the aggregate exists, so
+            // nothing that arrives later can move the committed tree.
+            if !self.commits_frozen {
+                self.do_commit();
+                let mut record = Vec::with_capacity(33);
+                record.push(rec::COMMIT);
+                record.extend_from_slice(&self.commit_digest());
+                self.digest_due = true;
+                self.append_record(&record)?;
+            }
             self.append_mark(rec::AGGREGATE)?;
             self.do_aggregate();
         }
@@ -1104,6 +1367,35 @@ impl AggState {
             }
         }
         Ok(())
+    }
+
+    /// The post-outcome transition: seal the certificate once every
+    /// committee member signed its transcript, or once the grace period
+    /// expires (quorum then decides whether certificate bytes exist).
+    fn tick_cert(&mut self) -> Result<(), NetError> {
+        if self.cert_sealed || self.cert.is_none() || !matches!(self.outcome, Some(Ok(_))) {
+            return Ok(());
+        }
+        let c = self.setup.committee_size;
+        let all_signed = (1..=c).all(|m| self.cert_sigs[m].is_some());
+        let since = *self.cert_since.get_or_insert_with(Instant::now);
+        if all_signed || since.elapsed() >= self.share_wait() {
+            self.append_mark(rec::SEAL)?;
+            self.do_seal();
+        }
+        Ok(())
+    }
+
+    /// Whether the round is fully over from a client's point of view:
+    /// the outcome exists *and* the certificate (when one was built) is
+    /// sealed. `Finished` replies wait for this, so no role can exit
+    /// while its certificate signature is still wanted.
+    fn round_done(&self) -> bool {
+        match &self.outcome {
+            None => false,
+            Some(Err(_)) => true,
+            Some(Ok(_)) => self.cert.is_none() || self.cert_sealed,
+        }
     }
 
     /// Whether this process accepts intake traffic for origin `v`.
@@ -1158,6 +1450,16 @@ impl AggState {
                     && self.participants.contains(member)
                     && self.shares[*member as usize].is_none()
             }
+            NetMsg::PushCertSig { member, sig } => {
+                self.committee_enabled()
+                    && *member >= 1
+                    && *member <= c
+                    && !self.cert_sealed
+                    && self.cert_sigs[*member as usize].is_none()
+                    && self.cert.as_ref().is_some_and(|cert| {
+                        verify_transcript_sig(self.setup.spec.seed, *member, &cert.transcript, sig)
+                    })
+            }
             _ => false,
         }
     }
@@ -1180,10 +1482,18 @@ impl AggState {
                 }
                 if self.seen.insert((origin, slot)) {
                     // §4.6–§4.7: verify the proof; substitute the neutral
-                    // Enc(x^0) for offenders and remember them.
+                    // Enc(x^0) for offenders and remember them. The slot
+                    // outcome is recorded for the certificate commitment
+                    // — accepted slots with the digest of the ciphertext
+                    // *as verified*, before any substitution.
                     let ct = if self.setup.plan.verify_contribution(&sc) {
+                        self.statuses.insert(
+                            (origin, slot),
+                            SlotStatus::Accepted(ciphertext_digest(&sc.ct)),
+                        );
                         sc.ct
                     } else {
+                        self.statuses.insert((origin, slot), SlotStatus::Rejected);
                         if !self.rejected.contains(&sc.device) {
                             self.rejected.push(sc.device);
                         }
@@ -1230,11 +1540,21 @@ impl AggState {
                 if self.pongs[member as usize - 1].is_none() {
                     self.pongs[member as usize - 1] = Some(seed);
                 }
-                if self.outcome.is_some() {
+                if self.round_done() {
                     if !self.replaying {
                         self.finished_seen.insert(member);
                     }
                     NetMsg::Finished
+                } else if let (Some(Ok(_)), Some(cert)) = (&self.outcome, &self.cert) {
+                    // The result is decided; the only thing left to
+                    // collect is this member's certificate signature.
+                    if self.cert_sigs[member as usize].is_none() {
+                        NetMsg::CertSignTask {
+                            transcript: cert.transcript,
+                        }
+                    } else {
+                        NetMsg::CommitteeWait
+                    }
                 } else if self.participants.contains(&member)
                     && self.shares[member as usize].is_none()
                 {
@@ -1272,7 +1592,7 @@ impl AggState {
                 NetMsg::Ack
             }
             NetMsg::PullStatus => {
-                if self.outcome.is_some() {
+                if self.round_done() {
                     if !self.replaying {
                         self.driver_seen = true;
                     }
@@ -1281,9 +1601,31 @@ impl AggState {
                     NetMsg::CommitteeWait
                 }
             }
+            NetMsg::PushCertSig { member, sig } => {
+                if !self.committee_enabled() || member < 1 || member > c {
+                    return Err(NetError::Decode(format!("member {member} out of range")));
+                }
+                if let Some(cert) = &self.cert {
+                    // A forged or corrupted signature is simply not
+                    // counted; the seal grace decides the quorum.
+                    if !self.cert_sealed
+                        && self.cert_sigs[member as usize].is_none()
+                        && verify_transcript_sig(
+                            self.setup.spec.seed,
+                            member,
+                            &cert.transcript,
+                            &sig,
+                        )
+                    {
+                        self.cert_sigs[member as usize] = Some(sig);
+                    }
+                }
+                NetMsg::Ack
+            }
             NetMsg::ShardRoot {
                 shard,
                 rejected,
+                commits,
                 root,
             } => {
                 let AggMode::Coordinator { shards } = &self.mode else {
@@ -1300,6 +1642,11 @@ impl AggState {
                         "shard {shard} rejected a device outside the population"
                     )));
                 }
+                if commits.iter().any(|c| c.origin >= n) {
+                    return Err(NetError::Decode(format!(
+                        "shard {shard} committed an origin outside the population"
+                    )));
+                }
                 if self.submissions[shard as usize].is_none() {
                     self.submissions[shard as usize] = Some(*root);
                     self.got_submissions += 1;
@@ -1308,8 +1655,14 @@ impl AggState {
                             self.rejected.push(v);
                         }
                     }
+                    for cmt in commits {
+                        let o = cmt.origin as usize;
+                        if self.commits[o].is_none() {
+                            self.commits[o] = Some(cmt);
+                        }
+                    }
                 }
-                if self.outcome.is_some() {
+                if self.round_done() {
                     if !self.replaying {
                         self.finished_shards.insert(shard);
                     }
@@ -1319,7 +1672,7 @@ impl AggState {
                 }
             }
             NetMsg::PullShardStatus { shard } => {
-                if self.outcome.is_some() {
+                if self.round_done() {
                     if !self.replaying {
                         self.finished_shards.insert(shard);
                     }
@@ -1362,17 +1715,44 @@ impl AggState {
     /// The shard's sealed `ShardRoot` message once the partial tree is
     /// formed (`None` before that, and always in the other modes).
     pub fn shard_root_msg(&self) -> Option<NetMsg> {
-        let AggMode::Shard { shard, .. } = &self.mode else {
+        let AggMode::Shard { shard, owned, .. } = &self.mode else {
             return None;
         };
         self.aggregate.as_ref().map(|root| {
             let mut rejected = self.rejected.clone();
             rejected.sort_unstable();
+            // The aggregate only exists after the commitment freeze, so
+            // every owned origin's commitment is present.
+            let commits: Vec<OriginCommit> = self
+                .commits
+                .iter()
+                .zip(owned.iter())
+                .filter(|(_, &own)| own)
+                .map(|(c, _)| c.clone().expect("commits freeze before the root seals"))
+                .collect();
             NetMsg::ShardRoot {
                 shard: *shard,
                 rejected,
+                commits,
                 root: Box::new(root.clone()),
             }
+        })
+    }
+
+    /// The sealed round certificate's canonical bytes, once the seal
+    /// happened and the signature quorum was reached (`None` before the
+    /// seal, below quorum, and always on shards).
+    pub fn certificate(&self) -> Option<&[u8]> {
+        self.cert_bytes.as_deref()
+    }
+
+    /// The sealed certificate rendered as the `ROUND_cert.json` artifact
+    /// (human-readable fields plus the canonical bytes hex-embedded).
+    pub fn certificate_json(&self) -> Option<String> {
+        self.certificate().and_then(|bytes| {
+            RoundCertificate::decode(bytes)
+                .ok()
+                .map(|cert| render_json(&cert, bytes) + "\n")
         })
     }
 
@@ -1400,6 +1780,9 @@ pub mod files {
     pub const AGG_ADDR: &str = "agg.addr";
     /// The chaos supervisor's per-seed report artifact.
     pub const CHAOS_JSON: &str = "CHAOS_report.json";
+    /// The sealed round certificate (JSON envelope with the canonical
+    /// bytes hex-embedded; feed it to `myc_verify`).
+    pub const CERT_JSON: &str = "ROUND_cert.json";
 
     /// Per-role metrics file name.
     pub fn role_metrics(name: &str) -> String {
@@ -1510,13 +1893,13 @@ pub fn run_aggregator(
 
     let started = Instant::now();
     let mut outcome_since: Option<Instant> = None;
-    let result = loop {
+    let (result, cert_json) = loop {
         std::thread::sleep(Duration::from_millis(20));
         let mut s = lock_recover(&state);
         if let Err(e) = s.tick().and_then(|_| s.flush()) {
             s.fail(format!("journal failure: {e}"));
         }
-        if s.outcome.is_some() {
+        if s.round_done() {
             let since = *outcome_since.get_or_insert_with(Instant::now);
             // Committee members (and shards) that died after the
             // outcome formed can never poll `Finished`; a grace period
@@ -1529,18 +1912,29 @@ pub fn run_aggregator(
             let all_observed = s.finished_seen.len() == setup.committee_size
                 && s.finished_shards.len() == shards_expected;
             if s.driver_seen && (all_observed || since.elapsed() >= FINISH_GRACE) {
-                break s.outcome.take().expect("checked");
+                let json = s.certificate_json();
+                break (s.outcome.take().expect("checked"), json);
             }
         }
         if started.elapsed() >= spec.round_timeout {
-            break s.outcome.take().unwrap_or_else(|| {
-                Err(format!(
-                    "round did not converge within {:?}",
-                    spec.round_timeout
-                ))
-            });
+            let json = s.certificate_json();
+            break (
+                s.outcome.take().unwrap_or_else(|| {
+                    Err(format!(
+                        "round did not converge within {:?}",
+                        spec.round_timeout
+                    ))
+                }),
+                json,
+            );
         }
     };
+    // The certificate lands on disk *before* the outcome file: the
+    // outcome is the durable end-of-round signal lingering roles watch,
+    // so nobody can observe a finished round with a missing certificate.
+    if let Some(json) = cert_json {
+        std::fs::write(out_dir.join(files::CERT_JSON), json)?;
+    }
     std::fs::write(out_dir.join(files::OUTCOME), encode_outcome(&result))?;
     let metrics = lock_recover(&server.metrics()).clone();
     write_metrics(out_dir, "aggregator", &metrics)?;
@@ -2026,6 +2420,14 @@ pub fn run_committee(
                     round,
                     share: Box::new(computed[&round].clone()),
                 };
+                expect_ack(&hub.request_msg(&setup, &msg)?)?;
+            }
+            NetMsg::CertSignTask { transcript } => {
+                // Endorse the round certificate: a detached ed25519
+                // signature over its transcript digest. Deterministic,
+                // so a respawned member re-signs identically.
+                let sig = sign_transcript(spec.seed, member, &transcript);
+                let msg = NetMsg::PushCertSig { member, sig };
                 expect_ack(&hub.request_msg(&setup, &msg)?)?;
             }
             other => {

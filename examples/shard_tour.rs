@@ -118,7 +118,7 @@ fn main() {
         .collect();
     let predicted_root: Vec<u64> = root_level
         .iter()
-        .map(|&lvl| shard_root_sim_bytes(2 * lvl * params.bgv.n * 8, 0) as u64)
+        .map(|&lvl| shard_root_sim_bytes(2 * lvl * params.bgv.n * 8, 0, 0) as u64)
         .collect();
 
     // ---- Step 3: run both layouts on the simulated network.

@@ -1,0 +1,82 @@
+//! Standalone offline verifier for round certificates.
+//!
+//! ```text
+//! myc_verify <path>...
+//! ```
+//!
+//! Each argument names a certificate artifact: either raw canonical
+//! bytes (leading magic `MYCCERT1`), a `ROUND_cert.json` artifact, or a
+//! bare hex dump. The verifier needs nothing but the file — no network,
+//! no journals, no keys beyond the seed-derived committee keys the
+//! certificate itself is bound to — and re-checks every commitment:
+//! Merkle roots over the carried leaves, the spec and transcript binding
+//! digests, and at least `t + 1` committee signatures over the
+//! transcript (see DESIGN.md, "Round certificates").
+//!
+//! One verdict line per file on stdout. Exit status: `0` when every
+//! file verifies, `2` when any certificate is invalid (typed verdict,
+//! printed), `1` on usage or I/O errors. Never panics on untrusted
+//! input — malformed bytes are a typed `bad-encoding` verdict, not a
+//! crash.
+
+use std::process::ExitCode;
+
+use mycelium_cert::{
+    cert_fingerprint, extract_cert_hex, from_hex, to_hex, verify_bytes, RoundCertificate,
+    CERT_MAGIC,
+};
+
+/// Pulls canonical certificate bytes out of whatever the file holds.
+fn certificate_bytes(raw: &[u8]) -> Result<Vec<u8>, String> {
+    if raw.starts_with(CERT_MAGIC) {
+        return Ok(raw.to_vec());
+    }
+    let text = std::str::from_utf8(raw)
+        .map_err(|_| "neither raw certificate bytes nor UTF-8 text".to_string())?;
+    extract_cert_hex(text)
+        .or_else(|| from_hex(text.trim()))
+        .ok_or_else(|| "no certificate hex found in file".to_string())
+}
+
+fn verify_file(path: &str) -> Result<bool, String> {
+    let raw = std::fs::read(path).map_err(|e| format!("{path}: {e}"))?;
+    let bytes = certificate_bytes(&raw).map_err(|e| format!("{path}: {e}"))?;
+    let verdict = verify_bytes(&bytes);
+    match RoundCertificate::decode(&bytes) {
+        Ok(cert) => println!(
+            "{path}: {verdict} — seed {} query {} devices {} committee {}/{} fingerprint {}",
+            cert.spec.seed,
+            cert.spec.query,
+            cert.spec.devices,
+            cert.signatures.len(),
+            cert.committee,
+            to_hex(&cert_fingerprint(&bytes)[..8]),
+        ),
+        Err(_) => println!("{path}: {verdict}"),
+    }
+    Ok(verdict.is_valid())
+}
+
+fn main() -> ExitCode {
+    let paths: Vec<String> = std::env::args().skip(1).collect();
+    if paths.is_empty() || paths.iter().any(|p| p == "-h" || p == "--help") {
+        eprintln!("usage: myc_verify <certificate-file>...");
+        eprintln!("  accepts raw MYCCERT1 bytes, ROUND_cert.json, or a hex dump");
+        return ExitCode::from(1);
+    }
+    let mut all_valid = true;
+    for path in &paths {
+        match verify_file(path) {
+            Ok(valid) => all_valid &= valid,
+            Err(e) => {
+                eprintln!("myc_verify: {e}");
+                return ExitCode::from(1);
+            }
+        }
+    }
+    if all_valid {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::from(2)
+    }
+}

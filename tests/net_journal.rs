@@ -11,9 +11,12 @@
 use std::path::PathBuf;
 use std::sync::Arc;
 
+use mycelium_bgv::{Ciphertext, Plaintext};
+use mycelium_cert::{sign_transcript, verify_bytes};
 use mycelium_net::proto::NetMsg;
 use mycelium_net::round::{build_setup, files, AggState, RoundSetup, RoundSpec};
 use mycelium_net::{JournalError, NetError};
+use mycelium_sharing::threshold::decryption_share;
 
 use mycelium_math::rng::{SeedableRng, StdRng};
 
@@ -120,6 +123,164 @@ fn replayed_state_is_bit_identical_and_continues_identically() {
         twin.digest(),
         "recovered state must evolve exactly like an uncrashed one"
     );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// One full live request round-trip that returns the reply (the plain
+/// [`feed`] discards it).
+fn request(st: &mut AggState, setup: &RoundSetup, msg: &NetMsg) -> NetMsg {
+    let raw = msg.encode();
+    let decoded = NetMsg::decode(&raw, &setup.cc).unwrap();
+    st.handle(decoded, &raw).unwrap()
+}
+
+/// Drives a complete hub round up to the decided outcome: every origin
+/// submits its (here: neutral) row, the whole committee checks in, and
+/// the selected participants answer their share tasks. Stops *before*
+/// any certificate signature is pushed, so the caller chooses where in
+/// the signature collection to crash.
+fn drive_to_outcome(st: &mut AggState, setup: &RoundSetup) {
+    for v in 0..setup.pop.graph.len() as u32 {
+        let mut rng = StdRng::seed_from_u64(2000 + v as u64);
+        let ct = Ciphertext::encrypt(
+            &setup.keys.public,
+            &Plaintext::zero(setup.plan.n_ring, setup.plan.t_pt),
+            &mut rng,
+        )
+        .unwrap();
+        let reply = request(
+            st,
+            setup,
+            &NetMsg::SubmitOrigin {
+                origin: v,
+                ct: Box::new(ct),
+            },
+        );
+        assert!(matches!(reply, NetMsg::Ack));
+    }
+    // First check-in wave registers every member (and its noise seed);
+    // the tick after the last one selects the participants. The second
+    // wave then hands each participant its share task.
+    for wave in 0..2 {
+        for m in 1..=setup.committee_size as u64 {
+            let reply = request(
+                st,
+                setup,
+                &NetMsg::CommitteeCheckIn {
+                    member: m,
+                    seed: [m as u8; 32],
+                },
+            );
+            if let NetMsg::CommitteeShareTask {
+                round,
+                participants,
+                ct,
+            } = reply
+            {
+                assert_eq!(wave, 1, "no share task before selection");
+                let mut rng = StdRng::seed_from_u64(3000 + m);
+                let share = decryption_share(
+                    &ct,
+                    &setup.key_shares,
+                    m,
+                    &participants,
+                    setup.plan.t_pt as i64,
+                    &mut rng,
+                )
+                .unwrap();
+                request(
+                    st,
+                    setup,
+                    &NetMsg::PushShare {
+                        member: m,
+                        round,
+                        share: Box::new(share),
+                    },
+                );
+            }
+        }
+    }
+    assert!(st.is_finished(), "round must decide after all shares");
+}
+
+/// Fetches member `m`'s `CertSignTask` via a check-in and pushes its
+/// transcript signature.
+fn push_cert_sig(st: &mut AggState, setup: &RoundSetup, m: u64) {
+    let reply = request(
+        st,
+        setup,
+        &NetMsg::CommitteeCheckIn {
+            member: m,
+            seed: [m as u8; 32],
+        },
+    );
+    let NetMsg::CertSignTask { transcript } = reply else {
+        panic!("expected a sign task for member {m}, got {}", reply.kind());
+    };
+    let sig = sign_transcript(setup.spec.seed, m, &transcript);
+    let reply = request(st, setup, &NetMsg::PushCertSig { member: m, sig });
+    assert!(matches!(reply, NetMsg::Ack));
+}
+
+#[test]
+fn replay_rederives_the_sealed_certificate_bit_for_bit() {
+    // The proof-carrying-rounds durability invariant (DESIGN.md, "Round
+    // certificates"): an aggregator that crashes *mid signature
+    // collection* — after the outcome and the certificate transcript
+    // were decided, with only part of the committee's endorsements on
+    // disk — recovers from its journal and seals the exact certificate
+    // an uncrashed twin seals, byte for byte.
+    let setup = Arc::new(build_setup(&test_spec()).unwrap());
+    let c = setup.committee_size as u64;
+    let dir = journal_dir("cert");
+    let path = dir.join(files::JOURNAL);
+
+    let mut st = AggState::recover(Arc::clone(&setup), &path).unwrap();
+    drive_to_outcome(&mut st, &setup);
+    assert!(
+        st.certificate().is_none(),
+        "certificate must not seal before the signature quorum"
+    );
+    // Two of five signatures land, then the process dies.
+    for m in 1..=2 {
+        push_cert_sig(&mut st, &setup, m);
+    }
+    let pre_crash = st.digest();
+    drop(st);
+
+    let mut recovered = AggState::recover(Arc::clone(&setup), &path).unwrap();
+    assert_eq!(
+        recovered.digest(),
+        pre_crash,
+        "replay must rebuild the outcome, the certificate transcript, \
+         and the collected signatures"
+    );
+    assert!(
+        recovered.certificate().is_none(),
+        "still below full sign-off"
+    );
+    for m in 3..=c {
+        push_cert_sig(&mut recovered, &setup, m);
+    }
+    let cert = recovered
+        .certificate()
+        .expect("all members signed, the tick seals")
+        .to_vec();
+    assert!(verify_bytes(&cert).is_valid());
+
+    // The uncrashed twin seals the identical bytes.
+    let twin_path = dir.join("twin.bin");
+    let mut twin = AggState::recover(Arc::clone(&setup), &twin_path).unwrap();
+    drive_to_outcome(&mut twin, &setup);
+    for m in 1..=c {
+        push_cert_sig(&mut twin, &setup, m);
+    }
+    assert_eq!(
+        twin.certificate(),
+        Some(cert.as_slice()),
+        "crash recovery must not perturb the sealed certificate"
+    );
+    assert_eq!(recovered.digest(), twin.digest());
     let _ = std::fs::remove_dir_all(&dir);
 }
 

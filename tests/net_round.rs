@@ -11,8 +11,9 @@ use std::path::{Path, PathBuf};
 use std::process::Command;
 
 use mycelium::params::SystemParams;
-use mycelium::run_query_encrypted;
+use mycelium::{run_query_encrypted, run_query_simulated, SimNetConfig};
 use mycelium_bgv::KeySet;
+use mycelium_cert::{extract_cert_hex, verify_bytes};
 use mycelium_dp::PrivacyBudget;
 use mycelium_math::rng::{SeedableRng, StdRng};
 use mycelium_net::client::FRAME_OVERHEAD;
@@ -48,6 +49,48 @@ fn run_driver(spec: &RoundSpec, dir: &Path, extra: &[&str]) -> std::process::Out
         .args(extra)
         .env("MYC_THREADS", "1");
     cmd.output().expect("driver spawns")
+}
+
+/// Runs the simulated executor on the exact spec the net driver uses —
+/// same seed-derived keys, same population, same canonical rng streams —
+/// and returns its sealed certificate bytes. Proof-carrying rounds
+/// promise that both executors emit *byte-identical* certificates for
+/// the same round spec, whatever the intake topology.
+fn sim_certificate(spec: &RoundSpec) -> Vec<u8> {
+    let params = SystemParams::simulation();
+    let pop = build_population(spec);
+    let query = paper_query(&spec.query).unwrap();
+    let mut key_rng = StdRng::seed_from_u64(spec.seed).with_stream(mycelium::streams::KEYS);
+    let keys = KeySet::generate(&params.bgv, &mut key_rng);
+    let mut budget = PrivacyBudget::new(100.0);
+    let cfg = SimNetConfig {
+        seed: spec.seed,
+        ..SimNetConfig::default()
+    };
+    let sim = run_query_simulated(
+        &query,
+        &pop,
+        &params,
+        &keys,
+        &[],
+        spec.with_proofs,
+        &mut budget,
+        &cfg,
+    )
+    .expect("simulated run");
+    sim.certificate
+        .expect("simulated round seals a certificate")
+}
+
+/// Reads the round's certificate artifact, checks that it verifies
+/// offline, and returns the canonical bytes it embeds.
+fn read_valid_certificate(dir: &Path) -> Vec<u8> {
+    let text =
+        std::fs::read_to_string(dir.join(files::CERT_JSON)).expect("ROUND_cert.json written");
+    let bytes = extract_cert_hex(&text).expect("artifact embeds the canonical certificate hex");
+    let verdict = verify_bytes(&bytes);
+    assert!(verdict.is_valid(), "certificate rejected: {verdict}");
+    bytes
 }
 
 #[test]
@@ -147,6 +190,25 @@ fn full_round_matches_in_process_executor_and_wire_costs_reconcile() {
     assert!(merged.handshakes >= 2 * clients);
     assert_eq!(merged.aead_rejects, 0);
 
+    // Every committee member signed the certificate transcript exactly
+    // once, and the signature push costs exactly its codec envelope.
+    let cs = &merged.sent["PushCertSig"];
+    assert_eq!(cs.frames, setup.committee_size as u64);
+    assert_eq!(
+        cs.payload_bytes,
+        setup.committee_size as u64 * mycelium::costs::push_cert_sig_payload_bytes() as u64
+    );
+
+    // Proof-carrying round: the certificate artifact verifies offline and
+    // is byte-identical to the simulated executor's certificate for the
+    // same round spec.
+    let cert = read_valid_certificate(&dir);
+    assert_eq!(
+        cert,
+        sim_certificate(&spec),
+        "net and simulated executors must emit byte-identical certificates"
+    );
+
     // The JSON artifact exists and carries the same counters.
     let json = std::fs::read_to_string(dir.join(files::METRICS_JSON)).unwrap();
     assert!(json.contains(&format!("\"frames\": {total_duties}")));
@@ -160,7 +222,7 @@ fn sharded_round_matches_oracle_and_root_handoff_reconciles_to_the_byte() {
     // to the plaintext oracle, and the ShardRoot handoff must reconcile
     // against `costs::shard_root_payload_bytes` exactly — the measured
     // delta is the sealed-frame envelope alone.
-    use mycelium::costs::{shard_root_payload_bytes, submission_level};
+    use mycelium::costs::shard_root_payload_bytes;
 
     let spec = RoundSpec {
         agg_shards: 4,
@@ -199,21 +261,20 @@ fn sharded_round_matches_oracle_and_root_handoff_reconciles_to_the_byte() {
     let setup = build_setup(&spec).unwrap();
     let shards = spec.agg_shards as u64;
 
-    // Each shard seals its owned origins' submissions at their minimum
-    // level — predicted analytically per shard from the combine recipe.
-    let fresh = params.bgv.levels;
-    let root_level = |shard: usize| -> usize {
+    // Every shard mod-switches its sealed root to the canonical
+    // aggregation level before shipping — the sealed ciphertext size is
+    // topology-independent by construction (that same canonicalization
+    // is what makes hub and sharded certificates byte-identical).
+    let ct_encoded = ciphertext_encoded_bytes(2, mycelium::plan::AGGREGATION_LEVEL, params.bgv.n);
+    // A sealed root carries one origin commitment per owned origin
+    // (nothing was rejected in this fault-free round).
+    let owned = |shard: usize| -> usize {
         (0..setup.pop.graph.len() as u32)
             .filter(|&v| mycelium_net::round::shard_of(v, spec.agg_shards) == shard)
-            .map(|v| submission_level(&setup.plan, &setup.works[v as usize], fresh))
-            .min()
-            .expect("every shard owns at least one origin at n = 24")
+            .count()
     };
     let predicted: u64 = (0..spec.agg_shards)
-        .map(|s| {
-            let ct_encoded = ciphertext_encoded_bytes(2, root_level(s), params.bgv.n);
-            shard_root_payload_bytes(ct_encoded, 0) as u64
-        })
+        .map(|s| shard_root_payload_bytes(ct_encoded, 0, owned(s)) as u64)
         .sum();
 
     let sr = &merged.sent["ShardRoot"];
@@ -226,6 +287,17 @@ fn sharded_round_matches_oracle_and_root_handoff_reconciles_to_the_byte() {
         sr.wire_bytes,
         predicted + shards * FRAME_OVERHEAD as u64,
         "measured wire delta over the model is the frame envelope alone"
+    );
+
+    // The sharded topology must seal the *same* certificate as the
+    // single-hub simulated executor: the commitment plane and the
+    // aggregate digest are canonical, so intake partitioning may not
+    // leak into the round's proof object.
+    let cert = read_valid_certificate(&dir);
+    assert_eq!(
+        cert,
+        sim_certificate(&spec),
+        "sharded net round and simulated hub must emit byte-identical certificates"
     );
 
     // Every shard process journaled its own WAL partition, and its
@@ -276,5 +348,13 @@ fn crashed_origin_is_respawned_and_round_still_exact() {
     for (a, b) in outcome.exact.groups.iter().zip(&oracle.groups) {
         assert_eq!(a.histogram, b.histogram, "group {} diverged", a.label);
     }
+    // Even with a crashed-and-respawned origin the round must still
+    // seal a certificate that verifies offline.
+    let cert = read_valid_certificate(&dir);
+    assert_eq!(
+        cert,
+        sim_certificate(&spec),
+        "crash recovery must not perturb the certificate"
+    );
     let _ = std::fs::remove_dir_all(&dir);
 }

@@ -139,7 +139,7 @@ fn every_shard_carries_intake_and_seals_a_root() {
         // One sealed root at minimum (envelope alone is 56 bytes), plus
         // acks and forwarded intake on top.
         assert!(
-            a.sent_bytes >= shard_root_sim_bytes(0, 0) as u64,
+            a.sent_bytes >= shard_root_sim_bytes(0, 0, 0) as u64,
             "shard {s} sent {} bytes — no root handoff?",
             a.sent_bytes
         );
@@ -147,7 +147,7 @@ fn every_shard_carries_intake_and_seals_a_root() {
     }
     // The coordinator took in all four roots.
     let coord = &out.metrics.actors[n];
-    assert!(coord.recv_bytes >= (shards * shard_root_sim_bytes(0, 0)) as u64);
+    assert!(coord.recv_bytes >= (shards * shard_root_sim_bytes(0, 0, 0)) as u64);
     assert_eq!(
         out.exact.groups[0].histogram,
         run_at(1, 3, &params, &keys, &pop).exact.groups[0].histogram

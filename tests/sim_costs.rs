@@ -82,9 +82,10 @@ fn shard_root_sim_mirror_matches_the_actual_meter() {
     // simcost::shard_root_sim_bytes is the analytic mirror of the
     // simround meter; the two must agree byte-for-byte so the sharded
     // round tests can reconcile metered shard traffic against it.
-    use mycelium::simcost::shard_root_sim_bytes;
+    use mycelium::simcost::{cert_sig_sim_bytes, cert_sign_req_sim_bytes, shard_root_sim_bytes};
     use mycelium::simround::RoundMsg;
     use mycelium_bgv::{Ciphertext, KeySet, Plaintext};
+    use mycelium_cert::{commit_origin, SlotStatus};
     use mycelium_math::rng::{SeedableRng, StdRng};
     use mycelium_simnet::Payload;
 
@@ -100,23 +101,42 @@ fn shard_root_sim_mirror_matches_the_actual_meter() {
         .sum();
 
     for rejected in [vec![], vec![3u32], vec![1, 2, 9]] {
-        let msg = RoundMsg::ShardRootMsg {
-            msg_id: 1,
-            shard: 2,
-            rejected: rejected.clone(),
-            commitment: [0u8; 32],
-            leaves: 5,
-            ct: ct.clone(),
-        };
-        assert_eq!(
-            msg.wire_bytes(),
-            shard_root_sim_bytes(ct_bytes, rejected.len()),
-            "mirror drifted at {} rejected ids",
-            rejected.len()
-        );
+        for n_commits in [0usize, 1, 5] {
+            let commits: Vec<_> = (0..n_commits as u32)
+                .map(|o| commit_origin(o, &[(o, SlotStatus::Missing)]))
+                .collect();
+            let msg = RoundMsg::ShardRootMsg {
+                msg_id: 1,
+                shard: 2,
+                rejected: rejected.clone(),
+                commitment: [0u8; 32],
+                leaves: 5,
+                commits,
+                ct: ct.clone(),
+            };
+            assert_eq!(
+                msg.wire_bytes(),
+                shard_root_sim_bytes(ct_bytes, rejected.len(), n_commits),
+                "mirror drifted at {} rejected ids, {n_commits} commits",
+                rejected.len()
+            );
+        }
         let ack = RoundMsg::ShardRootAck { msg_id: 1 };
         assert_eq!(ack.wire_bytes(), 16, "acks are header-only");
     }
+
+    // The certificate-signing exchange is metered too.
+    let req = RoundMsg::CertSignReq {
+        msg_id: 1,
+        transcript: [0u8; 32],
+    };
+    assert_eq!(req.wire_bytes(), cert_sign_req_sim_bytes());
+    let sig = RoundMsg::CertSig {
+        msg_id: 1,
+        member: 3,
+        sig: [0u8; 64],
+    };
+    assert_eq!(sig.wire_bytes(), cert_sig_sim_bytes());
 }
 
 #[test]
