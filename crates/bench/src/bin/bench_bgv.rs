@@ -2,8 +2,12 @@
 //!
 //! Measures ops/sec for the four kernels the executor spends its time in —
 //! the RNS forward/inverse NTT, the BGV tensor-product multiply,
-//! relinearization, and a full end-to-end encrypted query — once at
-//! `MYC_THREADS=1` (serial baseline) and once at the machine's core count.
+//! relinearization, and a full end-to-end encrypted query — across the
+//! thread matrix `MYC_THREADS ∈ {1, 2, 4, 8}` capped at the machine's
+//! core count (a 1-core host runs only the serial suite and reports an
+//! empty scaling matrix). The active SIMD kernel tier and the detected
+//! CPU features are recorded alongside the numbers, so a baseline from a
+//! different machine is self-describing.
 //!
 //! Before overwriting `BENCH_bgv.json`, the committed copy is re-read as
 //! the *baseline*: the emitted `speedup` section is the measured
@@ -193,9 +197,12 @@ fn main() {
         eprintln!("no committed BENCH_bgv.json baseline; speedups default to 1.00");
     }
 
+    // Thread matrix {1, 2, 4, 8} capped at the host's core count: the
+    // scaling numbers are only meaningful up to real parallelism, and a
+    // CI box with fewer cores should not publish oversubscribed ratios.
     let mut suites: Vec<(usize, Vec<Sample>)> = Vec::new();
-    for threads in [1, ncores] {
-        if suites.iter().any(|(t, _)| *t == threads) {
+    for threads in [1usize, 2, 4, 8] {
+        if threads > ncores && threads != 1 {
             continue;
         }
         eprintln!("== MYC_THREADS={threads} ==");
@@ -204,7 +211,13 @@ fn main() {
     }
     std::env::remove_var("MYC_THREADS");
 
-    let mut json = format!("{{\n  \"ncores\": {ncores},\n  \"suites\": [\n");
+    let simd_active = mycelium_math::simd::active_name();
+    let simd_features = mycelium_math::simd::detected_features();
+    let features_json: Vec<String> = simd_features.iter().map(|f| format!("\"{f}\"")).collect();
+    let mut json = format!(
+        "{{\n  \"ncores\": {ncores},\n  \"simd\": {{\"active\": \"{simd_active}\", \"features\": [{}]}},\n  \"suites\": [\n",
+        features_json.join(", ")
+    );
     for (i, (threads, samples)) in suites.iter().enumerate() {
         json.push_str(&format!(
             "    {{\"threads\": {}, \"results\": {{\n{}\n    }}}}{}\n",
@@ -240,21 +253,23 @@ fn main() {
     }
     json.push_str(&lines.join(",\n"));
 
-    // Thread-count scaling of this run (peak suite over serial suite).
+    // Thread-count scaling of this run: per-kernel ratio of each
+    // multi-thread suite over the serial suite. Empty on a 1-core host
+    // (the matrix is capped at real cores, so there is nothing to
+    // compare).
     json.push_str("\n  },\n  \"thread_scaling\": {\n");
-    let peak = &suites[suites.len() - 1].1;
-    let lines: Vec<String> = serial
+    let rows: Vec<String> = suites[1..]
         .iter()
-        .zip(peak)
-        .map(|(b, p)| {
-            format!(
-                "    \"{}\": {:.2}",
-                b.name,
-                p.ops_per_sec() / b.ops_per_sec()
-            )
+        .map(|(threads, samples)| {
+            let cells: Vec<String> = serial
+                .iter()
+                .zip(samples)
+                .map(|(b, p)| format!("\"{}\": {:.2}", b.name, p.ops_per_sec() / b.ops_per_sec()))
+                .collect();
+            format!("    \"{}\": {{{}}}", threads, cells.join(", "))
         })
         .collect();
-    json.push_str(&lines.join(",\n"));
+    json.push_str(&rows.join(",\n"));
     json.push_str("\n  }\n}\n");
 
     std::fs::write("BENCH_bgv.json", &json).expect("write BENCH_bgv.json");

@@ -15,7 +15,9 @@
 use std::sync::Arc;
 
 use mycelium_math::rng::Rng;
-use mycelium_math::rns::{key_switch_assign, Representation, RnsContext, RnsPoly, ShoupPrecomp};
+use mycelium_math::rns::{
+    key_switch_assign, key_switch_batch, Representation, RnsContext, RnsPoly, ShoupPrecomp,
+};
 use mycelium_math::{ew, par, sample};
 
 use crate::keys::{PublicKey, RelinKey, SecretKey};
@@ -186,7 +188,38 @@ impl Ciphertext {
                 want: n,
             });
         }
-        let level = ctx.max_level();
+        Self::encrypt_at_level(pk, pt, ctx.max_level(), rng)
+    }
+
+    /// Encrypts directly at `level` — the same scheme as
+    /// [`Ciphertext::encrypt`], but the randomness, noise, and NTTs cover
+    /// only the first `level` RNS limbs (the public key's residue prefix
+    /// *is* its image at the lower level). Ciphertexts that are born at
+    /// the aggregation level (neutral accumulators, zeroed origins) use
+    /// this to skip both the full-chain encryption and the mod-switch
+    /// ladder down.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `level` is outside `1..=max_level`.
+    pub fn encrypt_at_level<R: Rng + ?Sized>(
+        pk: &PublicKey,
+        pt: &Plaintext,
+        level: usize,
+        rng: &mut R,
+    ) -> Result<Self, BgvError> {
+        let ctx = pk.context();
+        let n = ctx.degree();
+        if pt.coeffs().len() != n {
+            return Err(BgvError::PlaintextLength {
+                got: pt.coeffs().len(),
+                want: n,
+            });
+        }
+        assert!(
+            level >= 1 && level <= ctx.max_level(),
+            "encryption level out of range"
+        );
         let t = pk.params.plaintext_modulus;
         let mut u = sample::ternary_rns(ctx, level, rng);
         u.to_ntt();
@@ -202,11 +235,11 @@ impl Ciphertext {
         // the Shoup-precomputed key components: the only allocation is the
         // clone of u for the first output.
         let mut c0 = u.clone();
-        c0.mul_shoup_assign(pk.b());
+        c0.mul_shoup_assign_prefix(pk.b());
         c0.add_assign(&e0);
         c0.add_assign(&m);
         let mut c1 = u;
-        c1.mul_shoup_assign(pk.a());
+        c1.mul_shoup_assign_prefix(pk.a());
         c1.add_assign(&e1);
         Ok(Self {
             parts: vec![c0, c1],
@@ -359,10 +392,10 @@ impl Ciphertext {
             let mut r0 = vec![0u64; n];
             let mut r1 = vec![0u64; n];
             let mut r2 = vec![0u64; n];
-            ew::mul_into(m, &mut r0, x0, y0);
-            ew::mul_into(m, &mut r1, x0, y1);
-            ew::mul_add_assign(m, &mut r1, x1, y0);
-            ew::mul_into(m, &mut r2, x1, y1);
+            // One fused kernel per limb: operands are loaded once and the
+            // four partial products stay in the lazy domain until each
+            // output's single canonicalization (see ew::tensor3).
+            ew::tensor3(m, (x0, x1), (y0, y1), (&mut r0, &mut r1, &mut r2));
             (r0, r1, r2)
         });
         let mut c0 = Vec::with_capacity(level);
@@ -524,6 +557,76 @@ impl Ciphertext {
         })
     }
 
+    /// Relinearizes a batch of same-level degree-2 ciphertexts in one
+    /// [`key_switch_batch`] call: the RNS digit decomposition runs once
+    /// per ciphertext, but all digit NTTs and multiply-accumulates for
+    /// the whole batch stream through a single parallel region, so the
+    /// `MYC_THREADS` workers stay saturated even when each individual
+    /// key switch has fewer digits than workers.
+    ///
+    /// Degree-1 inputs pass through unchanged. Every degree-2 input must
+    /// sit at the same level (callers batch per summation-tree level).
+    /// Results are bit-identical to per-ciphertext
+    /// [`Ciphertext::relinearize`] calls.
+    pub fn relinearize_batch(cts: &[Self], rk: &RelinKey) -> Result<Vec<Self>, BgvError> {
+        let mut out: Vec<Option<Self>> = vec![None; cts.len()];
+        // (input index, c0, c1, decomposed c2) for each degree-2 input.
+        let mut work: Vec<(usize, RnsPoly, RnsPoly, RnsPoly)> = Vec::new();
+        let mut level: Option<usize> = None;
+        for (idx, ct) in cts.iter().enumerate() {
+            match ct.parts.len() {
+                2 => out[idx] = Some(ct.clone()),
+                3 => {
+                    match level {
+                        None => level = Some(ct.level()),
+                        Some(l) if l != ct.level() => {
+                            return Err(BgvError::LevelMismatch {
+                                left: l,
+                                right: ct.level(),
+                            })
+                        }
+                        Some(_) => {}
+                    }
+                    work.push((
+                        idx,
+                        ct.parts[0].clone(),
+                        ct.parts[1].clone(),
+                        ct.parts[2].coeff(),
+                    ));
+                }
+                parts => return Err(BgvError::UnexpectedDegree { parts }),
+            }
+        }
+        if let Some(level) = level {
+            let keys = rk
+                .at_level(level)
+                .ok_or(BgvError::MissingRelinKey { level })?;
+            let mut jobs: Vec<(&mut RnsPoly, &mut RnsPoly, &RnsPoly)> = work
+                .iter_mut()
+                .map(|(_, c0, c1, c2)| (&mut *c0, &mut *c1, &*c2))
+                .collect();
+            key_switch_batch(&mut jobs, keys);
+            for (idx, c0, c1, _) in work {
+                let src = &cts[idx];
+                let p = &src.params;
+                // Same bound as `relinearize`: t · L · (q/2) · 6σ · N.
+                let ks_noise = (p.plaintext_modulus as f64).log2()
+                    + p.prime_bits as f64
+                    + (level as f64).log2().max(0.0)
+                    + (6.0 * p.sigma * p.n as f64).log2();
+                out[idx] = Some(Self {
+                    parts: vec![c0, c1],
+                    noise_log2: log2_sum(src.noise_log2, ks_noise),
+                    params: src.params.clone(),
+                });
+            }
+        }
+        Ok(out
+            .into_iter()
+            .map(|c| c.expect("every slot filled"))
+            .collect())
+    }
+
     /// Drops the last chain prime (BGV modulus switching), dividing the
     /// noise by `≈ q_l`.
     pub fn mod_switch_down(&self) -> Result<Self, BgvError> {
@@ -551,15 +654,42 @@ impl Ciphertext {
     }
 
     /// Mod-switches down to the target level.
+    ///
+    /// Fused: each part converts to the coefficient domain **once**, runs
+    /// all `level − target` rescale steps there, and transforms back once
+    /// — instead of paying a full inverse+forward NTT round trip per
+    /// dropped prime. The round trip is exact on canonical residues, so
+    /// the result is bit-identical to chained
+    /// [`Ciphertext::mod_switch_down`] calls; the tracked noise bound
+    /// replays the identical per-step f64 updates.
     pub fn mod_switch_to(&self, target: usize) -> Result<Self, BgvError> {
         if target < 1 || target > self.level() {
             return Err(BgvError::BottomOfChain);
         }
-        let mut ct = self.clone();
-        while ct.level() > target {
-            ct = ct.mod_switch_down()?;
+        let steps = self.level() - target;
+        if steps == 0 {
+            return Ok(self.clone());
         }
-        Ok(ct)
+        let t = self.params.plaintext_modulus;
+        let parts: Vec<RnsPoly> = par::map(&self.parts, |_, p| {
+            let mut c = p.coeff();
+            for _ in 0..steps {
+                c.mod_switch_down_in_place(t);
+            }
+            c.to_ntt();
+            c
+        });
+        let p = &self.params;
+        let rounding = (t as f64 * (1.0 + p.n as f64) / 2.0 * self.parts.len() as f64).log2();
+        let mut noise = self.noise_log2;
+        for _ in 0..steps {
+            noise = log2_sum(noise - p.prime_bits as f64, rounding);
+        }
+        Ok(Self {
+            parts,
+            noise_log2: noise,
+            params: self.params.clone(),
+        })
     }
 
     /// Decrypts with the secret key.

@@ -206,6 +206,13 @@ impl RelinKey {
         self.keys.get(&level).map(|v| v.as_slice())
     }
 
+    /// Whether key-switching keys exist for `level` (what batch callers
+    /// check before committing a whole level to
+    /// [`Ciphertext::relinearize_batch`](crate::Ciphertext::relinearize_batch)).
+    pub fn has_level(&self, level: usize) -> bool {
+        self.keys.contains_key(&level)
+    }
+
     /// Levels for which keys are available.
     pub fn levels(&self) -> Vec<usize> {
         let mut l: Vec<usize> = self.keys.keys().copied().collect();

@@ -72,11 +72,10 @@ impl Sha256 {
                 self.buffer_len = 0;
             }
         }
-        while data.len() >= 64 {
-            let mut block = [0u8; 64];
-            block.copy_from_slice(&data[..64]);
-            self.compress(&block);
-            data = &data[64..];
+        let bulk = data.len() / 64 * 64;
+        if bulk > 0 {
+            compress_blocks(&mut self.state, &data[..bulk]);
+            data = &data[bulk..];
         }
         if !data.is_empty() {
             self.buffer[..data.len()].copy_from_slice(data);
@@ -104,6 +103,106 @@ impl Sha256 {
     }
 
     fn compress(&mut self, block: &[u8; 64]) {
+        compress_blocks(&mut self.state, block);
+    }
+}
+
+/// Runs the compression function over `data` (a whole number of 64-byte
+/// blocks), dispatching once per process to the SHA-NI accelerated path
+/// when the CPU has it (and `MYC_NO_SIMD=1` is not set), the portable
+/// scalar rounds otherwise. Both compute the identical FIPS 180-4
+/// function, so the digest does not depend on the dispatch.
+fn compress_blocks(state: &mut [u32; 8], data: &[u8]) {
+    debug_assert_eq!(data.len() % 64, 0);
+    #[cfg(target_arch = "x86_64")]
+    {
+        use std::sync::OnceLock;
+        static SHA_NI: OnceLock<bool> = OnceLock::new();
+        let enabled = *SHA_NI.get_or_init(|| {
+            std::env::var("MYC_NO_SIMD").map(|v| v.trim() == "1") != Ok(true)
+                && std::is_x86_feature_detected!("sha")
+                && std::is_x86_feature_detected!("ssse3")
+                && std::is_x86_feature_detected!("sse4.1")
+        });
+        if enabled {
+            // SAFETY: feature presence checked above.
+            unsafe { ni::compress_blocks(state, data) };
+            return;
+        }
+    }
+    for block in data.chunks_exact(64) {
+        compress_scalar(state, block.try_into().expect("exact chunk"));
+    }
+}
+
+/// Hardware SHA-256 rounds (x86 SHA extensions). The round/schedule
+/// sequence follows the canonical two-lane `sha256rnds2` dataflow: state
+/// rides in ABEF/CDGH register pairs, the 64 rounds run four at a time,
+/// and `sha256msg1`/`sha256msg2` extend the message schedule in-register.
+#[cfg(target_arch = "x86_64")]
+mod ni {
+    use core::arch::x86_64::*;
+
+    #[target_feature(enable = "sha,sse2,ssse3,sse4.1")]
+    pub(super) unsafe fn compress_blocks(state: &mut [u32; 8], data: &[u8]) {
+        // Byte shuffle turning a little-endian 16-byte load into the four
+        // big-endian message words of the block.
+        let mask = _mm_set_epi64x(
+            0x0c0d_0e0f_0809_0a0bu64 as i64,
+            0x0405_0607_0001_0203u64 as i64,
+        );
+        // Pack [a,b,c,d] / [e,f,g,h] into the ABEF / CDGH lane layout the
+        // sha256rnds2 instruction consumes.
+        let tmp = _mm_shuffle_epi32(_mm_loadu_si128(state.as_ptr().cast()), 0xB1);
+        let mut cdgh = _mm_shuffle_epi32(_mm_loadu_si128(state.as_ptr().add(4).cast()), 0x1B);
+        let mut abef = _mm_alignr_epi8(tmp, cdgh, 8);
+        cdgh = _mm_blend_epi16(cdgh, tmp, 0xF0);
+
+        for block in data.chunks_exact(64) {
+            let abef_save = abef;
+            let cdgh_save = cdgh;
+            let mut msg: [__m128i; 4] = [
+                _mm_shuffle_epi8(_mm_loadu_si128(block.as_ptr().cast()), mask),
+                _mm_shuffle_epi8(_mm_loadu_si128(block.as_ptr().add(16).cast()), mask),
+                _mm_shuffle_epi8(_mm_loadu_si128(block.as_ptr().add(32).cast()), mask),
+                _mm_shuffle_epi8(_mm_loadu_si128(block.as_ptr().add(48).cast()), mask),
+            ];
+            for i in 0..16 {
+                let wk = _mm_add_epi32(
+                    msg[i & 3],
+                    _mm_loadu_si128(super::K.as_ptr().add(i * 4).cast()),
+                );
+                cdgh = _mm_sha256rnds2_epu32(cdgh, abef, wk);
+                abef = _mm_sha256rnds2_epu32(abef, cdgh, _mm_shuffle_epi32(wk, 0x0E));
+                if i < 12 {
+                    // w[j..j+4] for the round group four ahead:
+                    // msg2(msg1(w0,w1) + alignr(w3,w2,4), w3).
+                    let m0 = msg[i & 3];
+                    let m1 = msg[(i + 1) & 3];
+                    let m2 = msg[(i + 2) & 3];
+                    let m3 = msg[(i + 3) & 3];
+                    msg[i & 3] = _mm_sha256msg2_epu32(
+                        _mm_add_epi32(_mm_sha256msg1_epu32(m0, m1), _mm_alignr_epi8(m3, m2, 4)),
+                        m3,
+                    );
+                }
+            }
+            abef = _mm_add_epi32(abef, abef_save);
+            cdgh = _mm_add_epi32(cdgh, cdgh_save);
+        }
+
+        let tmp = _mm_shuffle_epi32(abef, 0x1B);
+        let dchg = _mm_shuffle_epi32(cdgh, 0xB1);
+        _mm_storeu_si128(state.as_mut_ptr().cast(), _mm_blend_epi16(tmp, dchg, 0xF0));
+        _mm_storeu_si128(
+            state.as_mut_ptr().add(4).cast(),
+            _mm_alignr_epi8(dchg, tmp, 8),
+        );
+    }
+}
+
+fn compress_scalar(state: &mut [u32; 8], block: &[u8; 64]) {
+    {
         let mut w = [0u32; 64];
         for i in 0..16 {
             w[i] = u32::from_be_bytes([
@@ -121,7 +220,7 @@ impl Sha256 {
                 .wrapping_add(w[i - 7])
                 .wrapping_add(s1);
         }
-        let [mut a, mut b, mut c, mut d, mut e, mut f, mut g, mut h] = self.state;
+        let [mut a, mut b, mut c, mut d, mut e, mut f, mut g, mut h] = *state;
         for i in 0..64 {
             let s1 = e.rotate_right(6) ^ e.rotate_right(11) ^ e.rotate_right(25);
             let ch = (e & f) ^ (!e & g);
@@ -142,14 +241,14 @@ impl Sha256 {
             b = a;
             a = t1.wrapping_add(t2);
         }
-        self.state[0] = self.state[0].wrapping_add(a);
-        self.state[1] = self.state[1].wrapping_add(b);
-        self.state[2] = self.state[2].wrapping_add(c);
-        self.state[3] = self.state[3].wrapping_add(d);
-        self.state[4] = self.state[4].wrapping_add(e);
-        self.state[5] = self.state[5].wrapping_add(f);
-        self.state[6] = self.state[6].wrapping_add(g);
-        self.state[7] = self.state[7].wrapping_add(h);
+        state[0] = state[0].wrapping_add(a);
+        state[1] = state[1].wrapping_add(b);
+        state[2] = state[2].wrapping_add(c);
+        state[3] = state[3].wrapping_add(d);
+        state[4] = state[4].wrapping_add(e);
+        state[5] = state[5].wrapping_add(f);
+        state[6] = state[6].wrapping_add(g);
+        state[7] = state[7].wrapping_add(h);
     }
 }
 

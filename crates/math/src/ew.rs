@@ -5,7 +5,20 @@
 //! residue slice modulo one chain prime. Centralizing them keeps the
 //! modular arithmetic in exactly one place and gives the parallel plane a
 //! uniform unit of work: "one kernel over one residue".
+//!
+//! # Dispatch
+//!
+//! The multiplication-heavy kernels are split in two: a `*_scalar` body
+//! (the bit-exact oracle, also the tail/fallback used by the vector
+//! tiers) and a thin public front that routes through the process-wide
+//! [`crate::simd::Kernels`] vtable selected once at startup. Additive
+//! kernels (`add_assign`, `sub_assign`, `neg_assign`) stay plain scalar
+//! loops: they are memory-bound and the compiler autovectorizes them.
+//! Every vector tier produces canonical outputs bit-identical to the
+//! scalar oracle (see `crate::simd` for the per-kernel argument), so the
+//! choice of tier is invisible to everything above this module.
 
+use crate::simd;
 use crate::zq::Modulus;
 
 /// `a[i] = (a[i] + b[i]) mod q`.
@@ -37,6 +50,12 @@ pub fn neg_assign(m: &Modulus, a: &mut [u64]) {
 /// `a[i] = (a[i] * b[i]) mod q` (pointwise; the NTT-domain ring product).
 #[inline]
 pub fn mul_assign(m: &Modulus, a: &mut [u64], b: &[u64]) {
+    (simd::kernels().mul_assign)(m, a, b)
+}
+
+/// Scalar oracle for [`mul_assign`].
+#[inline]
+pub fn mul_assign_scalar(m: &Modulus, a: &mut [u64], b: &[u64]) {
     debug_assert_eq!(a.len(), b.len());
     for (x, &y) in a.iter_mut().zip(b) {
         *x = m.mul(*x, y);
@@ -46,6 +65,12 @@ pub fn mul_assign(m: &Modulus, a: &mut [u64], b: &[u64]) {
 /// `out[i] = (a[i] * b[i]) mod q` into a separate output slice.
 #[inline]
 pub fn mul_into(m: &Modulus, out: &mut [u64], a: &[u64], b: &[u64]) {
+    (simd::kernels().mul_into)(m, out, a, b)
+}
+
+/// Scalar oracle for [`mul_into`].
+#[inline]
+pub fn mul_into_scalar(m: &Modulus, out: &mut [u64], a: &[u64], b: &[u64]) {
     debug_assert_eq!(out.len(), a.len());
     debug_assert_eq!(a.len(), b.len());
     for ((o, &x), &y) in out.iter_mut().zip(a).zip(b) {
@@ -57,10 +82,69 @@ pub fn mul_into(m: &Modulus, out: &mut [u64], a: &[u64], b: &[u64]) {
 /// relinearization and the BGV tensor product's middle term.
 #[inline]
 pub fn mul_add_assign(m: &Modulus, acc: &mut [u64], a: &[u64], b: &[u64]) {
+    (simd::kernels().mul_add_assign)(m, acc, a, b)
+}
+
+/// Scalar oracle for [`mul_add_assign`].
+#[inline]
+pub fn mul_add_assign_scalar(m: &Modulus, acc: &mut [u64], a: &[u64], b: &[u64]) {
     debug_assert_eq!(acc.len(), a.len());
     debug_assert_eq!(a.len(), b.len());
     for ((o, &x), &y) in acc.iter_mut().zip(a).zip(b) {
         *o = m.add(*o, m.mul(x, y));
+    }
+}
+
+/// Fused degree-1 × degree-1 tensor product over one residue slice:
+///
+/// ```text
+/// out.0 = x.0 · y.0
+/// out.1 = x.0 · y.1 + x.1 · y.0
+/// out.2 = x.1 · y.1
+/// ```
+///
+/// all mod `q`. This is the whole per-limb BGV ciphertext product in one
+/// pass: the operand slices are loaded once and the middle term's sum is
+/// reduced once from the 128-bit accumulator instead of through two
+/// separate canonical products and a modular add. The vector tiers keep
+/// the four partial products in the lazy `[0, 2q)` Montgomery domain and
+/// canonicalize each output once at the end.
+#[inline]
+pub fn tensor3(
+    m: &Modulus,
+    x: (&[u64], &[u64]),
+    y: (&[u64], &[u64]),
+    out: (&mut [u64], &mut [u64], &mut [u64]),
+) {
+    (simd::kernels().tensor3)(m, x, y, out)
+}
+
+/// Scalar oracle for [`tensor3`]; the 128-bit middle-term sum cannot
+/// overflow (`2q² < 2^125`).
+pub fn tensor3_scalar(
+    m: &Modulus,
+    x: (&[u64], &[u64]),
+    y: (&[u64], &[u64]),
+    out: (&mut [u64], &mut [u64], &mut [u64]),
+) {
+    let (x0, x1) = x;
+    let (y0, y1) = y;
+    let (r0, r1, r2) = out;
+    let n = x0.len();
+    debug_assert_eq!(n, x1.len());
+    debug_assert_eq!(n, y0.len());
+    debug_assert_eq!(n, y1.len());
+    debug_assert_eq!(n, r0.len());
+    debug_assert_eq!(n, r1.len());
+    debug_assert_eq!(n, r2.len());
+    for i in 0..n {
+        let a0 = x0[i] as u128;
+        let a1 = x1[i] as u128;
+        let b0 = y0[i] as u128;
+        let b1 = y1[i] as u128;
+        r0[i] = m.reduce_u128(a0 * b0);
+        r1[i] = m.reduce_u128(a0 * b1 + a1 * b0);
+        r2[i] = m.reduce_u128(a1 * b1);
     }
 }
 
@@ -70,6 +154,12 @@ pub fn mul_add_assign(m: &Modulus, acc: &mut [u64], a: &[u64], b: &[u64]) {
 /// operand (public key, relinearization key, prepared plaintext).
 #[inline]
 pub fn mul_shoup_assign(m: &Modulus, a: &mut [u64], b: &[u64], bs: &[u64]) {
+    (simd::kernels().mul_shoup_assign)(m, a, b, bs)
+}
+
+/// Scalar oracle for [`mul_shoup_assign`].
+#[inline]
+pub fn mul_shoup_assign_scalar(m: &Modulus, a: &mut [u64], b: &[u64], bs: &[u64]) {
     debug_assert_eq!(a.len(), b.len());
     debug_assert_eq!(b.len(), bs.len());
     for (x, (&y, &ys)) in a.iter_mut().zip(b.iter().zip(bs)) {
@@ -81,6 +171,12 @@ pub fn mul_shoup_assign(m: &Modulus, a: &mut [u64], b: &[u64], bs: &[u64]) {
 /// separate output slice.
 #[inline]
 pub fn mul_shoup_into(m: &Modulus, out: &mut [u64], a: &[u64], b: &[u64], bs: &[u64]) {
+    (simd::kernels().mul_shoup_into)(m, out, a, b, bs)
+}
+
+/// Scalar oracle for [`mul_shoup_into`].
+#[inline]
+pub fn mul_shoup_into_scalar(m: &Modulus, out: &mut [u64], a: &[u64], b: &[u64], bs: &[u64]) {
     debug_assert_eq!(out.len(), a.len());
     debug_assert_eq!(a.len(), b.len());
     debug_assert_eq!(b.len(), bs.len());
@@ -93,6 +189,12 @@ pub fn mul_shoup_into(m: &Modulus, out: &mut [u64], a: &[u64], b: &[u64], bs: &[
 /// the fused relinearization kernel.
 #[inline]
 pub fn mul_shoup_add_assign(m: &Modulus, acc: &mut [u64], a: &[u64], b: &[u64], bs: &[u64]) {
+    (simd::kernels().mul_shoup_add_assign)(m, acc, a, b, bs)
+}
+
+/// Scalar oracle for [`mul_shoup_add_assign`].
+#[inline]
+pub fn mul_shoup_add_assign_scalar(m: &Modulus, acc: &mut [u64], a: &[u64], b: &[u64], bs: &[u64]) {
     debug_assert_eq!(acc.len(), a.len());
     debug_assert_eq!(a.len(), b.len());
     debug_assert_eq!(b.len(), bs.len());
@@ -101,11 +203,88 @@ pub fn mul_shoup_add_assign(m: &Modulus, acc: &mut [u64], a: &[u64], b: &[u64], 
     }
 }
 
+/// `acc[i] += a[i] * b[i]` with Shoup constants for `b`, where the product
+/// stays **lazy** in `[0, 2q)` and the accumulator is a plain wrapping
+/// add with **no** reduction — the streaming kernel behind batched
+/// key-switch accumulation. The caller owns the overflow budget: after
+/// `l` accumulates into an accumulator that started `< q`, the values are
+/// bounded by `(2l+1)·q`, so this is only sound while `(2l+1)·q < 2^64`
+/// (checked by the caller; see `RnsContext::key_switch_batch`). Finish
+/// with [`reduce_lazy_pow2`] to canonicalize.
+#[inline]
+pub fn mul_shoup_add_lazy(m: &Modulus, acc: &mut [u64], a: &[u64], b: &[u64], bs: &[u64]) {
+    (simd::kernels().mul_shoup_add_lazy)(m, acc, a, b, bs)
+}
+
+/// Scalar oracle for [`mul_shoup_add_lazy`].
+#[inline]
+pub fn mul_shoup_add_lazy_scalar(m: &Modulus, acc: &mut [u64], a: &[u64], b: &[u64], bs: &[u64]) {
+    debug_assert_eq!(acc.len(), a.len());
+    debug_assert_eq!(a.len(), b.len());
+    debug_assert_eq!(b.len(), bs.len());
+    for ((o, &x), (&y, &ys)) in acc.iter_mut().zip(a).zip(b.iter().zip(bs)) {
+        // mul_shoup_lazy is valid for any u64 multiplicand and lands in
+        // [0, 2q); the wrapping add is exact under the caller's budget.
+        *o = o.wrapping_add(m.mul_shoup_lazy(x, y, ys));
+    }
+}
+
+/// `out[i] = (a[i] * w) mod q` for one broadcast Shoup-precomputed scalar
+/// `w` — the RNS digit-decomposition kernel (`a · q̂_j^{-1} mod q_j`).
+#[inline]
+pub fn mul_shoup_scalar_into(m: &Modulus, out: &mut [u64], a: &[u64], w: u64, ws: u64) {
+    (simd::kernels().mul_shoup_scalar_into)(m, out, a, w, ws)
+}
+
+/// Scalar oracle for [`mul_shoup_scalar_into`].
+#[inline]
+pub fn mul_shoup_scalar_into_scalar(m: &Modulus, out: &mut [u64], a: &[u64], w: u64, ws: u64) {
+    debug_assert_eq!(out.len(), a.len());
+    for (o, &x) in out.iter_mut().zip(a) {
+        *o = m.mul_shoup(x, w, ws);
+    }
+}
+
 /// `a[i] = (a[i] * s) mod q` for a scalar already reduced mod q.
+///
+/// `s` is fixed across the slice, so one Shoup constant up front turns the
+/// per-element Barrett reduction into a mulhi + two mullos (bit-identical:
+/// both compute the canonical residue of the same product).
 #[inline]
 pub fn scalar_mul_assign(m: &Modulus, a: &mut [u64], s: u64) {
+    let ss = m.shoup(s);
     for x in a.iter_mut() {
-        *x = m.mul(*x, s);
+        *x = m.mul_shoup(*x, s, ss);
+    }
+}
+
+/// Canonicalizes lazy accumulator values known to lie in `[0, q·2^k)`
+/// with `k` conditional subtractions per element (`q·2^{k-1}`, …, `2q`,
+/// `q`). This is the closing pass after [`mul_shoup_add_lazy`] streams:
+/// deterministic, branch-light, and bit-identical to having reduced after
+/// every accumulate (both paths produce the unique canonical
+/// representative of the same residue class).
+pub fn reduce_lazy_pow2(m: &Modulus, a: &mut [u64], k: u32) {
+    let q = m.value();
+    debug_assert!(
+        k == 0 || (q as u128) << (k - 1) < 1u128 << 64,
+        "reduce_lazy_pow2 bound q·2^{k} exceeds u64"
+    );
+    for x in a.iter_mut() {
+        let mut v = *x;
+        let mut s = k;
+        while s > 0 {
+            s -= 1;
+            let b = q << s;
+            if v >= b {
+                v -= b;
+            }
+        }
+        debug_assert!(
+            v < q,
+            "reduce_lazy_pow2 input exceeded declared q·2^{k} bound"
+        );
+        *x = v;
     }
 }
 
@@ -157,7 +336,7 @@ mod tests {
         let bs: Vec<u64> = b.iter().map(|&y| m.shoup(y)).collect();
 
         let mut want = a0.clone();
-        mul_assign(&m, &mut want, &b);
+        mul_assign_scalar(&m, &mut want, &b);
         let mut got = a0.clone();
         mul_shoup_assign(&m, &mut got, &b, &bs);
         assert_eq!(got, want);
@@ -167,9 +346,72 @@ mod tests {
         assert_eq!(got_into, want);
 
         let mut want_acc = a0.clone();
-        mul_add_assign(&m, &mut want_acc, &a0, &b);
+        mul_add_assign_scalar(&m, &mut want_acc, &a0, &b);
         let mut got_acc = a0.clone();
         mul_shoup_add_assign(&m, &mut got_acc, &a0, &b, &bs);
         assert_eq!(got_acc, want_acc);
+
+        let mut got_bcast = vec![0u64; 32];
+        mul_shoup_scalar_into(&m, &mut got_bcast, &a0, b[3], bs[3]);
+        let want_bcast: Vec<u64> = a0.iter().map(|&x| m.mul(x, b[3])).collect();
+        assert_eq!(got_bcast, want_bcast);
+    }
+
+    #[test]
+    fn tensor3_matches_separate_kernels() {
+        let m = Modulus::new_prime((1 << 45) - 229).unwrap();
+        let q = m.value();
+        let n = 37; // deliberately not a multiple of any lane width
+        let gen = |s: u64| -> Vec<u64> {
+            (0..n as u64)
+                .map(|i| (i.wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ s) % q)
+                .collect()
+        };
+        let (x0, x1, y0, y1) = (gen(1), gen(2), gen(3), gen(4));
+        let (mut r0, mut r1, mut r2) = (vec![0u64; n], vec![0u64; n], vec![0u64; n]);
+        tensor3(&m, (&x0, &x1), (&y0, &y1), (&mut r0, &mut r1, &mut r2));
+
+        let mut w0 = vec![0u64; n];
+        mul_into_scalar(&m, &mut w0, &x0, &y0);
+        let mut w1 = vec![0u64; n];
+        mul_into_scalar(&m, &mut w1, &x0, &y1);
+        mul_add_assign_scalar(&m, &mut w1, &x1, &y0);
+        let mut w2 = vec![0u64; n];
+        mul_into_scalar(&m, &mut w2, &x1, &y1);
+        assert_eq!(r0, w0);
+        assert_eq!(r1, w1);
+        assert_eq!(r2, w2);
+    }
+
+    #[test]
+    fn lazy_accumulate_then_reduce_matches_canonical() {
+        let m = Modulus::new_prime((1 << 40) - 87).unwrap();
+        let q = m.value();
+        let n = 19;
+        let a: Vec<u64> = (0..n as u64).map(|i| (i * 0xABCD_EF12) % q).collect();
+        let l = 5usize; // (2l+1)q = 11q < 2^64 for a 40-bit prime
+        let digits: Vec<Vec<u64>> = (0..l as u64)
+            .map(|d| (0..n as u64).map(|i| (i + d * 7919) % q).collect())
+            .collect();
+        let keys: Vec<Vec<u64>> = (0..l as u64)
+            .map(|d| (0..n as u64).map(|i| q - 1 - (i * 31 + d) % q).collect())
+            .collect();
+        let keys_shoup: Vec<Vec<u64>> = keys
+            .iter()
+            .map(|k| k.iter().map(|&w| m.shoup(w)).collect())
+            .collect();
+
+        let mut lazy = a.clone();
+        for d in 0..l {
+            mul_shoup_add_lazy(&m, &mut lazy, &digits[d], &keys[d], &keys_shoup[d]);
+        }
+        let k = (2 * l as u64 + 1).next_power_of_two().trailing_zeros();
+        reduce_lazy_pow2(&m, &mut lazy, k);
+
+        let mut canon = a.clone();
+        for d in 0..l {
+            mul_shoup_add_assign_scalar(&m, &mut canon, &digits[d], &keys[d], &keys_shoup[d]);
+        }
+        assert_eq!(lazy, canon);
     }
 }

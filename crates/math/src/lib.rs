@@ -34,6 +34,7 @@ pub mod rng;
 pub mod rns;
 pub mod sample;
 pub mod scratch;
+pub mod simd;
 pub mod zq;
 
 pub use bigint::BigUint;

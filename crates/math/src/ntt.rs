@@ -24,6 +24,7 @@
 //! so an overflow surfaces in `cargo test` rather than as silent
 //! wraparound in release.
 
+use crate::simd;
 use crate::zq::Modulus;
 
 /// Precomputed twiddle tables for a fixed ring degree and modulus.
@@ -55,10 +56,16 @@ pub struct NttTable {
     roots_fwd: Vec<u64>,
     /// Shoup constants for `roots_fwd`.
     roots_fwd_shoup: Vec<u64>,
+    /// Radix-2^52 Shoup constants for `roots_fwd` (IFMA tier); empty when
+    /// `4q > 2^52`, which tells the kernel layer the tier does not apply.
+    roots_fwd_shoup52: Vec<u64>,
     /// Powers of psi^{-1} in bit-reversed order, for the inverse GS.
     roots_inv: Vec<u64>,
     /// Shoup constants for `roots_inv`.
     roots_inv_shoup: Vec<u64>,
+    /// Radix-2^52 Shoup constants for `roots_inv` (IFMA tier); empty when
+    /// `4q > 2^52`.
+    roots_inv_shoup52: Vec<u64>,
     /// n^{-1} mod q, folded into the inverse transform.
     n_inv: u64,
     /// Shoup constant for `n_inv`.
@@ -90,6 +97,17 @@ impl NttTable {
         }
         let roots_fwd_shoup = roots_fwd.iter().map(|&w| modulus.shoup(w)).collect();
         let roots_inv_shoup = roots_inv.iter().map(|&w| modulus.shoup(w)).collect();
+        // The IFMA butterfly's quotient estimate needs every lazy operand
+        // below 2^52, i.e. 4q ≤ 2^52; outside that range the tables stay
+        // empty and the IFMA tier falls back to the 64-bit kernels.
+        let (roots_fwd_shoup52, roots_inv_shoup52) = if modulus.value() <= 1u64 << 50 {
+            (
+                roots_fwd.iter().map(|&w| modulus.shoup52(w)).collect(),
+                roots_inv.iter().map(|&w| modulus.shoup52(w)).collect(),
+            )
+        } else {
+            (Vec::new(), Vec::new())
+        };
         let n_inv = modulus.inv(n as u64)?;
         let n_inv_shoup = modulus.shoup(n_inv);
         Some(Self {
@@ -97,8 +115,10 @@ impl NttTable {
             n,
             roots_fwd,
             roots_fwd_shoup,
+            roots_fwd_shoup52,
             roots_inv,
             roots_inv_shoup,
+            roots_inv_shoup52,
             n_inv,
             n_inv_shoup,
         })
@@ -126,43 +146,44 @@ impl NttTable {
     ///
     /// Panics if `a.len()` differs from the table's ring degree.
     pub fn forward(&self, a: &mut [u64]) {
+        self.forward_with(simd::kernels(), a)
+    }
+
+    /// [`NttTable::forward`] pinned to the scalar kernel tier, whatever
+    /// the process selected — the bit-exact oracle for differential tests.
+    pub fn forward_scalar(&self, a: &mut [u64]) {
+        self.forward_with(simd::scalar_kernels(), a)
+    }
+
+    /// [`NttTable::forward`] through an explicit kernel tier (differential
+    /// test plumbing; not part of the stable API).
+    #[doc(hidden)]
+    pub fn forward_with(&self, k: &simd::Kernels, a: &mut [u64]) {
         assert_eq!(a.len(), self.n, "length mismatch in NTT");
-        let q = self.modulus.value();
-        let two_q = q << 1;
-        let mut t = self.n;
-        let mut m = 1;
-        while m < self.n {
-            t /= 2;
-            for (i, chunk) in a.chunks_exact_mut(2 * t).enumerate() {
-                let w = self.roots_fwd[m + i];
-                let ws = self.roots_fwd_shoup[m + i];
-                let (lo, hi) = chunk.split_at_mut(t);
-                for (x, y) in lo.iter_mut().zip(hi.iter_mut()) {
-                    // Harvey butterfly: x enters in [0, 4q), leaves both
-                    // outputs in [0, 4q).
-                    let mut u = *x;
-                    if u >= two_q {
-                        u -= two_q;
-                    }
-                    let v = self.modulus.mul_shoup_lazy(*y, w, ws); // < 2q
-                    *x = u + v;
-                    *y = u + two_q - v;
-                }
-            }
-            #[cfg(debug_assertions)]
-            debug_check_range(a, 4 * q, "forward stage");
-            m *= 2;
+        (k.ntt_fwd)(&self.fwd_shape(), a)
+    }
+
+    /// Borrowed forward-direction twiddle view for the kernel layer.
+    fn fwd_shape(&self) -> simd::NttShape<'_> {
+        simd::NttShape {
+            q: self.modulus.value(),
+            roots: &self.roots_fwd,
+            shoup: &self.roots_fwd_shoup,
+            shoup52: &self.roots_fwd_shoup52,
+            n_inv: 0,
+            n_inv_shoup: 0,
         }
-        // Single canonicalization pass: [0, 4q) → [0, q).
-        for x in a.iter_mut() {
-            let mut v = *x;
-            if v >= two_q {
-                v -= two_q;
-            }
-            if v >= q {
-                v -= q;
-            }
-            *x = v;
+    }
+
+    /// Borrowed inverse-direction twiddle view for the kernel layer.
+    fn inv_shape(&self) -> simd::NttShape<'_> {
+        simd::NttShape {
+            q: self.modulus.value(),
+            roots: &self.roots_inv,
+            shoup: &self.roots_inv_shoup,
+            shoup52: &self.roots_inv_shoup52,
+            n_inv: self.n_inv,
+            n_inv_shoup: self.n_inv_shoup,
         }
     }
 
@@ -176,41 +197,21 @@ impl NttTable {
     ///
     /// Panics if `a.len()` differs from the table's ring degree.
     pub fn inverse(&self, a: &mut [u64]) {
+        self.inverse_with(simd::kernels(), a)
+    }
+
+    /// [`NttTable::inverse`] pinned to the scalar kernel tier (the
+    /// differential-test oracle; see [`NttTable::forward_scalar`]).
+    pub fn inverse_scalar(&self, a: &mut [u64]) {
+        self.inverse_with(simd::scalar_kernels(), a)
+    }
+
+    /// [`NttTable::inverse`] through an explicit kernel tier (differential
+    /// test plumbing; not part of the stable API).
+    #[doc(hidden)]
+    pub fn inverse_with(&self, k: &simd::Kernels, a: &mut [u64]) {
         assert_eq!(a.len(), self.n, "length mismatch in NTT");
-        let q = self.modulus.value();
-        let two_q = q << 1;
-        let mut t = 1;
-        let mut m = self.n;
-        while m > 1 {
-            let h = m / 2;
-            for (i, chunk) in a.chunks_exact_mut(2 * t).enumerate() {
-                let w = self.roots_inv[h + i];
-                let ws = self.roots_inv_shoup[h + i];
-                let (lo, hi) = chunk.split_at_mut(t);
-                for (x, y) in lo.iter_mut().zip(hi.iter_mut()) {
-                    // GS butterfly: inputs in [0, 2q), outputs in [0, 2q).
-                    let u = *x;
-                    let v = *y;
-                    let s = u + v; // < 4q
-                    *x = if s >= two_q { s - two_q } else { s };
-                    // u - v + 2q stays positive and < 4q; Shoup brings the
-                    // product back under 2q.
-                    *y = self.modulus.mul_shoup_lazy(u + two_q - v, w, ws);
-                }
-            }
-            #[cfg(debug_assertions)]
-            debug_check_range(a, 2 * q, "inverse stage");
-            t *= 2;
-            m = h;
-        }
-        // Fold in n^{-1} and canonicalize: [0, 2q) → [0, q).
-        for x in a.iter_mut() {
-            *x = self.modulus.reduce_lazy(self.modulus.mul_shoup_lazy(
-                *x,
-                self.n_inv,
-                self.n_inv_shoup,
-            ));
-        }
+        (k.ntt_inv)(&self.inv_shape(), a)
     }
 
     /// In-place negacyclic convolution: `a ← a * b`.
@@ -226,9 +227,7 @@ impl NttTable {
     pub fn multiply_into(&self, a: &mut [u64], b: &mut [u64]) {
         self.forward(a);
         self.forward(b);
-        for (x, &y) in a.iter_mut().zip(b.iter()) {
-            *x = self.modulus.mul(*x, y);
-        }
+        crate::ew::mul_assign(&self.modulus, a, b);
         self.inverse(a);
     }
 
@@ -300,17 +299,6 @@ impl NttTable {
         for x in a.iter_mut() {
             *x = q.mul(*x, self.n_inv);
         }
-    }
-}
-
-/// Debug-only range check for the lazy stage invariants.
-#[cfg(debug_assertions)]
-fn debug_check_range(a: &[u64], bound: u64, stage: &str) {
-    for (j, &x) in a.iter().enumerate() {
-        debug_assert!(
-            x < bound,
-            "lazy NTT overflow at {stage}: a[{j}] = {x} >= {bound}"
-        );
     }
 }
 

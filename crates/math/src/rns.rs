@@ -217,7 +217,22 @@ impl RnsPoly {
         assert!(level >= 1 && level <= ctx.max_level(), "invalid level");
         let residues = ctx.moduli[..level]
             .iter()
-            .map(|m| coeffs.iter().map(|&c| m.from_signed(c)).collect())
+            .map(|m| {
+                let qi = m.value() as i64;
+                coeffs
+                    .iter()
+                    .map(|&c| {
+                        // Secrets and noise are tiny, so the lift is almost
+                        // always a single conditional add; fall back to the
+                        // full Euclidean reduction otherwise.
+                        if -qi < c && c < qi {
+                            (if c < 0 { c + qi } else { c }) as u64
+                        } else {
+                            m.from_signed(c)
+                        }
+                    })
+                    .collect()
+            })
             .collect();
         Self {
             ctx,
@@ -531,36 +546,99 @@ impl RnsPoly {
         // The signed values ride in pooled u64 buffers via bit-cast.
         let mut dbuf = scratch::take(n);
         let mut wbuf = scratch::take(n);
-        for ((db, wb), &r) in dbuf
-            .iter_mut()
-            .zip(wbuf.iter_mut())
-            .zip(&self.residues[l - 1])
-        {
-            let d = qlast.to_signed(r);
-            // w = [-d * q_l^{-1}] mod t, centered into (-t/2, t/2].
-            let d_mod_t = (d.rem_euclid(t as i64)) as u64;
-            let w = (d_mod_t as u128 * qlast_inv_t as u128 % t as u128) as u64;
-            let w = (t - w) % t; // -d·q_l^{-1} mod t.
-            let w_c = if w > t / 2 {
-                w as i64 - t as i64
-            } else {
-                w as i64
-            };
-            *db = d as u64;
-            *wb = w_c as u64;
+        if t.is_power_of_two() && t <= 1 << 32 {
+            // Power-of-two t (the common plaintext modulus): both
+            // reductions mod t are masks — `d mod 2^k` of a two's-complement
+            // value is just its low bits, and the product of two values
+            // below 2^32 cannot overflow a u64. Bit-identical to the
+            // general path below.
+            let mask = t - 1;
+            for ((db, wb), &r) in dbuf
+                .iter_mut()
+                .zip(wbuf.iter_mut())
+                .zip(&self.residues[l - 1])
+            {
+                let d = qlast.to_signed(r);
+                let d_mod_t = (d as u64) & mask;
+                let w = (t - ((d_mod_t * qlast_inv_t) & mask)) & mask; // -d·q_l^{-1} mod t.
+                let w_c = if w > t / 2 {
+                    w as i64 - t as i64
+                } else {
+                    w as i64
+                };
+                *db = d as u64;
+                *wb = w_c as u64;
+            }
+        } else {
+            for ((db, wb), &r) in dbuf
+                .iter_mut()
+                .zip(wbuf.iter_mut())
+                .zip(&self.residues[l - 1])
+            {
+                let d = qlast.to_signed(r);
+                // w = [-d * q_l^{-1}] mod t, centered into (-t/2, t/2].
+                let d_mod_t = (d.rem_euclid(t as i64)) as u64;
+                let w = (d_mod_t as u128 * qlast_inv_t as u128 % t as u128) as u64;
+                let w = (t - w) % t; // -d·q_l^{-1} mod t.
+                let w_c = if w > t / 2 {
+                    w as i64 - t as i64
+                } else {
+                    w as i64
+                };
+                *db = d as u64;
+                *wb = w_c as u64;
+            }
         }
         let (head, _last) = self.residues.split_at_mut(l - 1);
         par::for_each_mut(head, |i, r| {
             let m = &ctx.moduli[i];
+            let qi = m.value();
             let inv = pre.qlast_inv[i];
             let ql_mod = m.reduce(qlast.value());
-            for (x, (&db, &wb)) in r.iter_mut().zip(dbuf.iter().zip(wbuf.iter())) {
-                // delta mod q_i = d + q_l * w (all small, centered).
-                let dm = m.from_signed(db as i64);
-                let wm = m.from_signed(wb as i64);
-                let delta = m.add(dm, m.mul(ql_mod, wm));
-                let num = m.sub(*x, delta);
-                *x = m.mul(num, inv);
+            // Rescale kernel: x ← (x − d − q_l·w)·q_l^{-1} mod q_i.
+            //
+            // Fast path — |d| ≤ q_l/2 and |w| ≤ t/2 both below q_i (always
+            // true for same-bit-width chain primes and t ≪ q): the signed
+            // lifts become single conditional adds and the two
+            // fixed-multiplier products take the Shoup route (the final
+            // one through the SIMD broadcast kernel), so the loop runs
+            // division-free. Outputs are canonical either way, so the two
+            // paths are bit-identical.
+            if qlast.value() / 2 < qi && t / 2 < qi {
+                let inv_shoup = m.shoup(inv);
+                let ql_shoup = m.shoup(ql_mod);
+                let mut wm = scratch::take(n);
+                let mut qlw = scratch::take(n);
+                for (o, &wb) in wm.iter_mut().zip(wbuf.iter()) {
+                    let w = wb as i64;
+                    *o = if w < 0 {
+                        (qi as i64 + w) as u64
+                    } else {
+                        w as u64
+                    };
+                }
+                ew::mul_shoup_scalar_into(m, &mut qlw, &wm, ql_mod, ql_shoup);
+                for ((o, &x), (&db, &p)) in
+                    wm.iter_mut().zip(r.iter()).zip(dbuf.iter().zip(qlw.iter()))
+                {
+                    let d = db as i64;
+                    let dm = if d < 0 {
+                        (qi as i64 + d) as u64
+                    } else {
+                        d as u64
+                    };
+                    *o = m.sub(x, m.add(dm, p));
+                }
+                ew::mul_shoup_scalar_into(m, r, &wm, inv, inv_shoup);
+            } else {
+                for (x, (&db, &wb)) in r.iter_mut().zip(dbuf.iter().zip(wbuf.iter())) {
+                    // delta mod q_i = d + q_l * w (all small, centered).
+                    let dm = m.from_signed(db as i64);
+                    let wm = m.from_signed(wb as i64);
+                    let delta = m.add(dm, m.mul(ql_mod, wm));
+                    let num = m.sub(*x, delta);
+                    *x = m.mul(num, inv);
+                }
             }
         });
         self.residues.pop();
@@ -652,6 +730,7 @@ impl RnsPoly {
             let mut dj = scratch::take(n);
             self.rns_digit_into(j, &mut dj);
             // Lift to every active prime (a copy where q_i = q_j).
+            let qj = self.ctx.moduli[j].value();
             let residues: Vec<Vec<u64>> = self.ctx.moduli[..l]
                 .iter()
                 .enumerate()
@@ -659,7 +738,9 @@ impl RnsPoly {
                     if i == j {
                         dj.to_vec()
                     } else {
-                        dj.iter().map(|&x| mi.reduce(x)).collect()
+                        let mut out = vec![0u64; n];
+                        lift_residues(mi, qj, &mut out, &dj);
+                        out
                     }
                 })
                 .collect();
@@ -693,11 +774,13 @@ impl RnsPoly {
         assert_eq!(out.len(), self.ctx.degree(), "digit buffer length mismatch");
         let pre = self.ctx.level(self.level);
         let mj = &self.ctx.moduli[j];
-        let w = pre.qhat_inv[j];
-        let ws = pre.qhat_inv_shoup[j];
-        for (o, &x) in out.iter_mut().zip(&self.residues[j]) {
-            *o = mj.mul_shoup(x, w, ws);
-        }
+        ew::mul_shoup_scalar_into(
+            mj,
+            out,
+            &self.residues[j],
+            pre.qhat_inv[j],
+            pre.qhat_inv_shoup[j],
+        );
     }
 
     fn crt_coeff(&self, j: usize, pre: &LevelPrecomp) -> BigUint {
@@ -725,6 +808,41 @@ impl RnsPoly {
     ///
     /// Panics on level/representation/context mismatch or coefficient
     /// representation.
+    /// Like [`RnsPoly::mul_shoup_assign`], but the precomputed operand may
+    /// sit at a *higher* level: only its first `self.level` residues
+    /// participate. This is what lets a ciphertext be encrypted directly
+    /// at a low level against the top-level public key — the prefix of an
+    /// RNS element at level `L` is exactly its image at the lower level.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `other` is below `self`'s level, on context mismatch, or
+    /// in coefficient representation.
+    pub fn mul_shoup_assign_prefix(&mut self, other: &ShoupPrecomp) {
+        assert!(
+            other.poly.level >= self.level,
+            "prefix operand must cover the target level"
+        );
+        assert!(
+            Arc::ptr_eq(&self.ctx, &other.poly.ctx),
+            "operands belong to different contexts"
+        );
+        assert_eq!(
+            self.rep,
+            Representation::Ntt,
+            "ring multiplication requires NTT representation"
+        );
+        assert_eq!(
+            other.poly.rep,
+            Representation::Ntt,
+            "ring multiplication requires NTT representation"
+        );
+        let ctx = self.ctx.clone();
+        par::for_each_mut(&mut self.residues, |i, r| {
+            ew::mul_shoup_assign(&ctx.moduli[i], r, other.residue(i), other.shoup_residue(i));
+        });
+    }
+
     pub fn mul_shoup_assign(&mut self, other: &ShoupPrecomp) {
         self.check_compat(&other.poly);
         assert_eq!(
@@ -830,6 +948,25 @@ impl ShoupPrecomp {
     }
 }
 
+/// Lifts residues from `Z_{q_j}` (values `< src_bound = q_j`) into
+/// `Z_{q_i}`. Chain primes share a bit width, so `q_j < 2·q_i` almost
+/// always holds and the lift is one auto-vectorizable conditional
+/// subtraction per value instead of a hardware division — the difference
+/// is the entire digit-lift cost of a key switch (`l²·n` reductions).
+#[inline]
+fn lift_residues(mi: &Modulus, src_bound: u64, out: &mut [u64], src: &[u64]) {
+    let qi = mi.value();
+    if src_bound <= qi << 1 {
+        for (o, &x) in out.iter_mut().zip(src.iter()) {
+            *o = if x >= qi { x - qi } else { x };
+        }
+    } else {
+        for (o, &x) in out.iter_mut().zip(src.iter()) {
+            *o = mi.reduce(x);
+        }
+    }
+}
+
 /// Fused RNS-gadget key switch: `(c0, c1) += Σ_j NTT(d_j) ⊙ keys[j]` where
 /// `d_j` is the `j`-th gadget digit of the coefficient-domain `c2`.
 ///
@@ -854,60 +991,196 @@ pub fn key_switch_assign(
     c2: &RnsPoly,
     keys: &[(ShoupPrecomp, ShoupPrecomp)],
 ) {
-    c0.check_compat(c1);
-    assert_eq!(
-        c0.rep,
-        Representation::Ntt,
-        "key switch accumulates in NTT representation"
-    );
-    assert_eq!(
-        c2.rep,
-        Representation::Coefficient,
-        "key switch decomposes a coefficient-domain polynomial"
-    );
-    assert_eq!(c2.level, c0.level, "RNS level mismatch");
-    assert!(Arc::ptr_eq(&c0.ctx, &c2.ctx), "context mismatch");
-    let l = c0.level;
+    key_switch_batch(&mut [(c0, c1, c2)], keys)
+}
+
+/// Batched fused key switch: for every job `(c0, c1, c2)`,
+/// `(c0, c1) += Σ_j NTT(d_j) ⊙ keys[j]` with `d_j` the `j`-th gadget digit
+/// of that job's coefficient-domain `c2`.
+///
+/// All jobs must share one context, level, and key set — exactly the shape
+/// of one summation-tree level, where every degree-2 node relinearizes
+/// against the same relinearization key. Compared to per-node
+/// [`key_switch_assign`] calls this amortizes three costs across the
+/// fan-in:
+///
+/// * **one digit-decomposition pass** runs `rns_digit_into` for every
+///   (job, digit) pair up front instead of re-entering the scratch pool
+///   and precomp lookups per node;
+/// * **one parallel region** covers all `jobs × limbs` units, so thread
+///   startup/teardown is paid once per tree level, not once per node, and
+///   narrow levels stop serializing on a single node's `l` limbs;
+/// * **lazy accumulation**: per limb, the `2l` Shoup products stream into
+///   the accumulators wrapping-lazily ([`ew::mul_shoup_add_lazy`]) and are
+///   canonicalized once at the end ([`ew::reduce_lazy_pow2`]) — sound
+///   whenever `(2l+1)·q_i < 2^64` (checked per limb; wider primes fall
+///   back to canonical accumulation). Both paths produce the unique
+///   canonical representative, so results are bit-identical to the
+///   per-node path at any thread count, SIMD on or off.
+///
+/// Live counters for every batch are recorded in [`ks_stats`] so the
+/// analytical cost model can be reconciled against actual kernel traffic.
+///
+/// # Panics
+///
+/// Panics under the same conditions as [`key_switch_assign`], applied to
+/// every job, or if the jobs disagree on context/level.
+pub fn key_switch_batch(
+    jobs: &mut [(&mut RnsPoly, &mut RnsPoly, &RnsPoly)],
+    keys: &[(ShoupPrecomp, ShoupPrecomp)],
+) {
+    if jobs.is_empty() {
+        return;
+    }
+    let l = jobs[0].0.level;
+    let ctx = jobs[0].0.ctx.clone();
     assert_eq!(keys.len(), l, "one key pair per active prime");
-    let ctx = c0.ctx.clone();
+    for (c0, c1, c2) in jobs.iter() {
+        c0.check_compat(c1);
+        assert_eq!(
+            c0.rep,
+            Representation::Ntt,
+            "key switch accumulates in NTT representation"
+        );
+        assert_eq!(
+            c2.rep,
+            Representation::Coefficient,
+            "key switch decomposes a coefficient-domain polynomial"
+        );
+        assert_eq!(c0.level, l, "all batch jobs must share one level");
+        assert_eq!(c2.level, l, "RNS level mismatch");
+        assert!(Arc::ptr_eq(&c0.ctx, &ctx), "context mismatch");
+        assert!(Arc::ptr_eq(&c2.ctx, &ctx), "context mismatch");
+    }
     let n = ctx.degree();
-    // Base digits d_j in [0, q_j), one pooled buffer per active prime.
-    let digits: Vec<scratch::ScratchBuf> = (0..l)
-        .map(|j| {
-            let mut b = scratch::take(n);
-            c2.rns_digit_into(j, &mut b);
-            b
+    let b = jobs.len();
+    ks_stats::record(b as u64, l as u64);
+    // One decomposition pass for the whole batch: base digits d_j in
+    // [0, q_j), pooled, indexed [job][digit].
+    let digits: Vec<Vec<scratch::ScratchBuf>> = jobs
+        .iter()
+        .map(|(_, _, c2)| {
+            (0..l)
+                .map(|j| {
+                    let mut buf = scratch::take(n);
+                    c2.rns_digit_into(j, &mut buf);
+                    buf
+                })
+                .collect()
         })
         .collect();
-    // Pair the limb rows of both accumulators so one parallel region covers
-    // them; rows are moved out and back to satisfy the borrow checker.
-    let mut rows: Vec<(Vec<u64>, Vec<u64>)> = c0
-        .residues
+    // Flatten (job, limb) into one parallel region; rows are moved out and
+    // back to satisfy the borrow checker.
+    let mut rows: Vec<(Vec<u64>, Vec<u64>)> = jobs
         .iter_mut()
-        .zip(c1.residues.iter_mut())
-        .map(|(r0, r1)| (std::mem::take(r0), std::mem::take(r1)))
+        .flat_map(|(c0, c1, _)| {
+            c0.residues
+                .iter_mut()
+                .zip(c1.residues.iter_mut())
+                .map(|(r0, r1)| (std::mem::take(r0), std::mem::take(r1)))
+        })
         .collect();
-    par::for_each_mut(&mut rows, |i, (r0, r1)| {
+    par::for_each_mut(&mut rows, |u, (r0, r1)| {
+        let job = u / l;
+        let i = u % l;
         let mi = &ctx.moduli[i];
+        // Lazy budget: accumulator starts < q and gains 2l products < 2q
+        // each, so values stay < (2l+1)·q. Stream wrapping-lazily while
+        // that fits u64; otherwise reduce canonically per product (both
+        // yield the identical canonical output).
+        let lazy_ok = (2 * l as u128 + 1) * mi.value() as u128 <= u64::MAX as u128;
         let mut tmp = scratch::take(n);
-        for (j, dj) in digits.iter().enumerate() {
+        for (j, dj) in digits[job].iter().enumerate() {
             // Lift d_j to Z_{q_i} (a plain copy where q_i = q_j).
             if i == j {
                 tmp.copy_from_slice(dj);
             } else {
-                for (o, &x) in tmp.iter_mut().zip(dj.iter()) {
-                    *o = mi.reduce(x);
-                }
+                lift_residues(mi, ctx.moduli[j].value(), &mut tmp, dj);
             }
             ctx.tables[i].forward(&mut tmp);
             let (kb, ka) = &keys[j];
-            ew::mul_shoup_add_assign(mi, r0, &tmp, kb.residue(i), kb.shoup_residue(i));
-            ew::mul_shoup_add_assign(mi, r1, &tmp, ka.residue(i), ka.shoup_residue(i));
+            if lazy_ok {
+                ew::mul_shoup_add_lazy(mi, r0, &tmp, kb.residue(i), kb.shoup_residue(i));
+                ew::mul_shoup_add_lazy(mi, r1, &tmp, ka.residue(i), ka.shoup_residue(i));
+            } else {
+                ew::mul_shoup_add_assign(mi, r0, &tmp, kb.residue(i), kb.shoup_residue(i));
+                ew::mul_shoup_add_assign(mi, r1, &tmp, ka.residue(i), ka.shoup_residue(i));
+            }
+        }
+        if lazy_ok {
+            let kbits = (2 * l as u64 + 1).next_power_of_two().trailing_zeros();
+            ew::reduce_lazy_pow2(mi, r0, kbits);
+            ew::reduce_lazy_pow2(mi, r1, kbits);
         }
     });
-    for (i, (s0, s1)) in rows.into_iter().enumerate() {
-        c0.residues[i] = s0;
-        c1.residues[i] = s1;
+    let mut it = rows.into_iter();
+    for (c0, c1, _) in jobs.iter_mut() {
+        for i in 0..l {
+            let (s0, s1) = it.next().expect("row count mismatch");
+            c0.residues[i] = s0;
+            c1.residues[i] = s1;
+        }
+    }
+}
+
+/// Live counters for the batched key-switch plane, reconciled against the
+/// analytical cost model in `tests/sim_costs.rs`. Process-wide atomics
+/// (relaxed; exact under any interleaving because each batch does one
+/// `record`).
+pub mod ks_stats {
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    static BATCH_CALLS: AtomicU64 = AtomicU64::new(0);
+    static JOBS: AtomicU64 = AtomicU64::new(0);
+    static DECOMPOSE_PASSES: AtomicU64 = AtomicU64::new(0);
+    static DIGIT_NTTS: AtomicU64 = AtomicU64::new(0);
+    static ACCUMULATES: AtomicU64 = AtomicU64::new(0);
+
+    /// Snapshot of the counters since process start or the last [`reset`].
+    #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+    pub struct KsStats {
+        /// Number of `key_switch_batch` invocations (== decompose passes).
+        pub batch_calls: u64,
+        /// Total key-switch jobs across all batches.
+        pub jobs: u64,
+        /// Digit-decomposition passes (one per batch, however many jobs).
+        pub decompose_passes: u64,
+        /// Forward NTTs of lifted digits (`jobs · level²`).
+        pub digit_ntts: u64,
+        /// Shoup multiply-accumulate kernel calls (`jobs · 2 · level²`).
+        pub accumulates: u64,
+    }
+
+    pub(crate) fn record(jobs: u64, level: u64) {
+        BATCH_CALLS.fetch_add(1, Ordering::Relaxed);
+        JOBS.fetch_add(jobs, Ordering::Relaxed);
+        DECOMPOSE_PASSES.fetch_add(1, Ordering::Relaxed);
+        DIGIT_NTTS.fetch_add(jobs * level * level, Ordering::Relaxed);
+        ACCUMULATES.fetch_add(jobs * 2 * level * level, Ordering::Relaxed);
+    }
+
+    /// Zeroes all counters (test setup).
+    pub fn reset() {
+        for c in [
+            &BATCH_CALLS,
+            &JOBS,
+            &DECOMPOSE_PASSES,
+            &DIGIT_NTTS,
+            &ACCUMULATES,
+        ] {
+            c.store(0, Ordering::Relaxed);
+        }
+    }
+
+    /// Reads all counters.
+    pub fn snapshot() -> KsStats {
+        KsStats {
+            batch_calls: BATCH_CALLS.load(Ordering::Relaxed),
+            jobs: JOBS.load(Ordering::Relaxed),
+            decompose_passes: DECOMPOSE_PASSES.load(Ordering::Relaxed),
+            digit_ntts: DIGIT_NTTS.load(Ordering::Relaxed),
+            accumulates: ACCUMULATES.load(Ordering::Relaxed),
+        }
     }
 }
 

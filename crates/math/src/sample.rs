@@ -26,21 +26,104 @@ pub fn uniform_rns<R: Rng + ?Sized>(ctx: &Arc<RnsContext>, level: usize, rng: &m
 
 /// Samples ternary coefficients in `{-1, 0, 1}` (each with probability 1/3),
 /// the standard BGV secret-key distribution.
+///
+/// Draws 2-bit candidates from the keystream and rejects the `11` pattern,
+/// which is exactly uniform over three values at an expected ~2.7 bits per
+/// coefficient — the sampler is on the encrypt hot path, so it avoids the
+/// one-word-per-coefficient cost of `gen_range`.
 pub fn ternary_coeffs<R: Rng + ?Sized>(n: usize, rng: &mut R) -> Vec<i64> {
-    (0..n).map(|_| rng.gen_range(-1i64..=1)).collect()
+    let mut out = Vec::with_capacity(n);
+    while out.len() < n {
+        let mut w = rng.next_u64();
+        for _ in 0..32 {
+            let b = w & 3;
+            w >>= 2;
+            if b != 3 {
+                out.push(b as i64 - 1);
+                if out.len() == n {
+                    break;
+                }
+            }
+        }
+    }
+    out
 }
 
-/// Samples discrete Gaussian coefficients by rounding a continuous Gaussian
-/// of standard deviation `sigma` (the common approach in HE libraries; tail
-/// cut at `6·sigma`).
+/// Samples discrete Gaussian coefficients distributed as the *rounding* of
+/// a continuous Gaussian of standard deviation `sigma` (the common approach
+/// in HE libraries; tail cut at `6·sigma`, with the tail mass collapsed
+/// onto `±cut` exactly as a round-then-clamp would).
+///
+/// Implemented by inverting a cumulative distribution table (one uniform
+/// word and a short binary search per coefficient) rather than running
+/// Box–Muller per sample: the distribution is identical, but the hot
+/// encrypt path pays no transcendentals. Tables are cached per `sigma`.
 pub fn gaussian_coeffs<R: Rng + ?Sized>(n: usize, sigma: f64, rng: &mut R) -> Vec<i64> {
-    let cut = (6.0 * sigma).ceil() as i64;
+    let table = gaussian_table(sigma);
+    let cut = (table.cdf.len() as i64 - 1) / 2;
     (0..n)
         .map(|_| {
-            let g = (sample_standard_normal(rng) * sigma).round() as i64;
-            g.clamp(-cut, cut)
+            let r = rng.next_u64();
+            // Smallest k with r < cdf[k]; the min() folds the probability-
+            // 2^-64 draw r = u64::MAX onto the top bucket.
+            let k = table
+                .cdf
+                .partition_point(|&threshold| threshold <= r)
+                .min(table.cdf.len() - 1);
+            k as i64 - cut
         })
         .collect()
+}
+
+/// Cumulative thresholds for the rounded-Gaussian sampler: entry `k` holds
+/// `round(2^64 · Pr[X ≤ k - cut])`, so `partition_point(cdf[i] <= r)` on a
+/// uniform `r` inverts the CDF. The final entry is pinned to `u64::MAX` so
+/// every draw lands in range.
+struct GaussianTable {
+    cdf: Vec<u64>,
+}
+
+fn gaussian_table(sigma: f64) -> Arc<GaussianTable> {
+    use std::sync::{Mutex, OnceLock};
+    type TableCache = Mutex<Vec<(u64, Arc<GaussianTable>)>>;
+    static CACHE: OnceLock<TableCache> = OnceLock::new();
+    let cache = CACHE.get_or_init(|| Mutex::new(Vec::new()));
+    let key = sigma.to_bits();
+    let mut guard = cache.lock().unwrap();
+    if let Some((_, t)) = guard.iter().find(|(k, _)| *k == key) {
+        return Arc::clone(t);
+    }
+    let cut = (6.0 * sigma).ceil() as i64;
+    let phi = |x: f64| 0.5 * (1.0 + erf(x / std::f64::consts::SQRT_2));
+    let mut cdf = Vec::with_capacity((2 * cut + 1) as usize);
+    for k in -cut..=cut {
+        // Pr[X ≤ k] for X = clamp(round(N(0, σ²))): the interval
+        // (-∞, k+1/2] of the continuous Gaussian, with both tails folded
+        // onto ±cut by the clamp.
+        let p = if k == cut {
+            1.0
+        } else {
+            phi((k as f64 + 0.5) / sigma)
+        };
+        let scaled = (p * 18_446_744_073_709_551_616.0).min(u64::MAX as f64);
+        cdf.push(if k == cut { u64::MAX } else { scaled as u64 });
+    }
+    let table = Arc::new(GaussianTable { cdf });
+    guard.push((key, Arc::clone(&table)));
+    table
+}
+
+/// Error function via the Abramowitz–Stegun 7.1.26 rational approximation
+/// (absolute error ≤ 1.5e-7 — far below the 2^-64 CDT quantization).
+fn erf(x: f64) -> f64 {
+    let sign = if x < 0.0 { -1.0 } else { 1.0 };
+    let x = x.abs();
+    let t = 1.0 / (1.0 + 0.327_591_1 * x);
+    let poly = t
+        * (0.254_829_592
+            + t * (-0.284_496_736
+                + t * (1.421_413_741 + t * (-1.453_152_027 + t * 1.061_405_429))));
+    sign * (1.0 - poly * (-x * x).exp())
 }
 
 /// Samples a ternary secret directly as an [`RnsPoly`] in coefficient

@@ -24,6 +24,15 @@ pub struct Modulus {
     /// `floor(2^128 / q)`, stored as (hi, lo) words for Barrett reduction.
     barrett_hi: u64,
     barrett_lo: u64,
+    /// `-q^{-1} mod 2^64` — the Montgomery REDC constant (0 for even `q`,
+    /// where no Montgomery inverse exists; the SIMD kernels never see an
+    /// even modulus because every chain prime is odd).
+    mont_qinv_neg: u64,
+    /// `2^128 mod q` — converts one operand into the Montgomery domain
+    /// (`a·R mod q` via one REDC of `a · r2`), letting the vectorized
+    /// product kernels replace the 128-bit Barrett reduction with two
+    /// word-sized multiply/high-half pairs per element.
+    mont_r2: u64,
 }
 
 impl Modulus {
@@ -48,10 +57,25 @@ impl Modulus {
         // For powers of two the difference is 1, which Barrett tolerates.
         let full = u128::MAX / q as u128;
         let _ = hi;
+        let (mont_qinv_neg, mont_r2) = if q & 1 == 1 {
+            // Newton–Hensel lifting: each step doubles the number of
+            // correct low bits of q^{-1} mod 2^64 (q·q ≡ 1 mod 8 seeds 3).
+            let mut inv = q;
+            for _ in 0..5 {
+                inv = inv.wrapping_mul(2u64.wrapping_sub(q.wrapping_mul(inv)));
+            }
+            debug_assert_eq!(q.wrapping_mul(inv), 1);
+            let r2 = ((u128::MAX % q as u128 + 1) % q as u128) as u64;
+            (inv.wrapping_neg(), r2)
+        } else {
+            (0, 0)
+        };
         Some(Self {
             q,
             barrett_hi: (full >> 64) as u64,
             barrett_lo: full as u64,
+            mont_qinv_neg,
+            mont_r2,
         })
     }
 
@@ -162,6 +186,16 @@ impl Modulus {
         (((w as u128) << 64) / self.q as u128) as u64
     }
 
+    /// Radix-2^52 Shoup precomputation: `floor(w · 2^52 / q)`, the twiddle
+    /// companion constant for the AVX-512 IFMA butterfly (52×52→104-bit
+    /// multiplier). Only sound as a quotient estimate when the lazy operand
+    /// stays below 2^52, i.e. when `4q ≤ 2^52`.
+    #[inline]
+    pub(crate) fn shoup52(&self, w: u64) -> u64 {
+        debug_assert!(w < self.q);
+        (((w as u128) << 52) / self.q as u128) as u64
+    }
+
     /// Shoup multiplication with a *lazy* result in `[0, 2q)`.
     ///
     /// `w` must be reduced and `w_shoup` must be [`Modulus::shoup`]`(w)`;
@@ -259,6 +293,60 @@ impl Modulus {
     pub fn from_signed(&self, a: i64) -> u64 {
         let r = a.rem_euclid(self.q as i64);
         r as u64
+    }
+
+    /// The Montgomery REDC constant `-q^{-1} mod 2^64` (odd `q` only).
+    #[inline]
+    pub(crate) fn mont_qinv_neg(&self) -> u64 {
+        debug_assert!(self.q & 1 == 1, "Montgomery needs an odd modulus");
+        self.mont_qinv_neg
+    }
+
+    /// The Montgomery conversion constant `2^128 mod q` (odd `q` only).
+    #[inline]
+    pub(crate) fn mont_r2(&self) -> u64 {
+        debug_assert!(self.q & 1 == 1, "Montgomery needs an odd modulus");
+        self.mont_r2
+    }
+
+    /// The radix-2^52 Montgomery REDC constant `-q^{-1} mod 2^52` (odd `q`
+    /// only) — the low 52 bits of [`Modulus::mont_qinv_neg`], for the IFMA
+    /// kernel tier whose multiplier is 52×52→104 bits.
+    #[inline]
+    pub(crate) fn mont52_qinv_neg(&self) -> u64 {
+        self.mont_qinv_neg() & ((1u64 << 52) - 1)
+    }
+
+    /// The radix-2^52 Montgomery conversion constant `2^104 mod q` (odd
+    /// `q` only). Computed on demand: one `u128` division per kernel call,
+    /// amortized over a whole residue polynomial.
+    #[inline]
+    pub(crate) fn mont52_r2(&self) -> u64 {
+        debug_assert!(self.q & 1 == 1, "Montgomery needs an odd modulus");
+        ((1u128 << 104) % self.q as u128) as u64
+    }
+
+    /// Montgomery reduction: `x · 2^{-64} mod q`, lazily in `[0, 2q)`.
+    ///
+    /// Requires `x < q · 2^64` (any product of a `[0, 2q)` value and a
+    /// `[0, q)` value qualifies since `2q < 2^64`). This is the scalar
+    /// model of the vectorized product kernels: `m = x_lo · (-q^{-1})`,
+    /// then `(x + m·q) / 2^64 = x_hi + hi(m·q) + (x_lo != 0)`.
+    ///
+    /// Only the unit test calls this directly — the vector tiers in
+    /// [`crate::simd`] inline the same formula lane-parallel — but it is
+    /// the executable specification they are tested against.
+    #[cfg_attr(not(test), allow(dead_code))]
+    #[inline(always)]
+    pub(crate) fn mont_redc_lazy(&self, x: u128) -> u64 {
+        debug_assert!(self.q & 1 == 1, "Montgomery needs an odd modulus");
+        debug_assert!(x < (self.q as u128) << 64, "REDC operand out of range");
+        let x_lo = x as u64;
+        let x_hi = (x >> 64) as u64;
+        let m = x_lo.wrapping_mul(self.mont_qinv_neg);
+        let mq_hi = ((m as u128 * self.q as u128) >> 64) as u64;
+        // x_lo + lo(m·q) ≡ 0 mod 2^64, so the carry out is 1 iff x_lo != 0.
+        x_hi + mq_hi + (x_lo != 0) as u64
     }
 
     /// Finds a generator of the `2n`-th roots of unity, i.e. a primitive
@@ -462,6 +550,41 @@ mod tests {
                 let lazy = q.mul_shoup_lazy(a, w, ws);
                 assert!(lazy < 2 * qv, "lazy result out of range");
                 assert_eq!(lazy % qv, expect);
+            }
+        }
+    }
+
+    #[test]
+    fn montgomery_redc_matches_barrett() {
+        // The SIMD product kernels rest on REDC: for any x = a·b with
+        // a < 2q and b < q, mont_redc_lazy(x) ≡ x·2^{-64} (mod q) and the
+        // result stays below 2q. Converting one operand by r2 first makes
+        // the pair compute a·b mod q exactly like the Barrett oracle.
+        for &qv in &[
+            97u64,
+            (1 << 40) - 87,
+            (1 << 45) - 229,
+            (1 << 55) - 55,
+            (1 << 61) + 33,
+        ] {
+            let q = Modulus::new(qv).unwrap();
+            let r2 = q.mont_r2();
+            assert_eq!(
+                r2 as u128,
+                (1u128 << 64) % qv as u128 * ((1u128 << 64) % qv as u128) % qv as u128
+            );
+            let mut x = 1u64;
+            for i in 1..300u64 {
+                x = x.wrapping_mul(6364136223846793005).wrapping_add(i);
+                let a = x % (2 * qv); // lazy-domain operand
+                let b = x.rotate_left(17) % qv;
+                // a·R in [0, 2q), then (aR)·b reduced back out of the
+                // Montgomery domain gives the plain product.
+                let a_mont = q.mont_redc_lazy((a % qv) as u128 * r2 as u128);
+                assert!(a_mont < 2 * qv);
+                let prod = q.mont_redc_lazy(a_mont as u128 * b as u128);
+                assert!(prod < 2 * qv);
+                assert_eq!(prod % qv, q.mul(a % qv, b), "q={qv} a={a} b={b}");
             }
         }
     }

@@ -1,0 +1,177 @@
+//! Differential property tests: every runtime-available SIMD kernel tier
+//! against the scalar oracle, over the full degree × modulus-width grid
+//! the BGV stack uses, including the all-`(q−1)` lazy-domain worst case
+//! and non-multiple-of-lane-width tails.
+//!
+//! The scalar tier is itself pitted against the strict-Barrett reference
+//! transforms, so the chain `vector tier == scalar Harvey == strict
+//! Barrett` is closed here for every tier the host can execute.
+
+use mycelium_math::ntt::NttTable;
+use mycelium_math::rng::RngCore;
+use mycelium_math::simd;
+use mycelium_math::zq::{ntt_primes, Modulus};
+use mycelium_math::{ew, SeedableRng, StdRng};
+
+const DEGREES: [usize; 4] = [16, 256, 1024, 4096];
+const BITS: [u32; 4] = [30, 40, 45, 55];
+
+fn rand_poly(rng: &mut StdRng, q: u64, n: usize) -> Vec<u64> {
+    (0..n).map(|_| rng.next_u64() % q).collect()
+}
+
+#[test]
+fn ntt_tiers_match_scalar_over_grid() {
+    let mut rng = StdRng::seed_from_u64(0x51D1);
+    for &n in &DEGREES {
+        for &bits in &BITS {
+            let q = Modulus::new_prime(ntt_primes(bits, n, 1)[0]).unwrap();
+            let table = NttTable::new(q, n).unwrap();
+            let qv = q.value();
+            let mut cases = vec![rand_poly(&mut rng, qv, n), vec![qv - 1; n]];
+            // A spike exercises the butterflies' zero paths.
+            let mut spike = vec![0u64; n];
+            spike[n - 1] = qv - 1;
+            cases.push(spike);
+            for a in &cases {
+                let mut want_f = a.clone();
+                table.forward_scalar(&mut want_f);
+                let mut want_i = want_f.clone();
+                table.inverse_scalar(&mut want_i);
+                assert_eq!(want_i, *a, "scalar roundtrip n={n} bits={bits}");
+                for k in simd::all_available() {
+                    let mut got = a.clone();
+                    table.forward_with(k, &mut got);
+                    assert_eq!(got, want_f, "{} forward n={n} bits={bits}", k.name);
+                    table.inverse_with(k, &mut got);
+                    assert_eq!(got, *a, "{} roundtrip n={n} bits={bits}", k.name);
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn scalar_tier_matches_strict_barrett_reference() {
+    let mut rng = StdRng::seed_from_u64(0x0BA2);
+    for &n in &DEGREES {
+        for &bits in &BITS {
+            let q = Modulus::new_prime(ntt_primes(bits, n, 1)[0]).unwrap();
+            let table = NttTable::new(q, n).unwrap();
+            let a = rand_poly(&mut rng, q.value(), n);
+            let (mut lazy, mut strict) = (a.clone(), a.clone());
+            table.forward_scalar(&mut lazy);
+            table.forward_reference(&mut strict);
+            assert_eq!(lazy, strict, "forward n={n} bits={bits}");
+            table.inverse_scalar(&mut lazy);
+            table.inverse_reference(&mut strict);
+            assert_eq!(lazy, strict, "inverse n={n} bits={bits}");
+        }
+    }
+}
+
+#[test]
+fn cache_blocked_transform_matches_at_large_degree() {
+    // 16384 elements exceeds NTT_BLOCK (4096), so this degree actually
+    // exercises the global-pass → per-region completion split on every
+    // tier (the grid above stays within one block).
+    let n = 16384;
+    let mut rng = StdRng::seed_from_u64(0xB10C);
+    let q = Modulus::new_prime(ntt_primes(45, n, 1)[0]).unwrap();
+    let table = NttTable::new(q, n).unwrap();
+    for a in [rand_poly(&mut rng, q.value(), n), vec![q.value() - 1; n]] {
+        let mut want = a.clone();
+        table.forward_reference(&mut want);
+        for k in simd::all_available() {
+            let mut got = a.clone();
+            table.forward_with(k, &mut got);
+            assert_eq!(got, want, "{} blocked forward", k.name);
+            table.inverse_with(k, &mut got);
+            assert_eq!(got, a, "{} blocked roundtrip", k.name);
+        }
+    }
+}
+
+#[test]
+fn elementwise_tiers_match_scalar_with_tails() {
+    let mut rng = StdRng::seed_from_u64(0xE1E3);
+    // Lengths straddle every lane width (2, 4, 8) with ragged tails.
+    for &len in &[1usize, 3, 7, 9, 30, 33, 255, 1021] {
+        for &bits in &BITS {
+            let q = Modulus::new_prime(ntt_primes(bits, 16, 1)[0]).unwrap();
+            let qv = q.value();
+            let mut a = rand_poly(&mut rng, qv, len);
+            let mut b = rand_poly(&mut rng, qv, len);
+            a[0] = qv - 1;
+            b[len - 1] = qv - 1;
+            let bs: Vec<u64> = b.iter().map(|&w| q.shoup(w)).collect();
+            let acc0 = rand_poly(&mut rng, qv, len);
+
+            for k in simd::all_available() {
+                let name = k.name;
+
+                let mut want = a.clone();
+                ew::mul_assign_scalar(&q, &mut want, &b);
+                let mut got = a.clone();
+                (k.mul_assign)(&q, &mut got, &b);
+                assert_eq!(got, want, "{name} mul_assign len={len} bits={bits}");
+
+                let mut want = acc0.clone();
+                ew::mul_add_assign_scalar(&q, &mut want, &a, &b);
+                let mut got = acc0.clone();
+                (k.mul_add_assign)(&q, &mut got, &a, &b);
+                assert_eq!(got, want, "{name} mul_add_assign len={len} bits={bits}");
+
+                let mut want = a.clone();
+                ew::mul_shoup_assign_scalar(&q, &mut want, &b, &bs);
+                let mut got = a.clone();
+                (k.mul_shoup_assign)(&q, &mut got, &b, &bs);
+                assert_eq!(got, want, "{name} mul_shoup_assign len={len} bits={bits}");
+
+                let mut want = acc0.clone();
+                ew::mul_shoup_add_lazy_scalar(&q, &mut want, &a, &b, &bs);
+                let mut got = acc0.clone();
+                (k.mul_shoup_add_lazy)(&q, &mut got, &a, &b, &bs);
+                assert_eq!(got, want, "{name} mul_shoup_add_lazy len={len} bits={bits}");
+
+                let (mut w0, mut w1, mut w2) = (vec![0; len], vec![0; len], vec![0; len]);
+                ew::tensor3_scalar(&q, (&a, &b), (&b, &a), (&mut w0, &mut w1, &mut w2));
+                let (mut g0, mut g1, mut g2) = (vec![0; len], vec![0; len], vec![0; len]);
+                (k.tensor3)(&q, (&a, &b), (&b, &a), (&mut g0, &mut g1, &mut g2));
+                assert_eq!(
+                    (g0, g1, g2),
+                    (w0, w1, w2),
+                    "{name} tensor3 len={len} bits={bits}"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn lazy_accumulation_budget_worst_case() {
+    // The key-switch batch path accumulates l lazy products onto a
+    // canonical value; with 55-bit primes the budget gate allows l
+    // digits while (2l+1)·q < 2^64. Drive the worst case — every operand
+    // q−1 — through every tier and reconcile against canonical
+    // accumulation.
+    let q = Modulus::new_prime(ntt_primes(55, 16, 1)[0]).unwrap();
+    let qv = q.value();
+    let l = ((u64::MAX / qv).saturating_sub(1) / 2) as usize; // max sound l
+    assert!(l >= 1);
+    let len = 13usize;
+    let a = vec![qv - 1; len];
+    let b = vec![qv - 1; len];
+    let bs: Vec<u64> = b.iter().map(|&w| q.shoup(w)).collect();
+    for k in simd::all_available() {
+        let mut lazy = a.clone();
+        let mut canon = a.clone();
+        for _ in 0..l {
+            (k.mul_shoup_add_lazy)(&q, &mut lazy, &a, &b, &bs);
+            ew::mul_shoup_add_assign_scalar(&q, &mut canon, &a, &b, &bs);
+        }
+        let kbits = (2 * l as u64 + 1).next_power_of_two().trailing_zeros();
+        ew::reduce_lazy_pow2(&q, &mut lazy, kbits);
+        assert_eq!(lazy, canon, "{} lazy accumulation l={l}", k.name);
+    }
+}

@@ -131,11 +131,13 @@ pub fn aggregator_cores(
 /// cryptography: an accumulator fed `f` times sits at
 /// `max(1, fresh − (f − 1))` (the first feed moves the fresh ciphertext
 /// in; every further feed multiplies, relinearizes, and drops one
-/// level), an unfed or self-failed accumulator stays fresh, and `Cross`
-/// grouping aligns every accumulator to the minimum before summing.
+/// level), an unfed accumulator and the self-failed zero are born
+/// directly at [`crate::plan::AGGREGATION_LEVEL`], and `Cross` grouping
+/// aligns every accumulator to the minimum before summing.
 pub fn submission_level(plan: &QueryPlan, work: &OriginWork, fresh_level: usize) -> usize {
+    use crate::plan::AGGREGATION_LEVEL;
     if !work.self_ok {
-        return fresh_level;
+        return AGGREGATION_LEVEL;
     }
     let mut feeds = vec![0usize; work.acc_count];
     for row in &work.rows {
@@ -150,7 +152,7 @@ pub fn submission_level(plan: &QueryPlan, work: &OriginWork, fresh_level: usize)
     }
     let level_of = |f: usize| {
         if f == 0 {
-            fresh_level
+            AGGREGATION_LEVEL
         } else {
             fresh_level.saturating_sub(f - 1).max(1)
         }
@@ -282,6 +284,63 @@ pub fn sharded_aggregator_cores(
         per_shard,
         shards,
         coordinator_seconds: (shards - 1) as f64 * add_seconds,
+    }
+}
+
+/// Analytic operation counts for the batched RNS key switch — the
+/// aggregator-side cost of relinearizing a summation-tree level in one
+/// [`Ciphertext::relinearize_batch`](mycelium_bgv::Ciphertext::relinearize_batch)
+/// call.
+///
+/// A key switch at chain level `l` decomposes the degree-2 component
+/// into `l` gadget digits, lifts each digit to all `l` limbs (`l²`
+/// forward NTTs per node) and multiply-accumulates each lifted digit
+/// against both key components (`2·l²` kernel calls per node). Batching
+/// shares the *decomposition pass*: one pass covers every node in the
+/// level instead of one pass per node. The live counters in
+/// `mycelium_math::rns::ks_stats` meter the real kernels;
+/// `tests/sim_costs.rs` pins this model against them exactly.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct KeySwitchOps {
+    /// Digit-decomposition passes over the inputs.
+    pub decompose_passes: u64,
+    /// Forward NTTs of lifted digits.
+    pub digit_ntts: u64,
+    /// Shoup multiply-accumulate kernel invocations.
+    pub accumulates: u64,
+}
+
+impl KeySwitchOps {
+    /// Component-wise sum (accumulating several tree levels or rounds).
+    pub fn merge(self, other: Self) -> Self {
+        Self {
+            decompose_passes: self.decompose_passes + other.decompose_passes,
+            digit_ntts: self.digit_ntts + other.digit_ntts,
+            accumulates: self.accumulates + other.accumulates,
+        }
+    }
+}
+
+/// One batched key switch over `nodes` same-level ciphertexts at chain
+/// level `level`: a single shared decomposition pass, `nodes·level²`
+/// digit NTTs, `2·nodes·level²` accumulates. Zero nodes cost nothing.
+pub fn key_switch_ops_batched(nodes: u64, level: u64) -> KeySwitchOps {
+    if nodes == 0 {
+        return KeySwitchOps::default();
+    }
+    KeySwitchOps {
+        decompose_passes: 1,
+        digit_ntts: nodes * level * level,
+        accumulates: nodes * 2 * level * level,
+    }
+}
+
+/// Per-node key switching (the pre-batching baseline): identical NTT
+/// and accumulate work, but one decomposition pass *per node*.
+pub fn key_switch_ops_serial(nodes: u64, level: u64) -> KeySwitchOps {
+    KeySwitchOps {
+        decompose_passes: nodes,
+        ..key_switch_ops_batched(nodes, level)
     }
 }
 
@@ -440,6 +499,25 @@ mod tests {
             // The coordinator's serial fold stays negligible.
             assert!(s.coordinator_seconds < 10.0);
         }
+    }
+
+    #[test]
+    fn batched_key_switch_shares_the_decompose_pass() {
+        let (nodes, level) = (64u64, 6u64);
+        let serial = key_switch_ops_serial(nodes, level);
+        let batched = key_switch_ops_batched(nodes, level);
+        // NTT and accumulate work is per node either way …
+        assert_eq!(batched.digit_ntts, serial.digit_ntts);
+        assert_eq!(batched.digit_ntts, nodes * level * level);
+        assert_eq!(batched.accumulates, 2 * batched.digit_ntts);
+        // … but the decomposition pass amortizes across the batch.
+        assert_eq!(serial.decompose_passes, nodes);
+        assert_eq!(batched.decompose_passes, 1);
+        assert_eq!(key_switch_ops_batched(0, level), KeySwitchOps::default());
+        // Summing per-tree-level batches composes component-wise.
+        let two = key_switch_ops_batched(3, 4).merge(key_switch_ops_batched(5, 4));
+        assert_eq!(two.decompose_passes, 2);
+        assert_eq!(two.digit_ntts, (3 + 5) * 16);
     }
 
     #[test]

@@ -173,7 +173,9 @@ impl QueryPlan {
 
     /// The neutral contribution `Enc(x^0)` — what a dropped-out device
     /// defaults to (§4.4) and what the aggregator substitutes for a
-    /// rejected one (§4.7).
+    /// rejected one (§4.7). Stays at the top level: a substituted
+    /// contribution flows through the same multiplicative combine as an
+    /// honest one.
     pub fn neutral_ct<R: Rng + ?Sized>(
         &self,
         keys: &KeySet,
@@ -181,6 +183,27 @@ impl QueryPlan {
     ) -> Result<Ciphertext, ExecError> {
         let pt = encode_monomial(0, self.n_ring, self.t_pt)?;
         Ok(Ciphertext::encrypt(&keys.public, &pt, rng)?)
+    }
+
+    /// The neutral *accumulator* `Enc(x^0)`, born at
+    /// [`AGGREGATION_LEVEL`]: unlike [`QueryPlan::neutral_ct`], an empty
+    /// group accumulator is never multiplied — it is only shifted and
+    /// summed — and every origin output is mod-switched to the
+    /// aggregation level anyway, so encrypting at the top of the chain
+    /// would pay the full-chain NTTs and the whole switch ladder for
+    /// nothing.
+    pub fn neutral_acc<R: Rng + ?Sized>(
+        &self,
+        keys: &KeySet,
+        rng: &mut R,
+    ) -> Result<Ciphertext, ExecError> {
+        let pt = encode_monomial(0, self.n_ring, self.t_pt)?;
+        Ok(Ciphertext::encrypt_at_level(
+            &keys.public,
+            &pt,
+            AGGREGATION_LEVEL,
+            rng,
+        )?)
     }
 
     /// Aggregator side: checks a contribution's well-formedness proof
@@ -425,10 +448,12 @@ pub fn combine_origin<R: Rng + ?Sized>(
     assert_eq!(cts.len(), work.requests.len(), "one ciphertext per slot");
     let (n_ring, t_pt) = (plan.n_ring, plan.t_pt);
     if !work.self_ok {
-        // Failing self clauses zero the whole origin (§4.4).
-        return Ok(Ciphertext::encrypt(
+        // Failing self clauses zero the whole origin (§4.4). The zero is
+        // only ever summed, so it is born at the aggregation level.
+        return Ok(Ciphertext::encrypt_at_level(
             &keys.public,
             &Plaintext::zero(n_ring, t_pt),
+            AGGREGATION_LEVEL,
             rng,
         )?);
     }
@@ -461,7 +486,7 @@ pub fn combine_origin<R: Rng + ?Sized>(
     for acc in accs {
         materialized.push(match acc {
             Some(c) => c,
-            None => plan.neutral_ct(keys, rng)?,
+            None => plan.neutral_acc(keys, rng)?,
         });
     }
     let out = match plan.analysis.group_kind {
