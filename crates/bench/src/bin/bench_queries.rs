@@ -1,0 +1,65 @@
+//! Query-service benchmark: the five conformance query classes driven
+//! through one budgeted session, each admitted round checked exactly
+//! against the plaintext oracle, the sixth round refused, and the
+//! simnet budget-admission protocol swept over drop rates.
+//!
+//! Writes `BENCH_queries.json` (byte-identical across runs with the
+//! same seed) and exits non-zero if any admitted round diverges from
+//! the oracle, the over-budget round is not refused, or any protocol
+//! sweep cell fails to reach the fault-free ledger digest — the
+//! properties CI gates on. Wall-clock timing goes to stderr only.
+//!
+//! Usage: `bench_queries [--smoke] [--seed N] [--out PATH]`
+
+use std::io::Write;
+use std::time::Instant;
+
+use mycelium_bench::queries::{run_queries, QueriesConfig};
+
+fn main() {
+    let mut cfg = QueriesConfig {
+        seed: 3,
+        smoke: false,
+    };
+    let mut out_path = String::from("BENCH_queries.json");
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--smoke" => cfg.smoke = true,
+            "--seed" => {
+                cfg.seed = args
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .expect("--seed needs an integer");
+            }
+            "--out" => out_path = args.next().expect("--out needs a path"),
+            other => {
+                eprintln!("unknown argument: {other}");
+                eprintln!("usage: bench_queries [--smoke] [--seed N] [--out PATH]");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    eprintln!(
+        "bench_queries: seed {} {} -> {}",
+        cfg.seed,
+        if cfg.smoke { "(smoke)" } else { "(full)" },
+        out_path,
+    );
+    let started = Instant::now();
+    let report = run_queries(&cfg);
+    let elapsed = started.elapsed();
+
+    let mut file = std::fs::File::create(&out_path).expect("create output file");
+    file.write_all(report.json.as_bytes()).expect("write JSON");
+    eprintln!(
+        "bench_queries: all_exact={} in {:.1}s",
+        report.all_exact,
+        elapsed.as_secs_f64()
+    );
+    if !report.all_exact {
+        eprintln!("bench_queries: FAILED — see {out_path}");
+        std::process::exit(1);
+    }
+}

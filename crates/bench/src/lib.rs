@@ -10,6 +10,7 @@
 //! exactly as the paper extrapolates from its component benchmarks (§6.1).
 
 pub mod net;
+pub mod queries;
 pub mod rounds;
 
 /// Formats a byte count as MB with one decimal.

@@ -1,0 +1,223 @@
+//! The query-service benchmark behind `BENCH_queries.json`.
+//!
+//! Drives the five conformance query classes (`SEIR`, `DEGREE`, `KHOP`,
+//! `CLIPGB`, `CROSSEVAL`) through one budgeted [`QuerySession`] at the
+//! deepened simulation parameters, checks each admitted round's exact
+//! (pre-noise) result against the plaintext oracle, records the sixth
+//! round's typed refusal, and sweeps the simnet budget-admission
+//! protocol over message-drop rates.
+//!
+//! Everything in the report is a pure function of the seed — counters,
+//! fixed-format epsilons, and ledger digests — so two runs with the same
+//! seed produce byte-identical JSON, the determinism contract CI relies
+//! on when it archives the artifact.
+
+use mycelium::simbudget::{run_budget_scenario, BudgetScenario, RoundVerdict};
+use mycelium::{deep_simulation_params, QuerySession, SessionError};
+use mycelium_bgv::KeySet;
+use mycelium_budget::Composition;
+use mycelium_dp::DpError;
+use mycelium_graph::generate::{
+    epidemic_population, ContactGraphConfig, EpidemicConfig, Population,
+};
+use mycelium_math::rng::{SeedableRng, StdRng};
+use mycelium_query::analyze::analyze;
+use mycelium_query::builtin::{paper_query, CONFORMANCE_QUERY_TEXT};
+use mycelium_query::eval::evaluate;
+
+/// Swept drop rates for the budget-admission protocol.
+pub const DROP_RATES: [f64; 3] = [0.0, 0.1, 0.3];
+
+/// Benchmark configuration.
+#[derive(Debug, Clone)]
+pub struct QueriesConfig {
+    /// Seed for the population and the session randomness stream.
+    pub seed: u64,
+    /// Smoke mode: smaller population, same sweep structure (for CI).
+    pub smoke: bool,
+}
+
+/// The rendered report.
+#[derive(Debug)]
+pub struct QueriesReport {
+    /// Deterministic JSON.
+    pub json: String,
+    /// Whether every admitted round matched the oracle, the sixth round
+    /// was refused, and every protocol sweep cell converged to the
+    /// fault-free ledger digest.
+    pub all_exact: bool,
+}
+
+fn hex(bytes: &[u8]) -> String {
+    bytes.iter().map(|b| format!("{b:02x}")).collect()
+}
+
+fn deep_population(n: usize, seed: u64) -> Population {
+    let mut rng = StdRng::seed_from_u64(seed);
+    epidemic_population(
+        &ContactGraphConfig {
+            n,
+            degree_bound: 3,
+            mean_household: 2,
+            community_edges: 1,
+            subway_fraction: 0.2,
+            days: 13,
+        },
+        &EpidemicConfig {
+            seed_fraction: 0.1,
+            household_rate: 0.12,
+            community_rate: 0.03,
+            days: 13,
+        },
+        &mut rng,
+    )
+}
+
+/// Runs the full sweep.
+pub fn run_queries(cfg: &QueriesConfig) -> QueriesReport {
+    let n_pop = if cfg.smoke { 24 } else { 40 };
+    let params = deep_simulation_params();
+    let pop = deep_population(n_pop, cfg.seed);
+    let mut key_rng = StdRng::seed_from_u64(1234);
+    let keys = KeySet::generate(&params.bgv, &mut key_rng);
+    let capacity = CONFORMANCE_QUERY_TEXT.len() as f64 * params.epsilon;
+    let mut session = QuerySession::new(
+        "contacts",
+        capacity,
+        Composition::Basic,
+        params.clone(),
+        pop.clone(),
+        keys,
+        false,
+        cfg.seed,
+    )
+    .expect("valid session");
+
+    let mut all_exact = true;
+    let mut round_cells = Vec::new();
+    for (name, _, _) in &CONFORMANCE_QUERY_TEXT {
+        let query = paper_query(name).expect("conformance query resolves");
+        let analysis = analyze(&query, &params.schema).expect("analyzable");
+        let oracle = evaluate(&query, &analysis, &params.schema, &pop);
+        match session.run(&query, &[]) {
+            Ok(round) => {
+                let exact = &round.outcome.exact;
+                let matches = exact.groups.len() == oracle.groups.len()
+                    && exact.groups.iter().zip(&oracle.groups).all(|(g, o)| {
+                        g.label == o.label
+                            && g.histogram == o.histogram
+                            && g.total_pairs == o.total_pairs
+                            && g.total_clipped_sum == o.total_clipped_sum
+                    });
+                all_exact &= matches;
+                let pairs: u64 = exact.groups.iter().map(|g| g.total_pairs).sum();
+                round_cells.push(format!(
+                    "{{\"query\": \"{}\", \"round\": {}, \"admitted\": true, \
+                     \"charged_epsilon\": \"{:.4}\", \"remaining_after\": \"{:.4}\", \
+                     \"groups\": {}, \"total_pairs\": {}, \"matches_oracle\": {}}}",
+                    round.query,
+                    round.round,
+                    round.charged_epsilon,
+                    round.remaining_after,
+                    exact.groups.len(),
+                    pairs,
+                    matches,
+                ));
+            }
+            Err(e) => {
+                all_exact = false;
+                round_cells.push(format!(
+                    "{{\"query\": \"{name}\", \"admitted\": false, \"error\": \"{e}\"}}"
+                ));
+            }
+        }
+    }
+
+    // The sixth round must be refused: the session capacity is exactly
+    // five charges.
+    let sixth = paper_query("SEIR").expect("builtin");
+    let refusal_cell = match session.run(&sixth, &[]) {
+        Err(SessionError::Refused {
+            round,
+            query,
+            refusal:
+                DpError::BudgetExhausted {
+                    requested,
+                    remaining,
+                },
+        }) => format!(
+            "{{\"query\": \"{query}\", \"round\": {round}, \"admitted\": false, \
+             \"refused\": true, \"requested\": \"{requested:.4}\", \
+             \"remaining\": \"{remaining:.4}\"}}"
+        ),
+        other => {
+            all_exact = false;
+            format!(
+                "{{\"refused\": false, \"error\": \"expected a typed refusal, got {:?}\"}}",
+                other.map(|r| (r.round, r.query))
+            )
+        }
+    };
+
+    // Budget-admission protocol sweep: the same seeded refusal scenario
+    // over increasingly lossy links must reach the identical ledger.
+    let clean_digest = run_budget_scenario(&BudgetScenario::refusal(cfg.seed)).digest;
+    let mut protocol_cells = Vec::new();
+    for &drop in &DROP_RATES {
+        let r = run_budget_scenario(&BudgetScenario::refusal(cfg.seed).with_drop_prob(drop));
+        let refused: Vec<String> = r
+            .verdicts
+            .iter()
+            .filter_map(|v| match v {
+                RoundVerdict::Refused { round, .. } => Some(round.to_string()),
+                _ => None,
+            })
+            .collect();
+        let digest_matches = r.digest == clean_digest;
+        all_exact &= r.converged && digest_matches;
+        protocol_cells.push(format!(
+            "{{\"drop\": \"{drop:.2}\", \"converged\": {}, \"refused_rounds\": [{}], \
+             \"retries\": {}, \"spent\": \"{:.4}\", \"digest_matches_fault_free\": {}}}",
+            r.converged,
+            refused.join(", "),
+            r.retries,
+            r.spent,
+            digest_matches,
+        ));
+    }
+
+    let json = format!(
+        "{{\n  \"seed\": {},\n  \"smoke\": {},\n  \"population\": {},\n  \
+         \"capacity\": \"{:.4}\",\n  \"all_exact\": {},\n  \
+         \"ledger_digest\": \"{}\",\n  \"rounds\": [\n    {}\n  ],\n  \
+         \"refusal\": {},\n  \"admission_protocol\": [\n    {}\n  ]\n}}\n",
+        cfg.seed,
+        cfg.smoke,
+        n_pop,
+        capacity,
+        all_exact,
+        hex(&session.ledger().digest()),
+        round_cells.join(",\n    "),
+        refusal_cell,
+        protocol_cells.join(",\n    "),
+    );
+    QueriesReport { json, all_exact }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn smoke_sweep_is_exact_and_deterministic() {
+        let cfg = QueriesConfig {
+            seed: 3,
+            smoke: true,
+        };
+        let a = run_queries(&cfg);
+        assert!(a.all_exact, "sweep not exact:\n{}", a.json);
+        assert!(a.json.contains("\"refused\": true"));
+        let b = run_queries(&cfg);
+        assert_eq!(a.json, b.json, "same seed must render identical JSON");
+    }
+}

@@ -1,0 +1,157 @@
+//! Minimal canonical byte codec for ledger records.
+//!
+//! The ledger cannot borrow `mycelium-net`'s wire codec (the dependency
+//! points the other way), so it carries its own: little-endian integers,
+//! length-prefixed UTF-8, and `f64` as IEEE-754 bit patterns — floats
+//! round-trip *bit-exactly*, which is what makes replayed ledgers
+//! digest-identical.
+
+use crate::BudgetError;
+
+/// Canonical record writer.
+#[derive(Default)]
+pub struct Enc {
+    buf: Vec<u8>,
+}
+
+impl Enc {
+    /// Fresh empty buffer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends one byte.
+    pub fn u8(&mut self, v: u8) {
+        self.buf.push(v);
+    }
+
+    /// Appends a little-endian u32.
+    pub fn u32(&mut self, v: u32) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Appends a little-endian u64.
+    pub fn u64(&mut self, v: u64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Appends an `f64` as its IEEE-754 bit pattern.
+    pub fn f64(&mut self, v: f64) {
+        self.u64(v.to_bits());
+    }
+
+    /// Appends a length-prefixed UTF-8 string.
+    pub fn str(&mut self, s: &str) {
+        self.u32(s.len() as u32);
+        self.buf.extend_from_slice(s.as_bytes());
+    }
+
+    /// The finished record.
+    pub fn finish(self) -> Vec<u8> {
+        self.buf
+    }
+}
+
+/// Strict record reader: every failure is a typed [`BudgetError::Codec`],
+/// and [`Dec::end`] rejects trailing garbage.
+pub struct Dec<'a> {
+    buf: &'a [u8],
+    at: usize,
+}
+
+impl<'a> Dec<'a> {
+    /// Reader over `buf`.
+    pub fn new(buf: &'a [u8]) -> Self {
+        Self { buf, at: 0 }
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], BudgetError> {
+        if self.buf.len() - self.at < n {
+            return Err(BudgetError::Codec(format!(
+                "truncated record: wanted {n} bytes at offset {}",
+                self.at
+            )));
+        }
+        let s = &self.buf[self.at..self.at + n];
+        self.at += n;
+        Ok(s)
+    }
+
+    /// Reads one byte.
+    pub fn u8(&mut self) -> Result<u8, BudgetError> {
+        Ok(self.take(1)?[0])
+    }
+
+    /// Reads a little-endian u32.
+    pub fn u32(&mut self) -> Result<u32, BudgetError> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+    }
+
+    /// Reads a little-endian u64.
+    pub fn u64(&mut self) -> Result<u64, BudgetError> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+
+    /// Reads an IEEE-754 bit pattern back into an `f64`.
+    pub fn f64(&mut self) -> Result<f64, BudgetError> {
+        Ok(f64::from_bits(self.u64()?))
+    }
+
+    /// Reads a length-prefixed UTF-8 string (capped at 64 KiB — query
+    /// names, not payloads).
+    pub fn str(&mut self) -> Result<String, BudgetError> {
+        let n = self.u32()? as usize;
+        if n > 1 << 16 {
+            return Err(BudgetError::Codec(format!("oversized string ({n} bytes)")));
+        }
+        String::from_utf8(self.take(n)?.to_vec())
+            .map_err(|_| BudgetError::Codec("invalid UTF-8".into()))
+    }
+
+    /// Asserts the record is fully consumed.
+    pub fn end(&self) -> Result<(), BudgetError> {
+        if self.at != self.buf.len() {
+            return Err(BudgetError::Codec(format!(
+                "{} trailing bytes",
+                self.buf.len() - self.at
+            )));
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_and_strictness() {
+        let mut e = Enc::new();
+        e.u8(7);
+        e.u32(0xDEAD_BEEF);
+        e.u64(u64::MAX);
+        e.f64(-0.0);
+        e.str("KHOP");
+        let bytes = e.finish();
+        let mut d = Dec::new(&bytes);
+        assert_eq!(d.u8().unwrap(), 7);
+        assert_eq!(d.u32().unwrap(), 0xDEAD_BEEF);
+        assert_eq!(d.u64().unwrap(), u64::MAX);
+        assert_eq!(d.f64().unwrap().to_bits(), (-0.0f64).to_bits());
+        assert_eq!(d.str().unwrap(), "KHOP");
+        d.end().unwrap();
+
+        // Truncation and trailing garbage are typed errors.
+        let mut d = Dec::new(&bytes[..3]);
+        assert!(matches!(d.u64(), Err(BudgetError::Codec(_))));
+        let mut extended = bytes.clone();
+        extended.push(0);
+        let mut d = Dec::new(&extended);
+        d.u8().unwrap();
+        d.u32().unwrap();
+        d.u64().unwrap();
+        d.f64().unwrap();
+        d.str().unwrap();
+        assert!(matches!(d.end(), Err(BudgetError::Codec(_))));
+    }
+}

@@ -1,0 +1,126 @@
+//! Round admission: `schedule` turns a priced request into an applied
+//! ledger decision.
+
+use mycelium_dp::DpError;
+
+use crate::ledger::{Ledger, LedgerEntry, LedgerOp};
+use crate::BudgetError;
+
+/// Outcome of scheduling one round against the ledger.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Decision {
+    /// The round may run; its epsilon is reserved.
+    Admitted {
+        /// Epsilon reserved for this round.
+        charged: f64,
+        /// Budget left after the reservation (composed).
+        remaining_after: f64,
+    },
+    /// The round may not run. Carries the typed
+    /// [`DpError::BudgetExhausted`] so callers can distinguish "over
+    /// budget" from every other failure.
+    Refused(DpError),
+}
+
+impl Ledger {
+    /// Decides and records admission for one round in a single step.
+    ///
+    /// On `Admitted` the entry's epsilon is reserved (settle later with
+    /// [`LedgerOp::Charge`] or [`LedgerOp::Refund`]); on `Refused` the
+    /// refusal itself is recorded, so replaying the same request keeps
+    /// refusing it. Callers that journal decisions should use
+    /// [`Ledger::decide`] + [`Ledger::apply`] instead, persisting the op
+    /// between the two; `schedule` is the convenience for in-process
+    /// executors.
+    pub fn schedule(&mut self, entry: &LedgerEntry) -> Result<Decision, BudgetError> {
+        let op = self.decide(entry)?;
+        self.apply(&op)?;
+        Ok(self.decision_for(&op))
+    }
+
+    /// Renders an already-applied op as the caller-facing [`Decision`].
+    pub fn decision_for(&self, op: &LedgerOp) -> Decision {
+        match op {
+            LedgerOp::Admit(entry) => Decision::Admitted {
+                charged: entry.cost.epsilon,
+                remaining_after: self.remaining(),
+            },
+            LedgerOp::Refuse { entry, remaining } => Decision::Refused(DpError::BudgetExhausted {
+                requested: entry.cost.epsilon,
+                remaining: *remaining,
+            }),
+            LedgerOp::Charge { .. } | LedgerOp::Refund { .. } => Decision::Admitted {
+                charged: 0.0,
+                remaining_after: self.remaining(),
+            },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::compose::Composition;
+    use crate::ledger::QueryCost;
+
+    fn entry(round: u32, epsilon: f64) -> LedgerEntry {
+        LedgerEntry {
+            round,
+            query: format!("Q{round}"),
+            cost: QueryCost {
+                epsilon,
+                delta: 0.0,
+                sensitivity: 2.0,
+            },
+        }
+    }
+
+    #[test]
+    fn schedule_admits_then_refuses_with_typed_error() {
+        let mut l = Ledger::new("contacts", 2.0, Composition::Basic).unwrap();
+        for round in 0..2 {
+            match l.schedule(&entry(round, 1.0)).unwrap() {
+                Decision::Admitted {
+                    charged,
+                    remaining_after,
+                } => {
+                    assert_eq!(charged, 1.0);
+                    assert_eq!(remaining_after, 2.0 - f64::from(round + 1));
+                }
+                d => panic!("round {round}: expected admission, got {d:?}"),
+            }
+        }
+        match l.schedule(&entry(2, 1.0)).unwrap() {
+            Decision::Refused(DpError::BudgetExhausted {
+                requested,
+                remaining,
+            }) => {
+                assert_eq!(requested, 1.0);
+                assert_eq!(remaining, 0.0);
+            }
+            d => panic!("expected refusal, got {d:?}"),
+        }
+        // Scheduling the same refused round again re-refuses it — even if
+        // budget has since been freed the recorded refusal stands.
+        l.apply(&LedgerOp::Refund { round: 1 }).unwrap();
+        assert!(matches!(
+            l.schedule(&entry(2, 1.0)).unwrap(),
+            Decision::Refused(_)
+        ));
+        // But a *new* round may claim the freed budget.
+        assert!(matches!(
+            l.schedule(&entry(3, 1.0)).unwrap(),
+            Decision::Admitted { .. }
+        ));
+    }
+
+    #[test]
+    fn scheduling_an_admitted_round_again_is_idempotent() {
+        let mut l = Ledger::new("contacts", 5.0, Composition::Basic).unwrap();
+        let e = entry(0, 1.0);
+        l.schedule(&e).unwrap();
+        let again = l.schedule(&e).unwrap();
+        assert!(matches!(again, Decision::Admitted { charged, .. } if charged == 1.0));
+        assert_eq!(l.spent(), 1.0, "re-admission must not double-charge");
+    }
+}

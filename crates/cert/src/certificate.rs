@@ -100,6 +100,10 @@ pub struct RoundCertificate {
     pub aggregate_digest: Digest,
     /// Commitment to the joint DP-noise seed (opaque; see module docs).
     pub noise_commitment: Digest,
+    /// IEEE-754 bit pattern of the epsilon the budget ledger charged for
+    /// this round (stored as bits so the struct stays `Eq` and the
+    /// encoding is canonical; see [`RoundCertificate::charged_epsilon`]).
+    pub charged_epsilon_bits: u64,
     /// The released noisy histograms.
     pub released: Vec<ReleasedGroup>,
     /// The transcript digest the committee signed.
@@ -116,6 +120,16 @@ pub struct CertLayout {
 }
 
 impl RoundCertificate {
+    /// The epsilon the privacy-budget ledger charged for this round.
+    pub fn charged_epsilon(&self) -> f64 {
+        f64::from_bits(self.charged_epsilon_bits)
+    }
+
+    /// Sets the charged epsilon from its `f64` value.
+    pub fn set_charged_epsilon(&mut self, epsilon: f64) {
+        self.charged_epsilon_bits = epsilon.to_bits();
+    }
+
     /// Encodes the certificate body up to (excluding) the transcript field.
     ///
     /// This is the exact byte string the transcript digest commits to, so
@@ -203,6 +217,9 @@ impl RoundCertificate {
         section(&w, "aggregate_digest", &mut sections, &mut mark);
         w.bytes(&self.noise_commitment);
         section(&w, "noise_commitment", &mut sections, &mut mark);
+
+        w.u64(self.charged_epsilon_bits);
+        section(&w, "charged_epsilon", &mut sections, &mut mark);
 
         w.u32(self.released.len() as u32);
         for g in &self.released {
@@ -301,6 +318,7 @@ impl RoundCertificate {
 
         let aggregate_digest = r.digest("aggregate_digest")?;
         let noise_commitment = r.digest("noise_commitment")?;
+        let charged_epsilon_bits = r.u64("charged_epsilon")?;
 
         let n_groups = r.count("released", MAX_GROUPS)?;
         let mut released = Vec::with_capacity(n_groups);
@@ -338,6 +356,7 @@ impl RoundCertificate {
             rejected,
             aggregate_digest,
             noise_commitment,
+            charged_epsilon_bits,
             released,
             transcript,
             signatures,

@@ -51,6 +51,10 @@ pub fn render_json(cert: &RoundCertificate, bytes: &[u8]) -> String {
     out.push_str(&format!("  \"share_round\": {},\n", cert.share_round));
     out.push_str(&format!("  \"signatures\": {},\n", cert.signatures.len()));
     out.push_str(&format!(
+        "  \"charged_epsilon\": {},\n",
+        cert.charged_epsilon()
+    ));
+    out.push_str(&format!(
         "  \"rejected\": [{}],\n",
         cert.rejected
             .iter()

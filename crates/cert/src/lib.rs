@@ -82,6 +82,7 @@ pub(crate) mod test_support {
             rejected: vec![7],
             aggregate_digest: [3u8; 32],
             noise_commitment: noise_commitment(&[[1u8; 32], [2u8; 32]]),
+            charged_epsilon_bits: 1.0f64.to_bits(),
             released: vec![ReleasedGroup {
                 label: "infected".into(),
                 histogram: vec![5, -1, 0],

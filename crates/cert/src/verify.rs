@@ -156,6 +156,12 @@ pub fn verify(cert: &RoundCertificate) -> Verdict {
         }
         prev_rej = Some(d);
     }
+    // The charged epsilon is covered by the transcript byte-for-byte; on
+    // top of that it must be a plausible privacy charge at all.
+    let eps = cert.charged_epsilon();
+    if !eps.is_finite() || eps <= 0.0 {
+        return Verdict::WrongBinding(format!("charged epsilon {eps} not positive and finite"));
+    }
     // Every rejected device has at least one rejected slot, but may have
     // several (one per duty it forged a proof for), so this is a one-sided
     // bound rather than an equality.
@@ -232,6 +238,29 @@ mod tests {
     fn histogram_tamper_is_wrong_binding() {
         let mut cert = sample_certificate();
         cert.released[0].histogram[0] += 1;
+        assert!(matches!(verify(&cert), Verdict::WrongBinding(_)));
+    }
+
+    #[test]
+    fn implausible_charged_epsilon_is_wrong_binding() {
+        for bad in [0.0, -1.0, f64::NAN, f64::INFINITY] {
+            let mut cert = sample_certificate();
+            cert.set_charged_epsilon(bad);
+            cert.transcript = cert.compute_transcript();
+            for s in &mut cert.signatures {
+                s.sig = sign_transcript(cert.spec.seed, s.member, &cert.transcript);
+            }
+            assert!(
+                matches!(verify(&cert), Verdict::WrongBinding(_)),
+                "epsilon {bad} must be rejected even when correctly signed"
+            );
+        }
+    }
+
+    #[test]
+    fn charged_epsilon_tamper_is_wrong_binding() {
+        let mut cert = sample_certificate();
+        cert.set_charged_epsilon(0.5);
         assert!(matches!(verify(&cert), Verdict::WrongBinding(_)));
     }
 

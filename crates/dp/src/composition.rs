@@ -20,8 +20,19 @@ use crate::DpError;
 /// advanced composition at slack `delta`.
 ///
 /// Returns the `ε'` such that the composition is `(ε', k·δ_each + delta)`-DP.
+///
+/// Every degenerate input is a typed [`DpError::InvalidParameter`], never
+/// a NaN: `epsilon` must be positive and finite, `delta` must lie in
+/// `(0, 1)`, and `k` must be at least one (composing zero queries is a
+/// caller bug, not a zero-cost composition).
 pub fn advanced_composition(epsilon: f64, k: usize, delta: f64) -> Result<f64, DpError> {
-    if epsilon <= 0.0 || delta <= 0.0 || delta >= 1.0 {
+    if !epsilon.is_finite() || epsilon <= 0.0 {
+        return Err(DpError::InvalidParameter);
+    }
+    if !delta.is_finite() || delta <= 0.0 || delta >= 1.0 {
+        return Err(DpError::InvalidParameter);
+    }
+    if k == 0 {
         return Err(DpError::InvalidParameter);
     }
     let k = k as f64;
@@ -30,7 +41,20 @@ pub fn advanced_composition(epsilon: f64, k: usize, delta: f64) -> Result<f64, D
 
 /// How many `epsilon`-queries a total budget admits under basic vs
 /// advanced composition — the "budget stretch" §4.4 alludes to.
-pub fn queries_supported(total: f64, epsilon: f64, delta: f64) -> (usize, usize) {
+///
+/// Rejects non-positive or non-finite `total`/`epsilon` and out-of-range
+/// `delta` with a typed [`DpError::InvalidParameter`] (the old signature
+/// silently cast `total / 0.0` through `floor() as usize`).
+pub fn queries_supported(total: f64, epsilon: f64, delta: f64) -> Result<(usize, usize), DpError> {
+    if !total.is_finite() || total <= 0.0 {
+        return Err(DpError::InvalidParameter);
+    }
+    if !epsilon.is_finite() || epsilon <= 0.0 {
+        return Err(DpError::InvalidParameter);
+    }
+    if !delta.is_finite() || delta <= 0.0 || delta >= 1.0 {
+        return Err(DpError::InvalidParameter);
+    }
     let basic = (total / epsilon).floor() as usize;
     let mut advanced = basic;
     while advanced_composition(epsilon, advanced + 1, delta)
@@ -39,7 +63,7 @@ pub fn queries_supported(total: f64, epsilon: f64, delta: f64) -> (usize, usize)
     {
         advanced += 1;
     }
-    (basic, advanced.max(basic))
+    Ok((basic, advanced.max(basic)))
 }
 
 /// The sparse-vector mechanism ("Above Threshold").
@@ -112,7 +136,7 @@ mod tests {
 
     #[test]
     fn stretch_factor() {
-        let (basic, advanced) = queries_supported(1.0, 0.01, 1e-6);
+        let (basic, advanced) = queries_supported(1.0, 0.01, 1e-6).unwrap();
         assert_eq!(basic, 100);
         assert!(
             advanced > 2 * basic,
@@ -125,6 +149,89 @@ mod tests {
         assert!(advanced_composition(0.0, 5, 1e-6).is_err());
         assert!(advanced_composition(0.1, 5, 0.0).is_err());
         assert!(advanced_composition(0.1, 5, 1.5).is_err());
+    }
+
+    #[test]
+    fn degenerate_inputs_are_typed_errors_not_nan() {
+        // k = 0: composing zero queries is a caller bug.
+        assert_eq!(
+            advanced_composition(0.1, 0, 1e-6),
+            Err(DpError::InvalidParameter)
+        );
+        // delta exactly 1 (and above) leaves ln(1/δ) degenerate.
+        assert_eq!(
+            advanced_composition(0.1, 5, 1.0),
+            Err(DpError::InvalidParameter)
+        );
+        // Non-finite parameters.
+        assert_eq!(
+            advanced_composition(f64::NAN, 5, 1e-6),
+            Err(DpError::InvalidParameter)
+        );
+        assert_eq!(
+            advanced_composition(0.1, 5, f64::INFINITY),
+            Err(DpError::InvalidParameter)
+        );
+        // queries_supported: zero/negative/non-finite budget or epsilon.
+        assert_eq!(
+            queries_supported(1.0, 0.0, 1e-6),
+            Err(DpError::InvalidParameter)
+        );
+        assert_eq!(
+            queries_supported(0.0, 0.1, 1e-6),
+            Err(DpError::InvalidParameter)
+        );
+        assert_eq!(
+            queries_supported(f64::INFINITY, 0.1, 1e-6),
+            Err(DpError::InvalidParameter)
+        );
+        assert_eq!(
+            queries_supported(1.0, 0.1, 1.0),
+            Err(DpError::InvalidParameter)
+        );
+        // Every valid composition must come out finite.
+        for k in [1usize, 2, 10, 1000] {
+            let e = advanced_composition(0.5, k, 1e-9).unwrap();
+            assert!(e.is_finite() && e > 0.0);
+        }
+    }
+
+    /// Satellite property test: over a deterministic grid of
+    /// (total, epsilon, delta), advanced composition never reports a
+    /// *smaller* supported-query count than basic composition, and the
+    /// reported advanced count actually fits the budget.
+    #[test]
+    fn advanced_count_never_below_basic_property() {
+        let totals = [0.25f64, 1.0, 3.0, 5.0, 20.0];
+        let epsilons = [0.005f64, 0.01, 0.05, 0.1, 0.5, 1.0, 2.0];
+        let deltas = [1e-9f64, 1e-6, 1e-3, 0.49];
+        for &total in &totals {
+            for &epsilon in &epsilons {
+                for &delta in &deltas {
+                    let (basic, advanced) = queries_supported(total, epsilon, delta)
+                        .unwrap_or_else(|e| {
+                            panic!("valid grid point ({total}, {epsilon}, {delta}): {e:?}")
+                        });
+                    assert!(
+                        advanced >= basic,
+                        "advanced ({advanced}) < basic ({basic}) at \
+                         total={total} eps={epsilon} delta={delta}"
+                    );
+                    assert_eq!(basic, (total / epsilon).floor() as usize);
+                    if advanced > basic {
+                        // The claimed count must genuinely fit the budget…
+                        let cost = advanced_composition(epsilon, advanced, delta).unwrap();
+                        assert!(
+                            cost <= total,
+                            "claimed k={advanced} costs {cost} > total {total}"
+                        );
+                        // …and be maximal: one more query must not fit.
+                        let next = advanced_composition(epsilon, advanced + 1, delta).unwrap();
+                        assert!(next > total, "k={} still fits", advanced + 1);
+                    }
+                }
+            }
+        }
     }
 
     #[test]

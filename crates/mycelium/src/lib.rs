@@ -30,6 +30,12 @@
 //!   aggregator logic) with Byzantine-behaviour injection.
 //! * [`simround`] — the same round re-hosted as message-passing actors on
 //!   the deterministic simnet, with fault injection and round metrics.
+//! * [`session`] — the multi-query session: a privacy-budget ledger
+//!   (`mycelium-budget`) admitting, charging, and refusing rounds across
+//!   both executors.
+//! * [`simbudget`] — the same ledger behind a message boundary: a simnet
+//!   `BudgetActor` with seeded refusal scenarios under drops, duplicate
+//!   delivery, and crash windows.
 //! * [`decode`] — decoding the decrypted global plaintext back into
 //!   per-group histograms (the inverse of the window layout).
 //! * [`committee`] — committee orchestration: election, threshold
@@ -50,6 +56,8 @@ pub mod decode;
 pub mod exec;
 pub mod params;
 pub mod plan;
+pub mod session;
+pub mod simbudget;
 pub mod simcost;
 pub mod simround;
 pub mod streams;
@@ -58,4 +66,5 @@ pub mod summation;
 pub use exec::{run_query_encrypted, EncryptedOutcome, ExecError, MaliciousBehavior};
 pub use params::SystemParams;
 pub use plan::QueryPlan;
+pub use session::{deep_simulation_params, QuerySession, SessionError, SessionRound};
 pub use simround::{run_query_simulated, SimNetConfig, SimRoundError, SimRoundOutcome};

@@ -532,6 +532,7 @@ struct AggregatorActor {
     committee_size: usize,
     threshold: usize,
     noise_scale: f64,
+    charged_epsilon: f64,
     deadline: Tick,
     // Contribution forwarding.
     seen_contribs: BTreeSet<(VertexId, u32)>,
@@ -777,6 +778,7 @@ impl AggregatorActor {
             rejected,
             aggregate_digest: ciphertext_digest(self.aggregate.as_ref().expect("aggregated")),
             noise_commitment: noise_commitment(seeds),
+            charged_epsilon_bits: self.charged_epsilon.to_bits(),
             released: released
                 .iter()
                 .map(|g| ReleasedGroup {
@@ -1484,6 +1486,7 @@ pub fn run_query_simulated(
         committee_size: c,
         threshold: t,
         noise_scale: plan.analysis.sensitivity / params.epsilon,
+        charged_epsilon: params.epsilon,
         deadline: cfg.deadline,
         seen_contribs: BTreeSet::new(),
         next_fwd_id: 0,

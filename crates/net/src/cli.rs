@@ -8,6 +8,12 @@
 //! state): `--seed N --n N --query NAME --devices D --origins O
 //! --shards S --proofs 0|1 --contrib-ms MS --poll-ms MS --timeout-ms MS`.
 //!
+//! Budget-session flags: `--round N` (the round's index in its
+//! session), `--budget-dataset NAME --budget-capacity EPS
+//! --budget-delta D --budget-advanced 0|1` (the session ledger), and
+//! `--budget-wal PATH` (the shared session WAL; defaults to
+//! `budget.wal` under `--out`).
+//!
 //! Role flags: `--out DIR --shard I --member M --addr HOST:PORT`.
 //!
 //! Fault-injection flags: `--crash-after K --crash-origin J` (origin
@@ -21,7 +27,7 @@ use std::time::Duration;
 
 use crate::round::{
     run_aggregator, run_committee, run_device, run_driver, run_origin, run_shard, AggFaults,
-    DriverOpts, RoundSpec,
+    BudgetCfg, DriverOpts, RoundSpec,
 };
 
 /// Everything the round binaries parse from the command line.
@@ -85,6 +91,18 @@ pub fn parse_args(rest: &[String]) -> Result<Args, String> {
             "--timeout-ms" => {
                 args.spec.round_timeout = Duration::from_millis(parse(value("--timeout-ms")?)?)
             }
+            "--round" => args.spec.round = parse(value("--round")?)?,
+            "--budget-dataset" => {
+                budget(&mut args.spec).dataset = value("--budget-dataset")?.clone()
+            }
+            "--budget-capacity" => {
+                budget(&mut args.spec).capacity = parse(value("--budget-capacity")?)?
+            }
+            "--budget-delta" => budget(&mut args.spec).delta = parse(value("--budget-delta")?)?,
+            "--budget-advanced" => {
+                budget(&mut args.spec).advanced = value("--budget-advanced")? == "1"
+            }
+            "--budget-wal" => args.spec.budget_wal = Some(PathBuf::from(value("--budget-wal")?)),
             "--out" => args.out = PathBuf::from(value("--out")?),
             "--shard" => args.shard = parse(value("--shard")?)?,
             "--member" => args.member = parse(value("--member")?)?,
@@ -115,6 +133,17 @@ pub fn parse_args(rest: &[String]) -> Result<Args, String> {
         }
     }
     Ok(args)
+}
+
+/// The `--budget-*` flags arrive piecemeal; the first one materializes
+/// a default configuration for the rest to fill in.
+fn budget(spec: &mut RoundSpec) -> &mut BudgetCfg {
+    spec.budget.get_or_insert_with(|| BudgetCfg {
+        dataset: "dataset".into(),
+        capacity: 1.0,
+        delta: 0.0,
+        advanced: false,
+    })
 }
 
 fn parse<T: std::str::FromStr>(s: &str) -> Result<T, String>

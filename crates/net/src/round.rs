@@ -67,6 +67,7 @@ use mycelium::plan::{
     aggregate_and_audit, ciphertext_digest, combine_origin, origin_work, OriginWork, QueryPlan,
 };
 use mycelium_bgv::{Ciphertext, KeySet, Plaintext};
+use mycelium_budget::{BudgetError, Composition, EntryState, Ledger, LedgerEntry, LedgerOp};
 use mycelium_cert::{
     build_segments, commit_origin, noise_commitment, render_json, sign_transcript,
     verify_transcript_sig, CertSpec, CommitteeSig, OriginCommit, ReleasedGroup, RoundCertificate,
@@ -78,6 +79,7 @@ use mycelium_graph::generate::{
 };
 use mycelium_graph::graph::VertexId;
 use mycelium_math::rng::{Rng, SeedableRng, StdRng};
+use mycelium_query::analyze::cost_report;
 use mycelium_query::ast::Query;
 use mycelium_query::builtin::paper_query;
 use mycelium_query::eval::PlainResult;
@@ -122,6 +124,52 @@ pub mod role {
 /// what makes their round certificates byte-identical.
 pub(crate) use mycelium::streams as stream;
 
+/// The privacy-budget configuration of a multi-round session. Every
+/// round of a session shares the same dataset, capacity, and
+/// composition rule; the session write-ahead log at
+/// [`RoundSpec::budget_wal`] carries the ledger across rounds.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BudgetCfg {
+    /// The dataset the ledger guards (the account name).
+    pub dataset: String,
+    /// Total epsilon capacity of the session.
+    pub capacity: f64,
+    /// Advanced-composition slack `δ` (ignored under basic composition).
+    pub delta: f64,
+    /// Whether to price homogeneous charge runs with advanced
+    /// composition (`dp::composition::advanced_composition`).
+    pub advanced: bool,
+}
+
+impl BudgetCfg {
+    /// The composition rule this configuration selects.
+    pub fn composition(&self) -> Composition {
+        if self.advanced {
+            Composition::Advanced { delta: self.delta }
+        } else {
+            Composition::Basic
+        }
+    }
+
+    /// A fresh (empty) ledger for this configuration.
+    pub fn ledger(&self) -> Result<Ledger, BudgetError> {
+        Ledger::new(&self.dataset, self.capacity, self.composition())
+    }
+
+    /// Binding digest of the *session* budget WAL. Spans rounds, so it
+    /// binds only the account parameters — never a round's seed, query,
+    /// or index.
+    pub fn wal_binding_digest(&self) -> Digest {
+        let mut w = Writer::new();
+        w.put_str("myc-budget-wal");
+        w.put_str(&self.dataset);
+        w.put_u64(self.capacity.to_bits());
+        w.put_u64(self.delta.to_bits());
+        w.put_u8(self.advanced as u8);
+        sha256(&w.finish())
+    }
+}
+
 /// Everything that defines one multi-process round; every process
 /// derives identical state from it.
 #[derive(Debug, Clone)]
@@ -142,6 +190,17 @@ pub struct RoundSpec {
     pub agg_shards: usize,
     /// Whether contributions carry well-formedness proofs.
     pub with_proofs: bool,
+    /// This round's index within its budget session (0 for standalone
+    /// rounds). The ledger keys every admit/charge/refund/refuse
+    /// decision by it.
+    pub round: u32,
+    /// The session budget configuration; `None` runs unmetered.
+    pub budget: Option<BudgetCfg>,
+    /// Path of the session budget WAL (defaults to `budget.wal` in the
+    /// round's `--out` directory, which only suits single-round
+    /// sessions — multi-round sessions with per-round out dirs must
+    /// point every round at one shared file).
+    pub budget_wal: Option<PathBuf>,
     /// How long origins may wait for missing contributions.
     pub contrib_deadline: Duration,
     /// Client poll interval.
@@ -160,6 +219,9 @@ impl Default for RoundSpec {
             origin_shards: 2,
             agg_shards: 1,
             with_proofs: false,
+            round: 0,
+            budget: None,
+            budget_wal: None,
             contrib_deadline: Duration::from_secs(30),
             poll_interval: Duration::from_millis(25),
             round_timeout: Duration::from_secs(600),
@@ -170,7 +232,7 @@ impl Default for RoundSpec {
 impl RoundSpec {
     /// Renders the spec as CLI arguments (the driver → child interface).
     pub fn to_args(&self) -> Vec<String> {
-        vec![
+        let mut args = vec![
             "--seed".into(),
             self.seed.to_string(),
             "--n".into(),
@@ -191,7 +253,26 @@ impl RoundSpec {
             self.poll_interval.as_millis().to_string(),
             "--timeout-ms".into(),
             self.round_timeout.as_millis().to_string(),
-        ]
+        ];
+        if self.round != 0 {
+            args.push("--round".into());
+            args.push(self.round.to_string());
+        }
+        if let Some(b) = &self.budget {
+            args.push("--budget-dataset".into());
+            args.push(b.dataset.clone());
+            args.push("--budget-capacity".into());
+            args.push(b.capacity.to_string());
+            args.push("--budget-delta".into());
+            args.push(b.delta.to_string());
+            args.push("--budget-advanced".into());
+            args.push((b.advanced as u8).to_string());
+        }
+        if let Some(p) = &self.budget_wal {
+            args.push("--budget-wal".into());
+            args.push(p.display().to_string());
+        }
+        args
     }
 
     /// Digest binding a write-ahead journal to this round's *state*
@@ -206,6 +287,21 @@ impl RoundSpec {
         w.put_u64(self.device_shards as u64);
         w.put_u64(self.origin_shards as u64);
         w.put_u8(self.with_proofs as u8);
+        // Budget-session extension. A plain round 0 without a budget
+        // appends nothing, so pre-budget journals stay byte-compatible.
+        if self.round != 0 || self.budget.is_some() {
+            w.put_u32(self.round);
+            match &self.budget {
+                None => w.put_u8(0),
+                Some(b) => {
+                    w.put_u8(1);
+                    w.put_str(&b.dataset);
+                    w.put_u64(b.capacity.to_bits());
+                    w.put_u64(b.delta.to_bits());
+                    w.put_u8(b.advanced as u8);
+                }
+            }
+        }
         sha256(&w.finish())
     }
 
@@ -481,6 +577,11 @@ mod rec {
     /// Wall-clock transition: seal the round certificate with whatever
     /// committee signatures arrived.
     pub const SEAL: u8 = 8;
+    /// A privacy-budget ledger decision (body = canonical
+    /// [`LedgerOp`](mycelium_budget::LedgerOp) encoding). Replay
+    /// re-applies the op, so a recovered aggregator re-derives the
+    /// bit-identical ledger — including refusals.
+    pub const BUDGET: u8 = 9;
 }
 
 /// Append a digest checkpoint after this many undigested records.
@@ -567,6 +668,13 @@ pub struct AggState {
     cert_sealed: bool,
     cert_bytes: Option<Vec<u8>>,
     cert_since: Option<Instant>,
+    // Privacy budget (None when the round runs unmetered or in a
+    // Shard-mode process, which never meters).
+    ledger: Option<Ledger>,
+    budget_wal: Option<Journal>,
+    session_ops: BTreeSet<Vec<u8>>,
+    round_budget_ops: Vec<Vec<u8>>,
+    charged_epsilon: f64,
     // Result.
     outcome: Option<Result<RoundOutcome, String>>,
     finished_seen: BTreeSet<u64>,
@@ -640,6 +748,10 @@ impl AggState {
             ),
             _ => ("aggregator".to_string(), stream::AGGREGATOR),
         };
+        let ledger = match &mode {
+            AggMode::Shard { .. } => None,
+            _ => setup.spec.budget.as_ref().and_then(|cfg| cfg.ledger().ok()),
+        };
         AggState {
             mode,
             who,
@@ -664,6 +776,11 @@ impl AggState {
             cert_sealed: false,
             cert_bytes: None,
             cert_since: None,
+            ledger,
+            budget_wal: None,
+            session_ops: BTreeSet::new(),
+            round_budget_ops: Vec::new(),
+            charged_epsilon: setup.params.epsilon,
             outcome: None,
             finished_seen: BTreeSet::new(),
             finished_shards: BTreeSet::new(),
@@ -836,6 +953,15 @@ impl AggState {
                 w.put_bytes(&sha256(bytes));
             }
         }
+        // Ledger state rides the same digest chain: a replay that
+        // re-derives a different budget decision is a typed divergence,
+        // exactly like any other protocol-state mismatch. Absent ledger
+        // appends nothing, keeping pre-budget journals byte-compatible.
+        if let Some(ledger) = &self.ledger {
+            w.put_u8(1);
+            w.put_bytes(&ledger.digest());
+            w.put_u64(self.charged_epsilon.to_bits());
+        }
         sha256(&w.finish())
     }
 
@@ -986,6 +1112,18 @@ impl AggState {
                 }
             }
             rec::SEAL => self.do_seal(),
+            rec::BUDGET => {
+                let op = LedgerOp::decode(body).map_err(|e| JournalError::Replay {
+                    seq,
+                    why: format!("budget record: {e}"),
+                })?;
+                self.apply_budget_op(&op)
+                    .map_err(|e| JournalError::Replay {
+                        seq,
+                        why: format!("budget record: {e}"),
+                    })?;
+                self.round_budget_ops.push(body.to_vec());
+            }
             rec::FAIL => {
                 let msg = String::from_utf8_lossy(body).into_owned();
                 self.fail(msg);
@@ -1011,6 +1149,169 @@ impl AggState {
                     why: format!("unknown record tag {other}"),
                 }
                 .into())
+            }
+        }
+        Ok(())
+    }
+
+    // --- privacy budget --------------------------------------------------
+
+    /// Applies one ledger decision to in-memory state, mirroring its
+    /// round-local side effects: an `Admit` of *this* round pins the
+    /// epsilon the certificate will carry; a `Refuse` of this round is
+    /// the round's terminal failure. Decisions about other rounds of
+    /// the session only move the ledger.
+    fn apply_budget_op(&mut self, op: &LedgerOp) -> Result<(), BudgetError> {
+        let Some(ledger) = self.ledger.as_mut() else {
+            return Err(BudgetError::InvalidParameter(
+                "budget op without a ledger".into(),
+            ));
+        };
+        ledger.apply(op)?;
+        match op {
+            LedgerOp::Admit(entry) if entry.round == self.setup.spec.round => {
+                self.charged_epsilon = entry.cost.epsilon;
+            }
+            LedgerOp::Refuse { entry, remaining } if entry.round == self.setup.spec.round => {
+                self.fail(format!(
+                    "budget exhausted: requested epsilon {}, remaining {}",
+                    entry.cost.epsilon, remaining
+                ));
+            }
+            _ => {}
+        }
+        Ok(())
+    }
+
+    /// Journals one ledger decision into the round journal (live only)
+    /// and remembers its bytes for session-WAL reconciliation. The
+    /// record forces a digest checkpoint, so replay divergence in the
+    /// ledger is caught at the very next flush.
+    fn record_budget_op(&mut self, bytes: &[u8]) -> Result<(), NetError> {
+        let mut record = Vec::with_capacity(1 + bytes.len());
+        record.push(rec::BUDGET);
+        record.extend_from_slice(bytes);
+        self.digest_due = true;
+        self.append_record(&record)?;
+        self.round_budget_ops.push(bytes.to_vec());
+        Ok(())
+    }
+
+    /// Opens the session budget WAL, reconciles it with this round's
+    /// replayed journal (the union of their ledger decisions — a crash
+    /// between the two fsyncs can leave either side ahead), and decides
+    /// this round's admission against the reconciled ledger.
+    ///
+    /// Idempotent across recoveries: [`Ledger::decide`] re-proposes a
+    /// byte-identical op for an already-decided round, and both logs
+    /// deduplicate by exact record bytes.
+    pub fn install_budget(&mut self, wal_path: &Path) -> Result<(), NetError> {
+        let Some(cfg) = self.setup.spec.budget.clone() else {
+            return Ok(());
+        };
+        if matches!(self.mode, AggMode::Shard { .. }) {
+            return Ok(());
+        }
+        let budget_err = |e: BudgetError| NetError::Decode(format!("budget: {e}"));
+        // Re-validate the configuration with a typed error (state
+        // construction swallowed it to stay infallible).
+        if self.ledger.is_none() {
+            cfg.ledger().map_err(budget_err)?;
+        }
+        let (mut wal, records) = Journal::open_or_create(wal_path, &cfg.wal_binding_digest())?;
+        let mut session_ops: BTreeSet<Vec<u8>> = BTreeSet::new();
+        {
+            // Replay the session WAL into a scratch ledger purely to
+            // reject a corrupt or foreign log with a typed error.
+            let mut session = cfg.ledger().map_err(budget_err)?;
+            for bytes in &records {
+                let op = LedgerOp::decode(bytes).map_err(budget_err)?;
+                session.apply(&op).map_err(budget_err)?;
+                session_ops.insert(bytes.clone());
+            }
+        }
+        // Ops this round journaled that the WAL lost (crash between the
+        // round-journal fsync and the WAL fsync): push them back.
+        for bytes in self.round_budget_ops.clone() {
+            if session_ops.contains(&bytes) {
+                continue;
+            }
+            wal.append(&bytes)?;
+            session_ops.insert(bytes);
+        }
+        // Ops earlier session rounds recorded that this round's journal
+        // has not seen: seed them in, journaled, so replay of this
+        // round's journal stays self-contained.
+        let round_ops: BTreeSet<Vec<u8>> = self.round_budget_ops.iter().cloned().collect();
+        for bytes in &records {
+            if round_ops.contains(bytes) {
+                continue;
+            }
+            let op = LedgerOp::decode(bytes).map_err(budget_err)?;
+            self.apply_budget_op(&op).map_err(budget_err)?;
+            self.record_budget_op(bytes)?;
+        }
+        // Decide this round's admission. For a round the logs already
+        // decided this re-proposes the identical op and deduplicates.
+        let report = cost_report(
+            &self.setup.query,
+            &self.setup.params.schema,
+            self.setup.params.epsilon,
+            0.0,
+        )
+        .map_err(|e| NetError::Decode(format!("budget: query cost: {e}")))?;
+        let entry = LedgerEntry::from_report(self.setup.spec.round, &report);
+        let op = self
+            .ledger
+            .as_ref()
+            .ok_or_else(|| NetError::Decode("budget: ledger missing".into()))?
+            .decide(&entry)
+            .map_err(budget_err)?;
+        let bytes = op.encode();
+        if !self.round_budget_ops.iter().any(|b| b == &bytes) {
+            self.apply_budget_op(&op).map_err(budget_err)?;
+            self.record_budget_op(&bytes)?;
+        }
+        if session_ops.insert(bytes.clone()) {
+            wal.append(&bytes)?;
+        }
+        wal.commit()?;
+        self.flush()?;
+        self.budget_wal = Some(wal);
+        self.session_ops = session_ops;
+        Ok(())
+    }
+
+    /// Settles this round's reserved charge once the outcome is known:
+    /// a successful round charges its admitted epsilon, a failed one
+    /// refunds the reservation. Journals the op (replay re-settles from
+    /// the record, not from wall-clock state) and mirrors it into the
+    /// session WAL for later rounds.
+    fn settle_budget(&mut self) -> Result<(), NetError> {
+        if self.replaying || self.outcome.is_none() {
+            return Ok(());
+        }
+        let round = self.setup.spec.round;
+        let reserved = self
+            .ledger
+            .as_ref()
+            .and_then(|l| l.entry(round))
+            .is_some_and(|(_, st)| st == EntryState::Reserved);
+        if !reserved {
+            return Ok(());
+        }
+        let op = match &self.outcome {
+            Some(Ok(_)) => LedgerOp::Charge { round },
+            _ => LedgerOp::Refund { round },
+        };
+        let bytes = op.encode();
+        self.apply_budget_op(&op)
+            .map_err(|e| NetError::Decode(format!("budget: {e}")))?;
+        self.record_budget_op(&bytes)?;
+        if self.session_ops.insert(bytes.clone()) {
+            if let Some(wal) = self.budget_wal.as_mut() {
+                wal.append(&bytes)?;
+                wal.commit()?;
             }
         }
         Ok(())
@@ -1110,6 +1411,7 @@ impl AggState {
             rejected,
             aggregate_digest: ciphertext_digest(self.aggregate.as_ref().expect("aggregated")),
             noise_commitment: noise_commitment(&seeds),
+            charged_epsilon_bits: self.charged_epsilon.to_bits(),
             released: out
                 .released
                 .iter()
@@ -1290,6 +1592,7 @@ impl AggState {
         if self.outcome.is_none() {
             self.tick_round()?;
         }
+        self.settle_budget()?;
         self.tick_cert()
     }
 
@@ -1421,18 +1724,21 @@ impl AggState {
         let c = self.setup.committee_size as u64;
         match msg {
             NetMsg::PushContrib { origin, slot, .. } => {
-                *origin < n
+                !self.round_done()
+                    && *origin < n
                     && self.owns_origin(*origin)
                     && (*slot as usize) < self.contribs[*origin as usize].len()
                     && !self.seen.contains(&(*origin, *slot))
             }
             NetMsg::SubmitOrigin { origin, .. } => {
-                *origin < n
+                !self.round_done()
+                    && *origin < n
                     && self.owns_origin(*origin)
                     && self.submissions[*origin as usize].is_none()
             }
             NetMsg::ShardRoot { shard, .. } => {
-                matches!(&self.mode, AggMode::Coordinator { shards } if *shard < *shards)
+                !self.round_done()
+                    && matches!(&self.mode, AggMode::Coordinator { shards } if *shard < *shards)
                     && self.submissions[*shard as usize].is_none()
             }
             NetMsg::CommitteeCheckIn { member, .. } => {
@@ -1480,6 +1786,11 @@ impl AggState {
                         "contribution for origin {origin} slot {slot} out of range"
                     )));
                 }
+                // A decided round (including a budget-refused one)
+                // takes no more intake: tell the client to stand down.
+                if self.round_done() {
+                    return Ok(NetMsg::Finished);
+                }
                 if self.seen.insert((origin, slot)) {
                     // §4.6–§4.7: verify the proof; substitute the neutral
                     // Enc(x^0) for offenders and remember them. The slot
@@ -1512,6 +1823,9 @@ impl AggState {
                 if origin >= n || !self.owns_origin(origin) {
                     return Err(NetError::Decode(format!("origin {origin} out of range")));
                 }
+                if self.round_done() {
+                    return Ok(NetMsg::Finished);
+                }
                 let slots = &self.contribs[origin as usize];
                 let have = slots.iter().filter(|s| s.is_some()).count();
                 if have == slots.len() || (!self.replaying && self.contrib_deadline_passed()) {
@@ -1526,6 +1840,9 @@ impl AggState {
             NetMsg::SubmitOrigin { origin, ct } => {
                 if origin >= n || !self.owns_origin(origin) {
                     return Err(NetError::Decode(format!("origin {origin} out of range")));
+                }
+                if self.round_done() {
+                    return Ok(NetMsg::Finished);
                 }
                 if self.submissions[origin as usize].is_none() {
                     self.submissions[origin as usize] = Some(*ct);
@@ -1646,6 +1963,12 @@ impl AggState {
                     return Err(NetError::Decode(format!(
                         "shard {shard} committed an origin outside the population"
                     )));
+                }
+                if self.round_done() {
+                    if !self.replaying {
+                        self.finished_shards.insert(shard);
+                    }
+                    return Ok(NetMsg::Finished);
                 }
                 if self.submissions[shard as usize].is_none() {
                     self.submissions[shard as usize] = Some(*root);
@@ -1783,6 +2106,10 @@ pub mod files {
     /// The sealed round certificate (JSON envelope with the canonical
     /// bytes hex-embedded; feed it to `myc_verify`).
     pub const CERT_JSON: &str = "ROUND_cert.json";
+    /// The session privacy-budget WAL (default location when
+    /// `--budget-wal` is not given; multi-round sessions share one file
+    /// across their per-round out dirs).
+    pub const BUDGET_WAL: &str = "budget.wal";
 
     /// Per-role metrics file name.
     pub fn role_metrics(name: &str) -> String {
@@ -1844,6 +2171,13 @@ pub fn run_aggregator(
     let setup = Arc::new(build_setup(spec)?);
     let mut st = AggState::recover(Arc::clone(&setup), &out_dir.join(files::JOURNAL))?;
     st.set_faults(faults);
+    if spec.budget.is_some() {
+        let wal_path = spec
+            .budget_wal
+            .clone()
+            .unwrap_or_else(|| out_dir.join(files::BUDGET_WAL));
+        st.install_budget(&wal_path)?;
+    }
     let state = Arc::new(Mutex::new(st));
     let handler_state = Arc::clone(&state);
     let handler_setup = Arc::clone(&setup);
@@ -2283,7 +2617,7 @@ pub fn run_device(
 ) -> Result<(), NetError> {
     let setup = build_setup(spec)?;
     let mut hubs = ShardedHub::new(role::DEVICE_BASE + shard as u32, addr, out_dir);
-    for v in 0..setup.pop.graph.len() {
+    'vertices: for v in 0..setup.pop.graph.len() {
         if v % spec.device_shards != shard {
             continue;
         }
@@ -2301,7 +2635,18 @@ pub fn run_device(
                 sc: Box::new(sc),
             };
             let hub = hubs.for_origin(&setup, duty.origin)?;
-            expect_ack(&hub.request_msg(&setup, &msg)?)?;
+            match hub.request_msg(&setup, &msg)? {
+                NetMsg::Ack => {}
+                // The round is over (possibly refused by the budget
+                // ledger before any intake): nothing left to push.
+                NetMsg::Finished => break 'vertices,
+                other => {
+                    return Err(NetError::Decode(format!(
+                        "unexpected PushContrib reply {}",
+                        other.kind()
+                    )))
+                }
+            }
         }
     }
     write_metrics(out_dir, &format!("device-{shard}"), &hubs.metrics())?;
@@ -2325,7 +2670,7 @@ pub fn run_origin(
     let setup = build_setup(spec)?;
     let mut hubs = ShardedHub::new(role::ORIGIN_BASE + shard as u32, addr, out_dir);
     let mut submitted = 0usize;
-    for v in 0..setup.pop.graph.len() {
+    'vertices: for v in 0..setup.pop.graph.len() {
         if v % spec.origin_shards != shard {
             continue;
         }
@@ -2337,6 +2682,9 @@ pub fn run_origin(
             match hub.request_msg(&setup, &NetMsg::PullOrigin { origin: v as u32 })? {
                 NetMsg::OriginJob { cts } => break cts,
                 NetMsg::OriginPending { .. } => std::thread::sleep(spec.poll_interval),
+                // The round is over (possibly refused by the budget
+                // ledger): no origin work left to do.
+                NetMsg::Finished => break 'vertices,
                 other => {
                     return Err(NetError::Decode(format!(
                         "unexpected PullOrigin reply {}",
@@ -2365,7 +2713,16 @@ pub fn run_origin(
             origin: v as u32,
             ct: Box::new(out),
         };
-        expect_ack(&hub.request_msg(&setup, &msg)?)?;
+        match hub.request_msg(&setup, &msg)? {
+            NetMsg::Ack => {}
+            NetMsg::Finished => break 'vertices,
+            other => {
+                return Err(NetError::Decode(format!(
+                    "unexpected SubmitOrigin reply {}",
+                    other.kind()
+                )))
+            }
+        }
         submitted += 1;
     }
     write_metrics(out_dir, &format!("origin-{shard}"), &hubs.metrics())?;

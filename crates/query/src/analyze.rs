@@ -311,6 +311,105 @@ pub fn analyze(query: &Query, schema: &Schema) -> Result<Analysis, AnalyzeError>
     })
 }
 
+/// The public per-query privacy-cost report: everything a budget ledger
+/// or round scheduler needs to price one execution of a query.
+///
+/// The `(epsilon, delta)` pair is the *charge* the caller intends to pay
+/// for one release (the system parameter, not a query property); the
+/// sensitivity and the derived Laplace `noise_scale = sensitivity / ε`
+/// come from the static analysis (§4.7).
+#[derive(Debug, Clone, PartialEq)]
+pub struct CostReport {
+    /// Query name (as parsed).
+    pub name: String,
+    /// Per-release epsilon charge.
+    pub epsilon: f64,
+    /// Per-release delta slack (0 for pure ε-DP accounting).
+    pub delta: f64,
+    /// DP sensitivity of the released histogram (§4.7).
+    pub sensitivity: f64,
+    /// Laplace scale of the released noise (`sensitivity / epsilon`).
+    pub noise_scale: f64,
+    /// Ciphertexts each neighbor sends (Figure 6's `C_q`).
+    pub ciphertexts_per_neighbor: usize,
+    /// Homomorphic multiplications along the local chain (`d^k`).
+    pub muls: usize,
+    /// Released groups.
+    pub groups: usize,
+}
+
+/// Failures building a [`CostReport`]: every path is typed, never a panic.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ReportError {
+    /// The SQL text failed to parse.
+    Parse(crate::parser::ParseError),
+    /// The query parsed but failed semantic analysis.
+    Analyze(AnalyzeError),
+    /// The proposed charge is not a valid privacy parameter pair
+    /// (`epsilon` must be positive and finite, `delta` in `[0, 1)`).
+    InvalidPrivacyParams {
+        /// The rejected epsilon.
+        epsilon: f64,
+        /// The rejected delta.
+        delta: f64,
+    },
+}
+
+impl std::fmt::Display for ReportError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ReportError::Parse(e) => write!(f, "parse error: {e}"),
+            ReportError::Analyze(e) => write!(f, "analysis error: {e}"),
+            ReportError::InvalidPrivacyParams { epsilon, delta } => {
+                write!(
+                    f,
+                    "invalid privacy parameters (epsilon {epsilon}, delta {delta})"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for ReportError {}
+
+/// Builds the [`CostReport`] for an already-parsed query.
+pub fn cost_report(
+    query: &Query,
+    schema: &Schema,
+    epsilon: f64,
+    delta: f64,
+) -> Result<CostReport, ReportError> {
+    if !epsilon.is_finite() || epsilon <= 0.0 || !delta.is_finite() || !(0.0..1.0).contains(&delta)
+    {
+        return Err(ReportError::InvalidPrivacyParams { epsilon, delta });
+    }
+    let analysis = analyze(query, schema).map_err(ReportError::Analyze)?;
+    Ok(CostReport {
+        name: query.name.clone(),
+        epsilon,
+        delta,
+        sensitivity: analysis.sensitivity,
+        noise_scale: analysis.sensitivity / epsilon,
+        ciphertexts_per_neighbor: analysis.ciphertexts_per_neighbor,
+        muls: analysis.muls,
+        groups: analysis.groups,
+    })
+}
+
+/// Parses `sql` and builds its [`CostReport`] — the one-stop entry point
+/// for schedulers pricing analyst-supplied text. Malformed SQL returns a
+/// typed [`ReportError::Parse`], never a panic.
+pub fn cost_report_sql(
+    name: &str,
+    sql: &str,
+    schema: &Schema,
+    epsilon: f64,
+    delta: f64,
+) -> Result<CostReport, ReportError> {
+    let query = crate::parser::parse(name, sql).map_err(ReportError::Parse)?;
+    cost_report(&query, schema, epsilon, delta)
+}
+
 fn dest_columns(atom: &Atom) -> Vec<Column> {
     let collect = |v: &Value| value_dest_columns(v);
     match atom {
@@ -472,6 +571,76 @@ mod tests {
             analyze(&q, &schema),
             Err(AnalyzeError::MissingClip)
         ));
+    }
+
+    #[test]
+    fn cost_reports_for_the_conformance_queries() {
+        let schema = Schema::default();
+        // (name, sensitivity, ciphertexts/neighbor, muls, groups) — the
+        // numbers a budget ledger prices rounds with.
+        let expected = [
+            // HISTO grouped by a cross stage(): one window per group → 2·2.
+            ("SEIR", 4.0, 14, 10, 2),
+            // Ungrouped HISTO → 2.
+            ("DEGREE", 2.0, 1, 10, 1),
+            // GSUM clip [0, 8] → width 8; two hops → d² muls.
+            ("KHOP", 8.0, 1, 100, 1),
+            // GSUM clip [0, 24] → width 24; self-side groups.
+            ("CLIPGB", 24.0, 1, 10, 10),
+            // Cross range comparison → tInf sequence, 14 ciphertexts.
+            ("CROSSEVAL", 2.0, 14, 10, 1),
+        ];
+        for (name, sensitivity, cts, muls, groups) in expected {
+            let q = crate::builtin::paper_query(name).unwrap();
+            let r = cost_report(&q, &schema, 1.0, 1e-6).unwrap();
+            assert_eq!(r.name, name);
+            assert_eq!(r.sensitivity, sensitivity, "{name} sensitivity");
+            assert_eq!(r.ciphertexts_per_neighbor, cts, "{name} ciphertexts");
+            assert_eq!(r.muls, muls, "{name} muls");
+            assert_eq!(r.groups, groups, "{name} groups");
+            assert_eq!(r.epsilon, 1.0);
+            assert_eq!(r.noise_scale, sensitivity, "scale = sensitivity / 1.0");
+        }
+    }
+
+    #[test]
+    fn cost_report_sql_returns_typed_errors_never_panics() {
+        let schema = Schema::default();
+        // Malformed SQL → typed parse error with a position, no panic.
+        match cost_report_sql("bad", "SELECT HISTO(COUNT(* FROM", &schema, 1.0, 0.0) {
+            Err(ReportError::Parse(e)) => assert!(!e.message.is_empty()),
+            other => panic!("expected parse error, got {other:?}"),
+        }
+        // Parseable but semantically invalid → typed analyze error.
+        match cost_report_sql(
+            "noclip",
+            "SELECT GSUM(COUNT(*)) FROM neigh(1) WHERE self.inf",
+            &schema,
+            1.0,
+            0.0,
+        ) {
+            Err(ReportError::Analyze(AnalyzeError::MissingClip)) => {}
+            other => panic!("expected missing-clip, got {other:?}"),
+        }
+        // Degenerate privacy parameters → typed rejection.
+        for (eps, delta) in [
+            (0.0, 0.0),
+            (-1.0, 0.0),
+            (f64::NAN, 0.0),
+            (1.0, 1.0),
+            (1.0, -0.1),
+        ] {
+            match cost_report_sql(
+                "q",
+                "SELECT HISTO(COUNT(*)) FROM neigh(1)",
+                &schema,
+                eps,
+                delta,
+            ) {
+                Err(ReportError::InvalidPrivacyParams { .. }) => {}
+                other => panic!("eps {eps} delta {delta}: got {other:?}"),
+            }
+        }
     }
 
     #[test]

@@ -71,6 +71,45 @@ pub const PAPER_QUERY_TEXT: [(&str, &str, &str); 10] = [
     ),
 ];
 
+/// The query-service conformance scenarios: one named query per workload
+/// class the multi-query session must drive through the encrypted
+/// pipeline (Liu & Gupta's "practical for certain queries" taxonomy and
+/// GORAM's ego-centric query set supply the classes).
+///
+/// `KHOP` is deliberately two-hop: at the shallow simulation BGV chain it
+/// reproduces the §6.2 infeasibility result, and at a deepened chain it
+/// runs — the session picks the parameter set.
+pub const CONFORMANCE_QUERY_TEXT: [(&str, &str, &str); 5] = [
+    (
+        "SEIR",
+        "Contact-tracing SEIR sweep: infectious contacts by disease stage at exposure",
+        "SELECT HISTO(COUNT(*)) FROM neigh(1) \
+         WHERE self.inf AND dest.tInf GROUP BY stage(dest.tInf - self.tInf)",
+    ),
+    (
+        "DEGREE",
+        "Power-law degree histogram: distinct contacts per participant, no predicate",
+        "SELECT HISTO(COUNT(*)) FROM neigh(1)",
+    ),
+    (
+        "KHOP",
+        "k-hop GSUM aggregate: infected participants in the two-hop neighborhood, clipped",
+        "SELECT GSUM(COUNT(*)) FROM neigh(2) WHERE dest.inf CLIP [0, 8]",
+    ),
+    (
+        "CLIPGB",
+        "CLIP'd GROUP BY: total exposure minutes to infectious contacts, by age group",
+        "SELECT GSUM(SUM(edge.duration)) FROM neigh(1) \
+         WHERE dest.inf GROUP BY self.age CLIP [0, 24]",
+    ),
+    (
+        "CROSSEVAL",
+        "Crosseval: contact frequency where diagnosis falls within ±2 days of the origin's",
+        "SELECT HISTO(SUM(edge.contacts)) FROM neigh(1) \
+         WHERE self.inf AND dest.tInf IN [self.tInf-2, self.tInf+2]",
+    ),
+];
+
 /// Parses all ten paper queries.
 ///
 /// # Panics
@@ -83,10 +122,25 @@ pub fn paper_queries() -> Vec<Query> {
         .collect()
 }
 
-/// Returns one named paper query (`"Q1"`–`"Q10"`).
+/// Parses the five conformance queries in session order.
+///
+/// # Panics
+///
+/// Panics if any built-in query fails to parse (a bug, covered by tests).
+pub fn conformance_queries() -> Vec<Query> {
+    CONFORMANCE_QUERY_TEXT
+        .iter()
+        .map(|(name, _, text)| parse(name, text).expect("built-in query must parse"))
+        .collect()
+}
+
+/// Returns one named built-in query: a paper query (`"Q1"`–`"Q10"`) or a
+/// conformance query (`"SEIR"`, `"DEGREE"`, `"KHOP"`, `"CLIPGB"`,
+/// `"CROSSEVAL"`).
 pub fn paper_query(name: &str) -> Option<Query> {
     PAPER_QUERY_TEXT
         .iter()
+        .chain(CONFORMANCE_QUERY_TEXT.iter())
         .find(|(n, _, _)| *n == name)
         .map(|(n, _, text)| parse(n, text).expect("built-in query must parse"))
 }
@@ -132,5 +186,36 @@ mod tests {
     fn lookup_by_name() {
         assert!(paper_query("Q7").is_some());
         assert!(paper_query("Q11").is_none());
+    }
+
+    #[test]
+    fn conformance_queries_parse_and_cover_the_classes() {
+        let qs = conformance_queries();
+        assert_eq!(qs.len(), 5);
+        let by_name = |n: &str| qs.iter().find(|q| q.name == n).unwrap();
+        // SEIR: 1-hop histogram grouped by a self↔dest stage expression.
+        let seir = by_name("SEIR");
+        assert_eq!(seir.agg, Agg::Histo);
+        assert!(seir.group_by.is_some());
+        // DEGREE: predicate-free degree histogram.
+        let degree = by_name("DEGREE");
+        assert!(degree.predicate.clauses.is_empty());
+        assert_eq!(degree.hops, 1);
+        // KHOP: the only multi-hop conformance query, a clipped GSUM.
+        let khop = by_name("KHOP");
+        assert_eq!(khop.hops, 2);
+        assert_eq!(khop.agg, Agg::Gsum);
+        assert!(khop.clip.is_some());
+        // CLIPGB: grouped GSUM with a clip range.
+        let clipgb = by_name("CLIPGB");
+        assert_eq!(clipgb.agg, Agg::Gsum);
+        assert!(clipgb.group_by.is_some() && clipgb.clip.is_some());
+        // CROSSEVAL: a self↔dest range comparison.
+        let cross = by_name("CROSSEVAL");
+        assert_eq!(cross.agg, Agg::Histo);
+        // Conformance names resolve through the same lookup as Q1–Q10.
+        for (n, _, _) in CONFORMANCE_QUERY_TEXT {
+            assert!(paper_query(n).is_some(), "{n} must resolve");
+        }
     }
 }

@@ -24,6 +24,6 @@ pub mod crosseval;
 pub mod eval;
 pub mod parser;
 
-pub use analyze::{analyze, Analysis};
+pub use analyze::{analyze, cost_report, cost_report_sql, Analysis, CostReport, ReportError};
 pub use ast::{Agg, Atom, Column, ColumnGroup, GroupBy, Inner, Pred, Query, Value};
 pub use parser::{parse, ParseError};

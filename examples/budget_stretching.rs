@@ -24,7 +24,7 @@ fn main() {
         let adv = advanced_composition(0.1, k, 1e-6).unwrap();
         println!("{k:<8} {:>10.1} {:>12.2}", k as f64 * 0.1, adv);
     }
-    let (basic, advanced) = queries_supported(5.0, 0.05, 1e-6);
+    let (basic, advanced) = queries_supported(5.0, 0.05, 1e-6).expect("valid parameters");
     println!(
         "\na total budget of ε = 5 at ε = 0.05/query admits {basic} queries under basic \
          composition,\nbut {advanced} under advanced composition — a {:.1}× stretch.\n",

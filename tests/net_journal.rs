@@ -14,7 +14,7 @@ use std::sync::Arc;
 use mycelium_bgv::{Ciphertext, Plaintext};
 use mycelium_cert::{sign_transcript, verify_bytes};
 use mycelium_net::proto::NetMsg;
-use mycelium_net::round::{build_setup, files, AggState, RoundSetup, RoundSpec};
+use mycelium_net::round::{build_setup, files, AggState, BudgetCfg, RoundSetup, RoundSpec};
 use mycelium_net::{JournalError, NetError};
 use mycelium_sharing::threshold::decryption_share;
 
@@ -377,6 +377,121 @@ fn bit_flip_in_a_journal_record_is_a_typed_corruption_error() {
     assert!(
         matches!(err, NetError::Journal(JournalError::Corrupt { seq: 0 })),
         "expected Corrupt {{ seq: 0 }}, got {err}"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+fn budget_spec(round: u32, capacity: f64) -> RoundSpec {
+    RoundSpec {
+        round,
+        budget: Some(BudgetCfg {
+            dataset: "contacts".into(),
+            capacity,
+            delta: 0.0,
+            advanced: false,
+        }),
+        ..test_spec()
+    }
+}
+
+#[test]
+fn budget_charge_survives_a_mid_round_crash() {
+    // The round admits (an Admit lands in both the round journal and the
+    // session WAL), runs to its decided outcome (the settle tick journals
+    // the Charge), and the process dies before any certificate signature.
+    // Recovery must rebuild the identical ledger — witnessed by the state
+    // digest, which covers the ledger and the charged epsilon — and a
+    // second `install_budget` must not append a single duplicate record
+    // to either log.
+    let setup = Arc::new(build_setup(&budget_spec(0, 1.5)).unwrap());
+    let dir = journal_dir("budget-charge");
+    let path = dir.join(files::JOURNAL);
+    let wal = dir.join(files::BUDGET_WAL);
+
+    let mut st = AggState::recover(Arc::clone(&setup), &path).unwrap();
+    st.install_budget(&wal).unwrap();
+    assert!(!st.is_finished(), "admitted round proceeds");
+    drive_to_outcome(&mut st, &setup);
+    let pre_crash = st.digest();
+    let pre_records = st.journal_records();
+    let wal_len = std::fs::metadata(&wal).unwrap().len();
+    drop(st); // crash mid signature collection
+
+    let mut recovered = AggState::recover(Arc::clone(&setup), &path).unwrap();
+    assert_eq!(
+        recovered.digest(),
+        pre_crash,
+        "replay must rebuild the admitted-and-charged ledger bit for bit"
+    );
+    recovered.install_budget(&wal).unwrap();
+    assert_eq!(recovered.digest(), pre_crash, "re-install is a no-op");
+    assert_eq!(recovered.journal_records(), pre_records);
+    assert_eq!(
+        std::fs::metadata(&wal).unwrap().len(),
+        wal_len,
+        "no duplicate ops in the session WAL"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn budget_refusal_is_replayed_not_recomputed() {
+    // Session WAL: round 0 charges the whole capacity. Round 1 is then
+    // refused at install time; the refusal is journaled, the round fails
+    // with the canonical typed message, and an aggregator kill + journal
+    // replay lands on the identical refused state — even though the
+    // refusal decision itself is never re-derived from prices, only
+    // replayed from the record.
+    let dir = journal_dir("budget-refuse");
+    let wal = dir.join(files::BUDGET_WAL);
+
+    // Round 0 consumes the session capacity.
+    let setup0 = Arc::new(build_setup(&budget_spec(0, 1.0)).unwrap());
+    let mut st0 = AggState::recover(Arc::clone(&setup0), &dir.join("r0.bin")).unwrap();
+    st0.install_budget(&wal).unwrap();
+    drive_to_outcome(&mut st0, &setup0);
+    assert!(st0.failure().is_none());
+    drop(st0);
+
+    // Round 1 against the same WAL: refused before any intake.
+    let setup1 = Arc::new(build_setup(&budget_spec(1, 1.0)).unwrap());
+    let path1 = dir.join("r1.bin");
+    let mut st1 = AggState::recover(Arc::clone(&setup1), &path1).unwrap();
+    st1.install_budget(&wal).unwrap();
+    assert!(st1.is_finished(), "refused round terminates immediately");
+    let failure = st1.failure().expect("refusal is a round failure");
+    assert!(
+        failure.contains("budget exhausted:"),
+        "typed refusal message, got {failure}"
+    );
+    // Clients that retry into the refused round are turned away without
+    // new journal growth.
+    let raws = mutating_requests(&setup1, 1, 0);
+    let msg = NetMsg::decode(&raws[0], &setup1.cc).unwrap();
+    let reply = st1.handle(msg, &raws[0]).unwrap();
+    assert!(
+        matches!(reply, NetMsg::Finished),
+        "intake into a refused round must answer Finished"
+    );
+    let pre_crash = st1.digest();
+    let pre_records = st1.journal_records();
+    let wal_len = std::fs::metadata(&wal).unwrap().len();
+    drop(st1); // kill the aggregator
+
+    let mut recovered = AggState::recover(Arc::clone(&setup1), &path1).unwrap();
+    assert_eq!(
+        recovered.digest(),
+        pre_crash,
+        "replayed refusal must rebuild the identical ledger digest"
+    );
+    assert_eq!(recovered.failure().as_deref(), Some(failure.as_str()));
+    recovered.install_budget(&wal).unwrap();
+    assert_eq!(recovered.digest(), pre_crash);
+    assert_eq!(recovered.journal_records(), pre_records);
+    assert_eq!(
+        std::fs::metadata(&wal).unwrap().len(),
+        wal_len,
+        "re-deciding the refused round must not grow the session WAL"
     );
     let _ = std::fs::remove_dir_all(&dir);
 }

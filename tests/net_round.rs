@@ -19,7 +19,9 @@ use mycelium_math::rng::{SeedableRng, StdRng};
 use mycelium_net::client::FRAME_OVERHEAD;
 use mycelium_net::codec::ciphertext_encoded_bytes;
 use mycelium_net::metrics::NetMetrics;
-use mycelium_net::round::{build_population, build_setup, decode_outcome, files, RoundSpec};
+use mycelium_net::round::{
+    build_population, build_setup, decode_outcome, files, BudgetCfg, RoundSpec,
+};
 use mycelium_query::analyze::analyze;
 use mycelium_query::builtin::paper_query;
 use mycelium_query::eval::evaluate;
@@ -314,6 +316,92 @@ fn sharded_round_matches_oracle_and_root_handoff_reconciles_to_the_byte() {
     }
     drop(stderr);
     let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn budget_session_spans_drivers_and_refuses_the_over_budget_round() {
+    // Three driver invocations = one budget session: each process tree
+    // is a fresh OS process set sharing only the session budget WAL.
+    // Capacity 2.0 at epsilon 1.0 per round admits rounds 0 and 1; round
+    // 2 must be refused with the canonical typed message in its outcome
+    // file, and re-running the refused round (a full aggregator restart
+    // replaying its journal and the WAL) must reproduce the refusal
+    // byte-for-byte without growing the WAL.
+    let base = out_dir("budget-session");
+    std::fs::create_dir_all(&base).unwrap();
+    let wal = base.join("session-budget.wal");
+    let session_spec = |round: u32| RoundSpec {
+        round,
+        budget: Some(BudgetCfg {
+            dataset: "contacts".into(),
+            capacity: 2.0,
+            delta: 0.0,
+            advanced: false,
+        }),
+        budget_wal: Some(wal.clone()),
+        ..test_spec()
+    };
+
+    for round in 0..2u32 {
+        let dir = base.join(format!("r{round}"));
+        let out = run_driver(&session_spec(round), &dir, &[]);
+        assert!(
+            out.status.success(),
+            "admitted round {round} failed:\n{}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+        let outcome = decode_outcome(&std::fs::read(dir.join(files::OUTCOME)).unwrap())
+            .unwrap()
+            .unwrap_or_else(|e| panic!("round {round} failed: {e}"));
+        assert!(!outcome.exact.groups.is_empty());
+        // The sealed certificate carries the round's ledger charge.
+        let cert_bytes = read_valid_certificate(&dir);
+        let cert = mycelium_cert::RoundCertificate::decode(&cert_bytes).unwrap();
+        assert_eq!(
+            cert.charged_epsilon(),
+            1.0,
+            "round {round}: certificate must bind the charged epsilon"
+        );
+    }
+
+    // Round 2 overruns the session capacity: the aggregator refuses at
+    // admission, before any intake, and the round fails with the typed
+    // message.
+    let dir2 = base.join("r2");
+    let out = run_driver(&session_spec(2), &dir2, &[]);
+    assert!(
+        !out.status.success(),
+        "over-budget round must fail the driver"
+    );
+    let refusal = match decode_outcome(&std::fs::read(dir2.join(files::OUTCOME)).unwrap()).unwrap()
+    {
+        Err(msg) => msg,
+        Ok(_) => panic!("round 2 must be refused"),
+    };
+    assert!(
+        refusal.contains("budget exhausted:"),
+        "typed refusal in the outcome artifact, got: {refusal}"
+    );
+    let outcome_bytes = std::fs::read(dir2.join(files::OUTCOME)).unwrap();
+    let wal_bytes = std::fs::read(&wal).unwrap();
+
+    // Kill-and-replay: the same refused round re-run from its journal
+    // (the aggregator recovers the recorded refusal rather than
+    // re-pricing) must land on the identical outcome and leave the
+    // session WAL untouched.
+    let out = run_driver(&session_spec(2), &dir2, &[]);
+    assert!(!out.status.success());
+    assert_eq!(
+        std::fs::read(dir2.join(files::OUTCOME)).unwrap(),
+        outcome_bytes,
+        "replayed refusal must be byte-identical"
+    );
+    assert_eq!(
+        std::fs::read(&wal).unwrap(),
+        wal_bytes,
+        "replaying a refused round must not grow the session WAL"
+    );
+    let _ = std::fs::remove_dir_all(&base);
 }
 
 #[test]

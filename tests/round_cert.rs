@@ -184,6 +184,7 @@ fn every_single_byte_tamper_is_rejected_with_a_typed_verdict() {
         ("rejected", &["wrong-binding", "bad-encoding"]),
         ("aggregate_digest", &["wrong-binding"]),
         ("noise_commitment", &["wrong-binding"]),
+        ("charged_epsilon", &["wrong-binding"]),
         ("released", &["wrong-binding", "bad-encoding"]),
         ("transcript", &["wrong-binding"]),
         ("signatures", &["wrong-signature", "bad-encoding"]),
